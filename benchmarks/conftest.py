@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures and scale control.
+
+Set ``REPRO_BENCH_SCALE`` to scale the dataset sizes (default 1.0).  All
+reproduced quantities are ratios and shapes, which are stable across
+scale; raising the scale sharpens the index-vs-scan contrasts at the
+cost of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Database, KdTreeIndex, sdss_color_sample
+from repro.datasets.sdss import BANDS
+
+
+def bench_scale() -> float:
+    """The global scale multiplier from ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Scale a default size by the multiplier."""
+    return max(64, int(n * bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def bench_sample():
+    """The shared SDSS color-space sample for index benchmarks."""
+    return sdss_color_sample(scaled(60_000), seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    """One database shared across benchmark modules."""
+    return Database.in_memory(buffer_pages=None)
+
+
+@pytest.fixture(scope="session")
+def bench_kd(bench_db, bench_sample) -> KdTreeIndex:
+    """Kd-tree index over the shared sample (paper defaults)."""
+    return KdTreeIndex.build(
+        bench_db, "bench_mag_kd", bench_sample.columns(), list(BANDS)
+    )
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned results table (the bench's figure/table output)."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        print(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float) or isinstance(cell, np.floating):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.3g}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)

@@ -1,0 +1,140 @@
+"""Benchmarks of the application layer built on the indexes.
+
+* Query planner: how often the §3.2 crossover rule (estimate
+  selectivity, pick index below 0.25) picks the cheaper path.
+* Outlier detection: kd-leaf density (the paper's ref [8] route) vs
+  Voronoi cell density (§3.4's route) on labeled synthetic outliers.
+* Spectrum archive: end-to-end similarity latency -- feature k-NN plus
+  the fetch of the matching 3000-sample vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Database,
+    KdTreeIndex,
+    KdTreeOutlierDetector,
+    QueryPlanner,
+    QueryWorkload,
+    SpectrumArchive,
+    SpectrumTemplates,
+    VoronoiOutlierDetector,
+    polyhedron_full_scan,
+    sdss_color_sample,
+)
+from repro.datasets.sdss import BANDS, CLASS_OUTLIER
+
+from .conftest import print_table, scaled
+
+
+def test_app_planner_accuracy(benchmark, bench_kd, bench_sample):
+    """Planner choices vs the genuinely cheaper path, per selectivity."""
+
+    import time
+
+    def timed(fn):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run():
+        planner = QueryPlanner(bench_kd, seed=0)
+        workload = QueryWorkload(bench_sample.magnitudes, seed=8)
+        rows = []
+        for target in (0.002, 0.02, 0.15, 0.5, 0.85):
+            correct = 0
+            trials = 4
+            for _ in range(trials):
+                poly = workload.box_query(target).polyhedron(list(BANDS))
+                planned = planner.execute(poly)
+                # The crossover rule is about execution *time* (a page
+                # subset can still cost more CPU per row); judge against
+                # measured time with slack for the near-tie zone.
+                t_kd = timed(lambda: bench_kd.query_polyhedron(poly))
+                t_scan = timed(
+                    lambda: polyhedron_full_scan(bench_kd.table, list(BANDS), poly)
+                )
+                costs = {"kdtree": t_kd, "scan": t_scan}
+                cheaper = min(costs, key=costs.get)
+                if (
+                    planned.chosen_path == cheaper
+                    or costs[planned.chosen_path] <= 1.4 * costs[cheaper]
+                ):
+                    correct += 1
+            rows.append([target, f"{correct}/{trials}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Application: planner choice vs measured-cheaper path",
+        ["target_sel", "correct"],
+        rows,
+    )
+    # The rule gets the easy extremes right.
+    assert int(rows[0][1][0]) >= 3
+    assert int(rows[-1][1][0]) >= 3
+
+
+def test_app_outlier_detectors(benchmark):
+    """kd vs Voronoi outlier detection on labeled synthetic outliers."""
+
+    def run():
+        sample = sdss_color_sample(scaled(30_000), seed=13)
+        colors = sample.colors()
+        truth = sample.labels == CLASS_OUTLIER
+        rows = []
+        detectors = {
+            "kd-tree leaf density": KdTreeOutlierDetector(colors),
+            "voronoi cell density": VoronoiOutlierDetector(
+                colors, num_seeds=scaled(800)
+            ),
+        }
+        for name, detector in detectors.items():
+            flags = detector.flag(0.05)
+            recall = float(flags[truth].mean())
+            precision = float(truth[flags].mean())
+            rows.append(
+                [name, recall, precision, precision / truth.mean()]
+            )
+        return rows, float(truth.mean())
+
+    rows, base_rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Application: outlier detectors (5% flag rate, base rate {base_rate:.1%})",
+        ["detector", "recall", "precision", "lift"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] > 3.0  # both clearly beat chance
+    # The paper pursued Voronoi density for a reason: irregular cells
+    # track the distribution better than balanced axis-aligned leaves.
+    voronoi_row = next(r for r in rows if "voronoi" in r[0])
+    kd_row = next(r for r in rows if "kd" in r[0])
+    assert voronoi_row[1] >= kd_row[1]
+
+
+def test_app_spectrum_archive_similarity(benchmark):
+    """Benchmark one end-to-end similarity query over the archive."""
+    rng = np.random.default_rng(17)
+    templates = SpectrumTemplates()
+    spectra = []
+    for _ in range(scaled(300)):
+        z = rng.uniform(0.0, 0.25)
+        kind = rng.integers(3)
+        if kind == 0:
+            spectra.append(templates.observe(templates.elliptical(z), 40, rng))
+        elif kind == 1:
+            spectra.append(templates.observe(templates.quasar(z), 40, rng))
+        else:
+            spectra.append(templates.observe(templates.starburst(z), 40, rng))
+    spectra = np.array(spectra)
+    db = Database.in_memory(buffer_pages=None)
+    archive = SpectrumArchive.build(db, "bench_arch", spectra)
+    query = spectra[0]
+    matches = benchmark(lambda: archive.similar(query, k=2))
+    assert len(matches) == 2

@@ -1,0 +1,350 @@
+"""Benchmarks of the extension features (the paper's future-work items).
+
+* The stored Delaunay edge structure (§3.4's "store only the edges ...
+  a much more compact description"): out-of-core walk cost, storage
+  footprint vs the full tessellation, density-proxy quality.
+* Approximate Voronoi k-NN (ref [6]): recall / cost trade-off by ring.
+* Seed selection: random (paper) vs stratified ("could be improved to
+  follow better the underlying distribution, hence keep the cells
+  balanced").
+* Buffer-pool pressure: how the paper's RAM budget (8 GB + AWE) shows up
+  as cache hit rates for a repeated query workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro import (
+    Database,
+    DelaunayEdgeStore,
+    DelaunayGraph,
+    KdTreeIndex,
+    QueryWorkload,
+    VoronoiIndex,
+    knn_brute_force,
+    voronoi_volume_estimates,
+)
+from repro.datasets.sdss import BANDS
+
+from .conftest import print_table, scaled
+
+
+def test_ext_edge_store(benchmark, bench_sample):
+    """Stored-edges walk cost + footprint vs the full tessellation."""
+
+    def run():
+        rng = np.random.default_rng(1)
+        mags = bench_sample.magnitudes
+        seeds = mags[rng.choice(len(mags), scaled(1000), replace=False)]
+        graph = DelaunayGraph(seeds)
+        db = Database.in_memory(buffer_pages=16)  # tight memory: out-of-core
+        store = DelaunayEdgeStore.save(db, "tess_ext", graph)
+
+        pages, hops = [], []
+        for _ in range(30):
+            point = mags[rng.integers(len(mags))]
+            walk, stats = store.directed_walk(point)
+            assert walk.seed == graph.nearest_seed_exact(point)
+            pages.append(stats.pages_touched)
+            hops.append(walk.hops)
+
+        sizes = store.storage_bytes()
+        # Full tessellation estimate: every cell stores its vertices
+        # (incident circumcenters), ~vertex_count * d floats per cell.
+        from repro.tessellation import VoronoiCells
+
+        vertex_counts = VoronoiCells(graph).vertex_counts()
+        full_bytes = int(vertex_counts.sum()) * graph.dim * 8
+
+        proxy = store.approximate_volumes()
+        exact = voronoi_volume_estimates(graph)
+        mask = np.isfinite(proxy) & (exact > 0)
+        corr = spearmanr(proxy[mask], exact[mask]).statistic
+        return {
+            "mean_walk_pages": float(np.mean(pages)),
+            "mean_walk_hops": float(np.mean(hops)),
+            "edge_store_bytes": sizes["total"],
+            "full_tessellation_bytes": full_bytes,
+            "compaction": full_bytes / sizes["total"],
+            "volume_proxy_spearman": float(corr),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: stored Delaunay edges (§3.4 future work)",
+        ["metric", "value"],
+        [[k, v] for k, v in result.items()],
+    )
+    # Walks touch a handful of pages, not the structure's size.
+    assert result["mean_walk_pages"] < 40
+    # Edges are the compact description the paper predicted.
+    assert result["compaction"] > 3.0
+    # The edge-only volume proxy still ranks densities faithfully.
+    assert result["volume_proxy_spearman"] > 0.8
+
+
+def test_ext_approximate_knn(benchmark, bench_sample):
+    """Recall vs cells examined, by neighbor ring."""
+
+    def run():
+        db = Database.in_memory(buffer_pages=None)
+        index = VoronoiIndex.build(
+            db, "approx_vor", bench_sample.columns(), list(BANDS),
+            num_seeds=scaled(800),
+        )
+        rng = np.random.default_rng(2)
+        queries = bench_sample.magnitudes[
+            rng.choice(len(bench_sample.magnitudes), 20, replace=False)
+        ]
+        rows = []
+        for rings in (0, 1, 2):
+            hits = total = cells = pages = 0
+            for query in queries:
+                exact = knn_brute_force(index.table, list(BANDS), query, 10)
+                approx = index.knn_approximate(query, 10, rings=rings)
+                hits += len(
+                    set(approx.row_ids.tolist()) & set(exact.row_ids.tolist())
+                )
+                total += 10
+                cells += approx.stats.extra["cells_examined"]
+                pages += approx.stats.pages_touched
+            rows.append(
+                [rings, hits / total, cells / len(queries), pages / len(queries)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: approximate Voronoi k-NN",
+        ["rings", "recall@10", "cells_examined", "pages"],
+        rows,
+    )
+    recalls = [row[1] for row in rows]
+    assert recalls == sorted(recalls)  # more rings, more recall
+    assert recalls[1] > 0.85  # one ring is already near-exact
+
+
+def test_ext_seed_strategy(benchmark, bench_sample):
+    """Cell balance and query cost: random vs stratified seeds."""
+
+    def run():
+        workload = QueryWorkload(bench_sample.magnitudes, seed=3)
+        polys = [workload.box_query(0.02).polyhedron(list(BANDS)) for _ in range(4)]
+        rows = []
+        for strategy in ("random", "stratified"):
+            db = Database.in_memory(buffer_pages=None)
+            index = VoronoiIndex.build(
+                db,
+                f"seed_{strategy}",
+                bench_sample.columns(),
+                list(BANDS),
+                num_seeds=scaled(600),
+                seed_strategy=strategy,
+            )
+            counts = index.cell_point_counts()
+            pages = []
+            for poly in polys:
+                _, stats = index.query_polyhedron(poly)
+                pages.append(stats.pages_touched)
+            rows.append(
+                [
+                    strategy,
+                    float(counts.std() / counts.mean()),
+                    int(counts.max()),
+                    float(np.mean(pages)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: Voronoi seed selection",
+        ["strategy", "cell_count_cv", "max_cell", "mean_pages@2%"],
+        rows,
+    )
+    random_cv = rows[0][1]
+    stratified_cv = rows[1][1]
+    assert stratified_cv < random_cv  # "keep the cells balanced"
+
+
+def test_ext_buffer_pool_pressure(benchmark, bench_sample):
+    """Cache hit rate vs buffer budget for a repeated query workload.
+
+    The paper's server had 8 GB with AWE tricks; here the budget is the
+    pool's page count.  A working set that fits is served from memory on
+    repeat; one that doesn't thrashes -- the regime where the clustered
+    indexes' small page footprints matter most.
+    """
+
+    def run():
+        workload = QueryWorkload(bench_sample.magnitudes, seed=4)
+        polys = [workload.box_query(0.02).polyhedron(list(BANDS)) for _ in range(6)]
+        rows = []
+        for budget in (16, 64, 256, None):
+            db = Database.in_memory(buffer_pages=budget)
+            index = KdTreeIndex.build(
+                db, f"bp_{budget}", bench_sample.columns(), list(BANDS)
+            )
+            # Warm run then measured run of the same workload.
+            for poly in polys:
+                index.query_polyhedron(poly)
+            db.reset_io_stats()
+            for poly in polys:
+                index.query_polyhedron(poly)
+            stats = db.io_stats
+            total = stats.cache_hits + stats.cache_misses
+            rows.append(
+                [
+                    "unbounded" if budget is None else budget,
+                    stats.cache_hits,
+                    stats.cache_misses,
+                    stats.cache_hits / max(total, 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: buffer-pool pressure (repeat workload)",
+        ["buffer_pages", "hits", "misses", "hit_rate"],
+        rows,
+    )
+    hit_rates = [row[3] for row in rows]
+    # Bigger budgets monotonically raise the repeat-workload hit rate,
+    # reaching ~1.0 when everything fits.
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[-1] > 0.95
+
+
+def test_ext_recovery_mode(benchmark, bench_sample):
+    """Full vs simple recovery while bulk-building an index.
+
+    The paper: "recovery mode was set to simple in order to avoid huge /
+    slow log processes" (§3).  Measured: write bytes and build time for
+    the same kd-tree build under both models, plus the log's one virtue
+    (replaying it reproduces the pages exactly).
+    """
+    import time
+
+    from repro import KdTreeIndex, LoggedStorage
+    from repro.db import Database as Db
+    from repro.db import MemoryStorage
+    from repro.db.pages import PageCodec
+
+    def run():
+        data = {
+            k: v[: scaled(20_000)] for k, v in bench_sample.columns().items()
+        }
+        rows = []
+        for mode in ("simple", "full"):
+            storage = MemoryStorage()
+            if mode == "full":
+                storage = LoggedStorage(storage)
+            db = Db(storage, buffer_pages=None)
+            start = time.perf_counter()
+            KdTreeIndex.build(db, "rec_kd", data, list(BANDS))
+            elapsed = time.perf_counter() - start
+            rows.append([mode, storage.stats.bytes_written, elapsed])
+        # The log's payoff: replay rebuilds identical pages.
+        storage = LoggedStorage(MemoryStorage())
+        db = Db(storage, buffer_pages=None)
+        index = KdTreeIndex.build(db, "rec_chk", data, list(BANDS))
+        fresh = MemoryStorage()
+        storage.replay(fresh)
+        original = storage.inner.read_page("rec_chk", 0)
+        rebuilt = fresh.read_page("rec_chk", 0)
+        replay_ok = PageCodec.encode(original) == PageCodec.encode(rebuilt)
+        return rows, replay_ok
+
+    rows, replay_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: recovery mode during index bulk build",
+        ["recovery", "bytes_written", "build_s"],
+        rows,
+    )
+    print(f"log replay reproduces pages exactly: {replay_ok}")
+    simple_bytes = rows[0][1]
+    full_bytes = rows[1][1]
+    # Full recovery roughly doubles the write traffic -- the cost the
+    # paper's configuration avoids.
+    assert full_bytes > 1.8 * simple_bytes
+    assert replay_ok
+
+
+def test_ext_selectivity_estimators(benchmark, bench_kd, bench_sample):
+    """Histogram statistics vs page sampling as the planner's estimator.
+
+    Histograms cost zero plan-time I/O but assume attribute independence;
+    page sampling reads a few pages but sees the joint distribution.  On
+    the heavily correlated color space the difference is measurable.
+    """
+    from repro import QueryPlanner
+    from repro.db import HistogramStatistics
+
+    def run():
+        statistics = HistogramStatistics(bench_kd.table, list(BANDS))
+        sampled = QueryPlanner(bench_kd, seed=0)
+        histogrammed = QueryPlanner(bench_kd, statistics=statistics)
+        workload = QueryWorkload(bench_sample.magnitudes, seed=14)
+        rows = []
+        for target in (0.01, 0.1, 0.4):
+            errors = {"page_sample": [], "histogram": []}
+            for _ in range(5):
+                poly = workload.box_query(target).polyhedron(list(BANDS))
+                truth = poly.contains_points(bench_sample.magnitudes).mean()
+                est_s, _ = sampled.estimate_selectivity(poly)
+                est_h, _ = histogrammed.estimate_selectivity(poly)
+                errors["page_sample"].append(abs(est_s - truth))
+                errors["histogram"].append(abs(est_h - truth))
+            rows.append(
+                [
+                    target,
+                    float(np.mean(errors["page_sample"])),
+                    float(np.mean(errors["histogram"])),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Extension: selectivity estimators (mean |error|)",
+        ["target_sel", "page_sample", "histogram"],
+        rows,
+    )
+    # Both estimators stay within usable bounds at every selectivity.
+    for row in rows:
+        assert row[1] < 0.25
+        assert row[2] < 0.45
+
+
+def test_ext_projection_savings(benchmark, bench_sample):
+    """Narrow materialized projections: page savings on covered scans."""
+    from repro import Col
+    from repro.db import ProjectionSet, create_projection
+
+    def run():
+        db = Database.in_memory(buffer_pages=None)
+        data = dict(bench_sample.columns())
+        rng = np.random.default_rng(15)
+        # A wide table: the paper's 300+ columns, abridged.
+        for extra in range(12):
+            data[f"meta{extra}"] = rng.normal(size=len(bench_sample.magnitudes))
+        base = db.create_table("wide_ext", data)
+        projections = ProjectionSet(base)
+        projections.add(create_projection(db, base, "narrow_gr_ext", ["g", "r"]))
+        predicate = (Col("g") - Col("r")) > 1.0
+        _, base_stats = __import__("repro").full_scan(base, predicate=predicate)
+        _, proj_stats, used = projections.scan(predicate)
+        return base_stats.pages_touched, proj_stats.pages_touched, used
+
+    base_pages, projection_pages, used = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nExtension: projection scan -- base {base_pages} pages vs "
+        f"{used!r} {projection_pages} pages "
+        f"({base_pages / projection_pages:.1f}x fewer)"
+    )
+    assert projection_pages < base_pages / 4

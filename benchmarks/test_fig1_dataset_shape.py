@@ -1,0 +1,75 @@
+"""E14 / Figure 1 and §2.1: the shape of the synthetic color space.
+
+Paper, §2.1: "data points do not fill the parameter space uniformly;
+this is typical for science data sets.  There are correlations, points
+are clustered, they lie along (hyper)surfaces or subspaces ... there are
+outliers ... These large variations in the density call for adaptive
+binning."
+
+This bench certifies that the generator standing in for the SDSS
+magnitude table actually has those properties -- the properties every
+index experiment depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PrincipalComponents, sdss_color_sample
+from repro.datasets.sdss import CLASS_NAMES, CLASS_OUTLIER
+
+from .conftest import print_table, scaled
+
+
+def test_fig1_distribution_shape(benchmark):
+    """Density contrast, anisotropy, and class structure of the sample."""
+
+    def run():
+        sample = sdss_color_sample(scaled(100_000), seed=1)
+        colors = sample.colors()
+
+        # Density contrast over a uniform grid (the "adaptive binning"
+        # motivation): occupancy ratio between the busiest and median
+        # occupied cells.
+        hist, *_ = np.histogramdd(colors[:, :3], bins=24)
+        occupied = hist[hist > 0]
+        contrast = float(occupied.max() / np.median(occupied))
+        fill = float((hist > 0).mean())
+
+        # Anisotropy: variance concentration along principal axes
+        # (points near lower-dimensional structure).
+        pca = PrincipalComponents(2, normalize=False).fit(colors)
+        planarity = float(pca.explained_variance_ratio.sum())
+
+        class_counts = np.bincount(sample.labels, minlength=4)
+        rows = [
+            ["points", sample.num_points],
+            ["grid fill fraction", fill],
+            ["density contrast (max/median cell)", contrast],
+            ["variance in top 2 of 4 color PCs", planarity],
+        ]
+        for cls, name in CLASS_NAMES.items():
+            rows.append([f"fraction {name}", class_counts[cls] / sample.num_points])
+        return rows, contrast, fill, planarity, sample
+
+    rows, contrast, fill, planarity, sample = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table("Figure 1 / §2.1: dataset shape", ["statistic", "value"], rows)
+    # Highly non-uniform: enormous cell-occupancy contrast over a mostly
+    # empty bounding box.
+    assert contrast > 100.0
+    assert fill < 0.2
+    # Correlated: most color variance in a 2-D subspace of the 4 colors.
+    assert planarity > 0.75
+    # Outliers present but rare.
+    outlier_fraction = (sample.labels == CLASS_OUTLIER).mean()
+    assert 0.005 < outlier_fraction < 0.08
+
+
+def test_fig1_sample_generation_benchmark(benchmark):
+    """Benchmark drawing a Figure 1-sized (500K scaled) sample."""
+    sample = benchmark.pedantic(
+        lambda: sdss_color_sample(scaled(500_000), seed=2), rounds=1, iterations=2
+    )
+    assert sample.num_points == scaled(500_000)

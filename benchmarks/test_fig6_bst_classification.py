@@ -1,0 +1,84 @@
+"""E7 / Figure 6 + §4: Basin Spanning Tree clustering.
+
+Paper: "We used the volumes of Voronoi cells to find density peaks ...
+and connected each cell to one neighbor, the one with the largest
+density ... Comparing with the real classification for a subset where
+this information is available, we found that these clusters contain
+objects with the same spectral type (for 100K objects with a priori
+spectral classes 92% of objects were classified correctly)."
+
+Clustering runs in the whitened color space (class structure lives in
+colors; overall brightness is a nuisance axis -- Figure 1 plots colors
+for the same reason).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro import (
+    DelaunayGraph,
+    Whitener,
+    basin_spanning_tree,
+    cluster_class_agreement,
+    clusters_from_parents,
+    density_from_volumes,
+    merge_small_clusters,
+    sdss_color_sample,
+    voronoi_volume_estimates,
+)
+from repro.datasets.sdss import CLASS_OUTLIER
+
+from .conftest import print_table, scaled
+
+
+def _run_bst(sample, num_seeds, seed=0):
+    colors = Whitener(mode="std").fit_transform(sample.colors())
+    rng = np.random.default_rng(seed)
+    seeds_idx = rng.choice(len(colors), num_seeds, replace=False)
+    graph = DelaunayGraph(colors[seeds_idx])
+    volumes = voronoi_volume_estimates(graph)
+    _, assign = cKDTree(colors[seeds_idx]).query(colors)
+    counts = np.bincount(assign, minlength=num_seeds)
+    densities = density_from_volumes(volumes, counts)
+    parents = basin_spanning_tree(densities, graph.neighbors)
+    labels = clusters_from_parents(parents)
+    labels = merge_small_clusters(labels, densities, graph.neighbors, min_size=3)
+    point_clusters = labels[assign]
+    keep = sample.labels != CLASS_OUTLIER
+    agreement = cluster_class_agreement(point_clusters[keep], sample.labels[keep])
+    num_peaks = len(np.unique(labels))
+    return agreement, num_peaks
+
+
+def test_fig6_bst_agreement(benchmark):
+    """Agreement with spectral classes at the paper's regime."""
+
+    def run():
+        sample = sdss_color_sample(scaled(30_000), seed=23)
+        rows = []
+        for num_seeds in (scaled(400), scaled(800), scaled(1500)):
+            agreement, peaks = _run_bst(sample, num_seeds)
+            rows.append([scaled(30_000), num_seeds, peaks, agreement])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 6: BST cluster / spectral-class agreement (paper: 92%)",
+        ["points", "voronoi_cells", "density_peaks", "agreement"],
+        rows,
+    )
+    best = max(row[3] for row in rows)
+    assert best > 0.85  # the paper's ~92% regime
+    # Agreement improves (or holds) with tessellation resolution.
+    assert rows[-1][3] >= rows[0][3] - 0.02
+
+
+def test_fig6_bst_benchmark(benchmark):
+    """Benchmark the full BST pipeline at a fixed size."""
+    sample = sdss_color_sample(scaled(15_000), seed=29)
+    result = benchmark.pedantic(
+        lambda: _run_bst(sample, scaled(600)), rounds=2, iterations=1
+    )
+    assert result[0] > 0.7

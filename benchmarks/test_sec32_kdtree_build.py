@@ -1,0 +1,66 @@
+"""E2 / §3.2 build statistics: √N sizing, iterative build, post-order.
+
+Paper: "our tree has 15 levels, 2^14 leafs and in each leaf there are
+approximately 16K items.  The run-time of the kd-tree generation over
+270M rows was less than 12 hours."  We verify the sizing rule at our
+scale, that the build scales near-linearly (the iterative level-wise
+build is O(N log leaves)), and benchmark it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.kdtree import KdTree, default_num_levels
+
+from .conftest import print_table, scaled
+
+
+def test_sec32_sizing_and_build_scaling(benchmark):
+    """Build-time scaling and √N leaf statistics across N."""
+
+    def run():
+        rng = np.random.default_rng(3)
+        rows = []
+        for n in (scaled(10_000), scaled(30_000), scaled(90_000)):
+            pts = rng.normal(size=(n, 5))
+            start = time.perf_counter()
+            tree = KdTree(pts)
+            elapsed = time.perf_counter() - start
+            stats = tree.leaf_statistics()
+            rows.append(
+                [
+                    n,
+                    int(stats["num_levels"]),
+                    int(stats["num_leaves"]),
+                    stats["mean_leaf_size"],
+                    stats["mean_leaf_size"] / stats["num_leaves"],
+                    elapsed,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "§3.2 kd-tree build: √N rule and build time",
+        ["rows", "levels", "leaves", "rows_per_leaf", "leaf_size/leaf_count", "build_s"],
+        rows,
+    )
+    # √N rule: leaf size ≈ leaf count (ratio within a factor ~4 given
+    # power-of-two rounding).
+    for row in rows:
+        assert 0.25 <= row[4] <= 4.0
+    # Paper-scale extrapolation sanity: the rule gives the published tree.
+    assert default_num_levels(270_000_000) == 15
+    # Near-linear scaling: 9x rows should cost well under 27x time.
+    assert rows[-1][5] < 27 * max(rows[0][5], 1e-4)
+
+
+def test_sec32_build_benchmark(benchmark):
+    """Benchmark the iterative balanced build at the default bench size."""
+    rng = np.random.default_rng(4)
+    pts = rng.normal(size=(scaled(60_000), 5))
+    tree = benchmark.pedantic(lambda: KdTree(pts), rounds=3, iterations=1)
+    assert tree.num_points == len(pts)

@@ -1,0 +1,86 @@
+"""E4 / §3.3: boundary-point k-NN over the kd-tree.
+
+Paper: "given a query point p, return the k nearest neighbors from the
+270M magnitude table" via the boundary-point region-growing algorithm.
+We verify exactness against brute force and measure the I/O profile --
+boxes examined and pages read vs a full scan -- plus the TOP(k-f)
+refinement's effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import knn_best_first, knn_boundary_points, knn_brute_force
+from repro.datasets.sdss import BANDS
+
+from .conftest import print_table
+
+
+def _queries(bench_sample, count, seed=11):
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(bench_sample.magnitudes), count, replace=False)
+    return bench_sample.magnitudes[picks] + rng.normal(0, 0.05, (count, 5))
+
+
+def test_sec33_knn_profile(benchmark, bench_kd, bench_sample):
+    """Exactness + I/O table across k."""
+
+    def run():
+        queries = _queries(bench_sample, 8)
+        rows = []
+        for k in (1, 10, 100):
+            pages_bp, pages_scan, boxes, fallbacks = [], [], [], []
+            for query in queries:
+                truth = knn_brute_force(bench_kd.table, list(BANDS), query, k)
+                result = knn_boundary_points(bench_kd, query, k)
+                assert np.allclose(result.distances, truth.distances)
+                pages_bp.append(result.stats.pages_touched)
+                pages_scan.append(truth.stats.pages_touched)
+                boxes.append(result.stats.extra["boxes_examined"])
+                fallbacks.append(result.stats.extra["fallback_boxes"])
+            rows.append(
+                [
+                    k,
+                    float(np.mean(boxes)),
+                    bench_kd.tree.num_leaves,
+                    float(np.mean(pages_bp)),
+                    float(np.mean(pages_scan)),
+                    float(np.mean(pages_scan)) / max(float(np.mean(pages_bp)), 1e-9),
+                    float(np.sum(fallbacks)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "§3.3 boundary-point k-NN vs full scan",
+        ["k", "boxes_examined", "total_leaves", "knn_pages", "scan_pages", "page_speedup", "fallback_boxes"],
+        rows,
+    )
+    for row in rows:
+        assert row[5] > 3.0  # order-of-magnitude-bound I/O win at bench scale
+        assert row[1] < row[2] / 4  # examines a small fraction of the leaves
+
+
+def test_sec33_knn_query_benchmark(benchmark, bench_kd, bench_sample):
+    """Benchmark a single k=16 boundary-point query."""
+    query = _queries(bench_sample, 1)[0]
+    result = benchmark(lambda: knn_boundary_points(bench_kd, query, 16))
+    assert result.k == 16
+
+
+def test_sec33_best_first_benchmark(benchmark, bench_kd, bench_sample):
+    """Benchmark the best-first baseline on the same query."""
+    query = _queries(bench_sample, 1)[0]
+    result = benchmark(lambda: knn_best_first(bench_kd, query, 16))
+    assert result.k == 16
+
+
+def test_sec33_brute_force_benchmark(benchmark, bench_kd, bench_sample):
+    """Benchmark the full-scan ground truth on the same query."""
+    query = _queries(bench_sample, 1)[0]
+    result = benchmark(
+        lambda: knn_brute_force(bench_kd.table, list(BANDS), query, 16)
+    )
+    assert result.k == 16

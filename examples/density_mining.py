@@ -1,0 +1,92 @@
+"""Density-based mining: BST clustering and outlier detection (§3.4, §4).
+
+The Voronoi tessellation "is a natural method for similar object
+searches ... because the volume of the cells is inversely proportional
+to the local density it can be used for finding clusters and outliers."
+
+This example builds the sampled tessellation over the SDSS color space,
+derives the density map, grows the Basin Spanning Tree (Figure 6), names
+each cluster after its majority spectral class, reports the agreement
+the paper quotes (92% on 100K objects), and flags low-density outliers.
+
+Run:  python examples/density_mining.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro import (
+    DelaunayGraph,
+    Whitener,
+    basin_spanning_tree,
+    cluster_class_agreement,
+    clusters_from_parents,
+    density_from_volumes,
+    merge_small_clusters,
+    sdss_color_sample,
+    voronoi_volume_estimates,
+)
+from repro.datasets.sdss import CLASS_NAMES, CLASS_OUTLIER
+
+
+def main() -> None:
+    print("sampling 100K objects of the color space (the paper's Figure 6 scale)...")
+    sample = sdss_color_sample(100_000, seed=6)
+    colors = Whitener(mode="std").fit_transform(sample.colors())
+
+    num_seeds = 2500
+    rng = np.random.default_rng(0)
+    seed_idx = rng.choice(len(colors), num_seeds, replace=False)
+    print(f"computing the Delaunay/Voronoi tessellation of {num_seeds} seeds (QHull)...")
+    graph = DelaunayGraph(colors[seed_idx])
+    volumes = voronoi_volume_estimates(graph)
+    _, assignment = cKDTree(colors[seed_idx]).query(colors)
+    counts = np.bincount(assignment, minlength=num_seeds)
+    densities = density_from_volumes(volumes, counts)
+    print(
+        f"density map: contrast 99th/1st percentile = "
+        f"{np.quantile(densities, 0.99) / np.quantile(densities, 0.01):.0f}x"
+    )
+
+    # --- Basin Spanning Tree (Figure 6) ---------------------------------
+    parents = basin_spanning_tree(densities, graph.neighbors)
+    labels = clusters_from_parents(parents)
+    labels = merge_small_clusters(labels, densities, graph.neighbors, min_size=3)
+    point_clusters = labels[assignment]
+    peaks = np.unique(labels)
+    print(f"\nBasin Spanning Tree: {len(peaks)} density peaks / clusters")
+
+    keep = sample.labels != CLASS_OUTLIER
+    agreement = cluster_class_agreement(point_clusters[keep], sample.labels[keep])
+    print(
+        f"cluster/spectral-class agreement: {agreement:.1%} "
+        f"(paper: 92% on its 100K subset)"
+    )
+    print("\nlargest clusters and their majority class:")
+    sizes = {int(p): int((point_clusters == p).sum()) for p in peaks}
+    for peak in sorted(peaks, key=lambda p: -sizes[int(p)])[:6]:
+        members = sample.labels[point_clusters == peak]
+        majority = np.bincount(members).argmax()
+        purity = (members == majority).mean()
+        print(
+            f"  cluster@peak{int(peak):>5}: {sizes[int(peak)]:>6} objects, "
+            f"majority {CLASS_NAMES[int(majority)]:<8} (purity {purity:.0%})"
+        )
+
+    # --- outlier detection ------------------------------------------------
+    point_density = densities[assignment]
+    threshold = np.quantile(point_density, 0.02)
+    flagged = point_density <= threshold
+    true_outliers = sample.labels == CLASS_OUTLIER
+    recall = flagged[true_outliers].mean()
+    precision = true_outliers[flagged].mean()
+    print(
+        f"\noutlier detection (lowest 2% density): recall={recall:.0%}, "
+        f"precision={precision:.0%} against a {true_outliers.mean():.1%} base rate"
+    )
+
+
+if __name__ == "__main__":
+    main()

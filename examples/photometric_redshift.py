@@ -1,0 +1,105 @@
+"""Photometric redshift estimation (§4.1, Figures 7 and 8).
+
+Reproduces the paper's comparison end to end:
+
+1. generate a reference set (colors + spectroscopic redshifts) and an
+   unknown set, both from the template-spectra pipeline with realistic
+   per-band calibration offsets;
+2. estimate redshifts with the classic template-fitting method, whose
+   templates do not know the calibration offsets (Figure 7's scatter);
+3. estimate with the paper's method -- k-NN over the kd-tree-indexed
+   reference set plus a local low-order polynomial fit (Figure 8);
+4. print the error comparison and an ASCII scatter of both estimators.
+
+Run:  python examples/photometric_redshift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Database,
+    KnnPolyRedshiftEstimator,
+    TemplateFitEstimator,
+    make_photoz_dataset,
+    regression_report,
+)
+
+
+def ascii_scatter(estimated, truth, title, bins=18, z_max=0.55):
+    """A terminal rendition of the Figure 7/8 estimated-vs-true panels."""
+    grid = np.zeros((bins, bins), dtype=int)
+    for z_est, z_true in zip(estimated, truth):
+        col = min(int(z_true / z_max * bins), bins - 1)
+        row = min(int(z_est / z_max * bins), bins - 1)
+        grid[bins - 1 - row, col] += 1
+    shades = " .:+*#@"
+    print(f"\n{title}")
+    print("estimated z")
+    for r, row in enumerate(grid):
+        marks = "".join(
+            shades[min(int(np.log2(c + 1)), len(shades) - 1)] for c in row
+        )
+        diag = bins - 1 - r
+        line = list(marks)
+        if line[diag] == " ":
+            line[diag] = "\\"  # the ideal diagonal
+        print("  |" + "".join(line))
+    print("  +" + "-" * bins + "  true z")
+
+
+def main() -> None:
+    print("building reference (2%) and unknown sets from template spectra...")
+    dataset = make_photoz_dataset(
+        num_reference=3000, num_unknown=600, seed=7
+    )
+    print(
+        f"reference: {dataset.num_reference} galaxies with measured z; "
+        f"unknown: {dataset.num_unknown}"
+    )
+
+    # --- Figure 7: template fitting with calibration systematics -------
+    template = TemplateFitEstimator(
+        templates=dataset.templates, filters=dataset.filters
+    )
+    print(f"\ntemplate fitting over a {template.grid_size}-model (z, type) grid...")
+    z_template = template.estimate(dataset.unknown_magnitudes)
+    report_template = regression_report(z_template, dataset.unknown_redshifts)
+
+    # --- Figure 8: k-NN + local polynomial over the indexed reference --
+    db = Database.in_memory(buffer_pages=None)
+    knn = KnnPolyRedshiftEstimator(
+        db,
+        dataset.reference_magnitudes,
+        dataset.reference_redshifts,
+        k=32,
+        degree=1,
+    )
+    print("k-NN + local polynomial fit through the kd-tree index...")
+    z_knn = knn.estimate(dataset.unknown_magnitudes)
+    report_knn = regression_report(z_knn, dataset.unknown_redshifts)
+
+    ascii_scatter(z_template, dataset.unknown_redshifts,
+                  "Figure 7 analog: template fitting (calibration scatter)")
+    ascii_scatter(z_knn, dataset.unknown_redshifts,
+                  "Figure 8 analog: k-NN + polynomial fit")
+
+    print("\n              rms      bias     median|err|  outliers(>0.1)")
+    print(
+        f"template   {report_template['rms']:.4f}  {report_template['bias']:+.4f}"
+        f"   {report_template['median_abs']:.4f}      {report_template['outlier_rate']:.1%}"
+    )
+    print(
+        f"kNN+poly   {report_knn['rms']:.4f}  {report_knn['bias']:+.4f}"
+        f"   {report_knn['median_abs']:.4f}      {report_knn['outlier_rate']:.1%}"
+    )
+    reduction = 1.0 - report_knn["rms"] / report_template["rms"]
+    print(
+        f"\nerror reduction: {reduction:.0%} "
+        f"(the paper reports 'average error decreased by more than 50%')"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""The spectrum archive: a SpectrumService analog (§4.2).
+
+"SDSS spectra ... are stored in a separate archive, called
+SpectrumService"; similarity search runs over 5-D Karhunen-Loeve
+features, and the full ~3000-sample vectors are fetched only for the few
+matches.  :class:`SpectrumArchive` packages that pattern over the
+engine: spectra live in a binary vector column (:mod:`repro.vectype`),
+their PCA features in an indexed table (:mod:`repro.core`), and
+``similar()`` does the feature-space k-NN plus the spectrum fetch in one
+call.
+"""
+
+from repro.archive.spectrum_archive import SpectrumArchive, SimilarSpectrum
+
+__all__ = ["SpectrumArchive", "SimilarSpectrum"]

@@ -1,0 +1,201 @@
+"""An in-database spectrum archive with feature-space similarity search.
+
+Storage layout (all engine tables):
+
+* ``<name>_spectra`` -- one row per object: ``spectrum_id`` plus the
+  full spectrum as a fixed-width binary vector column (the §3.5 design:
+  native binary + zero-copy decode), clustered by id so fetching a
+  match's spectrum is one page-range read.
+* ``<name>_features`` -- the 5-D (configurable) Karhunen-Loeve features
+  with any metadata columns, kd-tree indexed and clustered by leaf.
+
+The similarity query is the paper's two-phase pattern: k-NN in the
+low-dimensional feature space through the spatial index, then fetch only
+the winners' 3000-sample vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kdtree import KdTreeIndex
+from repro.core.knn import knn_boundary_points
+from repro.db.catalog import Database
+from repro.db.stats import QueryStats
+from repro.ml.pca import PrincipalComponents
+from repro.vectype.codec import NativeBinaryCodec, VectorColumn
+
+__all__ = ["SpectrumArchive", "SimilarSpectrum"]
+
+
+@dataclass
+class SimilarSpectrum:
+    """One similarity-search match."""
+
+    spectrum_id: int
+    distance: float
+    spectrum: np.ndarray
+    metadata: dict
+
+
+class SpectrumArchive:
+    """Stores spectra + KL features; answers similarity queries."""
+
+    def __init__(
+        self,
+        database: Database,
+        name: str,
+        pca: PrincipalComponents,
+        codec: NativeBinaryCodec,
+        feature_index: KdTreeIndex,
+        metadata_columns: list[str],
+    ):
+        self._db = database
+        self._name = name
+        self._pca = pca
+        self._codec = codec
+        self._feature_index = feature_index
+        self._metadata_columns = metadata_columns
+        self._spectra_table = database.table(f"{name}_spectra")
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def build(
+        database: Database,
+        name: str,
+        spectra: np.ndarray,
+        metadata: dict[str, np.ndarray] | None = None,
+        num_components: int = 5,
+    ) -> "SpectrumArchive":
+        """Ingest an ``(n, d)`` spectrum matrix (d ~ 3000 in the paper).
+
+        Fits the KL basis on the ingested set, stores the raw vectors in
+        a binary column, and indexes the features with a kd-tree.
+        """
+        spectra = np.asarray(spectra, dtype=np.float64)
+        if spectra.ndim != 2 or len(spectra) < 2:
+            raise ValueError("spectra must be (n >= 2, d)")
+        metadata = dict(metadata or {})
+        for key, values in metadata.items():
+            if len(values) != len(spectra):
+                raise ValueError(f"metadata column {key!r} length mismatch")
+
+        pca = PrincipalComponents(num_components).fit(spectra)
+        features = pca.transform(spectra)
+
+        codec = NativeBinaryCodec(spectra.shape[1])
+        database.create_table(
+            f"{name}_spectra",
+            {
+                "spectrum_id": np.arange(len(spectra), dtype=np.int64),
+                "flux": codec.encode_rows(spectra),
+            },
+            clustered_by=("spectrum_id",),
+        )
+
+        feature_data: dict[str, np.ndarray] = {
+            f"kl{i}": features[:, i] for i in range(num_components)
+        }
+        feature_data["spectrum_id"] = np.arange(len(spectra), dtype=np.int64)
+        for key, values in metadata.items():
+            feature_data[key] = np.asarray(values)
+        feature_index = KdTreeIndex.build(
+            database,
+            f"{name}_features",
+            feature_data,
+            [f"kl{i}" for i in range(num_components)],
+        )
+        return SpectrumArchive(
+            database, name, pca, codec, feature_index, sorted(metadata)
+        )
+
+    # -- properties -----------------------------------------------------------------
+
+    @property
+    def num_spectra(self) -> int:
+        """Number of archived spectra."""
+        return self._spectra_table.num_rows
+
+    @property
+    def num_components(self) -> int:
+        """Dimensionality of the feature space."""
+        return self._pca.num_components
+
+    @property
+    def feature_index(self) -> KdTreeIndex:
+        """The kd-tree over the KL features."""
+        return self._feature_index
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Variance captured per retained KL component."""
+        return self._pca.explained_variance_ratio
+
+    # -- access ------------------------------------------------------------------------
+
+    def features_of(self, spectrum: np.ndarray) -> np.ndarray:
+        """Project a raw spectrum onto the archive's KL basis."""
+        spectrum = np.asarray(spectrum, dtype=np.float64)
+        if spectrum.ndim == 1:
+            spectrum = spectrum[np.newaxis, :]
+        return self._pca.transform(spectrum)[0]
+
+    def fetch_spectrum(
+        self, spectrum_id: int, stats: QueryStats | None = None
+    ) -> np.ndarray:
+        """Read one stored spectrum (clustered range read + binary decode)."""
+        if not (0 <= spectrum_id < self.num_spectra):
+            raise IndexError(f"spectrum {spectrum_id} out of range")
+        rows = self._spectra_table.read_rows(spectrum_id, spectrum_id + 1)
+        return self._codec.decode_rows(rows["flux"])[0]
+
+    def spectra_column(self) -> VectorColumn:
+        """The raw vector column (for bulk scans)."""
+        return VectorColumn(self._spectra_table, "flux", self._codec)
+
+    # -- similarity search ----------------------------------------------------------------
+
+    def similar(
+        self, spectrum: np.ndarray, k: int = 2, skip_self: bool = True
+    ) -> list[SimilarSpectrum]:
+        """The Figures 9/10 operation: most similar archived spectra.
+
+        Parameters
+        ----------
+        spectrum:
+            A raw spectrum on the archive's wavelength grid.
+        k:
+            Matches to return.
+        skip_self:
+            Drop an exact (zero-feature-distance) match of the query
+            itself, as the paper's figures do.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        feature = self.features_of(spectrum)
+        fetch = k + (1 if skip_self else 0)
+        result = knn_boundary_points(self._feature_index, feature, fetch)
+        rows = self._feature_index.table.gather(result.row_ids)
+        matches: list[SimilarSpectrum] = []
+        for rank in range(len(result.row_ids)):
+            distance = float(result.distances[rank])
+            if skip_self and distance < 1e-12 and len(matches) < len(result.row_ids) - k + 1:
+                # Tolerate at most one self-match drop.
+                skip_self = False
+                continue
+            spectrum_id = int(rows["spectrum_id"][rank])
+            matches.append(
+                SimilarSpectrum(
+                    spectrum_id=spectrum_id,
+                    distance=distance,
+                    spectrum=self.fetch_spectrum(spectrum_id),
+                    metadata={
+                        key: rows[key][rank] for key in self._metadata_columns
+                    },
+                )
+            )
+            if len(matches) == k:
+                break
+        return matches

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities for poking at the system without writing a script:
+
+* ``demo`` -- build the indexes over a synthetic sample and run one of
+  each query type, printing the I/O comparison.
+* ``info`` -- version, subsystem inventory, and experiment index.
+* ``bench-hint`` -- how to regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        Database,
+        KdTreeIndex,
+        LayeredGridIndex,
+        VoronoiIndex,
+        knn_boundary_points,
+        polyhedron_full_scan,
+        sdss_color_sample,
+    )
+    from repro.datasets import QueryWorkload
+    from repro.geometry import Box
+
+    bands = ["u", "g", "r", "i", "z"]
+    print(f"generating {args.rows} objects of the 5-D color space...")
+    sample = sdss_color_sample(args.rows, seed=args.seed)
+    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    kd = KdTreeIndex.build(db, "mag_kd", sample.columns(), bands)
+    voronoi = VoronoiIndex.build(
+        db, "mag_vor", sample.columns(), bands,
+        num_seeds=max(64, int(np.sqrt(args.rows) * 2)),
+    )
+    grid = LayeredGridIndex.build(db, "mag_grid", sample.columns(), bands)
+
+    workload = QueryWorkload(sample.magnitudes, seed=args.seed)
+    poly = workload.figure2_query().polyhedron(bands)
+    _, kd_stats = kd.query_polyhedron(poly)
+    _, vor_stats = voronoi.query_polyhedron(poly)
+    _, scan_stats = polyhedron_full_scan(kd.table, bands, poly)
+    print("\nFigure 2 selection:")
+    print(f"  kd-tree   {kd_stats.rows_returned:>7} rows  {kd_stats.pages_touched:>6} pages")
+    print(f"  voronoi   {vor_stats.rows_returned:>7} rows  {vor_stats.pages_touched:>6} pages")
+    print(f"  full scan {scan_stats.rows_returned:>7} rows  {scan_stats.pages_touched:>6} pages")
+
+    neighbors = knn_boundary_points(kd, sample.magnitudes[0], k=10)
+    print(
+        f"\n10-NN: {neighbors.stats.extra['boxes_examined']} of "
+        f"{kd.tree.num_leaves} kd-boxes examined, "
+        f"{neighbors.stats.pages_touched} pages"
+    )
+
+    window = Box.cube(np.median(sample.magnitudes, axis=0), 1.5)
+    result = grid.sample_box(window, 1000)
+    print(
+        f"adaptive sample: {len(result.row_ids)} points, "
+        f"{result.stats.pages_touched}/{grid.table.num_pages} pages"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} -- Csabai et al., CIDR 2007 reproduction")
+    print("\nsubsystems:")
+    for package, what in (
+        ("repro.db", "paged column-store engine with I/O accounting"),
+        ("repro.geometry", "boxes, convex polyhedra, space-filling curves"),
+        ("repro.tessellation", "Delaunay/Voronoi substrate + edge store"),
+        ("repro.core", "layered grid, kd-tree, boundary-point k-NN, Voronoi index"),
+        ("repro.vectype", "binary vs UDT vector columns"),
+        ("repro.datasets", "synthetic SDSS color space, spectra, sky, workload"),
+        ("repro.ml", "PCA, least squares, photo-z, BST clustering"),
+        ("repro.viz", "adaptive visualization pipeline"),
+    ):
+        print(f"  {package:<20} {what}")
+    print("\nexperiments: see DESIGN.md (index) and EXPERIMENTS.md (results)")
+    return 0
+
+
+def _cmd_bench_hint(args: argparse.Namespace) -> int:
+    print("pytest benchmarks/ --benchmark-only -s      # all figures/tables")
+    print("REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only -s")
+    print("pytest benchmarks/test_fig5_kdtree_speedup.py --benchmark-only -s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatial indexing of large multidimensional databases "
+        "(CIDR 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build the indexes and run sample queries")
+    demo.add_argument("--rows", type=int, default=50_000)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--buffer-pages", type=int, default=4096)
+    demo.set_defaults(func=_cmd_demo)
+
+    info = sub.add_parser("info", help="package inventory")
+    info.set_defaults(func=_cmd_info)
+
+    hint = sub.add_parser("bench-hint", help="how to regenerate the figures")
+    hint.set_defaults(func=_cmd_bench_hint)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Spatial indexes: the paper's primary contribution.
+
+Three in-database indexing schemes over multidimensional continuous data,
+all built on the paged engine of :mod:`repro.db`:
+
+* :mod:`repro.core.layered_grid` -- the layered uniform grid (§3.1) for
+  distribution-following adaptive sampling of query boxes.
+* :mod:`repro.core.kdtree` -- the balanced, iteratively built, post-order
+  numbered kd-tree (§3.2) with clustered leaf storage and polyhedron
+  query evaluation (Figure 4 / Figure 5).
+* :mod:`repro.core.knn` -- the boundary-point k-nearest-neighbor search
+  over the kd-tree (§3.3) plus a best-first baseline.
+* :mod:`repro.core.voronoi_index` -- the sampled Voronoi tessellation
+  index (§3.4): seeds, directed-walk point location, space-filling-curve
+  cell numbering, and cell-classified polyhedron queries.
+* :mod:`repro.core.queries` -- shared polyhedron-query plumbing and the
+  full-scan baseline used across all Figure 5-style comparisons.
+"""
+
+from repro.core.index_base import SpatialIndex
+from repro.core.kdtree import KdTree, KdTreeIndex
+from repro.core.knn import (
+    KnnResult,
+    knn_best_first,
+    knn_boundary_points,
+    knn_brute_force,
+)
+from repro.core.layered_grid import LayeredGridIndex, TableSampleBaseline
+from repro.core.voronoi_index import VoronoiIndex
+from repro.core.hybrid import hybrid_query, linear_relaxations
+from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.core.rtree import RTreeIndex
+from repro.core.queries import ball_polyhedron, ball_query, polyhedron_full_scan, selectivity
+
+__all__ = [
+    "SpatialIndex",
+    "KdTree",
+    "KdTreeIndex",
+    "KnnResult",
+    "knn_boundary_points",
+    "knn_best_first",
+    "knn_brute_force",
+    "LayeredGridIndex",
+    "TableSampleBaseline",
+    "VoronoiIndex",
+    "RTreeIndex",
+    "PlannedQuery",
+    "QueryPlanner",
+    "ball_polyhedron",
+    "ball_query",
+    "hybrid_query",
+    "linear_relaxations",
+    "polyhedron_full_scan",
+    "selectivity",
+]

@@ -1,0 +1,136 @@
+"""Hybrid execution: pushing the linear part of any predicate into an index.
+
+§1 of the paper: scientific queries are "hyper planes (linear theories)
+or curved surfaces (nonlinear theories).  In practice these can be broken
+down into polyhedron queries."  The Figure 2 query is the working case:
+mostly linear color cuts, plus LOG10 surface-brightness terms and a
+top-level OR.
+
+:func:`linear_relaxations` computes a *sound superset cover* of an
+arbitrary expression as a union of convex polyhedra:
+
+* a linear comparison contributes its halfspace;
+* AND intersects covers (cross product of branch polyhedra);
+* OR unions covers;
+* anything the index space cannot express -- nonlinear terms, NOT,
+  comparisons over non-index columns -- relaxes to "unconstrained",
+  never dropping rows.
+
+:func:`hybrid_query` then runs each cover polyhedron through the index,
+unions the candidate rows, and applies the *exact* expression to the
+candidates only.  Selective linear structure prunes I/O; nonlinear
+residuals cost only candidate evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index_base import SpatialIndex
+from repro.db.expressions import (
+    And,
+    Compare,
+    Expr,
+    LinearExtractionError,
+    Or,
+    _comparison_to_halfspace,
+)
+from repro.db.scan import full_scan
+from repro.db.stats import QueryStats
+from repro.geometry.halfspace import Halfspace, Polyhedron
+
+__all__ = ["linear_relaxations", "hybrid_query"]
+
+#: Cap on the number of cover polyhedra; past this the cover collapses to
+#: a full scan rather than exploding combinatorially.
+MAX_BRANCHES = 64
+
+_UNCONSTRAINED: list[list[Halfspace]] = [[]]
+
+
+def _relax(expr: Expr, columns: list[str]) -> list[list[Halfspace]]:
+    if isinstance(expr, Compare):
+        try:
+            return [[_comparison_to_halfspace(expr, columns)]]
+        except LinearExtractionError:
+            return _UNCONSTRAINED
+    if isinstance(expr, And):
+        left = _relax(expr.left, columns)
+        right = _relax(expr.right, columns)
+        if len(left) * len(right) > MAX_BRANCHES:
+            return _UNCONSTRAINED
+        return [a + b for a in left for b in right]
+    if isinstance(expr, Or):
+        combined = _relax(expr.left, columns) + _relax(expr.right, columns)
+        if len(combined) > MAX_BRANCHES:
+            return _UNCONSTRAINED
+        return combined
+    # NOT, Func-rooted booleans, anything else: no sound linear bound.
+    return _UNCONSTRAINED
+
+
+def linear_relaxations(expr: Expr, columns: list[str]) -> list[Polyhedron] | None:
+    """Union-of-polyhedra superset cover of ``expr`` over ``columns``.
+
+    Returns ``None`` when no constraint survives relaxation (the cover
+    is all of space -- callers should full-scan).  Every returned
+    polyhedron list jointly covers the expression's true region:
+    ``expr(x) -> x in union(polyhedra)``.
+    """
+    branches = _relax(expr, columns)
+    if any(len(branch) == 0 for branch in branches):
+        return None
+    return [Polyhedron(branch) for branch in branches]
+
+
+def hybrid_query(
+    index: SpatialIndex, expr: Expr
+) -> tuple[dict[str, np.ndarray], QueryStats]:
+    """Evaluate an arbitrary predicate, index-pruned where possible.
+
+    The exact expression is applied to the candidate rows, so results
+    are exact regardless of how loose the relaxation is.  Requires every
+    column the expression references to exist in the index's table.
+    """
+    table = index.table
+    missing = expr.referenced_columns() - set(table.column_names)
+    if missing:
+        raise KeyError(f"expression references columns not in the table: {sorted(missing)}")
+
+    covers = linear_relaxations(expr, index.dims)
+    if covers is None:
+        return full_scan(table, predicate=expr)
+
+    stats = QueryStats()
+    candidate_chunks: list[dict[str, np.ndarray]] = []
+    seen: set[int] = set()
+    for polyhedron in covers:
+        rows, branch_stats = index.query_polyhedron(polyhedron)
+        stats.merge(branch_stats)
+        fresh = np.array(
+            [i for i, row in enumerate(rows["_row_id"]) if int(row) not in seen],
+            dtype=np.int64,
+        )
+        if len(fresh):
+            seen.update(int(r) for r in rows["_row_id"][fresh])
+            candidate_chunks.append({k: v[fresh] for k, v in rows.items()})
+    stats.extra["cover_polyhedra"] = len(covers)
+
+    if not candidate_chunks:
+        empty = {n: np.empty(0, dtype=table.dtype_of(n)) for n in table.column_names}
+        empty["_row_id"] = np.empty(0, dtype=np.int64)
+        stats.rows_returned = 0
+        return empty, stats
+
+    candidates = {
+        key: np.concatenate([chunk[key] for chunk in candidate_chunks])
+        for key in candidate_chunks[0]
+    }
+    stats.extra["candidates"] = len(candidates["_row_id"])
+    mask = np.asarray(
+        expr.evaluate({k: v for k, v in candidates.items() if k != "_row_id"}),
+        dtype=bool,
+    )
+    result = {k: v[mask] for k, v in candidates.items()}
+    stats.rows_returned = int(mask.sum())
+    return result, stats

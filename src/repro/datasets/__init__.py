@@ -1,0 +1,56 @@
+"""Synthetic science datasets standing in for the SDSS archive.
+
+The real 270M-row magnitude table is not redistributable; what the
+indexing and mining results depend on is the *shape* of the data (§2.1):
+"data points do not fill the parameter space uniformly ... there are
+correlations, points are clustered, they lie along (hyper)surfaces or
+subspaces ... there are outliers ... these large variations in the
+density call for adaptive binning."
+
+* :mod:`repro.datasets.sdss` -- generative model of the 5-D (u, g, r, i,
+  z) color space: a curved stellar locus, galaxy clumps, a quasar
+  UV-excess cluster, and outliers, each labeled with its spectral class.
+  A Gaussian-mixture variant with an exact pdf supports the density-map
+  experiment (E13).
+* :mod:`repro.datasets.spectra` -- synthetic galaxy / quasar / star
+  template spectra (~3000 samples), redshifting, noise, ugriz filter
+  curves and magnitudes-from-spectra: the physical pipeline behind both
+  photometric redshifts and spectral similarity search.
+* :mod:`repro.datasets.redshift` -- reference/unknown photometric
+  redshift datasets built from the spectral pipeline.
+* :mod:`repro.datasets.workload` -- SkyServer-style complex spatial
+  query generator (the Figure 2 family): conjunctions of linear
+  inequalities over magnitudes with controlled selectivity, emitted both
+  as expression trees and SQL text.
+"""
+
+from repro.datasets.sdss import (
+    GaussianMixtureField,
+    SdssSample,
+    sdss_color_sample,
+    CLASS_NAMES,
+)
+from repro.datasets.spectra import (
+    FilterBank,
+    SpectrumTemplates,
+    magnitudes_from_spectrum,
+)
+from repro.datasets.redshift import PhotozDataset, make_photoz_dataset
+from repro.datasets.sky import SkySample, sky_survey_sample
+from repro.datasets.workload import QueryWorkload, WorkloadQuery
+
+__all__ = [
+    "CLASS_NAMES",
+    "SdssSample",
+    "sdss_color_sample",
+    "GaussianMixtureField",
+    "SpectrumTemplates",
+    "FilterBank",
+    "magnitudes_from_spectrum",
+    "PhotozDataset",
+    "make_photoz_dataset",
+    "SkySample",
+    "sky_survey_sample",
+    "QueryWorkload",
+    "WorkloadQuery",
+]

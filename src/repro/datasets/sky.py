@@ -1,0 +1,144 @@
+"""The (ra, dec, redshift) sky: large-scale structure for Figure 14.
+
+"Our other point cloud visualization is that of the SDSS ra, dec,
+redshift space ... Using Hubble's law ... we can trivially compute the
+radial distance of celestial objects from redshift data.  This
+visualization thus shows the 3D spatial distribution of the celestial
+objects ... the large scale structure of the universe (e.g. Finger of
+God structures)" (§5.2).
+
+The generator places galaxy clusters, filaments between them, and a
+field population on the survey footprint.  Cluster members get the
+"Finger of God" treatment: their peculiar velocities inflate the
+redshift scatter along -- and only along -- the line of sight, producing
+the characteristic radial elongation the paper's Figure 14 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SkySample", "sky_survey_sample", "HUBBLE_CONSTANT"]
+
+#: km/s/Mpc; only the ratio with the speed of light matters here.
+HUBBLE_CONSTANT = 70.0
+_SPEED_OF_LIGHT = 299_792.458  # km/s
+
+
+@dataclass
+class SkySample:
+    """An (ra, dec, redshift) catalog with structure labels.
+
+    ``kind`` is 0 for field galaxies, 1 for cluster members, 2 for
+    filament members.
+    """
+
+    ra: np.ndarray  # degrees, [0, 360)
+    dec: np.ndarray  # degrees, [-90, 90]
+    redshift: np.ndarray
+    kind: np.ndarray
+
+    @property
+    def num_objects(self) -> int:
+        """Catalog size."""
+        return len(self.redshift)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Column dict for :meth:`repro.db.Database.create_table`."""
+        return {
+            "ra": self.ra,
+            "dec": self.dec,
+            "redshift": self.redshift,
+            "kind": self.kind.astype(np.int64),
+        }
+
+    def cartesian(self) -> np.ndarray:
+        """Comoving-ish 3-D positions via Hubble's law (Mpc), shape (n, 3).
+
+        The paper: "celestial objects farther away are receding faster
+        and thus have higher redshift (and these relations are linear)",
+        so distance = c z / H0.
+        """
+        distance = _SPEED_OF_LIGHT * self.redshift / HUBBLE_CONSTANT
+        ra_rad = np.radians(self.ra)
+        dec_rad = np.radians(self.dec)
+        return np.column_stack(
+            [
+                distance * np.cos(dec_rad) * np.cos(ra_rad),
+                distance * np.cos(dec_rad) * np.sin(ra_rad),
+                distance * np.sin(dec_rad),
+            ]
+        )
+
+
+def sky_survey_sample(
+    n: int,
+    num_clusters: int = 30,
+    cluster_fraction: float = 0.35,
+    filament_fraction: float = 0.25,
+    finger_of_god_kms: float = 700.0,
+    seed: int = 0,
+) -> SkySample:
+    """Draw a structured (ra, dec, z) catalog on a survey footprint.
+
+    Parameters
+    ----------
+    finger_of_god_kms:
+        Cluster velocity dispersion in km/s; converted to redshift
+        scatter purely along the line of sight (the radial "fingers").
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not (0.0 <= cluster_fraction + filament_fraction <= 1.0):
+        raise ValueError("cluster + filament fractions must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    footprint_ra = (120.0, 250.0)  # the SDSS northern cap, roughly
+    footprint_dec = (-5.0, 60.0)
+    z_range = (0.02, 0.25)
+
+    n_cluster = int(n * cluster_fraction)
+    n_filament = int(n * filament_fraction)
+    n_field = n - n_cluster - n_filament
+
+    centers_ra = rng.uniform(*footprint_ra, num_clusters)
+    centers_dec = rng.uniform(*footprint_dec, num_clusters)
+    centers_z = rng.uniform(*z_range, num_clusters)
+
+    ras, decs, zs, kinds = [], [], [], []
+
+    if n_field:
+        ras.append(rng.uniform(*footprint_ra, n_field))
+        decs.append(rng.uniform(*footprint_dec, n_field))
+        # Volume-weighted field redshifts: dN/dz ~ z^2 in a flat universe.
+        zs.append(
+            (rng.uniform(z_range[0] ** 3, z_range[1] ** 3, n_field)) ** (1.0 / 3.0)
+        )
+        kinds.append(np.zeros(n_field, dtype=np.int64))
+
+    if n_cluster:
+        which = rng.integers(0, num_clusters, n_cluster)
+        angular_size = 0.4 / (1.0 + 20.0 * centers_z[which])  # degrees, shrink with z
+        ras.append(centers_ra[which] + rng.normal(0, angular_size))
+        decs.append(centers_dec[which] + rng.normal(0, angular_size))
+        # Finger of God: peculiar velocities scatter z along the radial axis.
+        sigma_z = finger_of_god_kms / _SPEED_OF_LIGHT
+        zs.append(centers_z[which] + rng.normal(0, sigma_z, n_cluster))
+        kinds.append(np.ones(n_cluster, dtype=np.int64))
+
+    if n_filament:
+        a = rng.integers(0, num_clusters, n_filament)
+        b = rng.integers(0, num_clusters, n_filament)
+        t = rng.uniform(0, 1, n_filament)
+        ras.append(centers_ra[a] * (1 - t) + centers_ra[b] * t + rng.normal(0, 0.5, n_filament))
+        decs.append(centers_dec[a] * (1 - t) + centers_dec[b] * t + rng.normal(0, 0.5, n_filament))
+        zs.append(centers_z[a] * (1 - t) + centers_z[b] * t + rng.normal(0, 0.002, n_filament))
+        kinds.append(np.full(n_filament, 2, dtype=np.int64))
+
+    ra = np.mod(np.concatenate(ras), 360.0)
+    dec = np.clip(np.concatenate(decs), -90.0, 90.0)
+    redshift = np.clip(np.concatenate(zs), 1e-4, None)
+    kind = np.concatenate(kinds)
+    order = rng.permutation(len(ra))
+    return SkySample(ra=ra[order], dec=dec[order], redshift=redshift[order], kind=kind[order])

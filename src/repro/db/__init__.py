@@ -1,0 +1,83 @@
+"""A small paged column-store database engine.
+
+This package is the substrate that stands in for MS SQL Server 2005 in the
+paper.  The paper's central performance argument is about **disk I/O**:
+spatial indexes win because they cluster rows so a query touches only the
+pages that contribute output, while a full scan touches every page.  To
+reproduce those shapes faithfully we need an engine where "pages touched"
+is a first-class, measurable quantity:
+
+* :mod:`repro.db.pages` -- the page abstraction (a row-group of all
+  columns for a contiguous row range) and its binary serialization.
+* :mod:`repro.db.storage` -- page stores: in-memory (fast, counted) and
+  file-backed (real disk round trips), both reporting
+  :class:`repro.db.stats.IOStats`.
+* :mod:`repro.db.buffer_pool` -- an LRU buffer pool with a configurable
+  page budget, the analog of the server's RAM (the paper's 8 GB box).
+* :mod:`repro.db.table` -- typed, immutable tables with an optional
+  clustered order (the paper clusters the magnitude table on kd-leaf id /
+  Voronoi cell id / (Layer, ContainedBy)).
+* :mod:`repro.db.expressions` -- predicate ASTs evaluated page-at-a-time
+  with numpy, plus extraction of linear inequalities into
+  :class:`repro.geometry.Polyhedron` queries.
+* :mod:`repro.db.scan` -- full-scan and range-scan executors.
+* :mod:`repro.db.procedures` -- the stored-procedure registry (the CLR
+  stored procedures of the paper become registered Python callables that
+  run "inside" the engine, next to the data).
+"""
+
+from repro.db.stats import IOStats
+from repro.db.pages import Page, PageCodec
+from repro.db.storage import FileStorage, MemoryStorage, Storage
+from repro.db.buffer_pool import BufferPool
+from repro.db.table import ColumnSpec, Table
+from repro.db.catalog import Database
+from repro.db.expressions import (
+    Col,
+    Const,
+    Expr,
+    LinearExtractionError,
+    expression_to_polyhedron,
+)
+from repro.db.scan import full_scan, range_scan
+from repro.db.aggregates import aggregate_scan, count_rows
+from repro.db.procedures import ProcedureRegistry, procedure
+from repro.db.recovery import LoggedStorage, LogRecord
+from repro.db.persistence import attach_database, save_catalog
+from repro.db.projections import ProjectionSet, create_projection
+from repro.db.histogram import ColumnHistogram, HistogramStatistics
+from repro.db.sqlparse import SqlParseError, parse_where
+
+__all__ = [
+    "IOStats",
+    "Page",
+    "PageCodec",
+    "Storage",
+    "MemoryStorage",
+    "FileStorage",
+    "BufferPool",
+    "ColumnSpec",
+    "Table",
+    "Database",
+    "Expr",
+    "Col",
+    "Const",
+    "LinearExtractionError",
+    "expression_to_polyhedron",
+    "full_scan",
+    "range_scan",
+    "aggregate_scan",
+    "count_rows",
+    "ProcedureRegistry",
+    "procedure",
+    "LoggedStorage",
+    "LogRecord",
+    "save_catalog",
+    "attach_database",
+    "create_projection",
+    "ProjectionSet",
+    "ColumnHistogram",
+    "HistogramStatistics",
+    "parse_where",
+    "SqlParseError",
+]

@@ -1,0 +1,80 @@
+"""LRU buffer pool over a page store.
+
+The buffer pool is the engine's RAM: the paper's server had 8 GB (with AWE
+tricks to use it all); we model memory pressure as a configurable page
+budget.  A query that touches a small clustered range of pages runs from
+cache on repeat; a full scan of a table larger than the pool thrashes --
+exactly the contrast the layered grid / kd-tree / Voronoi indexes exploit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.db.pages import Page
+from repro.db.storage import Storage
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """A shared LRU cache of decoded pages keyed by ``(namespace, page_id)``.
+
+    Parameters
+    ----------
+    storage:
+        The backing page store.
+    capacity_pages:
+        Maximum number of pages held in memory; ``None`` means unbounded
+        (an "everything fits in RAM" configuration).
+    """
+
+    def __init__(self, storage: Storage, capacity_pages: int | None = 1024):
+        if capacity_pages is not None and capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1 or None")
+        self.storage = storage
+        self.capacity_pages = capacity_pages
+        self._cache: OrderedDict[tuple[str, int], Page] = OrderedDict()
+
+    @property
+    def stats(self):
+        """The storage backend's I/O statistics (hits/misses included)."""
+        return self.storage.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, namespace: str, page_id: int) -> Page:
+        """Fetch a page, from cache when possible."""
+        key = (namespace, page_id)
+        page = self._cache.get(key)
+        if page is not None:
+            self._cache.move_to_end(key)
+            self.storage.stats.cache_hits += 1
+            return page
+        self.storage.stats.cache_misses += 1
+        page = self.storage.read_page(namespace, page_id)
+        self._admit(key, page)
+        return page
+
+    def put(self, namespace: str, page: Page) -> None:
+        """Write a page through to storage and cache it."""
+        self.storage.write_page(namespace, page)
+        self._admit((namespace, page.page_id), page)
+
+    def _admit(self, key: tuple[str, int], page: Page) -> None:
+        self._cache[key] = page
+        self._cache.move_to_end(key)
+        if self.capacity_pages is not None:
+            while len(self._cache) > self.capacity_pages:
+                self._cache.popitem(last=False)
+
+    def invalidate(self, namespace: str) -> None:
+        """Drop every cached page of a namespace."""
+        stale = [key for key in self._cache if key[0] == namespace]
+        for key in stale:
+            del self._cache[key]
+
+    def clear(self) -> None:
+        """Empty the cache entirely (cold-cache experiments)."""
+        self._cache.clear()

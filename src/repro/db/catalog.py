@@ -1,0 +1,141 @@
+"""The database: storage + buffer pool + catalog of tables, indexes, procs.
+
+A :class:`Database` is the top-level handle users create first::
+
+    db = Database.in_memory(buffer_pages=512)
+    table = db.create_table("magnitudes", {"u": u, "g": g, ...})
+
+Spatial indexes register themselves in the catalog so stored procedures
+can find them by name, mirroring how the paper's CLR procedures resolve
+the index tables that live next to the data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.db.buffer_pool import BufferPool
+from repro.db.procedures import ProcedureRegistry
+from repro.db.stats import IOStats
+from repro.db.storage import FileStorage, MemoryStorage, Storage
+from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A catalog of tables and indexes over one storage backend."""
+
+    def __init__(self, storage: Storage, buffer_pages: int | None = 1024):
+        self.storage = storage
+        self.buffer_pool = BufferPool(storage, capacity_pages=buffer_pages)
+        self.procedures = ProcedureRegistry(self)
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Any] = {}
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def in_memory(buffer_pages: int | None = 1024) -> "Database":
+        """Database over in-process page storage (default for tests)."""
+        return Database(MemoryStorage(), buffer_pages=buffer_pages)
+
+    @staticmethod
+    def on_disk(root: str | os.PathLike, buffer_pages: int | None = 1024) -> "Database":
+        """Database over file-per-page storage (real disk round trips)."""
+        return Database(FileStorage(root), buffer_pages=buffer_pages)
+
+    # -- tables -----------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        data: dict[str, np.ndarray],
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        clustered_by: tuple[str, ...] | list[str] = (),
+    ) -> Table:
+        """Create and register a table; fails if the name is taken."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table.create(
+            self, name, data, rows_per_page=rows_per_page, clustered_by=clustered_by
+        )
+        self._tables[name] = table
+        return table
+
+    def adopt_table(self, table: Table) -> None:
+        """Register a table object whose pages already exist in storage.
+
+        Used by catalog persistence (reattaching a disk database) --
+        normal creation goes through :meth:`create_table`.
+        """
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r} in catalog") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table, its pages, and any indexes registered for it."""
+        self._tables.pop(name, None)
+        self.buffer_pool.invalidate(name)
+        self.storage.drop_namespace(name)
+        stale = [k for k, v in self._indexes.items() if getattr(v, "table_name", None) == name]
+        for key in stale:
+            del self._indexes[key]
+
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return sorted(self._tables)
+
+    # -- indexes ------------------------------------------------------------
+
+    def register_index(self, name: str, index: Any) -> None:
+        """Register a spatial index object under a catalog name."""
+        if name in self._indexes:
+            raise ValueError(f"index {name!r} already exists")
+        self._indexes[name] = index
+
+    def index(self, name: str) -> Any:
+        """Look up an index by name."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(f"no index {name!r} in catalog") from None
+
+    def index_names(self) -> list[str]:
+        """Names of all registered indexes."""
+        return sorted(self._indexes)
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def io_stats(self) -> IOStats:
+        """Live I/O counters of the storage backend."""
+        return self.storage.stats
+
+    def reset_io_stats(self) -> None:
+        """Zero the I/O counters (does not clear the buffer pool)."""
+        self.storage.stats.reset()
+
+    def cold_cache(self) -> None:
+        """Clear the buffer pool, simulating a restart / cold run."""
+        self.buffer_pool.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(tables={self.table_names()}, indexes={self.index_names()}, "
+            f"buffer_pages={self.buffer_pool.capacity_pages})"
+        )

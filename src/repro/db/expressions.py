@@ -1,0 +1,435 @@
+"""Predicate expression trees.
+
+The engine has no SQL parser; WHERE clauses are built as expression trees
+with Python operators::
+
+    g, r, i = Col("dered_g"), Col("dered_r"), Col("dered_i")
+    predicate = ((r - i - (g - r) / 4 - 0.18) < 0.2) & ((g - r) > 0.5)
+
+Trees evaluate page-at-a-time against the column arrays of a page.  The
+crucial extra capability -- the bridge from relational predicates to the
+spatial indexes -- is *linear extraction*: a conjunction of comparisons
+between linear combinations of columns (exactly the family of the paper's
+Figure 2 SkyServer queries) converts into a
+:class:`repro.geometry.Polyhedron` over a chosen column ordering, which
+the kd-tree and Voronoi indexes can then evaluate geometrically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.halfspace import Halfspace, Polyhedron
+
+__all__ = [
+    "Expr",
+    "Func",
+    "log10",
+    "Col",
+    "Const",
+    "LinearExtractionError",
+    "expression_to_polyhedron",
+    "expression_to_sql",
+]
+
+
+class LinearExtractionError(ValueError):
+    """Raised when an expression is not a conjunction of linear inequalities."""
+
+
+class Expr(abc.ABC):
+    """Base class of all expression nodes; supports operator composition."""
+
+    @abc.abstractmethod
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Evaluate against column arrays, returning an array result."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> set[str]:
+        """Column names this expression reads."""
+
+    # arithmetic -----------------------------------------------------------
+
+    def __add__(self, other) -> "Expr":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return BinOp("*", _wrap(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return BinOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return BinOp("/", _wrap(other), self)
+
+    def __neg__(self) -> "Expr":
+        return BinOp("-", Const(0.0), self)
+
+    # comparisons -----------------------------------------------------------
+
+    def __lt__(self, other) -> "Compare":
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other) -> "Compare":
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other) -> "Compare":
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other) -> "Compare":
+        return Compare(">=", self, _wrap(other))
+
+    # logic -------------------------------------------------------------------
+
+    def __and__(self, other) -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other) -> "Expr":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+def _wrap(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {type(value).__name__} in an expression")
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a table column by name."""
+
+    name: str
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return columns[self.name]
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:  # dataclass eq + Expr __lt__ overload
+        return hash(("Col", self.name))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.float64(self.value)
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class BinOp(Expr):
+    """Arithmetic node: ``left op right`` with op in ``+ - * /``."""
+
+    _ops = {
+        "+": np.add,
+        "-": np.subtract,
+        "*": np.multiply,
+        "/": np.divide,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in self._ops:
+            raise ValueError(f"unknown arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return self._ops[self.op](
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Func(Expr):
+    """Scalar function node: LOG10 / ABS / SQRT / POWER-free subset.
+
+    The paper's Figure 2 query uses ``LOG10`` inside its WHERE clause;
+    function nodes evaluate page-at-a-time like everything else but are
+    *nonlinear*, so linear extraction rejects them (the paper's framing:
+    nonlinear surfaces are broken into polyhedron queries separately).
+    """
+
+    _funcs = {
+        "log10": np.log10,
+        "abs": np.abs,
+        "sqrt": np.sqrt,
+        "exp": np.exp,
+    }
+
+    def __init__(self, name: str, operand: Expr):
+        lowered = name.lower()
+        if lowered not in self._funcs:
+            raise ValueError(f"unknown function {name!r}")
+        self.name = lowered
+        self.operand = operand
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return self._funcs[self.name](self.operand.evaluate(columns))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"{self.name.upper()}({self.operand!r})"
+
+
+def log10(operand) -> "Func":
+    """``LOG10(x)`` as an expression node."""
+    return Func("log10", _wrap(operand))
+
+
+class Compare(Expr):
+    """Comparison node; evaluates to a boolean mask."""
+
+    _ops = {
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in self._ops:
+            raise ValueError(f"unknown comparison op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return self._ops[self.op](
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expr):
+    """Logical conjunction of two boolean expressions."""
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_and(
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class Or(Expr):
+    """Logical disjunction of two boolean expressions."""
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_or(
+            self.left.evaluate(columns), self.right.evaluate(columns)
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class Not(Expr):
+    """Logical negation of a boolean expression."""
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.logical_not(self.operand.evaluate(columns))
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+# -- linear extraction -------------------------------------------------------
+
+
+def _linear_form(expr: Expr) -> tuple[dict[str, float], float]:
+    """Decompose an arithmetic expression into ``sum(coef_i * col_i) + const``.
+
+    Raises :class:`LinearExtractionError` on nonlinear structure.
+    """
+    if isinstance(expr, Const):
+        return {}, expr.value
+    if isinstance(expr, Col):
+        return {expr.name: 1.0}, 0.0
+    if isinstance(expr, BinOp):
+        left_coefs, left_const = _linear_form(expr.left)
+        right_coefs, right_const = _linear_form(expr.right)
+        if expr.op == "+":
+            coefs = dict(left_coefs)
+            for name, coef in right_coefs.items():
+                coefs[name] = coefs.get(name, 0.0) + coef
+            return coefs, left_const + right_const
+        if expr.op == "-":
+            coefs = dict(left_coefs)
+            for name, coef in right_coefs.items():
+                coefs[name] = coefs.get(name, 0.0) - coef
+            return coefs, left_const - right_const
+        if expr.op == "*":
+            if not right_coefs:
+                return (
+                    {n: c * right_const for n, c in left_coefs.items()},
+                    left_const * right_const,
+                )
+            if not left_coefs:
+                return (
+                    {n: c * left_const for n, c in right_coefs.items()},
+                    left_const * right_const,
+                )
+            raise LinearExtractionError("product of two non-constant expressions")
+        if expr.op == "/":
+            if right_coefs:
+                raise LinearExtractionError("division by a non-constant expression")
+            if right_const == 0.0:
+                raise LinearExtractionError("division by zero constant")
+            return (
+                {n: c / right_const for n, c in left_coefs.items()},
+                left_const / right_const,
+            )
+    raise LinearExtractionError(
+        f"non-arithmetic node {type(expr).__name__} inside a linear form"
+    )
+
+
+def _comparison_to_halfspace(expr: Compare, columns: list[str]) -> Halfspace:
+    """Convert ``linear <op> linear`` to ``normal . x <= offset``.
+
+    Strict and non-strict inequalities both map to the closed halfspace;
+    the difference is measure-zero for continuous data, matching how the
+    paper treats closed cell boundaries.
+    """
+    left_coefs, left_const = _linear_form(expr.left)
+    right_coefs, right_const = _linear_form(expr.right)
+    coefs = dict(left_coefs)
+    for name, coef in right_coefs.items():
+        coefs[name] = coefs.get(name, 0.0) - coef
+    const = left_const - right_const
+    if expr.op in (">", ">="):
+        coefs = {n: -c for n, c in coefs.items()}
+        const = -const
+    unknown = set(coefs) - set(columns)
+    if unknown:
+        raise LinearExtractionError(f"columns not in the index space: {sorted(unknown)}")
+    normal = np.array([coefs.get(name, 0.0) for name in columns])
+    if not np.any(normal != 0.0):
+        raise LinearExtractionError("comparison does not involve any index column")
+    return Halfspace(normal, -const)
+
+
+def _collect_conjuncts(expr: Expr, out: list[Compare]) -> None:
+    if isinstance(expr, And):
+        _collect_conjuncts(expr.left, out)
+        _collect_conjuncts(expr.right, out)
+    elif isinstance(expr, Compare):
+        out.append(expr)
+    else:
+        raise LinearExtractionError(
+            f"{type(expr).__name__} is not part of a conjunction of comparisons"
+        )
+
+
+def expression_to_polyhedron(expr: Expr, columns: list[str]) -> Polyhedron:
+    """Convert a conjunction of linear comparisons into a polyhedron.
+
+    Parameters
+    ----------
+    expr:
+        A tree of :class:`And` over :class:`Compare` nodes whose sides are
+        linear in the named columns (the Figure 2 query family).
+    columns:
+        The ordered column names that span the index space; the resulting
+        polyhedron lives in ``len(columns)`` dimensions with this axis
+        order.
+
+    Raises
+    ------
+    LinearExtractionError
+        For disjunctions, negations, nonlinear arithmetic, or references
+        to columns outside ``columns``.
+    """
+    conjuncts: list[Compare] = []
+    _collect_conjuncts(expr, conjuncts)
+    return Polyhedron([_comparison_to_halfspace(c, columns) for c in conjuncts])
+
+
+def expression_to_sql(expr: Expr) -> str:
+    """Render an expression as SQL-flavored text (display / logging only)."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Const):
+        return f"{expr.value:g}"
+    if isinstance(expr, BinOp):
+        return f"({expression_to_sql(expr.left)} {expr.op} {expression_to_sql(expr.right)})"
+    if isinstance(expr, Func):
+        return f"{expr.name.upper()}({expression_to_sql(expr.operand)})"
+    if isinstance(expr, Compare):
+        return f"({expression_to_sql(expr.left)} {expr.op} {expression_to_sql(expr.right)})"
+    if isinstance(expr, And):
+        return f"({expression_to_sql(expr.left)} AND {expression_to_sql(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({expression_to_sql(expr.left)} OR {expression_to_sql(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(NOT {expression_to_sql(expr.operand)})"
+    raise TypeError(f"cannot render {type(expr).__name__}")

@@ -1,0 +1,90 @@
+"""Catalog persistence: reattach a disk-backed database.
+
+:class:`~repro.db.storage.FileStorage` already keeps every page on
+disk; what a restart loses is the *catalog* -- which tables exist, their
+schemas, clustering, and page geometry.  :func:`save_catalog` writes
+that metadata as JSON next to the pages, and :func:`attach_database`
+rebuilds a :class:`~repro.db.catalog.Database` whose tables read the
+existing pages (indexes are rebuilt by their owners; the paper's
+database is static, so "reopen and re-register" is the whole recovery
+story under the simple recovery model).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.db.catalog import Database
+from repro.db.storage import FileStorage
+from repro.db.table import ColumnSpec, Table
+
+__all__ = ["save_catalog", "attach_database", "CATALOG_FILENAME"]
+
+CATALOG_FILENAME = "_catalog.json"
+
+
+def save_catalog(database: Database) -> Path:
+    """Write the table metadata of a file-backed database to disk."""
+    storage = database.storage
+    if not isinstance(storage, FileStorage):
+        raise TypeError("only file-backed databases can persist a catalog")
+    catalog = {
+        "version": 1,
+        "tables": [
+            {
+                "name": table.name,
+                "num_rows": table.num_rows,
+                "rows_per_page": table.rows_per_page,
+                "clustered_by": list(table.clustered_by),
+                "columns": [
+                    {"name": spec.name, "dtype": spec.dtype.str}
+                    for spec in table.specs
+                ],
+            }
+            for table in (database.table(n) for n in database.table_names())
+        ],
+    }
+    path = storage.root / CATALOG_FILENAME
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(catalog, fh, indent=2)
+    return path
+
+
+def attach_database(
+    root: str | os.PathLike, buffer_pages: int | None = 1024
+) -> Database:
+    """Reopen a persisted database: pages from disk, catalog from JSON."""
+    root = Path(root)
+    path = root / CATALOG_FILENAME
+    if not path.is_file():
+        raise FileNotFoundError(f"no catalog at {path}")
+    with open(path, encoding="utf-8") as fh:
+        catalog = json.load(fh)
+    if catalog.get("version") != 1:
+        raise ValueError(f"unsupported catalog version {catalog.get('version')!r}")
+    database = Database.on_disk(root, buffer_pages=buffer_pages)
+    for meta in catalog["tables"]:
+        specs = [
+            ColumnSpec(col["name"], np.dtype(col["dtype"]))
+            for col in meta["columns"]
+        ]
+        table = Table(
+            database,
+            meta["name"],
+            specs,
+            meta["num_rows"],
+            meta["rows_per_page"],
+            clustered_by=tuple(meta["clustered_by"]),
+        )
+        stored = database.storage.num_pages(meta["name"])
+        if stored != table.num_pages:
+            raise ValueError(
+                f"table {meta['name']!r} expects {table.num_pages} pages, "
+                f"found {stored} on disk"
+            )
+        database.adopt_table(table)
+    return database

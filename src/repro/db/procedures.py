@@ -1,0 +1,87 @@
+"""Stored procedures: code that runs next to the data.
+
+The paper's analysis code is implemented as CLR stored procedures so that
+"code is running in the same place where data is stored" (§1).  The
+Python analog is a registry of callables bound to a
+:class:`~repro.db.catalog.Database`: procedures receive the database as
+their first argument and are invoked by name, so examples and the
+visualization producers interact with the engine exactly the way the
+paper's clients call ``EXEC`` on the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.catalog import Database
+
+__all__ = ["ProcedureRegistry", "procedure"]
+
+
+@dataclass
+class _Procedure:
+    name: str
+    func: Callable
+    description: str
+    call_count: int = 0
+
+
+@dataclass
+class ProcedureRegistry:
+    """Named procedures bound to one database."""
+
+    database: "Database"
+    _procs: dict[str, _Procedure] = field(default_factory=dict)
+
+    def register(
+        self, name: str, func: Callable, description: str = ""
+    ) -> None:
+        """Register ``func`` under ``name``; the name must be unused."""
+        if name in self._procs:
+            raise ValueError(f"procedure {name!r} already registered")
+        self._procs[name] = _Procedure(
+            name=name,
+            func=func,
+            description=description or (func.__doc__ or "").strip().split("\n")[0],
+        )
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke a procedure by name, passing the database first."""
+        try:
+            proc = self._procs[name]
+        except KeyError:
+            raise KeyError(f"no procedure {name!r} registered") from None
+        proc.call_count += 1
+        return proc.func(self.database, *args, **kwargs)
+
+    def names(self) -> list[str]:
+        """Registered procedure names."""
+        return sorted(self._procs)
+
+    def describe(self, name: str) -> str:
+        """One-line description of a procedure."""
+        return self._procs[name].description
+
+    def call_count(self, name: str) -> int:
+        """How many times a procedure has been invoked."""
+        return self._procs[name].call_count
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procs
+
+
+def procedure(registry: ProcedureRegistry, name: str, description: str = ""):
+    """Decorator form of :meth:`ProcedureRegistry.register`::
+
+        @procedure(db.procedures, "spGetNearestNeighbors")
+        def nearest(db, point, k):
+            ...
+    """
+
+    def decorator(func: Callable) -> Callable:
+        registry.register(name, func, description=description)
+        return func
+
+    return decorator

@@ -1,0 +1,115 @@
+"""Materialized projections: the covering-index analog.
+
+The paper's magnitude table is 53 GB with 300+ columns per object, but
+the visualization "adaptively visualizes the first three principal
+components" and most color cuts touch five columns.  A real server
+avoids dragging the wide rows through the buffer pool by building a
+*covering index* / narrow materialized projection.  This module adds
+that to the engine:
+
+* :func:`create_projection` materializes selected columns as a narrow
+  table (optionally with its own clustered order);
+* :class:`ProjectionSet` routes a scan to the narrowest projection that
+  covers the referenced columns, falling back to the base table.
+
+Because pages are row groups, the win is real I/O: the same rows in a
+narrow table occupy proportionally fewer bytes (and fewer pages at equal
+rows-per-page budgets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.catalog import Database
+from repro.db.expressions import Expr
+from repro.db.scan import full_scan
+from repro.db.stats import QueryStats
+from repro.db.table import Table
+
+__all__ = ["create_projection", "ProjectionSet"]
+
+
+def create_projection(
+    database: Database,
+    source: Table,
+    name: str,
+    columns: list[str],
+    rows_per_page: int | None = None,
+    clustered_by: tuple[str, ...] | list[str] = (),
+) -> Table:
+    """Materialize ``columns`` of ``source`` as a narrow table.
+
+    Row order follows the source unless ``clustered_by`` re-sorts; when
+    the order is preserved, ``_row_id`` values line up between the base
+    table and the projection (so results can be joined back trivially).
+    ``rows_per_page`` defaults to packing the same *byte* budget per
+    page as the source, which is what makes narrow scans cheaper in
+    pages, not just bytes.
+    """
+    missing = [c for c in columns if c not in source.column_names]
+    if missing:
+        raise KeyError(f"source has no columns {missing}")
+    data = source.read_columns(list(columns))
+    if rows_per_page is None:
+        source_row_bytes = sum(
+            source.dtype_of(c).itemsize for c in source.column_names
+        )
+        projection_row_bytes = max(
+            1, sum(source.dtype_of(c).itemsize for c in columns)
+        )
+        rows_per_page = max(
+            1,
+            int(source.rows_per_page * source_row_bytes / projection_row_bytes),
+        )
+    return database.create_table(
+        name,
+        data,
+        rows_per_page=rows_per_page,
+        clustered_by=clustered_by,
+    )
+
+
+class ProjectionSet:
+    """Routes scans to the narrowest covering projection."""
+
+    def __init__(self, base: Table):
+        self.base = base
+        self._projections: list[Table] = []
+
+    def add(self, projection: Table) -> None:
+        """Register a projection (must not out-row the base)."""
+        if projection.num_rows != self.base.num_rows:
+            raise ValueError("projection row count differs from the base table")
+        self._projections.append(projection)
+
+    def route(self, columns: set[str]) -> Table:
+        """The cheapest table covering ``columns`` (fewest bytes per row)."""
+        candidates = [self.base] + [
+            p for p in self._projections if columns <= set(p.column_names)
+        ]
+        if not columns <= set(self.base.column_names):
+            raise KeyError(
+                f"columns {sorted(columns - set(self.base.column_names))} "
+                "not in the base table"
+            )
+
+        def row_bytes(table: Table) -> int:
+            return sum(table.dtype_of(c).itemsize for c in table.column_names)
+
+        return min(candidates, key=row_bytes)
+
+    def scan(
+        self, predicate: Expr, columns: list[str] | None = None
+    ) -> tuple[dict[str, np.ndarray], QueryStats, str]:
+        """Full scan through the routed table.
+
+        Returns ``(rows, stats, table_name)`` so callers can see which
+        projection served the query.
+        """
+        needed = set(predicate.referenced_columns())
+        if columns:
+            needed |= set(columns)
+        table = self.route(needed)
+        rows, stats = full_scan(table, predicate=predicate, columns=columns)
+        return rows, stats, table.name

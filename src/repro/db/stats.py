@@ -1,0 +1,107 @@
+"""I/O and execution statistics.
+
+Every performance claim in the reproduction is expressed in terms of these
+counters (pages read, cache hits, rows filtered), because wall-clock time
+in pure Python does not transfer from the paper's testbed while the I/O
+profile does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats", "QueryStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable counters shared by a storage backend and its buffer pool."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Counter differences relative to an earlier snapshot."""
+        return IOStats(
+            page_reads=self.page_reads - earlier.page_reads,
+            page_writes=self.page_writes - earlier.page_writes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"IOStats(reads={self.page_reads}, writes={self.page_writes}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )
+
+
+@dataclass
+class QueryStats:
+    """Per-query execution statistics returned next to result sets.
+
+    ``pages_touched`` counts *distinct* pages: two leaf ranges sharing a
+    boundary page cost one page fetch, exactly as they do through the
+    buffer pool.  Executors report pages via :meth:`record_page`.
+    """
+
+    rows_examined: int = 0
+    rows_returned: int = 0
+    cells_inside: int = 0
+    cells_outside: int = 0
+    cells_partial: int = 0
+    nodes_visited: int = 0
+    extra: dict = field(default_factory=dict)
+    _pages: set = field(default_factory=set, repr=False)
+
+    @property
+    def pages_touched(self) -> int:
+        """Number of distinct pages this query read."""
+        return len(self._pages)
+
+    def record_page(self, namespace: str, page_id: int) -> None:
+        """Note that a page was read on behalf of this query."""
+        self._pages.add((namespace, page_id))
+
+    @property
+    def filter_efficiency(self) -> float:
+        """Fraction of examined rows that made it into the result."""
+        if self.rows_examined == 0:
+            return 1.0
+        return self.rows_returned / self.rows_examined
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters into this one."""
+        self._pages |= other._pages
+        self.rows_examined += other.rows_examined
+        self.rows_returned += other.rows_returned
+        self.cells_inside += other.cells_inside
+        self.cells_outside += other.cells_outside
+        self.cells_partial += other.cells_partial
+        self.nodes_visited += other.nodes_visited

@@ -1,0 +1,126 @@
+"""Page storage backends.
+
+Two backends share one interface:
+
+* :class:`MemoryStorage` keeps encoded page bytes in a dict.  Reads still
+  decode bytes, so the relative cost of touching a page is non-trivial and
+  the I/O counters are exact; this is the default for tests and most
+  benchmarks.
+* :class:`FileStorage` writes one file per page under a directory and
+  reads them back through the OS, giving real disk round trips for
+  experiments that want them (the out-of-core story of the paper).
+
+Storage is deliberately dumb: no caching here.  Caching lives in
+:class:`repro.db.buffer_pool.BufferPool`, so that cache hits and misses
+are attributable.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+
+from repro.db.pages import Page, PageCodec
+from repro.db.stats import IOStats
+
+__all__ = ["Storage", "MemoryStorage", "FileStorage"]
+
+
+class Storage(abc.ABC):
+    """Abstract page store keyed by ``(namespace, page_id)``.
+
+    A namespace is a table name; page ids are dense per namespace.
+    """
+
+    def __init__(self) -> None:
+        self.stats = IOStats()
+
+    @abc.abstractmethod
+    def write_page(self, namespace: str, page: Page) -> None:
+        """Persist a page (overwrites an existing page with the same id)."""
+
+    @abc.abstractmethod
+    def read_page(self, namespace: str, page_id: int) -> Page:
+        """Load a page; raises ``KeyError`` when absent."""
+
+    @abc.abstractmethod
+    def num_pages(self, namespace: str) -> int:
+        """Number of pages stored under a namespace."""
+
+    @abc.abstractmethod
+    def drop_namespace(self, namespace: str) -> None:
+        """Remove all pages of a namespace (no-op when absent)."""
+
+
+class MemoryStorage(Storage):
+    """Encoded pages held in process memory with exact I/O accounting."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pages: dict[str, dict[int, bytes]] = {}
+
+    def write_page(self, namespace: str, page: Page) -> None:
+        data = PageCodec.encode(page)
+        self._pages.setdefault(namespace, {})[page.page_id] = data
+        self.stats.page_writes += 1
+        self.stats.bytes_written += len(data)
+
+    def read_page(self, namespace: str, page_id: int) -> Page:
+        data = self._pages[namespace][page_id]
+        self.stats.page_reads += 1
+        self.stats.bytes_read += len(data)
+        return PageCodec.decode(data)
+
+    def num_pages(self, namespace: str) -> int:
+        return len(self._pages.get(namespace, {}))
+
+    def drop_namespace(self, namespace: str) -> None:
+        self._pages.pop(namespace, None)
+
+
+class FileStorage(Storage):
+    """One file per page under ``root/namespace/``; real disk I/O."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _page_path(self, namespace: str, page_id: int) -> Path:
+        return self.root / namespace / f"{page_id:08d}.page"
+
+    def write_page(self, namespace: str, page: Page) -> None:
+        path = self._page_path(namespace, page.page_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = PageCodec.encode(page)
+        with open(path, "wb") as fh:
+            fh.write(data)
+        self.stats.page_writes += 1
+        self.stats.bytes_written += len(data)
+
+    def read_page(self, namespace: str, page_id: int) -> Page:
+        path = self._page_path(namespace, page_id)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            raise KeyError((namespace, page_id)) from None
+        self.stats.page_reads += 1
+        self.stats.bytes_read += len(data)
+        return PageCodec.decode(data)
+
+    def num_pages(self, namespace: str) -> int:
+        directory = self.root / namespace
+        if not directory.is_dir():
+            return 0
+        return sum(1 for entry in directory.iterdir() if entry.suffix == ".page")
+
+    def drop_namespace(self, namespace: str) -> None:
+        directory = self.root / namespace
+        if not directory.is_dir():
+            return
+        for entry in directory.iterdir():
+            if entry.suffix == ".page":
+                entry.unlink()
+        directory.rmdir()

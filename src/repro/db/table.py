@@ -1,0 +1,261 @@
+"""Typed, paged, optionally clustered tables.
+
+Tables are static once created (the paper: "we assume that the database is
+static ... no new data is inserted", §3), which lets the engine lay rows
+out in a *clustered order* at creation time.  Clustering is the mechanism
+every index in the paper leans on:
+
+* the layered grid clusters on ``(Layer, ContainedBy)``;
+* the kd-tree clusters on leaf id (post-order numbering makes subtree
+  retrieval a contiguous ``BETWEEN``);
+* the Voronoi index clusters on space-filling-curve cell id.
+
+Rows of a clustered key range then live on a contiguous run of pages, so
+"rows returned / pages touched" approaches the page size -- the paper's
+"practically only points which are actually returned are read from disk".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.db.pages import Page
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.db.catalog import Database
+
+__all__ = ["ColumnSpec", "Table", "DEFAULT_ROWS_PER_PAGE"]
+
+#: Default rows per page.  A real 8 KB page holds ~130 rows of the SDSS
+#: magnitude schema (5 float64 magnitudes + id columns); 128 keeps the
+#: arithmetic round.
+DEFAULT_ROWS_PER_PAGE = 128
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and dtype of one column."""
+
+    name: str
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+
+class Table:
+    """An immutable paged table.
+
+    Use :meth:`Table.create` (usually via
+    :meth:`repro.db.catalog.Database.create_table`) rather than the
+    constructor.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        name: str,
+        specs: list[ColumnSpec],
+        num_rows: int,
+        rows_per_page: int,
+        clustered_by: tuple[str, ...] = (),
+    ):
+        self._db = database
+        self.name = name
+        self.specs = list(specs)
+        self.num_rows = num_rows
+        self.rows_per_page = rows_per_page
+        self.clustered_by = clustered_by
+
+    # -- creation ------------------------------------------------------------
+
+    @staticmethod
+    def create(
+        database: "Database",
+        name: str,
+        data: dict[str, np.ndarray],
+        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        clustered_by: tuple[str, ...] | list[str] = (),
+    ) -> "Table":
+        """Materialize a table from column arrays.
+
+        Parameters
+        ----------
+        data:
+            Mapping of column name to a 1-d array; all columns must share
+            their length.
+        clustered_by:
+            Column names to sort rows by (lexicographic, stable) before
+            paging -- the clustered index of the paper.
+        """
+        if not data:
+            raise ValueError("table needs at least one column")
+        lengths = {len(arr) for arr in data.values()}
+        if len(lengths) != 1:
+            raise ValueError("all columns must have equal length")
+        num_rows = lengths.pop()
+        if rows_per_page < 1:
+            raise ValueError("rows_per_page must be >= 1")
+
+        columns = {name_: np.asarray(arr) for name_, arr in data.items()}
+        clustered_by = tuple(clustered_by)
+        if clustered_by:
+            missing = [c for c in clustered_by if c not in columns]
+            if missing:
+                raise KeyError(f"clustered_by columns not in table: {missing}")
+            order = np.lexsort([columns[c] for c in reversed(clustered_by)])
+            columns = {name_: arr[order] for name_, arr in columns.items()}
+
+        specs = [ColumnSpec(name_, arr.dtype) for name_, arr in columns.items()]
+        table = Table(
+            database,
+            name,
+            specs,
+            num_rows,
+            rows_per_page,
+            clustered_by=clustered_by,
+        )
+        for page_id in range(table.num_pages):
+            start = page_id * rows_per_page
+            stop = min(start + rows_per_page, num_rows)
+            page = Page(
+                page_id=page_id,
+                start_row=start,
+                columns={n: np.ascontiguousarray(a[start:stop]) for n, a in columns.items()},
+            )
+            database.buffer_pool.put(name, page)
+        return table
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages the table occupies."""
+        if self.num_rows == 0:
+            return 0
+        return (self.num_rows + self.rows_per_page - 1) // self.rows_per_page
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the columns in storage order."""
+        return [spec.name for spec in self.specs]
+
+    def page_of_row(self, row_id: int) -> int:
+        """Page id holding a global row id."""
+        if not (0 <= row_id < self.num_rows):
+            raise IndexError(f"row {row_id} out of range [0, {self.num_rows})")
+        return row_id // self.rows_per_page
+
+    # -- access ----------------------------------------------------------------
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch one page through the buffer pool."""
+        if not (0 <= page_id < self.num_pages):
+            raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
+        return self._db.buffer_pool.get(self.name, page_id)
+
+    def scan(self) -> Iterator[Page]:
+        """Yield every page in order: the full table scan."""
+        for page_id in range(self.num_pages):
+            yield self.read_page(page_id)
+
+    def scan_rows(self, start_row: int, stop_row: int) -> Iterator[tuple[Page, int, int]]:
+        """Yield ``(page, local_lo, local_hi)`` covering ``[start_row, stop_row)``.
+
+        This is the engine's ``BETWEEN`` on the clustered position: only
+        the pages overlapping the row range are touched.
+        """
+        start_row = max(0, start_row)
+        stop_row = min(self.num_rows, stop_row)
+        if start_row >= stop_row:
+            return
+        first = start_row // self.rows_per_page
+        last = (stop_row - 1) // self.rows_per_page
+        for page_id in range(first, last + 1):
+            page = self.read_page(page_id)
+            lo = max(start_row - page.start_row, 0)
+            hi = min(stop_row - page.start_row, page.num_rows)
+            yield page, lo, hi
+
+    def read_rows(self, start_row: int, stop_row: int) -> dict[str, np.ndarray]:
+        """Materialize the columns of a contiguous row range."""
+        chunks: dict[str, list[np.ndarray]] = {n: [] for n in self.column_names}
+        for page, lo, hi in self.scan_rows(start_row, stop_row):
+            for name_, arr in page.columns.items():
+                chunks[name_].append(arr[lo:hi])
+        return {
+            name_: (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=self.dtype_of(name_))
+            )
+            for name_, parts in chunks.items()
+        }
+
+    def gather(self, row_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Fetch arbitrary rows by global row id (results in given order).
+
+        Row ids are grouped by page so each page is touched once per call.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if row_ids.size == 0:
+            return {n: np.empty(0, dtype=self.dtype_of(n)) for n in self.column_names}
+        if row_ids.min() < 0 or row_ids.max() >= self.num_rows:
+            raise IndexError("row ids out of range")
+        out = {
+            n: np.empty(len(row_ids), dtype=self.dtype_of(n))
+            for n in self.column_names
+        }
+        page_ids = row_ids // self.rows_per_page
+        order = np.argsort(page_ids, kind="stable")
+        sorted_rows = row_ids[order]
+        sorted_pages = page_ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_pages)) + 1
+        for group in np.split(np.arange(len(sorted_rows)), boundaries):
+            page = self.read_page(int(sorted_pages[group[0]]))
+            local = sorted_rows[group] - page.start_row
+            for name_, arr in page.columns.items():
+                out[name_][order[group]] = arr[local]
+        return out
+
+    def read_column(self, name: str) -> np.ndarray:
+        """Materialize a full column (touches every page)."""
+        parts = [page.columns[name] for page in self.scan()]
+        if not parts:
+            return np.empty(0, dtype=self.dtype_of(name))
+        return np.concatenate(parts)
+
+    def read_columns(self, names: list[str]) -> dict[str, np.ndarray]:
+        """Materialize several full columns with one pass over the pages."""
+        parts: dict[str, list[np.ndarray]] = {n: [] for n in names}
+        for page in self.scan():
+            for name_ in names:
+                parts[name_].append(page.columns[name_])
+        return {
+            name_: (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0, dtype=self.dtype_of(name_))
+            )
+            for name_, chunks in parts.items()
+        }
+
+    def dtype_of(self, name: str) -> np.dtype:
+        """Storage dtype of a column."""
+        for spec in self.specs:
+            if spec.name == name:
+                return spec.dtype
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    # Backwards-compatible internal alias.
+    _dtype_of = dtype_of
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.column_names)
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, pages={self.num_pages}, "
+            f"columns=[{cols}], clustered_by={list(self.clustered_by)})"
+        )

@@ -1,0 +1,34 @@
+"""Geometric primitives for multidimensional spatial indexing.
+
+This package provides the geometry substrate the indexes are built on:
+
+* :mod:`repro.geometry.boxes` -- axis-aligned bounding boxes in any
+  dimension, with intersection / containment / distance algebra.
+* :mod:`repro.geometry.halfspace` -- halfspaces and convex polyhedra
+  (intersections of halfspaces), the query shape of the paper: complex
+  SkyServer WHERE clauses are conjunctions of linear inequalities over
+  magnitudes, i.e. convex polyhedra in color space.
+* :mod:`repro.geometry.sfc` -- space-filling curves (Morton / Z-order and
+  Hilbert) used to number Voronoi cells and grid cells so that nearby
+  cells land on nearby disk pages.
+* :mod:`repro.geometry.distance` -- metrics and the whitening transform
+  the paper applies before using the Euclidean metric.
+"""
+
+from repro.geometry.boxes import Box, BoxRelation
+from repro.geometry.halfspace import Halfspace, Polyhedron
+from repro.geometry.sfc import hilbert_index, morton_index, morton_sort_key
+from repro.geometry.distance import Whitener, euclidean, minkowski
+
+__all__ = [
+    "Box",
+    "BoxRelation",
+    "Halfspace",
+    "Polyhedron",
+    "Whitener",
+    "euclidean",
+    "minkowski",
+    "morton_index",
+    "morton_sort_key",
+    "hilbert_index",
+]

@@ -1,0 +1,244 @@
+"""Axis-aligned boxes in arbitrary dimension.
+
+Boxes are the work-horse of the kd-tree index (every node owns one) and of
+the layered uniform grid (query boxes, grid cells).  A box is a closed
+product of intervals ``[lo_i, hi_i]``.  All coordinates are stored as
+float64 numpy arrays; boxes are immutable value objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Box", "BoxRelation"]
+
+
+class BoxRelation(enum.Enum):
+    """Classification of one region against another.
+
+    Mirrors the three colors of the paper's Figure 4: cells fully inside
+    the query polyhedron (purple) are bulk-returned, cells fully outside
+    (empty) are rejected, and partially covered cells (red) need a
+    per-point residual filter.
+    """
+
+    OUTSIDE = "outside"
+    PARTIAL = "partial"
+    INSIDE = "inside"
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo, hi]`` in d dimensions.
+
+    Parameters
+    ----------
+    lo, hi:
+        Arrays of shape ``(d,)`` with ``lo <= hi`` componentwise.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    _dim: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        if lo.ndim != 1 or hi.ndim != 1 or lo.shape != hi.shape:
+            raise ValueError("lo and hi must be 1-d arrays of equal length")
+        if np.any(lo > hi):
+            raise ValueError(f"box has lo > hi: lo={lo}, hi={hi}")
+        lo.setflags(write=False)
+        hi.setflags(write=False)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "_dim", lo.shape[0])
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def from_points(points: np.ndarray, pad: float = 0.0) -> "Box":
+        """Bounding box of a point set, optionally padded on every side."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        return Box(points.min(axis=0) - pad, points.max(axis=0) + pad)
+
+    @staticmethod
+    def unit(dim: int) -> "Box":
+        """The unit cube ``[0, 1]^dim``."""
+        return Box(np.zeros(dim), np.ones(dim))
+
+    @staticmethod
+    def cube(center: np.ndarray, half_width: float) -> "Box":
+        """Axis-aligned cube of side ``2 * half_width`` around ``center``."""
+        center = np.asarray(center, dtype=np.float64)
+        return Box(center - half_width, center + half_width)
+
+    # -- basic properties -----------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the box."""
+        return self._dim
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric center of the box."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Side lengths along each axis."""
+        return self.hi - self.lo
+
+    @property
+    def volume(self) -> float:
+        """Product of the side lengths."""
+        return float(np.prod(self.widths))
+
+    @property
+    def elongation(self) -> float:
+        """Longest-to-shortest side ratio (inf for degenerate boxes).
+
+        The paper notes that kd-tree boxes over the SDSS distribution tend
+        to be very elongated, unlike the "round" Voronoi cells; this metric
+        quantifies that (E5).
+        """
+        widths = self.widths
+        shortest = widths.min()
+        if shortest <= 0.0:
+            return float("inf")
+        return float(widths.max() / shortest)
+
+    # -- predicates ------------------------------------------------------
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies in the closed box."""
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(point >= self.lo) and np.all(point <= self.hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership mask for an ``(n, d)`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.all((points >= self.lo) & (points <= self.hi), axis=1)
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return bool(np.all(other.lo >= self.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "Box") -> bool:
+        """Whether the closed boxes share at least one point."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def relation_to(self, other: "Box") -> BoxRelation:
+        """Classify *this* box against ``other``.
+
+        ``INSIDE`` means self is fully contained in other, ``OUTSIDE``
+        means they are disjoint, ``PARTIAL`` otherwise.
+        """
+        if not self.intersects(other):
+            return BoxRelation.OUTSIDE
+        if other.contains_box(self):
+            return BoxRelation.INSIDE
+        return BoxRelation.PARTIAL
+
+    # -- algebra ----------------------------------------------------------
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlap box, or ``None`` when the boxes are disjoint."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return None
+        return Box(lo, hi)
+
+    def union_bounds(self, other: "Box") -> "Box":
+        """Smallest box enclosing both operands."""
+        return Box(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def expanded(self, pad: float) -> "Box":
+        """Box grown by ``pad`` on every side (may shrink if pad < 0)."""
+        return Box(self.lo - pad, self.hi + pad)
+
+    def split(self, axis: int, value: float) -> "tuple[Box, Box]":
+        """Split into (low side, high side) at ``value`` along ``axis``.
+
+        Both halves are closed and share the cut plane, matching the
+        closed-box semantics the kd-tree uses (a point exactly on the
+        median plane is assigned to exactly one side by the *builder*, but
+        geometric routines treat both halves as closed).
+        """
+        if not (self.lo[axis] <= value <= self.hi[axis]):
+            raise ValueError(
+                f"cut {value} outside box extent "
+                f"[{self.lo[axis]}, {self.hi[axis]}] on axis {axis}"
+            )
+        lo_hi = self.hi.copy()
+        lo_hi[axis] = value
+        hi_lo = self.lo.copy()
+        hi_lo[axis] = value
+        return Box(self.lo, lo_hi), Box(hi_lo, self.hi)
+
+    # -- distances --------------------------------------------------------
+
+    def min_distance_to_point(self, point: np.ndarray) -> float:
+        """Euclidean distance from ``point`` to the nearest point of the box.
+
+        Zero when the point is inside.  This is the classic kd-tree
+        pruning bound.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        delta = np.maximum(self.lo - point, 0.0)
+        delta = np.maximum(delta, point - self.hi)
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    def max_distance_to_point(self, point: np.ndarray) -> float:
+        """Distance from ``point`` to the farthest corner of the box."""
+        point = np.asarray(point, dtype=np.float64)
+        delta = np.maximum(np.abs(point - self.lo), np.abs(point - self.hi))
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    # -- corners and faces --------------------------------------------------
+
+    def corners(self) -> np.ndarray:
+        """All ``2^d`` corner points, shape ``(2**d, d)``.
+
+        Only sensible for small d (the kd-tree boundary-point k-NN uses
+        this on 3-5 dimensional boxes; 2^5 = 32 corners).
+        """
+        d = self.dim
+        if d > 16:
+            raise ValueError("corner enumeration is exponential; d too large")
+        bounds = np.stack([self.lo, self.hi])  # (2, d)
+        grid = np.indices((2,) * d).reshape(d, -1).T  # (2**d, d) of 0/1
+        return bounds[grid, np.arange(d)]
+
+    def project_point_to_faces(self, point: np.ndarray) -> np.ndarray:
+        """Projections of ``point`` onto each of the ``2d`` face planes.
+
+        Used by the paper's boundary-point k-NN (§3.3): boundary points are
+        box vertices plus "the projection of p (along the coordinates)
+        onto the faces of the kd-boxes examined".  Each projection clamps
+        the point into the box and then pins one coordinate to a face.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        clamped = np.clip(point, self.lo, self.hi)
+        projections = np.empty((2 * self.dim, self.dim))
+        for axis in range(self.dim):
+            low_face = clamped.copy()
+            low_face[axis] = self.lo[axis]
+            high_face = clamped.copy()
+            high_face[axis] = self.hi[axis]
+            projections[2 * axis] = low_face
+            projections[2 * axis + 1] = high_face
+        return projections
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.lo, self.hi)
+        )
+        return f"Box({parts})"

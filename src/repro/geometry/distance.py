@@ -1,0 +1,104 @@
+"""Metrics and whitening.
+
+"We use the natural Euclidian metric; after whitening this should give
+correct results" (§3.4).  The Voronoi index and the k-NN procedures assume
+a meaningful Euclidean distance, which the paper obtains by whitening the
+color space (zero mean, unit covariance).  :class:`Whitener` implements
+that transform (full ZCA or diagonal standardization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["euclidean", "minkowski", "squared_distances", "Whitener"]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    diff = np.asarray(a, float) - np.asarray(b, float)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def minkowski(a: np.ndarray, b: np.ndarray, p: float = 2.0) -> float:
+    """Minkowski distance of order ``p`` between two points."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    diff = np.abs(np.asarray(a, float) - np.asarray(b, float))
+    if np.isinf(p):
+        return float(diff.max())
+    return float(np.sum(diff**p) ** (1.0 / p))
+
+
+def squared_distances(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from every row of ``points`` to ``query``.
+
+    Kept squared so k-NN inner loops avoid the sqrt until the end.
+    """
+    diff = np.asarray(points, float) - np.asarray(query, float)
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+class Whitener:
+    """Affine whitening transform fit on a sample.
+
+    Parameters
+    ----------
+    mode:
+        ``"zca"`` whitens with the inverse principal square root of the
+        covariance (rotation-free whitening); ``"std"`` only standardizes
+        each axis (divide by standard deviation), which preserves axis
+        alignment -- useful when downstream structures (grids, kd-trees)
+        are axis-aligned.
+    """
+
+    def __init__(self, mode: str = "std"):
+        if mode not in ("zca", "std"):
+            raise ValueError("mode must be 'zca' or 'std'")
+        self.mode = mode
+        self._mean: np.ndarray | None = None
+        self._transform: np.ndarray | None = None
+        self._inverse: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mean is not None
+
+    def fit(self, points: np.ndarray) -> "Whitener":
+        """Estimate the transform from a point sample."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] < 2:
+            raise ValueError("need an (n >= 2, d) sample to fit")
+        self._mean = points.mean(axis=0)
+        if self.mode == "std":
+            std = points.std(axis=0)
+            std[std == 0.0] = 1.0
+            self._transform = np.diag(1.0 / std)
+            self._inverse = np.diag(std)
+        else:
+            cov = np.cov(points, rowvar=False)
+            cov = np.atleast_2d(cov)
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            eigvals = np.maximum(eigvals, 1e-12)
+            self._transform = eigvecs @ np.diag(eigvals**-0.5) @ eigvecs.T
+            self._inverse = eigvecs @ np.diag(eigvals**0.5) @ eigvecs.T
+        return self
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Apply the whitening transform to points (any leading shape)."""
+        if not self.is_fitted:
+            raise RuntimeError("Whitener not fitted")
+        points = np.asarray(points, dtype=np.float64)
+        return (points - self._mean) @ self._transform.T
+
+    def inverse_transform(self, points: np.ndarray) -> np.ndarray:
+        """Map whitened coordinates back to the original space."""
+        if not self.is_fitted:
+            raise RuntimeError("Whitener not fitted")
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self._inverse.T + self._mean
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Fit on ``points`` then transform them."""
+        return self.fit(points).transform(points)

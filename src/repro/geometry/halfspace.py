@@ -1,0 +1,246 @@
+"""Halfspaces and convex polyhedra.
+
+The paper's query shapes: "scientific questions are hence transformed into
+queries which are hyper planes (linear theories) or curved surfaces
+(nonlinear theories).  In practice these can be broken down into polyhedron
+queries" (§1).  A :class:`Polyhedron` here is an intersection of closed
+halfspaces ``a . x <= b`` -- exactly the form the SkyServer WHERE clauses
+of Figure 2 take after moving terms to one side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.boxes import Box, BoxRelation
+
+__all__ = ["Halfspace", "Polyhedron"]
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The closed halfspace ``normal . x <= offset``."""
+
+    normal: np.ndarray
+    offset: float
+
+    def __post_init__(self) -> None:
+        normal = np.asarray(self.normal, dtype=np.float64)
+        if normal.ndim != 1:
+            raise ValueError("normal must be a 1-d array")
+        if not np.any(normal != 0.0):
+            raise ValueError("normal must be non-zero")
+        normal.setflags(write=False)
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension."""
+        return self.normal.shape[0]
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether ``point`` satisfies ``normal . x <= offset``."""
+        return bool(np.dot(self.normal, np.asarray(point, float)) <= self.offset)
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership mask for an ``(n, d)`` array."""
+        return np.asarray(points, float) @ self.normal <= self.offset
+
+    def signed_distance(self, point: np.ndarray) -> float:
+        """Signed Euclidean distance to the boundary plane (<= 0 inside)."""
+        norm = float(np.linalg.norm(self.normal))
+        return float(
+            (np.dot(self.normal, np.asarray(point, float)) - self.offset) / norm
+        )
+
+    def box_extremes(self, box: Box) -> tuple[float, float]:
+        """Min and max of ``normal . x`` over the box.
+
+        The extremes are attained at corners; which corner is determined
+        per-axis by the sign of the normal component, so this is O(d)
+        rather than O(2^d).
+        """
+        pos = np.maximum(self.normal, 0.0)
+        neg = np.minimum(self.normal, 0.0)
+        lo_value = float(pos @ box.lo + neg @ box.hi)
+        hi_value = float(pos @ box.hi + neg @ box.lo)
+        return lo_value, hi_value
+
+    def flipped(self) -> "Halfspace":
+        """The complementary closed halfspace ``-normal . x <= -offset``."""
+        return Halfspace(-self.normal, -self.offset)
+
+
+class Polyhedron:
+    """A convex polyhedron as an intersection of closed halfspaces.
+
+    This is the query object of the whole system: every index evaluates
+    polyhedron queries by classifying its cells against instances of this
+    class (Figure 4 of the paper).
+    """
+
+    def __init__(self, halfspaces: list[Halfspace]):
+        if not halfspaces:
+            raise ValueError("a polyhedron needs at least one halfspace")
+        dim = halfspaces[0].dim
+        for hs in halfspaces:
+            if hs.dim != dim:
+                raise ValueError("halfspaces must share a dimension")
+        self._halfspaces = tuple(halfspaces)
+        self._dim = dim
+        # Stacked form for vectorized evaluation.
+        self._normals = np.stack([hs.normal for hs in halfspaces])
+        self._offsets = np.array([hs.offset for hs in halfspaces])
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_box(box: Box) -> "Polyhedron":
+        """The box as a polyhedron of ``2 d`` axis-aligned halfspaces."""
+        halfspaces = []
+        dim = box.dim
+        for axis in range(dim):
+            unit = np.zeros(dim)
+            unit[axis] = 1.0
+            halfspaces.append(Halfspace(unit, box.hi[axis]))
+            halfspaces.append(Halfspace(-unit, -box.lo[axis]))
+        return Polyhedron(halfspaces)
+
+    @staticmethod
+    def from_inequalities(normals: np.ndarray, offsets: np.ndarray) -> "Polyhedron":
+        """Build from stacked ``A x <= b`` form."""
+        normals = np.asarray(normals, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.float64)
+        return Polyhedron(
+            [Halfspace(normal, offset) for normal, offset in zip(normals, offsets)]
+        )
+
+    @staticmethod
+    def simplex_around(center: np.ndarray, radius: float) -> "Polyhedron":
+        """A regular-ish simplex-shaped polyhedron around a center point.
+
+        Handy for generating non-axis-aligned test queries: d+1 halfspaces
+        whose normals are the coordinate axes plus the all-ones diagonal.
+        """
+        center = np.asarray(center, dtype=np.float64)
+        dim = center.shape[0]
+        halfspaces = []
+        for axis in range(dim):
+            unit = np.zeros(dim)
+            unit[axis] = -1.0
+            halfspaces.append(Halfspace(unit, -(center[axis] - radius)))
+        ones = np.ones(dim) / np.sqrt(dim)
+        halfspaces.append(Halfspace(ones, float(ones @ center) + radius))
+        return Polyhedron(halfspaces)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension."""
+        return self._dim
+
+    @property
+    def halfspaces(self) -> tuple[Halfspace, ...]:
+        """The defining halfspaces."""
+        return self._halfspaces
+
+    @property
+    def normals(self) -> np.ndarray:
+        """Stacked normals, shape ``(m, d)``."""
+        return self._normals
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Stacked offsets, shape ``(m,)``."""
+        return self._offsets
+
+    # -- membership -----------------------------------------------------------
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        """Whether ``point`` satisfies every inequality."""
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self._normals @ point <= self._offsets))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized membership mask for an ``(n, d)`` array."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.all(points @ self._normals.T <= self._offsets, axis=1)
+
+    # -- classification against boxes ------------------------------------------
+
+    def classify_box(self, box: Box) -> BoxRelation:
+        """Classify a box as INSIDE / OUTSIDE / PARTIAL w.r.t. the polyhedron.
+
+        This is the primitive of the paper's Figure 4.  For each halfspace
+        we compute the min and max of the linear form over the box (O(d)
+        per halfspace):
+
+        * if some halfspace's *minimum* exceeds its offset, the box is
+          entirely outside that halfspace, hence OUTSIDE the polyhedron;
+        * if every halfspace's *maximum* is within its offset, the box
+          satisfies all constraints everywhere, hence INSIDE;
+        * otherwise the box straddles at least one boundary: PARTIAL.
+
+        The OUTSIDE test is conservative for genuinely *partial* overlaps
+        of the polyhedron with the box when no single halfspace separates
+        them (the box may still be disjoint from the intersection); those
+        rare cases are safely reported PARTIAL and resolved by the
+        per-point residual filter, so correctness is never affected.
+        """
+        all_inside = True
+        for halfspace in self._halfspaces:
+            lo_value, hi_value = halfspace.box_extremes(box)
+            if lo_value > halfspace.offset:
+                return BoxRelation.OUTSIDE
+            if hi_value > halfspace.offset:
+                all_inside = False
+        return BoxRelation.INSIDE if all_inside else BoxRelation.PARTIAL
+
+    # -- classification against balls -------------------------------------------
+
+    def classify_ball(self, center: np.ndarray, radius: float) -> BoxRelation:
+        """Classify the ball ``|x - center| <= radius``.
+
+        Used by the sampled-Voronoi index: a Voronoi cell is enclosed in
+        the ball around its seed with radius = distance to its farthest
+        member, and encloses nothing we rely on -- so ball classification
+        gives a sound INSIDE/OUTSIDE/PARTIAL verdict for the cell
+        (conservative toward PARTIAL).
+        """
+        center = np.asarray(center, dtype=np.float64)
+        all_inside = True
+        for halfspace in self._halfspaces:
+            signed = halfspace.signed_distance(center)
+            if signed - radius > 0.0:
+                return BoxRelation.OUTSIDE
+            if signed + radius > 0.0:
+                all_inside = False
+        return BoxRelation.INSIDE if all_inside else BoxRelation.PARTIAL
+
+    def min_distance_to_point(self, point: np.ndarray) -> float:
+        """Lower bound on the distance from ``point`` to the polyhedron.
+
+        Zero when inside; otherwise the largest violated halfspace's
+        plane distance (a valid lower bound for convex bodies).
+        """
+        point = np.asarray(point, dtype=np.float64)
+        worst = 0.0
+        for halfspace in self._halfspaces:
+            signed = halfspace.signed_distance(point)
+            if signed > worst:
+                worst = signed
+        return worst
+
+    def intersected_with(self, other: "Polyhedron") -> "Polyhedron":
+        """Polyhedron from the union of both constraint sets."""
+        return Polyhedron(list(self._halfspaces) + list(other.halfspaces))
+
+    def __len__(self) -> int:
+        return len(self._halfspaces)
+
+    def __repr__(self) -> str:
+        return f"Polyhedron(dim={self._dim}, faces={len(self._halfspaces)})"

@@ -1,0 +1,187 @@
+"""Space-filling curves: Morton (Z-order) and Hilbert.
+
+The paper numbers Voronoi cells "along a space filling curve" (§3.4) so
+that cells that are close in space get close cell ids and therefore land on
+nearby disk pages once the table is clustered on the cell id.  We provide
+Morton (the simple bit-interleaving curve) and Hilbert (better locality)
+for any dimension, plus helpers to order arbitrary float point sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "morton_index",
+    "morton_indices",
+    "morton_decode",
+    "hilbert_index",
+    "hilbert_indices",
+    "morton_sort_key",
+    "quantize_points",
+]
+
+
+def quantize_points(
+    points: np.ndarray,
+    bits: int,
+    lo: np.ndarray | None = None,
+    hi: np.ndarray | None = None,
+) -> np.ndarray:
+    """Map float points into the integer lattice ``[0, 2**bits)`` per axis.
+
+    Degenerate axes (zero extent) map to 0.  The caller may pass explicit
+    bounds; by default the point set's own bounding box is used.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    if bits < 1 or bits > 21:
+        raise ValueError("bits must be in [1, 21] to fit in int64 products")
+    lo = points.min(axis=0) if lo is None else np.asarray(lo, float)
+    hi = points.max(axis=0) if hi is None else np.asarray(hi, float)
+    span = hi - lo
+    span[span == 0.0] = 1.0
+    cells = (1 << bits) - 1
+    scaled = np.clip((points - lo) / span, 0.0, 1.0) * cells
+    return np.rint(scaled).astype(np.int64)
+
+
+def morton_index(coords: np.ndarray, bits: int) -> int:
+    """Morton code of a single integer lattice point.
+
+    Interleaves the ``bits`` low bits of each coordinate, axis 0 being the
+    most significant within each group.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    code = 0
+    dim = coords.shape[0]
+    for bit in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            code = (code << 1) | ((int(coords[axis]) >> bit) & 1)
+    return code
+
+
+def morton_indices(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized Morton codes for an ``(n, d)`` integer lattice array."""
+    coords = np.asarray(coords, dtype=np.int64)
+    n, dim = coords.shape
+    if bits * dim > 62:
+        raise ValueError("bits * dim must be <= 62 to fit in int64")
+    codes = np.zeros(n, dtype=np.int64)
+    for bit in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            codes = (codes << 1) | ((coords[:, axis] >> bit) & 1)
+    return codes
+
+
+def morton_sort_key(points: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Morton codes of float points after lattice quantization.
+
+    This is the ordering used to number grid cells and Voronoi seeds.
+    """
+    return morton_indices(quantize_points(points, bits), bits)
+
+
+def _hilbert_transpose_to_axes(transpose: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of the Hilbert 'transpose' encoding (Skilling's algorithm)."""
+    x = transpose.copy()
+    dim = x.shape[0]
+    top = np.int64(2) << (bits - 1)
+    # Gray decode.
+    t = x[dim - 1] >> 1
+    for i in range(dim - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = np.int64(2)
+    while q != top:
+        p = q - 1
+        for i in range(dim - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return x
+
+
+def _hilbert_axes_to_transpose(axes: np.ndarray, bits: int) -> np.ndarray:
+    """Skilling's forward transform: lattice axes -> Hilbert transpose form."""
+    x = axes.copy()
+    dim = x.shape[0]
+    m = np.int64(1) << (bits - 1)
+    # Inverse undo.
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q >>= 1
+    # Gray encode.
+    for i in range(1, dim):
+        x[i] ^= x[i - 1]
+    t = np.int64(0)
+    q = m
+    while q > 1:
+        if x[dim - 1] & q:
+            t ^= q - 1
+        q >>= 1
+    for i in range(dim):
+        x[i] ^= t
+    return x
+
+
+def morton_decode(code: int, dim: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`morton_index` -- lattice point of a Morton code."""
+    coords = np.zeros(dim, dtype=np.int64)
+    position = bits * dim - 1
+    for bit in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            coords[axis] |= ((code >> position) & 1) << bit
+            position -= 1
+    return coords
+
+
+def hilbert_index(coords: np.ndarray, bits: int) -> int:
+    """Hilbert curve index of one integer lattice point (any dimension).
+
+    Uses Skilling's transpose representation; the result is the integer
+    whose bits are the transpose array's bits interleaved MSB-first.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    dim = coords.shape[0]
+    if bits * dim > 62:
+        raise ValueError("bits * dim must be <= 62 to fit in int64")
+    transpose = _hilbert_axes_to_transpose(coords.copy(), bits)
+    code = 0
+    for bit in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            code = (code << 1) | ((int(transpose[axis]) >> bit) & 1)
+    return code
+
+
+def hilbert_indices(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert indices for an ``(n, d)`` integer lattice array."""
+    coords = np.asarray(coords, dtype=np.int64)
+    return np.array(
+        [hilbert_index(row, bits) for row in coords], dtype=np.int64
+    )
+
+
+def hilbert_decode(code: int, dim: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`hilbert_index` -- lattice point of a curve index."""
+    transpose = np.zeros(dim, dtype=np.int64)
+    position = bits * dim - 1
+    for bit in range(bits - 1, -1, -1):
+        for axis in range(dim):
+            transpose[axis] |= ((code >> position) & 1) << bit
+            position -= 1
+    return _hilbert_transpose_to_axes(transpose, bits)

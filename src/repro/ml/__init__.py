@@ -1,0 +1,61 @@
+"""Analysis algorithms: the paper's scientific applications (§4).
+
+* :mod:`repro.ml.pca` -- Karhunen-Loève transform: "the first few
+  principal components ... is enough to describe most of the physical
+  characteristics" (§4.2), turning 3000-dim spectra into 5-dim feature
+  vectors.
+* :mod:`repro.ml.polyfit` -- multi-parameter general linear least
+  squares (the Numerical-Recipes-style fit the paper's CLR procedure
+  runs), used for the local polynomial photo-z estimate.
+* :mod:`repro.ml.photoz` -- the k-NN + local polynomial photometric
+  redshift estimator (Figure 8).
+* :mod:`repro.ml.template_fit` -- the template-fitting baseline with its
+  calibration-systematics weakness (Figure 7).
+* :mod:`repro.ml.bst` -- Basin Spanning Tree clustering from Voronoi
+  cell densities (Figure 6).
+* :mod:`repro.ml.evaluate` -- metrics: cluster/class agreement,
+  regression error, retrieval precision.
+"""
+
+from repro.ml.pca import PrincipalComponents
+from repro.ml.polyfit import PolynomialFeatures, general_least_squares
+from repro.ml.photoz import KnnPolyRedshiftEstimator
+from repro.ml.template_fit import TemplateFitEstimator
+from repro.ml.bst import (
+    basin_spanning_tree,
+    clusters_from_parents,
+    merge_small_clusters,
+    smooth_densities,
+)
+from repro.ml.classify import KnnClassifier
+from repro.ml.hull import ConvexHullSelector
+from repro.ml.outliers import (
+    KdTreeOutlierDetector,
+    VoronoiOutlierDetector,
+    flag_fraction,
+)
+from repro.ml.evaluate import (
+    cluster_class_agreement,
+    regression_report,
+    retrieval_precision,
+)
+
+__all__ = [
+    "PrincipalComponents",
+    "PolynomialFeatures",
+    "general_least_squares",
+    "KnnPolyRedshiftEstimator",
+    "TemplateFitEstimator",
+    "basin_spanning_tree",
+    "clusters_from_parents",
+    "merge_small_clusters",
+    "smooth_densities",
+    "ConvexHullSelector",
+    "KnnClassifier",
+    "KdTreeOutlierDetector",
+    "VoronoiOutlierDetector",
+    "flag_fraction",
+    "cluster_class_agreement",
+    "regression_report",
+    "retrieval_precision",
+]

@@ -1,0 +1,153 @@
+"""Basin Spanning Tree clustering (§4, Figure 6).
+
+"We used the volumes of Voronoi cells to find density peaks (small cell
+volume means large local density), and connected each cell to one
+neighbor, the one with the largest density.  Continuing this as a
+gradient process we separate density clusters."
+
+The BST is a forest over the Voronoi cells: every cell points to its
+densest neighbor when that neighbor is denser than itself, and is a root
+(a density peak) otherwise.  Connected components of the forest are the
+clusters; each data point inherits its cell's cluster.  Against the
+subset with known spectral classes the paper reports 92% agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "basin_spanning_tree",
+    "clusters_from_parents",
+    "merge_small_clusters",
+    "smooth_densities",
+]
+
+
+def smooth_densities(
+    densities: np.ndarray,
+    neighbors: Callable[[int], Sequence[int]],
+    rounds: int = 1,
+) -> np.ndarray:
+    """Average densities with Delaunay neighbors, ``rounds`` times.
+
+    Raw per-cell densities (points / estimated cell volume) carry
+    shot noise that creates spurious local peaks; the BST's gradient
+    process presumes a smooth density field, so a round or two of
+    neighbor averaging before building the tree recovers the paper's
+    behaviour at small points-per-cell ratios.
+    """
+    densities = np.asarray(densities, dtype=np.float64).copy()
+    for _ in range(rounds):
+        smoothed = densities.copy()
+        for cell in range(len(densities)):
+            nbrs = list(neighbors(cell))
+            if nbrs:
+                total = densities[cell] + sum(densities[int(j)] for j in nbrs)
+                smoothed[cell] = total / (len(nbrs) + 1)
+        densities = smoothed
+    return densities
+
+
+def basin_spanning_tree(
+    densities: np.ndarray,
+    neighbors: Callable[[int], Sequence[int]],
+) -> np.ndarray:
+    """Parent pointers of the basin spanning tree.
+
+    Parameters
+    ----------
+    densities:
+        Per-cell density estimates (e.g. points / Voronoi volume).
+    neighbors:
+        Adjacency accessor -- typically
+        ``lambda i: graph.neighbors(i)`` over a
+        :class:`repro.tessellation.DelaunayGraph`.
+
+    Returns
+    -------
+    ``parents`` with ``parents[i] = j`` (the densest strictly denser
+    neighbor) or ``parents[i] = i`` for density peaks.  Ties in density
+    are broken toward the lower index so the gradient process cannot
+    cycle.
+    """
+    densities = np.asarray(densities, dtype=np.float64)
+    n = len(densities)
+    parents = np.arange(n, dtype=np.int64)
+    for cell in range(n):
+        best = cell
+        best_density = densities[cell]
+        for raw in neighbors(cell):
+            other = int(raw)
+            denser = densities[other] > best_density or (
+                densities[other] == best_density and other < best
+            )
+            if denser:
+                best = other
+                best_density = densities[other]
+        parents[cell] = best
+    return parents
+
+
+def clusters_from_parents(parents: np.ndarray) -> np.ndarray:
+    """Cluster labels = index of the density peak each cell drains to.
+
+    Follows parent pointers with path compression; labels are peak cell
+    indices (roots), so the number of distinct labels is the number of
+    density peaks.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    labels = np.full(len(parents), -1, dtype=np.int64)
+
+    for start in range(len(parents)):
+        if labels[start] != -1:
+            continue
+        path = []
+        node = start
+        while labels[node] == -1 and parents[node] != node:
+            path.append(node)
+            node = int(parents[node])
+        root = labels[node] if labels[node] != -1 else node
+        labels[node] = root
+        for visited in path:
+            labels[visited] = root
+    return labels
+
+
+def merge_small_clusters(
+    labels: np.ndarray,
+    densities: np.ndarray,
+    neighbors: Callable[[int], Sequence[int]],
+    min_size: int,
+) -> np.ndarray:
+    """Absorb clusters smaller than ``min_size`` into a neighboring basin.
+
+    Small basins (noise peaks) are reassigned to the cluster of their
+    densest outside neighbor, iterating until every cluster clears the
+    threshold or nothing changes.  This is the practical knob real
+    density-peak pipelines add on top of the raw BST.
+    """
+    labels = np.asarray(labels, dtype=np.int64).copy()
+    densities = np.asarray(densities, dtype=np.float64)
+    for _ in range(len(labels)):
+        unique, counts = np.unique(labels, return_counts=True)
+        small = {int(u) for u, c in zip(unique, counts) if c < min_size}
+        if not small:
+            break
+        changed = False
+        for cluster in small:
+            members = np.flatnonzero(labels == cluster)
+            target, target_density = -1, -np.inf
+            for cell in members:
+                for raw in neighbors(int(cell)):
+                    other = int(raw)
+                    if labels[other] != cluster and densities[other] > target_density:
+                        target, target_density = labels[other], densities[other]
+            if target >= 0:
+                labels[members] = target
+                changed = True
+        if not changed:
+            break
+    return labels

@@ -1,0 +1,83 @@
+"""k-NN classification over the indexed color space (§2.2).
+
+"The color of points in Figure 1 corresponds to the so called spectral
+type of the object (star, galaxy or quasar).  This information is
+available for less than 1% of the objects ... but classification of all
+objects is a crucial task for astronomy."
+
+:class:`KnnClassifier` is the straightforward index-backed solution: a
+labeled training table under a kd-tree, majority vote (optionally
+distance-weighted) over the boundary-point k-NN result.  It is the
+classification twin of the photo-z estimator -- same index, categorical
+target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdtree import KdTreeIndex
+from repro.core.knn import knn_boundary_points
+from repro.db.catalog import Database
+
+__all__ = ["KnnClassifier"]
+
+
+class KnnClassifier:
+    """Majority-vote k-NN classifier over an indexed training set."""
+
+    def __init__(
+        self,
+        database: Database,
+        training_points: np.ndarray,
+        training_labels: np.ndarray,
+        k: int = 15,
+        weighted: bool = True,
+        table_name: str = "knn_training",
+    ):
+        training_points = np.asarray(training_points, dtype=np.float64)
+        training_labels = np.asarray(training_labels)
+        if training_points.ndim != 2:
+            raise ValueError("training_points must be (n, d)")
+        if len(training_points) != len(training_labels):
+            raise ValueError("points and labels must align")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._dims = [f"x{i}" for i in range(training_points.shape[1])]
+        data = {name: training_points[:, i] for i, name in enumerate(self._dims)}
+        data["label"] = training_labels.astype(np.int64)
+        self._index = KdTreeIndex.build(database, table_name, data, self._dims)
+
+    @property
+    def index(self) -> KdTreeIndex:
+        """The kd-tree over the training table."""
+        return self._index
+
+    def predict_one(self, point: np.ndarray) -> int:
+        """Class of one point by (weighted) majority vote."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (len(self._dims),):
+            raise ValueError(f"point must have {len(self._dims)} coordinates")
+        result = knn_boundary_points(self._index, point, self.k)
+        rows = self._index.table.gather(result.row_ids)
+        labels = rows["label"]
+        if self.weighted:
+            weights = 1.0 / np.maximum(result.distances, 1e-12)
+        else:
+            weights = np.ones(len(labels))
+        votes: dict[int, float] = {}
+        for label, weight in zip(labels, weights):
+            votes[int(label)] = votes.get(int(label), 0.0) + float(weight)
+        return max(votes, key=votes.get)
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Classes for ``(n, d)`` points."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.array([self.predict_one(p) for p in points], dtype=np.int64)
+
+    def accuracy(self, points: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions on a labeled set."""
+        labels = np.asarray(labels)
+        return float((self.predict(points) == labels).mean())

@@ -1,0 +1,78 @@
+"""Convex-hull similarity queries (§2.2).
+
+"Automatic clustering, finding similar objects with drawing a convex
+hull around the training set or finding nearest neighbors in the color
+space are a few other typical problems astronomers need to solve."
+
+:class:`ConvexHullSelector` turns a labeled training set into the
+polyhedron query the paper describes: the convex hull of the training
+points (QHull facets -> halfspaces, optionally padded), evaluated
+through any spatial index.  This is exactly how "find everything that
+looks like these confirmed quasars" runs server-side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull
+
+from repro.core.index_base import SpatialIndex
+from repro.db.stats import QueryStats
+from repro.geometry.halfspace import Halfspace, Polyhedron
+
+__all__ = ["ConvexHullSelector"]
+
+
+class ConvexHullSelector:
+    """The convex hull of a training set, as an index-executable query.
+
+    Parameters
+    ----------
+    training_points:
+        ``(m, d)`` examples with ``m >= d + 1`` in general position.
+    margin:
+        Outward padding of every facet (in the same units as the data):
+        a small positive margin admits objects just outside the hull of
+        a finite training sample, the usual practice.
+    """
+
+    def __init__(self, training_points: np.ndarray, margin: float = 0.0):
+        training_points = np.asarray(training_points, dtype=np.float64)
+        if training_points.ndim != 2:
+            raise ValueError("training_points must be (m, d)")
+        m, dim = training_points.shape
+        if m < dim + 1:
+            raise ValueError(f"need at least d + 1 = {dim + 1} training points")
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        self.dim = dim
+        self.margin = margin
+        self._hull = ConvexHull(training_points, qhull_options="QJ")
+        # QHull equations are (normal, offset) with normal . x + offset <= 0
+        # inside; normals are unit length, so the margin is a plain shift.
+        halfspaces = [
+            Halfspace(eq[:-1], -eq[-1] + margin) for eq in self._hull.equations
+        ]
+        self.polyhedron = Polyhedron(halfspaces)
+
+    @property
+    def num_facets(self) -> int:
+        """Facet count of the (padded) hull."""
+        return len(self.polyhedron)
+
+    @property
+    def hull_volume(self) -> float:
+        """Volume of the unpadded hull (QHull's measure)."""
+        return float(self._hull.volume)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Membership mask without touching any index."""
+        return self.polyhedron.contains_points(np.asarray(points, dtype=np.float64))
+
+    def select(self, index: SpatialIndex) -> tuple[dict, QueryStats]:
+        """Run the hull as a polyhedron query through a spatial index."""
+        if len(index.dims) != self.dim:
+            raise ValueError(
+                f"index has {len(index.dims)} dims, hull has {self.dim}"
+            )
+        return index.query_polyhedron(self.polyhedron)

@@ -1,0 +1,120 @@
+"""Karhunen-Loève transform (principal component analysis).
+
+"It has been shown that the first few principal components of the
+Karhunen-Loeve transform is enough to describe most of the physical
+characteristics.  Essentially with a principal component transformation
+we can create a low (we have chosen 5) dimensional feature vector for
+galaxies" (§4.2).  This turns the 3000-dimensional spectrum space into a
+feature space the spatial indexes can handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PrincipalComponents"]
+
+
+class PrincipalComponents:
+    """PCA fit by SVD of the centered (optionally normalized) sample.
+
+    Parameters
+    ----------
+    num_components:
+        Dimensionality of the feature space (the paper chose 5).
+    normalize:
+        Scale every input vector to unit L2 norm before centering --
+        standard for spectra, where overall flux is brightness, not
+        shape, and similarity should be shape-based.
+    """
+
+    def __init__(self, num_components: int = 5, normalize: bool = True):
+        if num_components < 1:
+            raise ValueError("num_components must be >= 1")
+        self.num_components = num_components
+        self.normalize = normalize
+        self._mean: np.ndarray | None = None
+        self._components: np.ndarray | None = None
+        self._explained_variance: np.ndarray | None = None
+        self._total_variance: float = 0.0
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._components is not None
+
+    @property
+    def components(self) -> np.ndarray:
+        """The ``(num_components, d)`` eigenbasis rows."""
+        self._require_fitted()
+        return self._components
+
+    @property
+    def explained_variance(self) -> np.ndarray:
+        """Variance captured by each retained component."""
+        self._require_fitted()
+        return self._explained_variance
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured per component."""
+        self._require_fitted()
+        if self._total_variance <= 0.0:
+            return np.zeros_like(self._explained_variance)
+        return self._explained_variance / self._total_variance
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("PrincipalComponents is not fitted")
+
+    def _prepare(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be (n, d)")
+        if self.normalize:
+            norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+            norms[norms == 0.0] = 1.0
+            vectors = vectors / norms
+        return vectors
+
+    def fit(self, vectors: np.ndarray) -> "PrincipalComponents":
+        """Estimate the KL basis from a sample."""
+        vectors = self._prepare(vectors)
+        if len(vectors) < 2:
+            raise ValueError("need at least 2 samples")
+        if self.num_components > min(vectors.shape):
+            raise ValueError(
+                f"num_components={self.num_components} exceeds data rank bound "
+                f"{min(vectors.shape)}"
+            )
+        self._mean = vectors.mean(axis=0)
+        centered = vectors - self._mean
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        variances = singular**2 / (len(vectors) - 1)
+        self._components = vt[: self.num_components]
+        self._explained_variance = variances[: self.num_components]
+        self._total_variance = float(variances.sum())
+        return self
+
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project onto the retained components -> ``(n, num_components)``."""
+        self._require_fitted()
+        vectors = self._prepare(vectors)
+        return (vectors - self._mean) @ self._components.T
+
+    def fit_transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Fit then transform the same sample."""
+        return self.fit(vectors).transform(vectors)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Reconstruct (normalized, mean-added) vectors from features."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        return features @ self._components + self._mean
+
+    def reconstruction_error(self, vectors: np.ndarray) -> float:
+        """Mean squared residual of projecting and reconstructing."""
+        self._require_fitted()
+        prepared = self._prepare(vectors)
+        reconstructed = self.inverse_transform(self.transform(vectors))
+        return float(np.mean((prepared - reconstructed) ** 2))

@@ -1,0 +1,102 @@
+"""Multi-parameter general linear least squares.
+
+"The polynomial fit requires some intensive math calculation, including
+matrix inversion that would be prohibitive to do with native SQL ...
+This procedure uses a multi-parameter general least square fit code
+written in C# [Numerical Recipes]" (§4.1).  This module is that fit:
+polynomial feature expansion plus an SVD-based solver (the numerically
+robust formulation NR recommends for general linear least squares).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+__all__ = ["PolynomialFeatures", "general_least_squares"]
+
+
+class PolynomialFeatures:
+    """Multivariate polynomial design matrix up to a total degree.
+
+    Terms are every monomial ``prod(x_i^{e_i})`` with
+    ``sum(e_i) <= degree``, including the constant; e.g. degree 2 over
+    (a, b) yields [1, a, b, a^2, ab, b^2].
+    """
+
+    def __init__(self, degree: int = 1):
+        if degree < 0:
+            raise ValueError("degree must be >= 0")
+        self.degree = degree
+        self._dim: int | None = None
+        self._exponents: list[tuple[int, ...]] = []
+
+    def num_terms(self, dim: int) -> int:
+        """Number of monomials for a given input dimension."""
+        self._build(dim)
+        return len(self._exponents)
+
+    def _build(self, dim: int) -> None:
+        if self._dim == dim:
+            return
+        exponents: list[tuple[int, ...]] = []
+        for total in range(self.degree + 1):
+            for combo in combinations_with_replacement(range(dim), total):
+                exp = [0] * dim
+                for axis in combo:
+                    exp[axis] += 1
+                exponents.append(tuple(exp))
+        self._dim = dim
+        self._exponents = exponents
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate all monomials at each row of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._build(x.shape[1])
+        columns = []
+        for exponent in self._exponents:
+            col = np.ones(len(x))
+            for axis, power in enumerate(exponent):
+                if power:
+                    col = col * x[:, axis] ** power
+            columns.append(col)
+        return np.column_stack(columns)
+
+
+def general_least_squares(
+    design: np.ndarray,
+    target: np.ndarray,
+    weights: np.ndarray | None = None,
+    rcond: float = 1e-10,
+) -> np.ndarray:
+    """Solve ``design @ coeffs ~= target`` by SVD (NR's svdfit).
+
+    Parameters
+    ----------
+    weights:
+        Optional per-row weights (inverse variances); rows are scaled by
+        ``sqrt(weight)`` before solving.
+    rcond:
+        Singular values below ``rcond * max_singular`` are zeroed --
+        NR's prescription for near-degenerate design matrices (which the
+        local photo-z fit hits whenever the neighbors are collinear in
+        color space).
+    """
+    design = np.asarray(design, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if design.ndim != 2 or target.ndim != 1 or len(design) != len(target):
+        raise ValueError("design must be (n, p) and target (n,)")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != target.shape:
+            raise ValueError("weights must align with target")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        scale = np.sqrt(weights)
+        design = design * scale[:, np.newaxis]
+        target = target * scale
+    u, singular, vt = np.linalg.svd(design, full_matrices=False)
+    cutoff = rcond * (singular[0] if len(singular) else 0.0)
+    inv = np.where(singular > cutoff, 1.0 / np.maximum(singular, 1e-300), 0.0)
+    return vt.T @ (inv * (u.T @ target))

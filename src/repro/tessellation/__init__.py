@@ -1,0 +1,29 @@
+"""Voronoi / Delaunay substrate (§3.4).
+
+The paper computes the 5-D Voronoi tessellation of a 10K seed sample with
+QHull; ``scipy.spatial`` wraps the same QHull library, and everything
+above it -- the Delaunay neighbor graph, the directed-walk point location,
+cell shape statistics, circumcenter vertices and the cell-volume density
+estimator -- is implemented here.
+"""
+
+from repro.tessellation.delaunay import DelaunayGraph, WalkResult
+from repro.tessellation.edge_store import DelaunayEdgeStore
+from repro.tessellation.pyramid import DelaunayPyramid
+from repro.tessellation.voronoi import VoronoiCells
+from repro.tessellation.density import (
+    density_from_volumes,
+    simplex_volumes,
+    voronoi_volume_estimates,
+)
+
+__all__ = [
+    "DelaunayGraph",
+    "DelaunayEdgeStore",
+    "DelaunayPyramid",
+    "WalkResult",
+    "VoronoiCells",
+    "simplex_volumes",
+    "voronoi_volume_estimates",
+    "density_from_volumes",
+]

@@ -1,0 +1,157 @@
+"""Delaunay triangulation graph and directed-walk point location.
+
+"To find the containing cell we used a directed walk on the Delaunay
+graph, which on average takes O(sqrt(Nseed)) steps" (§3.4).  The walk
+exploits a classic property of Delaunay triangulations: greedy routing by
+Euclidean distance to the target -- always move to the neighbor closest
+to the query -- terminates at the seed nearest the query (there are no
+false local minima on a Delaunay graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.geometry.distance import squared_distances
+
+__all__ = ["DelaunayGraph", "WalkResult"]
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one directed walk."""
+
+    seed: int
+    hops: int
+    path: list[int]
+
+
+class DelaunayGraph:
+    """The Delaunay triangulation of a seed set, as an adjacency graph.
+
+    Parameters
+    ----------
+    seeds:
+        ``(n, d)`` seed coordinates with ``n >= d + 2`` in general
+        position (QHull joggles degenerate inputs via the ``QJ`` option).
+    """
+
+    def __init__(self, seeds: np.ndarray):
+        seeds = np.asarray(seeds, dtype=np.float64)
+        if seeds.ndim != 2:
+            raise ValueError("seeds must be (n, d)")
+        n, dim = seeds.shape
+        if n < dim + 2:
+            raise ValueError(f"need at least d + 2 = {dim + 2} seeds, got {n}")
+        self.seeds = seeds
+        self.dim = dim
+        self._tri = Delaunay(seeds, qhull_options="QJ Qbb")
+        self._neighbors = self._adjacency_from_simplices(self._tri.simplices, n)
+
+    @staticmethod
+    def _adjacency_from_simplices(
+        simplices: np.ndarray, num_seeds: int
+    ) -> list[np.ndarray]:
+        adjacency: list[set[int]] = [set() for _ in range(num_seeds)]
+        for simplex in simplices:
+            for a in simplex:
+                for b in simplex:
+                    if a != b:
+                        adjacency[a].add(int(b))
+        return [np.fromiter(sorted(s), dtype=np.int64) for s in adjacency]
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of seeds."""
+        return len(self.seeds)
+
+    @property
+    def simplices(self) -> np.ndarray:
+        """Delaunay simplices as ``(m, d+1)`` seed-index rows."""
+        return self._tri.simplices
+
+    def neighbors(self, seed: int) -> np.ndarray:
+        """Delaunay-adjacent seed indices (= Voronoi face neighbors)."""
+        return self._neighbors[seed]
+
+    def degree(self, seed: int) -> int:
+        """Number of Delaunay neighbors of a seed."""
+        return len(self._neighbors[seed])
+
+    def degrees(self) -> np.ndarray:
+        """All seed degrees; this is the paper's 'number of faces' metric."""
+        return np.array([len(nbrs) for nbrs in self._neighbors], dtype=np.int64)
+
+    def num_edges(self) -> int:
+        """Undirected Delaunay edge count."""
+        return int(self.degrees().sum()) // 2
+
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges as an ``(m, 2)`` array of seed indices."""
+        pairs = []
+        for a, nbrs in enumerate(self._neighbors):
+            for b in nbrs:
+                if a < b:
+                    pairs.append((a, int(b)))
+        return np.array(pairs, dtype=np.int64).reshape(-1, 2)
+
+    # -- point location ------------------------------------------------------------
+
+    def directed_walk(self, point: np.ndarray, start: int | None = None) -> WalkResult:
+        """Greedy walk to the seed nearest ``point``.
+
+        Starting from ``start`` (or seed 0), repeatedly hop to the
+        neighbor strictly closer to the query; a seed with no closer
+        neighbor is the global nearest seed.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        current = 0 if start is None else int(start)
+        if not (0 <= current < self.num_seeds):
+            raise IndexError(f"start seed {current} out of range")
+        path = [current]
+        current_dist = float(np.sum((self.seeds[current] - point) ** 2))
+        hops = 0
+        while True:
+            nbrs = self._neighbors[current]
+            if len(nbrs) == 0:
+                break
+            dists = squared_distances(self.seeds[nbrs], point)
+            best = int(np.argmin(dists))
+            if dists[best] >= current_dist:
+                break
+            current = int(nbrs[best])
+            current_dist = float(dists[best])
+            path.append(current)
+            hops += 1
+        return WalkResult(seed=current, hops=hops, path=path)
+
+    def nearest_seed_exact(self, point: np.ndarray) -> int:
+        """Brute-force nearest seed (ground truth for the walk)."""
+        return int(np.argmin(squared_distances(self.seeds, np.asarray(point, float))))
+
+    def circumcenters(self) -> tuple[np.ndarray, np.ndarray]:
+        """Circumcenters (= Voronoi vertices) and radii of every simplex.
+
+        For simplex vertices ``v_0 .. v_d`` the circumcenter ``c`` solves
+        ``2 (v_i - v_0) . c = |v_i|^2 - |v_0|^2``; nearly degenerate
+        simplices (QHull joggle artifacts) get a NaN row.
+        """
+        simplices = self._tri.simplices
+        centers = np.full((len(simplices), self.dim), np.nan)
+        radii = np.full(len(simplices), np.nan)
+        for idx, simplex in enumerate(simplices):
+            verts = self.seeds[simplex]
+            a = 2.0 * (verts[1:] - verts[0])
+            b = np.sum(verts[1:] ** 2, axis=1) - np.sum(verts[0] ** 2)
+            try:
+                center = np.linalg.solve(a, b)
+            except np.linalg.LinAlgError:
+                continue
+            centers[idx] = center
+            radii[idx] = float(np.linalg.norm(center - verts[0]))
+        return centers, radii

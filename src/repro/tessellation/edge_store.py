@@ -1,0 +1,224 @@
+"""Persisting the Delaunay triangulation inside the database.
+
+§3.4's future-work plan, verbatim: "A possible solution is to store only
+the edges of the Delaunay triangulation, which is a much more compact
+description: we estimate that the Delaunay triangulation can be stored
+in 270GB" (vs terabytes for the full tessellation with vertices).
+
+:class:`DelaunayEdgeStore` realizes that design at our scale: the seed
+coordinates and the (directed) edge list live in engine tables, edges
+clustered by source seed so a cell's neighbor list is one contiguous
+range scan.  Point location (the directed walk) then runs *against the
+stored structure*, touching only the pages of the cells the walk crosses
+-- which is exactly what makes the full-table tessellation usable
+out-of-core.
+
+What edges alone cannot give you is exact cell volumes (those need the
+simplices); :meth:`approximate_volumes` provides the standard
+neighbor-distance proxy, adequate for density ranking (E13 measures how
+adequate).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.db.catalog import Database
+from repro.db.scan import range_scan
+from repro.db.stats import QueryStats
+from repro.db.table import Table
+from repro.tessellation.delaunay import DelaunayGraph, WalkResult
+
+__all__ = ["DelaunayEdgeStore"]
+
+
+class DelaunayEdgeStore:
+    """A Delaunay graph persisted as two engine tables.
+
+    ``<name>_seeds``: one row per seed -- ``seed_id`` plus coordinate
+    columns ``c0..c{d-1}``, clustered by ``seed_id``.
+    ``<name>_edges``: one row per *directed* edge -- ``(src, dst)``,
+    clustered by ``src`` so each neighbor list is a contiguous range.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        seeds_table: Table,
+        edges_table: Table,
+        neighbor_ranges: np.ndarray,
+        dim: int,
+    ):
+        self._db = database
+        self._seeds_table = seeds_table
+        self._edges_table = edges_table
+        self._neighbor_ranges = neighbor_ranges
+        self.dim = dim
+
+    # -- persistence -----------------------------------------------------------
+
+    @staticmethod
+    def save(database: Database, name: str, graph: DelaunayGraph) -> "DelaunayEdgeStore":
+        """Write a graph's seeds and edges into engine tables."""
+        num_seeds = graph.num_seeds
+        seed_data: dict[str, np.ndarray] = {
+            "seed_id": np.arange(num_seeds, dtype=np.int64)
+        }
+        for axis in range(graph.dim):
+            seed_data[f"c{axis}"] = graph.seeds[:, axis]
+        seeds_table = database.create_table(
+            f"{name}_seeds", seed_data, clustered_by=("seed_id",)
+        )
+        undirected = graph.edges()
+        directed = np.vstack([undirected, undirected[:, ::-1]])
+        edges_table = database.create_table(
+            f"{name}_edges",
+            {
+                "src": directed[:, 0],
+                "dst": directed[:, 1],
+            },
+            clustered_by=("src", "dst"),
+        )
+        ranges = _neighbor_ranges(edges_table, num_seeds)
+        store = DelaunayEdgeStore(database, seeds_table, edges_table, ranges, graph.dim)
+        database.register_index(f"{name}.delaunay_edges", store)
+        return store
+
+    @staticmethod
+    def open(database: Database, name: str) -> "DelaunayEdgeStore":
+        """Re-open a previously saved store from its tables."""
+        seeds_table = database.table(f"{name}_seeds")
+        edges_table = database.table(f"{name}_edges")
+        dim = sum(1 for column in seeds_table.column_names if column.startswith("c"))
+        ranges = _neighbor_ranges(edges_table, seeds_table.num_rows)
+        return DelaunayEdgeStore(database, seeds_table, edges_table, ranges, dim)
+
+    # -- structure access (I/O-counted) ---------------------------------------------
+
+    @property
+    def num_seeds(self) -> int:
+        """Number of stored seeds."""
+        return self._seeds_table.num_rows
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored directed edges (2x the undirected count)."""
+        return self._edges_table.num_rows
+
+    def seed_point(self, seed: int, stats: QueryStats | None = None) -> np.ndarray:
+        """Coordinates of one seed, read through the engine."""
+        rows, read_stats = range_scan(self._seeds_table, seed, seed + 1)
+        if stats is not None:
+            stats.merge(read_stats)
+        return np.array([rows[f"c{axis}"][0] for axis in range(self.dim)])
+
+    def seed_points(self, seeds: np.ndarray) -> np.ndarray:
+        """Coordinates of several seeds (one gather)."""
+        rows = self._seeds_table.gather(np.asarray(seeds, dtype=np.int64))
+        return np.column_stack([rows[f"c{axis}"] for axis in range(self.dim)])
+
+    def neighbors(self, seed: int, stats: QueryStats | None = None) -> np.ndarray:
+        """Neighbor seed ids of one seed: a clustered range scan."""
+        start, end = self._neighbor_ranges[seed]
+        if start == end:
+            return np.empty(0, dtype=np.int64)
+        rows, read_stats = range_scan(self._edges_table, int(start), int(end))
+        if stats is not None:
+            stats.merge(read_stats)
+        return rows["dst"]
+
+    def degrees(self) -> np.ndarray:
+        """Neighbor counts of every seed (from the range index, no I/O)."""
+        return (self._neighbor_ranges[:, 1] - self._neighbor_ranges[:, 0]).astype(
+            np.int64
+        )
+
+    # -- algorithms over the stored structure ---------------------------------------
+
+    def directed_walk(
+        self, point: np.ndarray, start: int = 0
+    ) -> tuple[WalkResult, QueryStats]:
+        """Greedy walk to the nearest seed, reading the graph from disk.
+
+        Returns the walk plus the I/O it cost -- the measurement that
+        shows a full-table tessellation is navigable out-of-core.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        stats = QueryStats()
+        current = int(start)
+        current_point = self.seed_point(current, stats)
+        current_dist = float(np.sum((current_point - point) ** 2))
+        path = [current]
+        hops = 0
+        while True:
+            neighbor_ids = self.neighbors(current, stats)
+            if len(neighbor_ids) == 0:
+                break
+            neighbor_points = self.seed_points(neighbor_ids)
+            dists = np.einsum(
+                "ij,ij->i", neighbor_points - point, neighbor_points - point
+            )
+            best = int(np.argmin(dists))
+            if dists[best] >= current_dist:
+                break
+            current = int(neighbor_ids[best])
+            current_dist = float(dists[best])
+            path.append(current)
+            hops += 1
+        return WalkResult(seed=current, hops=hops, path=path), stats
+
+    def approximate_volumes(self) -> np.ndarray:
+        """Cell-volume proxy from mean neighbor distance.
+
+        A cell with mean Delaunay-neighbor distance r has volume on the
+        order of the d-ball of radius r/2; the constant cancels in any
+        density *ranking*, which is all the BST and outlier applications
+        consume.  Exact volumes require the simplices the edge store
+        deliberately does not keep.
+        """
+        seeds = self.seed_points(np.arange(self.num_seeds))
+        volumes = np.empty(self.num_seeds)
+        unit_ball = math.pi ** (self.dim / 2.0) / math.gamma(self.dim / 2.0 + 1.0)
+        for seed in range(self.num_seeds):
+            neighbor_ids = self.neighbors(seed)
+            if len(neighbor_ids) == 0:
+                volumes[seed] = np.inf
+                continue
+            neighbor_points = self.seed_points(neighbor_ids)
+            mean_dist = float(
+                np.mean(np.linalg.norm(neighbor_points - seeds[seed], axis=1))
+            )
+            volumes[seed] = unit_ball * (mean_dist / 2.0) ** self.dim
+        return volumes
+
+    def storage_bytes(self) -> dict[str, int]:
+        """On-disk footprint of the stored structure, per table.
+
+        The comparison behind the paper's 270 GB estimate: edges cost
+        O(#edges * 16 bytes) while the full tessellation with vertices
+        costs orders of magnitude more in high dimension (each 5-D cell
+        has ~1000 vertices of 5 float64s).
+        """
+        edge_bytes = self._edges_table.num_rows * 2 * 8
+        seed_bytes = self._seeds_table.num_rows * (self.dim + 1) * 8
+        return {
+            "seeds": seed_bytes,
+            "edges": edge_bytes,
+            "total": seed_bytes + edge_bytes,
+        }
+
+
+def _neighbor_ranges(edges_table: Table, num_seeds: int) -> np.ndarray:
+    """Row range per source seed in the clustered edge table."""
+    src = edges_table.read_column("src")
+    ranges = np.zeros((num_seeds, 2), dtype=np.int64)
+    if len(src) == 0:
+        return ranges
+    change = np.flatnonzero(np.diff(src) != 0) + 1
+    starts = np.concatenate([[0], change])
+    ends = np.concatenate([change, [len(src)]])
+    for start, end in zip(starts, ends):
+        ranges[int(src[start])] = (start, end)
+    return ranges

@@ -1,0 +1,101 @@
+"""The multi-level Delaunay pyramid of §5.2.
+
+"As a demonstration, we exported a 1K, a 10K and 100K sample of the
+magnitude table and computed its Delaunay graph in-memory and imported
+it back into the database.  This enables us to do a 3-level adaptive
+visualization."
+
+:class:`DelaunayPyramid` formalizes that construction: *nested* random
+samples (every coarser level's seeds are a subset of the finer level's,
+so zooming refines rather than reshuffles), one Delaunay graph per
+level, and the level-selection rule the producers use ("if not enough
+edges are returned, it goes on to the 10K and subsequently 100K
+tables").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Box
+from repro.tessellation.delaunay import DelaunayGraph
+
+__all__ = ["DelaunayPyramid"]
+
+
+class DelaunayPyramid:
+    """Nested multi-resolution Delaunay graphs over one point set."""
+
+    def __init__(self, graphs: list[DelaunayGraph], sample_rows: list[np.ndarray]):
+        if not graphs:
+            raise ValueError("pyramid needs at least one level")
+        self.graphs = graphs
+        self.sample_rows = sample_rows
+
+    @staticmethod
+    def build(
+        points: np.ndarray,
+        level_sizes: list[int] | None = None,
+        seed: int = 0,
+    ) -> "DelaunayPyramid":
+        """Draw nested samples and triangulate each.
+
+        ``level_sizes`` must be increasing (the paper's 1K / 10K / 100K
+        pattern); the default scales three decades to the data size.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        n, dim = points.shape
+        if level_sizes is None:
+            top = min(n, 4096)
+            level_sizes = [max(dim + 2, top // 16), max(dim + 2, top // 4), top]
+        if sorted(level_sizes) != list(level_sizes):
+            raise ValueError("level_sizes must be increasing")
+        if level_sizes[-1] > n:
+            raise ValueError("largest level exceeds the point count")
+        rng = np.random.default_rng(seed)
+        # Draw the finest sample once; coarser levels are prefixes, so
+        # the levels are nested by construction.
+        finest = rng.choice(n, level_sizes[-1], replace=False)
+        graphs, rows = [], []
+        for size in level_sizes:
+            subset = finest[:size]
+            rows.append(subset)
+            graphs.append(DelaunayGraph(points[subset]))
+        return DelaunayPyramid(graphs, rows)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of resolution levels."""
+        return len(self.graphs)
+
+    def level(self, index: int) -> DelaunayGraph:
+        """The graph at a 0-based level (0 = coarsest)."""
+        return self.graphs[index]
+
+    def is_nested(self) -> bool:
+        """Whether every coarser seed set is a subset of the finer ones."""
+        for coarse, fine in zip(self.sample_rows, self.sample_rows[1:]):
+            if not set(coarse.tolist()) <= set(fine.tolist()):
+                return False
+        return True
+
+    def edges_in_view(self, level: int, view: Box) -> int:
+        """Edges with an endpoint inside the view at a level."""
+        graph = self.graphs[level]
+        edges = graph.edges()
+        if len(edges) == 0:
+            return 0
+        a_in = view.contains_points(graph.seeds[edges[:, 0]])
+        b_in = view.contains_points(graph.seeds[edges[:, 1]])
+        return int(np.count_nonzero(a_in | b_in))
+
+    def level_for_view(self, view: Box, target_edges: int) -> int:
+        """The §5.2 rule: coarsest level showing >= target edges.
+
+        Falls through to the finest level when even it cannot satisfy
+        the target (a deep zoom into sparse space).
+        """
+        for index in range(self.num_levels):
+            if self.edges_in_view(index, view) >= target_edges:
+                return index
+        return self.num_levels - 1

@@ -1,0 +1,130 @@
+"""Vector column codecs: UDT-style pickle vs native binary.
+
+See the package docstring for the §3.5 background.  Both codecs
+round-trip ``(n, d)`` float arrays through fixed-width byte rows stored
+as a numpy ``S``-dtype column (the engine pages those like any scalar
+column); the experiment of E10 measures their decode cost against native
+scalar columns during scans.
+"""
+
+from __future__ import annotations
+
+import abc
+import pickle
+
+import numpy as np
+
+from repro.db.table import Table
+
+__all__ = ["VectorCodec", "UdtPickleCodec", "NativeBinaryCodec", "VectorColumn"]
+
+
+class VectorCodec(abc.ABC):
+    """Encodes float vectors of a fixed dimension into fixed-width bytes."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+
+    @property
+    @abc.abstractmethod
+    def row_bytes(self) -> int:
+        """Fixed width of one encoded vector in bytes."""
+
+    @abc.abstractmethod
+    def encode_rows(self, vectors: np.ndarray) -> np.ndarray:
+        """``(n, dim)`` float64 -> numpy bytes column of width row_bytes."""
+
+    @abc.abstractmethod
+    def decode_rows(self, raw: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode_rows`."""
+
+
+class NativeBinaryCodec(VectorCodec):
+    """Raw IEEE-754 bytes: the paper's unsafe-copy fast path.
+
+    Encoding is ``ndarray.tobytes`` per row; decoding a whole column is
+    one zero-copy ``frombuffer`` + reshape -- the analog of copying a
+    SqlBinary into a typed array with pointer arithmetic.
+    """
+
+    @property
+    def row_bytes(self) -> int:
+        return 8 * self.dim
+
+    def encode_rows(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.ascontiguousarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"vectors must be (n, {self.dim})")
+        return vectors.view(f"S{self.row_bytes}").ravel()
+
+    def decode_rows(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw)
+        if raw.dtype != np.dtype(f"S{self.row_bytes}"):
+            raw = raw.astype(f"S{self.row_bytes}")
+        flat = np.frombuffer(raw.tobytes(), dtype=np.float64)
+        return flat.reshape(-1, self.dim)
+
+
+class UdtPickleCodec(VectorCodec):
+    """Pickle per row: the BinaryFormatter-backed UDT analog.
+
+    Each vector is serialized independently with :mod:`pickle` and padded
+    to a fixed width; decoding unpickles row by row.  Deliberately the
+    slow, general mechanism the paper measured and rejected.
+    """
+
+    def __init__(self, dim: int):
+        super().__init__(dim)
+        probe = pickle.dumps(np.zeros(dim), protocol=pickle.HIGHEST_PROTOCOL)
+        # Pickles of same-shape float arrays are same-sized; pad a little
+        # for safety anyway.
+        self._width = len(probe) + 16
+
+    @property
+    def row_bytes(self) -> int:
+        return self._width
+
+    def encode_rows(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError(f"vectors must be (n, {self.dim})")
+        out = np.empty(len(vectors), dtype=f"S{self._width}")
+        for idx, row in enumerate(vectors):
+            out[idx] = pickle.dumps(row, protocol=pickle.HIGHEST_PROTOCOL)
+        return out
+
+    def decode_rows(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw)
+        out = np.empty((len(raw), self.dim))
+        for idx, blob in enumerate(raw):
+            out[idx] = pickle.loads(blob)
+        return out
+
+
+class VectorColumn:
+    """A vector-valued column over an engine table.
+
+    Wraps a byte column created by one of the codecs; :meth:`scan`
+    iterates pages and decodes each into an ``(page_rows, dim)`` array,
+    so E10 can time 'scan with decode' against scanning native scalar
+    columns of the same data.
+    """
+
+    def __init__(self, table: Table, column: str, codec: VectorCodec):
+        self.table = table
+        self.column = column
+        self.codec = codec
+
+    def scan(self):
+        """Yield decoded ``(start_row, vectors)`` per page."""
+        for page in self.table.scan():
+            yield page.start_row, self.codec.decode_rows(page.columns[self.column])
+
+    def read_all(self) -> np.ndarray:
+        """Materialize every vector (touches every page)."""
+        parts = [vectors for _, vectors in self.scan()]
+        if not parts:
+            return np.empty((0, self.codec.dim))
+        return np.vstack(parts)

@@ -1,0 +1,62 @@
+"""Adaptive, event-driven visualization pipeline (§5).
+
+The paper's client renders with Managed DirectX; its *contribution* is
+the architecture, which is fully reproducible headless:
+
+* **Plugins** (:mod:`repro.viz.plugin`): ``Producer`` plugins are the
+  source of all geometry; ``Pipe`` plugins transform it; the application
+  only knows the interfaces (the paper's Figure 12).
+* **Events** (:mod:`repro.viz.events`): plugins register with a
+  ``Registry`` for camera-change events and signal the application with
+  ``signal_production`` when new geometry is ready -- the non-blocking
+  two-way handshake of Figure 13.
+* **Pipeline host** (:mod:`repro.viz.pipeline`): instantiates a plugin
+  graph from a config mapping (the paper's XML), runs the frame cycle,
+  and supports both single-threaded and worker-thread producers, with
+  ``get_output`` returning ``None`` instead of blocking when the worker
+  holds the lock.
+* **Caching** (:mod:`repro.viz.cache`): producers keep their last n
+  result sets keyed by view, so "when zooming in and then back out, the
+  cache reduces time delay to zero".
+* **Producers** (:mod:`repro.viz.producers`): adaptive point clouds over
+  the layered grid (Figure 14), kd-tree boxes at view-dependent depth
+  (Figure 15), and multi-level Delaunay / Voronoi structure (Figure 16).
+"""
+
+from repro.viz.camera import Camera
+from repro.viz.geometry_set import GeometrySet
+from repro.viz.events import Event, Registry
+from repro.viz.plugin import Consumer, Pipe, Plugin, Producer
+from repro.viz.pipeline import PluginHost
+from repro.viz.cache import GeometryCache
+from repro.viz.export import ExportConsumer
+from repro.viz.pipes import ClipBoxPipe, ColorByDensityPipe, SubsamplePipe
+from repro.viz.producers import (
+    AdaptivePointCloudProducer,
+    DelaunayEdgeProducer,
+    KdBoxProducer,
+    RecordingConsumer,
+    VoronoiCellProducer,
+)
+
+__all__ = [
+    "Camera",
+    "GeometrySet",
+    "Event",
+    "Registry",
+    "Plugin",
+    "Producer",
+    "Pipe",
+    "Consumer",
+    "PluginHost",
+    "GeometryCache",
+    "SubsamplePipe",
+    "ClipBoxPipe",
+    "ColorByDensityPipe",
+    "ExportConsumer",
+    "AdaptivePointCloudProducer",
+    "KdBoxProducer",
+    "DelaunayEdgeProducer",
+    "VoronoiCellProducer",
+    "RecordingConsumer",
+]

@@ -1,0 +1,54 @@
+"""Per-producer geometry caches.
+
+"Our plugins save the last n result sets, and when a camera change event
+is fired, they first look for geometry in this local, in-memory cache.
+The database is contacted only if additional geometry is needed.  In
+practice, when zooming in and then back out, the cache reduces time
+delay to zero" (§5.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.viz.geometry_set import GeometrySet
+
+__all__ = ["GeometryCache"]
+
+
+class GeometryCache:
+    """LRU cache of the last n geometry results keyed by view."""
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, GeometrySet] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> GeometrySet | None:
+        """Cached geometry for a view key, updating LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, geometry: GeometrySet) -> None:
+        """Insert a result, evicting the least recently used beyond capacity."""
+        self._entries[key] = geometry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,60 @@
+"""The virtual camera: a view box over the data space.
+
+"The key idea is adaptive visualization: to choose the level of detail
+depending on where the user's virtual camera is" (§5).  Headless, the
+camera reduces to the axis-aligned box of space currently in view; zoom
+and pan are box transformations, and each change fires the registry's
+camera event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.boxes import Box
+
+__all__ = ["Camera"]
+
+
+@dataclass
+class Camera:
+    """A camera defined by its view box."""
+
+    view_box: Box
+
+    @property
+    def center(self) -> np.ndarray:
+        """Center of the view."""
+        return self.view_box.center
+
+    @property
+    def extent(self) -> float:
+        """Largest side of the view box (the zoom level proxy)."""
+        return float(self.view_box.widths.max())
+
+    def zoomed(self, factor: float) -> "Camera":
+        """A camera zoomed about the center; factor < 1 zooms in."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        half = self.view_box.widths * factor / 2.0
+        center = self.view_box.center
+        return Camera(Box(center - half, center + half))
+
+    def panned(self, delta: np.ndarray) -> "Camera":
+        """A camera translated by ``delta``."""
+        delta = np.asarray(delta, dtype=np.float64)
+        return Camera(Box(self.view_box.lo + delta, self.view_box.hi + delta))
+
+    def moved_to(self, center: np.ndarray) -> "Camera":
+        """A camera re-centered on ``center`` at the same zoom."""
+        center = np.asarray(center, dtype=np.float64)
+        half = self.view_box.widths / 2.0
+        return Camera(Box(center - half, center + half))
+
+    def quantized_key(self, resolution: float = 1e-6) -> tuple:
+        """A hashable key of the view for geometry caching."""
+        lo = np.round(self.view_box.lo / resolution).astype(np.int64)
+        hi = np.round(self.view_box.hi / resolution).astype(np.int64)
+        return tuple(lo.tolist()) + tuple(hi.tolist())

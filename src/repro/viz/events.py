@@ -1,0 +1,84 @@
+"""Events and the plugin registry.
+
+The registry is each plugin's sole view of the application (the paper's
+Figure 12): it exposes the camera-change event plugins subscribe to and
+the ``signal_production`` callback plugins invoke -- from any thread --
+when new geometry is ready.  "In practice, this simply sets a flag to
+signal the application that in the next frame cycle it should attempt a
+GetOutput call" (§5.1).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.viz.camera import Camera
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.viz.plugin import Producer
+
+__all__ = ["Event", "Registry"]
+
+
+class Event:
+    """A minimal thread-safe multicast event."""
+
+    def __init__(self) -> None:
+        self._handlers: list[Callable] = []
+        self._lock = threading.Lock()
+
+    def subscribe(self, handler: Callable) -> None:
+        """Add a handler (idempotent)."""
+        with self._lock:
+            if handler not in self._handlers:
+                self._handlers.append(handler)
+
+    def unsubscribe(self, handler: Callable) -> None:
+        """Remove a handler if present."""
+        with self._lock:
+            if handler in self._handlers:
+                self._handlers.remove(handler)
+
+    def fire(self, *args, **kwargs) -> None:
+        """Invoke every handler with the given arguments."""
+        with self._lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler(*args, **kwargs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handlers)
+
+
+class Registry:
+    """Per-plugin connection point to the application."""
+
+    def __init__(self) -> None:
+        self.camera_box_changed = Event()
+        self._production_flag = threading.Event()
+        self._producer: "Producer | None" = None
+
+    def bind_producer(self, producer: "Producer") -> None:
+        """Associate the registry with its producer (host-side wiring)."""
+        self._producer = producer
+
+    def signal_production(self, producer: "Producer | None" = None) -> None:
+        """Called by the plugin when new geometry is available.
+
+        Thread-safe flag set; the host checks and clears it each frame.
+        """
+        self._production_flag.set()
+
+    def production_pending(self) -> bool:
+        """Whether the plugin signaled since the last frame (host-side)."""
+        return self._production_flag.is_set()
+
+    def clear_production(self) -> None:
+        """Consume the production flag (host-side, once per frame)."""
+        self._production_flag.clear()
+
+    def fire_camera_changed(self, camera: Camera) -> None:
+        """Dispatch a camera-change event to the plugin (host-side)."""
+        self.camera_box_changed.fire(camera)

@@ -1,0 +1,86 @@
+"""Exporting pipeline geometry to files for external viewers.
+
+The paper's first workflow wrote geometry "to a file in ParaView's VTP
+format" before the custom client existed (§5).  :class:`ExportConsumer`
+is that bridge for this reproduction: a terminal plugin that writes each
+delivered GeometrySet to disk -- points as CSV (with any per-point
+attributes as extra columns) and lines/boxes as Wavefront OBJ, both
+formats every 3-D tool ingests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.viz.geometry_set import GeometrySet
+from repro.viz.plugin import Consumer
+
+__all__ = ["ExportConsumer"]
+
+
+class ExportConsumer(Consumer):
+    """Writes every consumed frame to ``<directory>/<prefix>_NNN.*``."""
+
+    def __init__(self, directory: str, prefix: str = "frame"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.frames_written = 0
+        self.files: list[Path] = []
+
+    def consume(self, geometry: GeometrySet) -> None:
+        """Write one frame (CSV for points, OBJ for lines and boxes)."""
+        stem = f"{self.prefix}_{self.frames_written:03d}"
+        if geometry.num_points:
+            self.files.append(self._write_points_csv(stem, geometry))
+        if geometry.num_lines or geometry.num_boxes:
+            self.files.append(self._write_obj(stem, geometry))
+        self.frames_written += 1
+
+    def _write_points_csv(self, stem: str, geometry: GeometrySet) -> Path:
+        path = self.directory / f"{stem}_points.csv"
+        points = geometry.points
+        dim = points.shape[1]
+        header = [f"c{i}" for i in range(dim)]
+        columns = [points]
+        for name, value in sorted(geometry.attributes.items()):
+            if isinstance(value, np.ndarray) and value.ndim == 1 and len(value) == len(points):
+                header.append(name)
+                columns.append(np.asarray(value, dtype=np.float64)[:, np.newaxis])
+        data = np.hstack(columns)
+        np.savetxt(path, data, delimiter=",", header=",".join(header), comments="")
+        return path
+
+    def _write_obj(self, stem: str, geometry: GeometrySet) -> Path:
+        path = self.directory / f"{stem}_geometry.obj"
+        lines_out = [f"# {stem}: exported by repro.viz.ExportConsumer"]
+        vertex_count = 0
+
+        def emit_vertex(point: np.ndarray) -> int:
+            nonlocal vertex_count
+            coords = list(point[:3]) + [0.0] * max(0, 3 - len(point))
+            lines_out.append("v " + " ".join(f"{c:.9g}" for c in coords[:3]))
+            vertex_count += 1
+            return vertex_count
+
+        for segment in geometry.lines:
+            a = emit_vertex(segment[0])
+            b = emit_vertex(segment[1])
+            lines_out.append(f"l {a} {b}")
+        for lo, hi in geometry.boxes:
+            # The 12 edges of the (first three dims of the) box.
+            corners = {}
+            for code in range(8):
+                corner = np.array(
+                    [hi[axis] if (code >> axis) & 1 else lo[axis] for axis in range(min(3, len(lo)))]
+                )
+                corners[code] = emit_vertex(corner)
+            for a in range(8):
+                for axis in range(3):
+                    b = a | (1 << axis)
+                    if b != a and b < 8 and a < b:
+                        lines_out.append(f"l {corners[a]} {corners[b]}")
+        path.write_text("\n".join(lines_out) + "\n", encoding="utf-8")
+        return path

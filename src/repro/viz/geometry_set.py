@@ -1,0 +1,75 @@
+"""Geometry transfer objects between plugins and the application.
+
+The paper's plugin interfaces exchange ``GeometrySet`` objects -- "the
+definitions of data structures used to transfer 3D geometry data to and
+from plugins" (§5.1).  Headless, a GeometrySet carries point, line, and
+box primitives as arrays plus free-form attributes (colors, ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GeometrySet"]
+
+
+@dataclass
+class GeometrySet:
+    """A bundle of geometric primitives produced by one plugin cycle.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` point coordinates (may be empty).
+    lines:
+        ``(m, 2, d)`` line segments as endpoint pairs.
+    boxes:
+        ``(b, 2, d)`` axis-aligned boxes as (lo, hi) pairs.
+    attributes:
+        Named per-primitive arrays (e.g. ``"point_color"``) or scalars.
+    """
+
+    points: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    lines: np.ndarray = field(default_factory=lambda: np.empty((0, 2, 3)))
+    boxes: np.ndarray = field(default_factory=lambda: np.empty((0, 2, 3)))
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def num_points(self) -> int:
+        """Point count."""
+        return len(self.points)
+
+    @property
+    def num_lines(self) -> int:
+        """Line-segment count."""
+        return len(self.lines)
+
+    @property
+    def num_boxes(self) -> int:
+        """Box count."""
+        return len(self.boxes)
+
+    def is_empty(self) -> bool:
+        """Whether the set carries no primitives at all."""
+        return self.num_points == 0 and self.num_lines == 0 and self.num_boxes == 0
+
+    def merged_with(self, other: "GeometrySet") -> "GeometrySet":
+        """Concatenate two geometry sets (attributes from self win)."""
+
+        def cat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            if len(a) == 0:
+                return b
+            if len(b) == 0:
+                return a
+            return np.concatenate([a, b])
+
+        merged_attrs = dict(other.attributes)
+        merged_attrs.update(self.attributes)
+        return GeometrySet(
+            points=cat(self.points, other.points),
+            lines=cat(self.lines, other.lines),
+            boxes=cat(self.boxes, other.boxes),
+            attributes=merged_attrs,
+        )

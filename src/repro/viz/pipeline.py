@@ -1,0 +1,252 @@
+"""The plugin host: graph wiring and the frame cycle.
+
+"On startup, the application ... loads the configuration XML file, which
+contains the plugin graph.  The appropriate plugins are then
+instantiated, each is passed a separate Registry object ... and Start()
+is called" (§5.1).  Here the graph arrives as a list of node specs
+(name, plugin instance, input names); the host wires a private Registry
+per plugin, broadcasts input events, and on each frame cycle drains
+producers that signaled production, pushing their geometry through the
+connected pipes into the consumers.
+
+A producer whose :meth:`~repro.viz.plugin.Producer.get_output` returns
+``None`` (worker mid-swap) stays pending and is retried next frame --
+"the main application will attempt to extract the 3D geometry in the
+next frame cycle".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.viz.camera import Camera
+from repro.viz.events import Registry
+from repro.viz.geometry_set import GeometrySet
+from repro.viz.plugin import Consumer, Pipe, Plugin, Producer
+
+__all__ = ["PluginHost", "PluginNode"]
+
+
+@dataclass
+class PluginNode:
+    """One node of the plugin graph."""
+
+    name: str
+    plugin: Plugin
+    inputs: list[str]
+
+
+class PluginHost:
+    """Hosts a plugin graph and runs the frame cycle."""
+
+    def __init__(self, nodes: list[PluginNode] | list[dict]):
+        self._nodes: dict[str, PluginNode] = {}
+        self._registries: dict[str, Registry] = {}
+        self._order: list[str] = []
+        for raw in nodes:
+            node = raw if isinstance(raw, PluginNode) else PluginNode(
+                name=raw["name"],
+                plugin=raw["plugin"],
+                inputs=list(raw.get("inputs", [])),
+            )
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate plugin name {node.name!r}")
+            self._nodes[node.name] = node
+        self._validate_graph()
+        self._order = self._topological_order()
+        self._started = False
+        self.frames_run = 0
+
+    # -- graph checks ---------------------------------------------------------
+
+    def _validate_graph(self) -> None:
+        for node in self._nodes.values():
+            for input_name in node.inputs:
+                if input_name not in self._nodes:
+                    raise ValueError(
+                        f"plugin {node.name!r} references unknown input {input_name!r}"
+                    )
+            if isinstance(node.plugin, Producer) and node.inputs:
+                raise ValueError(f"producer {node.name!r} cannot have inputs")
+            if isinstance(node.plugin, Pipe) and len(node.inputs) != 1:
+                raise ValueError(f"pipe {node.name!r} needs exactly one input")
+            if isinstance(node.plugin, Consumer) and not node.inputs:
+                raise ValueError(f"consumer {node.name!r} needs at least one input")
+
+    def _topological_order(self) -> list[str]:
+        order: list[str] = []
+        seen: set[str] = set()
+        visiting: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            if name in visiting:
+                raise ValueError(f"plugin graph has a cycle through {name!r}")
+            visiting.add(name)
+            for dep in self._nodes[name].inputs:
+                visit(dep)
+            visiting.discard(name)
+            seen.add(name)
+            order.append(name)
+
+        for name in self._nodes:
+            visit(name)
+        return order
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Initialize and start every plugin (producers may spawn workers)."""
+        if self._started:
+            return
+        for name, node in self._nodes.items():
+            registry = Registry()
+            if isinstance(node.plugin, Producer):
+                registry.bind_producer(node.plugin)
+            if not node.plugin.initialize(registry):
+                raise RuntimeError(f"plugin {name!r} failed to initialize")
+            self._registries[name] = registry
+        for name, node in self._nodes.items():
+            if not node.plugin.start():
+                raise RuntimeError(f"plugin {name!r} failed to start")
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop every plugin (joins worker threads)."""
+        for node in self._nodes.values():
+            node.plugin.stop()
+        self._started = False
+
+    def shutdown(self) -> None:
+        """Stop and release every plugin."""
+        self.stop()
+        for node in self._nodes.values():
+            node.plugin.shutdown()
+
+    # -- events ----------------------------------------------------------------------
+
+    def set_camera(self, camera: Camera) -> None:
+        """Broadcast a camera change to every plugin's registry."""
+        if not self._started:
+            raise RuntimeError("host not started")
+        for registry in self._registries.values():
+            registry.fire_camera_changed(camera)
+
+    def suggest_initial_camera(self) -> Camera | None:
+        """First non-None producer suggestion, in graph order."""
+        for name in self._order:
+            plugin = self._nodes[name].plugin
+            if isinstance(plugin, Producer):
+                suggestion = plugin.suggest_initial()
+                if suggestion is not None:
+                    return suggestion
+        return None
+
+    # -- frame cycle -------------------------------------------------------------------
+
+    def frame(self) -> dict[str, GeometrySet]:
+        """Run one frame cycle; returns geometry delivered per producer."""
+        if not self._started:
+            raise RuntimeError("host not started")
+        self.frames_run += 1
+        delivered: dict[str, GeometrySet] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            if not isinstance(node.plugin, Producer):
+                continue
+            registry = self._registries[name]
+            if not registry.production_pending():
+                continue
+            geometry = node.plugin.get_output()
+            if geometry is None:
+                # Worker mid-swap: retry next frame (flag stays set).
+                continue
+            registry.clear_production()
+            delivered[name] = geometry
+            self._dispatch(name, geometry)
+        return delivered
+
+    def _dispatch(self, source: str, geometry: GeometrySet) -> None:
+        """Push geometry through pipes to consumers, breadth-first."""
+        frontier = [(source, geometry)]
+        while frontier:
+            origin, payload = frontier.pop()
+            for name in self._order:
+                node = self._nodes[name]
+                if origin not in node.inputs:
+                    continue
+                if isinstance(node.plugin, Pipe):
+                    frontier.append((name, node.plugin.process(payload)))
+                elif isinstance(node.plugin, Consumer):
+                    node.plugin.consume(payload)
+
+    def run_until_idle(
+        self, max_frames: int = 100, frame_delay: float = 0.005
+    ) -> int:
+        """Run frames until no production is pending; returns frames used.
+
+        Supports threaded producers: between frames the host sleeps
+        briefly, giving workers time to finish and signal.
+        """
+        for count in range(1, max_frames + 1):
+            self.frame()
+            pending = any(
+                registry.production_pending()
+                for registry in self._registries.values()
+            )
+            busy = any(
+                not node.plugin.is_idle() for node in self._nodes.values()
+            )
+            if not pending and not busy:
+                return count
+            time.sleep(frame_delay)
+        return max_frames
+
+    @staticmethod
+    def from_config(
+        config: dict | str,
+        factories: dict,
+    ) -> "PluginHost":
+        """Build a host from a config mapping or JSON file (the paper's XML).
+
+        "It then loads the configuration XML file, which contains the
+        plugin graph" (§5.1).  The config has the shape::
+
+            {"plugins": [
+                {"name": "points", "type": "point_cloud", "args": {...}},
+                {"name": "screen", "type": "recorder", "inputs": ["points"]}
+            ]}
+
+        ``factories`` maps each ``type`` to a callable receiving the
+        ``args`` mapping and returning a plugin instance (the analog of
+        the reflection-based DLL discovery).
+        """
+        import json
+        from pathlib import Path
+
+        if isinstance(config, str):
+            config = json.loads(Path(config).read_text(encoding="utf-8"))
+        nodes = []
+        for spec in config["plugins"]:
+            kind = spec["type"]
+            if kind not in factories:
+                raise KeyError(f"no factory for plugin type {kind!r}")
+            plugin = factories[kind](**spec.get("args", {}))
+            nodes.append(
+                {
+                    "name": spec["name"],
+                    "plugin": plugin,
+                    "inputs": spec.get("inputs", []),
+                }
+            )
+        return PluginHost(nodes)
+
+    def registry_of(self, name: str) -> Registry:
+        """The registry wired to a named plugin (introspection/tests)."""
+        return self._registries[name]
+
+    def plugin_of(self, name: str) -> Plugin:
+        """The plugin instance behind a node name."""
+        return self._nodes[name].plugin

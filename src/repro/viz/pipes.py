@@ -1,0 +1,113 @@
+"""Reusable pipes: the ParaView-filter analogs (§5).
+
+"Pipes are input/output objects which transform their input in some
+manner (they correspond to ParaView's filters).  ParaView demonstrates
+that this is a very powerful paradigm: well designed pipes can be used
+in many visualization contexts."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Box
+from repro.viz.geometry_set import GeometrySet
+from repro.viz.plugin import Pipe
+
+__all__ = ["SubsamplePipe", "ClipBoxPipe", "ColorByDensityPipe"]
+
+
+class SubsamplePipe(Pipe):
+    """Randomly keeps at most ``max_points`` points (deterministic seed).
+
+    The budget guard in front of a renderer: "visualizing more than a
+    few million objects is not possible on consumer-grade PCs, our
+    target architecture" (§5).
+    """
+
+    def __init__(self, max_points: int, seed: int = 0):
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        self.max_points = max_points
+        self._rng = np.random.default_rng(seed)
+
+    def process(self, geometry: GeometrySet) -> GeometrySet:
+        """Pass through unless the point budget is exceeded."""
+        if geometry.num_points <= self.max_points:
+            return geometry
+        keep = self._rng.choice(
+            geometry.num_points, self.max_points, replace=False
+        )
+        keep.sort()
+        attributes = dict(geometry.attributes)
+        for key, value in list(attributes.items()):
+            if isinstance(value, np.ndarray) and len(value) == geometry.num_points:
+                attributes[key] = value[keep]
+        return GeometrySet(
+            points=geometry.points[keep],
+            lines=geometry.lines,
+            boxes=geometry.boxes,
+            attributes=attributes,
+        )
+
+
+class ClipBoxPipe(Pipe):
+    """Drops primitives outside a clip box (a hard view frustum)."""
+
+    def __init__(self, box: Box):
+        self.box = box
+
+    def process(self, geometry: GeometrySet) -> GeometrySet:
+        """Clip points and lines to the box (boxes pass if intersecting)."""
+        points = geometry.points
+        if len(points):
+            points = points[self.box.contains_points(points)]
+        lines = geometry.lines
+        if len(lines):
+            keep = self.box.contains_points(
+                lines[:, 0, :]
+            ) | self.box.contains_points(lines[:, 1, :])
+            lines = lines[keep]
+        boxes = geometry.boxes
+        if len(boxes):
+            keep = np.array(
+                [self.box.intersects(Box(lo, hi)) for lo, hi in boxes]
+            )
+            boxes = boxes[keep]
+        return GeometrySet(
+            points=points, lines=lines, boxes=boxes,
+            attributes=dict(geometry.attributes),
+        )
+
+
+class ColorByDensityPipe(Pipe):
+    """Attaches a per-point local-density color scalar.
+
+    The Figure 16 coloring idea ("colors correspond to the volume of
+    cells") applied to point clouds: density estimated by the k-th
+    neighbor distance within the frame's own points.
+    """
+
+    def __init__(self, k: int = 8):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def process(self, geometry: GeometrySet) -> GeometrySet:
+        """Add a ``point_density`` attribute (higher = denser)."""
+        attributes = dict(geometry.attributes)
+        points = geometry.points
+        if len(points) > self.k:
+            from scipy.spatial import cKDTree
+
+            dists, _ = cKDTree(points).query(points, k=self.k + 1)
+            radius = np.maximum(dists[:, -1], 1e-12)
+            attributes["point_density"] = 1.0 / radius ** points.shape[1]
+        else:
+            attributes["point_density"] = np.ones(len(points))
+        return GeometrySet(
+            points=points,
+            lines=geometry.lines,
+            boxes=geometry.boxes,
+            attributes=attributes,
+        )

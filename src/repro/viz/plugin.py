@@ -1,0 +1,83 @@
+"""Plugin interfaces: Plugin, Producer, Pipe, Consumer.
+
+A Python rendering of the paper's Figure 12 interfaces::
+
+    public interface Plugin   { Initialize(Registry); Start(); Stop(); Shutdown(); }
+    public interface Producer : Plugin { GeometrySet GetOutput(); Camera SuggestInitial(); }
+
+Producers "are, from the visualization application's perspective, the
+source of all geometry data"; Pipes "are input/output objects which
+transform their input in some manner" (ParaView's filters); Consumers
+terminate a pipeline (the renderer -- here, typically a recorder).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.viz.camera import Camera
+from repro.viz.events import Registry
+from repro.viz.geometry_set import GeometrySet
+
+__all__ = ["Plugin", "Producer", "Pipe", "Consumer"]
+
+
+class Plugin(abc.ABC):
+    """Lifecycle shared by every plugin."""
+
+    def initialize(self, registry: Registry) -> bool:
+        """Receive the registry; subscribe to events here.  True = ok."""
+        self.registry = registry
+        return True
+
+    def start(self) -> bool:
+        """Begin producing/consuming (spawn worker threads if any)."""
+        return True
+
+    def stop(self) -> bool:
+        """Pause activity (join worker threads)."""
+        return True
+
+    def shutdown(self) -> None:
+        """Release resources; the plugin will not be used again."""
+
+    def is_idle(self) -> bool:
+        """Whether the plugin has no work in flight.
+
+        The host's ``run_until_idle`` polls this; threaded producers
+        override it to report queued or in-progress computations.
+        """
+        return True
+
+
+class Producer(Plugin):
+    """Output-only plugin: the source of all geometry."""
+
+    @abc.abstractmethod
+    def get_output(self) -> GeometrySet | None:
+        """The latest completed geometry, or ``None`` when unavailable.
+
+        Must never block: in the multithreaded case this tries a
+        non-blocking lock and returns ``None`` if the worker is mid-swap;
+        the host simply retries next frame (§5.1).
+        """
+
+    def suggest_initial(self) -> Camera | None:
+        """A sensible starting camera, if the producer knows one."""
+        return None
+
+
+class Pipe(Plugin):
+    """Transforms geometry in a pipeline (ParaView-filter analog)."""
+
+    @abc.abstractmethod
+    def process(self, geometry: GeometrySet) -> GeometrySet:
+        """Map input geometry to output geometry."""
+
+
+class Consumer(Plugin):
+    """Terminal plugin receiving the pipeline's output each frame."""
+
+    @abc.abstractmethod
+    def consume(self, geometry: GeometrySet) -> None:
+        """Accept one frame's geometry."""

@@ -1,0 +1,383 @@
+"""Concrete producers: the paper's three visualization use-cases (§5.2).
+
+* :class:`AdaptivePointCloudProducer` -- "responds to camera changes by
+  first checking its local cache, and if necessary querying the server
+  for new points to ensure that there are at least n (we use n = 100K)
+  objects in view" (Figure 14); backed by the layered grid index.
+* :class:`KdBoxProducer` -- "queries the kd-tree of the 270M magnitude
+  table and displays the sub-tree according to the visualization camera
+  at an appropriate depth so that at least n (we use n = 500) kd-boxes
+  are visible" (Figure 15).
+* :class:`DelaunayEdgeProducer` / :class:`VoronoiCellProducer` -- the
+  3-level adaptive Delaunay / Voronoi visualization: "the plugins query
+  the Delaunay graph of the 1K point table, and if not enough edges are
+  returned, it goes on to the 10K and subsequently 100K tables" (Figure
+  16); the Voronoi plugin derives the induced cell skeleton from the
+  Delaunay structure, colored by cell volume.
+
+Every producer supports single-threaded (compute inside the event
+handler) and multi-threaded (worker thread + non-blocking
+``get_output``) operation -- the two models of §5.1.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.core.kdtree import KdTreeIndex
+from repro.core.layered_grid import LayeredGridIndex
+from repro.geometry.boxes import Box
+from repro.tessellation.delaunay import DelaunayGraph
+from repro.tessellation.density import voronoi_volume_estimates
+from repro.viz.cache import GeometryCache
+from repro.viz.camera import Camera
+from repro.viz.events import Registry
+from repro.viz.geometry_set import GeometrySet
+from repro.viz.plugin import Consumer, Producer
+
+__all__ = [
+    "ThreadedProducerBase",
+    "AdaptivePointCloudProducer",
+    "KdBoxProducer",
+    "DelaunayEdgeProducer",
+    "VoronoiCellProducer",
+    "RecordingConsumer",
+]
+
+
+class ThreadedProducerBase(Producer):
+    """Shared camera-driven production machinery.
+
+    Single-threaded mode computes geometry inside the camera event
+    handler.  Multi-threaded mode pushes cameras onto a queue drained by
+    a worker thread; the completed GeometrySet is swapped in under a
+    lock, ``get_output`` uses a *non-blocking* acquire and returns
+    ``None`` when the worker holds the lock -- the paper's handshake:
+    "the typical implementation of the GetOutput() function tries to
+    obtain a lock using a non-blocking call, and if it fails, it returns
+    null" (§5.1).
+    """
+
+    def __init__(self, threaded: bool = False, cache_size: int = 8):
+        self.threaded = threaded
+        self.cache = GeometryCache(cache_size)
+        self._lock = threading.Lock()
+        self._latest: GeometrySet | None = None
+        self._queue: "queue.Queue[Camera | None]" = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self.db_queries = 0
+
+    def is_idle(self) -> bool:
+        """No queued cameras and no computation in progress."""
+        with self._inflight_lock:
+            return self._inflight == 0
+
+    # Subclasses implement the actual geometry computation.
+    def _compute(self, camera: Camera) -> GeometrySet:
+        raise NotImplementedError
+
+    def initialize(self, registry: Registry) -> bool:
+        super().initialize(registry)
+        registry.camera_box_changed.subscribe(self._on_camera_changed)
+        return True
+
+    def start(self) -> bool:
+        if self.threaded and self._worker is None:
+            self._worker = threading.Thread(target=self._worker_loop, daemon=True)
+            self._worker.start()
+        return True
+
+    def stop(self) -> bool:
+        if self._worker is not None:
+            self._queue.put(None)
+            self._worker.join(timeout=5.0)
+            self._worker = None
+        return True
+
+    def _on_camera_changed(self, camera: Camera) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+        if self.threaded:
+            self._queue.put(camera)
+        else:
+            self._produce(camera)
+
+    def _worker_loop(self) -> None:
+        while True:
+            camera = self._queue.get()
+            if camera is None:
+                return
+            # Coalesce: only the freshest camera matters.
+            while True:
+                try:
+                    newer = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if newer is None:
+                    self._queue.put(None)
+                    break
+                with self._inflight_lock:
+                    self._inflight -= 1  # superseded camera, never produced
+                camera = newer
+            self._produce(camera)
+
+    def _produce(self, camera: Camera) -> None:
+        try:
+            key = camera.quantized_key()
+            geometry = self.cache.get(key)
+            if geometry is None:
+                geometry = self._compute(camera)
+                self.cache.put(key, geometry)
+            with self._lock:
+                self._latest = geometry
+            self.registry.signal_production(self)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def get_output(self) -> GeometrySet | None:
+        acquired = self._lock.acquire(blocking=False)
+        if not acquired:
+            return None
+        try:
+            return self._latest
+        finally:
+            self._lock.release()
+
+
+class AdaptivePointCloudProducer(ThreadedProducerBase):
+    """Adaptive point cloud over a :class:`LayeredGridIndex` (Figure 14)."""
+
+    def __init__(
+        self,
+        grid: LayeredGridIndex,
+        target_points: int = 1000,
+        threaded: bool = False,
+        cache_size: int = 8,
+    ):
+        super().__init__(threaded=threaded, cache_size=cache_size)
+        self.grid = grid
+        self.target_points = target_points
+
+    def suggest_initial(self) -> Camera:
+        """Start looking at the whole dataset."""
+        return Camera(self.grid.bounds)
+
+    def _compute(self, camera: Camera) -> GeometrySet:
+        self.db_queries += 1
+        result = self.grid.sample_box(camera.view_box, self.target_points)
+        return GeometrySet(
+            points=result.points,
+            attributes={
+                "row_ids": result.row_ids,
+                "layers_used": result.layers_used,
+                "pages_touched": result.stats.pages_touched,
+            },
+        )
+
+
+class KdBoxProducer(ThreadedProducerBase):
+    """Kd-tree boxes at a view-appropriate depth (Figure 15)."""
+
+    def __init__(
+        self,
+        index: KdTreeIndex,
+        target_boxes: int = 50,
+        threaded: bool = False,
+        cache_size: int = 8,
+    ):
+        super().__init__(threaded=threaded, cache_size=cache_size)
+        self.index = index
+        self.target_boxes = target_boxes
+
+    def suggest_initial(self) -> Camera:
+        """Start at the root bounding box."""
+        return Camera(self.index.tree.tight_box(1))
+
+    def _compute(self, camera: Camera) -> GeometrySet:
+        self.db_queries += 1
+        tree = self.index.tree
+        view = camera.view_box
+        # Breadth-first deepening: expand the visible frontier until at
+        # least target_boxes boxes intersect the view (or we hit leaves).
+        frontier = [1]
+        while True:
+            visible = [
+                node for node in frontier
+                if tree.leaf_size(node) > 0 and tree.tight_box(node).intersects(view)
+            ]
+            expandable = [n for n in visible if not tree.is_leaf(n)]
+            if len(visible) >= self.target_boxes or not expandable:
+                break
+            frontier = [
+                child
+                for node in frontier
+                for child in (
+                    (2 * node, 2 * node + 1) if not tree.is_leaf(node) else (node,)
+                )
+            ]
+        if not visible:
+            return GeometrySet(boxes=np.empty((0, 2, tree.dim)))
+        boxes = np.stack(
+            [
+                np.stack([tree.tight_box(n).lo, tree.tight_box(n).hi])
+                for n in visible
+            ]
+        )
+        depths = np.array([int(np.floor(np.log2(n))) + 1 for n in visible])
+        return GeometrySet(boxes=boxes, attributes={"depths": depths})
+
+
+class DelaunayEdgeProducer(ThreadedProducerBase):
+    """Multi-level Delaunay edges clipped to the view (Figure 16, edges)."""
+
+    def __init__(
+        self,
+        levels: list[DelaunayGraph],
+        target_edges: int = 100,
+        threaded: bool = False,
+        cache_size: int = 8,
+    ):
+        if hasattr(levels, "graphs"):  # accept a DelaunayPyramid directly
+            levels = levels.graphs
+        if not levels:
+            raise ValueError("need at least one Delaunay level")
+        super().__init__(threaded=threaded, cache_size=cache_size)
+        self.levels = list(levels)
+        self.target_edges = target_edges
+        self._level_edges = [graph.edges() for graph in self.levels]
+
+    def suggest_initial(self) -> Camera:
+        """Start looking at the coarsest level's bounding box."""
+        return Camera(Box.from_points(self.levels[0].seeds))
+
+    def _visible_edges(self, level: int, view: Box) -> np.ndarray:
+        graph = self.levels[level]
+        edges = self._level_edges[level]
+        if len(edges) == 0:
+            return np.empty((0, 2, graph.dim))
+        a_in = view.contains_points(graph.seeds[edges[:, 0]])
+        b_in = view.contains_points(graph.seeds[edges[:, 1]])
+        keep = a_in | b_in
+        segments = np.stack(
+            [graph.seeds[edges[keep, 0]], graph.seeds[edges[keep, 1]]], axis=1
+        )
+        return segments
+
+    def _compute(self, camera: Camera) -> GeometrySet:
+        self.db_queries += 1
+        chosen_level = 0
+        segments = self._visible_edges(0, camera.view_box)
+        for level in range(1, len(self.levels)):
+            if len(segments) >= self.target_edges:
+                break
+            chosen_level = level
+            segments = self._visible_edges(level, camera.view_box)
+        return GeometrySet(
+            lines=segments, attributes={"level": chosen_level}
+        )
+
+
+class VoronoiCellProducer(ThreadedProducerBase):
+    """Induced Voronoi cell skeleton, colored by cell volume (Figure 16)."""
+
+    def __init__(
+        self,
+        levels: list[DelaunayGraph],
+        target_cells: int = 20,
+        threaded: bool = False,
+        cache_size: int = 8,
+    ):
+        if hasattr(levels, "graphs"):  # accept a DelaunayPyramid directly
+            levels = levels.graphs
+        if not levels:
+            raise ValueError("need at least one Delaunay level")
+        super().__init__(threaded=threaded, cache_size=cache_size)
+        self.levels = list(levels)
+        self.target_cells = target_cells
+        self._volumes = [voronoi_volume_estimates(graph) for graph in self.levels]
+        self._centers = []
+        self._simplex_neighbors = []
+        for graph in self.levels:
+            centers, _ = graph.circumcenters()
+            self._centers.append(centers)
+            self._simplex_neighbors.append(graph._tri.neighbors)
+
+    def suggest_initial(self) -> Camera:
+        """Start looking at the coarsest level's bounding box."""
+        return Camera(Box.from_points(self.levels[0].seeds))
+
+    def _cell_skeleton(self, level: int, view: Box) -> tuple[np.ndarray, np.ndarray]:
+        """Voronoi edges (adjacent circumcenters around visible seeds)."""
+        graph = self.levels[level]
+        centers = self._centers[level]
+        neighbors = self._simplex_neighbors[level]
+        visible_seeds = np.flatnonzero(view.contains_points(graph.seeds))
+        visible_set = set(visible_seeds.tolist())
+        segments: list[np.ndarray] = []
+        seg_volumes: list[float] = []
+        simplices = graph.simplices
+        for simplex_idx, simplex in enumerate(simplices):
+            shared = visible_set.intersection(simplex.tolist())
+            if not shared:
+                continue
+            center_a = centers[simplex_idx]
+            if not np.all(np.isfinite(center_a)):
+                continue
+            for other_idx in neighbors[simplex_idx]:
+                if other_idx <= simplex_idx:  # dedupe + skip hull (-1)
+                    continue
+                common = shared.intersection(simplices[other_idx].tolist())
+                if not common:
+                    continue
+                center_b = centers[other_idx]
+                if not np.all(np.isfinite(center_b)):
+                    continue
+                segments.append(np.stack([center_a, center_b]))
+                seed = next(iter(common))
+                seg_volumes.append(float(self._volumes[level][seed]))
+        if not segments:
+            return np.empty((0, 2, graph.dim)), np.empty(0)
+        return np.stack(segments), np.array(seg_volumes)
+
+    def _compute(self, camera: Camera) -> GeometrySet:
+        self.db_queries += 1
+        view = camera.view_box
+        chosen_level = 0
+        for level in range(len(self.levels)):
+            chosen_level = level
+            visible = int(
+                np.count_nonzero(view.contains_points(self.levels[level].seeds))
+            )
+            if visible >= self.target_cells:
+                break
+        segments, volumes = self._cell_skeleton(chosen_level, view)
+        return GeometrySet(
+            lines=segments,
+            attributes={"level": chosen_level, "cell_volumes": volumes},
+        )
+
+
+class RecordingConsumer(Consumer):
+    """Stores every received geometry set (the test/benchmark renderer)."""
+
+    def __init__(self) -> None:
+        self.frames: list[GeometrySet] = []
+
+    def consume(self, geometry: GeometrySet) -> None:
+        """Record one frame of geometry."""
+        self.frames.append(geometry)
+
+    @property
+    def total_points(self) -> int:
+        """Sum of point counts over all recorded frames."""
+        return sum(frame.num_points for frame in self.frames)
+
+    def last(self) -> GeometrySet | None:
+        """The most recent frame, if any."""
+        return self.frames[-1] if self.frames else None

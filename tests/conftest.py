@@ -1,0 +1,67 @@
+"""Shared fixtures: small datasets, databases, and prebuilt indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, KdTreeIndex, LayeredGridIndex, VoronoiIndex
+from repro.datasets import sdss_color_sample
+
+
+@pytest.fixture(scope="session")
+def clustered_points_3d() -> np.ndarray:
+    """A bimodal 3-D point cloud (clustered, anisotropic)."""
+    rng = np.random.default_rng(7)
+    return np.vstack(
+        [
+            rng.normal([0.0, 0.0, 0.0], [0.4, 0.2, 0.6], size=(4000, 3)),
+            rng.normal([3.0, 2.0, 1.0], [0.8, 0.5, 0.3], size=(4000, 3)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def sdss_sample():
+    """A small labeled SDSS color-space sample."""
+    return sdss_color_sample(6000, seed=11)
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh in-memory database with an unbounded buffer pool."""
+    return Database.in_memory(buffer_pages=None)
+
+
+@pytest.fixture(scope="session")
+def shared_db() -> Database:
+    """A session-wide database for expensive index builds."""
+    return Database.in_memory(buffer_pages=None)
+
+
+@pytest.fixture(scope="session")
+def kd_index(shared_db, clustered_points_3d) -> KdTreeIndex:
+    """Kd-tree index over the bimodal cloud."""
+    pts = clustered_points_3d
+    data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+    return KdTreeIndex.build(shared_db, "fixture_kd", data, ["x", "y", "z"])
+
+
+@pytest.fixture(scope="session")
+def voronoi_index(shared_db, clustered_points_3d) -> VoronoiIndex:
+    """Voronoi index over the bimodal cloud."""
+    pts = clustered_points_3d
+    data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+    return VoronoiIndex.build(
+        shared_db, "fixture_vor", data, ["x", "y", "z"], num_seeds=200
+    )
+
+
+@pytest.fixture(scope="session")
+def grid_index(shared_db, clustered_points_3d) -> LayeredGridIndex:
+    """Layered grid index over the bimodal cloud."""
+    pts = clustered_points_3d
+    data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+    return LayeredGridIndex.build(
+        shared_db, "fixture_grid", data, ["x", "y", "z"], base=256
+    )

@@ -1,0 +1,205 @@
+"""Tests for the application layer: archive, planner, outlier detectors."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    KdTreeIndex,
+    KdTreeOutlierDetector,
+    QueryPlanner,
+    QueryWorkload,
+    SpectrumArchive,
+    SpectrumTemplates,
+    VoronoiOutlierDetector,
+    sdss_color_sample,
+)
+from repro.ml.outliers import flag_fraction
+
+BANDS = ["u", "g", "r", "i", "z"]
+
+
+class TestSpectrumArchive:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        rng = np.random.default_rng(7)
+        templates = SpectrumTemplates()
+        spectra, classes = [], []
+        for _ in range(50):
+            z = rng.uniform(0.0, 0.25)
+            spectra.append(templates.observe(templates.elliptical(z), 40, rng))
+            classes.append(0)
+            spectra.append(templates.observe(templates.quasar(z), 40, rng))
+            classes.append(1)
+            spectra.append(templates.observe(templates.starburst(z), 40, rng))
+            classes.append(2)
+        db = Database.in_memory(buffer_pages=None)
+        archive = SpectrumArchive.build(
+            db, "arch", np.array(spectra), metadata={"cls": np.array(classes)}
+        )
+        return archive, np.array(spectra), np.array(classes)
+
+    def test_shapes(self, archive):
+        ar, spectra, _ = archive
+        assert ar.num_spectra == len(spectra)
+        assert ar.num_components == 5
+        assert len(ar.explained_variance_ratio()) == 5
+
+    def test_fetch_roundtrip(self, archive):
+        ar, spectra, _ = archive
+        for sid in (0, 73, 149):
+            assert np.allclose(ar.fetch_spectrum(sid), spectra[sid])
+
+    def test_fetch_bounds(self, archive):
+        ar, _, _ = archive
+        with pytest.raises(IndexError):
+            ar.fetch_spectrum(10_000)
+
+    def test_similar_same_class(self, archive):
+        ar, spectra, classes = archive
+        correct = total = 0
+        for query in range(0, len(spectra), 17):
+            for match in ar.similar(spectra[query], k=2):
+                correct += int(match.metadata["cls"] == classes[query])
+                total += 1
+        assert correct / total > 0.9
+
+    def test_similar_skips_self(self, archive):
+        ar, spectra, _ = archive
+        matches = ar.similar(spectra[0], k=2)
+        assert all(m.spectrum_id != 0 for m in matches)
+
+    def test_similar_keep_self(self, archive):
+        ar, spectra, _ = archive
+        matches = ar.similar(spectra[0], k=1, skip_self=False)
+        assert matches[0].spectrum_id == 0
+        assert matches[0].distance < 1e-9
+
+    def test_similar_returns_full_spectra(self, archive):
+        ar, spectra, _ = archive
+        match = ar.similar(spectra[3], k=1)[0]
+        assert match.spectrum.shape == spectra[0].shape
+        assert np.allclose(match.spectrum, spectra[match.spectrum_id])
+
+    def test_bulk_scan_column(self, archive):
+        ar, spectra, _ = archive
+        assert np.allclose(ar.spectra_column().read_all(), spectra)
+
+    def test_validation(self):
+        db = Database.in_memory()
+        with pytest.raises(ValueError):
+            SpectrumArchive.build(db, "bad", np.zeros((1, 10)))
+        with pytest.raises(ValueError):
+            SpectrumArchive.build(
+                db, "bad2", np.random.default_rng(0).normal(size=(10, 20)),
+                metadata={"x": np.zeros(3)},
+            )
+        ar = SpectrumArchive.build(
+            db, "ok", np.random.default_rng(0).normal(size=(10, 20)),
+            num_components=2,
+        )
+        with pytest.raises(ValueError):
+            ar.similar(np.zeros(20), k=0)
+
+
+class TestQueryPlanner:
+    @pytest.fixture(scope="class")
+    def planner_setup(self):
+        sample = sdss_color_sample(20_000, seed=3)
+        db = Database.in_memory(buffer_pages=None)
+        index = KdTreeIndex.build(db, "plan_kd", sample.columns(), BANDS)
+        return sample, QueryPlanner(index, seed=1)
+
+    def test_selective_query_uses_index(self, planner_setup):
+        sample, planner = planner_setup
+        workload = QueryWorkload(sample.magnitudes, seed=4)
+        result = planner.execute(workload.box_query(0.002).polyhedron(BANDS))
+        assert result.chosen_path == "kdtree"
+
+    def test_unselective_query_uses_scan(self, planner_setup):
+        sample, planner = planner_setup
+        workload = QueryWorkload(sample.magnitudes, seed=5)
+        result = planner.execute(workload.box_query(0.7).polyhedron(BANDS))
+        assert result.chosen_path == "scan"
+        assert result.estimated_selectivity > 0.25
+
+    def test_results_are_exact_either_way(self, planner_setup):
+        sample, planner = planner_setup
+        workload = QueryWorkload(sample.magnitudes, seed=6)
+        for target in (0.01, 0.5):
+            poly = workload.box_query(target).polyhedron(BANDS)
+            result = planner.execute(poly)
+            expected = int(poly.contains_points(sample.magnitudes).sum())
+            assert result.stats.rows_returned == expected
+
+    def test_estimates_are_calibrated(self, planner_setup):
+        sample, planner = planner_setup
+        workload = QueryWorkload(sample.magnitudes, seed=7)
+        for target in (0.05, 0.3):
+            poly = workload.box_query(target).polyhedron(BANDS)
+            estimate, probed = planner.estimate_selectivity(poly)
+            truth = poly.contains_points(sample.magnitudes).mean()
+            assert probed >= 1
+            assert abs(estimate - truth) < 0.15
+
+    def test_validation(self, planner_setup):
+        _, planner = planner_setup
+        with pytest.raises(ValueError):
+            QueryPlanner(planner.index, crossover=0.0)
+        with pytest.raises(ValueError):
+            QueryPlanner(planner.index, sample_pages=0)
+
+
+class TestOutlierDetectors:
+    @pytest.fixture(scope="class")
+    def labeled_colors(self):
+        sample = sdss_color_sample(15_000, seed=9)
+        return sample.colors(), sample.labels == 3
+
+    def test_kd_detector_beats_chance(self, labeled_colors):
+        colors, truth = labeled_colors
+        detector = KdTreeOutlierDetector(colors)
+        flags = detector.flag(0.05)
+        precision = truth[flags].mean()
+        assert precision > 3 * truth.mean()
+
+    def test_voronoi_detector_beats_chance(self, labeled_colors):
+        colors, truth = labeled_colors
+        detector = VoronoiOutlierDetector(colors, num_seeds=400)
+        flags = detector.flag(0.05)
+        precision = truth[flags].mean()
+        assert precision > 5 * truth.mean()
+
+    def test_scores_shape_and_direction(self, labeled_colors):
+        colors, truth = labeled_colors
+        detector = VoronoiOutlierDetector(colors, num_seeds=400)
+        scores = detector.scores()
+        assert scores.shape == (len(colors),)
+        # Outliers score higher on average.
+        assert scores[truth].mean() > scores[~truth].mean()
+
+    def test_flag_fraction_size(self, labeled_colors):
+        colors, _ = labeled_colors
+        detector = KdTreeOutlierDetector(colors)
+        flags = detector.flag(0.1)
+        assert abs(flags.mean() - 0.1) < 0.05
+
+    def test_flag_fraction_validation(self):
+        with pytest.raises(ValueError):
+            flag_fraction(np.arange(10.0), 0.0)
+        with pytest.raises(ValueError):
+            flag_fraction(np.arange(10.0), 1.0)
+
+    def test_voronoi_seed_guard(self):
+        with pytest.raises(ValueError):
+            VoronoiOutlierDetector(np.zeros((10, 2)), num_seeds=50)
+
+    def test_kd_detector_isolated_point(self):
+        # One far-away point in a tight cluster must share the top score
+        # (its leaf's box is stretched to reach it, so the whole leaf --
+        # the kd detector's resolution limit -- scores maximal).
+        rng = np.random.default_rng(0)
+        pts = np.vstack([rng.normal(0, 0.1, (500, 2)), [[50.0, 50.0]]])
+        detector = KdTreeOutlierDetector(pts, num_levels=5)
+        scores = detector.scores()
+        assert scores[500] == scores.max()

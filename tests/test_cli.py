@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "CIDR 2007" in out
+        assert "repro.db" in out
+
+    def test_bench_hint(self, capsys):
+        assert main(["bench-hint"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark-only" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--rows", "3000", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 selection" in out
+        assert "full scan" in out
+        assert "10-NN" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,243 @@
+"""Tests for the kd-tree structure and index."""
+
+import numpy as np
+import pytest
+
+from repro.core.kdtree import KdTree, KdTreeIndex, default_num_levels
+from repro.db import Database
+from repro.geometry import Box, Polyhedron
+from repro.core import polyhedron_full_scan
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(13)
+    return np.vstack(
+        [rng.normal(0, 1, (3000, 3)), rng.normal([4, 4, 4], 0.5, (1000, 3))]
+    )
+
+
+@pytest.fixture(scope="module")
+def tree(points):
+    return KdTree(points, num_levels=6)
+
+
+class TestSizing:
+    def test_default_levels_follow_sqrt_rule(self):
+        # The paper: 270M rows -> 15 levels, 2^14 leaves, ~16K per leaf.
+        assert default_num_levels(270_000_000) == 15
+
+    def test_default_levels_small(self):
+        assert default_num_levels(1) == 1
+        assert default_num_levels(0) == 1
+
+    def test_sqrt_rule_balances_leaf_count_and_size(self):
+        n = 65536
+        levels = default_num_levels(n)
+        leaves = 2 ** (levels - 1)
+        per_leaf = n / leaves
+        assert 0.5 <= leaves / per_leaf <= 2.0
+
+    def test_too_many_levels_rejected(self, points):
+        with pytest.raises(ValueError):
+            KdTree(points[:4], num_levels=10)
+
+    def test_bad_axis_policy(self, points):
+        with pytest.raises(ValueError):
+            KdTree(points, axis_policy="zigzag")
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            KdTree(np.empty((0, 3)))
+
+
+class TestStructure:
+    def test_leaf_count(self, tree):
+        assert tree.num_leaves == 32
+        assert tree.num_nodes == 63
+
+    def test_balance(self, tree):
+        sizes = [tree.leaf_size(leaf) for leaf in range(32, 64)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == tree.num_points
+
+    def test_segments_partition_rows(self, tree):
+        # Children split the parent's row range exactly.
+        for node in range(1, 32):
+            start, end = tree.node_rows(node)
+            l_start, l_end = tree.node_rows(2 * node)
+            r_start, r_end = tree.node_rows(2 * node + 1)
+            assert (start, end) == (l_start, r_end)
+            assert l_end == r_start
+
+    def test_permutation_is_a_permutation(self, tree):
+        assert np.array_equal(np.sort(tree.permutation), np.arange(tree.num_points))
+
+    def test_split_separates_points(self, tree, points):
+        for node in (1, 2, 3, 7, 15):
+            axis, value = tree.split_plane(node)
+            l_start, l_end = tree.node_rows(2 * node)
+            r_start, r_end = tree.node_rows(2 * node + 1)
+            left = points[tree.permutation[l_start:l_end], axis]
+            right = points[tree.permutation[r_start:r_end], axis]
+            assert left.max() <= value <= right.min()
+
+    def test_split_plane_on_leaf_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.split_plane(32)
+
+    def test_partition_boxes_tile_root(self, tree, points):
+        # Every point lies in its leaf's partition box; leaf boxes' total
+        # volume equals the root volume.
+        root = tree.partition_box(1)
+        volume = sum(tree.partition_box(leaf).volume for leaf in range(32, 64))
+        assert np.isclose(volume, root.volume, rtol=1e-9)
+
+    def test_points_in_their_partition_box(self, tree, points):
+        for leaf in range(32, 64):
+            start, end = tree.node_rows(leaf)
+            rows = tree.permutation[start:end]
+            assert tree.partition_box(leaf).contains_points(points[rows]).all()
+
+    def test_tight_boxes_contained_in_partition(self, tree):
+        for node in range(1, 64):
+            if tree.leaf_size(node) == 0:
+                continue
+            assert tree.partition_box(node).expanded(1e-9).contains_box(
+                tree.tight_box(node)
+            )
+
+    def test_tight_boxes_nest_upward(self, tree):
+        for node in range(1, 32):
+            parent = tree.tight_box(node)
+            for child in (2 * node, 2 * node + 1):
+                if tree.leaf_size(child):
+                    assert parent.contains_box(tree.tight_box(child))
+
+
+class TestPostOrder:
+    def test_ids_are_a_permutation(self, tree):
+        ids = [tree.post_order_id(node) for node in range(1, 64)]
+        assert sorted(ids) == list(range(1, 64))
+
+    def test_root_is_last(self, tree):
+        assert tree.post_order_id(1) == 63
+
+    def test_subtree_between_property(self, tree):
+        # Every descendant's id lies in the node's post-order range --
+        # the property that makes subtree retrieval a BETWEEN.
+        for node in range(1, 64):
+            lo, hi = tree.post_order_range(node)
+            descendants = [node]
+            frontier = [node]
+            while frontier:
+                current = frontier.pop()
+                if not tree.is_leaf(current):
+                    frontier += [2 * current, 2 * current + 1]
+                    descendants += [2 * current, 2 * current + 1]
+            for d in descendants:
+                assert lo <= tree.post_order_id(d) <= hi
+        assert tree.post_order_range(1) == (1, 63)
+
+    def test_leaf_ids_increase_left_to_right(self, tree):
+        leaf_ids = tree.leaf_post_order_ids()
+        assert (np.diff(leaf_ids) > 0).all()
+
+
+class TestPointLocation:
+    def test_leaf_of_point_contains_it(self, tree, points):
+        rng = np.random.default_rng(0)
+        for idx in rng.choice(tree.num_points, 100, replace=False):
+            leaf = tree.leaf_of_point(points[idx])
+            assert tree.partition_box(leaf).contains_point(points[idx])
+
+    def test_leaves_containing_interior_point_is_single(self, tree):
+        point = tree.partition_box(40).center
+        leaves = tree.leaves_containing(point)
+        assert leaves == [tree.leaf_of_point(point)]
+
+    def test_leaves_containing_cut_plane_point(self, tree):
+        axis, value = tree.split_plane(1)
+        point = tree.partition_box(1).center.copy()
+        point[axis] = value
+        leaves = tree.leaves_containing(point)
+        assert len(leaves) >= 2
+        for leaf in leaves:
+            assert tree.partition_box(leaf).contains_point(point)
+
+    def test_leaf_statistics_keys(self, tree):
+        stats = tree.leaf_statistics()
+        assert stats["num_leaves"] == 32
+        assert stats["mean_leaf_size"] * 32 == tree.num_points
+
+
+class TestKdTreeIndex:
+    @pytest.fixture(scope="class")
+    def index(self, points):
+        db = Database.in_memory(buffer_pages=None)
+        data = {"x": points[:, 0], "y": points[:, 1], "z": points[:, 2]}
+        return KdTreeIndex.build(db, "kd", data, ["x", "y", "z"], num_levels=6)
+
+    def test_registered_in_catalog(self, index):
+        assert index.table.clustered_by == ("kd_leaf",)
+
+    def test_rows_clustered_by_leaf(self, index):
+        leaf_col = index.table.read_column("kd_leaf")
+        assert (np.diff(leaf_col) >= 0).all()
+
+    def test_leaf_ranges_address_clustered_table(self, index, points):
+        tree = index.tree
+        for leaf in (32, 45, 63):
+            start, end = tree.node_rows(leaf)
+            rows = index.table.read_rows(start, end)
+            got = np.column_stack([rows["x"], rows["y"], rows["z"]])
+            expected = points[tree.permutation[start:end]]
+            assert sorted(map(tuple, np.round(got, 9))) == sorted(
+                map(tuple, np.round(expected, 9))
+            )
+
+    def test_box_query_matches_scan(self, index, points):
+        box = Box(np.array([-0.5, -0.5, -0.5]), np.array([0.7, 0.7, 0.7]))
+        rows, stats = index.query_box(box)
+        expected = int(box.contains_points(points).sum())
+        assert stats.rows_returned == expected
+        pts = index.points_of(rows)
+        assert box.contains_points(pts).all()
+
+    def test_polyhedron_query_matches_scan(self, index, points):
+        poly = Polyhedron.simplex_around(np.array([0.0, 0.0, 0.0]), 1.0)
+        rows, stats = index.query_polyhedron(poly)
+        _, scan_stats = polyhedron_full_scan(index.table, index.dims, poly)
+        assert stats.rows_returned == scan_stats.rows_returned
+
+    def test_partition_boxes_also_correct(self, index, points):
+        poly = Polyhedron.simplex_around(np.array([4.0, 4.0, 4.0]), 1.0)
+        rows_tight, s_tight = index.query_polyhedron(poly, use_tight_boxes=True)
+        rows_part, s_part = index.query_polyhedron(poly, use_tight_boxes=False)
+        assert s_tight.rows_returned == s_part.rows_returned
+        # Tight boxes never touch more pages than partition boxes.
+        assert s_tight.pages_touched <= s_part.pages_touched
+
+    def test_inside_subtrees_skip_point_filter(self, index, points):
+        # A huge box covers the root: one INSIDE cell, zero partial.
+        box = Box.from_points(points, pad=1.0)
+        _, stats = index.query_box(box)
+        assert stats.cells_inside == 1
+        assert stats.cells_partial == 0
+        assert stats.rows_returned == len(points)
+
+    def test_disjoint_query_returns_nothing(self, index):
+        box = Box(np.full(3, 100.0), np.full(3, 101.0))
+        rows, stats = index.query_box(box)
+        assert stats.rows_returned == 0
+        assert stats.pages_touched == 0
+
+    def test_dim_mismatch_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.query_polyhedron(Polyhedron.from_box(Box.unit(2)))
+
+    def test_selective_query_reads_fewer_pages(self, index, points):
+        box = Box.cube(np.array([4.0, 4.0, 4.0]), 0.3)
+        _, stats = index.query_box(box)
+        assert 0 < stats.rows_returned < len(points) * 0.1
+        assert stats.pages_touched < index.table.num_pages / 2

@@ -1,0 +1,173 @@
+"""Tests for the layered uniform grid index (§3.1)."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.layered_grid import (
+    LayeredGridIndex,
+    TableSampleBaseline,
+    layer_sizes,
+)
+from repro.db import Database
+from repro.geometry import Box
+
+
+class TestLayerSizes:
+    def test_geometric_growth_3d(self):
+        sizes = layer_sizes(10_000, dim=3, base=1024)
+        assert sizes[0] == 1024
+        assert sizes[1] == 8 * 1024
+        assert sizes[2] == 10_000 - 1024 - 8 * 1024
+
+    def test_sizes_sum_to_n(self):
+        for n in (1, 100, 12345, 10**6):
+            assert sum(layer_sizes(n, 3, 1024)) == n
+
+    def test_small_table_single_layer(self):
+        assert layer_sizes(500, 3, 1024) == [500]
+
+    def test_dimension_changes_growth(self):
+        sizes = layer_sizes(10_000, dim=2, base=100)
+        assert sizes[1] == 400  # base * 2^d
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            layer_sizes(0, 3, 1024)
+
+
+class TestBuild:
+    def test_columns_added(self, grid_index):
+        names = grid_index.table.column_names
+        assert {"RandomID", "Layer", "ContainedBy"} <= set(names)
+
+    def test_clustered_on_layer_cell(self, grid_index):
+        assert grid_index.table.clustered_by == ("Layer", "ContainedBy")
+
+    def test_random_id_is_permutation(self, grid_index):
+        rid = grid_index.table.read_column("RandomID")
+        assert np.array_equal(np.sort(rid), np.arange(len(rid)))
+
+    def test_layer_sizes_match(self, grid_index):
+        layer = grid_index.table.read_column("Layer")
+        for l_index in range(1, grid_index.num_layers + 1):
+            assert int((layer == l_index).sum()) == grid_index.layer_size(l_index)
+
+    def test_constant_expected_points_per_cell(self, grid_index):
+        # base / 2^d expected points per cell on every full layer.
+        layer = grid_index.table.read_column("Layer")
+        cell = grid_index.table.read_column("ContainedBy")
+        for l_index in range(1, grid_index.num_layers):  # skip truncated last
+            cells = cell[layer == l_index]
+            resolution = 2**l_index
+            assert cells.min() >= 0
+            assert cells.max() < resolution**3
+
+    def test_each_layer_is_random_sample(self, grid_index, clustered_points_3d):
+        # Layer 1 points should have roughly the same mean as the table.
+        layer = grid_index.table.read_column("Layer")
+        x = grid_index.table.read_column("x")
+        layer1_mean = x[layer == 1].mean()
+        overall_mean = clustered_points_3d[:, 0].mean()
+        spread = clustered_points_3d[:, 0].std() / np.sqrt((layer == 1).sum())
+        assert abs(layer1_mean - overall_mean) < 5 * spread
+
+
+class TestSampleBox:
+    def test_returns_at_least_n_when_available(self, grid_index, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d)
+        result = grid_index.sample_box(box, 300)
+        assert len(result.row_ids) >= 300
+
+    def test_all_points_inside_box(self, grid_index):
+        box = Box(np.array([-0.5, -0.5, -0.5]), np.array([1.0, 0.5, 1.5]))
+        result = grid_index.sample_box(box, 200)
+        assert box.contains_points(result.points).all()
+
+    def test_small_region_returns_all_matches(self, grid_index, clustered_points_3d):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.1)
+        available = int(box.contains_points(clustered_points_3d).sum())
+        result = grid_index.sample_box(box, 10_000)
+        assert len(result.row_ids) == available
+
+    def test_pages_scale_with_result_not_table(self, grid_index):
+        # The paper: "practically only points which are actually returned
+        # are read from disk".
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.8)
+        result = grid_index.sample_box(box, 100)
+        rows_per_page = grid_index.table.rows_per_page
+        pages_needed = max(1, len(result.row_ids) // rows_per_page)
+        assert result.stats.pages_touched < 12 * pages_needed
+        assert result.stats.pages_touched < grid_index.table.num_pages
+
+    def test_sample_follows_distribution(self, grid_index, clustered_points_3d):
+        # Chi-square: the x-coordinate histogram of the sample should be
+        # consistent with the true conditional distribution in the box.
+        box = Box.from_points(clustered_points_3d)
+        result = grid_index.sample_box(box, 600)
+        edges = np.quantile(clustered_points_3d[:, 0], np.linspace(0, 1, 9))
+        edges[0] -= 1e-9
+        edges[-1] += 1e-9
+        expected_fraction = np.histogram(clustered_points_3d[:, 0], bins=edges)[0] / len(
+            clustered_points_3d
+        )
+        observed = np.histogram(result.points[:, 0], bins=edges)[0]
+        chi2 = scipy_stats.chisquare(
+            observed, f_exp=expected_fraction * observed.sum()
+        )
+        assert chi2.pvalue > 1e-4
+
+    def test_disjoint_box_returns_empty(self, grid_index):
+        box = Box(np.full(3, 99.0), np.full(3, 100.0))
+        result = grid_index.sample_box(box, 100)
+        assert len(result.row_ids) == 0
+
+    def test_layers_used_grows_with_n(self, grid_index, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d)
+        few = grid_index.sample_box(box, 50)
+        many = grid_index.sample_box(box, 2000)
+        assert few.layers_used <= many.layers_used
+
+    def test_stream_batches_match_bulk(self, grid_index, clustered_points_3d):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 1.0)
+        bulk = grid_index.sample_box(box, 400)
+        streamed_rows = []
+        for _, rows in grid_index.sample_box_stream(box, 400):
+            streamed_rows.append(rows)
+        streamed = np.concatenate(streamed_rows)
+        assert np.array_equal(np.sort(streamed), np.sort(bulk.row_ids))
+
+
+class TestTableSampleBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self, clustered_points_3d):
+        db = Database.in_memory(buffer_pages=None)
+        pts = clustered_points_3d
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        return TableSampleBaseline.build(db, "ts_base", data, ["x", "y", "z"])
+
+    def test_undersampling_returns_too_few(self, baseline, clustered_points_3d):
+        # Low percent on a selective box -> fewer than n points: the
+        # pathology that motivated the layered grid.
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.3)
+        result = baseline.sample_box(box, 500, percent=2.0)
+        assert len(result.row_ids) < 500
+
+    def test_oversampling_reads_many_pages(self, baseline, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d)
+        result = baseline.sample_box(box, 10, percent=100.0)
+        # TOP(n) stops early but an unselective percent has no guarantee:
+        # with percent=100 this is just a scan until n rows accumulate.
+        assert len(result.row_ids) == 10
+
+    def test_percent_validation(self, baseline):
+        box = Box.unit(3)
+        with pytest.raises(ValueError):
+            baseline.sample_box(box, 10, percent=0.0)
+        with pytest.raises(ValueError):
+            baseline.sample_box(box, 10, percent=101.0)
+
+    def test_top_n_truncates(self, baseline, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d)
+        result = baseline.sample_box(box, 50, percent=50.0)
+        assert len(result.row_ids) <= 50 + baseline.table.rows_per_page

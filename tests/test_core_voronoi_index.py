@@ -1,0 +1,169 @@
+"""Tests for the sampled Voronoi tessellation index (§3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoronoiIndex, knn_brute_force, polyhedron_full_scan
+from repro.db import Database
+from repro.geometry import Box, Polyhedron
+
+
+class TestBuild:
+    def test_cell_tags_cover_table(self, voronoi_index):
+        counts = voronoi_index.cell_point_counts()
+        assert counts.sum() == voronoi_index.table.num_rows
+
+    def test_clustered_on_cell(self, voronoi_index):
+        tags = voronoi_index.table.read_column("voronoi_cell")
+        assert (np.diff(tags) >= 0).all()
+
+    def test_points_assigned_to_nearest_seed(self, voronoi_index):
+        # Every stored point is closest to its own cell's seed.
+        rows = voronoi_index.table.read_rows(0, voronoi_index.table.num_rows)
+        pts = np.column_stack([rows[d] for d in voronoi_index.dims])
+        tags = rows["voronoi_cell"]
+        seeds = np.array(
+            [voronoi_index.cell_seed_point(c) for c in range(voronoi_index.num_cells)]
+        )
+        rng = np.random.default_rng(0)
+        for idx in rng.choice(len(pts), 200, replace=False):
+            dists = np.linalg.norm(seeds - pts[idx], axis=1)
+            assert np.isclose(dists[tags[idx]], dists.min())
+
+    def test_radii_cover_members(self, voronoi_index):
+        rows = voronoi_index.table.read_rows(0, voronoi_index.table.num_rows)
+        pts = np.column_stack([rows[d] for d in voronoi_index.dims])
+        tags = rows["voronoi_cell"]
+        for cell in range(0, voronoi_index.num_cells, 17):
+            members = pts[tags == cell]
+            if len(members) == 0:
+                continue
+            seed = voronoi_index.cell_seed_point(cell)
+            radius = voronoi_index.cell_radius(cell)
+            assert (np.linalg.norm(members - seed, axis=1) <= radius + 1e-9).all()
+
+    def test_seed_count_guards(self):
+        db = Database.in_memory()
+        rng = np.random.default_rng(0)
+        data = {"x": rng.normal(size=50), "y": rng.normal(size=50)}
+        with pytest.raises(ValueError):
+            VoronoiIndex.build(db, "v1", data, ["x", "y"], num_seeds=3)
+        with pytest.raises(ValueError):
+            VoronoiIndex.build(db, "v2", data, ["x", "y"], num_seeds=51)
+
+    def test_hilbert_curve_option(self):
+        db = Database.in_memory()
+        rng = np.random.default_rng(1)
+        data = {"x": rng.normal(size=500), "y": rng.normal(size=500)}
+        index = VoronoiIndex.build(
+            db, "vh", data, ["x", "y"], num_seeds=32, curve="hilbert"
+        )
+        assert index.cell_point_counts().sum() == 500
+
+    def test_bad_curve_rejected(self):
+        db = Database.in_memory()
+        rng = np.random.default_rng(1)
+        data = {"x": rng.normal(size=100), "y": rng.normal(size=100)}
+        with pytest.raises(ValueError):
+            VoronoiIndex.build(db, "vb", data, ["x", "y"], num_seeds=16, curve="peano")
+
+    def test_sfc_numbering_is_local(self, voronoi_index):
+        # Consecutive cell ids should be spatially closer than random
+        # pairs -- the point of space-filling-curve numbering.
+        seeds = np.array(
+            [voronoi_index.cell_seed_point(c) for c in range(voronoi_index.num_cells)]
+        )
+        consecutive = np.linalg.norm(np.diff(seeds, axis=0), axis=1).mean()
+        rng = np.random.default_rng(2)
+        idx = rng.permutation(len(seeds))
+        random_pairs = np.linalg.norm(seeds[idx[:-1]] - seeds[idx[1:]], axis=1).mean()
+        assert consecutive < random_pairs
+
+
+class TestPointLocation:
+    def test_locate_agrees_with_exact(self, voronoi_index):
+        rng = np.random.default_rng(3)
+        graph = voronoi_index.graph
+        for _ in range(50):
+            point = rng.normal([1.5, 1.0, 0.5], 1.5)
+            cell, hops = voronoi_index.locate(point)
+            exact_seed = graph.nearest_seed_exact(point)
+            exact_cell = int(voronoi_index._cell_of_seed[exact_seed])
+            assert cell == exact_cell
+            assert hops >= 0
+
+    def test_locate_from_custom_start(self, voronoi_index):
+        point = np.array([0.0, 0.0, 0.0])
+        cell_a, _ = voronoi_index.locate(point, start=0)
+        cell_b, _ = voronoi_index.locate(point, start=voronoi_index.num_cells - 1)
+        assert cell_a == cell_b
+
+    def test_cell_rows_returns_members(self, voronoi_index):
+        for cell in (0, 57, 150):
+            rows, stats = voronoi_index.cell_rows(cell)
+            assert len(rows["_row_id"]) == voronoi_index.cell_point_count(cell)
+            assert (rows["voronoi_cell"] == cell).all()
+
+
+class TestQueries:
+    def test_polyhedron_matches_scan(self, voronoi_index, clustered_points_3d):
+        poly = Polyhedron.from_box(Box.cube(np.array([0.0, 0.0, 0.0]), 0.8))
+        rows, stats = voronoi_index.query_polyhedron(poly)
+        expected = int(
+            poly.contains_points(clustered_points_3d).sum()
+        )
+        assert stats.rows_returned == expected
+
+    def test_simplex_query_matches_scan(self, voronoi_index):
+        poly = Polyhedron.simplex_around(np.array([3.0, 2.0, 1.0]), 0.7)
+        rows, stats = voronoi_index.query_polyhedron(poly)
+        _, scan_stats = polyhedron_full_scan(
+            voronoi_index.table, voronoi_index.dims, poly
+        )
+        assert stats.rows_returned == scan_stats.rows_returned
+
+    def test_outside_cells_skipped(self, voronoi_index):
+        poly = Polyhedron.from_box(Box.cube(np.array([0.0, 0.0, 0.0]), 0.4))
+        _, stats = voronoi_index.query_polyhedron(poly)
+        assert stats.cells_outside > 0
+        assert (
+            stats.cells_inside + stats.cells_outside + stats.cells_partial
+            <= voronoi_index.num_cells
+        )
+
+    def test_dim_mismatch(self, voronoi_index):
+        with pytest.raises(ValueError):
+            voronoi_index.query_polyhedron(Polyhedron.from_box(Box.unit(2)))
+
+    def test_ball_classification_conservative(self, voronoi_index):
+        # INSIDE cells' members must all satisfy the polyhedron: implied
+        # by result correctness, but check the count decomposition too.
+        poly = Polyhedron.from_box(Box.cube(np.array([3.0, 2.0, 1.0]), 1.2))
+        rows, stats = voronoi_index.query_polyhedron(poly)
+        assert stats.rows_returned <= stats.rows_examined
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 7, 20])
+    def test_matches_brute_force(self, voronoi_index, k):
+        rng = np.random.default_rng(9)
+        for _ in range(8):
+            query = rng.normal([1.5, 1.0, 0.5], 1.2)
+            truth = knn_brute_force(
+                voronoi_index.table, voronoi_index.dims, query, k
+            )
+            got = voronoi_index.knn(query, k)
+            assert np.allclose(got.distances, truth.distances)
+
+    def test_reports_walk_hops(self, voronoi_index):
+        result = voronoi_index.knn(np.zeros(3), 5)
+        assert "walk_hops" in result.stats.extra
+        assert result.stats.extra["cells_examined"] >= 1
+
+    def test_k_validation(self, voronoi_index):
+        with pytest.raises(ValueError):
+            voronoi_index.knn(np.zeros(3), 0)
+
+    def test_examines_fraction_of_cells(self, voronoi_index):
+        result = voronoi_index.knn(np.array([0.1, 0.0, 0.2]), 5)
+        assert result.stats.extra["cells_examined"] < voronoi_index.num_cells / 2

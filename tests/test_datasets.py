@@ -1,0 +1,280 @@
+"""Tests for the synthetic science datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CLASS_NAMES,
+    FilterBank,
+    GaussianMixtureField,
+    QueryWorkload,
+    SpectrumTemplates,
+    make_photoz_dataset,
+    sdss_color_sample,
+)
+from repro.datasets.sdss import CLASS_GALAXY, CLASS_OUTLIER, CLASS_QUASAR, CLASS_STAR
+
+
+class TestSdssSample:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        return sdss_color_sample(20_000, seed=5)
+
+    def test_shapes(self, sample):
+        assert sample.magnitudes.shape == (20_000, 5)
+        assert sample.labels.shape == (20_000,)
+        assert sample.num_points == 20_000
+
+    def test_all_classes_present(self, sample):
+        assert set(np.unique(sample.labels)) == set(CLASS_NAMES)
+
+    def test_fractions_roughly_respected(self, sample):
+        fractions = np.bincount(sample.labels) / sample.num_points
+        assert abs(fractions[CLASS_STAR] - 0.55) < 0.05
+        assert abs(fractions[CLASS_GALAXY] - 0.38) < 0.05
+
+    def test_deterministic_by_seed(self):
+        a = sdss_color_sample(1000, seed=9)
+        b = sdss_color_sample(1000, seed=9)
+        assert np.array_equal(a.magnitudes, b.magnitudes)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_columns_dict(self, sample):
+        cols = sample.columns()
+        assert set(cols) == {"u", "g", "r", "i", "z", "cls"}
+        assert np.allclose(cols["r"], sample.magnitudes[:, 2])
+
+    def test_colors_shape(self, sample):
+        colors = sample.colors()
+        assert colors.shape == (20_000, 4)
+        assert np.allclose(
+            colors[:, 0], sample.magnitudes[:, 0] - sample.magnitudes[:, 1]
+        )
+
+    def test_quasars_have_uv_excess(self, sample):
+        # Quasars separate from stars in u-g (the classic selection).
+        colors = sample.colors()
+        qso_ug = colors[sample.labels == CLASS_QUASAR, 0]
+        star_ug = colors[sample.labels == CLASS_STAR, 0]
+        assert np.median(qso_ug) < np.median(star_ug) - 0.5
+
+    def test_highly_nonuniform_density(self, sample):
+        # §2.1: orders-of-magnitude density contrast.  Compare occupancy
+        # of a coarse grid: top cells vastly denser than median occupied.
+        colors = sample.colors()[:, :2]
+        hist, _, _ = np.histogram2d(colors[:, 0], colors[:, 1], bins=30)
+        occupied = hist[hist > 0]
+        assert occupied.max() > 50 * np.median(occupied)
+
+    def test_colors_correlated(self, sample):
+        # Points lie near lower-dimensional structure: strong g-r / r-i
+        # correlation along the stellar locus.
+        colors = sample.colors()
+        stars = colors[sample.labels == CLASS_STAR]
+        corr = np.corrcoef(stars[:, 1], stars[:, 2])[0, 1]
+        assert corr > 0.6
+
+    def test_outliers_far_from_core(self, sample):
+        colors = sample.colors()
+        core = colors[sample.labels != CLASS_OUTLIER]
+        outliers = colors[sample.labels == CLASS_OUTLIER]
+        center = np.median(core, axis=0)
+        spread = core.std(axis=0)
+        z = np.abs((outliers - center) / spread).max(axis=1)
+        assert np.median(z) > 3.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            sdss_color_sample(100, fractions=(0.5, 0.5, 0.5, -0.5))
+        with pytest.raises(ValueError):
+            sdss_color_sample(0)
+
+
+class TestGaussianMixture:
+    def test_pdf_integrates_to_one_1d_check(self):
+        field = GaussianMixtureField(
+            means=np.array([[0.0]]), scales=np.array([[1.0]]), weights=np.array([1.0])
+        )
+        xs = np.linspace(-8, 8, 4001)[:, None]
+        integral = np.trapezoid(field.pdf(xs), xs[:, 0])
+        assert np.isclose(integral, 1.0, atol=1e-6)
+
+    def test_sample_matches_pdf_ranking(self):
+        field = GaussianMixtureField.default(dim=2, num_components=3, seed=4)
+        pts, _ = field.sample(5000, seed=1)
+        dens = field.pdf(pts)
+        # Sampled points should sit in high-density regions: their median
+        # density beats the density of uniform points over the bounding box.
+        rng = np.random.default_rng(2)
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        uniform = rng.uniform(lo, hi, size=(5000, 2))
+        assert np.median(dens) > np.median(field.pdf(uniform))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixtureField(np.zeros((2, 2)), np.ones((2, 2)), np.array([0.7, 0.7]))
+        with pytest.raises(ValueError):
+            GaussianMixtureField(np.zeros((2, 2)), np.ones((3, 2)), np.array([0.5, 0.5]))
+
+    def test_component_labels(self):
+        field = GaussianMixtureField.default(dim=3, seed=0)
+        pts, labels = field.sample(100, seed=0)
+        assert pts.shape == (100, 3)
+        assert labels.min() >= 0
+
+
+class TestSpectra:
+    @pytest.fixture(scope="class")
+    def templates(self):
+        return SpectrumTemplates()
+
+    @pytest.fixture(scope="class")
+    def filters(self, templates):
+        return FilterBank(templates.wavelengths)
+
+    def test_dimension_is_3000(self, templates):
+        assert len(templates.wavelengths) == 3000
+        assert len(templates.elliptical()) == 3000
+
+    def test_elliptical_redder_than_starburst(self, templates, filters):
+        ell = filters.magnitudes(templates.elliptical())
+        sb = filters.magnitudes(templates.starburst())
+        assert (ell[1] - ell[2]) > (sb[1] - sb[2])  # g - r redder
+
+    def test_redshift_moves_break_through_bands(self, templates, filters):
+        # g-r of an elliptical reddens as the 4000 A break crosses g.
+        gr = []
+        for z in (0.0, 0.2, 0.4):
+            mags = filters.magnitudes(templates.elliptical(z))
+            gr.append(mags[1] - mags[2])
+        assert gr[0] < gr[1] < gr[2]
+
+    def test_blend_endpoints(self, templates):
+        assert np.allclose(templates.galaxy_blend(0.0), templates.elliptical())
+        assert np.allclose(templates.galaxy_blend(1.0), templates.starburst())
+        assert np.allclose(templates.galaxy_blend(0.5), templates.spiral())
+
+    def test_blend_validation(self, templates):
+        with pytest.raises(ValueError):
+            templates.galaxy_blend(1.5)
+
+    def test_quasar_blue_powerlaw(self, templates, filters):
+        qso = filters.magnitudes(templates.quasar())
+        ell = filters.magnitudes(templates.elliptical())
+        assert (qso[0] - qso[1]) < (ell[0] - ell[1])  # bluer u - g
+
+    def test_star_temperature_sequence(self, templates, filters):
+        hot = filters.magnitudes(templates.star(9000.0))
+        cool = filters.magnitudes(templates.star(4000.0))
+        assert (hot[1] - hot[2]) < (cool[1] - cool[2])
+
+    def test_synthesized_age_reddens(self, templates, filters):
+        young = filters.magnitudes(templates.synthesized(age=0.1, dust=0.0))
+        old = filters.magnitudes(templates.synthesized(age=0.9, dust=0.0))
+        assert (old[1] - old[2]) > (young[1] - young[2])
+
+    def test_synthesized_dust_reddens(self, templates, filters):
+        clean = filters.magnitudes(templates.synthesized(age=0.5, dust=0.0))
+        dusty = filters.magnitudes(templates.synthesized(age=0.5, dust=0.9))
+        assert (dusty[1] - dusty[2]) > (clean[1] - clean[2])
+
+    def test_synthesized_validation(self, templates):
+        with pytest.raises(ValueError):
+            templates.synthesized(age=2.0, dust=0.0)
+
+    def test_observe_adds_noise_at_snr(self, templates):
+        rng = np.random.default_rng(0)
+        clean = templates.spiral()
+        noisy = templates.observe(clean, snr=20.0, rng=rng)
+        residual = noisy - clean
+        assert 0.5 < residual.std() / (np.median(np.abs(clean)) / 20.0) < 1.5
+
+    def test_observe_validation(self, templates):
+        with pytest.raises(ValueError):
+            templates.observe(templates.spiral(), snr=0.0, rng=np.random.default_rng())
+
+    def test_zeropoints_shift_magnitudes(self, templates, filters):
+        base = filters.magnitudes(templates.spiral())
+        shifted = filters.magnitudes(templates.spiral(), zeropoints={"u": 0.5})
+        assert np.isclose(shifted[0] - base[0], 0.5)
+        assert np.allclose(shifted[1:], base[1:])
+
+
+class TestPhotozDataset:
+    def test_shapes_and_split(self):
+        ds = make_photoz_dataset(num_reference=200, num_unknown=80, seed=2)
+        assert ds.reference_magnitudes.shape == (200, 5)
+        assert ds.unknown_magnitudes.shape == (80, 5)
+        assert ds.num_reference == 200
+        assert ds.num_unknown == 80
+
+    def test_redshift_range(self):
+        ds = make_photoz_dataset(num_reference=300, num_unknown=50, seed=3)
+        assert ds.reference_redshifts.min() >= 0.0
+        assert ds.reference_redshifts.max() <= 0.55
+
+    def test_colors_encode_redshift(self):
+        # Nearby colors imply nearby redshifts (the relation k-NN
+        # exploits).  A single color is partially degenerate with galaxy
+        # type, but a linear fit over all four colors predicts z well.
+        ds = make_photoz_dataset(num_reference=500, num_unknown=10, seed=4)
+        mags = ds.reference_magnitudes
+        colors = np.column_stack(
+            [mags[:, i] - mags[:, i + 1] for i in range(4)]
+        )
+        design = np.column_stack([np.ones(len(colors)), colors])
+        coeffs, *_ = np.linalg.lstsq(design, ds.reference_redshifts, rcond=None)
+        predicted = design @ coeffs
+        residual_var = np.var(ds.reference_redshifts - predicted)
+        r_squared = 1.0 - residual_var / np.var(ds.reference_redshifts)
+        assert r_squared > 0.5
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        sample = sdss_color_sample(8000, seed=6)
+        return QueryWorkload(sample.magnitudes, seed=0), sample
+
+    def test_selectivity_calibration(self, workload):
+        generator, sample = workload
+        for target in (0.01, 0.05, 0.2):
+            achieved = []
+            for _ in range(10):
+                query = generator.color_cut_query(target)
+                frac = query.polyhedron().contains_points(sample.magnitudes).mean()
+                achieved.append(frac)
+            # Within a factor of ~3 on average (quantile windows are
+            # per-axis independent, so correlation skews the joint mass).
+            assert 0.2 < np.mean(achieved) / target < 5.0
+
+    def test_all_kinds_runnable(self, workload):
+        generator, sample = workload
+        for query in generator.mixed(9, [0.02, 0.1]):
+            mask_expr = query.expression.evaluate(
+                {band: sample.magnitudes[:, i] for i, band in enumerate("ugriz")}
+            )
+            mask_poly = query.polyhedron().contains_points(sample.magnitudes)
+            assert np.array_equal(mask_expr, mask_poly)
+
+    def test_sql_rendering(self, workload):
+        generator, _ = workload
+        text = generator.figure2_query().sql()
+        assert "AND" in text
+        assert "r" in text
+
+    def test_figure2_is_selective(self, workload):
+        generator, sample = workload
+        frac = (
+            generator.figure2_query()
+            .polyhedron()
+            .contains_points(sample.magnitudes)
+            .mean()
+        )
+        assert frac < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            QueryWorkload(np.zeros((100, 3)))

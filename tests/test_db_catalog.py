@@ -1,0 +1,118 @@
+"""Tests for the database catalog and stored procedures."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.db.procedures import procedure
+
+
+@pytest.fixture()
+def db():
+    return Database.in_memory(buffer_pages=8)
+
+
+class TestCatalog:
+    def test_table_lookup(self, db):
+        db.create_table("t", {"a": np.arange(10)})
+        assert db.table("t").num_rows == 10
+        assert db.has_table("t")
+        assert not db.has_table("u")
+
+    def test_missing_table(self, db):
+        with pytest.raises(KeyError):
+            db.table("ghost")
+
+    def test_table_names_sorted(self, db):
+        db.create_table("zeta", {"a": np.arange(2)})
+        db.create_table("alpha", {"a": np.arange(2)})
+        assert db.table_names() == ["alpha", "zeta"]
+
+    def test_drop_table_releases_pages(self, db):
+        db.create_table("t", {"a": np.arange(100)}, rows_per_page=10)
+        assert db.storage.num_pages("t") == 10
+        db.drop_table("t")
+        assert not db.has_table("t")
+        assert db.storage.num_pages("t") == 0
+
+    def test_drop_table_removes_its_indexes(self, db):
+        db.create_table("t", {"a": np.arange(10)})
+
+        class FakeIndex:
+            table_name = "t"
+
+        db.register_index("t.fake", FakeIndex())
+        db.drop_table("t")
+        assert db.index_names() == []
+
+    def test_index_registry(self, db):
+        sentinel = object()
+        db.register_index("idx", sentinel)
+        assert db.index("idx") is sentinel
+        with pytest.raises(ValueError):
+            db.register_index("idx", object())
+        with pytest.raises(KeyError):
+            db.index("ghost")
+
+    def test_on_disk_constructor(self, tmp_path):
+        db = Database.on_disk(tmp_path / "data")
+        db.create_table("t", {"a": np.arange(10)}, rows_per_page=4)
+        assert (tmp_path / "data" / "t").is_dir()
+
+    def test_reset_io_stats(self, db):
+        db.create_table("t", {"a": np.arange(10)})
+        assert db.io_stats.page_writes > 0
+        db.reset_io_stats()
+        assert db.io_stats.page_writes == 0
+
+    def test_cold_cache_forces_reads(self, db):
+        table = db.create_table("t", {"a": np.arange(100)}, rows_per_page=10)
+        db.cold_cache()
+        db.reset_io_stats()
+        table.read_column("a")
+        assert db.io_stats.page_reads == 10
+
+
+class TestProcedures:
+    def test_register_and_call(self, db):
+        db.create_table("t", {"a": np.arange(10)})
+
+        def count_rows(database, table_name):
+            return database.table(table_name).num_rows
+
+        db.procedures.register("spCountRows", count_rows)
+        assert db.procedures.call("spCountRows", "t") == 10
+        assert db.procedures.call_count("spCountRows") == 1
+        assert "spCountRows" in db.procedures
+
+    def test_decorator_form(self, db):
+        @procedure(db.procedures, "spDouble", description="doubles a number")
+        def double(database, x):
+            return 2 * x
+
+        assert db.procedures.call("spDouble", 21) == 42
+        assert db.procedures.describe("spDouble") == "doubles a number"
+
+    def test_description_from_docstring(self, db):
+        def proc(database):
+            """First line becomes the description.
+
+            Rest ignored.
+            """
+
+        db.procedures.register("spDoc", proc)
+        assert db.procedures.describe("spDoc") == "First line becomes the description."
+
+    def test_duplicate_name(self, db):
+        db.procedures.register("p", lambda database: None)
+        with pytest.raises(ValueError):
+            db.procedures.register("p", lambda database: None)
+
+    def test_missing_procedure(self, db):
+        with pytest.raises(KeyError):
+            db.procedures.call("ghost")
+
+    def test_names(self, db):
+        db.procedures.register("b", lambda database: None)
+        db.procedures.register("a", lambda database: None)
+        assert db.procedures.names() == ["a", "b"]

@@ -1,0 +1,133 @@
+"""Tests for expression trees and linear extraction."""
+
+import numpy as np
+import pytest
+
+from repro.db import Col, Const, LinearExtractionError, expression_to_polyhedron
+from repro.db.expressions import expression_to_sql
+
+
+@pytest.fixture()
+def columns():
+    rng = np.random.default_rng(0)
+    return {name: rng.normal(size=200) for name in ("u", "g", "r")}
+
+
+class TestEvaluation:
+    def test_arithmetic(self, columns):
+        expr = Col("u") * 2.0 + Col("g") / 4.0 - 1.0
+        expected = columns["u"] * 2.0 + columns["g"] / 4.0 - 1.0
+        assert np.allclose(expr.evaluate(columns), expected)
+
+    def test_right_hand_operators(self, columns):
+        expr = 2.0 * Col("u") + (1.0 - Col("g"))
+        expected = 2.0 * columns["u"] + 1.0 - columns["g"]
+        assert np.allclose(expr.evaluate(columns), expected)
+
+    def test_negation(self, columns):
+        assert np.allclose((-Col("u")).evaluate(columns), -columns["u"])
+
+    def test_rdiv(self, columns):
+        expr = 1.0 / (Col("u") + 10.0)
+        assert np.allclose(expr.evaluate(columns), 1.0 / (columns["u"] + 10.0))
+
+    def test_comparisons(self, columns):
+        expr = Col("u") < Col("g")
+        assert np.array_equal(expr.evaluate(columns), columns["u"] < columns["g"])
+
+    def test_logic(self, columns):
+        expr = (Col("u") > 0) & ~(Col("g") > 0) | (Col("r") >= 2.0)
+        expected = (columns["u"] > 0) & ~(columns["g"] > 0) | (columns["r"] >= 2.0)
+        assert np.array_equal(expr.evaluate(columns), expected)
+
+    def test_referenced_columns(self):
+        expr = (Col("u") - Col("g") < 1.0) & (Col("r") > 0.0)
+        assert expr.referenced_columns() == {"u", "g", "r"}
+
+    def test_rejects_foreign_operand(self):
+        with pytest.raises(TypeError):
+            Col("u") + "nope"
+
+
+class TestLinearExtraction:
+    def test_simple_box(self, columns):
+        expr = (Col("u") >= -1.0) & (Col("u") <= 1.0)
+        poly = expression_to_polyhedron(expr, ["u", "g"])
+        pts = np.column_stack([columns["u"], columns["g"]])
+        assert np.array_equal(
+            poly.contains_points(pts), expr.evaluate(columns)
+        )
+
+    def test_figure2_style(self, columns):
+        # An oblique cut in the style of the paper's Figure 2.
+        expr = (
+            (Col("r") - Col("g") / 4.0 - 0.18 < 0.2)
+            & (Col("r") - Col("g") / 4.0 - 0.18 > -0.2)
+            & (Col("u") < 1.0)
+        )
+        poly = expression_to_polyhedron(expr, ["u", "g", "r"])
+        pts = np.column_stack([columns["u"], columns["g"], columns["r"]])
+        assert np.array_equal(poly.contains_points(pts), expr.evaluate(columns))
+
+    def test_constant_folding(self):
+        expr = Col("u") * (2.0 * 3.0) + 1.0 < 13.0
+        poly = expression_to_polyhedron(expr, ["u"])
+        assert poly.contains_point(np.array([1.9]))
+        assert not poly.contains_point(np.array([2.1]))
+
+    def test_division_by_constant(self):
+        expr = Col("u") / 2.0 <= 1.0
+        poly = expression_to_polyhedron(expr, ["u"])
+        assert poly.contains_point(np.array([2.0]))
+        assert not poly.contains_point(np.array([2.1]))
+
+    def test_rejects_nonlinear_product(self):
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(Col("u") * Col("g") < 1.0, ["u", "g"])
+
+    def test_rejects_division_by_column(self):
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(Col("u") / Col("g") < 1.0, ["u", "g"])
+
+    def test_rejects_division_by_zero(self):
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(Col("u") / 0.0 < 1.0, ["u"])
+
+    def test_rejects_disjunction(self):
+        expr = (Col("u") < 0.0) | (Col("u") > 1.0)
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(expr, ["u"])
+
+    def test_rejects_unknown_column(self):
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(Col("ghost") < 1.0, ["u"])
+
+    def test_rejects_trivial_comparison(self):
+        expr = Col("u") - Col("u") < 1.0
+        with pytest.raises(LinearExtractionError):
+            expression_to_polyhedron(expr, ["u"])
+
+    def test_greater_than_flips_normal(self):
+        poly = expression_to_polyhedron(Col("u") > 2.0, ["u"])
+        assert poly.contains_point(np.array([3.0]))
+        assert not poly.contains_point(np.array([1.0]))
+
+    def test_closed_vs_strict_equivalent_geometry(self):
+        strict = expression_to_polyhedron(Col("u") < 1.0, ["u"])
+        closed = expression_to_polyhedron(Col("u") <= 1.0, ["u"])
+        assert np.allclose(strict.normals, closed.normals)
+        assert np.allclose(strict.offsets, closed.offsets)
+
+
+class TestSqlRendering:
+    def test_round_trippable_text(self):
+        expr = (Col("g") - Col("r") < 0.2) & (Col("u") >= 1.0)
+        text = expression_to_sql(expr)
+        assert text == "(((g - r) < 0.2) AND (u >= 1))"
+        assert "AND" in text
+
+    def test_or_and_not(self):
+        expr = ~(Col("u") < 0.0) | (Col("g") > 1.0)
+        text = expression_to_sql(expr)
+        assert "NOT" in text
+        assert "OR" in text

@@ -1,0 +1,243 @@
+"""Tests for projections, histogram statistics, and the WHERE parser."""
+
+import numpy as np
+import pytest
+
+from repro import Col, Database, QueryWorkload, parse_where, sdss_color_sample
+from repro.db import (
+    ColumnHistogram,
+    HistogramStatistics,
+    ProjectionSet,
+    SqlParseError,
+    create_projection,
+)
+from repro.db.expressions import expression_to_sql
+from repro.geometry import Box, Polyhedron
+
+
+@pytest.fixture(scope="module")
+def wide_table():
+    rng = np.random.default_rng(0)
+    sample = sdss_color_sample(5000, seed=1)
+    db = Database.in_memory(buffer_pages=None)
+    data = dict(sample.columns())
+    data["extra"] = rng.normal(size=5000)
+    table = db.create_table("wide", data)
+    return db, table, sample
+
+
+class TestProjections:
+    def test_projection_is_narrower(self, wide_table):
+        db, table, _ = wide_table
+        narrow = create_projection(db, table, "p_gr", ["g", "r"])
+        assert narrow.num_pages < table.num_pages
+        assert narrow.column_names == ["g", "r"]
+
+    def test_projection_values_match(self, wide_table):
+        db, table, sample = wide_table
+        narrow = create_projection(db, table, "p_u", ["u"])
+        assert np.allclose(narrow.read_column("u"), table.read_column("u"))
+
+    def test_projection_row_ids_align(self, wide_table):
+        db, table, _ = wide_table
+        narrow = create_projection(db, table, "p_ri", ["r", "i"])
+        wanted = np.array([0, 100, 4999])
+        assert np.allclose(
+            narrow.gather(wanted)["r"], table.gather(wanted)["r"]
+        )
+
+    def test_projection_unknown_column(self, wide_table):
+        db, table, _ = wide_table
+        with pytest.raises(KeyError):
+            create_projection(db, table, "p_bad", ["ghost"])
+
+    def test_projection_reclustered(self, wide_table):
+        db, table, _ = wide_table
+        narrow = create_projection(
+            db, table, "p_sorted", ["z"], clustered_by=("z",)
+        )
+        assert (np.diff(narrow.read_column("z")) >= 0).all()
+
+    def test_routing_prefers_narrowest(self, wide_table):
+        db, table, _ = wide_table
+        ps = ProjectionSet(table)
+        ps.add(create_projection(db, table, "p_route_ugr", ["u", "g", "r"]))
+        ps.add(create_projection(db, table, "p_route_g", ["g"]))
+        assert ps.route({"g"}).name == "p_route_g"
+        assert ps.route({"u", "g"}).name == "p_route_ugr"
+        assert ps.route({"extra"}).name == "wide"
+
+    def test_routing_rejects_unknown(self, wide_table):
+        _, table, _ = wide_table
+        ps = ProjectionSet(table)
+        with pytest.raises(KeyError):
+            ps.route({"ghost"})
+
+    def test_scan_through_projection_saves_pages(self, wide_table):
+        db, table, sample = wide_table
+        ps = ProjectionSet(table)
+        ps.add(create_projection(db, table, "p_scan_gr", ["g", "r"]))
+        rows, stats, used = ps.scan((Col("g") - Col("r")) > 1.2)
+        assert used == "p_scan_gr"
+        truth = (sample.magnitudes[:, 1] - sample.magnitudes[:, 2]) > 1.2
+        assert stats.rows_returned == int(truth.sum())
+        assert stats.pages_touched < table.num_pages
+
+    def test_row_count_mismatch_rejected(self, wide_table):
+        db, table, _ = wide_table
+        other = db.create_table("short", {"g": np.zeros(3)})
+        ps = ProjectionSet(table)
+        with pytest.raises(ValueError):
+            ps.add(other)
+
+
+class TestColumnHistogram:
+    def test_equi_depth_buckets(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(size=10_000)  # skewed
+        hist = ColumnHistogram(values, num_buckets=16)
+        # Every bucket holds ~1/16 of the mass by construction.
+        for i in range(16):
+            frac = hist.selectivity_range(hist.edges[i], hist.edges[i + 1])
+            assert abs(frac - 1.0 / 16.0) < 0.01
+
+    def test_below_extremes(self):
+        hist = ColumnHistogram(np.arange(100.0))
+        assert hist.selectivity_below(-1.0) == 0.0
+        assert hist.selectivity_below(1000.0) == 1.0
+
+    def test_range_estimates_uniform(self):
+        values = np.linspace(0, 1, 10_001)
+        hist = ColumnHistogram(values, num_buckets=20)
+        assert abs(hist.selectivity_range(0.2, 0.5) - 0.3) < 0.02
+
+    def test_inverted_range(self):
+        hist = ColumnHistogram(np.arange(10.0))
+        assert hist.selectivity_range(5.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnHistogram(np.array([]))
+        with pytest.raises(ValueError):
+            ColumnHistogram(np.arange(5.0), num_buckets=0)
+
+
+class TestHistogramStatistics:
+    def test_axis_aligned_box_estimate(self, wide_table):
+        _, table, sample = wide_table
+        stats = HistogramStatistics(table, ["u", "g", "r", "i", "z"])
+        # A box on one axis: independence is exact here.
+        r = sample.magnitudes[:, 2]
+        lo, hi = np.quantile(r, [0.3, 0.6])
+        box = Box(
+            np.array([-1e9, -1e9, lo, -1e9, -1e9]),
+            np.array([1e9, 1e9, hi, 1e9, 1e9]),
+        )
+        estimate = stats.estimate_polyhedron(Polyhedron.from_box(box))
+        truth = ((r >= lo) & (r <= hi)).mean()
+        assert abs(estimate - truth) < 0.05
+
+    def test_correlated_box_overestimates(self, wide_table):
+        # The independence assumption's documented failure: on correlated
+        # columns the joint estimate is biased (usually up for boxes that
+        # follow the correlation, down for those across it).
+        _, table, sample = wide_table
+        stats = HistogramStatistics(table, ["u", "g", "r", "i", "z"])
+        workload = QueryWorkload(sample.magnitudes, seed=3)
+        errors = []
+        for _ in range(6):
+            poly = workload.box_query(0.01).polyhedron(["u", "g", "r", "i", "z"])
+            estimate = stats.estimate_polyhedron(poly)
+            truth = poly.contains_points(sample.magnitudes).mean()
+            errors.append(abs(estimate - truth))
+        # Estimates exist and are in range, but not exact (that is the point).
+        assert all(0.0 <= e <= 1.0 for e in errors)
+
+    def test_dim_check(self, wide_table):
+        _, table, _ = wide_table
+        stats = HistogramStatistics(table, ["u", "g"])
+        with pytest.raises(ValueError):
+            stats.estimate_polyhedron(Polyhedron.from_box(Box.unit(3)))
+
+
+class TestParseWhere:
+    def test_simple_comparison(self):
+        expr = parse_where("g < 20.5")
+        mask = expr.evaluate({"g": np.array([19.0, 21.0])})
+        assert mask.tolist() == [True, False]
+
+    def test_arithmetic_precedence(self):
+        expr = parse_where("a + b * 2 < 10")
+        result = expr.evaluate({"a": np.array([1.0]), "b": np.array([4.0])})
+        assert result.tolist() == [True]  # 1 + 8 < 10
+
+    def test_parentheses(self):
+        expr = parse_where("(a + b) * 2 < 10")
+        result = expr.evaluate({"a": np.array([1.0]), "b": np.array([4.0])})
+        assert result.tolist() == [False]  # 10 < 10
+
+    def test_unary_minus(self):
+        expr = parse_where("u < -1.5")
+        mask = expr.evaluate({"u": np.array([-2.0, 0.0])})
+        assert mask.tolist() == [True, False]
+
+    def test_keywords_case_insensitive(self):
+        expr = parse_where("a < 1 AND b > 2 or NOT (c < 3)")
+        cols = {
+            "a": np.array([0.0]),
+            "b": np.array([0.0]),
+            "c": np.array([5.0]),
+        }
+        assert expr.evaluate(cols).tolist() == [True]
+
+    def test_scientific_notation(self):
+        expr = parse_where("x < 1.5e2")
+        assert expr.evaluate({"x": np.array([100.0, 200.0])}).tolist() == [True, False]
+
+    def test_roundtrip_rendered_sql(self):
+        original = ((Col("g") - Col("r")) / 4.0 < 0.2) & ~(Col("u") >= 1.0)
+        text = expression_to_sql(original)
+        reparsed = parse_where(text)
+        rng = np.random.default_rng(4)
+        cols = {name: rng.normal(size=100) for name in ("g", "r", "u")}
+        assert np.array_equal(reparsed.evaluate(cols), original.evaluate(cols))
+
+    def test_figure2_clause_parses(self, wide_table):
+        _, _, sample = wide_table
+        workload = QueryWorkload(sample.magnitudes, seed=5)
+        query = workload.figure2_query()
+        reparsed = parse_where(query.sql())
+        cols = {b: sample.magnitudes[:, i] for i, b in enumerate("ugriz")}
+        assert np.array_equal(
+            reparsed.evaluate(cols), query.expression.evaluate(cols)
+        )
+
+    def test_parse_errors(self):
+        for bad in ("", "a <", "a < 1 )", "( a < 1", "a ? 1", "1 2"):
+            with pytest.raises(SqlParseError):
+                parse_where(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse_where("a < 1 b")
+
+
+class TestPlannerWithStatistics:
+    def test_histogram_backed_planning_is_io_free(self, wide_table):
+        from repro import KdTreeIndex, QueryPlanner
+
+        db, table, sample = wide_table
+        columns = table.read_columns(["u", "g", "r", "i", "z"])
+        index = KdTreeIndex.build(db, "plan_hist_kd", columns, ["u", "g", "r", "i", "z"])
+        stats = HistogramStatistics(index.table, ["u", "g", "r", "i", "z"])
+        planner = QueryPlanner(index, statistics=stats)
+        workload = QueryWorkload(sample.magnitudes, seed=8)
+        poly = workload.box_query(0.01).polyhedron(["u", "g", "r", "i", "z"])
+        db.cold_cache()
+        db.reset_io_stats()
+        estimate, probed = planner.estimate_selectivity(poly)
+        assert probed == 0
+        assert db.io_stats.page_reads == 0  # zero plan-time I/O
+        result = planner.execute(poly)
+        expected = int(poly.contains_points(sample.magnitudes).sum())
+        assert result.stats.rows_returned == expected

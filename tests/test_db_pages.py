@@ -1,0 +1,72 @@
+"""Tests for the page format and codec."""
+
+import numpy as np
+import pytest
+
+from repro.db import Page, PageCodec
+
+
+def make_page(**columns):
+    return Page(page_id=3, start_row=384, columns=columns)
+
+
+class TestPage:
+    def test_row_counts(self):
+        page = make_page(a=np.arange(10.0), b=np.arange(10))
+        assert page.num_rows == 10
+        assert page.end_row == 394
+
+    def test_empty_page(self):
+        page = Page(page_id=0, start_row=0, columns={})
+        assert page.num_rows == 0
+
+    def test_row_ids_global(self):
+        page = make_page(a=np.arange(4.0))
+        assert page.row_ids().tolist() == [384, 385, 386, 387]
+
+    def test_slice(self):
+        page = make_page(a=np.arange(10.0))
+        view = page.slice(2, 5)
+        assert view["a"].tolist() == [2.0, 3.0, 4.0]
+
+    def test_nbytes_positive(self):
+        page = make_page(a=np.arange(10.0))
+        assert page.nbytes() == 80
+
+
+class TestPageCodec:
+    def test_roundtrip_mixed_dtypes(self):
+        rng = np.random.default_rng(0)
+        page = make_page(
+            floats=rng.normal(size=100),
+            ints=rng.integers(0, 1000, 100),
+            small=rng.integers(0, 100, 100).astype(np.int32),
+            blobs=np.array([b"x" * 8] * 100, dtype="S8"),
+        )
+        decoded = PageCodec.decode(PageCodec.encode(page))
+        assert decoded.page_id == page.page_id
+        assert decoded.start_row == page.start_row
+        for name, arr in page.columns.items():
+            assert decoded.columns[name].dtype == arr.dtype
+            assert np.array_equal(decoded.columns[name], arr)
+
+    def test_rejects_object_dtype(self):
+        page = make_page(bad=np.array([object()]))
+        with pytest.raises(TypeError):
+            PageCodec.encode(page)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            PageCodec.decode(b"NOPE" + b"\x00" * 40)
+
+    def test_decoded_arrays_are_writable_copies(self):
+        page = make_page(a=np.arange(5.0))
+        decoded = PageCodec.decode(PageCodec.encode(page))
+        decoded.columns["a"][0] = 99.0  # must not raise
+        assert decoded.columns["a"][0] == 99.0
+
+    def test_empty_columns_roundtrip(self):
+        page = make_page(a=np.empty(0, dtype=np.float64))
+        decoded = PageCodec.decode(PageCodec.encode(page))
+        assert decoded.num_rows == 0
+        assert decoded.columns["a"].dtype == np.float64

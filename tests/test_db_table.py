@@ -1,0 +1,167 @@
+"""Tests for tables: creation, clustering, scans, gathers."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture()
+def db():
+    return Database.in_memory(buffer_pages=None)
+
+
+def simple_data(n=100):
+    rng = np.random.default_rng(0)
+    return {
+        "key": rng.integers(0, 10, n),
+        "value": rng.normal(size=n),
+        "tag": np.arange(n),
+    }
+
+
+class TestCreate:
+    def test_basic_shape(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        assert table.num_rows == 100
+        assert table.num_pages == 7
+        assert table.column_names == ["key", "value", "tag"]
+
+    def test_rejects_unequal_columns(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("t", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_rejects_empty_schema(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("t", {})
+
+    def test_rejects_bad_rows_per_page(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("t", simple_data(), rows_per_page=0)
+
+    def test_clustered_order_sorted(self, db):
+        table = db.create_table(
+            "t", simple_data(200), rows_per_page=32, clustered_by=("key",)
+        )
+        keys = table.read_column("key")
+        assert (np.diff(keys) >= 0).all()
+
+    def test_clustering_is_stable(self, db):
+        # Equal keys keep their original relative order (lexsort stability),
+        # so the secondary 'tag' is ascending within each key group.
+        table = db.create_table(
+            "t", simple_data(200), rows_per_page=32, clustered_by=("key",)
+        )
+        keys = table.read_column("key")
+        tags = table.read_column("tag")
+        for key in np.unique(keys):
+            group = tags[keys == key]
+            assert (np.diff(group) > 0).all()
+
+    def test_multi_key_clustering(self, db):
+        table = db.create_table(
+            "t", simple_data(300), rows_per_page=32, clustered_by=("key", "tag")
+        )
+        keys = table.read_column("key")
+        tags = table.read_column("tag")
+        composite = keys.astype(np.int64) * 10**6 + tags
+        assert (np.diff(composite) > 0).all()
+
+    def test_unknown_cluster_column(self, db):
+        with pytest.raises(KeyError):
+            db.create_table("t", simple_data(), clustered_by=("ghost",))
+
+    def test_duplicate_name_rejected(self, db):
+        db.create_table("t", simple_data())
+        with pytest.raises(ValueError):
+            db.create_table("t", simple_data())
+
+
+class TestAccess:
+    def test_read_column_roundtrip(self, db):
+        data = simple_data(100)
+        table = db.create_table("t", data, rows_per_page=16)
+        assert np.allclose(table.read_column("value"), data["value"])
+
+    def test_read_columns_single_pass(self, db):
+        data = simple_data(100)
+        table = db.create_table("t", data, rows_per_page=16)
+        db.cold_cache()
+        db.reset_io_stats()
+        out = table.read_columns(["key", "value"])
+        assert db.io_stats.page_reads == table.num_pages
+        assert np.allclose(out["value"], data["value"])
+
+    def test_scan_covers_all_rows(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        total = sum(page.num_rows for page in table.scan())
+        assert total == 100
+
+    def test_read_rows_range(self, db):
+        data = simple_data(100)
+        table = db.create_table("t", data, rows_per_page=16)
+        out = table.read_rows(10, 20)
+        assert np.array_equal(out["tag"], data["tag"][10:20])
+
+    def test_read_rows_clamps(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        out = table.read_rows(-5, 1000)
+        assert len(out["tag"]) == 100
+
+    def test_read_rows_empty_range(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        out = table.read_rows(50, 50)
+        assert len(out["tag"]) == 0
+
+    def test_scan_rows_touches_only_needed_pages(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        db.cold_cache()
+        db.reset_io_stats()
+        list(table.scan_rows(16, 48))  # pages 1 and 2 only
+        assert db.io_stats.page_reads == 2
+
+    def test_gather_preserves_order(self, db):
+        data = simple_data(100)
+        table = db.create_table("t", data, rows_per_page=16)
+        wanted = np.array([99, 0, 50, 1, 98])
+        out = table.gather(wanted)
+        assert np.array_equal(out["tag"], data["tag"][wanted])
+
+    def test_gather_groups_by_page(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        db.cold_cache()
+        db.reset_io_stats()
+        table.gather(np.array([0, 1, 2, 3, 17, 18]))  # 2 pages
+        assert db.io_stats.page_reads == 2
+
+    def test_gather_empty(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        out = table.gather(np.array([], dtype=np.int64))
+        assert len(out["tag"]) == 0
+
+    def test_gather_out_of_range(self, db):
+        table = db.create_table("t", simple_data(100))
+        with pytest.raises(IndexError):
+            table.gather(np.array([100]))
+
+    def test_page_of_row(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        assert table.page_of_row(0) == 0
+        assert table.page_of_row(16) == 1
+        with pytest.raises(IndexError):
+            table.page_of_row(100)
+
+    def test_read_page_bounds(self, db):
+        table = db.create_table("t", simple_data(100), rows_per_page=16)
+        with pytest.raises(IndexError):
+            table.read_page(7)
+
+    def test_dtype_of(self, db):
+        table = db.create_table("t", simple_data(10))
+        assert table.dtype_of("value") == np.float64
+        with pytest.raises(KeyError):
+            table.dtype_of("ghost")
+
+    def test_repr(self, db):
+        table = db.create_table("t", simple_data(10), clustered_by=("key",))
+        assert "clustered_by=['key']" in repr(table)

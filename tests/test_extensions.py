@@ -1,0 +1,325 @@
+"""Tests for the extension features (the paper's future-work items)."""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro import (
+    Box,
+    Database,
+    DelaunayEdgeStore,
+    DelaunayGraph,
+    KdTreeIndex,
+    LayeredGridIndex,
+    Polyhedron,
+    VoronoiIndex,
+    knn_brute_force,
+    sky_survey_sample,
+    voronoi_volume_estimates,
+)
+from repro.core.index_base import stack_coordinates
+from repro.geometry.boxes import BoxRelation
+
+
+class TestCoordinateValidation:
+    def test_nan_rejected_with_count(self):
+        data = {"x": np.array([1.0, np.nan, 3.0]), "y": np.ones(3)}
+        with pytest.raises(ValueError, match="1 rows"):
+            stack_coordinates(data, ["x", "y"])
+
+    def test_inf_rejected(self):
+        data = {"x": np.array([1.0, np.inf])}
+        with pytest.raises(ValueError):
+            stack_coordinates(data, ["x"])
+
+    def test_missing_dim_rejected(self):
+        with pytest.raises(KeyError):
+            stack_coordinates({"x": np.ones(3)}, ["x", "ghost"])
+
+    def test_clean_data_passes(self):
+        pts = stack_coordinates({"x": np.ones(3), "y": np.zeros(3)}, ["y", "x"])
+        assert pts.shape == (3, 2)
+        assert np.allclose(pts[:, 0], 0.0)
+
+    def test_all_builders_validate(self):
+        db = Database.in_memory()
+        data = {"x": np.array([np.nan] * 64), "y": np.ones(64)}
+        for builder, name in (
+            (KdTreeIndex.build, "k"),
+            (LayeredGridIndex.build, "g"),
+            (VoronoiIndex.build, "v"),
+        ):
+            with pytest.raises(ValueError):
+                builder(db, name, data, ["x", "y"])
+
+
+class TestGridExactQuery:
+    def test_query_box_matches_scan(self, grid_index, clustered_points_3d):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.7)
+        result = grid_index.query_box(box)
+        expected = int(box.contains_points(clustered_points_3d).sum())
+        assert len(result.row_ids) == expected
+        assert box.contains_points(result.points).all()
+
+    def test_query_box_empty(self, grid_index):
+        result = grid_index.query_box(Box.cube(np.full(3, 50.0), 0.5))
+        assert len(result.row_ids) == 0
+
+    def test_selective_query_saves_pages(self, grid_index, clustered_points_3d):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.25)
+        result = grid_index.query_box(box)
+        assert result.stats.pages_touched < grid_index.table.num_pages
+
+    def test_whole_space_returns_everything(self, grid_index, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d, pad=0.1)
+        result = grid_index.query_box(box)
+        assert len(result.row_ids) == len(clustered_points_3d)
+
+
+class TestKdStreaming:
+    def test_stream_union_matches_bulk(self, kd_index):
+        poly = Polyhedron.simplex_around(np.array([0.5, 0.2, 0.4]), 1.0)
+        bulk, _ = kd_index.query_polyhedron(poly)
+        streamed = [
+            chunk["_row_id"]
+            for chunk, _ in kd_index.query_polyhedron_stream(poly)
+        ]
+        union = np.concatenate(streamed) if streamed else np.empty(0, np.int64)
+        assert np.array_equal(np.sort(union), np.sort(bulk["_row_id"]))
+
+    def test_stream_labels_relations(self, kd_index, clustered_points_3d):
+        box = Box.from_points(clustered_points_3d, pad=1.0)
+        chunks = list(kd_index.query_polyhedron_stream(Polyhedron.from_box(box)))
+        # The whole space is one INSIDE subtree.
+        assert len(chunks) == 1
+        assert chunks[0][1] is BoxRelation.INSIDE
+
+    def test_stream_is_lazy(self, kd_index):
+        poly = Polyhedron.simplex_around(np.array([0.0, 0.0, 0.0]), 0.6)
+        generator = kd_index.query_polyhedron_stream(poly)
+        first = next(generator)
+        assert len(first[0]["_row_id"]) > 0
+        generator.close()
+
+    def test_stream_dim_check(self, kd_index):
+        with pytest.raises(ValueError):
+            next(kd_index.query_polyhedron_stream(Polyhedron.from_box(Box.unit(2))))
+
+
+class TestApproximateKnn:
+    def test_high_recall_with_one_ring(self, voronoi_index):
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for _ in range(15):
+            query = rng.normal([1.5, 1.0, 0.5], 1.0)
+            exact = knn_brute_force(voronoi_index.table, voronoi_index.dims, query, 8)
+            approx = voronoi_index.knn_approximate(query, 8, rings=1)
+            hits += len(set(approx.row_ids.tolist()) & set(exact.row_ids.tolist()))
+            total += 8
+        assert hits / total > 0.9
+
+    def test_zero_rings_single_cell(self, voronoi_index):
+        query = np.array([0.0, 0.0, 0.0])
+        result = voronoi_index.knn_approximate(query, 5, rings=0)
+        assert result.stats.extra["cells_examined"] == 1
+
+    def test_more_rings_examine_more_cells(self, voronoi_index):
+        query = np.array([0.0, 0.0, 0.0])
+        one = voronoi_index.knn_approximate(query, 5, rings=1)
+        two = voronoi_index.knn_approximate(query, 5, rings=2)
+        assert two.stats.extra["cells_examined"] > one.stats.extra["cells_examined"]
+
+    def test_validation(self, voronoi_index):
+        with pytest.raises(ValueError):
+            voronoi_index.knn_approximate(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            voronoi_index.knn_approximate(np.zeros(3), 5, rings=-1)
+
+    def test_approximate_cheaper_than_exact(self, voronoi_index):
+        query = np.array([3.0, 2.0, 1.0])
+        exact = voronoi_index.knn(query, 10)
+        approx = voronoi_index.knn_approximate(query, 10, rings=1)
+        assert (
+            approx.stats.extra["cells_examined"]
+            <= exact.stats.extra["cells_examined"] + voronoi_index.graph.degree(0)
+        )
+
+
+class TestStratifiedSeeds:
+    def test_balances_cell_counts(self, clustered_points_3d):
+        db = Database.in_memory(buffer_pages=None)
+        pts = clustered_points_3d
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        cv = {}
+        for strategy in ("random", "stratified"):
+            index = VoronoiIndex.build(
+                db,
+                f"strat_{strategy}",
+                data,
+                ["x", "y", "z"],
+                num_seeds=150,
+                seed_strategy=strategy,
+            )
+            counts = index.cell_point_counts()
+            cv[strategy] = counts.std() / counts.mean()
+        assert cv["stratified"] < cv["random"]
+
+    def test_queries_still_exact(self, clustered_points_3d):
+        db = Database.in_memory(buffer_pages=None)
+        pts = clustered_points_3d
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        index = VoronoiIndex.build(
+            db, "strat_q", data, ["x", "y", "z"], num_seeds=100,
+            seed_strategy="stratified",
+        )
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.6)
+        _, stats = index.query_box(box)
+        assert stats.rows_returned == int(box.contains_points(pts).sum())
+
+    def test_bad_strategy_rejected(self, clustered_points_3d):
+        db = Database.in_memory()
+        pts = clustered_points_3d[:500]
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        with pytest.raises(ValueError):
+            VoronoiIndex.build(
+                db, "strat_bad", data, ["x", "y", "z"], num_seeds=50,
+                seed_strategy="fancy",
+            )
+
+
+class TestDelaunayEdgeStore:
+    @pytest.fixture(scope="class")
+    def stored(self):
+        rng = np.random.default_rng(3)
+        seeds = rng.normal(size=(200, 3))
+        graph = DelaunayGraph(seeds)
+        db = Database.in_memory(buffer_pages=32)
+        store = DelaunayEdgeStore.save(db, "es", graph)
+        return db, graph, store
+
+    def test_neighbors_roundtrip(self, stored):
+        _, graph, store = stored
+        for seed in range(0, 200, 23):
+            assert set(store.neighbors(seed).tolist()) == set(
+                graph.neighbors(seed).tolist()
+            )
+
+    def test_degrees_match(self, stored):
+        _, graph, store = stored
+        assert np.array_equal(store.degrees(), graph.degrees())
+
+    def test_edge_count_doubled(self, stored):
+        _, graph, store = stored
+        assert store.num_directed_edges == 2 * graph.num_edges()
+
+    def test_walk_matches_in_memory(self, stored):
+        _, graph, store = stored
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            point = rng.normal(size=3)
+            walk, stats = store.directed_walk(point)
+            assert walk.seed == graph.nearest_seed_exact(point)
+            assert stats.pages_touched > 0  # it actually read the tables
+
+    def test_reopen(self, stored):
+        db, graph, _ = stored
+        reopened = DelaunayEdgeStore.open(db, "es")
+        assert reopened.num_seeds == graph.num_seeds
+        assert reopened.dim == 3
+        assert set(reopened.neighbors(5).tolist()) == set(graph.neighbors(5).tolist())
+
+    def test_seed_points_roundtrip(self, stored):
+        _, graph, store = stored
+        got = store.seed_points(np.array([0, 50, 199]))
+        assert np.allclose(got, graph.seeds[[0, 50, 199]])
+
+    def test_approximate_volumes_rank_correlate(self, stored):
+        _, graph, store = stored
+        proxy = store.approximate_volumes()
+        exact = voronoi_volume_estimates(graph)
+        mask = np.isfinite(proxy) & (exact > 0)
+        corr = spearmanr(proxy[mask], exact[mask]).statistic
+        assert corr > 0.8
+
+    def test_storage_accounting(self, stored):
+        _, graph, store = stored
+        sizes = store.storage_bytes()
+        assert sizes["edges"] == store.num_directed_edges * 16
+        assert sizes["total"] == sizes["edges"] + sizes["seeds"]
+
+
+class TestSkySample:
+    @pytest.fixture(scope="class")
+    def sky(self):
+        return sky_survey_sample(30_000, seed=5)
+
+    def test_shapes_and_ranges(self, sky):
+        assert sky.num_objects == 30_000
+        assert sky.ra.min() >= 0.0 and sky.ra.max() < 360.0
+        assert sky.dec.min() >= -90.0 and sky.dec.max() <= 90.0
+        assert sky.redshift.min() > 0.0
+
+    def test_kinds_present(self, sky):
+        assert set(np.unique(sky.kind)) == {0, 1, 2}
+
+    def test_cartesian_hubble_law(self, sky):
+        xyz = sky.cartesian()
+        radial = np.linalg.norm(xyz, axis=1)
+        # distance proportional to redshift (Hubble's law).
+        corr = np.corrcoef(radial, sky.redshift)[0, 1]
+        assert corr > 0.999
+
+    def test_clusters_are_overdense(self, sky):
+        # Cluster members are far more concentrated than field galaxies.
+        xyz = sky.cartesian()
+        cluster = xyz[sky.kind == 1]
+        field = xyz[sky.kind == 0]
+        # Mean nearest-neighbor distance within each population.
+        from scipy.spatial import cKDTree
+
+        def mean_nn(points):
+            dists, _ = cKDTree(points).query(points, k=2)
+            return dists[:, 1].mean()
+
+        assert mean_nn(cluster[:3000]) < 0.5 * mean_nn(field[:3000])
+
+    def test_finger_of_god_radial_elongation(self, sky):
+        # Within one cluster, the radial spread (from peculiar velocity)
+        # exceeds the transverse spread: the Figure 14 "fingers".
+        xyz = sky.cartesian()
+        cluster_points = xyz[sky.kind == 1]
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(cluster_points)
+        center = cluster_points[0]
+        members = cluster_points[tree.query_ball_point(center, 40.0)]
+        if len(members) > 30:
+            radial_dir = center / np.linalg.norm(center)
+            radial = (members - members.mean(0)) @ radial_dir
+            transverse = np.linalg.norm(
+                (members - members.mean(0))
+                - radial[:, None] * radial_dir,
+                axis=1,
+            )
+            assert radial.std() > transverse.std() * 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sky_survey_sample(0)
+        with pytest.raises(ValueError):
+            sky_survey_sample(100, cluster_fraction=0.8, filament_fraction=0.5)
+
+    def test_deterministic(self):
+        a = sky_survey_sample(1000, seed=7)
+        b = sky_survey_sample(1000, seed=7)
+        assert np.array_equal(a.redshift, b.redshift)
+
+    def test_indexable(self, sky):
+        # The Figure 14 use: index the 3-D positions and query a region.
+        db = Database.in_memory(buffer_pages=None)
+        xyz = sky.cartesian()
+        data = {"x": xyz[:, 0], "y": xyz[:, 1], "z": xyz[:, 2]}
+        index = KdTreeIndex.build(db, "sky", data, ["x", "y", "z"])
+        box = Box.cube(xyz[0], 50.0)
+        _, stats = index.query_box(box)
+        assert stats.rows_returned == int(box.contains_points(xyz).sum())

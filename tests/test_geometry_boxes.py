@@ -1,0 +1,189 @@
+"""Tests for axis-aligned boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, BoxRelation
+
+
+def box(lo, hi):
+    return Box(np.asarray(lo, float), np.asarray(hi, float))
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            box([1.0, 0.0], [0.0, 1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(2), np.ones(3))
+
+    def test_from_points_covers_all(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(100, 4))
+        b = Box.from_points(pts)
+        assert b.contains_points(pts).all()
+
+    def test_from_points_pad(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = Box.from_points(pts, pad=0.5)
+        assert np.allclose(b.lo, [-0.5, -0.5])
+        assert np.allclose(b.hi, [1.5, 1.5])
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box.from_points(np.empty((0, 3)))
+
+    def test_unit_cube(self):
+        b = Box.unit(5)
+        assert b.dim == 5
+        assert b.volume == 1.0
+
+    def test_cube_around_center(self):
+        b = Box.cube(np.array([1.0, 2.0]), 0.5)
+        assert np.allclose(b.center, [1.0, 2.0])
+        assert np.allclose(b.widths, [1.0, 1.0])
+
+    def test_immutable_bounds(self):
+        b = Box.unit(2)
+        with pytest.raises(ValueError):
+            b.lo[0] = 5.0
+
+
+class TestPredicates:
+    def test_contains_point_boundary_closed(self):
+        b = box([0, 0], [1, 1])
+        assert b.contains_point([0.0, 0.0])
+        assert b.contains_point([1.0, 1.0])
+        assert not b.contains_point([1.0000001, 0.5])
+
+    def test_contains_points_vectorized(self):
+        b = box([0, 0], [1, 1])
+        pts = np.array([[0.5, 0.5], [2.0, 0.5], [-0.1, 0.2]])
+        assert b.contains_points(pts).tolist() == [True, False, False]
+
+    def test_intersects_shared_face(self):
+        a = box([0, 0], [1, 1])
+        b = box([1, 0], [2, 1])
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = box([0, 0], [1, 1])
+        b = box([2, 2], [3, 3])
+        assert not a.intersects(b)
+        assert a.relation_to(b) is BoxRelation.OUTSIDE
+
+    def test_relation_inside(self):
+        inner = box([0.25, 0.25], [0.75, 0.75])
+        outer = box([0, 0], [1, 1])
+        assert inner.relation_to(outer) is BoxRelation.INSIDE
+        assert outer.relation_to(inner) is BoxRelation.PARTIAL
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        a = box([0, 0], [2, 2])
+        b = box([1, 1], [3, 3])
+        overlap = a.intersection(b)
+        assert np.allclose(overlap.lo, [1, 1])
+        assert np.allclose(overlap.hi, [2, 2])
+
+    def test_intersection_disjoint_is_none(self):
+        assert box([0, 0], [1, 1]).intersection(box([2, 2], [3, 3])) is None
+
+    def test_union_bounds(self):
+        u = box([0, 0], [1, 1]).union_bounds(box([2, -1], [3, 0.5]))
+        assert np.allclose(u.lo, [0, -1])
+        assert np.allclose(u.hi, [3, 1])
+
+    def test_split_partitions_volume(self):
+        b = box([0, 0, 0], [2, 2, 2])
+        left, right = b.split(axis=1, value=0.5)
+        assert np.isclose(left.volume + right.volume, b.volume)
+        assert left.hi[1] == 0.5
+        assert right.lo[1] == 0.5
+
+    def test_split_outside_extent_rejected(self):
+        with pytest.raises(ValueError):
+            box([0, 0], [1, 1]).split(0, 2.0)
+
+    def test_expanded(self):
+        b = box([0, 0], [1, 1]).expanded(1.0)
+        assert np.allclose(b.lo, [-1, -1])
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self):
+        assert box([0, 0], [1, 1]).min_distance_to_point([0.5, 0.5]) == 0.0
+
+    def test_min_distance_outside(self):
+        d = box([0, 0], [1, 1]).min_distance_to_point([2.0, 1.0])
+        assert np.isclose(d, 1.0)
+
+    def test_min_distance_corner(self):
+        d = box([0, 0], [1, 1]).min_distance_to_point([2.0, 2.0])
+        assert np.isclose(d, np.sqrt(2.0))
+
+    def test_max_distance_to_point(self):
+        d = box([0, 0], [1, 1]).max_distance_to_point([0.0, 0.0])
+        assert np.isclose(d, np.sqrt(2.0))
+
+    def test_max_ge_min(self):
+        rng = np.random.default_rng(3)
+        b = box([0, 0, 0], [1, 2, 3])
+        for _ in range(50):
+            p = rng.normal(scale=3, size=3)
+            assert b.max_distance_to_point(p) >= b.min_distance_to_point(p)
+
+
+class TestCornersAndFaces:
+    def test_corner_count(self):
+        assert box([0, 0, 0], [1, 1, 1]).corners().shape == (8, 3)
+
+    def test_corners_are_extreme(self):
+        b = box([0, -1], [2, 3])
+        corners = {tuple(c) for c in b.corners()}
+        assert corners == {(0, -1), (0, 3), (2, -1), (2, 3)}
+
+    def test_corner_dim_guard(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(17), np.ones(17)).corners()
+
+    def test_face_projections_on_boundary(self):
+        b = box([0, 0, 0], [1, 1, 1])
+        p = np.array([0.3, 0.6, 0.9])
+        projections = b.project_point_to_faces(p)
+        assert projections.shape == (6, 3)
+        for proj in projections:
+            assert b.contains_point(proj)
+            on_face = np.any(np.isclose(proj, b.lo) | np.isclose(proj, b.hi))
+            assert on_face
+
+    def test_face_projection_of_outside_point_clamped(self):
+        b = box([0, 0], [1, 1])
+        projections = b.project_point_to_faces(np.array([5.0, 0.5]))
+        assert b.contains_points(projections).all()
+
+    def test_face_projection_achieves_min_distance(self):
+        # For an outside point, the closest projection equals the box's
+        # min distance -- the property the boundary-point k-NN leans on.
+        b = box([0, 0, 0], [1, 1, 1])
+        p = np.array([2.0, 0.5, 0.5])
+        projections = b.project_point_to_faces(p)
+        best = min(np.linalg.norm(proj - p) for proj in projections)
+        assert np.isclose(best, b.min_distance_to_point(p))
+
+
+class TestShapeStats:
+    def test_elongation_of_cube_is_one(self):
+        assert box([0, 0], [2, 2]).elongation == 1.0
+
+    def test_elongation_ratio(self):
+        assert np.isclose(box([0, 0], [4, 1]).elongation, 4.0)
+
+    def test_elongation_degenerate_is_inf(self):
+        assert box([0, 0], [1, 0]).elongation == float("inf")
+
+    def test_volume(self):
+        assert np.isclose(box([0, 0, 0], [1, 2, 3]).volume, 6.0)

@@ -1,0 +1,80 @@
+"""Tests for metrics and whitening."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Whitener, euclidean, minkowski
+from repro.geometry.distance import squared_distances
+
+
+class TestMetrics:
+    def test_euclidean(self):
+        assert np.isclose(euclidean([0, 0], [3, 4]), 5.0)
+
+    def test_minkowski_orders(self):
+        a, b = [0.0, 0.0], [1.0, 1.0]
+        assert np.isclose(minkowski(a, b, 1), 2.0)
+        assert np.isclose(minkowski(a, b, 2), np.sqrt(2))
+        assert np.isclose(minkowski(a, b, np.inf), 1.0)
+
+    def test_minkowski_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            minkowski([0], [1], 0)
+
+    def test_squared_distances(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 4.0]])
+        d2 = squared_distances(pts, np.zeros(2))
+        assert np.allclose(d2, [0.0, 1.0, 25.0])
+
+
+class TestWhitener:
+    def test_std_mode_unit_variance(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal([5.0, -2.0], [3.0, 0.1], size=(5000, 2))
+        w = Whitener(mode="std").fit(pts)
+        out = w.transform(pts)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_zca_mode_identity_covariance(self):
+        rng = np.random.default_rng(1)
+        cov_sqrt = np.array([[2.0, 0.7], [0.0, 0.5]])
+        pts = rng.normal(size=(8000, 2)) @ cov_sqrt.T + [1.0, 2.0]
+        w = Whitener(mode="zca").fit(pts)
+        out = w.transform(pts)
+        cov = np.cov(out, rowvar=False)
+        assert np.allclose(cov, np.eye(2), atol=0.05)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(100, 3)) * [1.0, 5.0, 0.2]
+        for mode in ("std", "zca"):
+            w = Whitener(mode=mode).fit(pts)
+            back = w.inverse_transform(w.transform(pts))
+            assert np.allclose(back, pts, atol=1e-8)
+
+    def test_constant_axis_survives(self):
+        pts = np.column_stack([np.ones(10), np.arange(10.0)])
+        w = Whitener(mode="std").fit(pts)
+        out = w.transform(pts)
+        assert np.all(np.isfinite(out))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Whitener().transform(np.zeros((3, 2)))
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            Whitener(mode="pca")
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            Whitener().fit(np.zeros((1, 2)))
+
+    def test_fit_transform(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(50, 2))
+        w = Whitener()
+        out = w.fit_transform(pts)
+        assert out.shape == pts.shape
+        assert w.is_fitted

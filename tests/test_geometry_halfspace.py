@@ -1,0 +1,190 @@
+"""Tests for halfspaces and convex polyhedra."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box, BoxRelation, Halfspace, Polyhedron
+
+
+class TestHalfspace:
+    def test_contains_point(self):
+        hs = Halfspace(np.array([1.0, 0.0]), 1.0)  # x <= 1
+        assert hs.contains_point([0.5, 99.0])
+        assert hs.contains_point([1.0, 0.0])  # closed
+        assert not hs.contains_point([1.5, 0.0])
+
+    def test_rejects_zero_normal(self):
+        with pytest.raises(ValueError):
+            Halfspace(np.zeros(3), 1.0)
+
+    def test_signed_distance_scale_invariant(self):
+        a = Halfspace(np.array([1.0, 0.0]), 1.0)
+        b = Halfspace(np.array([10.0, 0.0]), 10.0)
+        p = [3.0, 0.0]
+        assert np.isclose(a.signed_distance(p), b.signed_distance(p))
+        assert np.isclose(a.signed_distance(p), 2.0)
+
+    def test_signed_distance_negative_inside(self):
+        hs = Halfspace(np.array([0.0, 1.0]), 0.0)  # y <= 0
+        assert hs.signed_distance([0.0, -2.0]) == -2.0
+
+    def test_box_extremes_match_corners(self):
+        rng = np.random.default_rng(1)
+        b = Box(np.array([-1.0, 0.0, 2.0]), np.array([1.0, 3.0, 5.0]))
+        for _ in range(20):
+            hs = Halfspace(rng.normal(size=3), 0.0)
+            values = b.corners() @ hs.normal
+            lo, hi = hs.box_extremes(b)
+            assert np.isclose(lo, values.min())
+            assert np.isclose(hi, values.max())
+
+    def test_flipped(self):
+        hs = Halfspace(np.array([1.0]), 2.0)
+        flipped = hs.flipped()
+        assert flipped.contains_point([3.0])
+        assert not flipped.contains_point([1.0])
+
+    def test_contains_points_vectorized(self):
+        hs = Halfspace(np.array([1.0, 1.0]), 1.0)
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]])
+        assert hs.contains_points(pts).tolist() == [True, False, True]
+
+
+class TestPolyhedron:
+    def test_from_box_membership_matches_box(self):
+        rng = np.random.default_rng(2)
+        b = Box(np.array([0.0, -1.0, 2.0]), np.array([1.0, 1.0, 3.0]))
+        poly = Polyhedron.from_box(b)
+        pts = rng.uniform(-2, 4, size=(500, 3))
+        assert np.array_equal(poly.contains_points(pts), b.contains_points(pts))
+
+    def test_needs_halfspaces(self):
+        with pytest.raises(ValueError):
+            Polyhedron([])
+
+    def test_dimension_consistency(self):
+        with pytest.raises(ValueError):
+            Polyhedron(
+                [Halfspace(np.ones(2), 0.0), Halfspace(np.ones(3), 0.0)]
+            )
+
+    def test_from_inequalities(self):
+        poly = Polyhedron.from_inequalities(
+            np.array([[1.0, 0.0], [-1.0, 0.0]]), np.array([1.0, 0.0])
+        )
+        assert poly.contains_point([0.5, 123.0])
+        assert not poly.contains_point([-0.5, 0.0])
+
+    def test_intersected_with(self):
+        a = Polyhedron.from_box(Box(np.zeros(2), np.ones(2) * 2))
+        b = Polyhedron.from_box(Box(np.ones(2), np.ones(2) * 3))
+        both = a.intersected_with(b)
+        assert both.contains_point([1.5, 1.5])
+        assert not both.contains_point([0.5, 0.5])
+
+    def test_len_and_repr(self):
+        poly = Polyhedron.from_box(Box.unit(3))
+        assert len(poly) == 6
+        assert "dim=3" in repr(poly)
+
+
+class TestClassifyBox:
+    def setup_method(self):
+        # The triangle x >= 0, y >= 0, x + y <= 1.
+        self.poly = Polyhedron(
+            [
+                Halfspace(np.array([-1.0, 0.0]), 0.0),
+                Halfspace(np.array([0.0, -1.0]), 0.0),
+                Halfspace(np.array([1.0, 1.0]), 1.0),
+            ]
+        )
+
+    def test_inside(self):
+        b = Box(np.array([0.1, 0.1]), np.array([0.2, 0.2]))
+        assert self.poly.classify_box(b) is BoxRelation.INSIDE
+
+    def test_outside_separated_by_one_halfspace(self):
+        b = Box(np.array([2.0, 2.0]), np.array([3.0, 3.0]))
+        assert self.poly.classify_box(b) is BoxRelation.OUTSIDE
+
+    def test_partial(self):
+        b = Box(np.array([0.4, 0.4]), np.array([0.8, 0.8]))
+        assert self.poly.classify_box(b) is BoxRelation.PARTIAL
+
+    def test_conservative_never_wrong(self):
+        # Randomized soundness check: INSIDE boxes contain only members,
+        # OUTSIDE boxes contain no members.
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            lo = rng.uniform(-1, 1.5, 2)
+            hi = lo + rng.uniform(0.01, 1.0, 2)
+            b = Box(lo, hi)
+            relation = self.poly.classify_box(b)
+            sample = rng.uniform(lo, hi, size=(64, 2))
+            inside = self.poly.contains_points(sample)
+            if relation is BoxRelation.INSIDE:
+                assert inside.all()
+            elif relation is BoxRelation.OUTSIDE:
+                assert not inside.any()
+
+
+class TestClassifyBall:
+    def setup_method(self):
+        self.poly = Polyhedron.from_box(Box(np.zeros(3), np.ones(3)))
+
+    def test_inside(self):
+        rel = self.poly.classify_ball(np.array([0.5, 0.5, 0.5]), 0.2)
+        assert rel is BoxRelation.INSIDE
+
+    def test_outside(self):
+        rel = self.poly.classify_ball(np.array([3.0, 0.5, 0.5]), 0.5)
+        assert rel is BoxRelation.OUTSIDE
+
+    def test_partial(self):
+        rel = self.poly.classify_ball(np.array([0.5, 0.5, 0.5]), 2.0)
+        assert rel is BoxRelation.PARTIAL
+
+    def test_soundness_random(self):
+        rng = np.random.default_rng(4)
+        for _ in range(200):
+            center = rng.uniform(-0.5, 1.5, 3)
+            radius = rng.uniform(0.01, 0.8)
+            relation = self.poly.classify_ball(center, radius)
+            direction = rng.normal(size=(64, 3))
+            direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+            sample = center + direction * rng.uniform(0, radius, (64, 1))
+            inside = self.poly.contains_points(sample)
+            if relation is BoxRelation.INSIDE:
+                assert inside.all()
+            elif relation is BoxRelation.OUTSIDE:
+                assert not inside.any()
+
+
+class TestMinDistance:
+    def test_inside_is_zero(self):
+        poly = Polyhedron.from_box(Box.unit(2))
+        assert poly.min_distance_to_point([0.5, 0.5]) == 0.0
+
+    def test_lower_bound_property(self):
+        # min_distance is a valid lower bound on the true distance.
+        poly = Polyhedron.from_box(Box.unit(2))
+        p = np.array([2.0, 2.0])
+        bound = poly.min_distance_to_point(p)
+        true = np.sqrt(2.0)
+        assert 0 < bound <= true + 1e-12
+
+    def test_axis_aligned_exact(self):
+        poly = Polyhedron.from_box(Box.unit(2))
+        assert np.isclose(poly.min_distance_to_point([3.0, 0.5]), 2.0)
+
+
+class TestSimplexAround:
+    def test_center_inside(self):
+        center = np.array([1.0, -2.0, 0.5])
+        poly = Polyhedron.simplex_around(center, 0.5)
+        assert poly.contains_point(center)
+
+    def test_bounded_reach(self):
+        center = np.zeros(3)
+        poly = Polyhedron.simplex_around(center, 0.5)
+        assert not poly.contains_point(center - 10.0)

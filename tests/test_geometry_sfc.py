@@ -1,0 +1,117 @@
+"""Tests for space-filling curves."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sfc import (
+    hilbert_decode,
+    hilbert_index,
+    hilbert_indices,
+    morton_index,
+    morton_indices,
+    morton_sort_key,
+    quantize_points,
+)
+
+
+class TestQuantize:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(200, 3))
+        q = quantize_points(pts, bits=5)
+        assert q.min() >= 0
+        assert q.max() <= 31
+
+    def test_degenerate_axis(self):
+        pts = np.array([[0.0, 1.0], [0.0, 2.0], [0.0, 3.0]])
+        q = quantize_points(pts, bits=4)
+        assert (q[:, 0] == 0).all()
+
+    def test_explicit_bounds_clamp(self):
+        pts = np.array([[-5.0], [0.5], [5.0]])
+        q = quantize_points(pts, bits=3, lo=np.array([0.0]), hi=np.array([1.0]))
+        assert q[0, 0] == 0
+        assert q[2, 0] == 7
+
+    def test_bits_guard(self):
+        with pytest.raises(ValueError):
+            quantize_points(np.zeros((2, 2)), bits=0)
+        with pytest.raises(ValueError):
+            quantize_points(np.zeros((2, 2)), bits=22)
+
+    def test_monotone_along_axis(self):
+        pts = np.linspace(0, 1, 17)[:, None]
+        q = quantize_points(pts, bits=4)
+        assert (np.diff(q[:, 0]) >= 0).all()
+
+
+class TestMorton:
+    def test_known_2d_values(self):
+        # Interleaving of (x=1, y=0) with 1 bit each (x major): 0b10 = 2.
+        assert morton_index(np.array([1, 0]), bits=1) == 2
+        assert morton_index(np.array([0, 1]), bits=1) == 1
+        assert morton_index(np.array([1, 1]), bits=1) == 3
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        coords = rng.integers(0, 16, size=(50, 3))
+        batch = morton_indices(coords, bits=4)
+        for row, code in zip(coords, batch):
+            assert morton_index(row, bits=4) == code
+
+    def test_bijective_on_lattice(self):
+        coords = np.indices((8, 8)).reshape(2, -1).T
+        codes = morton_indices(coords, bits=3)
+        assert len(set(codes.tolist())) == 64
+        assert codes.min() == 0
+        assert codes.max() == 63
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            morton_indices(np.zeros((1, 7), dtype=np.int64), bits=10)
+
+    def test_sort_key_locality(self):
+        # Points sorted by Morton key: average consecutive distance must
+        # beat random order (the reason cells are numbered on a curve).
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(size=(500, 2))
+        keys = morton_sort_key(pts, bits=10)
+        ordered = pts[np.argsort(keys)]
+        step_sfc = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        step_random = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert step_sfc < step_random * 0.5
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("dim,bits", [(2, 3), (3, 2), (2, 5)])
+    def test_roundtrip(self, dim, bits):
+        for code in range(2 ** (dim * bits)):
+            pt = hilbert_decode(code, dim, bits)
+            assert hilbert_index(pt, bits) == code
+
+    def test_bijective(self):
+        coords = np.indices((8, 8)).reshape(2, -1).T
+        codes = hilbert_indices(coords, bits=3)
+        assert len(set(codes.tolist())) == 64
+
+    def test_unit_steps(self):
+        # Consecutive Hilbert codes are lattice neighbors (distance 1) --
+        # the locality property Morton lacks.
+        for code in range(63):
+            a = hilbert_decode(code, 2, 3)
+            b = hilbert_decode(code + 1, 2, 3)
+            assert np.abs(a - b).sum() == 1
+
+    def test_locality_beats_morton(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(size=(800, 2))
+        q = quantize_points(pts, bits=6)
+        hilbert_order = np.argsort(hilbert_indices(q, bits=6), kind="stable")
+        morton_order = np.argsort(morton_indices(q, bits=6), kind="stable")
+        step_h = np.linalg.norm(np.diff(pts[hilbert_order], axis=0), axis=1).mean()
+        step_m = np.linalg.norm(np.diff(pts[morton_order], axis=0), axis=1).mean()
+        assert step_h <= step_m
+
+    def test_overflow_guard(self):
+        with pytest.raises(ValueError):
+            hilbert_index(np.zeros(7, dtype=np.int64), bits=10)

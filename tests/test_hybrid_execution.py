@@ -1,0 +1,125 @@
+"""Tests for hybrid execution (linear relaxation pushed into the index)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Col,
+    Database,
+    KdTreeIndex,
+    full_scan,
+    hybrid_query,
+    linear_relaxations,
+    parse_where,
+    sdss_color_sample,
+)
+from repro.datasets.workload import FIGURE2_VERBATIM
+from repro.db.expressions import log10
+
+BANDS = ["u", "g", "r", "i", "z"]
+
+
+@pytest.fixture(scope="module")
+def indexed_sample():
+    sample = sdss_color_sample(20_000, seed=13)
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "hyb", sample.columns(), BANDS)
+    return sample, index
+
+
+class TestLinearRelaxations:
+    def test_pure_linear_single_polyhedron(self):
+        expr = (Col("u") < 1.0) & (Col("g") > 0.0)
+        covers = linear_relaxations(expr, ["u", "g"])
+        assert len(covers) == 1
+        assert len(covers[0]) == 2
+
+    def test_or_splits_cover(self):
+        expr = (Col("u") < 0.0) | (Col("u") > 1.0)
+        covers = linear_relaxations(expr, ["u"])
+        assert len(covers) == 2
+
+    def test_nonlinear_conjunct_is_dropped_not_fatal(self):
+        expr = (Col("u") < 1.0) & (log10(Col("g")) < 0.5)
+        covers = linear_relaxations(expr, ["u", "g"])
+        # Only the linear conjunct constrains the cover.
+        assert len(covers) == 1
+        assert len(covers[0]) == 1
+
+    def test_fully_nonlinear_returns_none(self):
+        assert linear_relaxations(log10(Col("u")) < 1.0, ["u"]) is None
+
+    def test_not_returns_none(self):
+        assert linear_relaxations(~(Col("u") < 1.0), ["u"]) is None
+
+    def test_cover_is_a_superset(self, indexed_sample):
+        sample, _ = indexed_sample
+        expr = parse_where("(u - g < 1.0 AND LOG10(r) > 1.2) OR (g - r > 1.5)")
+        covers = linear_relaxations(expr, BANDS)
+        cols = {b: sample.magnitudes[:, i] for i, b in enumerate("ugriz")}
+        truth = expr.evaluate(cols)
+        in_cover = np.zeros(len(truth), dtype=bool)
+        for poly in covers:
+            in_cover |= poly.contains_points(sample.magnitudes)
+        assert in_cover[truth].all()  # never drops a true row
+
+    def test_or_blowup_collapses_to_scan(self):
+        expr = Col("u") < 0.0
+        for i in range(80):
+            expr = expr | (Col("u") > float(i))
+        assert linear_relaxations(expr, ["u"]) is None
+
+
+class TestHybridQuery:
+    def test_matches_full_scan_on_mixed_predicates(self, indexed_sample):
+        sample, index = indexed_sample
+        expressions = [
+            (Col("g") - Col("r") > 1.2) & (log10(Col("r") - 10.0) < 1.05),
+            (Col("u") < 17.0) | (Col("z") > 22.0),
+            parse_where("(u - g < 0.3 AND r < 18) OR (i - z > 0.8 AND r > 21)"),
+        ]
+        for expr in expressions:
+            rows, stats = hybrid_query(index, expr)
+            _, scan_stats = full_scan(index.table, predicate=expr)
+            assert stats.rows_returned == scan_stats.rows_returned
+
+    def test_prunes_io_when_linear_part_is_selective(self, indexed_sample):
+        sample, index = indexed_sample
+        expr = (Col("g") - Col("r") > 1.4) & (Col("r") < 17.0) & (
+            log10(Col("r")) > 0.0  # trivially true nonlinear residual
+        )
+        _, stats = hybrid_query(index, expr)
+        _, scan_stats = full_scan(index.table, predicate=expr)
+        assert stats.rows_returned == scan_stats.rows_returned
+        assert stats.pages_touched < scan_stats.pages_touched
+
+    def test_falls_back_to_scan_when_unconstrained(self, indexed_sample):
+        sample, index = indexed_sample
+        expr = log10(Col("r")) < 1.3
+        rows, stats = hybrid_query(index, expr)
+        expected = (np.log10(sample.magnitudes[:, 2]) < 1.3).sum()
+        assert stats.rows_returned == int(expected)
+
+    def test_missing_columns_rejected(self, indexed_sample):
+        _, index = indexed_sample
+        with pytest.raises(KeyError):
+            hybrid_query(index, Col("ghost") < 1.0)
+
+    def test_empty_result(self, indexed_sample):
+        _, index = indexed_sample
+        rows, stats = hybrid_query(index, Col("u") < -1e9)
+        assert stats.rows_returned == 0
+        assert len(rows["_row_id"]) == 0
+
+    def test_verbatim_figure2_end_to_end(self):
+        sample = sdss_color_sample(20_000, seed=21)
+        cols = sample.extended_columns(seed=22)
+        db = Database.in_memory(buffer_pages=None)
+        dims = ["dered_g", "dered_r", "dered_i", "petroMag_r", "extinction_r"]
+        index = KdTreeIndex.build(db, "fig2v", cols, dims)
+        expr = parse_where(FIGURE2_VERBATIM)
+        rows, stats = hybrid_query(index, expr)
+        _, scan_stats = full_scan(index.table, predicate=expr)
+        assert stats.rows_returned == scan_stats.rows_returned
+        assert stats.extra["cover_polyhedra"] == 2  # the top-level OR
+        assert stats.pages_touched <= scan_stats.pages_touched

@@ -1,0 +1,307 @@
+"""Tests for the analysis algorithms (PCA, least squares, photo-z, BST)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SpectrumTemplates, make_photoz_dataset
+from repro.db import Database
+from repro.ml import (
+    KnnPolyRedshiftEstimator,
+    PolynomialFeatures,
+    PrincipalComponents,
+    TemplateFitEstimator,
+    basin_spanning_tree,
+    cluster_class_agreement,
+    clusters_from_parents,
+    general_least_squares,
+    merge_small_clusters,
+    regression_report,
+    retrieval_precision,
+    smooth_densities,
+)
+
+
+class TestPrincipalComponents:
+    def test_recovers_planted_subspace(self):
+        rng = np.random.default_rng(0)
+        basis = rng.normal(size=(2, 30))
+        coeffs = rng.normal(size=(500, 2)) * [5.0, 2.0]
+        data = coeffs @ basis + rng.normal(0, 0.01, (500, 30))
+        pca = PrincipalComponents(2, normalize=False).fit(data)
+        assert pca.explained_variance_ratio.sum() > 0.99
+
+    def test_transform_shape(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(100, 50))
+        features = PrincipalComponents(5, normalize=False).fit_transform(data)
+        assert features.shape == (100, 5)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(2)
+        pca = PrincipalComponents(4, normalize=False).fit(rng.normal(size=(200, 10)))
+        gram = pca.components @ pca.components.T
+        assert np.allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_reconstruction_improves_with_components(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(300, 20)) @ rng.normal(size=(20, 20))
+        err2 = PrincipalComponents(2, normalize=False).fit(data).reconstruction_error(data)
+        err8 = PrincipalComponents(8, normalize=False).fit(data).reconstruction_error(data)
+        assert err8 < err2
+
+    def test_normalization_removes_scale(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(100, 10))
+        scaled = data * rng.uniform(0.1, 10.0, size=(100, 1))
+        pca = PrincipalComponents(3, normalize=True).fit(data)
+        a = pca.transform(data)
+        b = pca.transform(scaled)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_five_components_describe_spectra(self):
+        # §4.2: a handful of KL components captures galaxy spectra.
+        rng = np.random.default_rng(5)
+        templates = SpectrumTemplates()
+        spectra = np.array(
+            [
+                templates.observe(
+                    templates.galaxy_blend(rng.uniform(), z=rng.uniform(0, 0.3)),
+                    snr=200.0,
+                    rng=rng,
+                )
+                for _ in range(120)
+            ]
+        )
+        pca = PrincipalComponents(5).fit(spectra)
+        # The bulk of the variance concentrates in very few components
+        # (the residual is the nonlinear part of redshift stretching plus
+        # photon noise spread over 3000 dimensions).
+        ratios = pca.explained_variance_ratio
+        assert ratios.sum() > 0.7
+        assert ratios[0] > 20 * ratios[4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrincipalComponents(0)
+        with pytest.raises(ValueError):
+            PrincipalComponents(10).fit(np.zeros((3, 5)))
+        with pytest.raises(RuntimeError):
+            PrincipalComponents(2).transform(np.zeros((3, 5)))
+
+
+class TestPolynomialFeatures:
+    def test_degree_zero(self):
+        pf = PolynomialFeatures(0)
+        design = pf.design_matrix(np.array([[1.0, 2.0]]))
+        assert design.shape == (1, 1)
+        assert design[0, 0] == 1.0
+
+    def test_degree_one_terms(self):
+        pf = PolynomialFeatures(1)
+        design = pf.design_matrix(np.array([[2.0, 3.0]]))
+        assert design.tolist() == [[1.0, 2.0, 3.0]]
+
+    def test_degree_two_term_count(self):
+        pf = PolynomialFeatures(2)
+        assert pf.num_terms(2) == 6  # 1, a, b, a2, ab, b2
+        assert pf.num_terms(5) == 21
+
+    def test_degree_two_values(self):
+        pf = PolynomialFeatures(2)
+        design = pf.design_matrix(np.array([[2.0, 3.0]]))
+        assert sorted(design[0].tolist()) == sorted([1.0, 2.0, 3.0, 4.0, 6.0, 9.0])
+
+    def test_negative_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(-1)
+
+
+class TestGeneralLeastSquares:
+    def test_exact_polynomial_recovery(self):
+        rng = np.random.default_rng(6)
+        x = rng.uniform(-1, 1, size=(200, 2))
+        pf = PolynomialFeatures(2)
+        design = pf.design_matrix(x)
+        true = rng.normal(size=design.shape[1])
+        coeffs = general_least_squares(design, design @ true)
+        assert np.allclose(coeffs, true, atol=1e-8)
+
+    def test_degenerate_design_stays_finite(self):
+        # Collinear columns: SVD cutoff handles the rank deficiency.
+        x = np.ones((50, 3))
+        coeffs = general_least_squares(x, np.full(50, 6.0))
+        assert np.all(np.isfinite(coeffs))
+        assert np.allclose(x @ coeffs, 6.0)
+
+    def test_weights(self):
+        x = np.array([[1.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        heavy_second = general_least_squares(x, y, weights=np.array([1.0, 100.0]))
+        assert heavy_second[0] > 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            general_least_squares(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            general_least_squares(np.zeros((3, 2)), np.zeros(3), weights=-np.ones(3))
+
+
+class TestPhotoz:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = make_photoz_dataset(num_reference=600, num_unknown=150, seed=7)
+        db = Database.in_memory(buffer_pages=None)
+        knn = KnnPolyRedshiftEstimator(
+            db, ds.reference_magnitudes, ds.reference_redshifts, k=24, degree=1
+        )
+        template = TemplateFitEstimator(templates=ds.templates, filters=ds.filters)
+        return ds, knn, template
+
+    def test_knn_estimates_reasonable(self, setup):
+        ds, knn, _ = setup
+        z = knn.estimate(ds.unknown_magnitudes[:40])
+        report = regression_report(z, ds.unknown_redshifts[:40])
+        assert report["rms"] < 0.05
+
+    def test_template_fit_suffers_systematics(self, setup):
+        ds, _, template = setup
+        z = template.estimate(ds.unknown_magnitudes[:40])
+        report = regression_report(z, ds.unknown_redshifts[:40])
+        assert report["rms"] > 0.03  # calibration offsets bite
+
+    def test_knn_beats_template_by_half(self, setup):
+        # Figures 7 vs 8: "average error decreased by more than 50%".
+        ds, knn, template = setup
+        z_knn = knn.estimate(ds.unknown_magnitudes[:80])
+        z_tpl = template.estimate(ds.unknown_magnitudes[:80])
+        rms_knn = regression_report(z_knn, ds.unknown_redshifts[:80])["rms"]
+        rms_tpl = regression_report(z_tpl, ds.unknown_redshifts[:80])["rms"]
+        assert rms_knn < 0.5 * rms_tpl
+
+    def test_estimate_stays_in_neighbor_range(self, setup):
+        ds, knn, _ = setup
+        z = knn.estimate(ds.unknown_magnitudes[:10])
+        assert z.min() >= 0.0
+        assert z.max() <= 0.6
+
+    def test_validation(self, setup):
+        ds, knn, template = setup
+        with pytest.raises(ValueError):
+            knn.estimate_one(np.zeros(3))
+        with pytest.raises(ValueError):
+            template.estimate_one(np.zeros(3))
+        db = Database.in_memory()
+        with pytest.raises(ValueError):
+            KnnPolyRedshiftEstimator(
+                db, ds.reference_magnitudes, ds.reference_redshifts, k=1
+            )
+
+    def test_degree_zero_is_knn_mean(self, setup):
+        ds, _, _ = setup
+        db = Database.in_memory(buffer_pages=None)
+        est = KnnPolyRedshiftEstimator(
+            db,
+            ds.reference_magnitudes,
+            ds.reference_redshifts,
+            k=16,
+            degree=0,
+            table_name="ref0",
+        )
+        z = est.estimate(ds.unknown_magnitudes[:20])
+        assert np.all((z >= 0.0) & (z <= 0.6))
+
+    def test_template_grid_size(self, setup):
+        _, _, template = setup
+        assert template.grid_size == len(template.z_grid) * len(template.type_grid)
+
+
+class TestBst:
+    def _line_graph_neighbors(self, n):
+        def neighbors(i):
+            out = []
+            if i > 0:
+                out.append(i - 1)
+            if i < n - 1:
+                out.append(i + 1)
+            return out
+
+        return neighbors
+
+    def test_two_peaks_on_a_line(self):
+        densities = np.array([1.0, 3.0, 2.0, 1.0, 2.5, 4.0, 1.5])
+        neighbors = self._line_graph_neighbors(7)
+        parents = basin_spanning_tree(densities, neighbors)
+        labels = clusters_from_parents(parents)
+        assert len(np.unique(labels)) == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[4] == labels[5] == labels[6]
+
+    def test_single_peak(self):
+        densities = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        parents = basin_spanning_tree(densities, self._line_graph_neighbors(5))
+        labels = clusters_from_parents(parents)
+        assert len(np.unique(labels)) == 1
+
+    def test_peaks_are_roots(self):
+        densities = np.array([1.0, 5.0, 1.0])
+        parents = basin_spanning_tree(densities, self._line_graph_neighbors(3))
+        assert parents[1] == 1
+        assert parents[0] == 1
+        assert parents[2] == 1
+
+    def test_tie_break_cannot_cycle(self):
+        densities = np.ones(6)
+        parents = basin_spanning_tree(densities, self._line_graph_neighbors(6))
+        labels = clusters_from_parents(parents)
+        assert len(np.unique(labels)) == 1  # all drain to index 0
+
+    def test_smooth_densities_reduces_variance(self):
+        rng = np.random.default_rng(8)
+        densities = rng.uniform(size=50)
+        smoothed = smooth_densities(densities, self._line_graph_neighbors(50), rounds=3)
+        assert smoothed.std() < densities.std()
+        assert np.isclose(smoothed.mean(), densities.mean(), rtol=0.1)
+
+    def test_merge_small_clusters(self):
+        densities = np.array([1.0, 3.0, 1.0, 1.2, 1.0, 4.0, 1.0])
+        neighbors = self._line_graph_neighbors(7)
+        parents = basin_spanning_tree(densities, neighbors)
+        labels = clusters_from_parents(parents)
+        merged = merge_small_clusters(labels, densities, neighbors, min_size=3)
+        sizes = np.bincount(np.unique(merged, return_inverse=True)[1])
+        assert (sizes >= 3).all()
+
+
+class TestEvaluate:
+    def test_cluster_agreement_perfect(self):
+        clusters = np.array([0, 0, 1, 1])
+        classes = np.array([5, 5, 9, 9])
+        assert cluster_class_agreement(clusters, classes) == 1.0
+
+    def test_cluster_agreement_majority(self):
+        clusters = np.array([0, 0, 0, 0])
+        classes = np.array([1, 1, 1, 2])
+        assert cluster_class_agreement(clusters, classes) == 0.75
+
+    def test_cluster_agreement_empty(self):
+        assert cluster_class_agreement(np.array([]), np.array([])) == 0.0
+
+    def test_cluster_agreement_shape_guard(self):
+        with pytest.raises(ValueError):
+            cluster_class_agreement(np.zeros(3), np.zeros(4))
+
+    def test_regression_report(self):
+        report = regression_report(np.array([1.0, 2.0]), np.array([1.0, 2.5]))
+        assert np.isclose(report["rms"], 0.5 / np.sqrt(2))
+        assert np.isclose(report["bias"], -0.25)
+        assert report["outlier_rate"] == 0.5
+        assert report["n"] == 2
+
+    def test_retrieval_precision(self):
+        queries = np.array([0, 1])
+        retrieved = np.array([[0, 0], [1, 0]])
+        assert retrieval_precision(queries, retrieved) == 0.75
+
+    def test_retrieval_shape_guard(self):
+        with pytest.raises(ValueError):
+            retrieval_precision(np.zeros(3), np.zeros((2, 2)))

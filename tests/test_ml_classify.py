@@ -1,0 +1,78 @@
+"""Tests for the index-backed k-NN classifier (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, KnnClassifier, Whitener, sdss_color_sample
+
+
+@pytest.fixture(scope="module")
+def labeled_split():
+    # Classification runs in the whitened color space: spectral classes
+    # separate in colors, while overall brightness is a nuisance axis
+    # that dilutes Euclidean neighborhoods (same framing as Figure 1
+    # and the BST experiment).
+    sample = sdss_color_sample(20_000, seed=8)
+    keep = sample.labels != 3  # outliers are not a class to learn
+    points = Whitener(mode="std").fit_transform(sample.colors())[keep]
+    labels = sample.labels[keep]
+    rng = np.random.default_rng(1)
+    train = rng.choice(len(points), 1500, replace=False)
+    pool = np.setdiff1d(np.arange(len(points)), train)
+    test = rng.choice(pool, 300, replace=False)
+    return points, labels, train, test
+
+
+class TestKnnClassifier:
+    def test_accuracy_beats_majority_baseline(self, labeled_split):
+        points, labels, train, test = labeled_split
+        db = Database.in_memory(buffer_pages=None)
+        clf = KnnClassifier(db, points[train], labels[train], k=15)
+        accuracy = clf.accuracy(points[test], labels[test])
+        majority = np.bincount(labels[test]).max() / len(test)
+        assert accuracy > majority + 0.1
+        assert accuracy > 0.85
+
+    def test_training_points_self_classify(self, labeled_split):
+        points, labels, train, _ = labeled_split
+        db = Database.in_memory(buffer_pages=None)
+        clf = KnnClassifier(
+            db, points[train], labels[train], k=5, table_name="self_clf"
+        )
+        subset = train[:50]
+        predictions = clf.predict(points[subset])
+        # Weighted voting makes the zero-distance self match dominate.
+        assert (predictions == labels[subset]).mean() > 0.9
+
+    def test_unweighted_mode(self, labeled_split):
+        points, labels, train, test = labeled_split
+        db = Database.in_memory(buffer_pages=None)
+        clf = KnnClassifier(
+            db, points[train], labels[train], k=15, weighted=False,
+            table_name="unweighted_clf",
+        )
+        accuracy = clf.accuracy(points[test][:100], labels[test][:100])
+        assert accuracy > 0.8
+
+    def test_single_prediction_shape(self, labeled_split):
+        points, labels, train, _ = labeled_split
+        db = Database.in_memory(buffer_pages=None)
+        clf = KnnClassifier(
+            db, points[train], labels[train], k=3, table_name="one_clf"
+        )
+        assert isinstance(clf.predict_one(points[0]), int)
+        assert clf.predict(points[:3]).shape == (3,)
+
+    def test_validation(self, labeled_split):
+        points, labels, train, _ = labeled_split
+        db = Database.in_memory()
+        with pytest.raises(ValueError):
+            KnnClassifier(db, points[train], labels[train][:-1], k=3)
+        with pytest.raises(ValueError):
+            KnnClassifier(db, points[train], labels[train], k=0)
+        clf = KnnClassifier(
+            db, points[train][:100], labels[train][:100], k=3,
+            table_name="dim_clf",
+        )
+        with pytest.raises(ValueError):
+            clf.predict_one(np.zeros(2))

@@ -1,0 +1,196 @@
+"""Tests for catalog persistence, recovery logging, and the LOD pyramid."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Box,
+    Database,
+    DelaunayPyramid,
+    KdTreeIndex,
+    LoggedStorage,
+    attach_database,
+    save_catalog,
+)
+from repro.db import MemoryStorage
+from repro.db.persistence import CATALOG_FILENAME
+from repro.geometry.sfc import morton_decode, morton_index
+
+
+class TestLoggedStorage:
+    @pytest.fixture()
+    def logged_db(self):
+        logged = LoggedStorage(MemoryStorage())
+        db = Database(logged, buffer_pages=None)
+        rng = np.random.default_rng(0)
+        table = db.create_table("t", {"a": rng.normal(size=500)}, rows_per_page=64)
+        return db, logged, table
+
+    def test_one_record_per_page_write(self, logged_db):
+        _, logged, table = logged_db
+        assert len(logged.log_records()) == table.num_pages
+
+    def test_log_amplifies_write_bytes(self, logged_db):
+        # The "huge / slow log" effect: full recovery ~doubles bytes written.
+        _, logged, _ = logged_db
+        assert logged.log_bytes() >= logged.inner.stats.bytes_written
+
+    def test_records_verify(self, logged_db):
+        _, logged, _ = logged_db
+        assert all(record.verify() for record in logged.log_records())
+
+    def test_replay_rebuilds_storage(self, logged_db):
+        db, logged, table = logged_db
+        fresh = MemoryStorage()
+        applied = logged.replay(fresh)
+        assert applied == table.num_pages
+        original = logged.inner.read_page("t", 0)
+        rebuilt = fresh.read_page("t", 0)
+        assert np.array_equal(original.columns["a"], rebuilt.columns["a"])
+
+    def test_corrupt_record_rejected(self, logged_db):
+        _, logged, _ = logged_db
+        # Flip a payload byte in the last record.
+        raw = bytearray(logged._log[-1])
+        raw[-1] ^= 0xFF
+        logged._log[-1] = bytes(raw)
+        with pytest.raises(ValueError, match="checksum"):
+            logged.replay(MemoryStorage())
+
+    def test_reads_pass_through(self, logged_db):
+        db, logged, table = logged_db
+        db.cold_cache()
+        page = table.read_page(0)
+        assert page.num_rows == 64
+
+    def test_sequence_increases(self, logged_db):
+        _, logged, _ = logged_db
+        sequences = [r.sequence for r in logged.log_records()]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+
+class TestCatalogPersistence:
+    def test_save_and_attach_roundtrip(self, tmp_path):
+        db = Database.on_disk(tmp_path)
+        rng = np.random.default_rng(1)
+        data = {"a": rng.normal(size=300), "key": rng.integers(0, 5, 300)}
+        db.create_table("t1", data, rows_per_page=32, clustered_by=("key",))
+        db.create_table("t2", {"x": np.arange(10.0)})
+        path = save_catalog(db)
+        assert path.name == CATALOG_FILENAME
+
+        reopened = attach_database(tmp_path)
+        assert reopened.table_names() == ["t1", "t2"]
+        t1 = reopened.table("t1")
+        assert t1.num_rows == 300
+        assert t1.clustered_by == ("key",)
+        assert (np.diff(t1.read_column("key")) >= 0).all()
+        assert np.allclose(
+            np.sort(t1.read_column("a")), np.sort(data["a"])
+        )
+
+    def test_attach_preserves_dtypes(self, tmp_path):
+        db = Database.on_disk(tmp_path)
+        db.create_table(
+            "typed",
+            {
+                "f": np.arange(5.0),
+                "i": np.arange(5, dtype=np.int32),
+                "s": np.array([b"abc"] * 5, dtype="S3"),
+            },
+        )
+        save_catalog(db)
+        reopened = attach_database(tmp_path)
+        table = reopened.table("typed")
+        assert table.dtype_of("i") == np.int32
+        assert table.dtype_of("s") == np.dtype("S3")
+
+    def test_attach_missing_catalog(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            attach_database(tmp_path)
+
+    def test_save_requires_file_backend(self):
+        db = Database.in_memory()
+        with pytest.raises(TypeError):
+            save_catalog(db)
+
+    def test_attach_detects_missing_pages(self, tmp_path):
+        db = Database.on_disk(tmp_path)
+        db.create_table("t", {"a": np.arange(100.0)}, rows_per_page=10)
+        save_catalog(db)
+        # Delete a page file behind the catalog's back.
+        victim = next((tmp_path / "t").glob("*.page"))
+        victim.unlink()
+        with pytest.raises(ValueError, match="pages"):
+            attach_database(tmp_path)
+
+    def test_indexes_rebuild_over_attached_tables(self, tmp_path):
+        # The static-database recovery story: reattach, then rebuild the
+        # index from the stored columns.
+        rng = np.random.default_rng(2)
+        db = Database.on_disk(tmp_path)
+        pts = rng.normal(size=(2000, 3))
+        db.create_table("pts", {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]})
+        save_catalog(db)
+
+        reopened = attach_database(tmp_path)
+        source = reopened.table("pts")
+        columns = source.read_columns(["x", "y", "z"])
+        index = KdTreeIndex.build(reopened, "pts_kd", columns, ["x", "y", "z"])
+        box = Box.cube(np.zeros(3), 0.5)
+        _, stats = index.query_box(box)
+        assert stats.rows_returned == int(box.contains_points(pts).sum())
+
+
+class TestDelaunayPyramid:
+    @pytest.fixture(scope="class")
+    def pyramid(self, clustered_points_3d):
+        return DelaunayPyramid.build(
+            clustered_points_3d, level_sizes=[40, 200, 800], seed=3
+        )
+
+    def test_levels(self, pyramid):
+        assert pyramid.num_levels == 3
+        assert pyramid.level(0).num_seeds == 40
+        assert pyramid.level(2).num_seeds == 800
+
+    def test_nested(self, pyramid):
+        assert pyramid.is_nested()
+
+    def test_level_for_view_refines(self, pyramid, clustered_points_3d):
+        whole = Box.from_points(clustered_points_3d)
+        # A huge target forces the finest level.
+        assert pyramid.level_for_view(whole, 10**6) == 2
+        # A tiny target is satisfied by the coarsest.
+        assert pyramid.level_for_view(whole, 5) == 0
+
+    def test_edges_in_view_monotone_in_level(self, pyramid, clustered_points_3d):
+        whole = Box.from_points(clustered_points_3d)
+        counts = [pyramid.edges_in_view(lvl, whole) for lvl in range(3)]
+        assert counts == sorted(counts)
+
+    def test_validation(self, clustered_points_3d):
+        with pytest.raises(ValueError):
+            DelaunayPyramid.build(clustered_points_3d, level_sizes=[100, 50])
+        with pytest.raises(ValueError):
+            DelaunayPyramid.build(
+                clustered_points_3d, level_sizes=[10, 10**7]
+            )
+        with pytest.raises(ValueError):
+            DelaunayPyramid([], [])
+
+    def test_default_levels(self, clustered_points_3d):
+        pyramid = DelaunayPyramid.build(clustered_points_3d, seed=4)
+        assert pyramid.num_levels == 3
+        assert pyramid.is_nested()
+
+
+class TestMortonDecode:
+    def test_roundtrip_2d(self):
+        for code in range(256):
+            assert morton_index(morton_decode(code, 2, 4), 4) == code
+
+    def test_roundtrip_3d(self):
+        for code in range(512):
+            assert morton_index(morton_decode(code, 3, 3), 3) == code

@@ -1,0 +1,444 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.kdtree import KdTree
+from repro.db import Database, Page, PageCodec
+from repro.geometry import Box, BoxRelation, Halfspace, Polyhedron
+from repro.geometry.sfc import hilbert_decode, hilbert_index, morton_indices
+from repro.vectype import NativeBinaryCodec, UdtPickleCodec
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def points_strategy(min_rows=1, max_rows=64, dim=3):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(min_rows, max_rows), st.just(dim)),
+        elements=finite_floats,
+    )
+
+
+class TestBoxProperties:
+    @given(points_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_bounding_box_contains_its_points(self, pts):
+        box = Box.from_points(pts)
+        assert box.contains_points(pts).all()
+
+    @given(points_strategy(min_rows=2), st.integers(0, 2), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_split_partitions_points(self, pts, axis, frac):
+        box = Box.from_points(pts)
+        value = box.lo[axis] + frac * (box.hi[axis] - box.lo[axis])
+        low, high = box.split(axis, value)
+        in_low = low.contains_points(pts)
+        in_high = high.contains_points(pts)
+        # Closed halves: every point is in at least one side.
+        assert (in_low | in_high).all()
+
+    @given(points_strategy(min_rows=1), hnp.arrays(np.float64, 3, elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_min_distance_is_a_lower_bound(self, pts, query):
+        box = Box.from_points(pts)
+        bound = box.min_distance_to_point(query)
+        dists = np.linalg.norm(pts - query, axis=1)
+        assert bound <= dists.min() + 1e-6
+
+    @given(points_strategy(min_rows=1), hnp.arrays(np.float64, 3, elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_max_distance_is_an_upper_bound(self, pts, query):
+        box = Box.from_points(pts)
+        bound = box.max_distance_to_point(query)
+        dists = np.linalg.norm(pts - query, axis=1)
+        assert bound >= dists.max() - 1e-6
+
+
+class TestPolyhedronProperties:
+    @given(
+        points_strategy(min_rows=4, max_rows=32),
+        hnp.arrays(
+            np.float64,
+            (4, 3),
+            elements=st.floats(-1.0, 1.0, allow_nan=False).filter(
+                lambda v: abs(v) > 1e-3
+            ),
+        ),
+        hnp.arrays(np.float64, 4, elements=st.floats(-5.0, 5.0, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_box_classification_sound(self, pts, normals, offsets):
+        poly = Polyhedron.from_inequalities(normals, offsets)
+        box = Box.from_points(pts)
+        relation = poly.classify_box(box)
+        inside = poly.contains_points(pts)
+        if relation is BoxRelation.INSIDE:
+            assert inside.all()
+        elif relation is BoxRelation.OUTSIDE:
+            assert not inside.any()
+
+    @given(
+        hnp.arrays(np.float64, 3, elements=st.floats(-1, 1).filter(lambda v: abs(v) > 1e-3)),
+        st.floats(-3, 3),
+        hnp.arrays(np.float64, 3, elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_halfspace_signed_distance_sign_matches_membership(
+        self, normal, offset, point
+    ):
+        hs = Halfspace(normal, offset)
+        signed = hs.signed_distance(point)
+        if hs.contains_point(point):
+            assert signed <= 1e-9
+        else:
+            assert signed > -1e-9
+
+
+class TestSfcProperties:
+    @given(st.integers(0, 2**9 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_hilbert_roundtrip_3d(self, code):
+        pt = hilbert_decode(code, 3, 3)
+        assert hilbert_index(pt, 3) == code
+
+    @given(
+        hnp.arrays(
+            np.int64, st.tuples(st.integers(1, 30), st.just(2)),
+            elements=st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_morton_preserves_equality(self, coords):
+        codes = morton_indices(coords, bits=8)
+        for i in range(len(coords)):
+            for j in range(len(coords)):
+                if np.array_equal(coords[i], coords[j]):
+                    assert codes[i] == codes[j]
+                else:
+                    assert codes[i] != codes[j]
+
+
+class TestKdTreeProperties:
+    @given(points_strategy(min_rows=16, max_rows=200), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_leaves_partition_points(self, pts, levels):
+        if 2 ** (levels - 1) > len(pts):
+            return
+        tree = KdTree(pts, num_levels=levels)
+        covered = []
+        for leaf in range(tree.first_leaf, 2 * tree.first_leaf):
+            start, end = tree.node_rows(leaf)
+            covered.extend(tree.permutation[start:end].tolist())
+        assert sorted(covered) == list(range(len(pts)))
+
+    @given(points_strategy(min_rows=16, max_rows=200))
+    @settings(max_examples=25, deadline=None)
+    def test_balance_within_one(self, pts):
+        tree = KdTree(pts, num_levels=3)
+        sizes = [tree.leaf_size(leaf) for leaf in range(4, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(points_strategy(min_rows=8, max_rows=100))
+    @settings(max_examples=25, deadline=None)
+    def test_points_inside_leaf_partition_boxes(self, pts):
+        tree = KdTree(pts, num_levels=3)
+        for leaf in range(4, 8):
+            start, end = tree.node_rows(leaf)
+            rows = tree.permutation[start:end]
+            if len(rows):
+                box = tree.partition_box(leaf).expanded(1e-9)
+                assert box.contains_points(pts[rows]).all()
+
+
+class TestCodecProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 50), st.just(4)),
+            elements=st.floats(allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_native_codec_roundtrip(self, vectors):
+        codec = NativeBinaryCodec(4)
+        assert np.array_equal(codec.decode_rows(codec.encode_rows(vectors)), vectors)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.just(4)),
+            elements=st.floats(allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_udt_codec_roundtrip(self, vectors):
+        codec = UdtPickleCodec(4)
+        assert np.array_equal(codec.decode_rows(codec.encode_rows(vectors)), vectors)
+
+
+class TestPageProperties:
+    @given(
+        hnp.arrays(np.float64, st.integers(0, 100), elements=finite_floats),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_page_codec_roundtrip(self, column, start_row):
+        page = Page(page_id=1, start_row=start_row, columns={"c": column})
+        decoded = PageCodec.decode(PageCodec.encode(page))
+        assert np.array_equal(decoded.columns["c"], column)
+        assert decoded.start_row == start_row
+
+
+class TestTableProperties:
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 300), elements=finite_floats),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scan_recovers_clustered_column(self, values, rows_per_page):
+        db = Database.in_memory(buffer_pages=None)
+        table = db.create_table(
+            "t", {"v": values}, rows_per_page=rows_per_page, clustered_by=("v",)
+        )
+        out = table.read_column("v")
+        assert np.array_equal(out, np.sort(values))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 200), elements=finite_floats),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gather_any_subset(self, values, data):
+        db = Database.in_memory(buffer_pages=None)
+        table = db.create_table("t", {"v": values}, rows_per_page=16)
+        ids = data.draw(
+            st.lists(st.integers(0, len(values) - 1), min_size=0, max_size=20)
+        )
+        out = table.gather(np.array(ids, dtype=np.int64))
+        assert np.array_equal(out["v"], values[ids])
+
+
+class TestExpressionFuzz:
+    """Random linear expression trees: AST evaluation == polyhedron form."""
+
+    @staticmethod
+    def _random_linear_expr(rng, columns, depth=0):
+        from repro.db.expressions import Col, Const, Expr
+
+        roll = rng.random()
+        if depth >= 3 or roll < 0.3:
+            if rng.random() < 0.7:
+                return Col(str(rng.choice(columns)))
+            return Const(float(rng.uniform(-3, 3)))
+        left = TestExpressionFuzz._random_linear_expr(rng, columns, depth + 1)
+        op = rng.choice(["+", "-", "*", "/"])
+        if op == "*":
+            return left * float(rng.uniform(-2, 2))
+        if op == "/":
+            return left / float(rng.choice([2.0, -4.0, 0.5]))
+        right = TestExpressionFuzz._random_linear_expr(rng, columns, depth + 1)
+        return left + right if op == "+" else left - right
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_polyhedron_matches_evaluation(self, seed):
+        from repro.db.expressions import (
+            LinearExtractionError,
+            expression_to_polyhedron,
+        )
+
+        rng = np.random.default_rng(seed)
+        columns = ["a", "b", "c"]
+        data = {name: rng.normal(size=64) for name in columns}
+        pts = np.column_stack([data[name] for name in columns])
+
+        expr = None
+        for _ in range(int(rng.integers(1, 4))):
+            left = self._random_linear_expr(rng, columns)
+            right = self._random_linear_expr(rng, columns)
+            op = rng.choice(["<", "<=", ">", ">="])
+            comparison = {
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[str(op)]
+            expr = comparison if expr is None else expr & comparison
+        try:
+            poly = expression_to_polyhedron(expr, columns)
+        except LinearExtractionError:
+            return  # degenerate comparison (constant vs constant); fine
+        ast_mask = expr.evaluate(data)
+        poly_mask = poly.contains_points(pts)
+        # Closed vs strict differ only on measure-zero boundaries, which
+        # random continuous data misses with probability one.
+        assert np.array_equal(ast_mask, poly_mask)
+
+
+class TestSqlRoundTripFuzz:
+    """expression_to_sql o parse_where == identity (semantically)."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sql_text_roundtrip(self, seed):
+        from repro.db.expressions import expression_to_sql
+        from repro.db.sqlparse import parse_where
+
+        rng = np.random.default_rng(seed)
+        columns = ["a", "b", "c"]
+        data = {name: rng.normal(size=32) for name in columns}
+
+        expr = None
+        for _ in range(int(rng.integers(1, 4))):
+            left = TestExpressionFuzz._random_linear_expr(rng, columns)
+            right = TestExpressionFuzz._random_linear_expr(rng, columns)
+            op = str(rng.choice(["<", "<=", ">", ">="]))
+            comparison = {
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[op]
+            if expr is None:
+                expr = comparison
+            elif rng.random() < 0.3:
+                expr = expr | comparison
+            else:
+                expr = expr & comparison
+        if rng.random() < 0.2:
+            expr = ~expr
+
+        text = expression_to_sql(expr)
+        reparsed = parse_where(text)
+        assert np.array_equal(reparsed.evaluate(data), expr.evaluate(data))
+
+
+class TestAggregateProperties:
+    """aggregate_scan agrees with numpy over arbitrary data and paging."""
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 200), elements=finite_floats),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_aggregates_match_numpy(self, values, rows_per_page):
+        from repro.db import aggregate_scan
+
+        db = Database.in_memory(buffer_pages=None)
+        table = db.create_table("t", {"v": values}, rows_per_page=rows_per_page)
+        results, _ = aggregate_scan(
+            table,
+            {
+                "n": ("count", None),
+                "s": ("sum", "v"),
+                "lo": ("min", "v"),
+                "hi": ("max", "v"),
+                "mean": ("avg", "v"),
+            },
+        )
+        assert results["n"] == len(values)
+        assert np.isclose(results["s"], values.sum(), rtol=1e-9, atol=1e-6)
+        assert results["lo"] == values.min()
+        assert results["hi"] == values.max()
+        assert np.isclose(results["mean"], values.mean(), rtol=1e-9, atol=1e-9)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 200), elements=finite_floats),
+        st.floats(-1e5, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_count_matches_numpy(self, values, threshold):
+        from repro.db import Col, count_rows
+
+        db = Database.in_memory(buffer_pages=None)
+        table = db.create_table("t", {"v": values}, rows_per_page=16)
+        n, _ = count_rows(table, Col("v") > threshold)
+        assert n == int((values > threshold).sum())
+
+
+class TestGridSamplingProperties:
+    """Layered grid invariants over random data and boxes."""
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_sample_is_subset_of_box(self, seed):
+        from repro import LayeredGridIndex
+
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(600, 3))
+        db = Database.in_memory(buffer_pages=None)
+        grid = LayeredGridIndex.build(
+            db, "g", {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]},
+            ["x", "y", "z"], base=64, seed=seed,
+        )
+        center = rng.normal(size=3)
+        box = Box(center - rng.uniform(0.2, 2.0, 3), center + rng.uniform(0.2, 2.0, 3))
+        result = grid.sample_box(box, int(rng.integers(1, 200)))
+        if len(result.points):
+            assert box.contains_points(result.points).all()
+        # No duplicate rows.
+        assert len(np.unique(result.row_ids)) == len(result.row_ids)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_query_matches_brute_force(self, seed):
+        from repro import LayeredGridIndex
+
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(400, 2))
+        db = Database.in_memory(buffer_pages=None)
+        grid = LayeredGridIndex.build(
+            db, "g", {"x": pts[:, 0], "y": pts[:, 1]}, ["x", "y"],
+            base=64, seed=seed,
+        )
+        center = rng.normal(size=2)
+        box = Box(center - 1.0, center + 1.0)
+        result = grid.query_box(box)
+        assert len(result.row_ids) == int(box.contains_points(pts).sum())
+
+
+class TestVoronoiIndexProperties:
+    """Sampled-Voronoi soundness over random mixtures."""
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_polyhedron_queries_exact(self, seed):
+        from repro import VoronoiIndex
+
+        rng = np.random.default_rng(seed)
+        pts = np.vstack(
+            [rng.normal(0, 0.5, (300, 2)), rng.normal(2, 0.8, (300, 2))]
+        )
+        db = Database.in_memory(buffer_pages=None)
+        index = VoronoiIndex.build(
+            db, "v", {"x": pts[:, 0], "y": pts[:, 1]}, ["x", "y"],
+            num_seeds=40, seed=seed,
+        )
+        center = rng.normal(1.0, 1.0, 2)
+        box = Box(center - rng.uniform(0.2, 1.5, 2), center + rng.uniform(0.2, 1.5, 2))
+        _, stats = index.query_box(box)
+        assert stats.rows_returned == int(box.contains_points(pts).sum())
+
+
+class TestBallQueryProperties:
+    @given(st.integers(0, 5000), st.floats(0.05, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ball_query_exact(self, seed, radius):
+        from repro import KdTreeIndex, ball_query
+
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(500, 3))
+        db = Database.in_memory(buffer_pages=None)
+        index = KdTreeIndex.build(
+            db, "b", {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]},
+            ["x", "y", "z"], num_levels=4,
+        )
+        center = rng.normal(size=3)
+        _, stats = ball_query(index, center, radius)
+        truth = int((np.linalg.norm(pts - center, axis=1) <= radius).sum())
+        assert stats.rows_returned == truth

@@ -1,0 +1,274 @@
+"""Tests for the R-tree baseline, hull selector, aggregates, and pipes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Box,
+    ClipBoxPipe,
+    Col,
+    ColorByDensityPipe,
+    ConvexHullSelector,
+    Database,
+    GeometrySet,
+    Polyhedron,
+    RTreeIndex,
+    SubsamplePipe,
+    aggregate_scan,
+    count_rows,
+    knn_brute_force,
+    polyhedron_full_scan,
+)
+from repro.core.rtree import str_pack
+
+
+class TestStrPack:
+    def test_permutation_valid(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(500, 3))
+        perm, leaves = str_pack(pts, leaf_capacity=32)
+        assert np.array_equal(np.sort(perm), np.arange(500))
+
+    def test_leaves_cover_rows(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(300, 2))
+        _, leaves = str_pack(pts, leaf_capacity=20)
+        covered = sorted((s, e) for s, e in leaves)
+        position = 0
+        for start, end in covered:
+            assert start == position
+            assert end - start <= 20
+            position = end
+        assert position == 300
+
+    def test_small_input_single_leaf(self):
+        pts = np.zeros((5, 2))
+        perm, leaves = str_pack(pts, leaf_capacity=10)
+        assert leaves == [(0, 5)]
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError):
+            str_pack(np.zeros((10, 2)), leaf_capacity=0)
+
+    def test_tiles_are_spatially_coherent(self):
+        # STR leaves should have much smaller extents than the data.
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(size=(1000, 2))
+        perm, leaves = str_pack(pts, leaf_capacity=25)
+        leaf_areas = []
+        for start, end in leaves:
+            sub = pts[perm[start:end]]
+            widths = sub.max(axis=0) - sub.min(axis=0)
+            leaf_areas.append(np.prod(widths))
+        assert np.mean(leaf_areas) < 0.05  # data area is 1.0
+
+
+class TestRTreeIndex:
+    @pytest.fixture(scope="class")
+    def rtree(self, clustered_points_3d):
+        db = Database.in_memory(buffer_pages=None)
+        pts = clustered_points_3d
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        return RTreeIndex.build(db, "rt", data, ["x", "y", "z"], leaf_capacity=64)
+
+    def test_clustered_by_leaf(self, rtree):
+        leaf_col = rtree.table.read_column("rt_leaf")
+        assert (np.diff(leaf_col) >= 0).all()
+
+    def test_statistics(self, rtree):
+        stats = rtree.leaf_statistics()
+        assert stats["num_leaves"] == rtree.num_leaves
+        assert stats["height"] >= 2
+
+    def test_box_query_matches_scan(self, rtree, clustered_points_3d):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.6)
+        rows, stats = rtree.query_box(box)
+        expected = int(box.contains_points(clustered_points_3d).sum())
+        assert stats.rows_returned == expected
+
+    def test_polyhedron_matches_scan(self, rtree):
+        poly = Polyhedron.simplex_around(np.array([3.0, 2.0, 1.0]), 0.8)
+        _, stats = rtree.query_polyhedron(poly)
+        _, scan_stats = polyhedron_full_scan(rtree.table, rtree.dims, poly)
+        assert stats.rows_returned == scan_stats.rows_returned
+
+    def test_selective_query_prunes(self, rtree):
+        box = Box.cube(np.array([0.0, 0.0, 0.0]), 0.3)
+        _, stats = rtree.query_box(box)
+        assert stats.pages_touched < rtree.table.num_pages / 2
+
+    def test_knn_exact(self, rtree):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            query = rng.normal([1.5, 1.0, 0.5], 1.2)
+            truth = knn_brute_force(rtree.table, rtree.dims, query, 6)
+            got = rtree.knn(query, 6)
+            assert np.allclose(got.distances, truth.distances)
+
+    def test_knn_validation(self, rtree):
+        with pytest.raises(ValueError):
+            rtree.knn(np.zeros(3), 0)
+
+    def test_dim_mismatch(self, rtree):
+        with pytest.raises(ValueError):
+            rtree.query_polyhedron(Polyhedron.from_box(Box.unit(2)))
+
+    def test_fan_out_guard(self, clustered_points_3d):
+        db = Database.in_memory()
+        pts = clustered_points_3d[:200]
+        data = {"x": pts[:, 0], "y": pts[:, 1], "z": pts[:, 2]}
+        with pytest.raises(ValueError):
+            RTreeIndex.build(db, "rt_bad", data, ["x", "y", "z"], fan_out=1)
+
+
+class TestConvexHullSelector:
+    def test_training_points_inside_own_hull(self):
+        rng = np.random.default_rng(4)
+        training = rng.normal(size=(60, 3))
+        hull = ConvexHullSelector(training, margin=1e-9)
+        assert hull.contains(training).mean() > 0.95  # QJ joggle tolerance
+
+    def test_margin_grows_selection(self):
+        rng = np.random.default_rng(5)
+        training = rng.normal(size=(50, 2))
+        probes = rng.normal(size=(2000, 2)) * 1.5
+        tight = ConvexHullSelector(training, margin=0.0)
+        padded = ConvexHullSelector(training, margin=0.5)
+        assert padded.contains(probes).sum() > tight.contains(probes).sum()
+
+    def test_select_through_index(self, kd_index, clustered_points_3d):
+        rng = np.random.default_rng(6)
+        # Train on a corner of the first cluster.
+        training = rng.normal([0.0, 0.0, 0.0], 0.2, size=(40, 3))
+        hull = ConvexHullSelector(training, margin=0.05)
+        rows, stats = hull.select(kd_index)
+        expected = int(hull.contains(clustered_points_3d).sum())
+        assert stats.rows_returned == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvexHullSelector(np.zeros((3, 3)))  # too few
+        with pytest.raises(ValueError):
+            ConvexHullSelector(np.random.default_rng(0).normal(size=(10, 2)), margin=-1)
+
+    def test_dim_check_on_select(self, kd_index):
+        hull = ConvexHullSelector(np.random.default_rng(1).normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            hull.select(kd_index)
+
+    def test_volume_positive(self):
+        hull = ConvexHullSelector(np.random.default_rng(2).normal(size=(30, 3)))
+        assert hull.hull_volume > 0
+        assert hull.num_facets >= 4
+
+
+class TestAggregates:
+    @pytest.fixture()
+    def table(self, db):
+        rng = np.random.default_rng(7)
+        data = {"a": rng.normal(size=400), "b": rng.uniform(0, 10, 400)}
+        return db.create_table("agg", data, rows_per_page=64), data
+
+    def test_count(self, table):
+        t, data = table
+        n, stats = count_rows(t)
+        assert n == 400
+        assert stats.pages_touched == t.num_pages
+
+    def test_count_filtered(self, table):
+        t, data = table
+        n, _ = count_rows(t, Col("a") > 0.0)
+        assert n == int((data["a"] > 0).sum())
+
+    def test_all_aggregates(self, table):
+        t, data = table
+        results, _ = aggregate_scan(
+            t,
+            {
+                "n": ("count", None),
+                "total": ("sum", "b"),
+                "lo": ("min", "a"),
+                "hi": ("max", "a"),
+                "mean": ("avg", "b"),
+            },
+        )
+        assert results["n"] == 400
+        assert np.isclose(results["total"], data["b"].sum())
+        assert np.isclose(results["lo"], data["a"].min())
+        assert np.isclose(results["hi"], data["a"].max())
+        assert np.isclose(results["mean"], data["b"].mean())
+
+    def test_empty_match(self, table):
+        t, _ = table
+        results, _ = aggregate_scan(
+            t, {"n": ("count", None), "m": ("min", "a")}, Col("a") > 1e9
+        )
+        assert results["n"] == 0
+        assert np.isnan(results["m"])
+
+    def test_validation(self, table):
+        t, _ = table
+        with pytest.raises(ValueError):
+            aggregate_scan(t, {})
+        with pytest.raises(ValueError):
+            aggregate_scan(t, {"x": ("median", "a")})
+        with pytest.raises(ValueError):
+            aggregate_scan(t, {"x": ("sum", None)})
+
+
+class TestPipes:
+    def _points_geometry(self, n=100, seed=0):
+        rng = np.random.default_rng(seed)
+        return GeometrySet(
+            points=rng.normal(size=(n, 3)),
+            attributes={"ids": np.arange(n)},
+        )
+
+    def test_subsample_respects_budget(self):
+        pipe = SubsamplePipe(max_points=30)
+        out = pipe.process(self._points_geometry(100))
+        assert out.num_points == 30
+        assert len(out.attributes["ids"]) == 30
+
+    def test_subsample_passthrough(self):
+        pipe = SubsamplePipe(max_points=200)
+        geometry = self._points_geometry(100)
+        assert pipe.process(geometry) is geometry
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            SubsamplePipe(0)
+
+    def test_clip_box(self):
+        pipe = ClipBoxPipe(Box.cube(np.zeros(3), 1.0))
+        out = pipe.process(self._points_geometry(500))
+        assert pipe.box.contains_points(out.points).all()
+        assert out.num_points < 500
+
+    def test_clip_lines_by_endpoint(self):
+        lines = np.array(
+            [
+                [[0.0, 0.0, 0.0], [5.0, 0.0, 0.0]],  # one endpoint in
+                [[5.0, 5.0, 5.0], [6.0, 6.0, 6.0]],  # fully out
+            ]
+        )
+        pipe = ClipBoxPipe(Box.cube(np.zeros(3), 1.0))
+        out = pipe.process(GeometrySet(lines=lines))
+        assert out.num_lines == 1
+
+    def test_color_by_density(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(0, 0.05, size=(50, 3))
+        sparse = rng.normal(5, 2.0, size=(50, 3))
+        geometry = GeometrySet(points=np.vstack([dense, sparse]))
+        out = ColorByDensityPipe(k=5).process(geometry)
+        density = out.attributes["point_density"]
+        assert np.median(density[:50]) > np.median(density[50:])
+
+    def test_color_by_density_tiny_input(self):
+        out = ColorByDensityPipe(k=10).process(self._points_geometry(4))
+        assert np.allclose(out.attributes["point_density"], 1.0)
+
+    def test_pipe_validation(self):
+        with pytest.raises(ValueError):
+            ColorByDensityPipe(0)

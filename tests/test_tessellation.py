@@ -1,0 +1,202 @@
+"""Tests for the Delaunay / Voronoi / density substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tessellation import (
+    DelaunayGraph,
+    VoronoiCells,
+    density_from_volumes,
+    simplex_volumes,
+    voronoi_volume_estimates,
+)
+
+
+@pytest.fixture(scope="module")
+def graph_2d():
+    rng = np.random.default_rng(21)
+    return DelaunayGraph(rng.uniform(size=(300, 2)))
+
+
+@pytest.fixture(scope="module")
+def graph_5d():
+    rng = np.random.default_rng(22)
+    return DelaunayGraph(rng.uniform(size=(160, 5)))
+
+
+class TestDelaunayGraph:
+    def test_needs_enough_seeds(self):
+        with pytest.raises(ValueError):
+            DelaunayGraph(np.zeros((3, 2)))
+
+    def test_adjacency_symmetric(self, graph_2d):
+        for seed in range(graph_2d.num_seeds):
+            for nbr in graph_2d.neighbors(seed):
+                assert seed in graph_2d.neighbors(int(nbr))
+
+    def test_no_self_loops(self, graph_2d):
+        for seed in range(graph_2d.num_seeds):
+            assert seed not in graph_2d.neighbors(seed)
+
+    def test_edges_unique_and_consistent(self, graph_2d):
+        edges = graph_2d.edges()
+        assert len(edges) == graph_2d.num_edges()
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_degrees_sum_to_twice_edges(self, graph_2d):
+        assert graph_2d.degrees().sum() == 2 * graph_2d.num_edges()
+
+    def test_connected_graph(self, graph_2d):
+        # A Delaunay triangulation is connected.
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            for nbr in graph_2d.neighbors(frontier.pop()):
+                if int(nbr) not in seen:
+                    seen.add(int(nbr))
+                    frontier.append(int(nbr))
+        assert len(seen) == graph_2d.num_seeds
+
+
+class TestDirectedWalk:
+    def test_walk_reaches_nearest_seed_2d(self, graph_2d):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            point = rng.uniform(-0.2, 1.2, 2)
+            walk = graph_2d.directed_walk(point)
+            assert walk.seed == graph_2d.nearest_seed_exact(point)
+
+    def test_walk_reaches_nearest_seed_5d(self, graph_5d):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            point = rng.uniform(size=5)
+            walk = graph_5d.directed_walk(point)
+            assert walk.seed == graph_5d.nearest_seed_exact(point)
+
+    def test_walk_path_strictly_improves(self, graph_2d):
+        point = np.array([0.77, 0.31])
+        walk = graph_2d.directed_walk(point, start=0)
+        dists = [np.linalg.norm(graph_2d.seeds[s] - point) for s in walk.path]
+        assert (np.diff(dists) < 0).all() or len(dists) == 1
+
+    def test_walk_from_any_start(self, graph_2d):
+        point = np.array([0.5, 0.5])
+        results = {
+            graph_2d.directed_walk(point, start=s).seed
+            for s in range(0, graph_2d.num_seeds, 37)
+        }
+        assert len(results) == 1
+
+    def test_walk_hops_scale_sublinearly(self):
+        # O(sqrt(Nseed)) hops on average (the paper's claim).
+        rng = np.random.default_rng(3)
+        hops = {}
+        for n in (64, 1024):
+            graph = DelaunayGraph(rng.uniform(size=(n, 2)))
+            lengths = [
+                graph.directed_walk(rng.uniform(size=2), start=0).hops
+                for _ in range(60)
+            ]
+            hops[n] = np.mean(lengths)
+        # 16x more seeds should cost ~4x more hops, not ~16x.
+        assert hops[1024] / max(hops[64], 0.5) < 8.0
+
+    def test_bad_start_rejected(self, graph_2d):
+        with pytest.raises(IndexError):
+            graph_2d.directed_walk(np.zeros(2), start=10_000)
+
+
+class TestCircumcenters:
+    def test_equidistance_property(self, graph_2d):
+        centers, radii = graph_2d.circumcenters()
+        simplices = graph_2d.simplices
+        for idx in range(0, len(simplices), 25):
+            center = centers[idx]
+            if not np.all(np.isfinite(center)):
+                continue
+            dists = np.linalg.norm(graph_2d.seeds[simplices[idx]] - center, axis=1)
+            assert np.allclose(dists, radii[idx], rtol=1e-6)
+
+
+class TestVoronoiCells:
+    def test_vertex_counts_sum(self, graph_2d):
+        cells = VoronoiCells(graph_2d)
+        counts = cells.vertex_counts()
+        # Each simplex has d+1 vertices, so counts sum to (d+1) * #simplices.
+        assert counts.sum() == 3 * len(graph_2d.simplices)
+
+    def test_face_counts_are_degrees(self, graph_2d):
+        cells = VoronoiCells(graph_2d)
+        assert np.array_equal(cells.face_counts(), graph_2d.degrees())
+
+    def test_hull_cells_unbounded(self, graph_2d):
+        cells = VoronoiCells(graph_2d)
+        bounded = cells.bounded_mask()
+        assert 0 < bounded.sum() < graph_2d.num_seeds
+        hull_seed = int(np.flatnonzero(~bounded)[0])
+        assert not cells.is_bounded(hull_seed)
+
+    def test_geometric_radii_cover_vertices(self, graph_2d):
+        cells = VoronoiCells(graph_2d)
+        radii = cells.geometric_radii()
+        interior = np.flatnonzero(cells.bounded_mask())
+        for seed in interior[:20]:
+            verts = cells.cell_vertices(int(seed))
+            dists = np.linalg.norm(verts - graph_2d.seeds[seed], axis=1)
+            assert (dists <= radii[seed] + 1e-9).all()
+
+    def test_roundness_5d(self, graph_5d):
+        # The E5 claim: 5-D Voronoi cells have far more vertices than the
+        # 32 of a hyper-box and more faces than the 10 of a hyper-box.
+        report = VoronoiCells(graph_5d).roundness_report()
+        assert report["box_vertices"] == 32
+        assert report["box_faces"] == 10
+        assert report["mean_vertices"] > report["box_vertices"]
+        assert report["mean_faces"] > report["box_faces"]
+
+
+class TestDensity:
+    def test_simplex_volume_triangle(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        vol = simplex_volumes(verts, np.array([[0, 1, 2]]))
+        assert np.isclose(vol[0], 0.5)
+
+    def test_simplex_volume_tetrahedron(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        vol = simplex_volumes(verts, np.array([[0, 1, 2, 3]]))
+        assert np.isclose(vol[0], 1.0 / 6.0)
+
+    def test_volume_estimates_sum_to_hull_volume(self, graph_2d):
+        estimates = voronoi_volume_estimates(graph_2d)
+        total = simplex_volumes(graph_2d.seeds, graph_2d.simplices).sum()
+        assert np.isclose(estimates.sum(), total, rtol=1e-9)
+
+    def test_density_inverse_relationship(self):
+        volumes = np.array([0.1, 1.0, 10.0])
+        dens = density_from_volumes(volumes)
+        assert dens[0] > dens[1] > dens[2]
+
+    def test_density_with_counts(self):
+        dens = density_from_volumes(np.array([1.0, 1.0]), np.array([10.0, 1.0]))
+        assert dens[0] == 10 * dens[1]
+
+    def test_zero_volume_capped(self):
+        dens = density_from_volumes(np.array([0.0, 1.0]))
+        assert np.isfinite(dens).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            density_from_volumes(np.ones(3), np.ones(4))
+
+    def test_density_tracks_point_density(self):
+        # Dense region cells get higher density than sparse region cells.
+        rng = np.random.default_rng(5)
+        dense = rng.normal(0.0, 0.2, size=(200, 2))
+        sparse = rng.normal(5.0, 2.0, size=(200, 2))
+        seeds = np.vstack([dense, sparse])
+        graph = DelaunayGraph(seeds)
+        volumes = voronoi_volume_estimates(graph)
+        dens = density_from_volumes(volumes)
+        assert np.median(dens[:200]) > 10 * np.median(dens[200:])

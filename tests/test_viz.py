@@ -1,0 +1,397 @@
+"""Tests for the adaptive visualization pipeline (§5)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+from repro.tessellation import DelaunayGraph
+from repro.viz import (
+    AdaptivePointCloudProducer,
+    Camera,
+    DelaunayEdgeProducer,
+    GeometryCache,
+    GeometrySet,
+    KdBoxProducer,
+    PluginHost,
+    RecordingConsumer,
+    VoronoiCellProducer,
+)
+from repro.viz.events import Event, Registry
+from repro.viz.plugin import Pipe
+
+
+class TestCamera:
+    def test_zoom_in_shrinks(self):
+        cam = Camera(Box.unit(3))
+        zoomed = cam.zoomed(0.5)
+        assert np.allclose(zoomed.view_box.widths, 0.5)
+        assert np.allclose(zoomed.center, cam.center)
+
+    def test_zoom_validation(self):
+        with pytest.raises(ValueError):
+            Camera(Box.unit(2)).zoomed(0.0)
+
+    def test_pan(self):
+        cam = Camera(Box.unit(2)).panned(np.array([1.0, -1.0]))
+        assert np.allclose(cam.view_box.lo, [1.0, -1.0])
+
+    def test_moved_to(self):
+        cam = Camera(Box.unit(2)).moved_to(np.array([10.0, 10.0]))
+        assert np.allclose(cam.center, [10.0, 10.0])
+        assert np.allclose(cam.view_box.widths, 1.0)
+
+    def test_quantized_key_stable(self):
+        a = Camera(Box.unit(3)).quantized_key()
+        b = Camera(Box.unit(3)).quantized_key()
+        assert a == b
+
+    def test_quantized_key_distinguishes(self):
+        a = Camera(Box.unit(3)).quantized_key()
+        b = Camera(Box.unit(3)).zoomed(0.5).quantized_key()
+        assert a != b
+
+
+class TestEvents:
+    def test_subscribe_fire(self):
+        event = Event()
+        seen = []
+        event.subscribe(seen.append)
+        event.fire(42)
+        assert seen == [42]
+
+    def test_subscribe_idempotent(self):
+        event = Event()
+        seen = []
+        event.subscribe(seen.append)
+        event.subscribe(seen.append)
+        event.fire(1)
+        assert seen == [1]
+
+    def test_unsubscribe(self):
+        event = Event()
+        seen = []
+        event.subscribe(seen.append)
+        event.unsubscribe(seen.append)
+        event.fire(1)
+        assert seen == []
+        assert len(event) == 0
+
+    def test_registry_production_flag(self):
+        registry = Registry()
+        assert not registry.production_pending()
+        registry.signal_production()
+        assert registry.production_pending()
+        registry.clear_production()
+        assert not registry.production_pending()
+
+    def test_registry_flag_thread_safe(self):
+        registry = Registry()
+
+        def signal_many():
+            for _ in range(1000):
+                registry.signal_production()
+
+        threads = [threading.Thread(target=signal_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.production_pending()
+
+
+class TestGeometrySet:
+    def test_counts(self):
+        geom = GeometrySet(points=np.zeros((5, 3)))
+        assert geom.num_points == 5
+        assert geom.num_lines == 0
+        assert not geom.is_empty()
+
+    def test_empty(self):
+        assert GeometrySet().is_empty()
+
+    def test_merge(self):
+        a = GeometrySet(points=np.zeros((2, 3)), attributes={"x": 1})
+        b = GeometrySet(points=np.ones((3, 3)), attributes={"x": 2, "y": 3})
+        merged = a.merged_with(b)
+        assert merged.num_points == 5
+        assert merged.attributes["x"] == 1  # self wins
+        assert merged.attributes["y"] == 3
+
+
+class TestGeometryCache:
+    def test_hit_miss_counters(self):
+        cache = GeometryCache(2)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), GeometrySet())
+        assert cache.get(("a",)) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = GeometryCache(2)
+        for key in ("a", "b", "c"):
+            cache.put((key,), GeometrySet())
+        assert cache.get(("a",)) is None
+        assert cache.get(("c",)) is not None
+
+    def test_capacity_guard(self):
+        with pytest.raises(ValueError):
+            GeometryCache(0)
+
+    def test_clear(self):
+        cache = GeometryCache(2)
+        cache.put(("a",), GeometrySet())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+
+
+class _DoublingPipe(Pipe):
+    """Test pipe: scales points by two."""
+
+    def process(self, geometry: GeometrySet) -> GeometrySet:
+        return GeometrySet(points=geometry.points * 2.0, attributes=geometry.attributes)
+
+
+class TestPluginHost:
+    def _point_host(self, grid_index, threaded=False, with_pipe=False):
+        producer = AdaptivePointCloudProducer(
+            grid_index, target_points=200, threaded=threaded
+        )
+        consumer = RecordingConsumer()
+        nodes = [{"name": "source", "plugin": producer}]
+        if with_pipe:
+            nodes.append({"name": "pipe", "plugin": _DoublingPipe(), "inputs": ["source"]})
+            nodes.append({"name": "sink", "plugin": consumer, "inputs": ["pipe"]})
+        else:
+            nodes.append({"name": "sink", "plugin": consumer, "inputs": ["source"]})
+        host = PluginHost(nodes)
+        return host, producer, consumer
+
+    def test_frame_delivers_geometry(self, grid_index):
+        host, producer, consumer = self._point_host(grid_index)
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        delivered = host.frame()
+        assert "source" in delivered
+        assert consumer.frames[0].num_points >= 200
+        host.shutdown()
+
+    def test_pipe_transforms(self, grid_index):
+        host, producer, consumer = self._point_host(grid_index, with_pipe=True)
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        direct = producer.get_output()
+        assert np.allclose(consumer.frames[0].points, direct.points * 2.0)
+        host.shutdown()
+
+    def test_threaded_handshake(self, grid_index):
+        host, producer, consumer = self._point_host(grid_index, threaded=True)
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.run_until_idle(max_frames=400)
+        assert len(consumer.frames) == 1
+        host.shutdown()
+
+    def test_camera_burst_coalesces(self, grid_index):
+        host, producer, consumer = self._point_host(grid_index, threaded=True)
+        host.start()
+        cam = producer.suggest_initial()
+        host.set_camera(cam)
+        host.run_until_idle(max_frames=400)
+        for factor in (0.9, 0.8, 0.7, 0.6):
+            host.set_camera(cam.zoomed(factor))
+        host.run_until_idle(max_frames=400)
+        # Coalescing: fewer productions than camera events.
+        assert producer.db_queries <= 3
+        assert producer.is_idle()
+        host.shutdown()
+
+    def test_cache_hit_on_zoom_out(self, grid_index):
+        host, producer, consumer = self._point_host(grid_index)
+        host.start()
+        cam = producer.suggest_initial()
+        host.set_camera(cam)
+        host.frame()
+        host.set_camera(cam.zoomed(0.5))
+        host.frame()
+        queries_before = producer.db_queries
+        host.set_camera(cam)  # zoom back out
+        host.frame()
+        assert producer.db_queries == queries_before  # served from cache
+        assert producer.cache.hits >= 1
+        host.shutdown()
+
+    def test_graph_validation(self):
+        consumer = RecordingConsumer()
+        with pytest.raises(ValueError):
+            PluginHost([{"name": "sink", "plugin": consumer, "inputs": ["ghost"]}])
+        with pytest.raises(ValueError):
+            PluginHost([{"name": "sink", "plugin": consumer}])  # consumer needs input
+
+    def test_duplicate_names_rejected(self):
+        consumer = RecordingConsumer()
+        producer_stub = RecordingConsumer()
+        with pytest.raises(ValueError):
+            PluginHost(
+                [
+                    {"name": "x", "plugin": consumer, "inputs": []},
+                    {"name": "x", "plugin": producer_stub, "inputs": []},
+                ]
+            )
+
+    def test_frame_requires_start(self, grid_index):
+        host, _, _ = self._point_host(grid_index)
+        with pytest.raises(RuntimeError):
+            host.frame()
+
+
+class TestProducers:
+    def test_point_cloud_points_in_view(self, grid_index):
+        producer = AdaptivePointCloudProducer(grid_index, target_points=100)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        cam = Camera(Box.cube(np.array([0.0, 0.0, 0.0]), 1.0))
+        host.set_camera(cam)
+        host.frame()
+        geom = producer.get_output()
+        assert cam.view_box.contains_points(geom.points).all()
+        host.shutdown()
+
+    def test_kd_box_producer_depth_adapts(self, kd_index):
+        producer = KdBoxProducer(kd_index, target_boxes=16)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        wide = producer.suggest_initial()
+        host.set_camera(wide)
+        host.frame()
+        wide_geom = producer.get_output()
+        assert wide_geom.num_boxes >= 16
+        # Zooming into a tiny corner leaves fewer/equal boxes visible
+        # but at greater depth.
+        host.set_camera(wide.zoomed(0.1))
+        host.frame()
+        tight_geom = producer.get_output()
+        assert tight_geom.attributes["depths"].max() >= wide_geom.attributes["depths"].min()
+        host.shutdown()
+
+    def test_kd_box_empty_view(self, kd_index):
+        producer = KdBoxProducer(kd_index, target_boxes=16)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(Camera(Box.cube(np.full(3, 500.0), 1.0)))
+        host.frame()
+        assert producer.get_output().num_boxes == 0
+        host.shutdown()
+
+    @pytest.fixture(scope="class")
+    def levels(self, clustered_points_3d):
+        rng = np.random.default_rng(17)
+        return [
+            DelaunayGraph(
+                clustered_points_3d[rng.choice(len(clustered_points_3d), n, replace=False)]
+            )
+            for n in (32, 128, 512)
+        ]
+
+    def test_delaunay_lod_refines(self, levels):
+        producer = DelaunayEdgeProducer(levels, target_edges=400)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        geom = producer.get_output()
+        # The coarse level cannot satisfy 400 edges; a finer level is used.
+        assert geom.attributes["level"] > 0
+        assert geom.num_lines > 0
+        host.shutdown()
+
+    def test_delaunay_coarse_enough_when_few_needed(self, levels):
+        producer = DelaunayEdgeProducer(levels, target_edges=5)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        assert producer.get_output().attributes["level"] == 0
+        host.shutdown()
+
+    def test_voronoi_producer_emits_cells(self, levels):
+        producer = VoronoiCellProducer(levels, target_cells=10)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        geom = producer.get_output()
+        assert geom.num_lines > 0
+        assert len(geom.attributes["cell_volumes"]) == geom.num_lines
+        host.shutdown()
+
+    def test_levels_required(self):
+        with pytest.raises(ValueError):
+            DelaunayEdgeProducer([], target_edges=10)
+        with pytest.raises(ValueError):
+            VoronoiCellProducer([], target_cells=10)
+
+
+class TestExportConsumer:
+    def test_points_csv_roundtrip(self, tmp_path):
+        from repro.viz import ExportConsumer
+
+        rng = np.random.default_rng(0)
+        geometry = GeometrySet(
+            points=rng.normal(size=(20, 3)),
+            attributes={"score": np.arange(20.0)},
+        )
+        exporter = ExportConsumer(tmp_path, prefix="test")
+        exporter.consume(geometry)
+        assert exporter.frames_written == 1
+        csv_path = tmp_path / "test_000_points.csv"
+        assert csv_path.exists()
+        data = np.loadtxt(csv_path, delimiter=",", skiprows=1)
+        assert data.shape == (20, 4)
+        assert np.allclose(data[:, :3], geometry.points)
+        assert np.allclose(data[:, 3], np.arange(20.0))
+
+    def test_obj_for_lines_and_boxes(self, tmp_path):
+        from repro.viz import ExportConsumer
+
+        geometry = GeometrySet(
+            lines=np.array([[[0.0, 0, 0], [1.0, 1, 1]]]),
+            boxes=np.array([[[0.0, 0, 0], [1.0, 1, 1]]]),
+        )
+        exporter = ExportConsumer(tmp_path)
+        exporter.consume(geometry)
+        obj = (tmp_path / "frame_000_geometry.obj").read_text()
+        assert obj.count("\nv ") == 2 + 8  # 2 line endpoints + 8 box corners
+        assert obj.count("\nl ") == 1 + 12  # 1 segment + 12 box edges
+
+    def test_sequential_frames(self, tmp_path):
+        from repro.viz import ExportConsumer
+
+        exporter = ExportConsumer(tmp_path)
+        for _ in range(3):
+            exporter.consume(GeometrySet(points=np.zeros((2, 3))))
+        assert exporter.frames_written == 3
+        assert len(list(tmp_path.glob("frame_*_points.csv"))) == 3
+
+    def test_in_pipeline(self, tmp_path, grid_index):
+        from repro.viz import ExportConsumer
+
+        producer = AdaptivePointCloudProducer(grid_index, target_points=100)
+        exporter = ExportConsumer(tmp_path, prefix="pipe")
+        host = PluginHost(
+            [
+                {"name": "p", "plugin": producer},
+                {"name": "e", "plugin": exporter, "inputs": ["p"]},
+            ]
+        )
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        host.shutdown()
+        assert exporter.frames_written == 1
+        assert (tmp_path / "pipe_000_points.csv").exists()

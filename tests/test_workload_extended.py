@@ -1,0 +1,98 @@
+"""Extended tests for the workload generator and query representations."""
+
+import numpy as np
+import pytest
+
+from repro import DelaunayPyramid, QueryWorkload, parse_where, sdss_color_sample
+from repro.viz import DelaunayEdgeProducer, PluginHost, VoronoiCellProducer
+
+BANDS = ["u", "g", "r", "i", "z"]
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    sample = sdss_color_sample(12_000, seed=17)
+    return QueryWorkload(sample.magnitudes, seed=0), sample
+
+
+class TestWorkloadKinds:
+    def test_box_query_is_axis_aligned(self, workload_setup):
+        generator, _ = workload_setup
+        query = generator.box_query(0.05)
+        poly = query.polyhedron(BANDS)
+        for normal in poly.normals:
+            assert np.count_nonzero(normal) == 1
+
+    def test_color_cut_uses_adjacent_differences(self, workload_setup):
+        generator, _ = workload_setup
+        query = generator.color_cut_query(0.05)
+        poly = query.polyhedron(BANDS)
+        for normal in poly.normals:
+            nonzero = np.flatnonzero(normal)
+            assert len(nonzero) == 2
+            assert abs(normal[nonzero[0]]) == abs(normal[nonzero[1]])
+
+    def test_oblique_has_fractional_coefficients(self, workload_setup):
+        generator, _ = workload_setup
+        query = generator.oblique_query(0.05)
+        poly = query.polyhedron(BANDS)
+        # Coefficients are multiples of 1/4 by construction.
+        assert np.allclose(poly.normals * 4, np.round(poly.normals * 4))
+
+    def test_mixed_covers_all_kinds(self, workload_setup):
+        generator, _ = workload_setup
+        kinds = {q.kind for q in generator.mixed(9, [0.05])}
+        assert kinds == {"box", "color_cut", "oblique"}
+
+    def test_queries_never_empty_at_moderate_selectivity(self, workload_setup):
+        generator, sample = workload_setup
+        for query in generator.mixed(9, [0.1]):
+            count = query.polyhedron(BANDS).contains_points(sample.magnitudes).sum()
+            assert count > 0
+
+    def test_sql_texts_parse_back(self, workload_setup):
+        generator, sample = workload_setup
+        cols = {b: sample.magnitudes[:, i] for i, b in enumerate("ugriz")}
+        for query in generator.mixed(6, [0.02]):
+            reparsed = parse_where(query.sql())
+            assert np.array_equal(
+                reparsed.evaluate(cols), query.expression.evaluate(cols)
+            )
+
+    def test_deterministic_given_seed(self):
+        sample = sdss_color_sample(2000, seed=3)
+        a = QueryWorkload(sample.magnitudes, seed=5).box_query(0.05).sql()
+        b = QueryWorkload(sample.magnitudes, seed=5).box_query(0.05).sql()
+        assert a == b
+
+    def test_target_selectivity_recorded(self, workload_setup):
+        generator, _ = workload_setup
+        query = generator.box_query(0.07)
+        assert query.target_selectivity == 0.07
+
+
+class TestPyramidProducers:
+    def test_edge_producer_accepts_pyramid(self, clustered_points_3d):
+        pyramid = DelaunayPyramid.build(
+            clustered_points_3d, level_sizes=[30, 120, 500], seed=2
+        )
+        producer = DelaunayEdgeProducer(pyramid, target_edges=100)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        geometry = producer.get_output()
+        assert geometry.num_lines > 0
+        host.shutdown()
+
+    def test_voronoi_producer_accepts_pyramid(self, clustered_points_3d):
+        pyramid = DelaunayPyramid.build(
+            clustered_points_3d, level_sizes=[30, 120], seed=2
+        )
+        producer = VoronoiCellProducer(pyramid, target_cells=10)
+        host = PluginHost([{"name": "p", "plugin": producer}])
+        host.start()
+        host.set_camera(producer.suggest_initial())
+        host.frame()
+        assert producer.get_output().num_lines > 0
+        host.shutdown()
