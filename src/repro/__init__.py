@@ -94,6 +94,14 @@ from repro.ml import (
     regression_report,
     retrieval_precision,
 )
+from repro.service import (
+    AdmissionRejected,
+    Deadline,
+    DeadlineExceeded,
+    QueryService,
+    ReplayReport,
+    replay_workload,
+)
 from repro.vectype import NativeBinaryCodec, UdtPickleCodec, VectorColumn
 from repro.viz import (
     AdaptivePointCloudProducer,
@@ -172,6 +180,13 @@ __all__ = [
     "PhotozDataset",
     "make_photoz_dataset",
     "QueryWorkload",
+    # query service
+    "QueryService",
+    "Deadline",
+    "DeadlineExceeded",
+    "AdmissionRejected",
+    "ReplayReport",
+    "replay_workload",
     # analysis
     "PrincipalComponents",
     "KnnPolyRedshiftEstimator",

@@ -4,6 +4,8 @@ Small utilities for poking at the system without writing a script:
 
 * ``demo`` -- build the indexes over a synthetic sample and run one of
   each query type, printing the I/O comparison.
+* ``replay`` -- serve a Figure 2 workload through the concurrent query
+  service and print per-query / service-level metrics.
 * ``info`` -- version, subsystem inventory, and experiment index.
 * ``bench-hint`` -- how to regenerate the paper's figures.
 """
@@ -68,6 +70,61 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+    from repro.datasets import QueryWorkload
+    from repro.service import QueryService, replay_workload, rows_equal, run_serial
+
+    bands = ["u", "g", "r", "i", "z"]
+    print(f"generating {args.rows} objects and building the kd-tree index...")
+    sample = sdss_color_sample(args.rows, seed=args.seed)
+    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    index = KdTreeIndex.build(db, "magnitudes", sample.columns(), bands)
+    planner = QueryPlanner(index, seed=args.seed)
+
+    workload = QueryWorkload(sample.magnitudes, seed=args.seed)
+    unique = max(1, int(args.queries * (1.0 - args.duplicate_fraction)))
+    base = workload.mixed(unique, selectivities=[0.001, 0.01, 0.05, 0.2, 0.5])
+    polyhedra = [q.polyhedron(bands) for q in base]
+    queries = [polyhedra[i % unique] for i in range(args.queries)]
+
+    print(
+        f"replaying {len(queries)} queries ({unique} unique) at "
+        f"concurrency {args.concurrency} over {args.workers} workers..."
+    )
+    service = QueryService(
+        db,
+        planner,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
+    with service:
+        report = replay_workload(service, queries, concurrency=args.concurrency)
+
+    print(
+        f"\ncompleted {report.completed}/{len(queries)} in "
+        f"{report.wall_time_s:.2f} s ({report.throughput_qps:.1f} q/s), "
+        f"{report.resubmissions} backpressure retries"
+    )
+    print(service.metrics.format_report(db.procedures))
+    if report.errors:
+        print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
+
+    if args.verify:
+        print("\nverifying against serial execution...")
+        serial = run_serial(planner, queries)
+        mismatches = sum(
+            1
+            for idx, rows in enumerate(serial)
+            if report.outcomes[idx] is None
+            or not rows_equal(report.outcomes[idx].rows, rows)
+        )
+        print(f"row-for-row mismatches: {mismatches}")
+        return 1 if mismatches else 0
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
 
@@ -109,6 +166,30 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--buffer-pages", type=int, default=4096)
     demo.set_defaults(func=_cmd_demo)
+
+    replay = sub.add_parser(
+        "replay", help="serve a Figure 2 workload through the query service"
+    )
+    replay.add_argument("--rows", type=int, default=20_000)
+    replay.add_argument("--queries", type=int, default=240)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--buffer-pages", type=int, default=4096)
+    replay.add_argument("--concurrency", type=int, default=8, help="client threads")
+    replay.add_argument("--workers", type=int, default=8, help="service worker threads")
+    replay.add_argument("--queue-depth", type=int, default=32)
+    replay.add_argument(
+        "--duplicate-fraction", type=float, default=0.5,
+        help="fraction of replayed queries that repeat an earlier one",
+    )
+    replay.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="per-query deadline in milliseconds (0 = none)",
+    )
+    replay.add_argument(
+        "--verify", action="store_true",
+        help="re-run serially and compare results row for row",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     info = sub.add_parser("info", help="package inventory")
     info.set_defaults(func=_cmd_info)

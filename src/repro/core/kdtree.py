@@ -401,13 +401,18 @@ class KdTreeIndex(SpatialIndex):
     # -- queries ------------------------------------------------------------
 
     def query_polyhedron(
-        self, polyhedron: Polyhedron, use_tight_boxes: bool = True
+        self,
+        polyhedron: Polyhedron,
+        use_tight_boxes: bool = True,
+        cancel_check=None,
     ) -> tuple[dict[str, np.ndarray], QueryStats]:
         """Evaluate a polyhedron query through the tree (Figure 4).
 
         INSIDE subtrees are bulk-returned with a predicate-free range scan
         over the clustered rows (the ``BETWEEN``); PARTIAL leaves get the
-        residual geometric filter.
+        residual geometric filter.  ``cancel_check`` (when given) runs at
+        every node visit and inside the underlying range scans, so the
+        query service can abandon a traversal mid-flight (deadlines).
         """
         if polyhedron.dim != len(self._dims):
             raise ValueError(
@@ -419,6 +424,8 @@ class KdTreeIndex(SpatialIndex):
         stack = [1]
         while stack:
             node = stack.pop()
+            if cancel_check is not None:
+                cancel_check()
             start, end = self._tree.node_rows(node)
             if start == end:
                 continue
@@ -429,14 +436,20 @@ class KdTreeIndex(SpatialIndex):
                 continue
             if relation is BoxRelation.INSIDE:
                 stats.cells_inside += 1
-                rows, piece_stats = range_scan(self._table, start, end)
+                rows, piece_stats = range_scan(
+                    self._table, start, end, cancel_check=cancel_check
+                )
                 stats.merge(piece_stats)
                 pieces.append(rows)
                 continue
             if self._tree.is_leaf(node):
                 stats.cells_partial += 1
                 rows, piece_stats = range_scan(
-                    self._table, start, end, predicate=self._residual(polyhedron)
+                    self._table,
+                    start,
+                    end,
+                    predicate=self._residual(polyhedron),
+                    cancel_check=cancel_check,
                 )
                 stats.merge(piece_stats)
                 pieces.append(rows)

@@ -16,6 +16,7 @@ implements that loop the way a real engine would:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,9 @@ class QueryPlanner:
         self.sample_pages = sample_pages
         self.statistics = statistics
         self._rng = np.random.default_rng(seed)
+        # The query service shares one planner across worker threads;
+        # numpy Generators are not thread-safe, so draws are serialized.
+        self._rng_lock = threading.Lock()
 
     def estimate_selectivity(self, polyhedron: Polyhedron) -> tuple[float, int]:
         """Page-sample estimate of returned/total.
@@ -88,7 +92,8 @@ class QueryPlanner:
         probe = min(self.sample_pages, table.num_pages)
         page_ids = np.linspace(0, table.num_pages - 1, probe).astype(int)
         # Jitter to avoid aliasing with any periodic layout.
-        jitter = self._rng.integers(0, max(table.num_pages // probe, 1), probe)
+        with self._rng_lock:
+            jitter = self._rng.integers(0, max(table.num_pages // probe, 1), probe)
         page_ids = np.minimum(page_ids + jitter, table.num_pages - 1)
         matched = examined = 0
         dims = self.index.dims
@@ -101,15 +106,28 @@ class QueryPlanner:
             return 0.0, 0
         return matched / examined, int(len(np.unique(page_ids)))
 
-    def execute(self, polyhedron: Polyhedron) -> PlannedQuery:
-        """Estimate, choose a path, run, and report."""
+    def execute(self, polyhedron: Polyhedron, cancel_check=None) -> PlannedQuery:
+        """Estimate, choose a path, run, and report.
+
+        ``cancel_check`` is a zero-argument callable (or ``None``) run
+        between planning and execution and inside the chosen executor's
+        page/node loops; raising from it abandons the query cooperatively
+        -- this is how the query service enforces per-query deadlines.
+        """
+        if cancel_check is not None:
+            cancel_check()
         estimate, probed = self.estimate_selectivity(polyhedron)
+        if cancel_check is not None:
+            cancel_check()
         if estimate <= self.crossover:
-            rows, stats = self.index.query_polyhedron(polyhedron)
+            rows, stats = self.index.query_polyhedron(
+                polyhedron, cancel_check=cancel_check
+            )
             path = "kdtree"
         else:
             rows, stats = polyhedron_full_scan(
-                self.index.table, self.index.dims, polyhedron
+                self.index.table, self.index.dims, polyhedron,
+                cancel_check=cancel_check,
             )
             path = "scan"
         return PlannedQuery(

@@ -18,9 +18,13 @@ __all__ = ["polyhedron_full_scan", "selectivity"]
 
 
 def polyhedron_full_scan(
-    table: Table, dims: list[str], polyhedron: Polyhedron
+    table: Table, dims: list[str], polyhedron: Polyhedron, cancel_check=None
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
-    """Evaluate a polyhedron query by scanning every page (the baseline)."""
+    """Evaluate a polyhedron query by scanning every page (the baseline).
+
+    ``cancel_check`` is forwarded to :func:`repro.db.scan.full_scan` and
+    runs once per page (cooperative deadline cancellation).
+    """
     if polyhedron.dim != len(dims):
         raise ValueError(f"polyhedron dim {polyhedron.dim} != len(dims) {len(dims)}")
 
@@ -28,7 +32,7 @@ def polyhedron_full_scan(
         pts = np.column_stack([columns[d] for d in dims])
         return polyhedron.contains_points(pts)
 
-    return full_scan(table, predicate=predicate)
+    return full_scan(table, predicate=predicate, cancel_check=cancel_check)
 
 
 def selectivity(stats: QueryStats, total_rows: int) -> float:

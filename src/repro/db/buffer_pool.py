@@ -5,10 +5,15 @@ tricks to use it all); we model memory pressure as a configurable page
 budget.  A query that touches a small clustered range of pages runs from
 cache on repeat; a full scan of a table larger than the pool thrashes --
 exactly the contrast the layered grid / kd-tree / Voronoi indexes exploit.
+
+The pool is shared by every worker of the concurrent query service, so
+all cache operations hold an internal lock: the LRU ``OrderedDict`` is
+never observed mid-reorder and hit/miss counts are never dropped.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.db.pages import Page
@@ -35,6 +40,7 @@ class BufferPool:
         self.storage = storage
         self.capacity_pages = capacity_pages
         self._cache: OrderedDict[tuple[str, int], Page] = OrderedDict()
+        self._lock = threading.RLock()
 
     @property
     def stats(self):
@@ -42,27 +48,36 @@ class BufferPool:
         return self.storage.stats
 
     def __len__(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def get(self, namespace: str, page_id: int) -> Page:
-        """Fetch a page, from cache when possible."""
+        """Fetch a page, from cache when possible.
+
+        The lock is held across the backing read on a miss, so two
+        workers missing on the same page never both hit storage; the
+        counters therefore stay exact under concurrency.
+        """
         key = (namespace, page_id)
-        page = self._cache.get(key)
-        if page is not None:
-            self._cache.move_to_end(key)
-            self.storage.stats.cache_hits += 1
+        with self._lock:
+            page = self._cache.get(key)
+            if page is not None:
+                self._cache.move_to_end(key)
+                self.storage.stats.add(cache_hits=1)
+                return page
+            self.storage.stats.add(cache_misses=1)
+            page = self.storage.read_page(namespace, page_id)
+            self._admit(key, page)
             return page
-        self.storage.stats.cache_misses += 1
-        page = self.storage.read_page(namespace, page_id)
-        self._admit(key, page)
-        return page
 
     def put(self, namespace: str, page: Page) -> None:
         """Write a page through to storage and cache it."""
-        self.storage.write_page(namespace, page)
-        self._admit((namespace, page.page_id), page)
+        with self._lock:
+            self.storage.write_page(namespace, page)
+            self._admit((namespace, page.page_id), page)
 
     def _admit(self, key: tuple[str, int], page: Page) -> None:
+        # Callers hold self._lock.
         self._cache[key] = page
         self._cache.move_to_end(key)
         if self.capacity_pages is not None:
@@ -71,10 +86,12 @@ class BufferPool:
 
     def invalidate(self, namespace: str) -> None:
         """Drop every cached page of a namespace."""
-        stale = [key for key in self._cache if key[0] == namespace]
-        for key in stale:
-            del self._cache[key]
+        with self._lock:
+            stale = [key for key in self._cache if key[0] == namespace]
+            for key in stale:
+                del self._cache[key]
 
     def clear(self) -> None:
         """Empty the cache entirely (cold-cache experiments)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()

@@ -35,6 +35,7 @@ class Database:
         self.procedures = ProcedureRegistry(self)
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Any] = {}
+        self._mutation_listeners: list[Any] = []
 
     # -- constructors -----------------------------------------------------
 
@@ -64,6 +65,7 @@ class Database:
             self, name, data, rows_per_page=rows_per_page, clustered_by=clustered_by
         )
         self._tables[name] = table
+        self._notify_mutation(name)
         return table
 
     def adopt_table(self, table: Table) -> None:
@@ -95,6 +97,28 @@ class Database:
         stale = [k for k, v in self._indexes.items() if getattr(v, "table_name", None) == name]
         for key in stale:
             del self._indexes[key]
+        self._notify_mutation(name)
+
+    # -- mutation listeners -------------------------------------------------
+
+    def add_mutation_listener(self, listener) -> None:
+        """Register ``listener(table_name)`` to run on table create/drop.
+
+        The query service's result cache subscribes here so cached result
+        sets never outlive the table they were computed from.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        """Unregister a previously added mutation listener (no-op if absent)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, table_name: str) -> None:
+        for listener in list(self._mutation_listeners):
+            listener(table_name)
 
     def table_names(self) -> list[str]:
         """Names of all registered tables."""

@@ -7,10 +7,16 @@ Python analog is a registry of callables bound to a
 their first argument and are invoked by name, so examples and the
 visualization producers interact with the engine exactly the way the
 paper's clients call ``EXEC`` on the server.
+
+Every call is timed: alongside ``call_count`` the registry accumulates
+per-procedure wall time, which the query service's metrics registry
+surfaces next to its own per-query numbers.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -26,6 +32,7 @@ class _Procedure:
     func: Callable
     description: str
     call_count: int = 0
+    total_time: float = 0.0
 
 
 @dataclass
@@ -34,27 +41,42 @@ class ProcedureRegistry:
 
     database: "Database"
     _procs: dict[str, _Procedure] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def register(
         self, name: str, func: Callable, description: str = ""
     ) -> None:
         """Register ``func`` under ``name``; the name must be unused."""
-        if name in self._procs:
-            raise ValueError(f"procedure {name!r} already registered")
-        self._procs[name] = _Procedure(
-            name=name,
-            func=func,
-            description=description or (func.__doc__ or "").strip().split("\n")[0],
-        )
+        with self._lock:
+            if name in self._procs:
+                raise ValueError(f"procedure {name!r} already registered")
+            self._procs[name] = _Procedure(
+                name=name,
+                func=func,
+                description=description or (func.__doc__ or "").strip().split("\n")[0],
+            )
 
     def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
-        """Invoke a procedure by name, passing the database first."""
+        """Invoke a procedure by name, passing the database first.
+
+        The call itself runs outside the registry lock (procedures may be
+        slow and may themselves call other procedures); only the counter
+        updates are serialized.
+        """
         try:
             proc = self._procs[name]
         except KeyError:
             raise KeyError(f"no procedure {name!r} registered") from None
-        proc.call_count += 1
-        return proc.func(self.database, *args, **kwargs)
+        started = time.perf_counter()
+        try:
+            return proc.func(self.database, *args, **kwargs)
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                proc.call_count += 1
+                proc.total_time += elapsed
 
     def names(self) -> list[str]:
         """Registered procedure names."""
@@ -67,6 +89,21 @@ class ProcedureRegistry:
     def call_count(self, name: str) -> int:
         """How many times a procedure has been invoked."""
         return self._procs[name].call_count
+
+    def total_time(self, name: str) -> float:
+        """Cumulative wall seconds spent inside a procedure."""
+        return self._procs[name].total_time
+
+    def timings(self) -> dict[str, dict[str, float]]:
+        """Per-procedure ``{"calls": n, "total_time": s}`` snapshot."""
+        with self._lock:
+            return {
+                name: {
+                    "calls": float(proc.call_count),
+                    "total_time": proc.total_time,
+                }
+                for name, proc in sorted(self._procs.items())
+            }
 
     def __contains__(self, name: str) -> bool:
         return name in self._procs

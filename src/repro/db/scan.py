@@ -32,11 +32,16 @@ def full_scan(
     table: Table,
     predicate: Expr | Callable[[dict[str, np.ndarray]], np.ndarray] | None = None,
     columns: list[str] | None = None,
+    cancel_check: Callable[[], None] | None = None,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan every page, apply an optional predicate, project columns.
 
     Returns the matching rows (plus a ``_row_id`` column of global ids)
     and per-query statistics.  This is the baseline of Figure 5.
+
+    ``cancel_check`` is invoked once per page; it may raise (e.g. a
+    deadline check from the query service) to abandon the scan
+    cooperatively between pages.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -45,6 +50,8 @@ def full_scan(
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
     for page in table.scan():
+        if cancel_check is not None:
+            cancel_check()
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += page.num_rows
         if predicate is None:
@@ -75,11 +82,13 @@ def range_scan(
     stop_row: int,
     predicate: Expr | Callable[[dict[str, np.ndarray]], np.ndarray] | None = None,
     columns: list[str] | None = None,
+    cancel_check: Callable[[], None] | None = None,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan only pages overlapping ``[start_row, stop_row)``.
 
     The engine-level realization of the paper's ``BETWEEN`` on post-order
-    numbered kd-leaves or space-filling-curve cell ids.
+    numbered kd-leaves or space-filling-curve cell ids.  ``cancel_check``
+    runs once per page, as in :func:`full_scan`.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -88,6 +97,8 @@ def range_scan(
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
     for page, lo, hi in table.scan_rows(start_row, stop_row):
+        if cancel_check is not None:
+            cancel_check()
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += hi - lo
         view = page.slice(lo, hi)

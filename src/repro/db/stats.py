@@ -8,6 +8,7 @@ profile does.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["IOStats", "QueryStats"]
@@ -15,7 +16,14 @@ __all__ = ["IOStats", "QueryStats"]
 
 @dataclass
 class IOStats:
-    """Mutable counters shared by a storage backend and its buffer pool."""
+    """Mutable counters shared by a storage backend and its buffer pool.
+
+    Counters may be incremented from many worker threads at once (the
+    query service runs concurrent scans over one storage backend), so
+    increments go through :meth:`add`, which holds an internal lock.
+    Plain attribute reads stay lock-free: a torn read can only observe a
+    slightly stale count, never a corrupted one.
+    """
 
     page_reads: int = 0
     page_writes: int = 0
@@ -23,26 +31,50 @@ class IOStats:
     bytes_written: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        *,
+        page_reads: int = 0,
+        page_writes: int = 0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        """Atomically increment any subset of the counters."""
+        with self._lock:
+            self.page_reads += page_reads
+            self.page_writes += page_writes
+            self.bytes_read += bytes_read
+            self.bytes_written += bytes_written
+            self.cache_hits += cache_hits
+            self.cache_misses += cache_misses
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.page_reads = 0
-        self.page_writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._lock:
+            self.page_reads = 0
+            self.page_writes = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
-        return IOStats(
-            page_reads=self.page_reads,
-            page_writes=self.page_writes,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
-        )
+        with self._lock:
+            return IOStats(
+                page_reads=self.page_reads,
+                page_writes=self.page_writes,
+                bytes_read=self.bytes_read,
+                bytes_written=self.bytes_written,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+            )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Counter differences relative to an earlier snapshot."""

@@ -63,13 +63,11 @@ class MemoryStorage(Storage):
     def write_page(self, namespace: str, page: Page) -> None:
         data = PageCodec.encode(page)
         self._pages.setdefault(namespace, {})[page.page_id] = data
-        self.stats.page_writes += 1
-        self.stats.bytes_written += len(data)
+        self.stats.add(page_writes=1, bytes_written=len(data))
 
     def read_page(self, namespace: str, page_id: int) -> Page:
         data = self._pages[namespace][page_id]
-        self.stats.page_reads += 1
-        self.stats.bytes_read += len(data)
+        self.stats.add(page_reads=1, bytes_read=len(data))
         return PageCodec.decode(data)
 
     def num_pages(self, namespace: str) -> int:
@@ -96,8 +94,7 @@ class FileStorage(Storage):
         data = PageCodec.encode(page)
         with open(path, "wb") as fh:
             fh.write(data)
-        self.stats.page_writes += 1
-        self.stats.bytes_written += len(data)
+        self.stats.add(page_writes=1, bytes_written=len(data))
 
     def read_page(self, namespace: str, page_id: int) -> Page:
         path = self._page_path(namespace, page_id)
@@ -106,8 +103,7 @@ class FileStorage(Storage):
                 data = fh.read()
         except FileNotFoundError:
             raise KeyError((namespace, page_id)) from None
-        self.stats.page_reads += 1
-        self.stats.bytes_read += len(data)
+        self.stats.add(page_reads=1, bytes_read=len(data))
         return PageCodec.decode(data)
 
     def num_pages(self, namespace: str) -> int:

@@ -171,11 +171,21 @@ class Box:
         closed-box semantics the kd-tree uses (a point exactly on the
         median plane is assigned to exactly one side by the *builder*, but
         geometric routines treat both halves as closed).
+
+        A cut that lands epsilon-outside ``[lo, hi]`` (e.g. ``lo + 1.0 *
+        (hi - lo)`` overshooting ``hi`` in floating point over
+        near-duplicate coordinates) is clamped into the extent before
+        validation and degrades to a degenerate split; cuts genuinely
+        outside the extent still raise ``ValueError``.
         """
-        if not (self.lo[axis] <= value <= self.hi[axis]):
+        lo_edge, hi_edge = float(self.lo[axis]), float(self.hi[axis])
+        tolerance = 1e-9 * max(1.0, abs(lo_edge), abs(hi_edge))
+        if lo_edge - tolerance <= value <= hi_edge + tolerance:
+            value = float(np.clip(value, lo_edge, hi_edge))
+        if not (lo_edge <= value <= hi_edge):
             raise ValueError(
                 f"cut {value} outside box extent "
-                f"[{self.lo[axis]}, {self.hi[axis]}] on axis {axis}"
+                f"[{lo_edge}, {hi_edge}] on axis {axis}"
             )
         lo_hi = self.hi.copy()
         lo_hi[axis] = value

@@ -1,0 +1,37 @@
+"""Exceptions of the concurrent query service.
+
+These are the service's contract with its clients: admission control
+rejects with :class:`AdmissionRejected` (backpressure, retry later),
+deadlines surface as :class:`DeadlineExceeded` (the query was abandoned
+cooperatively, the worker survived), and a stopped service refuses new
+work with :class:`ServiceClosed`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "AdmissionRejected",
+    "DeadlineExceeded",
+    "ServiceClosed",
+]
+
+
+class ServiceError(Exception):
+    """Base class for every query-service error."""
+
+
+class AdmissionRejected(ServiceError):
+    """The admission queue is full; the client should back off and retry."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"admission queue full (depth {depth}); retry later")
+        self.depth = depth
+
+
+class DeadlineExceeded(ServiceError):
+    """A query ran past its deadline and was cancelled cooperatively."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is stopped (or stopping) and accepts no new queries."""

@@ -1,0 +1,388 @@
+"""The query service: worker pool, deadlines, and the serving loop.
+
+This is the reproduction's SkyServer front end, in-process: clients open
+sessions, submit polyhedron queries, and get tickets; a pool of worker
+threads pulls admitted queries, routes each through the
+:class:`~repro.core.planner.QueryPlanner` (kd-tree vs. full scan by
+estimated selectivity), consults the result cache, and enforces
+per-query deadlines with cooperative cancellation checks inside the
+scan/kd-tree iteration loops.  Every query leaves one
+:class:`~repro.service.metrics.QueryMetrics` record behind.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.db.catalog import Database
+from repro.geometry.halfspace import Polyhedron
+from repro.service.admission import AdmissionQueue
+from repro.service.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    ServiceClosed,
+)
+from repro.service.metrics import MetricsRegistry, QueryMetrics
+from repro.service.result_cache import ResultCache, query_fingerprint
+from repro.service.session import Session, SessionManager
+
+__all__ = ["Deadline", "QueryOutcome", "QueryTicket", "QueryService"]
+
+
+class Deadline:
+    """A wall-clock budget with a cooperative :meth:`check` hook.
+
+    ``check`` is cheap enough to call once per page or tree node; it
+    raises :class:`DeadlineExceeded` once the budget is spent, which the
+    executors let propagate to abandon the query mid-iteration.
+    """
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("deadline seconds must be >= 0")
+        self.seconds = seconds
+        self.expires_at = time.monotonic() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"query exceeded its {self.seconds * 1e3:.1f} ms deadline"
+            )
+
+
+@dataclass
+class QueryOutcome:
+    """What a completed query hands back to its client."""
+
+    rows: dict
+    stats: Any
+    chosen_path: str
+    estimated_selectivity: float
+    cache_hit: bool
+    metrics: QueryMetrics
+
+
+class QueryTicket:
+    """A future-like handle for one submitted query."""
+
+    def __init__(self, query_id: int, session: Session):
+        self.query_id = query_id
+        self.session = session
+        self._event = threading.Event()
+        self._outcome: QueryOutcome | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the query has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryOutcome:
+        """Block for the outcome; re-raises the query's error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"query {self.query_id} still pending")
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    # -- completion (service side) -----------------------------------------
+
+    def _complete(self, outcome: QueryOutcome) -> None:
+        self._outcome = outcome
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _WorkItem:
+    ticket: QueryTicket
+    polyhedron: Polyhedron
+    deadline: Deadline | None
+    tag: str
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class QueryService:
+    """An in-process, multi-client query server over one planner.
+
+    Parameters
+    ----------
+    database:
+        The catalog whose mutations invalidate the result cache.
+    planner:
+        The access-path chooser every admitted query runs through.
+    workers:
+        Worker thread count (the paper's server ran fully parallel I/O).
+    queue_depth:
+        Admission bound; a full queue rejects with backpressure.
+    cache_entries:
+        Result-cache capacity (``0`` disables caching).
+    default_deadline:
+        Seconds applied to queries submitted without an explicit one
+        (``None`` = no deadline).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        planner: QueryPlanner,
+        *,
+        workers: int = 4,
+        queue_depth: int = 64,
+        cache_entries: int = 256,
+        default_deadline: float | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.database = database
+        self.planner = planner
+        self.sessions = SessionManager()
+        self.admission = AdmissionQueue(queue_depth)
+        self.cache = ResultCache(cache_entries) if cache_entries > 0 else None
+        self.metrics = MetricsRegistry()
+        self.default_deadline = default_deadline
+        self._num_workers = workers
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._running = False
+        self._query_ids = itertools.count(1)
+        if self.cache is not None:
+            self._listener = lambda table: self.cache.invalidate_table(table)
+            self.database.add_mutation_listener(self._listener)
+        else:
+            self._listener = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Spin up the worker pool; idempotent."""
+        if self._running:
+            return self
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"query-worker-{i}", daemon=True
+            )
+            for i in range(self._num_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._running = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop serving; ``drain`` finishes queued work first."""
+        if not self._running:
+            return
+        self._running = False  # refuse new submissions immediately
+        if drain:
+            while len(self.admission):
+                time.sleep(0.001)
+        else:
+            for item in self.admission.drain():
+                item.ticket._fail(ServiceClosed("service stopped before execution"))
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        if self._listener is not None:
+            self.database.remove_mutation_listener(self._listener)
+            self._listener = None
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker pool is accepting queries."""
+        return self._running
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (health check)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # -- client API -----------------------------------------------------------
+
+    def open_session(self, name: str = "") -> Session:
+        """Open a client session."""
+        return self.sessions.open(name)
+
+    def submit(
+        self,
+        polyhedron: Polyhedron,
+        *,
+        session: Session | None = None,
+        deadline: float | Deadline | None = None,
+        tag: str = "",
+    ) -> QueryTicket:
+        """Admit one query; raises :class:`AdmissionRejected` when full.
+
+        The deadline clock starts at submission, so time spent queued
+        counts against the budget exactly as a web client's timeout
+        would.
+        """
+        if not self._running:
+            raise ServiceClosed("service is not running; call start()")
+        if session is None:
+            session = self.sessions.open()
+        if deadline is None and self.default_deadline is not None:
+            deadline = self.default_deadline
+        if deadline is not None and not isinstance(deadline, Deadline):
+            deadline = Deadline(float(deadline))
+        ticket = QueryTicket(next(self._query_ids), session)
+        item = _WorkItem(ticket=ticket, polyhedron=polyhedron, deadline=deadline, tag=tag)
+        if not self.admission.offer(item):
+            session.note_rejected()
+            self.metrics.note_rejected()
+            raise AdmissionRejected(self.admission.depth)
+        session.note_submitted()
+        self.metrics.note_submitted()
+        return ticket
+
+    def execute(
+        self,
+        polyhedron: Polyhedron,
+        *,
+        session: Session | None = None,
+        deadline: float | Deadline | None = None,
+        tag: str = "",
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        """Submit and wait: the blocking convenience wrapper."""
+        return self.submit(
+            polyhedron, session=session, deadline=deadline, tag=tag
+        ).result(timeout)
+
+    def report(self) -> dict:
+        """Everything the service knows about its own behavior."""
+        return {
+            "service": self.metrics.summary(),
+            "admission": self.admission.counters(),
+            "cache": self.cache.counters() if self.cache is not None else {},
+            "sessions": {
+                s.session_id: s.snapshot().as_dict() for s in self.sessions.all()
+            },
+            "procedures": self.database.procedures.timings(),
+        }
+
+    # -- worker side ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            item = self.admission.pop(timeout=0.05)
+            if item is None:
+                continue
+            try:
+                self._run_one(item)
+            except BaseException as exc:  # last-ditch: never kill a worker
+                item.ticket._fail(exc)
+
+    def _run_one(self, item: _WorkItem) -> None:
+        started = time.monotonic()
+        queue_wait = started - item.enqueued_at
+        session = item.ticket.session
+        try:
+            if item.deadline is not None:
+                item.deadline.check()
+            planned, cache_hit = self._plan_or_cached(item)
+            exec_time = time.monotonic() - started
+            metrics = QueryMetrics(
+                query_id=item.ticket.query_id,
+                session_id=session.session_id,
+                tag=item.tag,
+                queue_wait_s=queue_wait,
+                exec_time_s=exec_time,
+                pages_read=0 if cache_hit else planned.stats.pages_touched,
+                rows_examined=0 if cache_hit else planned.stats.rows_examined,
+                rows_returned=planned.stats.rows_returned,
+                cache_hit=cache_hit,
+                chosen_path="cache" if cache_hit else planned.chosen_path,
+                estimated_selectivity=planned.estimated_selectivity,
+            )
+            self.metrics.record(metrics)
+            session.note_completed(
+                rows_returned=planned.stats.rows_returned,
+                queue_wait_s=queue_wait,
+                exec_time_s=exec_time,
+                cache_hit=cache_hit,
+            )
+            item.ticket._complete(
+                QueryOutcome(
+                    rows=planned.rows,
+                    stats=planned.stats,
+                    chosen_path=planned.chosen_path,
+                    estimated_selectivity=planned.estimated_selectivity,
+                    cache_hit=cache_hit,
+                    metrics=metrics,
+                )
+            )
+        except DeadlineExceeded as exc:
+            self._record_failure(item, queue_wait, started, deadline_missed=True)
+            session.note_failed(deadline_missed=True)
+            item.ticket._fail(exc)
+        except Exception as exc:
+            self._record_failure(
+                item, queue_wait, started, error=type(exc).__name__
+            )
+            session.note_failed()
+            item.ticket._fail(exc)
+
+    def _plan_or_cached(self, item: _WorkItem) -> tuple[PlannedQuery, bool]:
+        table_name = self.planner.index.table.name
+        if self.cache is None:
+            return self._plan(item), False
+        fingerprint = query_fingerprint(
+            table_name, self.planner.index.dims, item.polyhedron
+        )
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return cached, True
+        planned = self._plan(item)
+        self.cache.put(fingerprint, table_name, planned)
+        return planned, False
+
+    def _plan(self, item: _WorkItem) -> PlannedQuery:
+        cancel = item.deadline.check if item.deadline is not None else None
+        return self.planner.execute(item.polyhedron, cancel_check=cancel)
+
+    def _record_failure(
+        self,
+        item: _WorkItem,
+        queue_wait: float,
+        started: float,
+        *,
+        deadline_missed: bool = False,
+        error: str = "",
+    ) -> None:
+        self.metrics.record(
+            QueryMetrics(
+                query_id=item.ticket.query_id,
+                session_id=item.ticket.session.session_id,
+                tag=item.tag,
+                queue_wait_s=queue_wait,
+                exec_time_s=time.monotonic() - started,
+                deadline_missed=deadline_missed,
+                error=error or ("DeadlineExceeded" if deadline_missed else ""),
+            )
+        )

@@ -1,0 +1,148 @@
+"""Per-query and service-level metrics.
+
+Every number the benchmarks already trust -- pages touched, rows
+examined/returned, cache hits -- flows from :class:`repro.db.stats`
+counters; this module adds the serving dimension on top: queue wait,
+execution time, planner choice, deadline misses, per-procedure wall
+time.  One :class:`QueryMetrics` record is appended per finished query
+(completed, failed, or deadline-missed); :meth:`MetricsRegistry.summary`
+aggregates them into the service-level view a replay prints.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.db.procedures import ProcedureRegistry
+
+__all__ = ["QueryMetrics", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """The full story of one query through the service."""
+
+    query_id: int
+    session_id: str
+    tag: str = ""
+    queue_wait_s: float = 0.0
+    exec_time_s: float = 0.0
+    pages_read: int = 0
+    rows_examined: int = 0
+    rows_returned: int = 0
+    cache_hit: bool = False
+    chosen_path: str = ""
+    estimated_selectivity: float = float("nan")
+    deadline_missed: bool = False
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query completed with a result."""
+        return not self.error and not self.deadline_missed
+
+
+@dataclass
+class _Totals:
+    submitted: int = 0
+    rejected: int = 0
+
+
+class MetricsRegistry:
+    """Thread-safe registry of per-query records plus service counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[QueryMetrics] = []
+        self._totals = _Totals()
+
+    # -- recording (called by the service) ---------------------------------
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self._totals.submitted += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self._totals.rejected += 1
+
+    def record(self, metrics: QueryMetrics) -> None:
+        """Append one finished query's record."""
+        with self._lock:
+            self._records.append(metrics)
+
+    # -- reading -------------------------------------------------------------
+
+    def per_query(self) -> list[QueryMetrics]:
+        """Copy of every record, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def summary(self) -> dict[str, float]:
+        """Service-level aggregates over all finished queries."""
+        with self._lock:
+            records = list(self._records)
+            submitted = self._totals.submitted
+            rejected = self._totals.rejected
+        done = [r for r in records if r.ok]
+        waits = [r.queue_wait_s for r in records]
+        execs = [r.exec_time_s for r in done]
+        return {
+            "submitted": float(submitted),
+            "rejected": float(rejected),
+            "finished": float(len(records)),
+            "completed": float(len(done)),
+            "failed": float(sum(1 for r in records if r.error and not r.deadline_missed)),
+            "deadline_misses": float(sum(1 for r in records if r.deadline_missed)),
+            "cache_hits": float(sum(1 for r in records if r.cache_hit)),
+            "cache_hit_rate": (
+                sum(1 for r in done if r.cache_hit) / len(done) if done else 0.0
+            ),
+            "pages_read": float(sum(r.pages_read for r in done)),
+            "rows_returned": float(sum(r.rows_returned for r in done)),
+            "mean_queue_wait_s": sum(waits) / len(waits) if waits else 0.0,
+            "max_queue_wait_s": max(waits) if waits else 0.0,
+            "mean_exec_time_s": sum(execs) / len(execs) if execs else 0.0,
+            "max_exec_time_s": max(execs) if execs else 0.0,
+            "kdtree_queries": float(sum(1 for r in done if r.chosen_path == "kdtree")),
+            "scan_queries": float(sum(1 for r in done if r.chosen_path == "scan")),
+        }
+
+    def procedure_report(self, procedures: ProcedureRegistry) -> dict[str, dict[str, float]]:
+        """Per-procedure calls and cumulative wall time (from the registry)."""
+        return procedures.timings()
+
+    def format_report(
+        self, procedures: ProcedureRegistry | None = None
+    ) -> str:
+        """Human-readable multi-line report (what the CLI prints)."""
+        s = self.summary()
+        lines = [
+            "query service metrics",
+            f"  submitted          {int(s['submitted']):>8}",
+            f"  rejected (queue)   {int(s['rejected']):>8}",
+            f"  completed          {int(s['completed']):>8}",
+            f"  deadline misses    {int(s['deadline_misses']):>8}",
+            f"  failed             {int(s['failed']):>8}",
+            f"  cache hits         {int(s['cache_hits']):>8}"
+            f"   (hit rate {s['cache_hit_rate']:.2%})",
+            f"  pages read         {int(s['pages_read']):>8}",
+            f"  rows returned      {int(s['rows_returned']):>8}",
+            f"  planner: kd-tree   {int(s['kdtree_queries']):>8}"
+            f"   scan {int(s['scan_queries'])}",
+            f"  queue wait         mean {s['mean_queue_wait_s'] * 1e3:8.2f} ms"
+            f"   max {s['max_queue_wait_s'] * 1e3:.2f} ms",
+            f"  exec time          mean {s['mean_exec_time_s'] * 1e3:8.2f} ms"
+            f"   max {s['max_exec_time_s'] * 1e3:.2f} ms",
+        ]
+        if procedures is not None:
+            timings = self.procedure_report(procedures)
+            if timings:
+                lines.append("  procedures:")
+                for name, row in timings.items():
+                    lines.append(
+                        f"    {name:<28} {int(row['calls']):>6} calls"
+                        f"  {row['total_time'] * 1e3:10.2f} ms"
+                    )
+        return "\n".join(lines)

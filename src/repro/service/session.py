@@ -1,0 +1,133 @@
+"""Client sessions: who is asking, and how their queries went.
+
+The SkyServer traffic of Figure 2 is attributed per client (web hits and
+SQL sessions over months); this module is the reproduction's analog.  A
+:class:`Session` is a lightweight identity handed to each client of the
+query service; every submit/complete/reject updates its
+:class:`SessionStats`, so a replay can report per-client behavior the
+way §2 reports per-population traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Session", "SessionStats", "SessionManager"]
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters, updated under the session's lock."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    deadline_misses: int = 0
+    cache_hits: int = 0
+    rows_returned: int = 0
+    queue_wait_s: float = 0.0
+    exec_time_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict snapshot (for reports)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "deadline_misses": self.deadline_misses,
+            "cache_hits": self.cache_hits,
+            "rows_returned": self.rows_returned,
+            "queue_wait_s": self.queue_wait_s,
+            "exec_time_s": self.exec_time_s,
+        }
+
+
+@dataclass
+class Session:
+    """One client's identity within the service."""
+
+    session_id: str
+    name: str = ""
+    stats: SessionStats = field(default_factory=SessionStats)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    # -- stat updates (called by the service) ------------------------------
+
+    def note_submitted(self) -> None:
+        with self._lock:
+            self.stats.submitted += 1
+
+    def note_rejected(self) -> None:
+        with self._lock:
+            self.stats.rejected += 1
+
+    def note_completed(
+        self,
+        rows_returned: int,
+        queue_wait_s: float,
+        exec_time_s: float,
+        cache_hit: bool,
+    ) -> None:
+        with self._lock:
+            self.stats.completed += 1
+            self.stats.rows_returned += rows_returned
+            self.stats.queue_wait_s += queue_wait_s
+            self.stats.exec_time_s += exec_time_s
+            if cache_hit:
+                self.stats.cache_hits += 1
+
+    def note_failed(self, deadline_missed: bool = False) -> None:
+        with self._lock:
+            self.stats.failed += 1
+            if deadline_missed:
+                self.stats.deadline_misses += 1
+
+    def snapshot(self) -> SessionStats:
+        """An independent copy of the current counters."""
+        with self._lock:
+            return SessionStats(**self.stats.as_dict())
+
+
+class SessionManager:
+    """Issues and tracks sessions for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+        self._counter = itertools.count(1)
+
+    def open(self, name: str = "") -> Session:
+        """Create a new session; ids are unique within the manager."""
+        with self._lock:
+            session_id = f"s{next(self._counter):04d}"
+            session = Session(session_id=session_id, name=name or session_id)
+            self._sessions[session_id] = session
+            return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session by id."""
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"no session {session_id!r}") from None
+
+    def close(self, session_id: str) -> None:
+        """Forget a session (its stats stop being reported)."""
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def all(self) -> list[Session]:
+        """Every live session, in id order."""
+        with self._lock:
+            return [self._sessions[k] for k in sorted(self._sessions)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

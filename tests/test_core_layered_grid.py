@@ -5,7 +5,6 @@ import pytest
 from scipy import stats as scipy_stats
 
 from repro.core.layered_grid import (
-    LayeredGridIndex,
     TableSampleBaseline,
     layer_sizes,
 )

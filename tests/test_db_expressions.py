@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.db import Col, Const, LinearExtractionError, expression_to_polyhedron
+from repro.db import Col, LinearExtractionError, expression_to_polyhedron
 from repro.db.expressions import expression_to_sql
 
 

@@ -24,7 +24,6 @@ from repro import (
     polyhedron_full_scan,
     retrieval_precision,
     sdss_color_sample,
-    smooth_densities,
     voronoi_volume_estimates,
 )
 

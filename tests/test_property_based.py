@@ -228,7 +228,7 @@ class TestExpressionFuzz:
 
     @staticmethod
     def _random_linear_expr(rng, columns, depth=0):
-        from repro.db.expressions import Col, Const, Expr
+        from repro.db.expressions import Col, Const
 
         roll = rng.random()
         if depth >= 3 or roll < 0.3:

@@ -1,7 +1,6 @@
 """Tests for the adaptive visualization pipeline (§5)."""
 
 import threading
-import time
 
 import numpy as np
 import pytest
