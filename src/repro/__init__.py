@@ -27,8 +27,15 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.db import (
     Col,
+    CorruptPageError,
     Database,
+    FaultInjector,
+    FaultyStorage,
     LoggedStorage,
+    RetryPolicy,
+    StorageFault,
+    TransientIOError,
+    WriteFault,
     aggregate_scan,
     attach_database,
     count_rows,
@@ -98,6 +105,7 @@ from repro.service import (
     AdmissionRejected,
     Deadline,
     DeadlineExceeded,
+    QueryFault,
     QueryService,
     ReplayReport,
     replay_workload,
@@ -131,6 +139,14 @@ __all__ = [
     "parse_where",
     "save_catalog",
     "attach_database",
+    # faults & recovery
+    "StorageFault",
+    "TransientIOError",
+    "CorruptPageError",
+    "WriteFault",
+    "FaultInjector",
+    "FaultyStorage",
+    "RetryPolicy",
     # geometry
     "Box",
     "Halfspace",
@@ -185,6 +201,7 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "AdmissionRejected",
+    "QueryFault",
     "ReplayReport",
     "replay_workload",
     # analysis

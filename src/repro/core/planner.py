@@ -12,6 +12,14 @@ implements that loop the way a real engine would:
    crossover threshold;
 3. execute and report both the choice and the estimate, so experiments
    can score the planner against exhaustive execution.
+
+The planner is also where the engine degrades gracefully under storage
+faults: when the kd-tree path dies on an unrecoverable
+:class:`~repro.db.errors.StorageFault` (every retry budget below it
+exhausted), the planner falls back to the full scan rather than failing
+the query -- the scan re-reads the pages, and a transient burst that
+killed the traversal has usually passed.  Fallbacks are reported on the
+:class:`PlannedQuery` so the service can surface them in its metrics.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import numpy as np
 
 from repro.core.kdtree import KdTreeIndex
 from repro.core.queries import polyhedron_full_scan
+from repro.db.errors import StorageFault
 from repro.db.stats import QueryStats
 from repro.geometry.halfspace import Polyhedron
 
@@ -31,13 +40,20 @@ __all__ = ["PlannedQuery", "QueryPlanner"]
 
 @dataclass
 class PlannedQuery:
-    """Outcome of a planned execution."""
+    """Outcome of a planned execution.
+
+    ``fallback`` is set when the query was answered by a different path
+    than the planner chose because the chosen one hit an unrecoverable
+    storage fault; ``fallback_reason`` names the fault.
+    """
 
     rows: dict
     stats: QueryStats
     chosen_path: str
     estimated_selectivity: float
     sampled_pages: int
+    fallback: bool = False
+    fallback_reason: str = ""
 
 
 class QueryPlanner:
@@ -113,17 +129,39 @@ class QueryPlanner:
         between planning and execution and inside the chosen executor's
         page/node loops; raising from it abandons the query cooperatively
         -- this is how the query service enforces per-query deadlines.
+
+        Degradation: a :class:`~repro.db.errors.StorageFault` during the
+        selectivity probe forfeits the estimate (the scan path is chosen,
+        which needs none); one during the kd-tree path falls back to the
+        full scan.  A fault from the scan itself propagates -- there is
+        nothing cheaper left to degrade to.
         """
         if cancel_check is not None:
             cancel_check()
-        estimate, probed = self.estimate_selectivity(polyhedron)
+        fallback = False
+        reason = ""
+        try:
+            estimate, probed = self.estimate_selectivity(polyhedron)
+        except StorageFault as exc:
+            estimate, probed = float("nan"), 0
+            fallback = True
+            reason = f"selectivity probe failed: {type(exc).__name__}"
         if cancel_check is not None:
             cancel_check()
-        if estimate <= self.crossover:
-            rows, stats = self.index.query_polyhedron(
-                polyhedron, cancel_check=cancel_check
-            )
-            path = "kdtree"
+        if estimate <= self.crossover:  # NaN compares False: probe failure -> scan
+            try:
+                rows, stats = self.index.query_polyhedron(
+                    polyhedron, cancel_check=cancel_check
+                )
+                path = "kdtree"
+            except StorageFault as exc:
+                fallback = True
+                reason = f"kdtree path failed: {type(exc).__name__}"
+                rows, stats = polyhedron_full_scan(
+                    self.index.table, self.index.dims, polyhedron,
+                    cancel_check=cancel_check,
+                )
+                path = "scan"
         else:
             rows, stats = polyhedron_full_scan(
                 self.index.table, self.index.dims, polyhedron,
@@ -136,4 +174,6 @@ class QueryPlanner:
             chosen_path=path,
             estimated_selectivity=estimate,
             sampled_pages=probed,
+            fallback=fallback,
+            fallback_reason=reason,
         )

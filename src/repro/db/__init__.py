@@ -27,8 +27,10 @@ is a first-class, measurable quantity:
 """
 
 from repro.db.stats import IOStats
+from repro.db.errors import CorruptPageError, StorageFault, TransientIOError, WriteFault
 from repro.db.pages import Page, PageCodec
 from repro.db.storage import FileStorage, MemoryStorage, Storage
+from repro.db.faults import FaultInjector, FaultyStorage, RetryPolicy, call_with_retries
 from repro.db.buffer_pool import BufferPool
 from repro.db.table import ColumnSpec, Table
 from repro.db.catalog import Database
@@ -50,11 +52,19 @@ from repro.db.sqlparse import SqlParseError, parse_where
 
 __all__ = [
     "IOStats",
+    "StorageFault",
+    "TransientIOError",
+    "CorruptPageError",
+    "WriteFault",
     "Page",
     "PageCodec",
     "Storage",
     "MemoryStorage",
     "FileStorage",
+    "FaultInjector",
+    "FaultyStorage",
+    "RetryPolicy",
+    "call_with_retries",
     "BufferPool",
     "ColumnSpec",
     "Table",

@@ -9,6 +9,13 @@ exactly the contrast the layered grid / kd-tree / Voronoi indexes exploit.
 The pool is shared by every worker of the concurrent query service, so
 all cache operations hold an internal lock: the LRU ``OrderedDict`` is
 never observed mid-reorder and hit/miss counts are never dropped.
+
+The pool is also the first line of defense against storage faults: a
+miss that hits a transient read error or a torn (checksum-failing) page
+is retried with bounded exponential backoff before the fault is allowed
+to propagate (see :class:`repro.db.faults.RetryPolicy`).  Retries happen
+under the pool lock -- the backoff caps keep the worst case per read in
+the milliseconds, and serializing them preserves exact counters.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.db.faults import RetryPolicy, call_with_retries
 from repro.db.pages import Page
 from repro.db.storage import Storage
 
@@ -32,13 +40,22 @@ class BufferPool:
     capacity_pages:
         Maximum number of pages held in memory; ``None`` means unbounded
         (an "everything fits in RAM" configuration).
+    retry:
+        Backoff policy for transient/corrupt read faults on a miss;
+        ``None`` disables retrying (one attempt, faults propagate).
     """
 
-    def __init__(self, storage: Storage, capacity_pages: int | None = 1024):
+    def __init__(
+        self,
+        storage: Storage,
+        capacity_pages: int | None = 1024,
+        retry: RetryPolicy | None = RetryPolicy(),
+    ):
         if capacity_pages is not None and capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1 or None")
         self.storage = storage
         self.capacity_pages = capacity_pages
+        self.retry = retry if retry is not None else RetryPolicy(attempts=1)
         self._cache: OrderedDict[tuple[str, int], Page] = OrderedDict()
         self._lock = threading.RLock()
 
@@ -56,7 +73,9 @@ class BufferPool:
 
         The lock is held across the backing read on a miss, so two
         workers missing on the same page never both hit storage; the
-        counters therefore stay exact under concurrency.
+        counters therefore stay exact under concurrency.  Transient and
+        torn-page read faults are retried per the pool's
+        :class:`~repro.db.faults.RetryPolicy` before propagating.
         """
         key = (namespace, page_id)
         with self._lock:
@@ -66,7 +85,11 @@ class BufferPool:
                 self.storage.stats.add(cache_hits=1)
                 return page
             self.storage.stats.add(cache_misses=1)
-            page = self.storage.read_page(namespace, page_id)
+            page = call_with_retries(
+                lambda: self.storage.read_page(namespace, page_id),
+                self.retry,
+                stats=self.storage.stats,
+            )
             self._admit(key, page)
             return page
 

@@ -18,6 +18,7 @@ from typing import Any
 import numpy as np
 
 from repro.db.buffer_pool import BufferPool
+from repro.db.faults import RetryPolicy
 from repro.db.procedures import ProcedureRegistry
 from repro.db.stats import IOStats
 from repro.db.storage import FileStorage, MemoryStorage, Storage
@@ -27,11 +28,24 @@ __all__ = ["Database"]
 
 
 class Database:
-    """A catalog of tables and indexes over one storage backend."""
+    """A catalog of tables and indexes over one storage backend.
 
-    def __init__(self, storage: Storage, buffer_pages: int | None = 1024):
+    ``retry`` is the buffer pool's backoff policy for transient/corrupt
+    page reads (``None`` keeps the default policy).
+    """
+
+    def __init__(
+        self,
+        storage: Storage,
+        buffer_pages: int | None = 1024,
+        retry: RetryPolicy | None = None,
+    ):
         self.storage = storage
-        self.buffer_pool = BufferPool(storage, capacity_pages=buffer_pages)
+        self.buffer_pool = BufferPool(
+            storage,
+            capacity_pages=buffer_pages,
+            retry=retry if retry is not None else RetryPolicy(),
+        )
         self.procedures = ProcedureRegistry(self)
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Any] = {}

@@ -1,0 +1,49 @@
+"""Storage-fault exception hierarchy.
+
+The paper's indexes ran inside SQL Server, where a page read can fail
+transiently (I/O subsystem hiccup), return torn/corrupt bytes (detected
+by page checksums, ``PAGE_VERIFY CHECKSUM``), or a write can fail
+outright.  The engine's contract is that none of these crash the server:
+reads are retried, corruption is detected rather than silently decoded,
+and queries that cannot recover fail with a structured error.
+
+This module is the shared vocabulary for that contract.  It sits at the
+bottom of the ``repro.db`` import graph (it imports nothing) so the page
+codec, the storage backends, the buffer pool, the scan executors, the
+planner, and the query service can all agree on what is retryable:
+
+* :class:`TransientIOError` -- the read may succeed if retried;
+* :class:`CorruptPageError` -- the bytes decoded wrong; a re-read may
+  return a good copy (torn read), so it is also treated as retryable;
+* :class:`WriteFault` -- a page write failed; never retried implicitly
+  (the caller decides whether the half-written state is recoverable,
+  e.g. via the write-ahead log).
+
+All three derive from :class:`StorageFault`, which is what the layers
+above catch when they degrade (planner index -> scan fallback) or
+convert to a structured per-query error (the service executor).
+"""
+
+from __future__ import annotations
+
+__all__ = ["StorageFault", "TransientIOError", "CorruptPageError", "WriteFault"]
+
+
+class StorageFault(Exception):
+    """Base class for every storage-level failure the engine can survive."""
+
+
+class TransientIOError(StorageFault, OSError):
+    """A read failed in a way that may succeed on retry."""
+
+
+class CorruptPageError(StorageFault, ValueError):
+    """Page bytes failed verification (bad magic, checksum, or shape).
+
+    Subclasses :class:`ValueError` for compatibility with callers that
+    predate the fault subsystem and catch decode errors broadly.
+    """
+
+
+class WriteFault(StorageFault, OSError):
+    """A page write failed; the page may be missing or stale in storage."""

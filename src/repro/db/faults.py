@@ -1,0 +1,282 @@
+"""Deterministic fault injection at the :class:`~repro.db.storage.Storage` seam.
+
+The paper's indexes lived inside a production engine where page reads
+fail, bytes arrive torn, and disks stall; correctness under those
+conditions -- not clean-room benchmarks -- is what made the schemes
+deployable.  This module makes such conditions reproducible:
+
+* :class:`FaultInjector` -- a seedable, thread-safe decision source.
+  Rate-based faults (every read/write flips an independent coin) model
+  steady background noise; scripted bursts (:meth:`~FaultInjector.fail_next_reads`)
+  model outages that exhaust retry budgets deterministically.
+* :class:`FaultyStorage` -- wraps any backend and consults the injector
+  on every page operation.  Corruption goes through the real codec: the
+  page is re-encoded, a body byte is flipped, and the decode raises
+  :class:`~repro.db.errors.CorruptPageError` through the same checksum
+  path a torn disk read would.
+* :class:`RetryPolicy` / :func:`call_with_retries` -- the bounded
+  exponential backoff loop shared by the buffer pool and the scan
+  executors.
+
+Everything is deterministic given the seed and the operation order, so a
+failing fault sweep replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.db.errors import CorruptPageError, TransientIOError, WriteFault
+from repro.db.pages import Page, PageCodec
+from repro.db.stats import IOStats
+from repro.db.storage import Storage
+
+__all__ = ["FaultInjector", "FaultyStorage", "RetryPolicy", "call_with_retries"]
+
+T = TypeVar("T")
+
+
+class FaultInjector:
+    """Seedable source of injected failures, shared across worker threads.
+
+    All rates are per *attempt* (a retried read rolls the dice again), so
+    with rate ``p`` and ``k`` attempts a read is lost for good with
+    probability ``p**k`` -- the quantity the fault sweeps assert on.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the internal RNG; identical seeds and operation orders
+        reproduce identical fault sequences.
+    read_fault_rate:
+        Probability a read attempt raises :class:`TransientIOError`.
+    corrupt_rate:
+        Probability a read attempt returns a corrupted page (detected by
+        the codec checksum as :class:`CorruptPageError`).
+    write_fault_rate:
+        Probability a write attempt raises :class:`WriteFault`.
+    read_latency_s:
+        Sleep injected into every read attempt (I/O stall model).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        read_fault_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        write_fault_rate: float = 0.0,
+        read_latency_s: float = 0.0,
+    ):
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.read_fault_rate = read_fault_rate
+        self.corrupt_rate = corrupt_rate
+        self.write_fault_rate = write_fault_rate
+        self.read_latency_s = read_latency_s
+        self._burst_remaining = 0
+        # Observability: how many of each fault actually fired.
+        self.reads_failed = 0
+        self.pages_corrupted = 0
+        self.writes_failed = 0
+        self.read_attempts = 0
+        self.write_attempts = 0
+
+    def configure(
+        self,
+        *,
+        read_fault_rate: float | None = None,
+        corrupt_rate: float | None = None,
+        write_fault_rate: float | None = None,
+        read_latency_s: float | None = None,
+    ) -> "FaultInjector":
+        """Change rates at runtime (e.g. enable faults only after a build)."""
+        with self._lock:
+            if read_fault_rate is not None:
+                self.read_fault_rate = read_fault_rate
+            if corrupt_rate is not None:
+                self.corrupt_rate = corrupt_rate
+            if write_fault_rate is not None:
+                self.write_fault_rate = write_fault_rate
+            if read_latency_s is not None:
+                self.read_latency_s = read_latency_s
+        return self
+
+    def quiesce(self) -> "FaultInjector":
+        """Disable every fault kind (rates to zero, burst cancelled)."""
+        with self._lock:
+            self.read_fault_rate = 0.0
+            self.corrupt_rate = 0.0
+            self.write_fault_rate = 0.0
+            self.read_latency_s = 0.0
+            self._burst_remaining = 0
+        return self
+
+    def fail_next_reads(self, count: int) -> "FaultInjector":
+        """Script a burst: the next ``count`` read attempts fail transiently.
+
+        Bursts are how tests exhaust a bounded retry budget on purpose
+        (an outage), where rate-based faults would almost always recover.
+        """
+        with self._lock:
+            self._burst_remaining = count
+        return self
+
+    # -- decision points (called by FaultyStorage) --------------------------
+
+    def on_read_attempt(self, namespace: str, page_id: int) -> None:
+        """Raise/stall per the configured read faults; called before the read."""
+        with self._lock:
+            self.read_attempts += 1
+            latency = self.read_latency_s
+            if self._burst_remaining > 0:
+                self._burst_remaining -= 1
+                self.reads_failed += 1
+                raise TransientIOError(
+                    f"injected burst read fault on ({namespace!r}, {page_id})"
+                )
+            if self.read_fault_rate > 0 and self._rng.random() < self.read_fault_rate:
+                self.reads_failed += 1
+                raise TransientIOError(
+                    f"injected transient read fault on ({namespace!r}, {page_id})"
+                )
+        if latency > 0:
+            time.sleep(latency)
+
+    def corrupt_this_read(self) -> bool:
+        """Whether the page of the current read should come back torn."""
+        with self._lock:
+            if self.corrupt_rate > 0 and self._rng.random() < self.corrupt_rate:
+                self.pages_corrupted += 1
+                return True
+            return False
+
+    def on_write_attempt(self, namespace: str, page_id: int) -> None:
+        """Raise per the configured write faults; called before the write."""
+        with self._lock:
+            self.write_attempts += 1
+            if self.write_fault_rate > 0 and self._rng.random() < self.write_fault_rate:
+                self.writes_failed += 1
+                raise WriteFault(
+                    f"injected write fault on ({namespace!r}, {page_id})"
+                )
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of what the injector has actually done."""
+        with self._lock:
+            return {
+                "read_attempts": self.read_attempts,
+                "write_attempts": self.write_attempts,
+                "reads_failed": self.reads_failed,
+                "pages_corrupted": self.pages_corrupted,
+                "writes_failed": self.writes_failed,
+            }
+
+
+def _corrupt_page(page: Page) -> Page:
+    """Round-trip a page through the codec with one body byte flipped.
+
+    Decoding the flipped bytes raises through the real checksum path, so
+    the caller observes exactly what a torn disk read produces.
+    """
+    data = bytearray(PageCodec.encode(page))
+    # Flip past the 8-byte magic+crc header so the checksum, not the
+    # magic check, is what catches it.
+    data[8 + (page.page_id % max(len(data) - 8, 1))] ^= 0xFF
+    return PageCodec.decode(bytes(data))
+
+
+class FaultyStorage(Storage):
+    """A storage wrapper that injects the configured faults of an injector.
+
+    Shares the inner backend's :class:`~repro.db.stats.IOStats` object,
+    so buffer-pool hit/miss/retry accounting lands in one place
+    regardless of wrapping.
+    """
+
+    def __init__(self, inner: Storage, injector: FaultInjector | None = None):
+        super().__init__()
+        self.inner = inner
+        self.injector = injector if injector is not None else FaultInjector()
+        self.stats = inner.stats
+
+    def write_page(self, namespace: str, page: Page) -> None:
+        self.injector.on_write_attempt(namespace, page.page_id)
+        self.inner.write_page(namespace, page)
+
+    def read_page(self, namespace: str, page_id: int) -> Page:
+        self.injector.on_read_attempt(namespace, page_id)
+        page = self.inner.read_page(namespace, page_id)
+        if self.injector.corrupt_this_read():
+            return _corrupt_page(page)
+        return page
+
+    def num_pages(self, namespace: str) -> int:
+        return self.inner.num_pages(namespace)
+
+    def drop_namespace(self, namespace: str) -> None:
+        self.inner.drop_namespace(namespace)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient read faults.
+
+    ``attempts`` counts the first try: ``attempts=4`` means one read plus
+    up to three retries.  Sleeps grow as ``backoff_s * multiplier**k``,
+    capped at ``max_backoff_s``; the defaults keep the worst case per
+    page read in the single-digit milliseconds, cheap enough to leave on
+    everywhere.
+    """
+
+    attempts: int = 4
+    backoff_s: float = 0.001
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff must be >= 0")
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based)."""
+        return min(self.backoff_s * self.multiplier**retry_index, self.max_backoff_s)
+
+
+#: Fault classes a retry can plausibly fix: transient I/O errors and torn
+#: reads (a re-read returns the good copy).  Write faults are excluded.
+RETRYABLE = (TransientIOError, CorruptPageError)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    stats: IOStats | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` retrying :data:`RETRYABLE` faults per ``policy``.
+
+    Every caught fault increments ``stats.read_faults``; every extra
+    attempt increments ``stats.read_retries``.  The final failure is
+    re-raised unchanged once the budget is spent.
+    """
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except RETRYABLE:
+            if stats is not None:
+                stats.add(read_faults=1)
+            if attempt == policy.attempts - 1:
+                raise
+            if stats is not None:
+                stats.add(read_retries=1)
+            delay = policy.delay(attempt)
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -7,20 +7,29 @@ the paper's accounting unit -- "how many pages did this query touch" --
 well defined.
 
 Pages serialize to a simple self-describing binary format so the
-file-backed storage does real disk round trips.
+file-backed storage does real disk round trips.  The format carries a
+CRC32 of the body (the analog of SQL Server's ``PAGE_VERIFY CHECKSUM``):
+a torn or corrupted payload is detected at decode time and surfaces as
+:class:`repro.db.errors.CorruptPageError` instead of silently decoding
+into wrong rows.
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.db.errors import CorruptPageError
+
 __all__ = ["Page", "PageCodec"]
 
-_MAGIC = b"RPG1"
+_MAGIC = b"RPG2"
+#: Pre-checksum format; still decodable (no verification possible).
+_LEGACY_MAGIC = b"RPG1"
 
 
 @dataclass
@@ -69,19 +78,22 @@ class Page:
 class PageCodec:
     """Binary (de)serialization of pages.
 
-    Layout: magic, page_id, start_row, column count; then per column a
-    length-prefixed utf-8 name, a length-prefixed dtype string, the row
-    count and the raw array bytes.  Object dtypes are rejected -- the
-    engine stores scalars and fixed-width byte strings only, mirroring a
-    real page layout (the paper's §3.5 vector columns use fixed-width
-    binary, see :mod:`repro.vectype`).
+    Layout: magic, body CRC32, then the body: page_id, start_row, column
+    count; per column a length-prefixed utf-8 name, a length-prefixed
+    dtype string, the row count and the raw array bytes.  Object dtypes
+    are rejected -- the engine stores scalars and fixed-width byte
+    strings only, mirroring a real page layout (the paper's §3.5 vector
+    columns use fixed-width binary, see :mod:`repro.vectype`).
+
+    The CRC covers the whole body, so any bit flip after the header is
+    caught at decode time (:class:`~repro.db.errors.CorruptPageError`).
+    Legacy ``RPG1`` pages (pre-checksum) still decode, unverified.
     """
 
     @staticmethod
     def encode(page: Page) -> bytes:
-        """Serialize a page to bytes."""
+        """Serialize a page to bytes (checksummed)."""
         buf = io.BytesIO()
-        buf.write(_MAGIC)
         buf.write(struct.pack("<qqi", page.page_id, page.start_row, len(page.columns)))
         for name, arr in page.columns.items():
             if arr.dtype == object:
@@ -96,25 +108,43 @@ class PageCodec:
             raw = arr.tobytes()
             buf.write(struct.pack("<qq", len(arr), len(raw)))
             buf.write(raw)
-        return buf.getvalue()
+        body = buf.getvalue()
+        return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
 
     @staticmethod
     def decode(data: bytes) -> Page:
-        """Deserialize bytes produced by :meth:`encode`."""
-        buf = io.BytesIO(data)
-        magic = buf.read(4)
-        if magic != _MAGIC:
-            raise ValueError("not a page: bad magic")
-        page_id, start_row, ncols = struct.unpack("<qqi", buf.read(20))
-        columns: dict[str, np.ndarray] = {}
-        for _ in range(ncols):
-            (name_len,) = struct.unpack("<i", buf.read(4))
-            name = buf.read(name_len).decode("utf-8")
-            (dtype_len,) = struct.unpack("<i", buf.read(4))
-            dtype = np.dtype(buf.read(dtype_len).decode("ascii"))
-            nrows, nbytes = struct.unpack("<qq", buf.read(16))
-            arr = np.frombuffer(buf.read(nbytes), dtype=dtype).copy()
-            if len(arr) != nrows:
-                raise ValueError(f"corrupt page: column {name!r} row mismatch")
-            columns[name] = arr
+        """Deserialize bytes produced by :meth:`encode`.
+
+        Raises :class:`~repro.db.errors.CorruptPageError` on bad magic, a
+        checksum mismatch, or a row-count/payload inconsistency.
+        """
+        magic = data[:4]
+        if magic == _MAGIC:
+            (checksum,) = struct.unpack("<I", data[4:8])
+            body = data[8:]
+            if zlib.crc32(body) != checksum:
+                raise CorruptPageError("corrupt page: checksum mismatch")
+        elif magic == _LEGACY_MAGIC:
+            body = data[4:]
+        else:
+            raise CorruptPageError("not a page: bad magic")
+        buf = io.BytesIO(body)
+        try:
+            page_id, start_row, ncols = struct.unpack("<qqi", buf.read(20))
+            columns: dict[str, np.ndarray] = {}
+            for _ in range(ncols):
+                (name_len,) = struct.unpack("<i", buf.read(4))
+                name = buf.read(name_len).decode("utf-8")
+                (dtype_len,) = struct.unpack("<i", buf.read(4))
+                dtype = np.dtype(buf.read(dtype_len).decode("ascii"))
+                nrows, nbytes = struct.unpack("<qq", buf.read(16))
+                arr = np.frombuffer(buf.read(nbytes), dtype=dtype).copy()
+                if len(arr) != nrows:
+                    raise CorruptPageError(f"corrupt page: column {name!r} row mismatch")
+                columns[name] = arr
+        except CorruptPageError:
+            raise
+        except (struct.error, UnicodeDecodeError, TypeError, ValueError) as exc:
+            # A checksummed page cannot reach here; legacy pages can.
+            raise CorruptPageError(f"corrupt page: {exc}") from exc
         return Page(page_id=page_id, start_row=start_row, columns=columns)

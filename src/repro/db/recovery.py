@@ -17,16 +17,20 @@ reports the write amplification.
 
 from __future__ import annotations
 
+import logging
 import struct
 import zlib
 from dataclasses import dataclass
 
+from repro.db.errors import CorruptPageError
 from repro.db.pages import Page, PageCodec
 from repro.db.storage import Storage
 
 __all__ = ["LoggedStorage", "LogRecord"]
 
 _LOG_MAGIC = b"RLG1"
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -96,44 +100,81 @@ class LoggedStorage(Storage):
         )
         self._log.append(header + name_bytes + payload)
 
-    def log_records(self) -> list[LogRecord]:
-        """Decode every log record (oldest first)."""
-        records = []
-        for raw in self._log:
-            if raw[:4] != _LOG_MAGIC:
-                raise ValueError("corrupt log record magic")
+    @staticmethod
+    def _decode_record(raw: bytes) -> LogRecord:
+        """Decode one raw log entry; raises ``ValueError`` when mangled."""
+        if raw[:4] != _LOG_MAGIC:
+            raise ValueError("corrupt log record magic")
+        try:
             sequence, page_id, name_len, payload_len, checksum = struct.unpack(
                 "<qqiiI", raw[4:32]
             )
             name = raw[32: 32 + name_len].decode("utf-8")
-            payload = raw[32 + name_len: 32 + name_len + payload_len]
-            records.append(
-                LogRecord(
-                    sequence=sequence,
-                    namespace=name,
-                    page_id=page_id,
-                    payload=payload,
-                    checksum=checksum,
-                )
-            )
-        return records
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise ValueError(f"corrupt log record header: {exc}") from exc
+        payload = raw[32 + name_len: 32 + name_len + payload_len]
+        return LogRecord(
+            sequence=sequence,
+            namespace=name,
+            page_id=page_id,
+            payload=payload,
+            checksum=checksum,
+        )
+
+    def log_records(self) -> list[LogRecord]:
+        """Decode every log record (oldest first)."""
+        return [self._decode_record(raw) for raw in self._log]
 
     def log_bytes(self) -> int:
         """Total bytes the log occupies -- the 'huge / slow log' cost."""
         return sum(len(raw) for raw in self._log)
 
-    def replay(self, target: Storage) -> int:
+    def replay(self, target: Storage, on_corrupt: str = "skip") -> int:
         """Redo the log into an empty storage; returns records applied.
 
-        Raises on checksum mismatch -- a torn log record must never be
-        silently applied.
+        A torn log record is never silently applied.  What happens to it
+        depends on ``on_corrupt``:
+
+        * ``"skip"`` (default) -- log a warning and continue with the
+          remaining records, the way a real redo pass survives a torn
+          tail write; the page is simply not recovered.
+        * ``"raise"`` -- stop recovery with ``ValueError`` at the first
+          bad record (strict mode for integrity audits).
+
+        A record whose *payload* decodes wrong despite a matching
+        checksum (possible for pre-checksum page formats) is treated the
+        same way.
         """
+        if on_corrupt not in ("skip", "raise"):
+            raise ValueError("on_corrupt must be 'skip' or 'raise'")
         applied = 0
-        for record in self.log_records():
+        for position, raw in enumerate(self._log):
+            try:
+                record = self._decode_record(raw)
+            except ValueError as exc:
+                if on_corrupt == "raise":
+                    raise
+                logger.warning("skipping unreadable log record %d: %s", position, exc)
+                continue
             if not record.verify():
-                raise ValueError(
-                    f"log record {record.sequence} failed its checksum"
+                message = f"log record {record.sequence} failed its checksum"
+                if on_corrupt == "raise":
+                    raise ValueError(message)
+                logger.warning("skipping %s", message)
+                continue
+            try:
+                page = PageCodec.decode(record.payload)
+            except CorruptPageError as exc:
+                if on_corrupt == "raise":
+                    raise ValueError(
+                        f"log record {record.sequence} holds an undecodable page"
+                    ) from exc
+                logger.warning(
+                    "skipping log record %d (undecodable page): %s",
+                    record.sequence,
+                    exc,
                 )
-            target.write_page(record.namespace, PageCodec.decode(record.payload))
+                continue
+            target.write_page(record.namespace, page)
             applied += 1
         return applied

@@ -3,6 +3,12 @@
 Everything an index is compared against in the paper reduces to one of
 these: a full table scan with a residual predicate, or a clustered range
 scan (``BETWEEN`` over the clustered position).
+
+Scans are the engine's longest-running reads, so they carry their own
+(small) retry budget on top of the buffer pool's: when the pool exhausts
+its backoff on a page, the scan re-attempts that one page before giving
+up -- a page lost to a fault burst mid-scan does not forfeit the pages
+already processed.
 """
 
 from __future__ import annotations
@@ -12,10 +18,24 @@ from typing import Callable
 import numpy as np
 
 from repro.db.expressions import Expr
+from repro.db.faults import RetryPolicy, call_with_retries
+from repro.db.pages import Page
 from repro.db.stats import QueryStats
 from repro.db.table import Table
 
-__all__ = ["full_scan", "range_scan", "predicate_from_expression"]
+__all__ = ["full_scan", "range_scan", "predicate_from_expression", "SCAN_RETRY"]
+
+#: Per-page retry budget of the scan executors, applied after (on top
+#: of) the buffer pool's own retries.
+SCAN_RETRY = RetryPolicy(attempts=2, backoff_s=0.002)
+
+
+def _read_page_retrying(
+    table: Table, page_id: int, retry: RetryPolicy | None
+) -> Page:
+    if retry is None:
+        return table.read_page(page_id)
+    return call_with_retries(lambda: table.read_page(page_id), retry)
 
 
 def predicate_from_expression(expr: Expr) -> Callable[[dict[str, np.ndarray]], np.ndarray]:
@@ -33,6 +53,7 @@ def full_scan(
     predicate: Expr | Callable[[dict[str, np.ndarray]], np.ndarray] | None = None,
     columns: list[str] | None = None,
     cancel_check: Callable[[], None] | None = None,
+    retry: RetryPolicy | None = SCAN_RETRY,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan every page, apply an optional predicate, project columns.
 
@@ -41,7 +62,8 @@ def full_scan(
 
     ``cancel_check`` is invoked once per page; it may raise (e.g. a
     deadline check from the query service) to abandon the scan
-    cooperatively between pages.
+    cooperatively between pages.  ``retry`` bounds per-page re-attempts
+    after the buffer pool's own retries are exhausted.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -49,9 +71,10 @@ def full_scan(
     stats = QueryStats()
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
-    for page in table.scan():
+    for page_id in range(table.num_pages):
         if cancel_check is not None:
             cancel_check()
+        page = _read_page_retrying(table, page_id, retry)
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += page.num_rows
         if predicate is None:
@@ -83,12 +106,13 @@ def range_scan(
     predicate: Expr | Callable[[dict[str, np.ndarray]], np.ndarray] | None = None,
     columns: list[str] | None = None,
     cancel_check: Callable[[], None] | None = None,
+    retry: RetryPolicy | None = SCAN_RETRY,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan only pages overlapping ``[start_row, stop_row)``.
 
     The engine-level realization of the paper's ``BETWEEN`` on post-order
     numbered kd-leaves or space-filling-curve cell ids.  ``cancel_check``
-    runs once per page, as in :func:`full_scan`.
+    and ``retry`` behave as in :func:`full_scan`.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -96,9 +120,18 @@ def range_scan(
     stats = QueryStats()
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
-    for page, lo, hi in table.scan_rows(start_row, stop_row):
+    start_row = max(0, start_row)
+    stop_row = min(table.num_rows, stop_row)
+    if start_row >= stop_row:
+        return _assemble(table, wanted, chunks, row_id_chunks), stats
+    first = start_row // table.rows_per_page
+    last = (stop_row - 1) // table.rows_per_page
+    for page_id in range(first, last + 1):
         if cancel_check is not None:
             cancel_check()
+        page = _read_page_retrying(table, page_id, retry)
+        lo = max(start_row - page.start_row, 0)
+        hi = min(stop_row - page.start_row, page.num_rows)
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += hi - lo
         view = page.slice(lo, hi)

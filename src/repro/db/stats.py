@@ -31,6 +31,8 @@ class IOStats:
     bytes_written: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    read_faults: int = 0
+    read_retries: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -44,6 +46,8 @@ class IOStats:
         bytes_written: int = 0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        read_faults: int = 0,
+        read_retries: int = 0,
     ) -> None:
         """Atomically increment any subset of the counters."""
         with self._lock:
@@ -53,6 +57,8 @@ class IOStats:
             self.bytes_written += bytes_written
             self.cache_hits += cache_hits
             self.cache_misses += cache_misses
+            self.read_faults += read_faults
+            self.read_retries += read_retries
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -63,6 +69,8 @@ class IOStats:
             self.bytes_written = 0
             self.cache_hits = 0
             self.cache_misses = 0
+            self.read_faults = 0
+            self.read_retries = 0
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
@@ -74,6 +82,8 @@ class IOStats:
                 bytes_written=self.bytes_written,
                 cache_hits=self.cache_hits,
                 cache_misses=self.cache_misses,
+                read_faults=self.read_faults,
+                read_retries=self.read_retries,
             )
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
@@ -85,7 +95,23 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            read_faults=self.read_faults - earlier.read_faults,
+            read_retries=self.read_retries - earlier.read_retries,
         )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view of the counters (for reports and JSON)."""
+        with self._lock:
+            return {
+                "page_reads": self.page_reads,
+                "page_writes": self.page_writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "read_faults": self.read_faults,
+                "read_retries": self.read_retries,
+            }
 
     def __str__(self) -> str:
         return (

@@ -13,6 +13,15 @@ Two backends share one interface:
 Storage is deliberately dumb: no caching here.  Caching lives in
 :class:`repro.db.buffer_pool.BufferPool`, so that cache hits and misses
 are attributable.
+
+Failure contract (see :mod:`repro.db.errors`): a read may raise
+:class:`~repro.db.errors.TransientIOError` (retryable) or
+:class:`~repro.db.errors.CorruptPageError` (checksum failure; a re-read
+may return a good copy); a write may raise
+:class:`~repro.db.errors.WriteFault`.  ``KeyError`` stays reserved for
+a page that genuinely does not exist -- it is never retried.
+:class:`repro.db.faults.FaultyStorage` wraps any backend to inject these
+failures deterministically.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import abc
 import os
 from pathlib import Path
 
+from repro.db.errors import TransientIOError, WriteFault
 from repro.db.pages import Page, PageCodec
 from repro.db.stats import IOStats
 
@@ -90,10 +100,13 @@ class FileStorage(Storage):
 
     def write_page(self, namespace: str, page: Page) -> None:
         path = self._page_path(namespace, page.page_id)
-        path.parent.mkdir(parents=True, exist_ok=True)
         data = PageCodec.encode(page)
-        with open(path, "wb") as fh:
-            fh.write(data)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(data)
+        except OSError as exc:
+            raise WriteFault(f"write of ({namespace!r}, {page.page_id}) failed: {exc}") from exc
         self.stats.add(page_writes=1, bytes_written=len(data))
 
     def read_page(self, namespace: str, page_id: int) -> Page:
@@ -103,6 +116,10 @@ class FileStorage(Storage):
                 data = fh.read()
         except FileNotFoundError:
             raise KeyError((namespace, page_id)) from None
+        except OSError as exc:
+            # Real disk hiccups map onto the retryable fault class, so
+            # the buffer pool's backoff applies to them too.
+            raise TransientIOError(f"read of ({namespace!r}, {page_id}) failed: {exc}") from exc
         self.stats.add(page_reads=1, bytes_read=len(data))
         return PageCodec.decode(data)
 

@@ -19,6 +19,7 @@ from repro.service.admission import AdmissionQueue
 from repro.service.errors import (
     AdmissionRejected,
     DeadlineExceeded,
+    QueryFault,
     ServiceClosed,
     ServiceError,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "MetricsRegistry",
+    "QueryFault",
     "QueryMetrics",
     "QueryOutcome",
     "QueryService",

@@ -3,8 +3,11 @@
 These are the service's contract with its clients: admission control
 rejects with :class:`AdmissionRejected` (backpressure, retry later),
 deadlines surface as :class:`DeadlineExceeded` (the query was abandoned
-cooperatively, the worker survived), and a stopped service refuses new
-work with :class:`ServiceClosed`.
+cooperatively, the worker survived), a stopped service refuses new work
+with :class:`ServiceClosed`, and a query that dies on an unrecoverable
+storage fault -- every retry and fallback below it exhausted -- comes
+back as a structured :class:`QueryFault` instead of a raw engine
+exception (and never kills the worker thread that ran it).
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ __all__ = [
     "AdmissionRejected",
     "DeadlineExceeded",
     "ServiceClosed",
+    "QueryFault",
 ]
 
 
@@ -35,3 +39,21 @@ class DeadlineExceeded(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service is stopped (or stopping) and accepts no new queries."""
+
+
+class QueryFault(ServiceError):
+    """A query failed on an unrecoverable storage fault.
+
+    Carries enough structure for a client (or the replay driver) to tell
+    *which* query failed and *why* without parsing messages; the
+    original engine exception is attached as ``__cause__``.
+    """
+
+    def __init__(self, query_id: int, tag: str, cause: BaseException):
+        self.query_id = query_id
+        self.tag = tag
+        self.cause_type = type(cause).__name__
+        super().__init__(
+            f"query {query_id}" + (f" [{tag}]" if tag else "")
+            + f" failed on {self.cause_type}: {cause}"
+        )

@@ -20,11 +20,13 @@ from typing import Any
 
 from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.db.catalog import Database
+from repro.db.errors import StorageFault
 from repro.geometry.halfspace import Polyhedron
 from repro.service.admission import AdmissionQueue
 from repro.service.errors import (
     AdmissionRejected,
     DeadlineExceeded,
+    QueryFault,
     ServiceClosed,
 )
 from repro.service.metrics import MetricsRegistry, QueryMetrics
@@ -74,6 +76,8 @@ class QueryOutcome:
     estimated_selectivity: float
     cache_hit: bool
     metrics: QueryMetrics
+    #: The planner degraded to a different access path on a storage fault.
+    fallback: bool = False
 
 
 class QueryTicket:
@@ -284,6 +288,7 @@ class QueryService:
                 s.session_id: s.snapshot().as_dict() for s in self.sessions.all()
             },
             "procedures": self.database.procedures.timings(),
+            "io": self.database.io_stats.as_dict(),
         }
 
     # -- worker side ----------------------------------------------------------
@@ -307,6 +312,7 @@ class QueryService:
                 item.deadline.check()
             planned, cache_hit = self._plan_or_cached(item)
             exec_time = time.monotonic() - started
+            fallback = planned.fallback and not cache_hit
             metrics = QueryMetrics(
                 query_id=item.ticket.query_id,
                 session_id=session.session_id,
@@ -319,6 +325,8 @@ class QueryService:
                 cache_hit=cache_hit,
                 chosen_path="cache" if cache_hit else planned.chosen_path,
                 estimated_selectivity=planned.estimated_selectivity,
+                fallback=fallback,
+                fallback_reason=planned.fallback_reason if fallback else "",
             )
             self.metrics.record(metrics)
             session.note_completed(
@@ -335,12 +343,23 @@ class QueryService:
                     estimated_selectivity=planned.estimated_selectivity,
                     cache_hit=cache_hit,
                     metrics=metrics,
+                    fallback=fallback,
                 )
             )
         except DeadlineExceeded as exc:
             self._record_failure(item, queue_wait, started, deadline_missed=True)
             session.note_failed(deadline_missed=True)
             item.ticket._fail(exc)
+        except StorageFault as exc:
+            # Every retry and fallback below us is exhausted: hand the
+            # client a structured error, keep the worker alive.
+            self._record_failure(
+                item, queue_wait, started, error=type(exc).__name__, fault=True
+            )
+            session.note_failed()
+            wrapped = QueryFault(item.ticket.query_id, item.tag, exc)
+            wrapped.__cause__ = exc
+            item.ticket._fail(wrapped)
         except Exception as exc:
             self._record_failure(
                 item, queue_wait, started, error=type(exc).__name__
@@ -374,6 +393,7 @@ class QueryService:
         *,
         deadline_missed: bool = False,
         error: str = "",
+        fault: bool = False,
     ) -> None:
         self.metrics.record(
             QueryMetrics(
@@ -384,5 +404,6 @@ class QueryService:
                 exec_time_s=time.monotonic() - started,
                 deadline_missed=deadline_missed,
                 error=error or ("DeadlineExceeded" if deadline_missed else ""),
+                storage_fault=fault,
             )
         )

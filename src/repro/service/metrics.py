@@ -36,6 +36,12 @@ class QueryMetrics:
     estimated_selectivity: float = float("nan")
     deadline_missed: bool = False
     error: str = ""
+    #: The planner degraded to another access path on a storage fault
+    #: (the query still completed, correctly).
+    fallback: bool = False
+    fallback_reason: str = ""
+    #: The query failed on an unrecoverable storage fault.
+    storage_fault: bool = False
 
     @property
     def ok(self) -> bool:
@@ -107,6 +113,8 @@ class MetricsRegistry:
             "max_exec_time_s": max(execs) if execs else 0.0,
             "kdtree_queries": float(sum(1 for r in done if r.chosen_path == "kdtree")),
             "scan_queries": float(sum(1 for r in done if r.chosen_path == "scan")),
+            "planner_fallbacks": float(sum(1 for r in done if r.fallback)),
+            "storage_faults": float(sum(1 for r in records if r.storage_fault)),
         }
 
     def procedure_report(self, procedures: ProcedureRegistry) -> dict[str, dict[str, float]]:
@@ -131,6 +139,8 @@ class MetricsRegistry:
             f"  rows returned      {int(s['rows_returned']):>8}",
             f"  planner: kd-tree   {int(s['kdtree_queries']):>8}"
             f"   scan {int(s['scan_queries'])}",
+            f"  planner fallbacks  {int(s['planner_fallbacks']):>8}",
+            f"  storage faults     {int(s['storage_faults']):>8}",
             f"  queue wait         mean {s['mean_queue_wait_s'] * 1e3:8.2f} ms"
             f"   max {s['max_queue_wait_s'] * 1e3:.2f} ms",
             f"  exec time          mean {s['mean_exec_time_s'] * 1e3:8.2f} ms"

@@ -1,0 +1,95 @@
+"""Reusable fault-injection harness for robustness tests.
+
+Every robustness test follows the same shape: build the tables and
+indexes on *quiet* storage (the injector exists but all rates are zero,
+so builds are never disturbed), compute fault-free ground truth, then
+turn faults on and assert the query path either recovers or fails with a
+structured error -- never a wrong answer.  This module packages that
+shape so future fault-sweep PRs reuse it instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+from repro.core.planner import PlannedQuery
+from repro.db import FaultInjector, FaultyStorage, MemoryStorage, RetryPolicy
+from repro.datasets import QueryWorkload
+
+BANDS = ["u", "g", "r", "i", "z"]
+
+
+def make_faulty_db(
+    seed: int = 0,
+    buffer_pages: int | None = None,
+    retry: RetryPolicy | None = None,
+) -> tuple[Database, FaultInjector]:
+    """An in-memory database whose storage runs through a quiet injector.
+
+    All fault rates start at zero: build freely, then
+    ``injector.configure(...)`` to switch faults on for the query phase.
+    """
+    injector = FaultInjector(seed=seed)
+    storage = FaultyStorage(MemoryStorage(), injector)
+    return Database(storage, buffer_pages=buffer_pages, retry=retry), injector
+
+
+@dataclass
+class FaultyKdSetup:
+    """A kd-indexed magnitude table behind fault-injectable storage."""
+
+    db: Database
+    injector: FaultInjector
+    index: KdTreeIndex
+    planner: QueryPlanner
+    workload: QueryWorkload
+
+
+def build_kd_setup(
+    num_rows: int = 4000,
+    seed: int = 7,
+    buffer_pages: int | None = 64,
+    retry: RetryPolicy | None = None,
+    with_oid: bool = True,
+) -> FaultyKdSetup:
+    """Build the standard fault-sweep fixture: data, kd index, planner.
+
+    ``buffer_pages`` defaults to a *small* pool so queries keep missing
+    into storage -- faults only fire on real reads, and an unbounded pool
+    would absorb them all after warmup.  ``with_oid`` adds a stable
+    ``oid`` column (original row number before clustering) so result
+    sets can be compared across tables with different clustered orders.
+    """
+    db, injector = make_faulty_db(seed=seed, buffer_pages=buffer_pages, retry=retry)
+    sample = sdss_color_sample(num_rows, seed=seed)
+    data = sample.columns()
+    if with_oid:
+        data["oid"] = np.arange(num_rows, dtype=np.int64)
+    index = KdTreeIndex.build(db, "mag", data, BANDS)
+    planner = QueryPlanner(index, seed=seed)
+    workload = QueryWorkload(sample.magnitudes, seed=seed)
+    return FaultyKdSetup(
+        db=db, injector=injector, index=index, planner=planner, workload=workload
+    )
+
+
+def oid_set(rows: dict) -> set[int]:
+    """The result's identity as a set of stable object ids."""
+    return set(int(v) for v in rows["oid"])
+
+
+def fault_free_ground_truth(
+    setup: FaultyKdSetup, polyhedra: list
+) -> list[dict]:
+    """Serial, fault-free answers for a list of polyhedra.
+
+    Quiesces the injector for the duration, restoring nothing (the
+    caller configures the fault phase explicitly afterwards).
+    """
+    setup.injector.quiesce()
+    results: list[PlannedQuery] = [setup.planner.execute(p) for p in polyhedra]
+    assert not any(r.fallback for r in results), "ground truth must be fault-free"
+    return [r.rows for r in results]

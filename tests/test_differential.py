@@ -1,0 +1,153 @@
+"""Differential correctness: three executors, one answer.
+
+Property-based (hypothesis) random boxes and polyhedra asserting that
+the kd-tree index, the layered grid, and the index-free full scan return
+*identical row sets* over the same data.  Each index clusters rows
+differently, so identity is compared on a stable ``oid`` column carried
+through every table.
+
+This is the clean-room half of the robustness story; the fault sweeps
+(test_faults.py) re-assert the same identities with storage failing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Box, Database, KdTreeIndex, Polyhedron
+from repro.core.layered_grid import LayeredGridIndex
+from repro.core.queries import polyhedron_full_scan
+from repro.geometry.halfspace import Halfspace
+from repro.service import rows_equal
+
+pytestmark = pytest.mark.faultsweep
+
+DIMS = ["x", "y", "z"]
+NUM_ROWS = 3000
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def differential_setup():
+    """One dataset, three access paths: kd table, grid table, plain table."""
+    rng = np.random.default_rng(13)
+    points = np.vstack(
+        [
+            rng.normal([0.0, 0.0, 0.0], [0.5, 0.3, 0.7], size=(NUM_ROWS // 2, 3)),
+            rng.normal([3.0, 2.0, 1.0], [0.9, 0.6, 0.4], size=(NUM_ROWS // 2, 3)),
+        ]
+    )
+    data = {d: points[:, i] for i, d in enumerate(DIMS)}
+    data["oid"] = np.arange(NUM_ROWS, dtype=np.int64)
+    db = Database.in_memory(buffer_pages=None)
+    kd = KdTreeIndex.build(db, "diff_kd", dict(data), DIMS)
+    grid = LayeredGridIndex.build(db, "diff_grid", dict(data), DIMS, base=128)
+    plain = db.create_table("diff_plain", dict(data))
+    return db, kd, grid, plain
+
+
+def _oids(rows: dict) -> frozenset[int]:
+    return frozenset(int(v) for v in rows["oid"])
+
+
+def _box_from_draws(centers, widths) -> Box:
+    lo = np.asarray(centers) - np.asarray(widths) / 2.0
+    hi = np.asarray(centers) + np.asarray(widths) / 2.0
+    return Box(lo, hi)
+
+
+# The data lives roughly in [-2, 6]^3; boxes are drawn to cover empty,
+# partial, and near-total selectivities.
+_center = st.floats(min_value=-2.0, max_value=5.0, allow_nan=False)
+_width = st.floats(min_value=0.05, max_value=6.0, allow_nan=False)
+_box_strategy = st.tuples(
+    st.tuples(_center, _center, _center), st.tuples(_width, _width, _width)
+)
+
+
+class TestBoxDifferential:
+    @_SETTINGS
+    @given(draw=_box_strategy)
+    def test_kdtree_grid_and_scan_agree_on_random_boxes(self, differential_setup, draw):
+        db, kd, grid, plain = differential_setup
+        box = _box_from_draws(*draw)
+        polyhedron = Polyhedron.from_box(box)
+
+        kd_rows, _ = kd.query_polyhedron(polyhedron)
+        scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
+        grid_result = grid.query_box(box)
+        grid_oids = frozenset(
+            int(v) for v in grid.table.gather(grid_result.row_ids)["oid"]
+        )
+
+        assert _oids(kd_rows) == _oids(scan_rows)
+        assert grid_oids == _oids(scan_rows)
+
+    @_SETTINGS
+    @given(draw=_box_strategy)
+    def test_kdtree_matches_scan_row_for_row_on_its_own_table(
+        self, differential_setup, draw
+    ):
+        # Same table on both sides: compare full row contents, not just ids.
+        db, kd, grid, plain = differential_setup
+        polyhedron = Polyhedron.from_box(_box_from_draws(*draw))
+        kd_rows, _ = kd.query_polyhedron(polyhedron)
+        scan_rows, _ = polyhedron_full_scan(kd.table, DIMS, polyhedron)
+        assert rows_equal(kd_rows, scan_rows)
+
+
+# Random convex polyhedra: a few halfspaces with arbitrary orientations,
+# offsets placed so the cutting planes pass through the data cloud.
+_direction = st.tuples(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+).filter(lambda v: abs(v[0]) + abs(v[1]) + abs(v[2]) > 1e-3)
+_anchor = st.tuples(
+    st.floats(min_value=-1.0, max_value=4.0, allow_nan=False),
+    st.floats(min_value=-1.0, max_value=3.0, allow_nan=False),
+    st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
+)
+_polyhedron_strategy = st.lists(
+    st.tuples(_direction, _anchor), min_size=2, max_size=6
+)
+
+
+class TestPolyhedronDifferential:
+    @_SETTINGS
+    @given(facets=_polyhedron_strategy)
+    def test_kdtree_matches_scan_on_random_polyhedra(self, differential_setup, facets):
+        db, kd, grid, plain = differential_setup
+        halfspaces = []
+        for direction, anchor in facets:
+            normal = np.asarray(direction, dtype=np.float64)
+            normal /= np.linalg.norm(normal)
+            # The plane passes through the anchor point: offset = n . a.
+            halfspaces.append(Halfspace(normal, float(normal @ np.asarray(anchor))))
+        polyhedron = Polyhedron(halfspaces)
+
+        kd_rows, _ = kd.query_polyhedron(polyhedron)
+        scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
+        assert _oids(kd_rows) == _oids(scan_rows)
+
+    def test_partition_and_tight_boxes_agree(self, differential_setup):
+        # The two box families prune differently but must answer identically.
+        db, kd, grid, plain = differential_setup
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            center = rng.uniform([-1, -1, -1], [4, 3, 2])
+            widths = rng.uniform(0.2, 4.0, size=3)
+            polyhedron = Polyhedron.from_box(
+                Box(center - widths / 2, center + widths / 2)
+            )
+            tight_rows, _ = kd.query_polyhedron(polyhedron, use_tight_boxes=True)
+            part_rows, _ = kd.query_polyhedron(polyhedron, use_tight_boxes=False)
+            assert rows_equal(tight_rows, part_rows)

@@ -1,0 +1,84 @@
+"""Acceptance: Figure 2 traffic at concurrency 8 under a 5% read-fault rate.
+
+The PR's acceptance bar: replaying the workload through the service with
+transient read faults injected at 5% per attempt must complete with zero
+wrong results and zero unhandled worker exceptions, with retries and any
+planner fallbacks visible in the metrics report.
+"""
+
+import pytest
+
+from repro.service import QueryService, replay_workload, rows_equal
+
+from .faultutil import BANDS, build_kd_setup, fault_free_ground_truth
+
+pytestmark = pytest.mark.faultsweep
+
+NUM_QUERIES = 80
+FAULT_RATE = 0.05
+
+
+class TestConcurrentReplayUnderFaults:
+    def test_concurrency8_with_5pct_read_faults_matches_serial_ground_truth(self):
+        setup = build_kd_setup(num_rows=4000, seed=7, buffer_pages=64)
+        unique = setup.workload.mixed(
+            NUM_QUERIES, selectivities=[0.001, 0.01, 0.05, 0.2, 0.5]
+        )
+        polyhedra = [q.polyhedron(BANDS) for q in unique]
+
+        # Serial, fault-free ground truth first.
+        truth = fault_free_ground_truth(setup, polyhedra)
+
+        # Then the same queries, 8-way concurrent, with storage misbehaving.
+        # The result cache is disabled so every query actually executes
+        # under faults, and the small buffer pool keeps reads missing
+        # into the faulty storage.
+        setup.injector.configure(read_fault_rate=FAULT_RATE)
+        setup.db.cold_cache()
+        service = QueryService(
+            setup.db, setup.planner, workers=8, queue_depth=32, cache_entries=0
+        )
+        with service:
+            report = replay_workload(service, polyhedra, concurrency=8)
+            assert service.alive_workers == 8  # no worker died on a fault
+
+        # Zero unhandled errors, zero wrong answers.
+        assert report.errors == []
+        assert report.completed == NUM_QUERIES
+        for idx, rows in enumerate(truth):
+            assert rows_equal(report.rows(idx), rows), f"query {idx} diverged"
+
+        # Faults demonstrably fired and the stack demonstrably absorbed
+        # them: injector counters, engine retry counters, service report.
+        assert setup.injector.counters()["reads_failed"] > 0
+        io = report.report["io"]
+        assert io["read_faults"] > 0
+        assert io["read_retries"] > 0
+        summary = report.report["service"]
+        assert summary["completed"] == NUM_QUERIES
+        assert "planner_fallbacks" in summary
+        assert "storage_faults" in summary
+
+    def test_fallback_under_concurrency_is_counted_in_service_metrics(self):
+        setup = build_kd_setup(num_rows=3000, seed=11, buffer_pages=64)
+        polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
+        truth = fault_free_ground_truth(setup, [polyhedron])[0]
+
+        service = QueryService(
+            setup.db, setup.planner, workers=8, queue_depth=32, cache_entries=0
+        )
+        with service:
+            setup.db.cold_cache()
+            # A scripted outage long enough to kill the probe's retry
+            # budget but short enough for the scan fallback to succeed.
+            setup.injector.fail_next_reads(6)
+            outcome = service.execute(polyhedron, timeout=60)
+            assert outcome.fallback
+            assert rows_equal(outcome.rows, truth)
+            assert service.alive_workers == 8
+
+        summary = service.metrics.summary()
+        assert summary["planner_fallbacks"] == 1
+        records = [m for m in service.metrics.per_query() if m.fallback]
+        assert len(records) == 1
+        assert "probe" in records[0].fallback_reason

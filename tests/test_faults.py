@@ -1,0 +1,202 @@
+"""Fault sweeps: every injection site either recovers or fails structurally.
+
+The invariant under test, from ISSUE acceptance: under injected storage
+faults a query may (a) succeed with exactly the fault-free answer, after
+retries and/or a planner fallback, or (b) fail with a structured error
+(:class:`~repro.service.errors.QueryFault` through the service,
+:class:`~repro.db.errors.StorageFault` at the engine) -- but it must
+never return a wrong answer and never hang or kill a worker.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, LoggedStorage, QueryPlanner, WriteFault
+from repro.db import CorruptPageError, FaultInjector, FaultyStorage, MemoryStorage
+from repro.db.histogram import HistogramStatistics
+from repro.service import DeadlineExceeded, QueryFault, QueryService, rows_equal
+
+from .faultutil import BANDS, build_kd_setup, fault_free_ground_truth, make_faulty_db
+
+pytestmark = pytest.mark.faultsweep
+
+
+class TestTransientReadFaults:
+    def test_rate_faults_recovered_by_retries(self):
+        setup = build_kd_setup(seed=7)
+        queries = setup.workload.mixed(8, selectivities=[0.01, 0.05, 0.2])
+        polyhedra = [q.polyhedron(BANDS) for q in queries]
+        truth = fault_free_ground_truth(setup, polyhedra)
+
+        setup.injector.configure(read_fault_rate=0.1)
+        setup.db.cold_cache()
+        for idx, polyhedron in enumerate(polyhedra):
+            planned = setup.planner.execute(polyhedron)
+            assert rows_equal(planned.rows, truth[idx]), f"query {idx} diverged"
+
+        # Faults actually fired and retries actually absorbed them.
+        assert setup.injector.counters()["reads_failed"] > 0
+        io = setup.db.io_stats.as_dict()
+        assert io["read_faults"] > 0
+        assert io["read_retries"] > 0
+
+    def test_burst_fails_probe_and_degrades_to_scan(self):
+        setup = build_kd_setup(seed=7)
+        polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
+        truth = fault_free_ground_truth(setup, [polyhedron])[0]
+
+        # 6 failed attempts: the probe's 4-attempt budget dies (attempts
+        # 1-4), the scan's first page read eats the rest and recovers.
+        setup.db.cold_cache()
+        setup.injector.fail_next_reads(6)
+        planned = setup.planner.execute(polyhedron)
+
+        assert planned.fallback
+        assert "probe" in planned.fallback_reason
+        assert planned.chosen_path == "scan"
+        assert rows_equal(planned.rows, truth)
+
+    def test_burst_fails_kdtree_path_and_degrades_to_scan(self):
+        # A histogram-statistics planner probes with zero I/O, so the
+        # burst lands on the kd traversal itself, not the probe.
+        setup = build_kd_setup(seed=7)
+        statistics = HistogramStatistics(setup.index.table, BANDS)
+        planner = QueryPlanner(setup.index, seed=7, statistics=statistics)
+        polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
+        truth = planner.execute(polyhedron)
+        assert not truth.fallback and truth.chosen_path == "kdtree"
+
+        setup.db.cold_cache()
+        # 8 = the pool's 4 attempts times the scan layer's 2: exactly
+        # enough to exhaust both retry budgets on the first leaf read.
+        setup.injector.fail_next_reads(8)
+        planned = planner.execute(polyhedron)
+
+        assert planned.fallback
+        assert "kdtree" in planned.fallback_reason
+        assert planned.chosen_path == "scan"
+        assert rows_equal(planned.rows, truth.rows)
+
+
+class TestCorruption:
+    def test_occasional_corruption_recovered_by_reread(self):
+        setup = build_kd_setup(seed=5)
+        queries = setup.workload.mixed(6, selectivities=[0.01, 0.2])
+        polyhedra = [q.polyhedron(BANDS) for q in queries]
+        truth = fault_free_ground_truth(setup, polyhedra)
+
+        setup.injector.configure(corrupt_rate=0.2)
+        setup.db.cold_cache()
+        for idx, polyhedron in enumerate(polyhedra):
+            planned = setup.planner.execute(polyhedron)
+            assert rows_equal(planned.rows, truth[idx]), f"query {idx} diverged"
+        assert setup.injector.counters()["pages_corrupted"] > 0
+
+    def test_persistent_corruption_is_a_structured_error_not_a_wrong_answer(self):
+        setup = build_kd_setup(seed=5)
+        polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
+        truth = fault_free_ground_truth(setup, [polyhedron])[0]
+
+        service = QueryService(setup.db, setup.planner, workers=2, cache_entries=0)
+        with service:
+            setup.injector.configure(corrupt_rate=1.0)
+            setup.db.cold_cache()
+            with pytest.raises(QueryFault) as excinfo:
+                service.execute(polyhedron, timeout=60)
+            assert excinfo.value.cause_type == "CorruptPageError"
+            assert isinstance(excinfo.value.__cause__, CorruptPageError)
+
+            # The failure was recorded, the workers survived, and the
+            # service answers correctly once the storage heals (injected
+            # corruption is read-side only; nothing durable was harmed).
+            assert service.alive_workers == 2
+            assert service.metrics.summary()["storage_faults"] >= 1
+            setup.injector.quiesce()
+            outcome = service.execute(polyhedron, timeout=60)
+            assert rows_equal(outcome.rows, truth)
+
+
+class TestWriteFaults:
+    def test_write_fault_aborts_build_and_rebuild_succeeds(self):
+        db, injector = make_faulty_db(seed=2)
+        data = {"a": np.arange(200.0)}
+
+        injector.configure(write_fault_rate=1.0)
+        with pytest.raises(WriteFault):
+            db.create_table("t", dict(data), rows_per_page=64)
+
+        injector.quiesce()
+        db.drop_table("t")  # clear any partial pages
+        table = db.create_table("t", dict(data), rows_per_page=64)
+        assert np.array_equal(table.read_column("a"), data["a"])
+
+
+class TestInjectedLatency:
+    def test_latency_plus_deadline_fails_cleanly_without_hanging(self):
+        setup = build_kd_setup(num_rows=2000, seed=9)
+        polyhedron = setup.workload.mixed(1, selectivities=[0.2])[0].polyhedron(BANDS)
+
+        service = QueryService(setup.db, setup.planner, workers=2, cache_entries=0)
+        with service:
+            setup.injector.configure(read_latency_s=0.005)
+            setup.db.cold_cache()
+            ticket = service.submit(polyhedron, deadline=0.02)
+            with pytest.raises(DeadlineExceeded):
+                # A bounded wait: a hung worker would raise TimeoutError
+                # here instead, failing the test.
+                ticket.result(timeout=30)
+            assert service.alive_workers == 2
+
+            # Without the stall the same query completes fine.
+            setup.injector.quiesce()
+            outcome = service.execute(polyhedron, timeout=60)
+            assert outcome.rows["_row_id"] is not None
+        assert service.metrics.summary()["deadline_misses"] == 1
+
+
+class TestWalUnderFaults:
+    @pytest.fixture()
+    def logged_faulty_db(self):
+        injector = FaultInjector(seed=3)
+        logged = LoggedStorage(FaultyStorage(MemoryStorage(), injector))
+        db = Database(logged, buffer_pages=None)
+        db.create_table("t", {"a": np.arange(100.0)}, rows_per_page=50)
+        return db, logged, injector
+
+    def test_log_first_write_recovers_page_lost_to_write_fault(
+        self, logged_faulty_db
+    ):
+        db, logged, injector = logged_faulty_db
+        injector.configure(write_fault_rate=1.0)
+        with pytest.raises(WriteFault):
+            db.create_table("lost", {"b": np.arange(64.0)}, rows_per_page=64)
+        injector.quiesce()
+
+        # The inner backend never saw the page -- but the log did.
+        assert logged.inner.num_pages("lost") == 0
+        fresh = MemoryStorage()
+        applied = logged.replay(fresh)
+        assert applied == 3  # two pages of "t" plus the lost one
+        assert fresh.num_pages("lost") == 1
+        recovered = fresh.read_page("lost", 0)
+        assert np.array_equal(recovered.columns["b"], np.arange(64.0))
+
+    def test_replay_skips_torn_record_and_still_recovers_the_rest(
+        self, logged_faulty_db, caplog
+    ):
+        db, logged, injector = logged_faulty_db
+        injector.configure(write_fault_rate=1.0)
+        with pytest.raises(WriteFault):
+            db.create_table("lost", {"b": np.arange(64.0)}, rows_per_page=64)
+        injector.quiesce()
+
+        # Tear a mid-log record (a page of "t"), then crash-recover.
+        raw = bytearray(logged._log[1])
+        raw[-1] ^= 0xFF
+        logged._log[1] = bytes(raw)
+        fresh = MemoryStorage()
+        with caplog.at_level("WARNING", logger="repro.db.recovery"):
+            applied = logged.replay(fresh)
+        assert applied == 2
+        assert fresh.num_pages("lost") == 1
+        assert any("checksum" in message for message in caplog.messages)

@@ -48,14 +48,43 @@ class TestLoggedStorage:
         rebuilt = fresh.read_page("t", 0)
         assert np.array_equal(original.columns["a"], rebuilt.columns["a"])
 
-    def test_corrupt_record_rejected(self, logged_db):
+    def test_corrupt_record_rejected_in_strict_mode(self, logged_db):
         _, logged, _ = logged_db
         # Flip a payload byte in the last record.
         raw = bytearray(logged._log[-1])
         raw[-1] ^= 0xFF
         logged._log[-1] = bytes(raw)
         with pytest.raises(ValueError, match="checksum"):
-            logged.replay(MemoryStorage())
+            logged.replay(MemoryStorage(), on_corrupt="raise")
+
+    def test_corrupt_record_skipped_with_warning_by_default(self, logged_db, caplog):
+        _, logged, table = logged_db
+        raw = bytearray(logged._log[2])
+        raw[-1] ^= 0xFF
+        logged._log[2] = bytes(raw)
+        fresh = MemoryStorage()
+        with caplog.at_level("WARNING", logger="repro.db.recovery"):
+            applied = logged.replay(fresh)
+        # Every healthy record applied; the torn one skipped, never written.
+        assert applied == table.num_pages - 1
+        assert fresh.num_pages("t") == table.num_pages - 1
+        assert any("checksum" in message for message in caplog.messages)
+
+    def test_corrupt_header_skipped_with_warning(self, logged_db, caplog):
+        _, logged, table = logged_db
+        # Mangle the magic itself: the record header is unreadable.
+        logged._log[0] = b"XXXX" + logged._log[0][4:]
+        fresh = MemoryStorage()
+        with caplog.at_level("WARNING", logger="repro.db.recovery"):
+            applied = logged.replay(fresh)
+        assert applied == table.num_pages - 1
+        with pytest.raises(ValueError, match="magic"):
+            logged.replay(MemoryStorage(), on_corrupt="raise")
+
+    def test_replay_rejects_unknown_mode(self, logged_db):
+        _, logged, _ = logged_db
+        with pytest.raises(ValueError, match="on_corrupt"):
+            logged.replay(MemoryStorage(), on_corrupt="ignore")
 
     def test_reads_pass_through(self, logged_db):
         db, logged, table = logged_db
@@ -68,6 +97,47 @@ class TestLoggedStorage:
         sequences = [r.sequence for r in logged.log_records()]
         assert sequences == sorted(sequences)
         assert len(set(sequences)) == len(sequences)
+
+
+class TestLogRecordVerify:
+    """Unit coverage of the checksum path itself (previously untested)."""
+
+    @staticmethod
+    def _record(payload: bytes):
+        import zlib
+
+        from repro.db import LogRecord as LR
+
+        return LR(
+            sequence=1,
+            namespace="t",
+            page_id=0,
+            payload=payload,
+            checksum=zlib.crc32(payload),
+        )
+
+    def test_intact_payload_verifies(self):
+        record = self._record(b"healthy page bytes")
+        assert record.verify()
+
+    def test_any_single_byte_flip_is_detected(self):
+        payload = b"0123456789abcdef"
+        for position in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[position] ^= 0x01
+            record = self._record(payload)
+            record.payload = bytes(mutated)
+            assert not record.verify(), f"flip at byte {position} went undetected"
+
+    def test_truncated_payload_is_detected(self):
+        record = self._record(b"0123456789abcdef")
+        record.payload = record.payload[:-1]
+        assert not record.verify()
+
+    def test_wrong_checksum_is_detected(self):
+        record = self._record(b"payload")
+        record.checksum ^= 0xDEADBEEF
+        assert not record.verify()
 
 
 class TestCatalogPersistence:
