@@ -1,0 +1,124 @@
+"""Shard scaling: the Figure 2 workload over 1/2/4/8 kd-subtree shards.
+
+Replays the mixed SkyServer-style workload (the same family as
+test_fig2_workload_replay) through scatter-gather engines of increasing
+shard counts plus the unsharded planner baseline, asserting identical
+row sets everywhere and reporting wall clock, aggregate pages, and
+router pruning per configuration.  Emits ``BENCH_shard.json`` next to
+the repo root so CI can track the scaling curve.
+
+Two effects drive the sharded wall clock even under the GIL: the router
+prunes whole shards before any I/O (most of the workload is selective),
+and each surviving shard searches a tree of 1/N the size.  The 8-shard
+configuration must finish the replay at least as fast as the unsharded
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import KdPartitioner, QueryPlanner, ScatterGatherExecutor
+from repro.datasets.sdss import BANDS
+from repro.datasets.workload import QueryWorkload
+
+from .conftest import print_table
+
+SHARD_COUNTS = [1, 2, 4, 8]
+
+
+def _workload_polyhedra(sample) -> list:
+    workload = QueryWorkload(sample.magnitudes, seed=2006)
+    queries = workload.mixed(18, [0.005, 0.02, 0.1])
+    queries.append(workload.figure2_query())
+    return [q.polyhedron(list(BANDS)) for q in queries]
+
+
+def _replay(engine, polyhedra) -> tuple[float, list[frozenset], int, int]:
+    """Best-of-two replay; returns (seconds, oid sets, pages, pruned)."""
+    best = float("inf")
+    answers: list[frozenset] = []
+    pages = pruned = 0
+    for _ in range(2):
+        started = time.perf_counter()
+        round_answers = []
+        round_pages = round_pruned = 0
+        for poly in polyhedra:
+            planned = engine.execute(poly)
+            round_answers.append(frozenset(int(v) for v in planned.rows["oid"]))
+            round_pages += planned.stats.pages_touched
+            round_pruned += planned.shards_pruned
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+        answers, pages, pruned = round_answers, round_pages, round_pruned
+    return best, answers, pages, pruned
+
+
+def test_shard_scaling_figure2_workload(benchmark, bench_db, bench_sample):
+    """1/2/4/8-shard scatter-gather vs the unsharded planner, one answer."""
+    from repro import KdTreeIndex
+
+    columns = dict(bench_sample.columns())
+    columns["oid"] = np.arange(len(bench_sample.magnitudes), dtype=np.int64)
+    polyhedra = _workload_polyhedra(bench_sample)
+
+    baseline = QueryPlanner(
+        KdTreeIndex.build(bench_db, "shard_bench_ref", dict(columns), list(BANDS))
+    )
+    base_time, base_answers, base_pages, _ = _replay(baseline, polyhedra)
+
+    def run():
+        rows = [["unsharded", 1, base_time, base_pages, 0, 1.0]]
+        results = {"unsharded": {"wall_s": base_time, "pages": base_pages}}
+        for count in SHARD_COUNTS:
+            shard_set = KdPartitioner(count, buffer_pages=None).partition(
+                "shard_bench", dict(columns), list(BANDS)
+            )
+            with ScatterGatherExecutor(shard_set) as engine:
+                wall, answers, pages, pruned = _replay(engine, polyhedra)
+            assert answers == base_answers, f"{count}-shard answers diverged"
+            rows.append(
+                [f"{count} shards", count, wall, pages, pruned, base_time / wall]
+            )
+            results[f"shards_{count}"] = {
+                "wall_s": wall,
+                "pages": pages,
+                "shards_pruned": pruned,
+                "speedup_vs_unsharded": base_time / wall,
+            }
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Shard scaling: Figure 2 workload replay (best of 2)",
+        ["engine", "shards", "wall_s", "pages", "shards_pruned", "speedup"],
+        rows,
+    )
+    out = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": "figure2_mixed",
+                "queries": len(polyhedra),
+                "rows": len(columns["oid"]),
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+
+    # Router pruning must be doing real work on the selective mix...
+    multi = [r for r in rows if isinstance(r[1], int) and r[1] > 1]
+    assert all(r[4] > 0 for r in multi), "no shards pruned at any multi-shard count"
+    # ...and the 8-shard replay must not lose to the single index.
+    eight = next(r for r in rows if r[0] == "8 shards")
+    assert eight[2] <= base_time, (
+        f"8-shard replay ({eight[2]:.3f} s) slower than unsharded ({base_time:.3f} s)"
+    )

@@ -110,6 +110,15 @@ from repro.service import (
     ReplayReport,
     replay_workload,
 )
+from repro.shard import (
+    KdPartitioner,
+    ScatterGatherExecutor,
+    Shard,
+    ShardRouter,
+    ShardSet,
+    ShardedKnnResult,
+    scatter_gather_knn,
+)
 from repro.vectype import NativeBinaryCodec, UdtPickleCodec, VectorColumn
 from repro.viz import (
     AdaptivePointCloudProducer,
@@ -204,6 +213,14 @@ __all__ = [
     "QueryFault",
     "ReplayReport",
     "replay_workload",
+    # sharded execution
+    "KdPartitioner",
+    "Shard",
+    "ShardSet",
+    "ShardRouter",
+    "ScatterGatherExecutor",
+    "ShardedKnnResult",
+    "scatter_gather_knn",
     # analysis
     "PrincipalComponents",
     "KnnPolyRedshiftEstimator",

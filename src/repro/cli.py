@@ -71,16 +71,40 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+    from repro import (
+        Database,
+        KdPartitioner,
+        KdTreeIndex,
+        QueryPlanner,
+        ScatterGatherExecutor,
+        sdss_color_sample,
+    )
     from repro.datasets import QueryWorkload
     from repro.service import QueryService, replay_workload, rows_equal, run_serial
 
     bands = ["u", "g", "r", "i", "z"]
-    print(f"generating {args.rows} objects and building the kd-tree index...")
     sample = sdss_color_sample(args.rows, seed=args.seed)
+    columns = dict(sample.columns())
+    # Stable object ids survive re-clustering, so the sharded and
+    # unsharded engines can be compared row-for-row via oid sets.
+    columns["oid"] = np.arange(args.rows, dtype=np.int64)
     db = Database.in_memory(buffer_pages=args.buffer_pages)
-    index = KdTreeIndex.build(db, "magnitudes", sample.columns(), bands)
-    planner = QueryPlanner(index, seed=args.seed)
+    if args.shards:
+        print(
+            f"generating {args.rows} objects and partitioning into "
+            f"{args.shards} kd-subtree shards..."
+        )
+        shard_set = KdPartitioner(
+            args.shards, buffer_pages=args.buffer_pages
+        ).partition("magnitudes", columns, bands)
+        engine = ScatterGatherExecutor(shard_set, seed=args.seed)
+        service_db = None
+        print(f"shard layout: {engine.layout_version}")
+    else:
+        print(f"generating {args.rows} objects and building the kd-tree index...")
+        index = KdTreeIndex.build(db, "magnitudes", columns, bands)
+        engine = QueryPlanner(index, seed=args.seed)
+        service_db = db
 
     workload = QueryWorkload(sample.magnitudes, seed=args.seed)
     unique = max(1, int(args.queries * (1.0 - args.duplicate_fraction)))
@@ -93,8 +117,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"concurrency {args.concurrency} over {args.workers} workers..."
     )
     service = QueryService(
-        db,
-        planner,
+        service_db,
+        engine,
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
@@ -107,19 +131,36 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report.wall_time_s:.2f} s ({report.throughput_qps:.1f} q/s), "
         f"{report.resubmissions} backpressure retries"
     )
-    print(service.metrics.format_report(db.procedures))
+    print(service.metrics.format_report(db.procedures if service_db else None))
     if report.errors:
         print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
 
     if args.verify:
-        print("\nverifying against serial execution...")
-        serial = run_serial(planner, queries)
-        mismatches = sum(
-            1
-            for idx, rows in enumerate(serial)
-            if report.outcomes[idx] is None
-            or not rows_equal(report.outcomes[idx].rows, rows)
-        )
+        print("\nverifying against serial unsharded execution...")
+        if args.shards:
+            # Clustering differs between engines, so build a fresh
+            # unsharded reference and compare the stable oid sets
+            # rather than physical row ids.
+            reference = QueryPlanner(
+                KdTreeIndex.build(db, "magnitudes_ref", columns, bands),
+                seed=args.seed,
+            )
+            serial = run_serial(reference, queries)
+            mismatches = sum(
+                1
+                for idx, rows in enumerate(serial)
+                if report.outcomes[idx] is None
+                or set(report.outcomes[idx].rows["oid"].tolist())
+                != set(rows["oid"].tolist())
+            )
+        else:
+            serial = run_serial(engine, queries)
+            mismatches = sum(
+                1
+                for idx, rows in enumerate(serial)
+                if report.outcomes[idx] is None
+                or not rows_equal(report.outcomes[idx].rows, rows)
+            )
         print(f"row-for-row mismatches: {mismatches}")
         return 1 if mismatches else 0
     return 0
@@ -174,6 +215,10 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("--queries", type=int, default=240)
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument("--buffer-pages", type=int, default=4096)
+    replay.add_argument(
+        "--shards", type=int, default=0,
+        help="kd-subtree shard count (power of two; 0 = single unsharded index)",
+    )
     replay.add_argument("--concurrency", type=int, default=8, help="client threads")
     replay.add_argument("--workers", type=int, default=8, help="service worker threads")
     replay.add_argument("--queue-depth", type=int, default=32)

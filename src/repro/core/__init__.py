@@ -21,9 +21,11 @@ from repro.core.index_base import SpatialIndex
 from repro.core.kdtree import KdTree, KdTreeIndex
 from repro.core.knn import (
     KnnResult,
+    NeighborList,
     knn_best_first,
     knn_boundary_points,
     knn_brute_force,
+    merge_knn_results,
 )
 from repro.core.layered_grid import LayeredGridIndex, TableSampleBaseline
 from repro.core.voronoi_index import VoronoiIndex
@@ -37,9 +39,11 @@ __all__ = [
     "KdTree",
     "KdTreeIndex",
     "KnnResult",
+    "NeighborList",
     "knn_boundary_points",
     "knn_best_first",
     "knn_brute_force",
+    "merge_knn_results",
     "LayeredGridIndex",
     "TableSampleBaseline",
     "VoronoiIndex",

@@ -24,6 +24,7 @@ Three searchers ship:
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,9 +37,11 @@ from repro.geometry.distance import squared_distances
 
 __all__ = [
     "KnnResult",
+    "NeighborList",
     "knn_boundary_points",
     "knn_best_first",
     "knn_brute_force",
+    "merge_knn_results",
 ]
 
 
@@ -90,6 +93,32 @@ class NeighborList:
         return rows, dists
 
 
+def merge_knn_results(results: list[KnnResult], k: int) -> KnnResult:
+    """K-way merge of per-partition candidate lists into a global top-k.
+
+    Each input's ``(distances, row_ids)`` must already be sorted by
+    ascending distance (every searcher here guarantees that), so the
+    merge is a streaming heap walk that stops after ``k`` pulls.  Stats
+    of all inputs are merged; row ids are taken as-is, so callers
+    merging across shards remap them to a global namespace first.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    stats = QueryStats()
+    for result in results:
+        stats.merge(result.stats)
+    streams = [
+        zip(result.distances.tolist(), result.row_ids.tolist())
+        for result in results
+        if len(result.row_ids)
+    ]
+    best = list(itertools.islice(heapq.merge(*streams), k))
+    row_ids = np.array([r for _, r in best], dtype=np.int64)
+    distances = np.array([d for d, _ in best])
+    stats.rows_returned = len(row_ids)
+    return KnnResult(row_ids=row_ids, distances=distances, stats=stats)
+
+
 def _leaf_candidates(
     index: KdTreeIndex,
     leaf: int,
@@ -112,9 +141,14 @@ def _leaf_candidates(
 
 
 def knn_boundary_points(
-    index: KdTreeIndex, point: np.ndarray, k: int
+    index: KdTreeIndex, point: np.ndarray, k: int, cancel_check=None
 ) -> KnnResult:
-    """The §3.3 boundary-point algorithm (exact; see module docstring)."""
+    """The §3.3 boundary-point algorithm (exact; see module docstring).
+
+    ``cancel_check`` (a zero-argument callable or ``None``) runs once
+    per examined box; raising from it abandons the search cooperatively,
+    which is how sharded/deadline-bound callers stop in-flight scans.
+    """
     if k < 1:
         raise ValueError("k must be >= 1")
     point = np.asarray(point, dtype=np.float64)
@@ -137,6 +171,8 @@ def knn_boundary_points(
         discover(leaf)
 
     while index_list:
+        if cancel_check is not None:
+            cancel_check()
         bound, leaf = heapq.heappop(index_list)
         queued.discard(leaf)
         if leaf in examined:
@@ -170,6 +206,8 @@ def knn_boundary_points(
     m = result.worst
     stack = [1]
     while stack:
+        if cancel_check is not None:
+            cancel_check()
         node = stack.pop()
         if tree.partition_box(node).min_distance_to_point(point) >= m:
             continue
@@ -192,7 +230,9 @@ def knn_boundary_points(
     return KnnResult(row_ids=row_ids, distances=distances, stats=stats)
 
 
-def knn_best_first(index: KdTreeIndex, point: np.ndarray, k: int) -> KnnResult:
+def knn_best_first(
+    index: KdTreeIndex, point: np.ndarray, k: int, cancel_check=None
+) -> KnnResult:
     """Best-first k-NN: priority queue over node boxes (baseline)."""
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -203,6 +243,8 @@ def knn_best_first(index: KdTreeIndex, point: np.ndarray, k: int) -> KnnResult:
     boxes_examined = 0
     heap: list[tuple[float, int]] = [(0.0, 1)]
     while heap:
+        if cancel_check is not None:
+            cancel_check()
         bound, node = heapq.heappop(heap)
         if bound >= result.worst:
             break

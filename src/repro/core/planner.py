@@ -45,6 +45,12 @@ class PlannedQuery:
     ``fallback`` is set when the query was answered by a different path
     than the planner chose because the chosen one hit an unrecoverable
     storage fault; ``fallback_reason`` names the fault.
+
+    The shard fields stay at their zero defaults on a single-index
+    planner; a sharded engine (:class:`repro.shard.ScatterGatherExecutor`)
+    fills them in.  ``partial`` means at least one shard died on an
+    unrecoverable fault and the result covers only the surviving shards;
+    ``failed_shards`` names the casualties.
     """
 
     rows: dict
@@ -54,6 +60,11 @@ class PlannedQuery:
     sampled_pages: int
     fallback: bool = False
     fallback_reason: str = ""
+    shards_dispatched: int = 0
+    shards_pruned: int = 0
+    shard_faults: int = 0
+    partial: bool = False
+    failed_shards: tuple = ()
 
 
 class QueryPlanner:
@@ -94,6 +105,31 @@ class QueryPlanner:
         # The query service shares one planner across worker threads;
         # numpy Generators are not thread-safe, so draws are serialized.
         self._rng_lock = threading.Lock()
+
+    # -- engine protocol ----------------------------------------------------
+    # The query service treats its execution engine as anything with
+    # execute(polyhedron, cancel_check) plus these identity properties;
+    # the sharded ScatterGatherExecutor implements the same contract.
+
+    @property
+    def table_name(self) -> str:
+        """Name of the table results come from (cache fingerprinting)."""
+        return self.index.table.name
+
+    @property
+    def dims(self) -> list[str]:
+        """Ordered coordinate column names of the underlying index."""
+        return self.index.dims
+
+    @property
+    def layout_version(self) -> str:
+        """Physical-layout tag folded into result-cache fingerprints.
+
+        A single clustered index has one immutable layout; sharded
+        engines return a digest of their shard boundaries instead, so
+        repartitioning invalidates every cached fingerprint.
+        """
+        return "unsharded"
 
     def estimate_selectivity(self, polyhedron: Polyhedron) -> tuple[float, int]:
         """Page-sample estimate of returned/total.

@@ -155,7 +155,12 @@ class QueryStats:
         return self.rows_returned / self.rows_examined
 
     def merge(self, other: "QueryStats") -> None:
-        """Accumulate another query's counters into this one."""
+        """Accumulate another query's counters into this one.
+
+        ``extra`` entries are summed when numeric (so per-shard counters
+        like ``boxes_examined`` aggregate across a scatter-gather merge)
+        and first-writer-wins otherwise.
+        """
         self._pages |= other._pages
         self.rows_examined += other.rows_examined
         self.rows_returned += other.rows_returned
@@ -163,3 +168,8 @@ class QueryStats:
         self.cells_outside += other.cells_outside
         self.cells_partial += other.cells_partial
         self.nodes_visited += other.nodes_visited
+        for key, value in other.extra.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                self.extra.setdefault(key, value)
+            else:
+                self.extra[key] = self.extra.get(key, 0) + value

@@ -2,12 +2,22 @@
 
 This is the reproduction's SkyServer front end, in-process: clients open
 sessions, submit polyhedron queries, and get tickets; a pool of worker
-threads pulls admitted queries, routes each through the
-:class:`~repro.core.planner.QueryPlanner` (kd-tree vs. full scan by
-estimated selectivity), consults the result cache, and enforces
-per-query deadlines with cooperative cancellation checks inside the
-scan/kd-tree iteration loops.  Every query leaves one
+threads pulls admitted queries, routes each through the *engine* --
+anything implementing ``execute(polyhedron, cancel_check)`` plus
+``table_name`` / ``dims`` / ``layout_version``, i.e. a single-table
+:class:`~repro.core.planner.QueryPlanner` or a
+:class:`~repro.shard.ScatterGatherExecutor` over a partitioned one --
+consults the result cache, and enforces per-query deadlines with
+cooperative cancellation checks inside the scan/kd-tree iteration loops
+(for a sharded engine the check propagates into every in-flight shard
+worker).  Every query leaves one
 :class:`~repro.service.metrics.QueryMetrics` record behind.
+
+Sharded engines may degrade instead of failing: a query whose engine
+lost some shards to storage faults completes with ``partial=True`` and
+the dead shard ids in ``failed_shards``.  Partial results are never
+cached -- the next attempt recomputes against whatever shards are
+healthy then.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.core.planner import PlannedQuery
 from repro.db.catalog import Database
 from repro.db.errors import StorageFault
 from repro.geometry.halfspace import Polyhedron
@@ -78,6 +88,10 @@ class QueryOutcome:
     metrics: QueryMetrics
     #: The planner degraded to a different access path on a storage fault.
     fallback: bool = False
+    #: Sharded engines only: the rows cover only the surviving shards.
+    partial: bool = False
+    #: Shard ids that died mid-query (empty unless ``partial``).
+    failed_shards: tuple = ()
 
 
 class QueryTicket:
@@ -129,9 +143,16 @@ class QueryService:
     Parameters
     ----------
     database:
-        The catalog whose mutations invalidate the result cache.
+        The catalog whose mutations invalidate the result cache.  May be
+        ``None`` for engines that own their storage privately (a sharded
+        engine runs one database per shard); cache invalidation then
+        rides solely on the engine's ``layout_version``.
     planner:
-        The access-path chooser every admitted query runs through.
+        The engine every admitted query runs through: any object with
+        ``execute(polyhedron, cancel_check) -> PlannedQuery`` plus
+        ``table_name`` / ``dims`` / ``layout_version`` properties
+        (:class:`~repro.core.planner.QueryPlanner` or
+        :class:`~repro.shard.ScatterGatherExecutor`).
     workers:
         Worker thread count (the paper's server ran fully parallel I/O).
     queue_depth:
@@ -145,8 +166,8 @@ class QueryService:
 
     def __init__(
         self,
-        database: Database,
-        planner: QueryPlanner,
+        database: Database | None,
+        planner: Any,
         *,
         workers: int = 4,
         queue_depth: int = 64,
@@ -167,7 +188,7 @@ class QueryService:
         self._stop = threading.Event()
         self._running = False
         self._query_ids = itertools.count(1)
-        if self.cache is not None:
+        if self.cache is not None and self.database is not None:
             self._listener = lambda table: self.cache.invalidate_table(table)
             self.database.add_mutation_listener(self._listener)
         else:
@@ -279,17 +300,31 @@ class QueryService:
         ).result(timeout)
 
     def report(self) -> dict:
-        """Everything the service knows about its own behavior."""
-        return {
+        """Everything the service knows about its own behavior.
+
+        With a sharded engine (``database is None``), the ``io`` section
+        aggregates across the per-shard backends and an ``engine``
+        section carries the scatter-gather counters.
+        """
+        report = {
             "service": self.metrics.summary(),
             "admission": self.admission.counters(),
             "cache": self.cache.counters() if self.cache is not None else {},
             "sessions": {
                 s.session_id: s.snapshot().as_dict() for s in self.sessions.all()
             },
-            "procedures": self.database.procedures.timings(),
-            "io": self.database.io_stats.as_dict(),
         }
+        if self.database is not None:
+            report["procedures"] = self.database.procedures.timings()
+            report["io"] = self.database.io_stats.as_dict()
+        else:
+            report["procedures"] = {}
+            engine_io = getattr(self.planner, "io_stats", None)
+            report["io"] = engine_io().as_dict() if callable(engine_io) else {}
+        engine_counters = getattr(self.planner, "counters", None)
+        if callable(engine_counters):
+            report["engine"] = engine_counters()
+        return report
 
     # -- worker side ----------------------------------------------------------
 
@@ -327,6 +362,10 @@ class QueryService:
                 estimated_selectivity=planned.estimated_selectivity,
                 fallback=fallback,
                 fallback_reason=planned.fallback_reason if fallback else "",
+                shards_dispatched=0 if cache_hit else planned.shards_dispatched,
+                shards_pruned=0 if cache_hit else planned.shards_pruned,
+                shard_faults=0 if cache_hit else planned.shard_faults,
+                partial=planned.partial,
             )
             self.metrics.record(metrics)
             session.note_completed(
@@ -344,6 +383,8 @@ class QueryService:
                     cache_hit=cache_hit,
                     metrics=metrics,
                     fallback=fallback,
+                    partial=planned.partial,
+                    failed_shards=planned.failed_shards,
                 )
             )
         except DeadlineExceeded as exc:
@@ -368,17 +409,23 @@ class QueryService:
             item.ticket._fail(exc)
 
     def _plan_or_cached(self, item: _WorkItem) -> tuple[PlannedQuery, bool]:
-        table_name = self.planner.index.table.name
+        table_name = self.planner.table_name
         if self.cache is None:
             return self._plan(item), False
         fingerprint = query_fingerprint(
-            table_name, self.planner.index.dims, item.polyhedron
+            table_name,
+            self.planner.dims,
+            item.polyhedron,
+            layout_version=getattr(self.planner, "layout_version", ""),
         )
         cached = self.cache.get(fingerprint)
         if cached is not None:
             return cached, True
         planned = self._plan(item)
-        self.cache.put(fingerprint, table_name, planned)
+        # A partial answer only reflects which shards happened to be
+        # healthy at that instant -- never let it outlive the fault.
+        if not planned.partial:
+            self.cache.put(fingerprint, table_name, planned)
         return planned, False
 
     def _plan(self, item: _WorkItem) -> PlannedQuery:

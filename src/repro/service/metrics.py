@@ -42,6 +42,14 @@ class QueryMetrics:
     fallback_reason: str = ""
     #: The query failed on an unrecoverable storage fault.
     storage_fault: bool = False
+    #: Sharded engines only: shards the query actually ran on.
+    shards_dispatched: int = 0
+    #: Sharded engines only: shards pruned by box classification (zero I/O).
+    shards_pruned: int = 0
+    #: Sharded engines only: shards that died mid-query on a storage fault.
+    shard_faults: int = 0
+    #: The result covers only the surviving shards (degraded, not failed).
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
@@ -115,6 +123,10 @@ class MetricsRegistry:
             "scan_queries": float(sum(1 for r in done if r.chosen_path == "scan")),
             "planner_fallbacks": float(sum(1 for r in done if r.fallback)),
             "storage_faults": float(sum(1 for r in records if r.storage_fault)),
+            "shards_dispatched": float(sum(r.shards_dispatched for r in records)),
+            "shards_pruned": float(sum(r.shards_pruned for r in records)),
+            "shard_faults": float(sum(r.shard_faults for r in records)),
+            "partial_results": float(sum(1 for r in records if r.partial)),
         }
 
     def procedure_report(self, procedures: ProcedureRegistry) -> dict[str, dict[str, float]]:
@@ -141,6 +153,15 @@ class MetricsRegistry:
             f"   scan {int(s['scan_queries'])}",
             f"  planner fallbacks  {int(s['planner_fallbacks']):>8}",
             f"  storage faults     {int(s['storage_faults']):>8}",
+        ]
+        if s["shards_dispatched"] or s["shards_pruned"]:
+            lines += [
+                f"  shards dispatched  {int(s['shards_dispatched']):>8}"
+                f"   pruned {int(s['shards_pruned'])}",
+                f"  shard faults       {int(s['shard_faults']):>8}"
+                f"   partial results {int(s['partial_results'])}",
+            ]
+        lines += [
             f"  queue wait         mean {s['mean_queue_wait_s'] * 1e3:8.2f} ms"
             f"   max {s['max_queue_wait_s'] * 1e3:.2f} ms",
             f"  exec time          mean {s['mean_exec_time_s'] * 1e3:8.2f} ms"

@@ -30,6 +30,7 @@ def query_fingerprint(
     dims: list[str],
     polyhedron: Polyhedron,
     index_name: str = "planner",
+    layout_version: str = "",
 ) -> str:
     """A stable key for one polyhedron query against one table.
 
@@ -38,6 +39,9 @@ def query_fingerprint(
     arithmetic noise collides), and the rows are sorted lexicographically
     (so conjunct order is irrelevant).  The table, dims, and access-path
     family are folded in so distinct targets never share a key.
+    ``layout_version`` is the engine's physical-layout digest (shard
+    boundaries for a sharded engine): repartitioning changes the version,
+    so stale entries keyed under the old layout can never be served.
     """
     normals = np.asarray(polyhedron.normals, dtype=np.float64)
     offsets = np.asarray(polyhedron.offsets, dtype=np.float64)
@@ -52,6 +56,8 @@ def query_fingerprint(
     digest.update(",".join(dims).encode())
     digest.update(b"|")
     digest.update(index_name.encode())
+    digest.update(b"|")
+    digest.update(layout_version.encode())
     digest.update(b"|")
     digest.update(np.ascontiguousarray(stacked[order]).tobytes())
     return digest.hexdigest()

@@ -1,0 +1,29 @@
+"""Sharded scatter-gather execution over kd-subtree partitions.
+
+The paper's post-order kd-tree numbering (§3.2) makes every subtree a
+contiguous id range, which this package exploits as a partitioning
+function: :class:`KdPartitioner` cuts a table into N spatially coherent
+shards (each with its own database, buffer pool, and locally built
+kd-tree index), :class:`ShardRouter` prunes whole shards against a query
+polyhedron with Figure 4's box classification, and
+:class:`ScatterGatherExecutor` runs the surviving shards' planners in
+parallel and merges their answers -- including a frontier-merged, exact
+k-NN across shard borders (§3.3 one level up).
+"""
+
+from repro.shard.executor import ScatterGatherExecutor, ShardAborted
+from repro.shard.knn import ShardedKnnResult, scatter_gather_knn
+from repro.shard.partitioner import KdPartitioner, Shard, ShardSet
+from repro.shard.router import RoutingDecision, ShardRouter
+
+__all__ = [
+    "KdPartitioner",
+    "RoutingDecision",
+    "ScatterGatherExecutor",
+    "Shard",
+    "ShardAborted",
+    "ShardRouter",
+    "ShardSet",
+    "ShardedKnnResult",
+    "scatter_gather_knn",
+]

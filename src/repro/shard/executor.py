@@ -1,0 +1,380 @@
+"""Scatter-gather execution: parallel per-shard planners, one answer.
+
+The executor is the sharded counterpart of a single
+:class:`~repro.core.planner.QueryPlanner` and implements the same engine
+protocol (``execute(polyhedron, cancel_check)`` plus ``table_name`` /
+``dims`` / ``layout_version``), so a :class:`~repro.service.QueryService`
+drives it unchanged.  Per query it:
+
+1. routes: the :class:`~repro.shard.router.ShardRouter` classifies every
+   shard's box against the polyhedron and prunes OUTSIDE shards with
+   zero I/O;
+2. scatters: each dispatched shard runs its *own* planner (selectivity
+   probe, kd-tree vs. scan choice, fault fallback) on a shared thread
+   pool;
+3. gathers: per-shard results stream into the merge as they complete --
+   row ids are remapped to the global namespace, stats merge with
+   distinct page namespaces, and the per-shard access-path choices are
+   aggregated.
+
+Deadlines and cancellation propagate into every in-flight shard: the
+service's ``cancel_check`` is wrapped in a shared token that every
+shard's page/node loops poll, and the first deadline hit (or any
+unexpected error) trips the token so sibling shards abandon their scans
+instead of running to completion.
+
+Per-shard storage faults degrade, not fail: a shard whose planner dies
+on an unrecoverable :class:`~repro.db.errors.StorageFault` (its own
+retry budget and scan fallback exhausted) is recorded in
+``failed_shards`` and the query completes over the survivors with
+``partial=True``.  Only when every dispatched shard dies does the fault
+propagate to the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable
+
+import numpy as np
+
+from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.db.errors import StorageFault
+from repro.db.scan import full_scan
+from repro.db.stats import IOStats, QueryStats
+from repro.geometry.boxes import BoxRelation
+from repro.geometry.halfspace import Polyhedron
+from repro.shard.knn import ShardedKnnResult, scatter_gather_knn
+from repro.shard.partitioner import Shard, ShardSet
+from repro.shard.router import ShardRouter
+
+__all__ = ["ScatterGatherExecutor", "ShardAborted"]
+
+
+class ShardAborted(Exception):
+    """Internal: a sibling shard's failure/deadline tripped the cancel token."""
+
+
+class _CancelToken:
+    """Shared cooperative-cancellation handle for one scatter-gather query.
+
+    ``check`` composes the caller's own check (typically a service
+    deadline) with a local abort flag; tripping the flag makes every
+    shard still iterating pages/nodes raise :class:`ShardAborted` at its
+    next poll, which is how one shard's deadline stops its siblings.
+    """
+
+    def __init__(self, inner: Callable[[], None] | None):
+        self._inner = inner
+        self._aborted = threading.Event()
+
+    def trip(self) -> None:
+        self._aborted.set()
+
+    def check(self) -> None:
+        if self._aborted.is_set():
+            raise ShardAborted("sibling shard aborted the query")
+        if self._inner is not None:
+            self._inner()
+
+
+class ScatterGatherExecutor:
+    """Parallel per-shard engines behind a planner-shaped facade.
+
+    Parameters
+    ----------
+    shard_set:
+        The partitioned table (see :class:`~repro.shard.KdPartitioner`).
+    workers:
+        Thread-pool size (default: one thread per shard, capped at 16).
+    crossover / sample_pages / seed:
+        Planner knobs, as in :class:`~repro.core.planner.QueryPlanner`.
+        ``sample_pages`` is the *whole-table* probe budget: each shard's
+        planner probes ``sample_pages / num_shards`` pages (at least
+        one), so the aggregate sampling rate -- and plan-time I/O --
+        matches the unsharded planner instead of multiplying by the
+        shard count.  Each planner is seeded with ``seed + shard_id`` so
+        probe jitter stays deterministic but uncorrelated across shards.
+    use_tight_boxes:
+        Router pruning family (see :class:`~repro.shard.ShardRouter`).
+    """
+
+    def __init__(
+        self,
+        shard_set: ShardSet,
+        *,
+        workers: int | None = None,
+        crossover: float = 0.25,
+        sample_pages: int = 8,
+        seed: int = 0,
+        use_tight_boxes: bool = True,
+    ):
+        self.shard_set = shard_set
+        self.router = ShardRouter(shard_set, use_tight_boxes=use_tight_boxes)
+        shard_probe = max(1, sample_pages // shard_set.num_shards)
+        self.planners = {
+            shard.shard_id: QueryPlanner(
+                shard.index,
+                crossover=crossover,
+                sample_pages=shard_probe,
+                seed=seed + shard.shard_id,
+            )
+            for shard in shard_set
+        }
+        if workers is None:
+            workers = min(max(shard_set.num_shards, 1), 16)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"shard-{shard_set.name}"
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+        self._counters = {
+            "queries": 0,
+            "knn_queries": 0,
+            "shards_dispatched": 0,
+            "shards_pruned": 0,
+            "shard_faults": 0,
+            "partial_results": 0,
+        }
+
+    # -- engine protocol (mirrors QueryPlanner) -----------------------------
+
+    @property
+    def table_name(self) -> str:
+        """Logical name of the sharded table (cache fingerprinting)."""
+        return self.shard_set.name
+
+    @property
+    def dims(self) -> list[str]:
+        """Ordered coordinate column names."""
+        return list(self.shard_set.dims)
+
+    @property
+    def layout_version(self) -> str:
+        """Digest of the shard boundaries; changes on repartitioning."""
+        return self.shard_set.layout_version
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards back this executor."""
+        return self.shard_set.num_shards
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the shard pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- polyhedron queries -------------------------------------------------
+
+    def execute(
+        self, polyhedron: Polyhedron, cancel_check: Callable[[], None] | None = None
+    ) -> PlannedQuery:
+        """Route, scatter, and gather one polyhedron query."""
+        if cancel_check is not None:
+            cancel_check()
+        decision = self.router.route_polyhedron(polyhedron)
+        token = _CancelToken(cancel_check)
+        futures = {
+            self._pool.submit(
+                self._run_shard, shard, relation, polyhedron, token
+            ): shard
+            for shard, relation in decision.dispatched
+        }
+
+        stats = QueryStats()
+        pieces: list[dict[str, np.ndarray]] = []
+        path_counts: dict[str, int] = {}
+        failed: list[int] = []
+        last_fault: StorageFault | None = None
+        pending_error: BaseException | None = None
+        fallback = False
+        fallback_reason = ""
+        weighted_estimate = 0.0
+        estimated_rows = 0
+        sampled_pages = 0
+
+        # Streaming gather: merge each shard as it completes rather than
+        # barriering on the slowest one.
+        for future in as_completed(futures):
+            shard = futures[future]
+            try:
+                planned = future.result()
+            except StorageFault as exc:
+                failed.append(shard.shard_id)
+                last_fault = exc
+                continue
+            except ShardAborted:
+                continue
+            except BaseException as exc:
+                # Deadline or unexpected error: trip the token so
+                # in-flight siblings stop scanning, then drain and re-raise.
+                if pending_error is None:
+                    pending_error = exc
+                token.trip()
+                continue
+            stats.merge(planned.stats)
+            pieces.append(self._rebase_rows(shard, planned.rows))
+            path_counts[planned.chosen_path] = (
+                path_counts.get(planned.chosen_path, 0) + 1
+            )
+            if planned.fallback:
+                fallback = True
+                fallback_reason = fallback_reason or planned.fallback_reason
+            if np.isfinite(planned.estimated_selectivity):
+                weighted_estimate += planned.estimated_selectivity * shard.num_rows
+                estimated_rows += shard.num_rows
+            sampled_pages += planned.sampled_pages
+        if pending_error is not None:
+            raise pending_error
+        if failed and not pieces and decision.dispatched:
+            assert last_fault is not None
+            raise last_fault
+
+        rows = self._merge_pieces(pieces)
+        estimate = (
+            weighted_estimate / self.shard_set.total_rows
+            if estimated_rows
+            else (0.0 if not decision.dispatched else float("nan"))
+        )
+        for path, count in path_counts.items():
+            stats.extra[f"shard_path_{path}"] = count
+        self._note(
+            queries=1,
+            shards_dispatched=decision.shards_dispatched,
+            shards_pruned=decision.shards_pruned,
+            shard_faults=len(failed),
+            partial_results=1 if failed else 0,
+        )
+        return PlannedQuery(
+            rows=rows,
+            stats=stats,
+            chosen_path="sharded",
+            estimated_selectivity=estimate,
+            sampled_pages=sampled_pages,
+            fallback=fallback,
+            fallback_reason=fallback_reason,
+            shards_dispatched=decision.shards_dispatched,
+            shards_pruned=decision.shards_pruned,
+            shard_faults=len(failed),
+            partial=bool(failed),
+            failed_shards=tuple(sorted(failed)),
+        )
+
+    def _run_shard(
+        self,
+        shard: Shard,
+        relation: BoxRelation,
+        polyhedron: Polyhedron,
+        token: _CancelToken,
+    ) -> PlannedQuery:
+        token.check()
+        if relation is BoxRelation.INSIDE:
+            # Figure 4's fully-inside case at shard granularity: the
+            # shard's whole box satisfies every halfspace, so each of its
+            # rows qualifies -- no probe, no tree, no per-row tests.
+            rows, stats = full_scan(shard.table, cancel_check=token.check)
+            return PlannedQuery(
+                rows=rows,
+                stats=stats,
+                chosen_path="inside",
+                estimated_selectivity=1.0,
+                sampled_pages=0,
+            )
+        return self.planners[shard.shard_id].execute(
+            polyhedron, cancel_check=token.check
+        )
+
+    def _rebase_rows(
+        self, shard: Shard, rows: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Remap a shard's local row ids into the global namespace."""
+        rebased = dict(rows)
+        rebased["_row_id"] = rows["_row_id"] + shard.row_offset
+        return rebased
+
+    def _merge_pieces(
+        self, pieces: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        template = self.shard_set[0].table
+        names = template.column_names + ["_row_id"]
+        if not pieces:
+            out = {
+                n: np.empty(0, dtype=template.dtype_of(n))
+                for n in template.column_names
+            }
+            out["_row_id"] = np.empty(0, dtype=np.int64)
+            return out
+        return {n: np.concatenate([p[n] for p in pieces]) for n in names}
+
+    # -- k-NN ---------------------------------------------------------------
+
+    def knn(
+        self,
+        point: np.ndarray,
+        k: int,
+        cancel_check: Callable[[], None] | None = None,
+    ) -> ShardedKnnResult:
+        """Globally exact top-k via the frontier-merging shard search."""
+        token = _CancelToken(cancel_check)
+        result = scatter_gather_knn(
+            self.router, self._pool, point, k, cancel_check=token.check
+        )
+        self._note(
+            knn_queries=1,
+            shards_dispatched=result.shards_dispatched,
+            shards_pruned=result.shards_pruned,
+            shard_faults=result.shard_faults,
+            partial_results=1 if result.partial else 0,
+        )
+        return result
+
+    # -- observability ------------------------------------------------------
+
+    def gather(self, global_row_ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Fetch rows by global id across shards (see :meth:`ShardSet.gather`)."""
+        return self.shard_set.gather(global_row_ids)
+
+    def _note(self, **deltas: int) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                self._counters[key] += delta
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative scatter-gather counters since construction."""
+        with self._lock:
+            return dict(self._counters)
+
+    def io_stats(self) -> IOStats:
+        """Aggregate I/O counters across every shard's storage backend."""
+        total = IOStats()
+        for shard in self.shard_set:
+            snap = shard.database.io_stats.snapshot()
+            total.add(
+                page_reads=snap.page_reads,
+                page_writes=snap.page_writes,
+                bytes_read=snap.bytes_read,
+                bytes_written=snap.bytes_written,
+                cache_hits=snap.cache_hits,
+                cache_misses=snap.cache_misses,
+                read_faults=snap.read_faults,
+                read_retries=snap.read_retries,
+            )
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterGatherExecutor(name={self.shard_set.name!r}, "
+            f"shards={self.num_shards}, layout={self.layout_version!r})"
+        )

@@ -1,10 +1,10 @@
-"""Differential correctness: three executors, one answer.
+"""Differential correctness: four executors, one answer.
 
 Property-based (hypothesis) random boxes and polyhedra asserting that
-the kd-tree index, the layered grid, and the index-free full scan return
-*identical row sets* over the same data.  Each index clusters rows
-differently, so identity is compared on a stable ``oid`` column carried
-through every table.
+the kd-tree index, the layered grid, the sharded scatter-gather engine,
+and the index-free full scan return *identical row sets* over the same
+data.  Each engine clusters rows differently, so identity is compared on
+a stable ``oid`` column carried through every table.
 
 This is the clean-room half of the robustness story; the fault sweeps
 (test_faults.py) re-assert the same identities with storage failing.
@@ -17,7 +17,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Box, Database, KdTreeIndex, Polyhedron
+from repro import (
+    Box,
+    Database,
+    KdPartitioner,
+    KdTreeIndex,
+    Polyhedron,
+    ScatterGatherExecutor,
+)
 from repro.core.layered_grid import LayeredGridIndex
 from repro.core.queries import polyhedron_full_scan
 from repro.geometry.halfspace import Halfspace
@@ -36,8 +43,8 @@ _SETTINGS = settings(
 
 
 @pytest.fixture(scope="module")
-def differential_setup():
-    """One dataset, three access paths: kd table, grid table, plain table."""
+def differential_data():
+    """The shared bimodal dataset every engine in this module indexes."""
     rng = np.random.default_rng(13)
     points = np.vstack(
         [
@@ -47,11 +54,29 @@ def differential_setup():
     )
     data = {d: points[:, i] for i, d in enumerate(DIMS)}
     data["oid"] = np.arange(NUM_ROWS, dtype=np.int64)
+    return data
+
+
+@pytest.fixture(scope="module")
+def differential_setup(differential_data):
+    """One dataset, three access paths: kd table, grid table, plain table."""
+    data = differential_data
     db = Database.in_memory(buffer_pages=None)
     kd = KdTreeIndex.build(db, "diff_kd", dict(data), DIMS)
     grid = LayeredGridIndex.build(db, "diff_grid", dict(data), DIMS, base=128)
     plain = db.create_table("diff_plain", dict(data))
     return db, kd, grid, plain
+
+
+@pytest.fixture(scope="module")
+def sharded_executor(differential_data):
+    """A 4-way scatter-gather engine over the same dataset."""
+    shard_set = KdPartitioner(4, buffer_pages=None).partition(
+        "diff_sharded", dict(differential_data), DIMS
+    )
+    executor = ScatterGatherExecutor(shard_set)
+    yield executor
+    executor.close()
 
 
 def _oids(rows: dict) -> frozenset[int]:
@@ -74,6 +99,21 @@ _box_strategy = st.tuples(
 
 
 class TestBoxDifferential:
+    @_SETTINGS
+    @given(draw=_box_strategy)
+    def test_sharded_matches_scan_on_random_boxes(
+        self, differential_setup, sharded_executor, draw
+    ):
+        # The scatter-gather engine re-clusters rows across four private
+        # databases; the answer must still be the full scan's, oid for oid.
+        db, kd, grid, plain = differential_setup
+        polyhedron = Polyhedron.from_box(_box_from_draws(*draw))
+        sharded = sharded_executor.execute(polyhedron)
+        scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
+        assert _oids(sharded.rows) == _oids(scan_rows)
+        assert not sharded.partial
+        assert sharded.shards_dispatched + sharded.shards_pruned == 4
+
     @_SETTINGS
     @given(draw=_box_strategy)
     def test_kdtree_grid_and_scan_agree_on_random_boxes(self, differential_setup, draw):
@@ -138,6 +178,26 @@ class TestPolyhedronDifferential:
         scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
         assert _oids(kd_rows) == _oids(scan_rows)
 
+    def test_sharded_matches_scan_on_random_polyhedra(
+        self, differential_setup, sharded_executor
+    ):
+        db, kd, grid, plain = differential_setup
+        rng = np.random.default_rng(19)
+        for _ in range(15):
+            normals = rng.normal(size=(int(rng.integers(2, 6)), 3))
+            normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+            anchors = rng.uniform([-1, -1, -1], [4, 3, 2], size=(len(normals), 3))
+            polyhedron = Polyhedron(
+                [
+                    Halfspace(n, float(n @ a))
+                    for n, a in zip(normals, anchors)
+                ]
+            )
+            sharded = sharded_executor.execute(polyhedron)
+            scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
+            assert _oids(sharded.rows) == _oids(scan_rows)
+            assert not sharded.partial
+
     def test_partition_and_tight_boxes_agree(self, differential_setup):
         # The two box families prune differently but must answer identically.
         db, kd, grid, plain = differential_setup
@@ -151,3 +211,74 @@ class TestPolyhedronDifferential:
             tight_rows, _ = kd.query_polyhedron(polyhedron, use_tight_boxes=True)
             part_rows, _ = kd.query_polyhedron(polyhedron, use_tight_boxes=False)
             assert rows_equal(tight_rows, part_rows)
+
+
+_point = st.tuples(
+    st.floats(min_value=-2.0, max_value=5.0, allow_nan=False),
+    st.floats(min_value=-2.0, max_value=4.0, allow_nan=False),
+    st.floats(min_value=-2.0, max_value=3.0, allow_nan=False),
+)
+
+
+class TestShardedKnnDifferential:
+    @_SETTINGS
+    @given(point=_point, k=st.integers(min_value=1, max_value=40))
+    def test_sharded_knn_matches_brute_force(
+        self, differential_data, sharded_executor, point, k
+    ):
+        # Frontier-merged k-NN across shard borders must equal the global
+        # brute-force top-k -- the §3.3 soundness argument, one level up.
+        data = differential_data
+        pts = np.column_stack([data[d] for d in DIMS])
+        query = np.asarray(point, dtype=np.float64)
+        result = sharded_executor.knn(query, k)
+        dist = np.sqrt(((pts - query) ** 2).sum(axis=1))
+        order = np.argsort(dist, kind="stable")[:k]
+        got = frozenset(
+            int(v)
+            for v in sharded_executor.shard_set.gather(result.row_ids)["oid"]
+        )
+        assert got == frozenset(int(v) for v in data["oid"][order])
+        assert np.allclose(result.distances, dist[order])
+
+
+class TestShardedFaultSweep:
+    def test_random_queries_stay_correct_while_one_shard_flaps(self):
+        # A shard with a flaky (but retryable) backend must never change
+        # any answer -- retries absorb the faults below the merge.
+        from repro import FaultInjector, FaultyStorage
+        from repro.db.storage import MemoryStorage
+
+        rng = np.random.default_rng(37)
+        n = 2000
+        pts = rng.normal(1.5, 1.2, size=(n, 3))
+        data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+        data["oid"] = np.arange(n, dtype=np.int64)
+        injector = FaultInjector(seed=3)
+        shard_set = KdPartitioner(
+            4,
+            database_factory=lambda j: (
+                Database(FaultyStorage(MemoryStorage(), injector), buffer_pages=None)
+                if j == 2
+                else Database.in_memory(buffer_pages=None)
+            ),
+        ).partition("flaky", data, DIMS)
+        executor = ScatterGatherExecutor(shard_set)
+        ref_db = Database.in_memory(buffer_pages=None)
+        plain = ref_db.create_table("flaky_plain", dict(data))
+
+        shard_set[2].database.cold_cache()
+        injector.configure(read_fault_rate=0.3)
+        try:
+            for _ in range(15):
+                center = rng.uniform(-0.5, 3.5, size=3)
+                width = rng.uniform(0.3, 4.0)
+                polyhedron = Polyhedron.from_box(Box(center - width, center + width))
+                sharded = executor.execute(polyhedron)
+                scan_rows, _ = polyhedron_full_scan(plain, DIMS, polyhedron)
+                assert _oids(sharded.rows) == _oids(scan_rows)
+                assert not sharded.partial
+            assert injector.reads_failed > 0  # the sweep actually hurt
+        finally:
+            injector.quiesce()
+            executor.close()
