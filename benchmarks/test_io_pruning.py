@@ -1,0 +1,250 @@
+"""I/O acceleration ablation: zone maps, read-ahead, decoded-page cache.
+
+Replays the Figure 2 mixed workload through the planner under every
+feature toggle the :class:`~repro.db.catalog.Database` constructor
+exposes -- all off, each accelerator alone, and the full stack -- over a
+deliberately small buffer pool, so repeat rounds keep missing into
+storage the way the paper's 8 GB box missed into its disk array.  Every
+configuration must return the identical row sets; the accelerators may
+only change *how much I/O work* those answers cost.
+
+Emits ``BENCH_io.json`` next to the repo root: pages read / skipped /
+prefetched, pages decoded (CRC verifications), decode hits, and wall
+clock per configuration.  The acceptance gates live at the bottom: the
+full stack must cut pages decoded by >= 40% and wall time by >= 25%
+against this bench's own all-features-off baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+from repro.datasets.sdss import BANDS
+from repro.datasets.workload import QueryWorkload
+
+from .conftest import bench_scale, print_table, scaled
+
+#: Small on purpose: the pool holds about a third of the table's pages,
+#: so round 2+ re-reads are real storage traffic the decoded cache can
+#: save.  Computed from the row count so ``REPRO_BENCH_SCALE`` keeps the
+#: pool-to-table ratio (a fixed pool would swallow a scaled-down table).
+def _pool_pages(num_rows: int, rows_per_page: int = 128) -> int:
+    return max(8, (num_rows // rows_per_page) // 3)
+
+#: Repeat rounds of the replay -- Figure 2 traffic is repetitive.
+ROUNDS = 3
+
+#: The 0.3 tail forces the planner onto the scan path for some queries,
+#: where zone-map pruning (not the kd-tree) is what skips pages.
+SELECTIVITIES = [0.005, 0.02, 0.1, 0.3]
+
+CONFIGS: dict[str, dict] = {
+    "all_off": dict(zone_maps=False, decoded_cache_bytes=0, readahead_pages=0),
+    "zone_maps": dict(zone_maps=True, decoded_cache_bytes=0, readahead_pages=0),
+    "readahead": dict(zone_maps=False, decoded_cache_bytes=0, readahead_pages=8),
+    "decoded_cache": dict(zone_maps=False, readahead_pages=0),
+    "full_stack": dict(zone_maps=True, readahead_pages=8),
+}
+
+
+def _workload_polyhedra(sample) -> list:
+    workload = QueryWorkload(sample.magnitudes, seed=2006)
+    queries = workload.mixed(16, SELECTIVITIES)
+    queries.append(workload.figure2_query())
+    return [q.polyhedron(list(BANDS)) for q in queries]
+
+
+#: Timed replays per configuration.  Timing is *interleaved at round
+#: granularity*: within a trial, every configuration runs round k before
+#: any configuration runs round k+1 (each configuration owns its own
+#: database, so cache state carries across its rounds exactly as in a
+#: back-to-back replay).  The reported wall clock sums, per round, the
+#: minimum across trials -- on a shared machine whose spare CPU swings
+#: on multi-second timescales, a contention spike then inflates one
+#: (config, round, trial) cell instead of biasing a whole configuration.
+TRIALS = 4
+
+
+#: Deliberately coarse kd tree: 32 leaves of several pages each.  The
+#: ablation measures the *page I/O* layers, so leaves span enough pages
+#: that reading/decoding/skipping pages -- not classifying tree nodes --
+#: is where the time goes (the paper's √N-leaf sizing is benchmarked in
+#: its own right by test_fig5_kdtree_speedup).
+KD_LEVELS = 6
+
+
+def _build_engine(
+    toggles: dict, columns: dict, pool_pages: int
+) -> tuple[Database, QueryPlanner]:
+    db = Database.in_memory(buffer_pages=pool_pages, **toggles)
+    index = KdTreeIndex.build(
+        db, "io_bench", dict(columns), list(BANDS), num_levels=KD_LEVELS
+    )
+    return db, QueryPlanner(index, seed=3)
+
+
+def _one_round(
+    db: Database, planner: QueryPlanner, polyhedra: list, collect: bool
+) -> tuple[float, list[frozenset], list[int], int, int]:
+    """Run every query once; returns (wall, answers, row counts, skipped, prefetched).
+
+    Full row-set identity (``answers``) is collected only when asked --
+    once per configuration, for the cross-configuration differential --
+    so the timed loop is not dominated by set building; other rounds use
+    row counts as the drift check.
+    """
+    answers: list[frozenset] = []
+    counts: list[int] = []
+    skipped = prefetched = 0
+    started = time.perf_counter()
+    for poly in polyhedra:
+        planned = planner.execute(poly)
+        if collect:
+            answers.append(frozenset(int(v) for v in planned.rows["oid"]))
+        counts.append(planned.stats.rows_returned)
+        skipped += planned.stats.pages_skipped
+        prefetched += planned.stats.pages_prefetched
+    return time.perf_counter() - started, answers, counts, skipped, prefetched
+
+
+def _replay_all(
+    columns: dict, polyhedra: list, pool_pages: int
+) -> dict[str, dict]:
+    engines = {
+        name: _build_engine(toggles, columns, pool_pages)
+        for name, toggles in CONFIGS.items()
+    }
+    round_walls: dict[str, list[list[float]]] = {
+        name: [[] for _ in range(ROUNDS)] for name in engines
+    }
+    results: dict[str, dict] = {}
+    for trial in range(TRIALS):
+        for name, (db, _) in engines.items():
+            db.cold_cache()
+            db.reset_io_stats()
+        for round_no in range(ROUNDS):
+            for name, (db, planner) in engines.items():
+                collect = trial == 0 and round_no == 0
+                wall, answers, counts, skipped, prefetched = _one_round(
+                    db, planner, polyhedra, collect
+                )
+                round_walls[name][round_no].append(wall)
+                if collect:
+                    results[name] = {
+                        "answers": answers,
+                        "row_counts": counts,
+                        "pages_skipped": 0,
+                        "pages_prefetched": 0,
+                    }
+                else:
+                    assert counts == results[name]["row_counts"], (
+                        f"{name} answers drifted (trial {trial}, round {round_no})"
+                    )
+                if trial == 0:
+                    results[name]["pages_skipped"] += skipped
+                    results[name]["pages_prefetched"] += prefetched
+        if trial == 0:
+            # I/O counters are deterministic per replay; capture once.
+            for name, (db, _) in engines.items():
+                io = db.io_stats.as_dict()
+                results[name].update(
+                    pages_read=io["page_reads"],
+                    coalesced_reads=io["coalesced_reads"],
+                    pages_decoded=io["checksum_verifications"],
+                    decode_hits=io["decode_hits"],
+                )
+    for name, per_round in round_walls.items():
+        results[name]["wall_s"] = sum(min(walls) for walls in per_round)
+        del results[name]["row_counts"]
+    return results
+
+
+def test_io_acceleration_ablation(benchmark):
+    sample = sdss_color_sample(scaled(24_000), seed=5)
+    columns = dict(sample.columns())
+    columns["oid"] = np.arange(len(sample.magnitudes), dtype=np.int64)
+    polyhedra = _workload_polyhedra(sample)
+    pool_pages = _pool_pages(len(sample.magnitudes))
+
+    results = benchmark.pedantic(
+        lambda: _replay_all(columns, polyhedra, pool_pages),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Differential gate: every toggle combination answers identically.
+    baseline_answers = results["all_off"].pop("answers")
+    for name, result in results.items():
+        if name == "all_off":
+            continue
+        assert result.pop("answers") == baseline_answers, f"{name} diverged"
+
+    rows = [
+        [
+            name,
+            r["wall_s"],
+            r["pages_read"],
+            r["pages_skipped"],
+            r["pages_prefetched"],
+            r["coalesced_reads"],
+            r["pages_decoded"],
+            r["decode_hits"],
+        ]
+        for name, r in results.items()
+    ]
+    print_table(
+        f"Figure 2 replay x{ROUNDS} rounds, {pool_pages}-page pool",
+        [
+            "config",
+            "wall_s",
+            "pages_read",
+            "skipped",
+            "prefetched",
+            "coalesced",
+            "decoded",
+            "decode_hits",
+        ],
+        rows,
+    )
+
+    off = results["all_off"]
+    full = results["full_stack"]
+    decode_cut = 1.0 - full["pages_decoded"] / max(off["pages_decoded"], 1)
+    wall_cut = 1.0 - full["wall_s"] / off["wall_s"]
+    out = Path(__file__).resolve().parent.parent / "BENCH_io.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": "figure2_mixed",
+                "queries": len(polyhedra),
+                "rounds": ROUNDS,
+                "trials": TRIALS,
+                "rows": len(columns["oid"]),
+                "pool_pages": pool_pages,
+                "results": results,
+                "full_stack_decode_reduction": decode_cut,
+                "full_stack_wall_reduction": wall_cut,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+
+    # Each accelerator demonstrably did its own job...
+    assert results["zone_maps"]["pages_skipped"] > 0
+    assert results["readahead"]["coalesced_reads"] > 0
+    assert results["decoded_cache"]["decode_hits"] > 0
+    # ...and the full stack clears the acceptance bars against the
+    # all-features-off baseline.  The percentage gates hold at full
+    # scale; scaled-down smoke runs (REPRO_BENCH_SCALE < 1) only report,
+    # since fixed per-query planner/traversal overhead dominates tiny
+    # tables and the timing says nothing about the accelerators.
+    if bench_scale() >= 1.0:
+        assert decode_cut >= 0.40, f"decode reduction {decode_cut:.1%} < 40%"
+        assert wall_cut >= 0.25, f"wall-time reduction {wall_cut:.1%} < 25%"

@@ -405,6 +405,7 @@ class KdTreeIndex(SpatialIndex):
         polyhedron: Polyhedron,
         use_tight_boxes: bool = True,
         cancel_check=None,
+        use_zone_maps: bool = True,
     ) -> tuple[dict[str, np.ndarray], QueryStats]:
         """Evaluate a polyhedron query through the tree (Figure 4).
 
@@ -413,6 +414,16 @@ class KdTreeIndex(SpatialIndex):
         residual geometric filter.  ``cancel_check`` (when given) runs at
         every node visit and inside the underlying range scans, so the
         query service can abandon a traversal mid-flight (deadlines).
+
+        With ``use_zone_maps`` on (and a zone map in the catalog), the
+        partial-leaf scans also prune at page granularity: leaf boxes are
+        coarser than page boxes (a leaf spans many pages), so a leaf that
+        straddles the query boundary usually holds pages entirely outside
+        it -- those are skipped -- and pages entirely inside it, whose
+        per-point residual filter is skipped.  The pruner shares the
+        query's geometry, so results are identical either way.  INSIDE
+        subtrees never see the pruner: their scans are predicate-free
+        bulk returns whose contract is "every clustered row in range".
         """
         if polyhedron.dim != len(self._dims):
             raise ValueError(
@@ -421,6 +432,7 @@ class KdTreeIndex(SpatialIndex):
         stats = QueryStats()
         pieces: list[dict[str, np.ndarray]] = []
         box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
+        pruner = self._pruner(polyhedron) if use_zone_maps else None
         stack = [1]
         while stack:
             node = stack.pop()
@@ -450,6 +462,7 @@ class KdTreeIndex(SpatialIndex):
                     end,
                     predicate=self._residual(polyhedron),
                     cancel_check=cancel_check,
+                    pruner=pruner,
                 )
                 stats.merge(piece_stats)
                 pieces.append(rows)
@@ -473,6 +486,7 @@ class KdTreeIndex(SpatialIndex):
                 f"polyhedron dim {polyhedron.dim} != index dim {len(self._dims)}"
             )
         box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
+        pruner = self._pruner(polyhedron)
         stack = [1]
         while stack:
             node = stack.pop()
@@ -487,13 +501,24 @@ class KdTreeIndex(SpatialIndex):
                 yield rows, relation
             elif self._tree.is_leaf(node):
                 rows, _ = range_scan(
-                    self._table, start, end, predicate=self._residual(polyhedron)
+                    self._table,
+                    start,
+                    end,
+                    predicate=self._residual(polyhedron),
+                    pruner=pruner,
                 )
                 if len(rows["_row_id"]):
                     yield rows, relation
             else:
                 stack.append(2 * node)
                 stack.append(2 * node + 1)
+
+    def _pruner(self, polyhedron: Polyhedron):
+        """Page-granular zone-map pruner for this query, or ``None``."""
+        zone_map = self._table.zone_map()
+        if zone_map is None:
+            return None
+        return zone_map.pruner(polyhedron, self._dims)
 
     def _residual(self, polyhedron: Polyhedron):
         dims = self._dims

@@ -149,8 +149,14 @@ class QueryPlanner:
         page_ids = np.minimum(page_ids + jitter, table.num_pages - 1)
         matched = examined = 0
         dims = self.index.dims
-        for page_id in np.unique(page_ids):
-            page = table.read_page(int(page_id))
+        probe_ids = [int(page_id) for page_id in np.unique(page_ids)]
+        # The probe pages are scattered across the file; one coalesced
+        # read pulls them all into the pool instead of N round trips
+        # (unless the engine was configured with read-ahead disabled).
+        if table.readahead_pages:
+            table.prefetch(probe_ids)
+        for page_id in probe_ids:
+            page = table.read_page(page_id)
             pts = np.column_stack([page.columns[d] for d in dims])
             matched += int(polyhedron.contains_points(pts).sum())
             examined += page.num_rows

@@ -18,12 +18,21 @@ __all__ = ["polyhedron_full_scan", "selectivity"]
 
 
 def polyhedron_full_scan(
-    table: Table, dims: list[str], polyhedron: Polyhedron, cancel_check=None
+    table: Table,
+    dims: list[str],
+    polyhedron: Polyhedron,
+    cancel_check=None,
+    use_zone_maps: bool = True,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Evaluate a polyhedron query by scanning every page (the baseline).
 
     ``cancel_check`` is forwarded to :func:`repro.db.scan.full_scan` and
-    runs once per page (cooperative deadline cancellation).
+    runs once per page (cooperative deadline cancellation).  When the
+    table carries a zone map covering ``dims`` (and ``use_zone_maps`` is
+    left on), pages whose min/max box is disjoint from the polyhedron are
+    skipped before any read, and fully-inside pages skip the per-point
+    filter -- the "baseline" then behaves like a poor man's index, which
+    is exactly the comparison the I/O bench draws.
     """
     if polyhedron.dim != len(dims):
         raise ValueError(f"polyhedron dim {polyhedron.dim} != len(dims) {len(dims)}")
@@ -32,7 +41,14 @@ def polyhedron_full_scan(
         pts = np.column_stack([columns[d] for d in dims])
         return polyhedron.contains_points(pts)
 
-    return full_scan(table, predicate=predicate, cancel_check=cancel_check)
+    pruner = None
+    if use_zone_maps:
+        zone_map = table.zone_map()
+        if zone_map is not None:
+            pruner = zone_map.pruner(polyhedron, dims)
+    return full_scan(
+        table, predicate=predicate, cancel_check=cancel_check, pruner=pruner
+    )
 
 
 def selectivity(stats: QueryStats, total_rows: int) -> float:

@@ -20,7 +20,10 @@ is a first-class, measurable quantity:
 * :mod:`repro.db.expressions` -- predicate ASTs evaluated page-at-a-time
   with numpy, plus extraction of linear inequalities into
   :class:`repro.geometry.Polyhedron` queries.
-* :mod:`repro.db.scan` -- full-scan and range-scan executors.
+* :mod:`repro.db.scan` -- full-scan and range-scan executors, with
+  zone-map pruning and coalesced read-ahead on their hot paths.
+* :mod:`repro.db.zonemap` -- per-page min/max synopses that let scans
+  skip pages before any read or decode.
 * :mod:`repro.db.procedures` -- the stored-procedure registry (the CLR
   stored procedures of the paper become registered Python callables that
   run "inside" the engine, next to the data).
@@ -32,6 +35,7 @@ from repro.db.pages import Page, PageCodec
 from repro.db.storage import FileStorage, MemoryStorage, Storage
 from repro.db.faults import FaultInjector, FaultyStorage, RetryPolicy, call_with_retries
 from repro.db.buffer_pool import BufferPool
+from repro.db.zonemap import ZoneMap, ZonePruner
 from repro.db.table import ColumnSpec, Table
 from repro.db.catalog import Database
 from repro.db.expressions import (
@@ -66,6 +70,8 @@ __all__ = [
     "RetryPolicy",
     "call_with_retries",
     "BufferPool",
+    "ZoneMap",
+    "ZonePruner",
     "ColumnSpec",
     "Table",
     "Database",

@@ -1,4 +1,4 @@
-"""LRU buffer pool over a page store.
+"""LRU buffer pool over a page store, with a decoded-page cache.
 
 The buffer pool is the engine's RAM: the paper's server had 8 GB (with AWE
 tricks to use it all); we model memory pressure as a configurable page
@@ -6,28 +6,51 @@ budget.  A query that touches a small clustered range of pages runs from
 cache on repeat; a full scan of a table larger than the pool thrashes --
 exactly the contrast the layered grid / kd-tree / Voronoi indexes exploit.
 
+Two caches, two costs.  The primary cache models *page frames*: a hit
+skips the storage read entirely.  Behind it sits the **decoded-page
+cache**, keyed by ``(namespace, page_id, stored checksum)`` and bounded
+by an approximate byte budget: when a primary miss re-reads bytes whose
+stored CRC matches an already-decoded copy, the pool skips both the CRC
+verification and :meth:`~repro.db.pages.PageCodec.decode` (counted as
+``decode_hits``).  A page is CRC-verified exactly once per distinct byte
+content (counted as ``checksum_verifications``); torn bytes surface as
+:class:`~repro.db.errors.CorruptPageError` on first load, where fault
+injection expects to see them.
+
+The pool is also the coalescing seam for read-ahead: :meth:`prefetch`
+turns a batch of wanted page ids into a single multi-page storage
+request (``coalesced_reads`` / ``pages_prefetched`` counters).  Faulted
+batches are retried under the pool's bounded exponential backoff
+(:class:`repro.db.faults.RetryPolicy`); when the budget runs out the
+prefetch is abandoned and the pages are read one at a time through
+:meth:`get`, which applies the same retry policy per page before letting
+faults propagate.
+
 The pool is shared by every worker of the concurrent query service, so
 all cache operations hold an internal lock: the LRU ``OrderedDict`` is
 never observed mid-reorder and hit/miss counts are never dropped.
-
-The pool is also the first line of defense against storage faults: a
-miss that hits a transient read error or a torn (checksum-failing) page
-is retried with bounded exponential backoff before the fault is allowed
-to propagate (see :class:`repro.db.faults.RetryPolicy`).  Retries happen
-under the pool lock -- the backoff caps keep the worst case per read in
-the milliseconds, and serializing them preserves exact counters.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Sequence
 
+from repro.db.errors import CorruptPageError, StorageFault
 from repro.db.faults import RetryPolicy, call_with_retries
-from repro.db.pages import Page
+from repro.db.pages import Page, PageCodec
 from repro.db.storage import Storage
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "DEFAULT_DECODED_BYTES", "DEFAULT_READAHEAD_PAGES"]
+
+#: Default byte budget of the decoded-page cache (~8K pages of the
+#: default SDSS magnitude schema).
+DEFAULT_DECODED_BYTES = 64 << 20
+
+#: Default coalescing window of the scan layer's read-ahead: how many
+#: adjacent surviving pages ride in one multi-page storage request.
+DEFAULT_READAHEAD_PAGES = 8
 
 
 class BufferPool:
@@ -43,6 +66,12 @@ class BufferPool:
     retry:
         Backoff policy for transient/corrupt read faults on a miss;
         ``None`` disables retrying (one attempt, faults propagate).
+    decoded_bytes:
+        Approximate byte budget of the decoded-page cache; ``0`` or
+        ``None`` disables it (every miss decodes and re-verifies).
+    readahead_pages:
+        Default coalescing window the scan executors use when the caller
+        does not pass one; ``0`` disables read-ahead.
     """
 
     def __init__(
@@ -50,13 +79,21 @@ class BufferPool:
         storage: Storage,
         capacity_pages: int | None = 1024,
         retry: RetryPolicy | None = RetryPolicy(),
+        decoded_bytes: int | None = DEFAULT_DECODED_BYTES,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ):
         if capacity_pages is not None and capacity_pages < 1:
             raise ValueError("capacity_pages must be >= 1 or None")
+        if readahead_pages < 0:
+            raise ValueError("readahead_pages must be >= 0")
         self.storage = storage
         self.capacity_pages = capacity_pages
         self.retry = retry if retry is not None else RetryPolicy(attempts=1)
+        self.decoded_bytes = decoded_bytes if decoded_bytes else 0
+        self.readahead_pages = readahead_pages
         self._cache: OrderedDict[tuple[str, int], Page] = OrderedDict()
+        self._decoded: OrderedDict[tuple[str, int, int], Page] = OrderedDict()
+        self._decoded_nbytes = 0
         self._lock = threading.RLock()
 
     @property
@@ -67,6 +104,12 @@ class BufferPool:
     def __len__(self) -> int:
         with self._lock:
             return len(self._cache)
+
+    @property
+    def decoded_cache_bytes(self) -> int:
+        """Approximate bytes currently held by the decoded-page cache."""
+        with self._lock:
+            return self._decoded_nbytes
 
     def get(self, namespace: str, page_id: int) -> Page:
         """Fetch a page, from cache when possible.
@@ -86,18 +129,100 @@ class BufferPool:
                 return page
             self.storage.stats.add(cache_misses=1)
             page = call_with_retries(
-                lambda: self.storage.read_page(namespace, page_id),
+                lambda: self._load(namespace, page_id),
                 self.retry,
                 stats=self.storage.stats,
             )
             self._admit(key, page)
             return page
 
+    def prefetch(self, namespace: str, page_ids: Sequence[int]) -> int:
+        """Pull the missing pages among ``page_ids`` in with one coalesced read.
+
+        Returns how many pages were actually fetched (already-cached
+        pages cost nothing).  A transient fault anywhere in the batch
+        retries the whole batch under the pool's
+        :class:`~repro.db.faults.RetryPolicy` (counted in
+        ``read_faults`` / ``read_retries`` like any other read); a batch
+        that exhausts the budget is abandoned, and a torn page inside a
+        successful batch is dropped -- either way those pages fall back
+        to the page-at-a-time retry path of :meth:`get`, so prefetching
+        is strictly an optimization.
+        """
+        with self._lock:
+            missing = [
+                page_id
+                for page_id in page_ids
+                if (namespace, page_id) not in self._cache
+            ]
+            if not missing:
+                return 0
+            try:
+                blobs = call_with_retries(
+                    lambda: self.storage.read_pages_bytes(namespace, missing),
+                    self.retry,
+                    stats=self.storage.stats,
+                )
+            except StorageFault:
+                return 0
+            fetched = 0
+            for page_id, data in zip(missing, blobs):
+                try:
+                    page = self._decode(namespace, page_id, data)
+                except CorruptPageError:
+                    continue
+                self._admit((namespace, page_id), page)
+                fetched += 1
+            self.storage.stats.add(
+                pages_prefetched=fetched,
+                coalesced_reads=1 if len(missing) > 1 else 0,
+            )
+            return fetched
+
     def put(self, namespace: str, page: Page) -> None:
         """Write a page through to storage and cache it."""
         with self._lock:
             self.storage.write_page(namespace, page)
             self._admit((namespace, page.page_id), page)
+
+    # -- internals -----------------------------------------------------------
+
+    def _load(self, namespace: str, page_id: int) -> Page:
+        # Callers hold self._lock.
+        data = self.storage.read_page_bytes(namespace, page_id)
+        return self._decode(namespace, page_id, data)
+
+    def _decode(self, namespace: str, page_id: int, data: bytes) -> Page:
+        """Decode encoded bytes, reusing a decoded copy when the CRC matches.
+
+        Raises :class:`~repro.db.errors.CorruptPageError` for torn bytes
+        never seen intact before.  Torn bytes whose *stored* checksum
+        matches an already-verified copy are absorbed (the body bytes are
+        not consulted again), which is the cache doing its job: the good
+        decode of that exact page version is already in memory.
+        """
+        checksum = PageCodec.stored_checksum(data)
+        if checksum is not None and self.decoded_bytes:
+            dkey = (namespace, page_id, checksum)
+            page = self._decoded.get(dkey)
+            if page is not None:
+                self._decoded.move_to_end(dkey)
+                self.storage.stats.add(decode_hits=1)
+                return page
+        page = PageCodec.decode(data)  # CRC verified here; may raise
+        self.storage.stats.add(checksum_verifications=1)
+        if checksum is not None and self.decoded_bytes:
+            self._remember_decoded((namespace, page_id, checksum), page)
+        return page
+
+    def _remember_decoded(self, dkey: tuple[str, int, int], page: Page) -> None:
+        if dkey not in self._decoded:
+            self._decoded_nbytes += page.nbytes()
+        self._decoded[dkey] = page
+        self._decoded.move_to_end(dkey)
+        while self._decoded_nbytes > self.decoded_bytes and self._decoded:
+            _, evicted = self._decoded.popitem(last=False)
+            self._decoded_nbytes -= evicted.nbytes()
 
     def _admit(self, key: tuple[str, int], page: Page) -> None:
         # Callers hold self._lock.
@@ -108,13 +233,18 @@ class BufferPool:
                 self._cache.popitem(last=False)
 
     def invalidate(self, namespace: str) -> None:
-        """Drop every cached page of a namespace."""
+        """Drop every cached page of a namespace (both cache levels)."""
         with self._lock:
             stale = [key for key in self._cache if key[0] == namespace]
             for key in stale:
                 del self._cache[key]
+            stale_decoded = [key for key in self._decoded if key[0] == namespace]
+            for key in stale_decoded:
+                self._decoded_nbytes -= self._decoded.pop(key).nbytes()
 
     def clear(self) -> None:
-        """Empty the cache entirely (cold-cache experiments)."""
+        """Empty both cache levels (cold-cache / restart experiments)."""
         with self._lock:
             self._cache.clear()
+            self._decoded.clear()
+            self._decoded_nbytes = 0

@@ -17,12 +17,17 @@ from typing import Any
 
 import numpy as np
 
-from repro.db.buffer_pool import BufferPool
+from repro.db.buffer_pool import (
+    DEFAULT_DECODED_BYTES,
+    DEFAULT_READAHEAD_PAGES,
+    BufferPool,
+)
 from repro.db.faults import RetryPolicy
 from repro.db.procedures import ProcedureRegistry
 from repro.db.stats import IOStats
 from repro.db.storage import FileStorage, MemoryStorage, Storage
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
+from repro.db.zonemap import ZoneMap
 
 __all__ = ["Database"]
 
@@ -31,7 +36,13 @@ class Database:
     """A catalog of tables and indexes over one storage backend.
 
     ``retry`` is the buffer pool's backoff policy for transient/corrupt
-    page reads (``None`` keeps the default policy).
+    page reads (``None`` keeps the default policy).  The I/O acceleration
+    knobs -- ``zone_maps`` (per-page min/max synopses built at table
+    creation), ``decoded_cache_bytes`` (the buffer pool's decoded-page
+    cache budget; ``0`` disables) and ``readahead_pages`` (coalescing
+    window of scan read-ahead; ``0`` disables) -- all default on and
+    exist so benchmarks and differential tests can toggle each feature
+    independently.
     """
 
     def __init__(
@@ -39,14 +50,21 @@ class Database:
         storage: Storage,
         buffer_pages: int | None = 1024,
         retry: RetryPolicy | None = None,
+        zone_maps: bool = True,
+        decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ):
         self.storage = storage
         self.buffer_pool = BufferPool(
             storage,
             capacity_pages=buffer_pages,
             retry=retry if retry is not None else RetryPolicy(),
+            decoded_bytes=decoded_cache_bytes,
+            readahead_pages=readahead_pages,
         )
         self.procedures = ProcedureRegistry(self)
+        self.zone_maps_enabled = zone_maps
+        self._zone_maps: dict[str, ZoneMap] = {}
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Any] = {}
         self._mutation_listeners: list[Any] = []
@@ -54,14 +72,16 @@ class Database:
     # -- constructors -----------------------------------------------------
 
     @staticmethod
-    def in_memory(buffer_pages: int | None = 1024) -> "Database":
+    def in_memory(buffer_pages: int | None = 1024, **options: Any) -> "Database":
         """Database over in-process page storage (default for tests)."""
-        return Database(MemoryStorage(), buffer_pages=buffer_pages)
+        return Database(MemoryStorage(), buffer_pages=buffer_pages, **options)
 
     @staticmethod
-    def on_disk(root: str | os.PathLike, buffer_pages: int | None = 1024) -> "Database":
+    def on_disk(
+        root: str | os.PathLike, buffer_pages: int | None = 1024, **options: Any
+    ) -> "Database":
         """Database over file-per-page storage (real disk round trips)."""
-        return Database(FileStorage(root), buffer_pages=buffer_pages)
+        return Database(FileStorage(root), buffer_pages=buffer_pages, **options)
 
     # -- tables -----------------------------------------------------------
 
@@ -106,6 +126,7 @@ class Database:
     def drop_table(self, name: str) -> None:
         """Remove a table, its pages, and any indexes registered for it."""
         self._tables.pop(name, None)
+        self._zone_maps.pop(name, None)
         self.buffer_pool.invalidate(name)
         self.storage.drop_namespace(name)
         stale = [k for k, v in self._indexes.items() if getattr(v, "table_name", None) == name]
@@ -137,6 +158,22 @@ class Database:
     def table_names(self) -> list[str]:
         """Names of all registered tables."""
         return sorted(self._tables)
+
+    # -- zone maps -----------------------------------------------------------
+
+    def register_zone_map(self, zone_map: ZoneMap) -> None:
+        """Attach per-page synopses to a table (replaces any existing map)."""
+        self._zone_maps[zone_map.table_name] = zone_map
+
+    def zone_map(self, table_name: str) -> ZoneMap | None:
+        """The table's zone map, or ``None`` when absent or disabled."""
+        if not self.zone_maps_enabled:
+            return None
+        return self._zone_maps.get(table_name)
+
+    def zone_map_names(self) -> list[str]:
+        """Names of tables that carry zone maps."""
+        return sorted(self._zone_maps)
 
     # -- indexes ------------------------------------------------------------
 

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.db.errors import CorruptPageError, TransientIOError, WriteFault
-from repro.db.pages import Page, PageCodec
+from repro.db.pages import Page
 from repro.db.stats import IOStats
 from repro.db.storage import Storage
 
@@ -177,17 +177,19 @@ class FaultInjector:
             }
 
 
-def _corrupt_page(page: Page) -> Page:
-    """Round-trip a page through the codec with one body byte flipped.
+def _torn_bytes(data: bytes, page_id: int) -> bytes:
+    """One body byte of an encoded page, flipped.
 
     Decoding the flipped bytes raises through the real checksum path, so
-    the caller observes exactly what a torn disk read produces.
+    the caller observes exactly what a torn disk read produces.  The
+    flip lands past the 8-byte magic+crc header so the checksum, not the
+    magic check, is what catches it -- which also means the *stored*
+    checksum field survives intact, exactly as it does when a disk tears
+    the data sectors of a page but not its header.
     """
-    data = bytearray(PageCodec.encode(page))
-    # Flip past the 8-byte magic+crc header so the checksum, not the
-    # magic check, is what catches it.
-    data[8 + (page.page_id % max(len(data) - 8, 1))] ^= 0xFF
-    return PageCodec.decode(bytes(data))
+    torn = bytearray(data)
+    torn[8 + (page_id % max(len(torn) - 8, 1))] ^= 0xFF
+    return bytes(torn)
 
 
 class FaultyStorage(Storage):
@@ -195,7 +197,9 @@ class FaultyStorage(Storage):
 
     Shares the inner backend's :class:`~repro.db.stats.IOStats` object,
     so buffer-pool hit/miss/retry accounting lands in one place
-    regardless of wrapping.
+    regardless of wrapping.  Corruption flips a byte in the encoded
+    blob, so it is observable wherever the bytes are eventually decoded
+    (the buffer pool, or a direct :meth:`read_page`).
     """
 
     def __init__(self, inner: Storage, injector: FaultInjector | None = None):
@@ -208,12 +212,24 @@ class FaultyStorage(Storage):
         self.injector.on_write_attempt(namespace, page.page_id)
         self.inner.write_page(namespace, page)
 
-    def read_page(self, namespace: str, page_id: int) -> Page:
+    def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
         self.injector.on_read_attempt(namespace, page_id)
-        page = self.inner.read_page(namespace, page_id)
+        data = self.inner.read_page_bytes(namespace, page_id)
         if self.injector.corrupt_this_read():
-            return _corrupt_page(page)
-        return page
+            return _torn_bytes(data, page_id)
+        return data
+
+    def read_pages_bytes(self, namespace: str, page_ids) -> list[bytes]:
+        # Each page of a coalesced batch rolls the fault dice on its own,
+        # so a burst can kill the whole batch mid-flight (callers degrade
+        # to page-at-a-time reads) and per-page corruption still fires.
+        for page_id in page_ids:
+            self.injector.on_read_attempt(namespace, page_id)
+        blobs = self.inner.read_pages_bytes(namespace, page_ids)
+        return [
+            _torn_bytes(data, page_id) if self.injector.corrupt_this_read() else data
+            for page_id, data in zip(page_ids, blobs)
+        ]
 
     def num_pages(self, namespace: str) -> int:
         return self.inner.num_pages(namespace)

@@ -112,6 +112,21 @@ class PageCodec:
         return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
 
     @staticmethod
+    def stored_checksum(data: bytes) -> int | None:
+        """The body CRC32 recorded in an encoded page, without verifying it.
+
+        This is the decoded-page cache's key ingredient: two reads of the
+        same (namespace, page_id) whose stored checksums match carry the
+        same body, so a previously decoded-and-verified copy can be
+        reused without re-running the CRC or the decode.  Returns
+        ``None`` for legacy ``RPG1`` pages (no checksum to key on) and
+        for blobs too short to carry one.
+        """
+        if len(data) < 8 or data[:4] != _MAGIC:
+            return None
+        return struct.unpack("<I", data[4:8])[0]
+
+    @staticmethod
     def decode(data: bytes) -> Page:
         """Deserialize bytes produced by :meth:`encode`.
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.db.catalog import Database
 from repro.db.storage import FileStorage
 from repro.db.table import ColumnSpec, Table
+from repro.db.zonemap import ZoneMap
 
 __all__ = ["save_catalog", "attach_database", "CATALOG_FILENAME"]
 
@@ -46,6 +47,14 @@ def save_catalog(database: Database) -> Path:
                 ],
             }
             for table in (database.table(n) for n in database.table_names())
+        ],
+        # Zone maps are synopses of immutable pages, so they persist with
+        # the schema; absent for tables created with zone maps disabled
+        # (and in catalogs written before the key existed).
+        "zone_maps": [
+            database.zone_map(name).to_dict()
+            for name in database.table_names()
+            if database.zone_map(name) is not None
         ],
     }
     path = storage.root / CATALOG_FILENAME
@@ -87,4 +96,7 @@ def attach_database(
                 f"found {stored} on disk"
             )
         database.adopt_table(table)
+    for payload in catalog.get("zone_maps", ()):
+        if database.has_table(payload["table"]):
+            database.register_zone_map(ZoneMap.from_dict(payload))
     return database

@@ -73,11 +73,17 @@ class LoggedStorage(Storage):
         self.stats.page_writes = self.inner.stats.page_writes
         self.stats.bytes_written = self.inner.stats.bytes_written + self.log_bytes()
 
-    def read_page(self, namespace: str, page_id: int) -> Page:
-        page = self.inner.read_page(namespace, page_id)
+    def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
+        data = self.inner.read_page_bytes(namespace, page_id)
         self.stats.page_reads = self.inner.stats.page_reads
         self.stats.bytes_read = self.inner.stats.bytes_read
-        return page
+        return data
+
+    def read_pages_bytes(self, namespace: str, page_ids) -> list[bytes]:
+        blobs = self.inner.read_pages_bytes(namespace, page_ids)
+        self.stats.page_reads = self.inner.stats.page_reads
+        self.stats.bytes_read = self.inner.stats.bytes_read
+        return blobs
 
     def num_pages(self, namespace: str) -> int:
         return self.inner.num_pages(namespace)

@@ -9,11 +9,24 @@ Scans are the engine's longest-running reads, so they carry their own
 its backoff on a page, the scan re-attempts that one page before giving
 up -- a page lost to a fault burst mid-scan does not forfeit the pages
 already processed.
+
+Both executors accept two optional accelerators:
+
+* a ``pruner`` (usually :meth:`repro.db.zonemap.ZoneMap.pruner`): pages
+  it classifies ``OUTSIDE`` are skipped before any read or decode
+  (counted as ``pages_skipped``), and pages classified ``INSIDE`` skip
+  the per-row predicate -- every row qualifies by construction.  The
+  pruner must be derived from the same geometry as the predicate, which
+  is the caller's contract.
+* ``readahead``: surviving pages are grouped into runs of consecutive
+  ids (at most ``readahead`` long) and each multi-page run is pulled
+  into the buffer pool with one coalesced storage request before the
+  per-page loop touches it.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -22,6 +35,8 @@ from repro.db.faults import RetryPolicy, call_with_retries
 from repro.db.pages import Page
 from repro.db.stats import QueryStats
 from repro.db.table import Table
+from repro.db.zonemap import ZonePruner
+from repro.geometry.boxes import BoxRelation
 
 __all__ = ["full_scan", "range_scan", "predicate_from_expression", "SCAN_RETRY"]
 
@@ -36,6 +51,61 @@ def _read_page_retrying(
     if retry is None:
         return table.read_page(page_id)
     return call_with_retries(lambda: table.read_page(page_id), retry)
+
+
+def _coalesced_runs(page_ids: list[int], window: int) -> list[list[int]]:
+    """Split page ids into runs of consecutive ids, each at most ``window``."""
+    runs: list[list[int]] = []
+    run: list[int] = []
+    for page_id in page_ids:
+        if run and (page_id != run[-1] + 1 or len(run) >= window):
+            runs.append(run)
+            run = []
+        run.append(page_id)
+    if run:
+        runs.append(run)
+    return runs
+
+
+def _iter_planned_pages(
+    table: Table,
+    page_ids: Iterable[int],
+    pruner: ZonePruner | None,
+    stats: QueryStats,
+    cancel_check: Callable[[], None] | None,
+    retry: RetryPolicy | None,
+    window: int,
+) -> Iterator[tuple[Page, bool]]:
+    """Yield ``(page, fully_inside)`` for the pages that survive pruning.
+
+    OUTSIDE pages are dropped up front (``stats.pages_skipped``); the
+    survivors are grouped into coalesced read-ahead runs when ``window``
+    allows, so the storage sees one request per run instead of one per
+    page.
+    """
+    plan: list[tuple[int, bool]] = []
+    for page_id in page_ids:
+        if pruner is not None:
+            relation = pruner.classify(page_id)
+            if relation is BoxRelation.OUTSIDE:
+                stats.pages_skipped += 1
+                continue
+            plan.append((page_id, relation is BoxRelation.INSIDE))
+        else:
+            plan.append((page_id, False))
+    prefetch_at: dict[int, list[int]] = {}
+    if window > 1:
+        for run in _coalesced_runs([page_id for page_id, _ in plan], window):
+            if len(run) > 1:
+                prefetch_at[run[0]] = run
+    for page_id, inside in plan:
+        if cancel_check is not None:
+            cancel_check()
+        run = prefetch_at.get(page_id)
+        if run is not None:
+            stats.pages_prefetched += table.prefetch(run)
+        page = _read_page_retrying(table, page_id, retry)
+        yield page, inside
 
 
 def predicate_from_expression(expr: Expr) -> Callable[[dict[str, np.ndarray]], np.ndarray]:
@@ -54,16 +124,22 @@ def full_scan(
     columns: list[str] | None = None,
     cancel_check: Callable[[], None] | None = None,
     retry: RetryPolicy | None = SCAN_RETRY,
+    pruner: ZonePruner | None = None,
+    readahead: int | None = None,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan every page, apply an optional predicate, project columns.
 
     Returns the matching rows (plus a ``_row_id`` column of global ids)
     and per-query statistics.  This is the baseline of Figure 5.
 
-    ``cancel_check`` is invoked once per page; it may raise (e.g. a
-    deadline check from the query service) to abandon the scan
+    ``cancel_check`` is invoked once per surviving page; it may raise
+    (e.g. a deadline check from the query service) to abandon the scan
     cooperatively between pages.  ``retry`` bounds per-page re-attempts
-    after the buffer pool's own retries are exhausted.
+    after the buffer pool's own retries are exhausted.  ``pruner`` skips
+    pages as described in the module docstring -- pass one only when its
+    geometry matches ``predicate``.  ``readahead`` overrides the table's
+    default coalescing window (``None`` = table default, ``0``/``1``
+    disables).
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -71,13 +147,13 @@ def full_scan(
     stats = QueryStats()
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
-    for page_id in range(table.num_pages):
-        if cancel_check is not None:
-            cancel_check()
-        page = _read_page_retrying(table, page_id, retry)
+    window = readahead if readahead is not None else table.readahead_pages
+    for page, inside in _iter_planned_pages(
+        table, range(table.num_pages), pruner, stats, cancel_check, retry, window
+    ):
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += page.num_rows
-        if predicate is None:
+        if predicate is None or inside:
             mask = None
             matched = page.num_rows
         else:
@@ -107,12 +183,15 @@ def range_scan(
     columns: list[str] | None = None,
     cancel_check: Callable[[], None] | None = None,
     retry: RetryPolicy | None = SCAN_RETRY,
+    pruner: ZonePruner | None = None,
+    readahead: int | None = None,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan only pages overlapping ``[start_row, stop_row)``.
 
     The engine-level realization of the paper's ``BETWEEN`` on post-order
-    numbered kd-leaves or space-filling-curve cell ids.  ``cancel_check``
-    and ``retry`` behave as in :func:`full_scan`.
+    numbered kd-leaves or space-filling-curve cell ids.  ``cancel_check``,
+    ``retry``, ``pruner`` and ``readahead`` behave as in
+    :func:`full_scan`.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -126,17 +205,17 @@ def range_scan(
         return _assemble(table, wanted, chunks, row_id_chunks), stats
     first = start_row // table.rows_per_page
     last = (stop_row - 1) // table.rows_per_page
-    for page_id in range(first, last + 1):
-        if cancel_check is not None:
-            cancel_check()
-        page = _read_page_retrying(table, page_id, retry)
+    window = readahead if readahead is not None else table.readahead_pages
+    for page, inside in _iter_planned_pages(
+        table, range(first, last + 1), pruner, stats, cancel_check, retry, window
+    ):
         lo = max(start_row - page.start_row, 0)
         hi = min(stop_row - page.start_row, page.num_rows)
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += hi - lo
         view = page.slice(lo, hi)
         row_ids = np.arange(page.start_row + lo, page.start_row + hi, dtype=np.int64)
-        if predicate is None:
+        if predicate is None or inside:
             mask = None
             matched = hi - lo
         else:

@@ -9,7 +9,7 @@ profile does.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["IOStats", "QueryStats"]
 
@@ -23,6 +23,13 @@ class IOStats:
     increments go through :meth:`add`, which holds an internal lock.
     Plain attribute reads stay lock-free: a torn read can only observe a
     slightly stale count, never a corrupted one.
+
+    The I/O-acceleration counters decompose a page fetch into its parts:
+    ``checksum_verifications`` counts actual decode-and-verify passes,
+    ``decode_hits`` counts fetches whose bytes matched an already-decoded
+    copy (CRC and decode both skipped), ``pages_prefetched`` counts pages
+    brought in by coalesced read-ahead, and ``coalesced_reads`` counts
+    the multi-page storage requests those rode in on.
     """
 
     page_reads: int = 0
@@ -33,91 +40,73 @@ class IOStats:
     cache_misses: int = 0
     read_faults: int = 0
     read_retries: int = 0
+    checksum_verifications: int = 0
+    decode_hits: int = 0
+    pages_prefetched: int = 0
+    coalesced_reads: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
 
-    def add(
-        self,
-        *,
-        page_reads: int = 0,
-        page_writes: int = 0,
-        bytes_read: int = 0,
-        bytes_written: int = 0,
-        cache_hits: int = 0,
-        cache_misses: int = 0,
-        read_faults: int = 0,
-        read_retries: int = 0,
-    ) -> None:
+    _COUNTERS = (
+        "page_reads",
+        "page_writes",
+        "bytes_read",
+        "bytes_written",
+        "cache_hits",
+        "cache_misses",
+        "read_faults",
+        "read_retries",
+        "checksum_verifications",
+        "decode_hits",
+        "pages_prefetched",
+        "coalesced_reads",
+    )
+
+    def add(self, **deltas: int) -> None:
         """Atomically increment any subset of the counters."""
         with self._lock:
-            self.page_reads += page_reads
-            self.page_writes += page_writes
-            self.bytes_read += bytes_read
-            self.bytes_written += bytes_written
-            self.cache_hits += cache_hits
-            self.cache_misses += cache_misses
-            self.read_faults += read_faults
-            self.read_retries += read_retries
+            for name, delta in deltas.items():
+                if name not in self._COUNTERS:
+                    raise TypeError(f"unknown IOStats counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
 
     def reset(self) -> None:
         """Zero every counter."""
         with self._lock:
-            self.page_reads = 0
-            self.page_writes = 0
-            self.bytes_read = 0
-            self.bytes_written = 0
-            self.cache_hits = 0
-            self.cache_misses = 0
-            self.read_faults = 0
-            self.read_retries = 0
+            for name in self._COUNTERS:
+                setattr(self, name, 0)
 
     def snapshot(self) -> "IOStats":
         """An independent copy of the current counters."""
         with self._lock:
-            return IOStats(
-                page_reads=self.page_reads,
-                page_writes=self.page_writes,
-                bytes_read=self.bytes_read,
-                bytes_written=self.bytes_written,
-                cache_hits=self.cache_hits,
-                cache_misses=self.cache_misses,
-                read_faults=self.read_faults,
-                read_retries=self.read_retries,
-            )
+            return IOStats(**{name: getattr(self, name) for name in self._COUNTERS})
 
     def delta_since(self, earlier: "IOStats") -> "IOStats":
         """Counter differences relative to an earlier snapshot."""
         return IOStats(
-            page_reads=self.page_reads - earlier.page_reads,
-            page_writes=self.page_writes - earlier.page_writes,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-            cache_misses=self.cache_misses - earlier.cache_misses,
-            read_faults=self.read_faults - earlier.read_faults,
-            read_retries=self.read_retries - earlier.read_retries,
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self._COUNTERS
+            }
         )
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view of the counters (for reports and JSON)."""
         with self._lock:
-            return {
-                "page_reads": self.page_reads,
-                "page_writes": self.page_writes,
-                "bytes_read": self.bytes_read,
-                "bytes_written": self.bytes_written,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "read_faults": self.read_faults,
-                "read_retries": self.read_retries,
-            }
+            return {name: getattr(self, name) for name in self._COUNTERS}
 
     def __str__(self) -> str:
         return (
             f"IOStats(reads={self.page_reads}, writes={self.page_writes}, "
             f"hits={self.cache_hits}, misses={self.cache_misses})"
         )
+
+
+# Every counter must be an init-able dataclass field (snapshot relies on it).
+assert set(IOStats._COUNTERS) == {
+    f.name for f in fields(IOStats) if f.init
+}, "IOStats._COUNTERS out of sync with its fields"
 
 
 @dataclass
@@ -127,6 +116,10 @@ class QueryStats:
     ``pages_touched`` counts *distinct* pages: two leaf ranges sharing a
     boundary page cost one page fetch, exactly as they do through the
     buffer pool.  Executors report pages via :meth:`record_page`.
+
+    ``pages_skipped`` counts candidate pages a zone map proved
+    non-contributing before any read or decode; ``pages_prefetched``
+    counts pages this query pulled in through coalesced read-ahead.
     """
 
     rows_examined: int = 0
@@ -135,6 +128,8 @@ class QueryStats:
     cells_outside: int = 0
     cells_partial: int = 0
     nodes_visited: int = 0
+    pages_skipped: int = 0
+    pages_prefetched: int = 0
     extra: dict = field(default_factory=dict)
     _pages: set = field(default_factory=set, repr=False)
 
@@ -168,6 +163,8 @@ class QueryStats:
         self.cells_outside += other.cells_outside
         self.cells_partial += other.cells_partial
         self.nodes_visited += other.nodes_visited
+        self.pages_skipped += other.pages_skipped
+        self.pages_prefetched += other.pages_prefetched
         for key, value in other.extra.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 self.extra.setdefault(key, value)

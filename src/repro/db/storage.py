@@ -12,7 +12,14 @@ Two backends share one interface:
 
 Storage is deliberately dumb: no caching here.  Caching lives in
 :class:`repro.db.buffer_pool.BufferPool`, so that cache hits and misses
-are attributable.
+are attributable.  Reads come in two granularities: the raw-bytes
+primitives (:meth:`Storage.read_page_bytes`,
+:meth:`Storage.read_pages_bytes`) return encoded blobs without decoding
+-- the buffer pool owns decoding so it can skip it on a decoded-cache
+hit -- and :meth:`Storage.read_page` remains the decode-included
+convenience for direct callers.  ``read_pages_bytes`` is the coalescing
+seam: one call fetches a batch of pages (the scan layer's read-ahead),
+and a backend accounts the whole batch with a single counter update.
 
 Failure contract (see :mod:`repro.db.errors`): a read may raise
 :class:`~repro.db.errors.TransientIOError` (retryable) or
@@ -29,6 +36,7 @@ from __future__ import annotations
 import abc
 import os
 from pathlib import Path
+from typing import Sequence
 
 from repro.db.errors import TransientIOError, WriteFault
 from repro.db.pages import Page, PageCodec
@@ -51,8 +59,24 @@ class Storage(abc.ABC):
         """Persist a page (overwrites an existing page with the same id)."""
 
     @abc.abstractmethod
+    def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
+        """Load a page's encoded bytes; raises ``KeyError`` when absent."""
+
+    def read_pages_bytes(
+        self, namespace: str, page_ids: Sequence[int]
+    ) -> list[bytes]:
+        """Load several pages' encoded bytes in one coalesced request.
+
+        The base implementation loops :meth:`read_page_bytes`; real
+        backends override it to account the batch as one I/O operation.
+        A fault on any page fails the whole batch (callers degrade to
+        page-at-a-time reads with retries).
+        """
+        return [self.read_page_bytes(namespace, page_id) for page_id in page_ids]
+
     def read_page(self, namespace: str, page_id: int) -> Page:
-        """Load a page; raises ``KeyError`` when absent."""
+        """Load and decode a page; raises ``KeyError`` when absent."""
+        return PageCodec.decode(self.read_page_bytes(namespace, page_id))
 
     @abc.abstractmethod
     def num_pages(self, namespace: str) -> int:
@@ -75,10 +99,20 @@ class MemoryStorage(Storage):
         self._pages.setdefault(namespace, {})[page.page_id] = data
         self.stats.add(page_writes=1, bytes_written=len(data))
 
-    def read_page(self, namespace: str, page_id: int) -> Page:
+    def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
         data = self._pages[namespace][page_id]
         self.stats.add(page_reads=1, bytes_read=len(data))
-        return PageCodec.decode(data)
+        return data
+
+    def read_pages_bytes(
+        self, namespace: str, page_ids: Sequence[int]
+    ) -> list[bytes]:
+        store = self._pages[namespace]
+        blobs = [store[page_id] for page_id in page_ids]
+        self.stats.add(
+            page_reads=len(blobs), bytes_read=sum(len(b) for b in blobs)
+        )
+        return blobs
 
     def num_pages(self, namespace: str) -> int:
         return len(self._pages.get(namespace, {}))
@@ -109,19 +143,31 @@ class FileStorage(Storage):
             raise WriteFault(f"write of ({namespace!r}, {page.page_id}) failed: {exc}") from exc
         self.stats.add(page_writes=1, bytes_written=len(data))
 
-    def read_page(self, namespace: str, page_id: int) -> Page:
+    def _read_bytes(self, namespace: str, page_id: int) -> bytes:
         path = self._page_path(namespace, page_id)
         try:
             with open(path, "rb") as fh:
-                data = fh.read()
+                return fh.read()
         except FileNotFoundError:
             raise KeyError((namespace, page_id)) from None
         except OSError as exc:
             # Real disk hiccups map onto the retryable fault class, so
             # the buffer pool's backoff applies to them too.
             raise TransientIOError(f"read of ({namespace!r}, {page_id}) failed: {exc}") from exc
+
+    def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
+        data = self._read_bytes(namespace, page_id)
         self.stats.add(page_reads=1, bytes_read=len(data))
-        return PageCodec.decode(data)
+        return data
+
+    def read_pages_bytes(
+        self, namespace: str, page_ids: Sequence[int]
+    ) -> list[bytes]:
+        blobs = [self._read_bytes(namespace, page_id) for page_id in page_ids]
+        self.stats.add(
+            page_reads=len(blobs), bytes_read=sum(len(b) for b in blobs)
+        )
+        return blobs
 
     def num_pages(self, namespace: str) -> int:
         directory = self.root / namespace

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Iterator
 import numpy as np
 
 from repro.db.pages import Page
+from repro.db.zonemap import ZoneMap
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.db.catalog import Database
@@ -118,6 +119,15 @@ class Table:
             rows_per_page,
             clustered_by=clustered_by,
         )
+        # Zone maps ride along with the write path: every page's min/max
+        # synopsis is folded in as the page is emitted, so the map is
+        # complete the moment the table is.
+        zone_columns = [spec.name for spec in specs if spec.dtype.kind in "iuf"]
+        zone_map = (
+            ZoneMap(name, zone_columns)
+            if zone_columns and database.zone_maps_enabled
+            else None
+        )
         for page_id in range(table.num_pages):
             start = page_id * rows_per_page
             stop = min(start + rows_per_page, num_rows)
@@ -127,6 +137,10 @@ class Table:
                 columns={n: np.ascontiguousarray(a[start:stop]) for n, a in columns.items()},
             )
             database.buffer_pool.put(name, page)
+            if zone_map is not None:
+                zone_map.observe_page(page)
+        if zone_map is not None:
+            database.register_zone_map(zone_map)
         return table
 
     # -- shape ---------------------------------------------------------------
@@ -156,6 +170,27 @@ class Table:
         if not (0 <= page_id < self.num_pages):
             raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
         return self._db.buffer_pool.get(self.name, page_id)
+
+    def prefetch(self, page_ids: list[int]) -> int:
+        """Coalesce a batch of page reads into one storage request.
+
+        Returns the number of pages actually fetched.  Best-effort: a
+        fault mid-batch degrades to the page-at-a-time retry path of
+        :meth:`read_page`, so callers never need to handle errors here.
+        """
+        valid = [pid for pid in page_ids if 0 <= pid < self.num_pages]
+        if not valid:
+            return 0
+        return self._db.buffer_pool.prefetch(self.name, valid)
+
+    def zone_map(self) -> "ZoneMap | None":
+        """This table's per-page min/max synopses, when the catalog has them."""
+        return self._db.zone_map(self.name)
+
+    @property
+    def readahead_pages(self) -> int:
+        """The buffer pool's default read-ahead coalescing window."""
+        return self._db.buffer_pool.readahead_pages
 
     def scan(self) -> Iterator[Page]:
         """Yield every page in order: the full table scan."""

@@ -158,7 +158,10 @@ class QueryService:
     queue_depth:
         Admission bound; a full queue rejects with backpressure.
     cache_entries:
-        Result-cache capacity (``0`` disables caching).
+        Result-cache capacity in entries (``0`` disables caching).
+    cache_bytes:
+        Approximate byte budget of the result cache (``None`` disables
+        the byte bound; entry count still applies).
     default_deadline:
         Seconds applied to queries submitted without an explicit one
         (``None`` = no deadline).
@@ -172,6 +175,7 @@ class QueryService:
         workers: int = 4,
         queue_depth: int = 64,
         cache_entries: int = 256,
+        cache_bytes: int | None = 64 << 20,
         default_deadline: float | None = None,
     ):
         if workers < 1:
@@ -180,7 +184,11 @@ class QueryService:
         self.planner = planner
         self.sessions = SessionManager()
         self.admission = AdmissionQueue(queue_depth)
-        self.cache = ResultCache(cache_entries) if cache_entries > 0 else None
+        self.cache = (
+            ResultCache(cache_entries, max_bytes=cache_bytes)
+            if cache_entries > 0
+            else None
+        )
         self.metrics = MetricsRegistry()
         self.default_deadline = default_deadline
         self._num_workers = workers
@@ -355,6 +363,8 @@ class QueryService:
                 queue_wait_s=queue_wait,
                 exec_time_s=exec_time,
                 pages_read=0 if cache_hit else planned.stats.pages_touched,
+                pages_skipped=0 if cache_hit else planned.stats.pages_skipped,
+                pages_prefetched=0 if cache_hit else planned.stats.pages_prefetched,
                 rows_examined=0 if cache_hit else planned.stats.rows_examined,
                 rows_returned=planned.stats.rows_returned,
                 cache_hit=cache_hit,

@@ -29,6 +29,10 @@ class QueryMetrics:
     queue_wait_s: float = 0.0
     exec_time_s: float = 0.0
     pages_read: int = 0
+    #: Pages proven irrelevant by zone maps and never read or decoded.
+    pages_skipped: int = 0
+    #: Pages pulled in via coalesced read-ahead instead of point reads.
+    pages_prefetched: int = 0
     rows_examined: int = 0
     rows_returned: int = 0
     cache_hit: bool = False
@@ -114,6 +118,8 @@ class MetricsRegistry:
                 sum(1 for r in done if r.cache_hit) / len(done) if done else 0.0
             ),
             "pages_read": float(sum(r.pages_read for r in done)),
+            "pages_skipped": float(sum(r.pages_skipped for r in done)),
+            "pages_prefetched": float(sum(r.pages_prefetched for r in done)),
             "rows_returned": float(sum(r.rows_returned for r in done)),
             "mean_queue_wait_s": sum(waits) / len(waits) if waits else 0.0,
             "max_queue_wait_s": max(waits) if waits else 0.0,
@@ -148,6 +154,8 @@ class MetricsRegistry:
             f"  cache hits         {int(s['cache_hits']):>8}"
             f"   (hit rate {s['cache_hit_rate']:.2%})",
             f"  pages read         {int(s['pages_read']):>8}",
+            f"  pages skipped      {int(s['pages_skipped']):>8}"
+            f"   prefetched {int(s['pages_prefetched'])}",
             f"  rows returned      {int(s['rows_returned']):>8}",
             f"  planner: kd-tree   {int(s['kdtree_queries']):>8}"
             f"   scan {int(s['scan_queries'])}",

@@ -63,19 +63,44 @@ def query_fingerprint(
     return digest.hexdigest()
 
 
+def _approx_nbytes(value: Any) -> int:
+    """Approximate heap footprint of a cached result.
+
+    Cached values are :class:`~repro.core.planner.PlannedQuery` objects
+    (or anything row-shaped); the dominant cost is the numpy arrays of
+    the result rows, so that is what is counted.  Unrecognized shapes
+    cost a symbolic minimum so an entry is never free.
+    """
+    rows = getattr(value, "rows", value)
+    if isinstance(rows, dict):
+        return max(
+            sum(int(getattr(arr, "nbytes", 0)) for arr in rows.values()), 1
+        )
+    return 1
+
+
 class ResultCache:
     """Thread-safe LRU of completed query results with hit/miss counters.
+
+    Eviction is double-bounded: by entry count (``capacity``) and by the
+    approximate bytes the cached row sets pin (``max_bytes``) -- one huge
+    low-selectivity result can no longer crowd the process just because
+    it is a single entry.  ``max_bytes=None`` disables the byte bound.
 
     Values are treated as immutable by contract: a hit returns the same
     object that was inserted, shared by every requester.
     """
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256, max_bytes: int | None = 64 << 20):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 or None")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._lock = threading.RLock()
-        self._entries: OrderedDict[str, tuple[str, Any]] = OrderedDict()
+        self._entries: OrderedDict[str, tuple[str, Any, int]] = OrderedDict()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -84,6 +109,12 @@ class ResultCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Approximate bytes currently pinned by cached results."""
+        with self._lock:
+            return self._bytes
 
     def get(self, key: str) -> Any | None:
         """Look up a fingerprint; counts a hit or a miss."""
@@ -98,19 +129,29 @@ class ResultCache:
 
     def put(self, key: str, table_name: str, value: Any) -> None:
         """Insert (or refresh) a completed result for a table's query."""
+        nbytes = _approx_nbytes(value)
         with self._lock:
-            self._entries[key] = (table_name, value)
-            self._entries.move_to_end(key)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[key] = (table_name, value, nbytes)
+            self._bytes += nbytes
             self.insertions += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            # Evict LRU-first until both bounds hold; the newest entry
+            # itself may go when it alone exceeds the byte budget.
+            while self._entries and (
+                len(self._entries) > self.capacity
+                or (self.max_bytes is not None and self._bytes > self.max_bytes)
+            ):
+                _, (_, _, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes -= evicted_bytes
 
     def invalidate_table(self, table_name: str) -> int:
         """Evict every result computed from ``table_name``; returns count."""
         with self._lock:
-            stale = [k for k, (t, _) in self._entries.items() if t == table_name]
+            stale = [k for k, (t, _, _) in self._entries.items() if t == table_name]
             for key in stale:
-                del self._entries[key]
+                self._bytes -= self._entries.pop(key)[2]
             self.invalidations += len(stale)
             return len(stale)
 
@@ -118,6 +159,7 @@ class ResultCache:
         """Drop everything (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
 
     @property
     def hit_rate(self) -> float:
@@ -132,6 +174,8 @@ class ResultCache:
             return {
                 "capacity": float(self.capacity),
                 "entries": float(len(self._entries)),
+                "cache_bytes": float(self._bytes),
+                "max_bytes": float(self.max_bytes) if self.max_bytes else 0.0,
                 "hits": float(self.hits),
                 "misses": float(self.misses),
                 "insertions": float(self.insertions),

@@ -360,17 +360,7 @@ class ScatterGatherExecutor:
         """Aggregate I/O counters across every shard's storage backend."""
         total = IOStats()
         for shard in self.shard_set:
-            snap = shard.database.io_stats.snapshot()
-            total.add(
-                page_reads=snap.page_reads,
-                page_writes=snap.page_writes,
-                bytes_read=snap.bytes_read,
-                bytes_written=snap.bytes_written,
-                cache_hits=snap.cache_hits,
-                cache_misses=snap.cache_misses,
-                read_faults=snap.read_faults,
-                read_retries=snap.read_retries,
-            )
+            total.add(**shard.database.io_stats.snapshot().as_dict())
         return total
 
     def __repr__(self) -> str:

@@ -70,8 +70,9 @@ class TestConcurrentReplayUnderFaults:
         with service:
             setup.db.cold_cache()
             # A scripted outage long enough to kill the probe's retry
-            # budget but short enough for the scan fallback to succeed.
-            setup.injector.fail_next_reads(6)
+            # budget (read-ahead batch + first page read) but short
+            # enough for the scan fallback to succeed.
+            setup.injector.fail_next_reads(8)
             outcome = service.execute(polyhedron, timeout=60)
             assert outcome.fallback
             assert rows_equal(outcome.rows, truth)

@@ -45,10 +45,11 @@ class TestTransientReadFaults:
         polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
         truth = fault_free_ground_truth(setup, [polyhedron])[0]
 
-        # 6 failed attempts: the probe's 4-attempt budget dies (attempts
-        # 1-4), the scan's first page read eats the rest and recovers.
+        # 8 failed attempts: the probe's coalesced prefetch dies
+        # (attempts 1-4), its first page-at-a-time read dies (5-8), and
+        # the scan fallback then runs against healthy storage.
         setup.db.cold_cache()
-        setup.injector.fail_next_reads(6)
+        setup.injector.fail_next_reads(8)
         planned = setup.planner.execute(polyhedron)
 
         assert planned.fallback
@@ -67,9 +68,11 @@ class TestTransientReadFaults:
         assert not truth.fallback and truth.chosen_path == "kdtree"
 
         setup.db.cold_cache()
-        # 8 = the pool's 4 attempts times the scan layer's 2: exactly
-        # enough to exhaust both retry budgets on the first leaf read.
-        setup.injector.fail_next_reads(8)
+        # 12 = the pool's 4 attempts spent abandoning the read-ahead
+        # batch + its 4 attempts times the scan layer's 2 on the
+        # page-at-a-time path: exactly enough to exhaust every budget on
+        # the first leaf read.
+        setup.injector.fail_next_reads(12)
         planned = planner.execute(polyhedron)
 
         assert planned.fallback

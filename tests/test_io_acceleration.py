@@ -1,0 +1,446 @@
+"""The I/O acceleration stack: zone maps, read-ahead, decoded-page cache.
+
+Covers the three layers the query hot path gained and the contracts
+between them:
+
+* zone maps classify pages soundly (differentially checked against the
+  un-pruned scans, including sharded execution) and die with the table;
+* coalesced read-ahead is invisible except in the counters -- same rows,
+  fewer storage requests -- and keeps fault injection observable;
+* the decoded-page cache verifies every distinct byte content exactly
+  once while torn pages still surface on genuinely cold reads;
+* the service's result cache enforces its byte budget and reports it.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import (
+    Box,
+    Database,
+    KdPartitioner,
+    KdTreeIndex,
+    Polyhedron,
+    QueryPlanner,
+    QueryService,
+    ScatterGatherExecutor,
+    polyhedron_full_scan,
+)
+from repro.db import CorruptPageError, ZoneMap, full_scan
+from repro.db.persistence import attach_database, save_catalog
+from repro.db.scan import _coalesced_runs
+from repro.geometry.boxes import BoxRelation
+from repro.service.result_cache import ResultCache
+
+from .faultutil import make_faulty_db
+
+NUM_ROWS = 1024
+ROWS_PER_PAGE = 64  # 16 pages of a sorted column: one tight box per page
+
+
+def _sorted_data(n: int = NUM_ROWS) -> dict[str, np.ndarray]:
+    return {
+        "x": np.arange(n, dtype=np.float64),
+        "oid": np.arange(n, dtype=np.int64),
+    }
+
+
+def _interval(lo: float, hi: float) -> Polyhedron:
+    return Polyhedron.from_box(Box(np.array([lo]), np.array([hi])))
+
+
+def _row_ids(rows: dict) -> frozenset[int]:
+    return frozenset(int(v) for v in rows["_row_id"])
+
+
+@pytest.fixture()
+def sorted_table():
+    db = Database.in_memory(buffer_pages=None)
+    table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+    return db, table
+
+
+class TestZoneMapConstruction:
+    def test_built_at_table_creation_with_page_tight_boxes(self, sorted_table):
+        db, table = sorted_table
+        zone_map = db.zone_map("t")
+        assert zone_map is not None
+        assert zone_map.num_pages == table.num_pages == 16
+        for page_id in range(table.num_pages):
+            box = zone_map.box(page_id)
+            lo = page_id * ROWS_PER_PAGE
+            x_axis = zone_map.columns.index("x")
+            assert box.lo[x_axis] == lo
+            assert box.hi[x_axis] == lo + ROWS_PER_PAGE - 1
+
+    def test_page_order_is_enforced(self):
+        db = Database.in_memory(buffer_pages=None)
+        table = db.create_table("t", _sorted_data(256), rows_per_page=64)
+        zone_map = ZoneMap("t", ["x"])
+        with pytest.raises(ValueError, match="expected page 0"):
+            zone_map.observe_page(table.read_page(2))
+
+    def test_pruner_trichotomy_matches_geometry(self, sorted_table):
+        db, _ = sorted_table
+        # [96, 352): fully covers pages 2..4, clips pages 1 and 5.
+        pruner = db.zone_map("t").pruner(_interval(96.0, 351.0), ["x"])
+        assert pruner.classify(0) is BoxRelation.OUTSIDE
+        assert pruner.classify(1) is BoxRelation.PARTIAL
+        for page_id in (2, 3, 4):
+            assert pruner.classify(page_id) is BoxRelation.INSIDE
+        assert pruner.classify(5) is BoxRelation.PARTIAL
+        assert pruner.classify(6) is BoxRelation.OUTSIDE
+        counts = pruner.counts()
+        assert counts == {"outside": 11, "partial": 2, "inside": 3}
+        assert pruner.surviving(range(16)) == [1, 2, 3, 4, 5]
+
+    def test_unknown_pages_and_uncovered_dims_degrade_conservatively(
+        self, sorted_table
+    ):
+        db, _ = sorted_table
+        zone_map = db.zone_map("t")
+        pruner = zone_map.pruner(_interval(0.0, 1.0), ["x"])
+        # A page the map never observed must not be skipped.
+        assert pruner.classify(999) is BoxRelation.PARTIAL
+        # A dimension without synopses disables pruning entirely.
+        assert zone_map.pruner(_interval(0.0, 1.0), ["no_such_column"]) is None
+
+    def test_disabled_database_has_no_zone_maps_but_scans_correctly(self):
+        db = Database.in_memory(buffer_pages=None, zone_maps=False)
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        assert db.zone_map("t") is None
+        rows, stats = polyhedron_full_scan(table, ["x"], _interval(100.0, 199.0))
+        assert _row_ids(rows) == frozenset(range(100, 200))
+        assert stats.pages_skipped == 0
+
+
+class TestZoneMapScanIntegration:
+    def test_outside_pages_never_read_inside_pages_skip_predicate(
+        self, sorted_table
+    ):
+        db, table = sorted_table
+        polyhedron = _interval(96.0, 351.0)
+        pruner = db.zone_map("t").pruner(polyhedron, ["x"])
+        calls = {"n": 0}
+
+        def predicate(columns):
+            calls["n"] += 1
+            return (columns["x"] >= 96.0) & (columns["x"] <= 351.0)
+
+        rows, stats = full_scan(table, predicate=predicate, pruner=pruner)
+        assert _row_ids(rows) == frozenset(range(96, 352))
+        assert stats.pages_skipped == 11  # OUTSIDE pages never surfaced
+        assert stats.pages_touched == 5  # 2 PARTIAL + 3 INSIDE
+        assert calls["n"] == 2  # only the PARTIAL pages ran the filter
+
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [(0.0, 63.0), (96.0, 351.0), (31.5, 32.5), (-10.0, 2000.0), (2000.0, 3000.0)],
+    )
+    def test_differential_pruned_vs_unpruned_full_scan(self, sorted_table, lo, hi):
+        _, table = sorted_table
+        polyhedron = _interval(lo, hi)
+        pruned, _ = polyhedron_full_scan(table, ["x"], polyhedron)
+        plain, _ = polyhedron_full_scan(
+            table, ["x"], polyhedron, use_zone_maps=False
+        )
+        assert _row_ids(pruned) == _row_ids(plain)
+
+    def test_differential_kd_index_with_and_without_zone_maps(self):
+        rng = np.random.default_rng(3)
+        db = Database.in_memory(buffer_pages=None)
+        dims = ["a", "b"]
+        data = {
+            "a": rng.normal(size=2000),
+            "b": rng.normal(size=2000),
+            "oid": np.arange(2000, dtype=np.int64),
+        }
+        index = KdTreeIndex.build(db, "pts", data, dims)
+        for trial in range(5):
+            center = rng.normal(size=2) * 0.5
+            half = rng.uniform(0.1, 1.0)
+            polyhedron = Polyhedron.from_box(Box.cube(center, half))
+            on_rows, on_stats = index.query_polyhedron(polyhedron)
+            off_rows, _ = index.query_polyhedron(polyhedron, use_zone_maps=False)
+            assert _row_ids(on_rows) == _row_ids(off_rows), f"trial {trial}"
+
+    def test_differential_sharded_scatter_gather(self):
+        rng = np.random.default_rng(9)
+        dims = ["a", "b"]
+        data = {
+            "a": rng.normal(size=1200),
+            "b": rng.normal(size=1200),
+            "oid": np.arange(1200, dtype=np.int64),
+        }
+        with_maps = KdPartitioner(2, buffer_pages=None).partition(
+            "pts", dict(data), dims
+        )
+        without_maps = KdPartitioner(
+            2,
+            database_factory=lambda j: Database.in_memory(
+                buffer_pages=None, zone_maps=False
+            ),
+        ).partition("pts", dict(data), dims)
+        with ScatterGatherExecutor(with_maps) as on, ScatterGatherExecutor(
+            without_maps
+        ) as off:
+            for trial in range(4):
+                center = rng.normal(size=2) * 0.5
+                polyhedron = Polyhedron.from_box(
+                    Box.cube(center, rng.uniform(0.2, 1.0))
+                )
+                oids_on = frozenset(
+                    int(v) for v in on.execute(polyhedron).rows["oid"]
+                )
+                oids_off = frozenset(
+                    int(v) for v in off.execute(polyhedron).rows["oid"]
+                )
+                assert oids_on == oids_off, f"trial {trial}"
+
+
+class TestZoneMapInvalidation:
+    def test_drop_table_drops_the_map(self, sorted_table):
+        db, _ = sorted_table
+        assert db.zone_map("t") is not None
+        db.drop_table("t")
+        assert db.zone_map("t") is None
+        assert "t" not in db.zone_map_names()
+
+    def test_recreate_rebuilds_the_map_for_the_new_contents(self, sorted_table):
+        db, _ = sorted_table
+        db.drop_table("t")
+        shifted = {
+            "x": np.arange(NUM_ROWS, dtype=np.float64) + 5000.0,
+            "oid": np.arange(NUM_ROWS, dtype=np.int64),
+        }
+        table = db.create_table("t", shifted, rows_per_page=ROWS_PER_PAGE)
+        # A query aimed at the *old* value range now prunes everything...
+        rows, stats = polyhedron_full_scan(table, ["x"], _interval(0.0, 500.0))
+        assert len(rows["_row_id"]) == 0
+        assert stats.pages_skipped == table.num_pages
+        # ...and the new range answers exactly.
+        rows, _ = polyhedron_full_scan(table, ["x"], _interval(5000.0, 5099.0))
+        assert _row_ids(rows) == frozenset(range(100))
+
+    def test_zone_maps_survive_catalog_persistence(self, tmp_path):
+        db = Database.on_disk(tmp_path / "zm", buffer_pages=None)
+        db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        save_catalog(db)
+
+        reopened = attach_database(tmp_path / "zm", buffer_pages=None)
+        zone_map = reopened.zone_map("t")
+        assert zone_map is not None
+        assert zone_map.num_pages == 16
+        rows, stats = polyhedron_full_scan(
+            reopened.table("t"), ["x"], _interval(100.0, 199.0)
+        )
+        assert _row_ids(rows) == frozenset(range(100, 200))
+        assert stats.pages_skipped > 0
+
+
+class TestCoalescedReadAhead:
+    def test_runs_split_on_gaps_and_window(self):
+        assert _coalesced_runs([0, 1, 2, 5, 6, 9], 8) == [[0, 1, 2], [5, 6], [9]]
+        assert _coalesced_runs([0, 1, 2, 3], 2) == [[0, 1], [2, 3]]
+        assert _coalesced_runs([], 8) == []
+
+    def test_scan_prefetches_in_batches_with_identical_rows(self, sorted_table):
+        db, table = sorted_table
+        polyhedron = _interval(0.0, float(NUM_ROWS))
+
+        db.cold_cache()
+        db.reset_io_stats()
+        plain, _ = polyhedron_full_scan(table, ["x"], polyhedron)
+        batched = db.io_stats.snapshot()
+        assert batched.pages_prefetched > 0
+        assert batched.coalesced_reads > 0
+
+        db.cold_cache()
+        db.reset_io_stats()
+        single, stats = full_scan(
+            table, predicate=None, readahead=0
+        )
+        assert db.io_stats.pages_prefetched == 0
+        assert stats.pages_prefetched == 0
+        assert _row_ids(plain) == _row_ids(single)
+
+    def test_transient_faults_inside_a_batch_are_retried_and_counted(self):
+        db, injector = make_faulty_db(seed=4, buffer_pages=8)
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        truth, _ = polyhedron_full_scan(table, ["x"], _interval(0.0, 1024.0))
+
+        db.cold_cache()
+        db.reset_io_stats()
+        injector.fail_next_reads(2)
+        rows, stats = polyhedron_full_scan(table, ["x"], _interval(0.0, 1024.0))
+        assert _row_ids(rows) == _row_ids(truth)
+        io = db.io_stats.as_dict()
+        assert io["read_faults"] >= 2
+        assert io["read_retries"] >= 2
+        assert stats.pages_prefetched > 0
+
+    def test_rate_faults_through_the_coalesced_path_keep_answers_exact(self):
+        db, injector = make_faulty_db(seed=11, buffer_pages=8)
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        queries = [(0.0, 63.0), (100.0, 500.0), (0.0, 1024.0), (900.0, 1023.0)]
+        truth = [
+            _row_ids(polyhedron_full_scan(table, ["x"], _interval(lo, hi))[0])
+            for lo, hi in queries
+        ]
+
+        injector.configure(read_fault_rate=0.1)
+        db.cold_cache()
+        for (lo, hi), expected in zip(queries, truth):
+            db.cold_cache()
+            rows, _ = polyhedron_full_scan(table, ["x"], _interval(lo, hi))
+            assert _row_ids(rows) == expected
+        assert injector.counters()["reads_failed"] > 0
+        assert db.io_stats.read_retries > 0
+
+
+class TestDecodedPageCache:
+    def test_repeat_scans_verify_each_page_once(self):
+        db = Database.in_memory(buffer_pages=4)  # pool far smaller than table
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        polyhedron = _interval(0.0, 1024.0)
+
+        db.cold_cache()
+        db.reset_io_stats()
+        first, _ = polyhedron_full_scan(table, ["x"], polyhedron)
+        after_cold = db.io_stats.snapshot()
+        assert after_cold.checksum_verifications == table.num_pages
+
+        second, _ = polyhedron_full_scan(table, ["x"], polyhedron)
+        after_warm = db.io_stats.snapshot()
+        # The tiny pool forced re-reads, but no byte content was
+        # re-verified or re-decoded.
+        assert after_warm.checksum_verifications == after_cold.checksum_verifications
+        assert after_warm.decode_hits > after_cold.decode_hits
+        assert _row_ids(first) == _row_ids(second)
+
+    def test_disabled_cache_re_verifies_every_re_read(self):
+        db = Database.in_memory(buffer_pages=4, decoded_cache_bytes=0)
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        polyhedron = _interval(0.0, 1024.0)
+        db.cold_cache()
+        db.reset_io_stats()
+        polyhedron_full_scan(table, ["x"], polyhedron)
+        polyhedron_full_scan(table, ["x"], polyhedron)
+        io = db.io_stats.as_dict()
+        assert io["decode_hits"] == 0
+        assert io["checksum_verifications"] > table.num_pages
+
+    def test_byte_budget_bounds_the_decoded_cache(self):
+        db = Database.in_memory(buffer_pages=1, decoded_cache_bytes=4096)
+        table = db.create_table("t", _sorted_data(), rows_per_page=ROWS_PER_PAGE)
+        db.cold_cache()
+        for page_id in range(table.num_pages):
+            table.read_page(page_id)
+        assert 0 < db.buffer_pool.decoded_cache_bytes <= 4096
+
+
+class TestChecksumDiscipline:
+    """Satellite: CRC verified once per content, faults stay observable."""
+
+    def test_verify_once_across_primary_evictions(self):
+        db = Database.in_memory(buffer_pages=1)
+        table = db.create_table("t", _sorted_data(128), rows_per_page=64)
+        db.cold_cache()
+        db.reset_io_stats()
+        table.read_page(0)  # verified
+        table.read_page(1)  # verified; evicts page 0 from the frame cache
+        table.read_page(0)  # re-read bytes, decode hit, no re-verification
+        io = db.io_stats.as_dict()
+        assert io["checksum_verifications"] == 2
+        assert io["decode_hits"] == 1
+
+    def test_persistent_torn_pages_raise_on_cold_reads(self):
+        db, injector = make_faulty_db(seed=6, buffer_pages=8)
+        table = db.create_table("t", _sorted_data(128), rows_per_page=64)
+        injector.configure(corrupt_rate=1.0)
+        db.cold_cache()
+        db.reset_io_stats()
+        with pytest.raises(CorruptPageError):
+            table.read_page(0)
+        io = db.io_stats.as_dict()
+        assert io["read_faults"] > 0
+        assert io["decode_hits"] == 0
+
+    def test_warm_decoded_cache_absorbs_torn_rereads_cold_cache_detects(self):
+        db, injector = make_faulty_db(seed=6, buffer_pages=1)
+        table = db.create_table("t", _sorted_data(128), rows_per_page=64)
+        db.cold_cache()
+        intact = table.read_page(0).columns["x"].copy()
+        table.read_page(1)  # evicts page 0's frame; decoded copy remains
+
+        # Torn bytes with an intact stored CRC are absorbed by the
+        # already-verified decoded copy -- the sanctioned fast path.
+        injector.configure(corrupt_rate=1.0)
+        absorbed = table.read_page(0)
+        assert np.array_equal(absorbed.columns["x"], intact)
+
+        # A genuinely cold read (both cache levels dropped) must still
+        # surface the corruption: fault injection stays observable.
+        db.cold_cache()
+        with pytest.raises(CorruptPageError):
+            table.read_page(0)
+
+
+class TestResultCacheByteBudget:
+    @staticmethod
+    def _result(num_values: int) -> SimpleNamespace:
+        return SimpleNamespace(
+            rows={"v": np.zeros(num_values, dtype=np.float64)}
+        )
+
+    def test_byte_bound_evicts_lru_first(self):
+        cache = ResultCache(capacity=10, max_bytes=20_000)
+        for i in range(3):  # 8000 bytes each
+            cache.put(f"k{i}", "t", self._result(1000))
+        assert len(cache) == 2
+        assert cache.get("k0") is None  # the oldest entry paid for the budget
+        assert cache.get("k2") is not None
+        assert cache.cache_bytes <= 20_000
+
+    def test_oversized_single_entry_does_not_pin_the_budget(self):
+        cache = ResultCache(capacity=10, max_bytes=1000)
+        cache.put("big", "t", self._result(1000))
+        assert len(cache) == 0
+        assert cache.cache_bytes == 0
+
+    def test_invalidation_returns_the_bytes(self):
+        cache = ResultCache(capacity=10, max_bytes=None)
+        cache.put("a", "t", self._result(100))
+        cache.put("b", "u", self._result(100))
+        assert cache.invalidate_table("t") == 1
+        assert cache.cache_bytes == 800
+        counters = cache.counters()
+        assert counters["cache_bytes"] == 800.0
+        assert counters["invalidations"] == 1.0
+
+    def test_service_report_exposes_cache_bytes(self):
+        rng = np.random.default_rng(2)
+        db = Database.in_memory(buffer_pages=None)
+        dims = ["a", "b"]
+        data = {
+            "a": rng.normal(size=1500),
+            "b": rng.normal(size=1500),
+            "oid": np.arange(1500, dtype=np.int64),
+        }
+        index = KdTreeIndex.build(db, "pts", data, dims)
+        planner = QueryPlanner(index, seed=2)
+        polyhedron = Polyhedron.from_box(Box.cube(np.zeros(2), 1.0))
+        with QueryService(
+            db, planner, workers=2, cache_entries=8, cache_bytes=1 << 20
+        ) as service:
+            first = service.execute(polyhedron, timeout=60)
+            second = service.execute(polyhedron, timeout=60)
+            assert second.cache_hit
+            report = service.report()
+        assert report["cache"]["cache_bytes"] > 0
+        assert report["cache"]["max_bytes"] == float(1 << 20)
+        assert frozenset(first.rows["oid"]) == frozenset(second.rows["oid"])
