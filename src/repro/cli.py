@@ -116,12 +116,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"replaying {len(queries)} queries ({unique} unique) at "
         f"concurrency {args.concurrency} over {args.workers} workers..."
     )
+    if args.batch > 1:
+        print(
+            f"micro-batching up to {args.batch} queries per worker pull "
+            f"(formation delay {args.batch_delay_ms:.1f} ms)"
+        )
     service = QueryService(
         service_db,
         engine,
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        batch_size=args.batch,
+        batch_delay_s=args.batch_delay_ms / 1e3,
     )
     with service:
         report = replay_workload(service, queries, concurrency=args.concurrency)
@@ -131,6 +138,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report.wall_time_s:.2f} s ({report.throughput_qps:.1f} q/s), "
         f"{report.resubmissions} backpressure retries"
     )
+    summary = service.metrics.summary()
+    if summary["batches"]:
+        print(
+            f"batched execution: {int(summary['batches'])} batches, "
+            f"mean occupancy {summary['mean_batch_occupancy']:.2f}, "
+            f"{int(summary['shared_decode_hits'])} shared decode hits over "
+            f"{int(summary['batch_pages_decoded'])} decoded pages"
+        )
     print(service.metrics.format_report(db.procedures if service_db else None))
     if report.errors:
         print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
@@ -229,6 +244,14 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument(
         "--deadline-ms", type=float, default=0.0,
         help="per-query deadline in milliseconds (0 = none)",
+    )
+    replay.add_argument(
+        "--batch", type=int, default=1,
+        help="max queries micro-batched per worker pull (1 = solo execution)",
+    )
+    replay.add_argument(
+        "--batch-delay-ms", type=float, default=0.0,
+        help="bounded batch-formation delay in milliseconds",
     )
     replay.add_argument(
         "--verify", action="store_true",

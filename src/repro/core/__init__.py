@@ -17,6 +17,7 @@ all built on the paged engine of :mod:`repro.db`:
   full-scan baseline used across all Figure 5-style comparisons.
 """
 
+from repro.core.batch import BatchMemberResult, BatchResult, batch_kd_query
 from repro.core.index_base import SpatialIndex
 from repro.core.kdtree import KdTree, KdTreeIndex
 from repro.core.knn import (
@@ -32,9 +33,18 @@ from repro.core.voronoi_index import VoronoiIndex
 from repro.core.hybrid import hybrid_query, linear_relaxations
 from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.core.rtree import RTreeIndex
-from repro.core.queries import ball_polyhedron, ball_query, polyhedron_full_scan, selectivity
+from repro.core.queries import (
+    ball_polyhedron,
+    ball_query,
+    polyhedron_batch_full_scan,
+    polyhedron_full_scan,
+    selectivity,
+)
 
 __all__ = [
+    "BatchMemberResult",
+    "BatchResult",
+    "batch_kd_query",
     "SpatialIndex",
     "KdTree",
     "KdTreeIndex",
@@ -54,6 +64,7 @@ __all__ = [
     "ball_query",
     "hybrid_query",
     "linear_relaxations",
+    "polyhedron_batch_full_scan",
     "polyhedron_full_scan",
     "selectivity",
 ]

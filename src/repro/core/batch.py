@@ -1,0 +1,298 @@
+"""Shared-work batch execution over the kd-tree and the scan.
+
+The paper's headline numbers (Figure 5, §3.2) are single-query; under
+concurrent traffic the same hot pages get read, CRC-verified, and
+predicate-filtered once *per query*, and the kd-tree's top levels get
+re-walked once per query.  This module amortizes that shared work across
+a micro-batch of queries:
+
+* :func:`batch_kd_query` lifts the Figure 4 traversal to a *query set*:
+  each tree node is visited once and classified against every member
+  polyhedron still active there -- OUTSIDE members drop out of the
+  subtree, INSIDE members bulk-claim the node's clustered row range, and
+  PARTIAL members recurse.  The claimed ranges of all members are then
+  served by one shared fetch pass that decodes each needed page once.
+* :class:`BatchResult` / :class:`BatchMemberResult` are the engine-level
+  contract: per-member outcomes stay independent (one member's deadline
+  or fault never drops its batch siblings), plus batch-level counters
+  for the work sharing the service surfaces in its metrics.
+
+The scan-side counterpart lives in :func:`repro.db.scan.batch_full_scan`;
+the per-query planner front end is
+:meth:`repro.core.planner.QueryPlanner.execute_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.db.scan import SCAN_RETRY, _coalesced_runs, _read_page_retrying
+from repro.db.stats import QueryStats
+from repro.geometry.boxes import BoxRelation
+from repro.geometry.halfspace import Polyhedron
+
+__all__ = ["BatchMemberResult", "BatchResult", "batch_kd_query"]
+
+
+@dataclass
+class BatchMemberResult:
+    """Per-member outcome of a batch execution: a plan or an error.
+
+    Exactly one of ``planned`` / ``error`` is set.  ``planned`` is a
+    :class:`~repro.core.planner.PlannedQuery` (typed loosely to keep the
+    module import-cycle-free); ``error`` carries whatever the member's
+    own cancel check or degraded solo re-execution raised.
+    """
+
+    planned: Any | None = None
+    error: BaseException | None = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one micro-batch, demultiplexed per member.
+
+    ``occupancy`` is the number of queries co-executed;
+    ``pages_decoded`` counts pages the shared passes actually read, and
+    ``shared_decode_hits`` counts the extra members each decoded page
+    served beyond the first -- the reads/decodes a solo execution of the
+    same members would have repeated.
+    """
+
+    members: list[BatchMemberResult] = field(default_factory=list)
+    occupancy: int = 0
+    pages_decoded: int = 0
+    shared_decode_hits: int = 0
+
+
+#: A (start, end, needs_filter) clustered row range claimed by a member.
+_Range = tuple[int, int, bool]
+
+
+def batch_kd_query(
+    index,
+    polyhedra: Sequence[Polyhedron],
+    cancel_checks: Sequence[Callable[[], None] | None] | None = None,
+    use_tight_boxes: bool = True,
+    use_zone_maps: bool = True,
+) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
+    """Evaluate several polyhedron queries in one kd traversal + fetch.
+
+    The traversal visits each node once, carrying the set of members for
+    whom the node is still unresolved; the fetch pass unions the claimed
+    row ranges of every member, applies each member's zone-map pruner to
+    its residual-filter ranges, and decodes each surviving page exactly
+    once, slicing and filtering it for every member that claimed rows on
+    it.  Per-member results are identical to running
+    :meth:`KdTreeIndex.query_polyhedron` solo (rows may come back in a
+    different order -- page order instead of traversal order).
+
+    Member isolation matches :func:`repro.db.scan.batch_full_scan`: a
+    member whose ``cancel_check`` raises is dropped mid-batch with its
+    partial rows discarded, siblings unaffected.  A
+    :class:`~repro.db.errors.StorageFault` from the shared read path
+    propagates, letting the caller degrade to solo execution.
+
+    Returns ``(results, counters)`` shaped exactly like
+    :func:`~repro.db.scan.batch_full_scan`'s.
+    """
+    tree = index.tree
+    table = index.table
+    dims = index.dims
+    n = len(polyhedra)
+    checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+    for polyhedron in polyhedra:
+        if polyhedron.dim != len(dims):
+            raise ValueError(
+                f"polyhedron dim {polyhedron.dim} != index dim {len(dims)}"
+            )
+
+    stats = [QueryStats() for _ in range(n)]
+    errors: list[BaseException | None] = [None] * n
+    ranges: list[list[_Range]] = [[] for _ in range(n)]
+    box_of = tree.tight_box if use_tight_boxes else tree.partition_box
+    zone_map = table.zone_map() if use_zone_maps else None
+    pruners = [
+        zone_map.pruner(polyhedron, dims) if zone_map is not None else None
+        for polyhedron in polyhedra
+    ]
+
+    # -- phase 1: one multi-box traversal (Figure 4 over a query set) ------
+    stack: list[tuple[int, tuple[int, ...]]] = [(1, tuple(range(n)))]
+    while stack:
+        node, active = stack.pop()
+        live: list[int] = []
+        for m in active:
+            if errors[m] is not None:
+                continue
+            check = checks[m]
+            if check is not None:
+                try:
+                    check()
+                except BaseException as exc:
+                    errors[m] = exc
+                    continue
+            live.append(m)
+        if not live:
+            continue
+        start, end = tree.node_rows(node)
+        if start == end:
+            continue
+        box = box_of(node)
+        deeper: list[int] = []
+        for m in live:
+            stats[m].nodes_visited += 1
+            relation = polyhedra[m].classify_box(box)
+            if relation is BoxRelation.OUTSIDE:
+                stats[m].cells_outside += 1
+            elif relation is BoxRelation.INSIDE:
+                stats[m].cells_inside += 1
+                ranges[m].append((start, end, False))
+            elif tree.is_leaf(node):
+                stats[m].cells_partial += 1
+                ranges[m].append((start, end, True))
+            else:
+                deeper.append(m)
+        if deeper:
+            stack.append((2 * node + 1, tuple(deeper)))
+            stack.append((2 * node, tuple(deeper)))
+
+    # -- phase 2: shared fetch of the union of claimed ranges --------------
+    results, counters = _fetch_member_ranges(
+        table, dims, polyhedra, ranges, stats, checks, errors, pruners
+    )
+    return results, counters
+
+
+def _fetch_member_ranges(
+    table,
+    dims: list[str],
+    polyhedra: Sequence[Polyhedron],
+    ranges: list[list[_Range]],
+    stats: list[QueryStats],
+    checks: list[Callable[[], None] | None],
+    errors: list[BaseException | None],
+    pruners: list,
+) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
+    """Serve every member's claimed row ranges, decoding each page once.
+
+    ``segments[page_id]`` collects ``(member, lo, hi, filter)`` row
+    slices; INSIDE-subtree slices (``filter=False``) bypass both pruner
+    and residual filter (their contract is "every clustered row in
+    range"), while residual slices consult the member's pruner first --
+    a page the pruner proves OUTSIDE is skipped *for that member only*,
+    and one proven INSIDE keeps the rows but drops the filter.
+    """
+    rows_per_page = table.rows_per_page
+    wanted = table.column_names
+    n = len(ranges)
+    chunks: list[dict[str, list[np.ndarray]]] = [
+        {name: [] for name in wanted} for _ in range(n)
+    ]
+    row_id_chunks: list[list[np.ndarray]] = [[] for _ in range(n)]
+    counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+
+    segments: dict[int, list[tuple[int, int, int, bool]]] = {}
+    for m in range(n):
+        if errors[m] is not None:
+            continue
+        pruner = pruners[m]
+        for start, end, needs_filter in ranges[m]:
+            first = start // rows_per_page
+            last = (end - 1) // rows_per_page
+            for page_id in range(first, last + 1):
+                page_filter = needs_filter
+                if needs_filter and pruner is not None:
+                    relation = pruner.classify(page_id)
+                    if relation is BoxRelation.OUTSIDE:
+                        stats[m].pages_skipped += 1
+                        continue
+                    page_filter = relation is not BoxRelation.INSIDE
+                page_start = page_id * rows_per_page
+                page_rows = min(rows_per_page, table.num_rows - page_start)
+                lo = max(start - page_start, 0)
+                hi = min(end - page_start, page_rows)
+                segments.setdefault(page_id, []).append((m, lo, hi, page_filter))
+
+    page_ids = sorted(segments)
+    window = table.readahead_pages
+    prefetch_at: dict[int, list[int]] = {}
+    if window > 1:
+        for run in _coalesced_runs(page_ids, window):
+            if len(run) > 1:
+                prefetch_at[run[0]] = run
+
+    for page_id in page_ids:
+        live: list[tuple[int, int, int, bool]] = []
+        checked: set[int] = set()
+        for m, lo, hi, page_filter in segments[page_id]:
+            if errors[m] is not None:
+                continue
+            if m not in checked:
+                checked.add(m)
+                check = checks[m]
+                if check is not None:
+                    try:
+                        check()
+                    except BaseException as exc:
+                        errors[m] = exc
+                        continue
+            if errors[m] is None:
+                live.append((m, lo, hi, page_filter))
+        if not live:
+            continue
+        run = prefetch_at.get(page_id)
+        if run is not None:
+            stats[live[0][0]].pages_prefetched += table.prefetch(run)
+        page = _read_page_retrying(table, page_id, SCAN_RETRY)
+        counters["pages_decoded"] += 1
+        counters["shared_decode_hits"] += len({m for m, _, _, _ in live}) - 1
+        points = None
+        for m, lo, hi, page_filter in live:
+            member_stats = stats[m]
+            member_stats.record_page(table.name, page_id)
+            member_stats.rows_examined += hi - lo
+            row_ids = np.arange(
+                page.start_row + lo, page.start_row + hi, dtype=np.int64
+            )
+            if page_filter:
+                if points is None:
+                    # Stacked once per page, shared by every filtering member.
+                    points = np.column_stack([page.columns[d] for d in dims])
+                mask = polyhedra[m].contains_points(points[lo:hi])
+                matched = int(np.count_nonzero(mask))
+                if matched == 0:
+                    continue
+                member_stats.rows_returned += matched
+                row_id_chunks[m].append(row_ids[mask])
+                for name in wanted:
+                    chunks[m][name].append(page.columns[name][lo:hi][mask])
+            else:
+                member_stats.rows_returned += hi - lo
+                row_id_chunks[m].append(row_ids)
+                for name in wanted:
+                    chunks[m][name].append(page.columns[name][lo:hi])
+
+    results: list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]] = []
+    for m in range(n):
+        if errors[m] is not None:
+            results.append((None, stats[m], errors[m]))
+            continue
+        rows: dict[str, np.ndarray] = {}
+        for name in wanted:
+            parts = chunks[m][name]
+            rows[name] = (
+                np.concatenate(parts)
+                if parts
+                else np.empty(0, dtype=table.dtype_of(name))
+            )
+        rows["_row_id"] = (
+            np.concatenate(row_id_chunks[m])
+            if row_id_chunks[m]
+            else np.empty(0, dtype=np.int64)
+        )
+        results.append((rows, stats[m], None))
+    return results, counters

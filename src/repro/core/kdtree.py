@@ -472,6 +472,32 @@ class KdTreeIndex(SpatialIndex):
         result = _concat_results(self._table, pieces)
         return result, stats
 
+    def query_polyhedra(
+        self,
+        polyhedra: list[Polyhedron],
+        cancel_checks: list | None = None,
+        use_tight_boxes: bool = True,
+        use_zone_maps: bool = True,
+    ):
+        """Evaluate several polyhedron queries in one shared traversal.
+
+        The Figure 4 logic lifted to a query set: every tree node is
+        visited once and classified against each member still unresolved
+        there, and the claimed row ranges of all members are served by a
+        shared fetch pass that decodes each page once.  Returns
+        per-member ``(rows, stats, error)`` triples plus the shared-work
+        counters -- see :func:`repro.core.batch.batch_kd_query`.
+        """
+        from repro.core.batch import batch_kd_query
+
+        return batch_kd_query(
+            self,
+            polyhedra,
+            cancel_checks=cancel_checks,
+            use_tight_boxes=use_tight_boxes,
+            use_zone_maps=use_zone_maps,
+        )
+
     def query_polyhedron_stream(self, polyhedron: Polyhedron, use_tight_boxes: bool = True):
         """Streaming variant of :meth:`query_polyhedron`.
 

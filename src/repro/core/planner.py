@@ -29,8 +29,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.batch import BatchMemberResult, BatchResult, batch_kd_query
 from repro.core.kdtree import KdTreeIndex
-from repro.core.queries import polyhedron_full_scan
+from repro.core.queries import polyhedron_batch_full_scan, polyhedron_full_scan
 from repro.db.errors import StorageFault
 from repro.db.stats import QueryStats
 from repro.geometry.halfspace import Polyhedron
@@ -105,6 +106,20 @@ class QueryPlanner:
         # The query service shares one planner across worker threads;
         # numpy Generators are not thread-safe, so draws are serialized.
         self._rng_lock = threading.Lock()
+        # The probe's sampled points, cached per table snapshot: tables
+        # are immutable once created, so concurrent queries need not
+        # re-read the same sample pages -- the first probe pays the I/O
+        # and every later estimate evaluates against the cached points.
+        # Catalog mutations (drop/recreate) invalidate the cache through
+        # the same listener channel the result cache rides on.
+        self._probe_lock = threading.Lock()
+        self._probe_cache: tuple[np.ndarray, int] | None = None
+        index.table.database.add_mutation_listener(self._on_catalog_mutation)
+
+    def _on_catalog_mutation(self, table_name: str) -> None:
+        if table_name == self.index.table.name:
+            with self._probe_lock:
+                self._probe_cache = None
 
     # -- engine protocol ----------------------------------------------------
     # The query service treats its execution engine as anything with
@@ -140,14 +155,36 @@ class QueryPlanner:
         """
         if self.statistics is not None:
             return self.statistics.estimate_polyhedron(polyhedron), 0
+        points, probed = self._probe_sample()
+        if len(points) == 0:
+            return 0.0, 0
+        return float(polyhedron.contains_points(points).sum()) / len(points), probed
+
+    def _probe_sample(self) -> tuple[np.ndarray, int]:
+        """The cached probe point sample, reading the pages on first use.
+
+        Returns ``(points, pages_probed)`` where ``points`` stacks the
+        coordinate columns of the sampled pages.  The sample is drawn
+        once per table snapshot; a concurrent first call may probe twice
+        (both reads land in the buffer pool), after which every caller
+        shares one array.
+        """
+        with self._probe_lock:
+            cached = self._probe_cache
+        if cached is not None:
+            return cached
         table = self.index.table
+        if table.num_pages == 0:
+            sample: tuple[np.ndarray, int] = (np.empty((0, len(self.index.dims))), 0)
+            with self._probe_lock:
+                self._probe_cache = sample
+            return sample
         probe = min(self.sample_pages, table.num_pages)
         page_ids = np.linspace(0, table.num_pages - 1, probe).astype(int)
         # Jitter to avoid aliasing with any periodic layout.
         with self._rng_lock:
             jitter = self._rng.integers(0, max(table.num_pages // probe, 1), probe)
         page_ids = np.minimum(page_ids + jitter, table.num_pages - 1)
-        matched = examined = 0
         dims = self.index.dims
         probe_ids = [int(page_id) for page_id in np.unique(page_ids)]
         # The probe pages are scattered across the file; one coalesced
@@ -155,14 +192,18 @@ class QueryPlanner:
         # (unless the engine was configured with read-ahead disabled).
         if table.readahead_pages:
             table.prefetch(probe_ids)
+        pieces = []
         for page_id in probe_ids:
             page = table.read_page(page_id)
-            pts = np.column_stack([page.columns[d] for d in dims])
-            matched += int(polyhedron.contains_points(pts).sum())
-            examined += page.num_rows
-        if examined == 0:
-            return 0.0, 0
-        return matched / examined, int(len(np.unique(page_ids)))
+            if page.num_rows:
+                pieces.append(np.column_stack([page.columns[d] for d in dims]))
+        points = (
+            np.concatenate(pieces) if pieces else np.empty((0, len(dims)))
+        )
+        sample = (points, len(probe_ids))
+        with self._probe_lock:
+            self._probe_cache = sample
+        return sample
 
     def execute(self, polyhedron: Polyhedron, cancel_check=None) -> PlannedQuery:
         """Estimate, choose a path, run, and report.
@@ -219,3 +260,128 @@ class QueryPlanner:
             fallback=fallback,
             fallback_reason=reason,
         )
+
+    def execute_batch(self, polyhedra, cancel_checks=None) -> BatchResult:
+        """Plan and run a micro-batch of queries with shared work.
+
+        Members are planned individually (the cached probe makes the
+        estimates zero-I/O after the first), then grouped by chosen path:
+        the kd group runs one multi-box traversal
+        (:func:`~repro.core.batch.batch_kd_query`) and the scan group one
+        shared scan pass, each decoding every needed page once for all of
+        its members.
+
+        Isolation matches the batch executors underneath: a member whose
+        ``cancel_check`` raises is recorded as that member's ``error``
+        and its siblings keep going.  A :class:`StorageFault` that kills
+        a *shared* pass degrades that group's members to independent
+        :meth:`execute` calls -- each then gets the solo path's own retry
+        and kd-to-scan fallback, and one member's terminal fault cannot
+        take down the rest of the batch.
+        """
+        n = len(polyhedra)
+        checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+        result = BatchResult(
+            members=[BatchMemberResult() for _ in range(n)], occupancy=n
+        )
+        # (estimate, probed, fallback, reason) per member; None = errored.
+        plans: list[tuple[float, int, bool, str] | None] = [None] * n
+        kd_group: list[int] = []
+        scan_group: list[int] = []
+        for m, (polyhedron, check) in enumerate(zip(polyhedra, checks)):
+            if check is not None:
+                try:
+                    check()
+                except BaseException as exc:
+                    result.members[m].error = exc
+                    continue
+            fallback = False
+            reason = ""
+            try:
+                estimate, probed = self.estimate_selectivity(polyhedron)
+            except StorageFault as exc:
+                estimate, probed = float("nan"), 0
+                fallback = True
+                reason = f"selectivity probe failed: {type(exc).__name__}"
+            plans[m] = (estimate, probed, fallback, reason)
+            if estimate <= self.crossover:  # NaN compares False -> scan
+                kd_group.append(m)
+            else:
+                scan_group.append(m)
+
+        self._run_group(
+            kd_group,
+            polyhedra,
+            checks,
+            plans,
+            result,
+            path="kdtree",
+            runner=lambda polys, chks: batch_kd_query(self.index, polys, chks),
+        )
+        self._run_group(
+            scan_group,
+            polyhedra,
+            checks,
+            plans,
+            result,
+            path="scan",
+            runner=lambda polys, chks: polyhedron_batch_full_scan(
+                self.index.table, self.index.dims, polys, chks
+            ),
+        )
+        return result
+
+    def _run_group(
+        self,
+        group: list[int],
+        polyhedra,
+        checks,
+        plans,
+        result: BatchResult,
+        path: str,
+        runner,
+    ) -> None:
+        """Run one same-path member group through its shared executor.
+
+        Fills ``result.members[m]`` for every ``m`` in ``group`` and
+        folds the group's shared-work counters into ``result``.  On a
+        group-level :class:`StorageFault` every member is re-run solo.
+        """
+        if not group:
+            return
+        try:
+            outcomes, counters = runner(
+                [polyhedra[m] for m in group], [checks[m] for m in group]
+            )
+        except StorageFault as exc:
+            # The shared pass died; peel the members apart so each gets
+            # the solo path's own retries and fallback, and a terminal
+            # fault stays confined to its member.
+            reason = f"batch {path} pass failed: {type(exc).__name__}"
+            for m in group:
+                try:
+                    planned = self.execute(polyhedra[m], cancel_check=checks[m])
+                except BaseException as solo_exc:
+                    result.members[m].error = solo_exc
+                    continue
+                if not planned.fallback:
+                    planned.fallback = True
+                    planned.fallback_reason = reason
+                result.members[m].planned = planned
+            return
+        result.pages_decoded += counters["pages_decoded"]
+        result.shared_decode_hits += counters["shared_decode_hits"]
+        for m, (rows, stats, error) in zip(group, outcomes):
+            if error is not None:
+                result.members[m].error = error
+                continue
+            estimate, probed, fallback, reason = plans[m]
+            result.members[m].planned = PlannedQuery(
+                rows=rows,
+                stats=stats,
+                chosen_path=path,
+                estimated_selectivity=estimate,
+                sampled_pages=probed,
+                fallback=fallback,
+                fallback_reason=reason,
+            )

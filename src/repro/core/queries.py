@@ -9,12 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.db.scan import full_scan
+from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
 from repro.db.stats import QueryStats
 from repro.db.table import Table
 from repro.geometry.halfspace import Polyhedron
 
-__all__ = ["polyhedron_full_scan", "selectivity"]
+__all__ = ["polyhedron_batch_full_scan", "polyhedron_full_scan", "selectivity"]
 
 
 def polyhedron_full_scan(
@@ -49,6 +49,48 @@ def polyhedron_full_scan(
     return full_scan(
         table, predicate=predicate, cancel_check=cancel_check, pruner=pruner
     )
+
+
+def polyhedron_batch_full_scan(
+    table: Table,
+    dims: list[str],
+    polyhedra: list[Polyhedron],
+    cancel_checks: list | None = None,
+    use_zone_maps: bool = True,
+) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
+    """Evaluate several polyhedron queries in one shared scan pass.
+
+    The multi-query analog of :func:`polyhedron_full_scan`: each
+    surviving page is read and decoded once and every member's predicate
+    is evaluated vectorized against the shared column arrays; per-page
+    pruning is the union of the members' zone-map pruners.  Per-member
+    results (rows, stats, error) and the shared-work counters come back
+    exactly as from :func:`repro.db.scan.batch_full_scan`.
+    """
+    checks = list(cancel_checks) if cancel_checks is not None else [None] * len(polyhedra)
+    zone_map = table.zone_map() if use_zone_maps else None
+
+    def make_predicate(polyhedron: Polyhedron):
+        if polyhedron.dim != len(dims):
+            raise ValueError(
+                f"polyhedron dim {polyhedron.dim} != len(dims) {len(dims)}"
+            )
+
+        def predicate(columns: dict[str, np.ndarray]) -> np.ndarray:
+            pts = np.column_stack([columns[d] for d in dims])
+            return polyhedron.contains_points(pts)
+
+        return predicate
+
+    members = [
+        BatchScanMember(
+            predicate=make_predicate(polyhedron),
+            pruner=zone_map.pruner(polyhedron, dims) if zone_map is not None else None,
+            cancel_check=check,
+        )
+        for polyhedron, check in zip(polyhedra, checks)
+    ]
+    return batch_full_scan(table, members)
 
 
 def selectivity(stats: QueryStats, total_rows: int) -> float:

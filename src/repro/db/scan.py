@@ -26,6 +26,7 @@ Both executors accept two optional accelerators:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -38,7 +39,14 @@ from repro.db.table import Table
 from repro.db.zonemap import ZonePruner
 from repro.geometry.boxes import BoxRelation
 
-__all__ = ["full_scan", "range_scan", "predicate_from_expression", "SCAN_RETRY"]
+__all__ = [
+    "BatchScanMember",
+    "batch_full_scan",
+    "full_scan",
+    "range_scan",
+    "predicate_from_expression",
+    "SCAN_RETRY",
+]
 
 #: Per-page retry budget of the scan executors, applied after (on top
 #: of) the buffer pool's own retries.
@@ -234,6 +242,146 @@ def range_scan(
                 chunks[name].append(view[name][mask])
     result = _assemble(table, wanted, chunks, row_id_chunks)
     return result, stats
+
+
+@dataclass
+class BatchScanMember:
+    """One query's slice of a shared multi-predicate scan.
+
+    ``predicate=None`` means every row qualifies (the member's geometry
+    is known to contain the whole table, e.g. a shard routed INSIDE).
+    ``pruner`` and ``cancel_check`` behave exactly as their solo-scan
+    counterparts, but per member: a member whose pruner rejects a page
+    skips it even while siblings read it, and a member whose check
+    raises drops out of the batch without disturbing the others.
+    """
+
+    predicate: Callable[[dict[str, np.ndarray]], np.ndarray] | None = None
+    pruner: ZonePruner | None = None
+    cancel_check: Callable[[], None] | None = None
+
+
+def batch_full_scan(
+    table: Table,
+    members: list[BatchScanMember],
+    retry: RetryPolicy | None = SCAN_RETRY,
+    readahead: int | None = None,
+) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
+    """One pass over the table evaluating every member's predicate.
+
+    The cooperative-scan move: instead of N concurrent queries each
+    reading, verifying, and decoding the same pages, one scan decodes
+    each surviving page once and evaluates all member predicates against
+    the shared column arrays.  Page pruning is the *union* of the member
+    pruners -- a page is read iff at least one member wants it, and each
+    member that pruned it still counts it in its own ``pages_skipped``
+    exactly as a solo scan would.
+
+    Member isolation: each member's ``cancel_check`` runs before the
+    member consumes a page; a check that raises (e.g. a deadline)
+    removes that member from the rest of the scan -- its error is
+    reported in its result slot, its partial rows are discarded, and its
+    siblings continue undisturbed.  A :class:`StorageFault` from the
+    shared read path (after retries) propagates to the caller, who may
+    degrade the batch to solo execution.
+
+    Returns ``(results, counters)``: ``results[i]`` is
+    ``(rows, stats, error)`` with ``rows=None`` iff ``error`` is set;
+    ``counters`` carries ``pages_decoded`` (pages this scan actually
+    read) and ``shared_decode_hits`` (additional members served per
+    decoded page beyond the first -- the work a solo execution would
+    have repeated).
+    """
+    n = len(members)
+    wanted = table.column_names
+    stats = [QueryStats() for _ in range(n)]
+    errors: list[BaseException | None] = [None] * n
+    chunks: list[dict[str, list[np.ndarray]]] = [
+        {name: [] for name in wanted} for _ in range(n)
+    ]
+    row_id_chunks: list[list[np.ndarray]] = [[] for _ in range(n)]
+    counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+
+    # Plan: per page, which members take it and whether they can skip
+    # their residual filter (their pruner proved the page fully inside).
+    plan: list[tuple[int, list[tuple[int, bool]]]] = []
+    for page_id in range(table.num_pages):
+        takers: list[tuple[int, bool]] = []
+        for m, member in enumerate(members):
+            if member.pruner is not None:
+                relation = member.pruner.classify(page_id)
+                if relation is BoxRelation.OUTSIDE:
+                    stats[m].pages_skipped += 1
+                    continue
+                takers.append((m, relation is BoxRelation.INSIDE))
+            else:
+                takers.append((m, False))
+        if takers:
+            plan.append((page_id, takers))
+
+    window = readahead if readahead is not None else table.readahead_pages
+    prefetch_at: dict[int, list[int]] = {}
+    if window > 1:
+        for run in _coalesced_runs([page_id for page_id, _ in plan], window):
+            if len(run) > 1:
+                prefetch_at[run[0]] = run
+
+    for page_id, takers in plan:
+        live: list[tuple[int, bool]] = []
+        for m, inside in takers:
+            if errors[m] is not None:
+                continue
+            check = members[m].cancel_check
+            if check is not None:
+                try:
+                    check()
+                except BaseException as exc:
+                    errors[m] = exc
+                    continue
+            live.append((m, inside))
+        if not live:
+            continue
+        run = prefetch_at.get(page_id)
+        if run is not None:
+            # Attributed to the first live member so service-level sums
+            # still equal the pages actually prefetched.
+            stats[live[0][0]].pages_prefetched += table.prefetch(run)
+        page = _read_page_retrying(table, page_id, retry)
+        counters["pages_decoded"] += 1
+        counters["shared_decode_hits"] += len(live) - 1
+        for m, inside in live:
+            member_stats = stats[m]
+            member_stats.record_page(table.name, page_id)
+            member_stats.rows_examined += page.num_rows
+            predicate = members[m].predicate
+            if predicate is None or inside:
+                mask = None
+                matched = page.num_rows
+            else:
+                mask = predicate(page.columns)
+                matched = int(np.count_nonzero(mask))
+            if matched == 0:
+                continue
+            member_stats.rows_returned += matched
+            row_ids = page.row_ids()
+            if mask is None:
+                row_id_chunks[m].append(row_ids)
+                for name in wanted:
+                    chunks[m][name].append(page.columns[name])
+            else:
+                row_id_chunks[m].append(row_ids[mask])
+                for name in wanted:
+                    chunks[m][name].append(page.columns[name][mask])
+
+    results: list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]] = []
+    for m in range(n):
+        if errors[m] is not None:
+            results.append((None, stats[m], errors[m]))
+        else:
+            results.append(
+                (_assemble(table, wanted, chunks[m], row_id_chunks[m]), stats[m], None)
+            )
+    return results, counters
 
 
 def _assemble(

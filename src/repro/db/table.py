@@ -188,6 +188,11 @@ class Table:
         return self._db.zone_map(self.name)
 
     @property
+    def database(self) -> "Database":
+        """The catalog this table lives in (listener registration etc.)."""
+        return self._db
+
+    @property
     def readahead_pages(self) -> int:
         """The buffer pool's default read-ahead coalescing window."""
         return self._db.buffer_pool.readahead_pages

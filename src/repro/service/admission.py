@@ -12,6 +12,7 @@ stopping service can drain cleanly.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any
 
@@ -62,6 +63,41 @@ class AdmissionQueue:
             if not self._items:
                 return None
             return self._items.popleft()
+
+    def pop_batch(
+        self,
+        max_items: int,
+        delay_s: float = 0.0,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Take up to ``max_items`` queued items as one micro-batch.
+
+        Blocks like :meth:`pop` for the *first* item (up to ``timeout``),
+        then drains whatever backlog is already queued.  When the batch
+        is still short and ``delay_s > 0``, waits up to that long for
+        more arrivals -- the bounded formation delay that trades a little
+        latency for shared work.  Returns ``[]`` on timeout.
+        """
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return []
+            batch = [self._items.popleft()]
+            while len(batch) < max_items and self._items:
+                batch.append(self._items.popleft())
+            if delay_s > 0 and len(batch) < max_items:
+                deadline = time.monotonic() + delay_s
+                while len(batch) < max_items:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+                    while len(batch) < max_items and self._items:
+                        batch.append(self._items.popleft())
+            return batch
 
     def drain(self) -> list[Any]:
         """Remove and return everything queued (used on forced stop)."""

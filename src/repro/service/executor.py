@@ -165,6 +165,18 @@ class QueryService:
     default_deadline:
         Seconds applied to queries submitted without an explicit one
         (``None`` = no deadline).
+    batch_size:
+        Maximum micro-batch occupancy.  ``1`` (the default) serves each
+        query alone; larger values let a worker pull several admitted
+        queries at once and run them through the engine's
+        ``execute_batch`` (when it has one), decoding shared pages once
+        for the whole batch.  Result-cache hits are peeled off before
+        batch formation, and each member keeps its own deadline,
+        cancellation, and failure handling.
+    batch_delay_s:
+        Bounded formation delay: how long a worker holding a short batch
+        waits for more arrivals before running it.  ``0`` (the default)
+        batches only the backlog that is already queued.
     """
 
     def __init__(
@@ -177,9 +189,15 @@ class QueryService:
         cache_entries: int = 256,
         cache_bytes: int | None = 64 << 20,
         default_deadline: float | None = None,
+        batch_size: int = 1,
+        batch_delay_s: float = 0.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_delay_s < 0:
+            raise ValueError("batch_delay_s must be >= 0")
         self.database = database
         self.planner = planner
         self.sessions = SessionManager()
@@ -191,6 +209,9 @@ class QueryService:
         )
         self.metrics = MetricsRegistry()
         self.default_deadline = default_deadline
+        self.batch_size = batch_size
+        self.batch_delay_s = batch_delay_s
+        self._engine_batches = callable(getattr(planner, "execute_batch", None))
         self._num_workers = workers
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
@@ -337,71 +358,154 @@ class QueryService:
     # -- worker side ----------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        batched = self.batch_size > 1 and self._engine_batches
         while not self._stop.is_set():
-            item = self.admission.pop(timeout=0.05)
-            if item is None:
-                continue
-            try:
-                self._run_one(item)
-            except BaseException as exc:  # last-ditch: never kill a worker
-                item.ticket._fail(exc)
+            if batched:
+                items = self.admission.pop_batch(
+                    self.batch_size, delay_s=self.batch_delay_s, timeout=0.05
+                )
+                if not items:
+                    continue
+                try:
+                    self._run_batch(items)
+                except BaseException as exc:  # last-ditch: never kill a worker
+                    for item in items:
+                        if not item.ticket.done():
+                            item.ticket._fail(exc)
+            else:
+                item = self.admission.pop(timeout=0.05)
+                if item is None:
+                    continue
+                try:
+                    self._run_one(item)
+                except BaseException as exc:  # last-ditch: never kill a worker
+                    item.ticket._fail(exc)
 
     def _run_one(self, item: _WorkItem) -> None:
         started = time.monotonic()
-        queue_wait = started - item.enqueued_at
-        session = item.ticket.session
         try:
             if item.deadline is not None:
                 item.deadline.check()
             planned, cache_hit = self._plan_or_cached(item)
-            exec_time = time.monotonic() - started
-            fallback = planned.fallback and not cache_hit
-            metrics = QueryMetrics(
-                query_id=item.ticket.query_id,
-                session_id=session.session_id,
-                tag=item.tag,
-                queue_wait_s=queue_wait,
-                exec_time_s=exec_time,
-                pages_read=0 if cache_hit else planned.stats.pages_touched,
-                pages_skipped=0 if cache_hit else planned.stats.pages_skipped,
-                pages_prefetched=0 if cache_hit else planned.stats.pages_prefetched,
-                rows_examined=0 if cache_hit else planned.stats.rows_examined,
-                rows_returned=planned.stats.rows_returned,
-                cache_hit=cache_hit,
-                chosen_path="cache" if cache_hit else planned.chosen_path,
+            self._complete_item(item, planned, cache_hit, started)
+        except Exception as exc:
+            self._fail_item(item, exc, started)
+
+    def _run_batch(self, items: list[_WorkItem]) -> None:
+        """Serve one micro-batch through the engine's shared executor.
+
+        Cache hits and already-expired deadlines are peeled off first;
+        the rest run as one ``execute_batch`` call whose per-member
+        outcomes feed the exact same completion/failure paths as solo
+        execution -- one member's deadline or fault never disturbs its
+        siblings.
+        """
+        started = time.monotonic()
+        pending: list[_WorkItem] = []
+        for item in items:
+            try:
+                if item.deadline is not None:
+                    item.deadline.check()
+                cached = self._cache_get(item)
+            except Exception as exc:
+                self._fail_item(item, exc, started)
+                continue
+            if cached is not None:
+                self._complete_item(item, cached, True, started)
+                continue
+            pending.append(item)
+        if not pending:
+            return
+        checks = [
+            item.deadline.check if item.deadline is not None else None
+            for item in pending
+        ]
+        try:
+            batch = self.planner.execute_batch(
+                [item.polyhedron for item in pending], checks
+            )
+        except Exception as exc:
+            # The engine refused the whole batch; fail every member with
+            # the same structured handling a solo run would get.
+            for item in pending:
+                self._fail_item(item, exc, started)
+            return
+        self.metrics.note_batch(
+            len(pending), batch.pages_decoded, batch.shared_decode_hits
+        )
+        for item, member in zip(pending, batch.members):
+            if member.error is not None:
+                if isinstance(member.error, Exception):
+                    self._fail_item(item, member.error, started)
+                else:
+                    item.ticket._fail(member.error)
+                continue
+            self._cache_put(item, member.planned)
+            self._complete_item(item, member.planned, False, started)
+
+    def _complete_item(
+        self,
+        item: _WorkItem,
+        planned: PlannedQuery,
+        cache_hit: bool,
+        started: float,
+    ) -> None:
+        queue_wait = started - item.enqueued_at
+        session = item.ticket.session
+        exec_time = time.monotonic() - started
+        fallback = planned.fallback and not cache_hit
+        metrics = QueryMetrics(
+            query_id=item.ticket.query_id,
+            session_id=session.session_id,
+            tag=item.tag,
+            queue_wait_s=queue_wait,
+            exec_time_s=exec_time,
+            pages_read=0 if cache_hit else planned.stats.pages_touched,
+            pages_skipped=0 if cache_hit else planned.stats.pages_skipped,
+            pages_prefetched=0 if cache_hit else planned.stats.pages_prefetched,
+            rows_examined=0 if cache_hit else planned.stats.rows_examined,
+            rows_returned=planned.stats.rows_returned,
+            cache_hit=cache_hit,
+            chosen_path="cache" if cache_hit else planned.chosen_path,
+            estimated_selectivity=planned.estimated_selectivity,
+            fallback=fallback,
+            fallback_reason=planned.fallback_reason if fallback else "",
+            shards_dispatched=0 if cache_hit else planned.shards_dispatched,
+            shards_pruned=0 if cache_hit else planned.shards_pruned,
+            shard_faults=0 if cache_hit else planned.shard_faults,
+            partial=planned.partial,
+        )
+        self.metrics.record(metrics)
+        session.note_completed(
+            rows_returned=planned.stats.rows_returned,
+            queue_wait_s=queue_wait,
+            exec_time_s=exec_time,
+            cache_hit=cache_hit,
+        )
+        item.ticket._complete(
+            QueryOutcome(
+                rows=planned.rows,
+                stats=planned.stats,
+                chosen_path=planned.chosen_path,
                 estimated_selectivity=planned.estimated_selectivity,
-                fallback=fallback,
-                fallback_reason=planned.fallback_reason if fallback else "",
-                shards_dispatched=0 if cache_hit else planned.shards_dispatched,
-                shards_pruned=0 if cache_hit else planned.shards_pruned,
-                shard_faults=0 if cache_hit else planned.shard_faults,
-                partial=planned.partial,
-            )
-            self.metrics.record(metrics)
-            session.note_completed(
-                rows_returned=planned.stats.rows_returned,
-                queue_wait_s=queue_wait,
-                exec_time_s=exec_time,
                 cache_hit=cache_hit,
+                metrics=metrics,
+                fallback=fallback,
+                partial=planned.partial,
+                failed_shards=planned.failed_shards,
             )
-            item.ticket._complete(
-                QueryOutcome(
-                    rows=planned.rows,
-                    stats=planned.stats,
-                    chosen_path=planned.chosen_path,
-                    estimated_selectivity=planned.estimated_selectivity,
-                    cache_hit=cache_hit,
-                    metrics=metrics,
-                    fallback=fallback,
-                    partial=planned.partial,
-                    failed_shards=planned.failed_shards,
-                )
-            )
-        except DeadlineExceeded as exc:
+        )
+
+    def _fail_item(
+        self, item: _WorkItem, exc: BaseException, started: float
+    ) -> None:
+        queue_wait = started - item.enqueued_at
+        session = item.ticket.session
+        if isinstance(exc, DeadlineExceeded):
             self._record_failure(item, queue_wait, started, deadline_missed=True)
             session.note_failed(deadline_missed=True)
             item.ticket._fail(exc)
-        except StorageFault as exc:
+        elif isinstance(exc, StorageFault):
             # Every retry and fallback below us is exhausted: hand the
             # client a structured error, keep the worker alive.
             self._record_failure(
@@ -411,31 +515,40 @@ class QueryService:
             wrapped = QueryFault(item.ticket.query_id, item.tag, exc)
             wrapped.__cause__ = exc
             item.ticket._fail(wrapped)
-        except Exception as exc:
+        else:
             self._record_failure(
                 item, queue_wait, started, error=type(exc).__name__
             )
             session.note_failed()
             item.ticket._fail(exc)
 
-    def _plan_or_cached(self, item: _WorkItem) -> tuple[PlannedQuery, bool]:
-        table_name = self.planner.table_name
-        if self.cache is None:
-            return self._plan(item), False
-        fingerprint = query_fingerprint(
-            table_name,
+    def _fingerprint(self, item: _WorkItem) -> str:
+        return query_fingerprint(
+            self.planner.table_name,
             self.planner.dims,
             item.polyhedron,
             layout_version=getattr(self.planner, "layout_version", ""),
         )
-        cached = self.cache.get(fingerprint)
+
+    def _cache_get(self, item: _WorkItem) -> PlannedQuery | None:
+        if self.cache is None:
+            return None
+        return self.cache.get(self._fingerprint(item))
+
+    def _cache_put(self, item: _WorkItem, planned: PlannedQuery) -> None:
+        # A partial answer only reflects which shards happened to be
+        # healthy at that instant -- never let it outlive the fault.
+        if self.cache is not None and not planned.partial:
+            self.cache.put(
+                self._fingerprint(item), self.planner.table_name, planned
+            )
+
+    def _plan_or_cached(self, item: _WorkItem) -> tuple[PlannedQuery, bool]:
+        cached = self._cache_get(item)
         if cached is not None:
             return cached, True
         planned = self._plan(item)
-        # A partial answer only reflects which shards happened to be
-        # healthy at that instant -- never let it outlive the fault.
-        if not planned.partial:
-            self.cache.put(fingerprint, table_name, planned)
+        self._cache_put(item, planned)
         return planned, False
 
     def _plan(self, item: _WorkItem) -> PlannedQuery:

@@ -65,6 +65,10 @@ class QueryMetrics:
 class _Totals:
     submitted: int = 0
     rejected: int = 0
+    batches: int = 0
+    batch_members: int = 0
+    batch_pages_decoded: int = 0
+    shared_decode_hits: int = 0
 
 
 class MetricsRegistry:
@@ -85,6 +89,22 @@ class MetricsRegistry:
         with self._lock:
             self._totals.rejected += 1
 
+    def note_batch(
+        self, occupancy: int, pages_decoded: int, shared_decode_hits: int
+    ) -> None:
+        """Record one formed micro-batch and its shared-work counters.
+
+        ``occupancy`` is the number of member queries co-executed (cache
+        hits peeled off before formation do not count);
+        ``shared_decode_hits`` counts page decodes that served an extra
+        member beyond the first -- work a solo run would have repeated.
+        """
+        with self._lock:
+            self._totals.batches += 1
+            self._totals.batch_members += occupancy
+            self._totals.batch_pages_decoded += pages_decoded
+            self._totals.shared_decode_hits += shared_decode_hits
+
     def record(self, metrics: QueryMetrics) -> None:
         """Append one finished query's record."""
         with self._lock:
@@ -103,6 +123,10 @@ class MetricsRegistry:
             records = list(self._records)
             submitted = self._totals.submitted
             rejected = self._totals.rejected
+            batches = self._totals.batches
+            batch_members = self._totals.batch_members
+            batch_pages_decoded = self._totals.batch_pages_decoded
+            shared_decode_hits = self._totals.shared_decode_hits
         done = [r for r in records if r.ok]
         waits = [r.queue_wait_s for r in records]
         execs = [r.exec_time_s for r in done]
@@ -133,6 +157,13 @@ class MetricsRegistry:
             "shards_pruned": float(sum(r.shards_pruned for r in records)),
             "shard_faults": float(sum(r.shard_faults for r in records)),
             "partial_results": float(sum(1 for r in records if r.partial)),
+            "batches": float(batches),
+            "batch_members": float(batch_members),
+            "mean_batch_occupancy": (
+                batch_members / batches if batches else 0.0
+            ),
+            "batch_pages_decoded": float(batch_pages_decoded),
+            "shared_decode_hits": float(shared_decode_hits),
         }
 
     def procedure_report(self, procedures: ProcedureRegistry) -> dict[str, dict[str, float]]:
@@ -162,6 +193,13 @@ class MetricsRegistry:
             f"  planner fallbacks  {int(s['planner_fallbacks']):>8}",
             f"  storage faults     {int(s['storage_faults']):>8}",
         ]
+        if s["batches"]:
+            lines += [
+                f"  batches formed     {int(s['batches']):>8}"
+                f"   mean occupancy {s['mean_batch_occupancy']:.2f}",
+                f"  shared decodes     {int(s['shared_decode_hits']):>8}"
+                f"   batch pages decoded {int(s['batch_pages_decoded'])}",
+            ]
         if s["shards_dispatched"] or s["shards_pruned"]:
             lines += [
                 f"  shards dispatched  {int(s['shards_dispatched']):>8}"

@@ -39,9 +39,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.batch import BatchMemberResult, BatchResult
 from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.db.errors import StorageFault
-from repro.db.scan import full_scan
+from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
 from repro.db.stats import IOStats, QueryStats
 from repro.geometry.boxes import BoxRelation
 from repro.geometry.halfspace import Polyhedron
@@ -271,6 +272,244 @@ class ScatterGatherExecutor:
             partial=bool(failed),
             failed_shards=tuple(sorted(failed)),
         )
+
+    def execute_batch(
+        self,
+        polyhedra: list[Polyhedron],
+        cancel_checks: list[Callable[[], None] | None] | None = None,
+    ) -> BatchResult:
+        """Route, scatter, and gather a micro-batch in one fan-out.
+
+        Every member is routed once, then each shard receives a single
+        task covering *all* the members dispatched to it -- INSIDE
+        members share one predicate-free scan pass and PARTIAL members
+        go through the shard planner's own
+        :meth:`~repro.core.planner.QueryPlanner.execute_batch`, so a
+        page hot across the batch is decoded once per shard instead of
+        once per (member, shard).
+
+        Member isolation: a member's cancel/deadline error on any shard
+        fails that member alone (its gathered pieces are discarded, no
+        partial rows leak) and never trips its batch siblings.  A
+        per-shard storage fault marks that shard failed *for the members
+        it served*; each such member completes partial over its
+        surviving shards, exactly like the solo path.
+        """
+        n = len(polyhedra)
+        checks = (
+            list(cancel_checks) if cancel_checks is not None else [None] * n
+        )
+        result = BatchResult(
+            members=[BatchMemberResult() for _ in range(n)], occupancy=n
+        )
+        decisions = [None] * n
+        live: list[int] = []
+        for m, (polyhedron, check) in enumerate(zip(polyhedra, checks)):
+            if check is not None:
+                try:
+                    check()
+                except BaseException as exc:
+                    result.members[m].error = exc
+                    continue
+            decisions[m] = self.router.route_polyhedron(polyhedron)
+            live.append(m)
+
+        shard_entries: dict[int, list[tuple[int, BoxRelation]]] = {}
+        shards_by_id: dict[int, Shard] = {}
+        for m in live:
+            for shard, relation in decisions[m].dispatched:
+                shard_entries.setdefault(shard.shard_id, []).append((m, relation))
+                shards_by_id[shard.shard_id] = shard
+
+        futures = {
+            self._pool.submit(
+                self._run_shard_batch,
+                shards_by_id[shard_id],
+                entries,
+                polyhedra,
+                checks,
+            ): shard_id
+            for shard_id, entries in shard_entries.items()
+        }
+
+        merged = {
+            m: {
+                "stats": QueryStats(),
+                "pieces": [],
+                "path_counts": {},
+                "failed": [],
+                "last_fault": None,
+                "fallback": False,
+                "reason": "",
+                "weighted": 0.0,
+                "est_rows": 0,
+                "sampled": 0,
+            }
+            for m in live
+        }
+        for future in as_completed(futures):
+            shard_id = futures[future]
+            shard = shards_by_id[shard_id]
+            try:
+                outcomes, counters = future.result()
+            except StorageFault as exc:
+                # The whole shard task died before demultiplexing; every
+                # member it served loses this shard.
+                for m, _ in shard_entries[shard_id]:
+                    merged[m]["failed"].append(shard_id)
+                    merged[m]["last_fault"] = exc
+                continue
+            result.pages_decoded += counters["pages_decoded"]
+            result.shared_decode_hits += counters["shared_decode_hits"]
+            for m, (kind, payload) in outcomes.items():
+                if kind == "error":
+                    if isinstance(payload, StorageFault):
+                        merged[m]["failed"].append(shard_id)
+                        merged[m]["last_fault"] = payload
+                    elif result.members[m].error is None:
+                        result.members[m].error = payload
+                    continue
+                planned = payload
+                acc = merged[m]
+                acc["stats"].merge(planned.stats)
+                acc["pieces"].append(self._rebase_rows(shard, planned.rows))
+                acc["path_counts"][planned.chosen_path] = (
+                    acc["path_counts"].get(planned.chosen_path, 0) + 1
+                )
+                if planned.fallback:
+                    acc["fallback"] = True
+                    acc["reason"] = acc["reason"] or planned.fallback_reason
+                if np.isfinite(planned.estimated_selectivity):
+                    acc["weighted"] += (
+                        planned.estimated_selectivity * shard.num_rows
+                    )
+                    acc["est_rows"] += shard.num_rows
+                acc["sampled"] += planned.sampled_pages
+
+        note = {
+            "queries": 0,
+            "shards_dispatched": 0,
+            "shards_pruned": 0,
+            "shard_faults": 0,
+            "partial_results": 0,
+        }
+        for m in live:
+            acc = merged[m]
+            decision = decisions[m]
+            note["queries"] += 1
+            note["shards_dispatched"] += decision.shards_dispatched
+            note["shards_pruned"] += decision.shards_pruned
+            note["shard_faults"] += len(acc["failed"])
+            if result.members[m].error is not None:
+                # Member failed on its own terms (deadline/cancel): its
+                # surviving pieces are discarded, nothing leaks.
+                continue
+            if acc["failed"] and not acc["pieces"] and decision.dispatched:
+                result.members[m].error = acc["last_fault"]
+                continue
+            note["partial_results"] += 1 if acc["failed"] else 0
+            rows = self._merge_pieces(acc["pieces"])
+            estimate = (
+                acc["weighted"] / self.shard_set.total_rows
+                if acc["est_rows"]
+                else (0.0 if not decision.dispatched else float("nan"))
+            )
+            stats = acc["stats"]
+            for path, count in acc["path_counts"].items():
+                stats.extra[f"shard_path_{path}"] = count
+            result.members[m].planned = PlannedQuery(
+                rows=rows,
+                stats=stats,
+                chosen_path="sharded",
+                estimated_selectivity=estimate,
+                sampled_pages=acc["sampled"],
+                fallback=acc["fallback"],
+                fallback_reason=acc["reason"],
+                shards_dispatched=decision.shards_dispatched,
+                shards_pruned=decision.shards_pruned,
+                shard_faults=len(acc["failed"]),
+                partial=bool(acc["failed"]),
+                failed_shards=tuple(sorted(acc["failed"])),
+            )
+        self._note(**note)
+        return result
+
+    def _run_shard_batch(
+        self,
+        shard: Shard,
+        entries: list[tuple[int, BoxRelation]],
+        polyhedra: list[Polyhedron],
+        checks: list[Callable[[], None] | None],
+    ) -> tuple[dict[int, tuple[str, object]], dict]:
+        """One shard's share of a batch: all its members in two passes.
+
+        Returns ``(outcomes, counters)`` where ``outcomes[m]`` is
+        ``("ok", PlannedQuery)`` or ``("error", exception)`` and the
+        counters carry this shard's shared-decode totals.
+        """
+        inside = [m for m, relation in entries if relation is BoxRelation.INSIDE]
+        partial = [m for m, relation in entries if relation is not BoxRelation.INSIDE]
+        outcomes: dict[int, tuple[str, object]] = {}
+        counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+
+        if inside:
+            # Figure 4's fully-inside case at shard granularity, batched:
+            # one predicate-free pass returns every row to every member.
+            members = [BatchScanMember(cancel_check=checks[m]) for m in inside]
+            try:
+                scanned, scan_counters = batch_full_scan(shard.table, members)
+            except StorageFault:
+                # The shared pass died; retry each member alone so the
+                # fault stays per-member.
+                for m in inside:
+                    try:
+                        rows, stats = full_scan(
+                            shard.table, cancel_check=checks[m]
+                        )
+                    except BaseException as exc:
+                        outcomes[m] = ("error", exc)
+                        continue
+                    outcomes[m] = (
+                        "ok",
+                        PlannedQuery(
+                            rows=rows,
+                            stats=stats,
+                            chosen_path="inside",
+                            estimated_selectivity=1.0,
+                            sampled_pages=0,
+                        ),
+                    )
+            else:
+                counters["pages_decoded"] += scan_counters["pages_decoded"]
+                counters["shared_decode_hits"] += scan_counters["shared_decode_hits"]
+                for m, (rows, stats, error) in zip(inside, scanned):
+                    if error is not None:
+                        outcomes[m] = ("error", error)
+                    else:
+                        outcomes[m] = (
+                            "ok",
+                            PlannedQuery(
+                                rows=rows,
+                                stats=stats,
+                                chosen_path="inside",
+                                estimated_selectivity=1.0,
+                                sampled_pages=0,
+                            ),
+                        )
+
+        if partial:
+            batch = self.planners[shard.shard_id].execute_batch(
+                [polyhedra[m] for m in partial],
+                [checks[m] for m in partial],
+            )
+            counters["pages_decoded"] += batch.pages_decoded
+            counters["shared_decode_hits"] += batch.shared_decode_hits
+            for m, member in zip(partial, batch.members):
+                if member.error is not None:
+                    outcomes[m] = ("error", member.error)
+                else:
+                    outcomes[m] = ("ok", member.planned)
+        return outcomes, counters
 
     def _run_shard(
         self,

@@ -8,6 +8,7 @@ planner fallbacks visible in the metrics report.
 
 import pytest
 
+from repro import QueryPlanner
 from repro.service import QueryService, replay_workload, rows_equal
 
 from .faultutil import BANDS, build_kd_setup, fault_free_ground_truth
@@ -64,8 +65,12 @@ class TestConcurrentReplayUnderFaults:
         polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
         truth = fault_free_ground_truth(setup, [polyhedron])[0]
 
+        # The ground-truth run warmed the setup planner's probe-sample
+        # cache; serve through a fresh planner so the burst lands on a
+        # real probe read, which is the fallback path under test.
+        planner = QueryPlanner(setup.index, seed=11)
         service = QueryService(
-            setup.db, setup.planner, workers=8, queue_depth=32, cache_entries=0
+            setup.db, planner, workers=8, queue_depth=32, cache_entries=0
         )
         with service:
             setup.db.cold_cache()

@@ -45,12 +45,17 @@ class TestTransientReadFaults:
         polyhedron = setup.workload.mixed(1, selectivities=[0.05])[0].polyhedron(BANDS)
         truth = fault_free_ground_truth(setup, [polyhedron])[0]
 
+        # The ground-truth run warmed ``setup.planner``'s probe-sample
+        # cache; a fresh planner pays the probe I/O again, which is the
+        # path this burst must land on.
+        planner = QueryPlanner(setup.index, seed=7)
+
         # 8 failed attempts: the probe's coalesced prefetch dies
         # (attempts 1-4), its first page-at-a-time read dies (5-8), and
         # the scan fallback then runs against healthy storage.
         setup.db.cold_cache()
         setup.injector.fail_next_reads(8)
-        planned = setup.planner.execute(polyhedron)
+        planned = planner.execute(polyhedron)
 
         assert planned.fallback
         assert "probe" in planned.fallback_reason
