@@ -116,8 +116,17 @@ from repro.shard import (
     Shard,
     ShardRouter,
     ShardSet,
+    ShardSpec,
     ShardedKnnResult,
+    build_shard,
     scatter_gather_knn,
+)
+from repro.net import (
+    QueryClient,
+    QueryServer,
+    ShardWorkerPool,
+    WorkerDied,
+    replay_over_network,
 )
 from repro.vectype import NativeBinaryCodec, UdtPickleCodec, VectorColumn
 from repro.viz import (
@@ -217,10 +226,18 @@ __all__ = [
     "KdPartitioner",
     "Shard",
     "ShardSet",
+    "ShardSpec",
     "ShardRouter",
     "ScatterGatherExecutor",
     "ShardedKnnResult",
+    "build_shard",
     "scatter_gather_knn",
+    # networked execution
+    "ShardWorkerPool",
+    "WorkerDied",
+    "QueryServer",
+    "QueryClient",
+    "replay_over_network",
     # analysis
     "PrincipalComponents",
     "KnnPolyRedshiftEstimator",

@@ -70,46 +70,107 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_replay(args: argparse.Namespace) -> int:
-    from repro import (
-        Database,
-        KdPartitioner,
-        KdTreeIndex,
-        QueryPlanner,
-        ScatterGatherExecutor,
-        sdss_color_sample,
-    )
-    from repro.datasets import QueryWorkload
-    from repro.service import QueryService, replay_workload, rows_equal, run_serial
+_BANDS = ["u", "g", "r", "i", "z"]
 
-    bands = ["u", "g", "r", "i", "z"]
+
+def _build_columns(args: argparse.Namespace):
+    """The replayed table: the SDSS sample plus stable object ids."""
+    from repro import sdss_color_sample
+
     sample = sdss_color_sample(args.rows, seed=args.seed)
     columns = dict(sample.columns())
     # Stable object ids survive re-clustering, so the sharded and
     # unsharded engines can be compared row-for-row via oid sets.
     columns["oid"] = np.arange(args.rows, dtype=np.int64)
-    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    return sample, columns
+
+
+def _build_engine(args: argparse.Namespace, db, columns):
+    """Build the engine the flags describe; returns ``(engine, service_db)``."""
+    from repro import KdPartitioner, KdTreeIndex, QueryPlanner, ScatterGatherExecutor
+
+    transport = getattr(args, "transport", "thread")
     if args.shards:
         print(
             f"generating {args.rows} objects and partitioning into "
-            f"{args.shards} kd-subtree shards..."
+            f"{args.shards} kd-subtree shards (transport={transport})..."
         )
-        shard_set = KdPartitioner(
-            args.shards, buffer_pages=args.buffer_pages
-        ).partition("magnitudes", columns, bands)
-        engine = ScatterGatherExecutor(shard_set, seed=args.seed)
-        service_db = None
+        partitioner = KdPartitioner(args.shards, buffer_pages=args.buffer_pages)
+        if transport == "process":
+            specs = partitioner.plan("magnitudes", columns, _BANDS)
+            engine = ScatterGatherExecutor(
+                specs=specs, transport="process", seed=args.seed
+            )
+        else:
+            shard_set = partitioner.partition("magnitudes", columns, _BANDS)
+            engine = ScatterGatherExecutor(shard_set, seed=args.seed)
         print(f"shard layout: {engine.layout_version}")
-    else:
-        print(f"generating {args.rows} objects and building the kd-tree index...")
-        index = KdTreeIndex.build(db, "magnitudes", columns, bands)
-        engine = QueryPlanner(index, seed=args.seed)
-        service_db = db
+        return engine, None
+    print(f"generating {args.rows} objects and building the kd-tree index...")
+    index = KdTreeIndex.build(db, "magnitudes", columns, _BANDS)
+    return QueryPlanner(index, seed=args.seed), db
+
+
+def _print_worker_util(engine, wall_s: float) -> None:
+    """Per-worker utilization: busy seconds over the replay wall clock."""
+    worker_stats = getattr(engine, "worker_stats", None)
+    if not callable(worker_stats):
+        return
+    stats = worker_stats()
+    if not stats:
+        return
+    transport = getattr(engine, "transport", "thread")
+    print(f"per-worker utilization (transport={transport}):")
+    for entry in stats:
+        util = entry["busy_s"] / wall_s if wall_s > 0 else 0.0
+        pid = f" pid={entry['pid']}" if entry.get("pid") else ""
+        respawns = (
+            f" respawns={entry['respawns']}" if entry.get("respawns") else ""
+        )
+        print(
+            f"  shard {entry['shard_id']}:{pid} {entry['requests']} requests, "
+            f"busy {entry['busy_s']:.2f} s ({util:.0%} of wall){respawns}"
+        )
+
+
+def _verify_against_reference(args, db, columns, queries, result_rows) -> int:
+    """Row-identity check against a freshly built unsharded reference.
+
+    Clustering differs between engines, so compare the stable oid sets
+    rather than physical row ids.  Returns the mismatch count.
+    """
+    from repro import KdTreeIndex, QueryPlanner
+    from repro.service import run_serial
+
+    reference = QueryPlanner(
+        KdTreeIndex.build(db, "magnitudes_ref", columns, _BANDS),
+        seed=args.seed,
+    )
+    serial = run_serial(reference, queries)
+    return sum(
+        1
+        for idx, rows in enumerate(serial)
+        if result_rows[idx] is None
+        or set(result_rows[idx]["oid"].tolist()) != set(rows["oid"].tolist())
+    )
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro import Database
+    from repro.datasets import QueryWorkload
+    from repro.service import QueryService, replay_workload, rows_equal, run_serial
+
+    if args.connect:
+        return _replay_connect(args)
+
+    sample, columns = _build_columns(args)
+    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    engine, service_db = _build_engine(args, db, columns)
 
     workload = QueryWorkload(sample.magnitudes, seed=args.seed)
     unique = max(1, int(args.queries * (1.0 - args.duplicate_fraction)))
     base = workload.mixed(unique, selectivities=[0.001, 0.01, 0.05, 0.2, 0.5])
-    polyhedra = [q.polyhedron(bands) for q in base]
+    polyhedra = [q.polyhedron(_BANDS) for q in base]
     queries = [polyhedra[i % unique] for i in range(args.queries)]
 
     print(
@@ -136,8 +197,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(
         f"\ncompleted {report.completed}/{len(queries)} in "
         f"{report.wall_time_s:.2f} s ({report.throughput_qps:.1f} q/s), "
-        f"{report.resubmissions} backpressure retries"
+        f"{report.resubmissions} backpressure retries "
+        f"[transport={getattr(engine, 'transport', 'inprocess')}]"
     )
+    _print_worker_util(engine, report.wall_time_s)
     summary = service.metrics.summary()
     if summary["batches"]:
         print(
@@ -150,23 +213,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if report.errors:
         print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
 
+    exit_code = 0
     if args.verify:
         print("\nverifying against serial unsharded execution...")
         if args.shards:
-            # Clustering differs between engines, so build a fresh
-            # unsharded reference and compare the stable oid sets
-            # rather than physical row ids.
-            reference = QueryPlanner(
-                KdTreeIndex.build(db, "magnitudes_ref", columns, bands),
-                seed=args.seed,
-            )
-            serial = run_serial(reference, queries)
-            mismatches = sum(
-                1
-                for idx, rows in enumerate(serial)
-                if report.outcomes[idx] is None
-                or set(report.outcomes[idx].rows["oid"].tolist())
-                != set(rows["oid"].tolist())
+            result_rows = [
+                outcome.rows if outcome is not None else None
+                for outcome in report.outcomes
+            ]
+            mismatches = _verify_against_reference(
+                args, db, columns, queries, result_rows
             )
         else:
             serial = run_serial(engine, queries)
@@ -177,7 +233,122 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 or not rows_equal(report.outcomes[idx].rows, rows)
             )
         print(f"row-for-row mismatches: {mismatches}")
-        return 1 if mismatches else 0
+        exit_code = 1 if mismatches else 0
+    close = getattr(engine, "close", None)
+    if callable(close):
+        close()
+    return exit_code
+
+
+def _replay_connect(args: argparse.Namespace) -> int:
+    """Replay over the network against a running ``repro serve``.
+
+    The server must have been started with the same ``--rows``/``--seed``
+    for ``--verify`` to be meaningful (the reference is rebuilt locally
+    from those flags).
+    """
+    from repro import Database
+    from repro.datasets import QueryWorkload
+    from repro.net import replay_over_network
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host:
+        print(f"--connect wants HOST:PORT, got {args.connect!r}", file=sys.stderr)
+        return 2
+    port = int(port_text)
+
+    sample, columns = _build_columns(args)
+    workload = QueryWorkload(sample.magnitudes, seed=args.seed)
+    unique = max(1, int(args.queries * (1.0 - args.duplicate_fraction)))
+    base = workload.mixed(unique, selectivities=[0.001, 0.01, 0.05, 0.2, 0.5])
+    polyhedra = [q.polyhedron(_BANDS) for q in base]
+    queries = [polyhedra[i % unique] for i in range(args.queries)]
+
+    print(
+        f"replaying {len(queries)} queries ({unique} unique) against "
+        f"{host}:{port} at concurrency {args.concurrency}..."
+    )
+    report = replay_over_network(
+        host,
+        port,
+        queries,
+        concurrency=args.concurrency,
+        deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
+    transport = "unknown"
+    engine_counters = report.report.get("engine", {})
+    if "worker_deaths" in engine_counters:
+        transport = "process"
+    elif engine_counters:
+        transport = "thread"
+    print(
+        f"\ncompleted {report.completed}/{len(queries)} in "
+        f"{report.wall_time_s:.2f} s ({report.throughput_qps:.1f} q/s), "
+        f"{report.resubmissions} backpressure retries "
+        f"[server transport={transport}]"
+    )
+    if report.errors:
+        print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
+
+    exit_code = 0
+    if args.verify:
+        print("\nverifying against a locally rebuilt unsharded reference...")
+        db = Database.in_memory(buffer_pages=args.buffer_pages)
+        result_rows = [
+            outcome.rows if outcome is not None else None
+            for outcome in report.outcomes
+        ]
+        mismatches = _verify_against_reference(args, db, columns, queries, result_rows)
+        print(f"row-for-row mismatches: {mismatches}")
+        exit_code = 1 if mismatches else 0
+    if report.completed < len(queries):
+        exit_code = exit_code or 1
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network front door until SIGTERM/SIGINT drains it."""
+    from repro import Database
+    from repro.net.server import serve
+    from repro.service import QueryService
+
+    _, columns = _build_columns(args)
+    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    engine, service_db = _build_engine(args, db, columns)
+    service = QueryService(
+        service_db,
+        engine,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        batch_size=args.batch,
+        batch_delay_s=args.batch_delay_ms / 1e3,
+    ).start()
+
+    def announce(server) -> None:
+        host, port = server.address
+        print(
+            f"serving magnitudes ({args.rows} rows, "
+            f"transport={getattr(engine, 'transport', 'inprocess')}) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+
+    try:
+        serve(
+            service,
+            args.host,
+            args.port,
+            max_inflight=args.max_inflight,
+            ready_callback=announce,
+        )
+    finally:
+        if service.running:
+            service.stop(drain=False)
+        close = getattr(engine, "close", None)
+        if callable(close):
+            close()
+    print("drained; bye")
     return 0
 
 
@@ -257,7 +428,46 @@ def main(argv: list[str] | None = None) -> int:
         "--verify", action="store_true",
         help="re-run serially and compare results row for row",
     )
+    replay.add_argument(
+        "--transport", choices=["thread", "process"], default="thread",
+        help="shard execution transport (process = one worker process per shard)",
+    )
+    replay.add_argument(
+        "--connect", default="",
+        help="HOST:PORT of a running `repro serve` to replay against "
+        "(skips building a local service)",
+    )
     replay.set_defaults(func=_cmd_replay)
+
+    srv = sub.add_parser(
+        "serve", help="serve the query service over TCP until SIGTERM"
+    )
+    srv.add_argument("--rows", type=int, default=20_000)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--buffer-pages", type=int, default=4096)
+    srv.add_argument(
+        "--shards", type=int, default=0,
+        help="kd-subtree shard count (power of two; 0 = single unsharded index)",
+    )
+    srv.add_argument(
+        "--transport", choices=["thread", "process"], default="thread",
+        help="shard execution transport (process = one worker process per shard)",
+    )
+    srv.add_argument("--workers", type=int, default=8, help="service worker threads")
+    srv.add_argument("--queue-depth", type=int, default=32)
+    srv.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="default per-query deadline in milliseconds (0 = none)",
+    )
+    srv.add_argument("--batch", type=int, default=1)
+    srv.add_argument("--batch-delay-ms", type=float, default=0.0)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    srv.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-connection (per-tenant) in-flight query cap",
+    )
+    srv.set_defaults(func=_cmd_serve)
 
     info = sub.add_parser("info", help="package inventory")
     info.set_defaults(func=_cmd_info)

@@ -37,7 +37,7 @@ from repro.db.faults import FaultInjector, FaultyStorage, RetryPolicy, call_with
 from repro.db.buffer_pool import BufferPool
 from repro.db.zonemap import ZoneMap, ZonePruner
 from repro.db.table import ColumnSpec, Table
-from repro.db.catalog import Database
+from repro.db.catalog import Database, DatabaseOptions
 from repro.db.expressions import (
     Col,
     Const,
@@ -75,6 +75,7 @@ __all__ = [
     "ColumnSpec",
     "Table",
     "Database",
+    "DatabaseOptions",
     "Expr",
     "Col",
     "Const",

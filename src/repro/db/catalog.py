@@ -13,6 +13,7 @@ the index tables that live next to the data.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -22,14 +23,51 @@ from repro.db.buffer_pool import (
     DEFAULT_READAHEAD_PAGES,
     BufferPool,
 )
-from repro.db.faults import RetryPolicy
+from repro.db.faults import FaultInjector, FaultyStorage, RetryPolicy
 from repro.db.procedures import ProcedureRegistry
 from repro.db.stats import IOStats
 from repro.db.storage import FileStorage, MemoryStorage, Storage
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.db.zonemap import ZoneMap
 
-__all__ = ["Database"]
+__all__ = ["Database", "DatabaseOptions"]
+
+
+@dataclass(frozen=True)
+class DatabaseOptions:
+    """Picklable open-options of a :class:`Database`.
+
+    A plain value object capturing every constructor knob except the
+    storage backend itself, so a worker *process* can be handed the
+    parent's configuration (buffer budget, retry policy, I/O
+    acceleration toggles, optionally a seeded
+    :class:`~repro.db.faults.FaultInjector`) and open an identically
+    behaving database on its side of the fork/spawn boundary.
+    """
+
+    buffer_pages: int | None = 1024
+    retry: RetryPolicy | None = None
+    zone_maps: bool = True
+    decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES
+    readahead_pages: int = DEFAULT_READAHEAD_PAGES
+    #: When set, the opened storage is wrapped in a
+    #: :class:`~repro.db.faults.FaultyStorage` around this injector.
+    fault: FaultInjector | None = None
+
+    def open(self, storage: Storage | None = None) -> "Database":
+        """Open a database with these options (in-memory by default)."""
+        if storage is None:
+            storage = MemoryStorage()
+        if self.fault is not None:
+            storage = FaultyStorage(storage, self.fault)
+        return Database(
+            storage,
+            buffer_pages=self.buffer_pages,
+            retry=self.retry,
+            zone_maps=self.zone_maps,
+            decoded_cache_bytes=self.decoded_cache_bytes,
+            readahead_pages=self.readahead_pages,
+        )
 
 
 class Database:
@@ -55,6 +93,17 @@ class Database:
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ):
         self.storage = storage
+        # Picklable record of how this database was opened, so shard
+        # worker processes can reproduce the configuration exactly (the
+        # fault injector, if any, lives on the storage wrapper and is
+        # recorded by whoever does the wrapping).
+        self.options = DatabaseOptions(
+            buffer_pages=buffer_pages,
+            retry=retry,
+            zone_maps=zone_maps,
+            decoded_cache_bytes=decoded_cache_bytes,
+            readahead_pages=readahead_pages,
+        )
         self.buffer_pool = BufferPool(
             storage,
             capacity_pages=buffer_pages,

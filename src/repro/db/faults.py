@@ -176,6 +176,24 @@ class FaultInjector:
                 "writes_failed": self.writes_failed,
             }
 
+    # -- pickling (spawn-safe worker processes) -----------------------------
+
+    def __getstate__(self) -> dict:
+        """Everything but the lock: rates, counters, and the RNG state.
+
+        Shard worker processes are handed the parent's injector so they
+        reproduce its seeded fault configuration exactly; the
+        ``threading.Lock`` cannot cross the process boundary and is
+        recreated fresh on the other side.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 def _torn_bytes(data: bytes, page_id: int) -> bytes:
     """One body byte of an encoded page, flipped.

@@ -1,0 +1,1013 @@
+"""Multi-process shard workers: scatter-gather over real parallelism.
+
+:class:`ShardWorkerPool` is the process-transport counterpart of the
+thread-based :class:`~repro.shard.ScatterGatherExecutor` and implements
+the same engine protocol (``execute`` / ``execute_batch`` plus
+``table_name`` / ``dims`` / ``layout_version``), so the planner,
+micro-batching, and service layers run unchanged on top of it.  The
+difference is *where* the work runs: each kd-subtree shard lives in its
+own worker **process** (one interpreter, one GIL, one private
+:class:`~repro.db.catalog.Database` per shard), built from a picklable
+:class:`~repro.shard.partitioner.ShardSpec`, and the parent speaks the
+length-prefixed binary protocol of :mod:`repro.net.wire` to it over a
+per-worker socket.
+
+Lifecycle and failure model:
+
+* **Heartbeats** -- a monitor thread pings every worker each
+  ``heartbeat_s``; a worker that misses ``heartbeat_misses`` beats (or
+  whose process exits) is declared dead, its socket torn down, and its
+  in-flight requests failed with :class:`WorkerDied`.
+* **Degraded partials** -- :class:`WorkerDied` subclasses
+  :class:`~repro.db.errors.StorageFault`, so a dead worker degrades a
+  query exactly like a dead shard does in thread mode: the query
+  completes over the survivors with ``partial=True`` and the shard id in
+  ``failed_shards``, and the service never caches the partial answer.
+* **Respawn** -- the monitor automatically forks a replacement from the
+  stored spec (bounded by ``max_respawns`` per worker), so a transient
+  worker crash costs some partial answers, not the pool.
+* **Cancellation** -- the coordinator polls the caller's
+  ``cancel_check`` while gathering; the moment it raises (a service
+  deadline, typically) every in-flight sibling request gets a ``CANCEL``
+  frame, which trips the worker-side cooperative check mid-scan.  When
+  the check is a bound :class:`~repro.service.executor.Deadline` method
+  the remaining budget also rides along in the request, so workers
+  enforce the deadline locally between coordinator polls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import socket
+import tempfile
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.batch import BatchMemberResult, BatchResult
+from repro.core.planner import PlannedQuery
+from repro.db.errors import StorageFault
+from repro.db.stats import IOStats, QueryStats
+from repro.geometry.boxes import BoxRelation
+from repro.geometry.halfspace import Polyhedron
+from repro.net.wire import (
+    MessageType,
+    SocketChannel,
+    columns_from_blob,
+    error_from_wire,
+    polyhedron_to_wire,
+    stats_from_wire,
+)
+from repro.net.worker import WorkerConfig, worker_main
+from repro.shard.partitioner import ShardSpec, shard_layout_version
+
+__all__ = ["ShardWorkerPool", "WorkerDied"]
+
+
+class WorkerDied(StorageFault):
+    """A shard worker process died with requests in flight.
+
+    Subclassing :class:`~repro.db.errors.StorageFault` makes a worker
+    death indistinguishable from an unrecoverable shard-storage fault to
+    everything above the pool: the query degrades to a flagged partial
+    over the surviving shards, and partials are never cached.
+    """
+
+
+class _Death:
+    """Queue sentinel: the worker serving this tag died."""
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker: process, socket, response routing."""
+
+    def __init__(self, pool: "ShardWorkerPool", config: WorkerConfig):
+        self.pool = pool
+        self.config = config
+        self.spec = config.spec
+        self.process = None
+        self.channel: SocketChannel | None = None
+        self.alive = False
+        self.pid: int | None = None
+        self._lock = threading.Lock()
+        # request_id -> (out_queue, tag): where this worker's response
+        # frames for that request should be delivered.
+        self._routes: dict[int, tuple[queue.Queue, object]] = {}
+        self._generation = 0
+        self.respawns = 0
+        self.requests = 0
+        self.busy_s = 0.0
+        self.last_pong = 0.0
+        self.io: dict[str, int] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, process, channel: SocketChannel, pid: int) -> None:
+        """Adopt a freshly accepted worker connection and start its reader."""
+        with self._lock:
+            self.process = process
+            self.channel = channel
+            self.pid = pid
+            self.alive = True
+            self._generation += 1
+            generation = self._generation
+        threading.Thread(
+            target=self._reader_loop,
+            args=(channel, generation),
+            name=f"pool-reader-{self.spec.shard_id}",
+            daemon=True,
+        ).start()
+
+    def mark_dead(self) -> None:
+        """Declare the worker dead and fail everything in flight."""
+        with self._lock:
+            if not self.alive and self.channel is None:
+                return
+            self.alive = False
+            channel, self.channel = self.channel, None
+            routes, self._routes = self._routes, {}
+        if channel is not None:
+            channel.close()
+        for out, tag in routes.values():
+            out.put((tag, _Death(self.spec.shard_id)))
+        self.pool._note(worker_deaths=1)
+
+    # -- request routing ----------------------------------------------------
+
+    def send_request(
+        self,
+        msg_type: MessageType,
+        header: dict,
+        out: queue.Queue,
+        tag: object,
+    ) -> bool:
+        """Register the response route and send; False if the worker is down."""
+        request_id = header["request_id"]
+        with self._lock:
+            if not self.alive or self.channel is None:
+                return False
+            self._routes[request_id] = (out, tag)
+            channel = self.channel
+        try:
+            channel.send(msg_type, header)
+            return True
+        except OSError:
+            self.forget(request_id)
+            self.mark_dead()
+            return False
+
+    def forget(self, request_id: int) -> None:
+        """Drop the route: late frames for this request are discarded."""
+        with self._lock:
+            self._routes.pop(request_id, None)
+
+    def cancel(self, request_id: int, member: int | None = None) -> None:
+        """Best-effort CANCEL frame (worker may already be dead)."""
+        with self._lock:
+            channel = self.channel if self.alive else None
+        if channel is not None:
+            try:
+                channel.send(
+                    MessageType.CANCEL,
+                    {"request_id": request_id, "member": member},
+                )
+            except OSError:
+                pass
+
+    def ping(self) -> None:
+        """Best-effort heartbeat request."""
+        with self._lock:
+            channel = self.channel if self.alive else None
+        if channel is not None:
+            try:
+                channel.send(MessageType.PING, {})
+            except OSError:
+                self.mark_dead()
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit cleanly."""
+        with self._lock:
+            channel = self.channel if self.alive else None
+        if channel is not None:
+            try:
+                channel.send(MessageType.SHUTDOWN, {})
+            except OSError:
+                pass
+
+    # -- reader thread ------------------------------------------------------
+
+    def _reader_loop(self, channel: SocketChannel, generation: int) -> None:
+        try:
+            while True:
+                frame = channel.recv()
+                if frame is None:
+                    break
+                if frame.type is MessageType.PONG:
+                    self.last_pong = time.monotonic()
+                    self.requests = int(frame.header.get("requests", self.requests))
+                    self.busy_s = float(frame.header.get("busy_s", self.busy_s))
+                    self.io = frame.header.get("io", self.io)
+                    continue
+                request_id = frame.header.get("request_id")
+                with self._lock:
+                    route = self._routes.get(request_id)
+                    if frame.type is MessageType.DONE and (
+                        frame.header.get("member") is None
+                    ):
+                        # Terminal frame for solo queries and batches.
+                        if "busy_s" in frame.header:
+                            self.busy_s = float(frame.header["busy_s"])
+                        if "requests" in frame.header:
+                            self.requests = int(frame.header["requests"]) + 1
+                        if route is not None and frame.header.get("counters") is None:
+                            self._routes.pop(request_id, None)
+                if route is not None:
+                    out, tag = route
+                    out.put((tag, frame))
+        except Exception:
+            pass
+        with self._lock:
+            current = generation == self._generation
+        if current:
+            self.mark_dead()
+
+    def stats(self) -> dict:
+        """Per-worker utilization snapshot (for replay summaries)."""
+        return {
+            "shard_id": self.spec.shard_id,
+            "pid": self.pid,
+            "alive": self.alive,
+            "requests": self.requests,
+            "busy_s": self.busy_s,
+            "respawns": self.respawns,
+        }
+
+
+class ShardWorkerPool:
+    """One worker process per kd-subtree shard, behind the engine protocol.
+
+    Parameters
+    ----------
+    specs:
+        The partitioning plan (see :meth:`~repro.shard.KdPartitioner.plan`).
+        Each spec ships to its worker, which builds the shard's database
+        and kd-tree on its side of the process boundary.
+    crossover / sample_pages / seed:
+        Planner knobs, divided across shards exactly as the thread
+        executor divides them (``sample_pages`` is the whole-table probe
+        budget; each worker's planner is seeded ``seed + shard_id``).
+    use_tight_boxes:
+        Router pruning family (see :class:`~repro.shard.ShardRouter`).
+    start_method:
+        ``multiprocessing`` start method; ``"fork"`` (default where
+        available) shares the parent's page data copy-on-write, while
+        ``"spawn"`` pickles every spec -- both work because specs are
+        spawn-safe by construction.
+    heartbeat_s / heartbeat_misses:
+        Liveness probing cadence and tolerance before a worker is
+        declared dead and respawned.
+    max_respawns:
+        Per-worker automatic respawn budget.
+    page_rows:
+        Result-streaming chunk size (rows per PAGE frame).
+    """
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        *,
+        crossover: float = 0.25,
+        sample_pages: int = 8,
+        seed: int = 0,
+        use_tight_boxes: bool = True,
+        start_method: str | None = None,
+        heartbeat_s: float = 0.5,
+        heartbeat_misses: int = 6,
+        max_respawns: int = 8,
+        page_rows: int = 4096,
+        spawn_timeout_s: float = 60.0,
+        poll_s: float = 0.01,
+    ):
+        if not specs:
+            raise ValueError("a worker pool needs at least one shard spec")
+        self.specs = list(specs)
+        self.use_tight_boxes = use_tight_boxes
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_misses = heartbeat_misses
+        self.max_respawns = max_respawns
+        self.spawn_timeout_s = spawn_timeout_s
+        self.poll_s = poll_s
+        self._total_rows = int(sum(spec.num_rows for spec in specs))
+        self._layout_version = shard_layout_version(
+            specs[0].base_name, specs[0].dims, [s.num_rows for s in specs]
+        )
+        # Fallback result schema from the specs; replaced by the richer
+        # schema the first worker reports in HELLO (a built shard table
+        # can carry clustering columns beyond the input, e.g. kd_leaf).
+        self._dtypes: dict[str, np.dtype] = dict(specs[0].column_dtypes())
+        self._dtypes["_row_id"] = np.dtype(np.int64)
+        self._column_order = list(specs[0].columns) + ["_row_id"]
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        shard_probe = max(1, sample_pages // len(specs))
+        self._handles = [
+            _WorkerHandle(
+                self,
+                WorkerConfig(
+                    spec=spec,
+                    crossover=crossover,
+                    sample_pages=shard_probe,
+                    seed=seed + spec.shard_id,
+                    page_rows=page_rows,
+                ),
+            )
+            for spec in specs
+        ]
+        self._request_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._counters = {
+            "queries": 0,
+            "shards_dispatched": 0,
+            "shards_pruned": 0,
+            "shard_faults": 0,
+            "partial_results": 0,
+            "worker_deaths": 0,
+            "worker_respawns": 0,
+            "cancels_sent": 0,
+        }
+        self._closed = False
+        self._listener, self._address, self._socket_dir = self._make_listener()
+        try:
+            for handle in self._handles:
+                self._spawn(handle)
+        except Exception:
+            self.close()
+            raise
+        self._monitor_stop = threading.Event()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="pool-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    # -- engine protocol (mirrors ScatterGatherExecutor) --------------------
+
+    @property
+    def table_name(self) -> str:
+        """Logical name of the sharded table (cache fingerprinting)."""
+        return self.specs[0].base_name
+
+    @property
+    def dims(self) -> list[str]:
+        """Ordered coordinate column names."""
+        return list(self.specs[0].dims)
+
+    @property
+    def layout_version(self) -> str:
+        """Digest of the shard boundaries (same formula as thread mode)."""
+        return self._layout_version
+
+    @property
+    def num_shards(self) -> int:
+        """How many shard worker processes back this pool."""
+        return len(self.specs)
+
+    @property
+    def transport(self) -> str:
+        """Execution transport identifier (for reports and replays)."""
+        return "process"
+
+    # -- process management -------------------------------------------------
+
+    def _make_listener(self):
+        if hasattr(socket, "AF_UNIX"):
+            sock_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            path = os.path.join(sock_dir, "pool.sock")
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            listener.listen(len(self.specs) + 4)
+            return listener, path, sock_dir
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(len(self.specs) + 4)
+        return listener, listener.getsockname(), None
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or restart) one worker and wait for its HELLO."""
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.config, self._address),
+            name=f"shard-worker-{handle.spec.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        self._listener.settimeout(self.spawn_timeout_s)
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            process.terminate()
+            raise TimeoutError(
+                f"shard worker {handle.spec.shard_id} did not connect within "
+                f"{self.spawn_timeout_s:.0f}s"
+            ) from None
+        conn.settimeout(self.spawn_timeout_s)
+        channel = SocketChannel(conn)
+        try:
+            hello = channel.recv()
+        except (OSError, TimeoutError):
+            channel.close()
+            process.terminate()
+            raise TimeoutError(
+                f"shard worker {handle.spec.shard_id} connected but sent no HELLO"
+            ) from None
+        if hello is None or hello.type is not MessageType.HELLO:
+            channel.close()
+            process.terminate()
+            raise RuntimeError(
+                f"shard worker {handle.spec.shard_id} spoke a bad handshake"
+            )
+        conn.settimeout(None)
+        schema = hello.header.get("schema")
+        if schema:
+            self._column_order = [name for name, _ in schema]
+            self._dtypes = {name: np.dtype(code) for name, code in schema}
+        handle.last_pong = time.monotonic()
+        handle.attach(process, channel, pid=int(hello.header.get("pid", 0)))
+
+    def _monitor_loop(self) -> None:
+        """Heartbeat, dead-worker detection, and automatic respawn."""
+        while not self._monitor_stop.wait(self.heartbeat_s):
+            for handle in self._handles:
+                if self._monitor_stop.is_set():
+                    return
+                if handle.alive:
+                    process = handle.process
+                    stale = (
+                        time.monotonic() - handle.last_pong
+                        > self.heartbeat_s * self.heartbeat_misses
+                    )
+                    if process is not None and not process.is_alive():
+                        handle.mark_dead()
+                    elif stale:
+                        # Wedged: no PONG for several beats. Kill it so
+                        # in-flight requests fail fast, then respawn.
+                        if process is not None:
+                            process.terminate()
+                        handle.mark_dead()
+                    else:
+                        handle.ping()
+                if not handle.alive and handle.respawns < self.max_respawns:
+                    try:
+                        self._spawn(handle)
+                    except (TimeoutError, RuntimeError, OSError):
+                        continue
+                    handle.respawns += 1
+                    self._note(worker_respawns=1)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        stop = getattr(self, "_monitor_stop", None)
+        if stop is not None:
+            stop.set()
+            self._monitor.join(timeout=5.0)
+        for handle in self._handles:
+            handle.shutdown()
+        deadline = time.monotonic() + 5.0
+        for handle in self._handles:
+            process = handle.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for handle in self._handles:
+            handle.mark_dead()
+        self._listener.close()
+        if self._socket_dir is not None:
+            try:
+                os.unlink(self._address)
+            except OSError:
+                pass
+            try:
+                os.rmdir(self._socket_dir)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- routing ------------------------------------------------------------
+
+    def _route(
+        self, polyhedron: Polyhedron
+    ) -> tuple[list[tuple[ShardSpec, BoxRelation]], int]:
+        dispatched: list[tuple[ShardSpec, BoxRelation]] = []
+        pruned = 0
+        for spec in self.specs:
+            if spec.num_rows == 0:
+                pruned += 1
+                continue
+            box = spec.tight_box if self.use_tight_boxes else spec.partition_box
+            relation = polyhedron.classify_box(box)
+            if relation is BoxRelation.OUTSIDE:
+                pruned += 1
+            else:
+                dispatched.append((spec, relation))
+        return dispatched, pruned
+
+    @staticmethod
+    def _remaining_deadline(cancel_check) -> float | None:
+        """Extract a forwardable budget when the check is Deadline.check."""
+        owner = getattr(cancel_check, "__self__", None)
+        remaining = getattr(owner, "remaining", None)
+        if callable(remaining):
+            try:
+                return max(0.0, float(remaining()))
+            except Exception:
+                return None
+        return None
+
+    # -- merging helpers ----------------------------------------------------
+
+    def _empty_rows(self) -> dict[str, np.ndarray]:
+        return {
+            name: np.empty(0, dtype=self._dtypes[name])
+            for name in self._column_order
+        }
+
+    def _merge_pieces(
+        self, pieces: list[dict[str, np.ndarray]]
+    ) -> dict[str, np.ndarray]:
+        if not pieces:
+            return self._empty_rows()
+        return {
+            name: np.concatenate([p[name] for p in pieces])
+            for name in self._column_order
+        }
+
+    @staticmethod
+    def _rebase(spec: ShardSpec, rows: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        rebased = dict(rows)
+        rebased["_row_id"] = rows["_row_id"] + spec.row_offset
+        return rebased
+
+    # -- solo execution -----------------------------------------------------
+
+    def execute(
+        self, polyhedron: Polyhedron, cancel_check: Callable[[], None] | None = None
+    ) -> PlannedQuery:
+        """Route, scatter over worker processes, and gather one query."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if cancel_check is not None:
+            cancel_check()
+        dispatched, pruned = self._route(polyhedron)
+        out: queue.Queue = queue.Queue()
+        poly_wire = polyhedron_to_wire(polyhedron)
+        deadline_s = self._remaining_deadline(cancel_check)
+
+        sent: dict[int, tuple[_WorkerHandle, int]] = {}
+        failed: list[int] = []
+        last_fault: StorageFault | None = None
+        for spec, relation in dispatched:
+            handle = self._handles[spec.shard_id]
+            request_id = next(self._request_ids)
+            header = {
+                "request_id": request_id,
+                "inside": relation is BoxRelation.INSIDE,
+                "deadline_s": deadline_s,
+            }
+            if relation is not BoxRelation.INSIDE:
+                header["polyhedron"] = poly_wire
+            if handle.send_request(MessageType.QUERY, header, out, spec.shard_id):
+                sent[spec.shard_id] = (handle, request_id)
+            else:
+                failed.append(spec.shard_id)
+                last_fault = WorkerDied(
+                    f"shard worker {spec.shard_id} is down (respawning)"
+                )
+
+        stats = QueryStats()
+        pieces: list[dict[str, np.ndarray]] = []
+        path_counts: dict[str, int] = {}
+        weighted_estimate = 0.0
+        estimated_rows = 0
+        sampled_pages = 0
+        fallback = False
+        fallback_reason = ""
+        shard_pieces: dict[int, list] = {sid: [] for sid in sent}
+        pending = set(sent)
+
+        while pending:
+            # Poll the caller's check both while waiting and per frame,
+            # so a tripped deadline aborts in-flight siblings promptly
+            # even when responses arrive back-to-back.
+            if cancel_check is not None:
+                try:
+                    cancel_check()
+                except BaseException:
+                    self._abort_pending(sent, pending)
+                    raise
+            try:
+                sid, msg = out.get(timeout=self.poll_s)
+            except queue.Empty:
+                continue
+            if sid not in pending:
+                continue
+            spec = self.specs[sid]
+            if isinstance(msg, _Death):
+                pending.discard(sid)
+                failed.append(sid)
+                last_fault = WorkerDied(
+                    f"shard worker {sid} died mid-query"
+                )
+                continue
+            if msg.type is MessageType.PAGE:
+                shard_pieces[sid].append(
+                    columns_from_blob(msg.header["columns"], msg.blob)
+                )
+                continue
+            if msg.type is MessageType.ERROR:
+                kind = msg.header.get("kind")
+                pending.discard(sid)
+                if kind == "storage_fault":
+                    failed.append(sid)
+                    last_fault = error_from_wire(msg.header)
+                elif kind == "cancelled":
+                    continue
+                else:
+                    # Deadline or unexpected error: abort in-flight
+                    # siblings, then re-raise (the thread-mode contract).
+                    self._abort_pending(sent, pending)
+                    raise error_from_wire(msg.header)
+                continue
+            # DONE: assemble the shard's result.
+            pending.discard(sid)
+            header = msg.header
+            parts = shard_pieces[sid]
+            if not parts and "columns" in header:
+                parts = [columns_from_blob(header["columns"], b"")]
+            rows = (
+                {
+                    name: np.concatenate([p[name] for p in parts])
+                    for name in self._column_order
+                }
+                if parts
+                else self._empty_rows()
+            )
+            shard_stats = stats_from_wire(header["stats"])
+            stats.merge(shard_stats)
+            pieces.append(self._rebase(spec, rows))
+            path = header["chosen_path"]
+            path_counts[path] = path_counts.get(path, 0) + 1
+            if header.get("fallback"):
+                fallback = True
+                fallback_reason = fallback_reason or header.get(
+                    "fallback_reason", ""
+                )
+            estimate = float(header.get("estimated_selectivity", float("nan")))
+            if np.isfinite(estimate):
+                weighted_estimate += estimate * spec.num_rows
+                estimated_rows += spec.num_rows
+            sampled_pages += int(header.get("sampled_pages", 0))
+
+        if failed and not pieces and dispatched:
+            assert last_fault is not None
+            raise last_fault
+
+        rows = self._merge_pieces(pieces)
+        estimate = (
+            weighted_estimate / self._total_rows
+            if estimated_rows
+            else (0.0 if not dispatched else float("nan"))
+        )
+        for path, count in path_counts.items():
+            stats.extra[f"shard_path_{path}"] = count
+        stats.extra.setdefault("transport", "process")
+        self._note(
+            queries=1,
+            shards_dispatched=len(dispatched),
+            shards_pruned=pruned,
+            shard_faults=len(failed),
+            partial_results=1 if failed else 0,
+        )
+        return PlannedQuery(
+            rows=rows,
+            stats=stats,
+            chosen_path="sharded",
+            estimated_selectivity=estimate,
+            sampled_pages=sampled_pages,
+            fallback=fallback,
+            fallback_reason=fallback_reason,
+            shards_dispatched=len(dispatched),
+            shards_pruned=pruned,
+            shard_faults=len(failed),
+            partial=bool(failed),
+            failed_shards=tuple(sorted(failed)),
+        )
+
+    def _abort_pending(
+        self, sent: dict[int, tuple[_WorkerHandle, int]], pending: set
+    ) -> None:
+        """Cancel every in-flight shard request and drop their routes."""
+        for sid in list(pending):
+            handle, request_id = sent[sid]
+            handle.cancel(request_id)
+            handle.forget(request_id)
+            self._note(cancels_sent=1)
+        pending.clear()
+
+    # -- batched execution --------------------------------------------------
+
+    def execute_batch(
+        self,
+        polyhedra: list[Polyhedron],
+        cancel_checks: list[Callable[[], None] | None] | None = None,
+    ) -> BatchResult:
+        """Scatter one micro-batch over the worker processes.
+
+        Semantics mirror the thread executor: each shard receives one
+        BATCH request covering all the members routed to it, a member's
+        own deadline/cancel failure never disturbs its siblings, and a
+        per-shard storage fault (or worker death) degrades exactly the
+        members that shard served to flagged partials.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        n = len(polyhedra)
+        checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+        result = BatchResult(
+            members=[BatchMemberResult() for _ in range(n)], occupancy=n
+        )
+        live: list[int] = []
+        routes: list = [None] * n
+        for m, (polyhedron, check) in enumerate(zip(polyhedra, checks)):
+            if check is not None:
+                try:
+                    check()
+                except BaseException as exc:
+                    result.members[m].error = exc
+                    continue
+            routes[m] = self._route(polyhedron)
+            live.append(m)
+
+        shard_members: dict[int, list[tuple[int, BoxRelation]]] = {}
+        for m in live:
+            for spec, relation in routes[m][0]:
+                shard_members.setdefault(spec.shard_id, []).append((m, relation))
+
+        out: queue.Queue = queue.Queue()
+        sent: dict[int, tuple[_WorkerHandle, int]] = {}
+        merged = {
+            m: {
+                "stats": QueryStats(),
+                "pieces": [],
+                "path_counts": {},
+                "failed": [],
+                "last_fault": None,
+                "fallback": False,
+                "reason": "",
+                "weighted": 0.0,
+                "est_rows": 0,
+                "sampled": 0,
+            }
+            for m in live
+        }
+        member_pieces: dict[tuple[int, int], list] = {}
+        for sid, entries in shard_members.items():
+            handle = self._handles[sid]
+            request_id = next(self._request_ids)
+            header = {
+                "request_id": request_id,
+                "members": [
+                    {
+                        "member": m,
+                        "inside": relation is BoxRelation.INSIDE,
+                        "deadline_s": self._remaining_deadline(checks[m]),
+                        "polyhedron": (
+                            polyhedron_to_wire(polyhedra[m])
+                            if relation is not BoxRelation.INSIDE
+                            else None
+                        ),
+                    }
+                    for m, relation in entries
+                ],
+            }
+            if handle.send_request(MessageType.BATCH, header, out, sid):
+                sent[sid] = (handle, request_id)
+            else:
+                for m, _ in entries:
+                    merged[m]["failed"].append(sid)
+                    merged[m]["last_fault"] = WorkerDied(
+                        f"shard worker {sid} is down (respawning)"
+                    )
+
+        pending = set(sent)
+        cancelled_members: set[int] = set()
+        while pending:
+            # Poll live members' own checks so a coordinator-side
+            # deadline cancels exactly that member everywhere, without
+            # disturbing its batch siblings.
+            for m in live:
+                if m in cancelled_members or result.members[m].error is not None:
+                    continue
+                check = checks[m]
+                if check is None:
+                    continue
+                try:
+                    check()
+                except BaseException as exc:
+                    result.members[m].error = exc
+                    cancelled_members.add(m)
+                    for other_sid in pending:
+                        handle, request_id = sent[other_sid]
+                        if any(mm == m for mm, _ in shard_members[other_sid]):
+                            handle.cancel(request_id, member=m)
+                            self._note(cancels_sent=1)
+            try:
+                sid, msg = out.get(timeout=self.poll_s)
+            except queue.Empty:
+                continue
+            if sid not in pending:
+                continue
+            spec = self.specs[sid]
+            if isinstance(msg, _Death):
+                pending.discard(sid)
+                for m, _ in shard_members[sid]:
+                    merged[m]["failed"].append(sid)
+                    merged[m]["last_fault"] = WorkerDied(
+                        f"shard worker {sid} died mid-batch"
+                    )
+                continue
+            member = msg.header.get("member")
+            if msg.type is MessageType.PAGE:
+                member_pieces.setdefault((sid, member), []).append(
+                    columns_from_blob(msg.header["columns"], msg.blob)
+                )
+                continue
+            if msg.type is MessageType.ERROR:
+                kind = msg.header.get("kind")
+                if member is None:
+                    continue
+                if kind == "storage_fault":
+                    merged[member]["failed"].append(sid)
+                    merged[member]["last_fault"] = error_from_wire(msg.header)
+                elif kind == "cancelled":
+                    pass
+                elif result.members[member].error is None:
+                    result.members[member].error = error_from_wire(msg.header)
+                continue
+            # DONE frames: per-member completion, or the shard's trailer.
+            if member is None:
+                counters = msg.header.get("counters") or {}
+                result.pages_decoded += int(counters.get("pages_decoded", 0))
+                result.shared_decode_hits += int(
+                    counters.get("shared_decode_hits", 0)
+                )
+                pending.discard(sid)
+                self._handles[sid].forget(sent[sid][1])
+                continue
+            header = msg.header
+            parts = member_pieces.pop((sid, member), [])
+            if not parts and "columns" in header:
+                parts = [columns_from_blob(header["columns"], b"")]
+            rows = (
+                {
+                    name: np.concatenate([p[name] for p in parts])
+                    for name in self._column_order
+                }
+                if parts
+                else self._empty_rows()
+            )
+            acc = merged[member]
+            acc["stats"].merge(stats_from_wire(header["stats"]))
+            acc["pieces"].append(self._rebase(spec, rows))
+            path = header["chosen_path"]
+            acc["path_counts"][path] = acc["path_counts"].get(path, 0) + 1
+            if header.get("fallback"):
+                acc["fallback"] = True
+                acc["reason"] = acc["reason"] or header.get("fallback_reason", "")
+            estimate = float(header.get("estimated_selectivity", float("nan")))
+            if np.isfinite(estimate):
+                acc["weighted"] += estimate * spec.num_rows
+                acc["est_rows"] += spec.num_rows
+            acc["sampled"] += int(header.get("sampled_pages", 0))
+
+        note = {
+            "queries": 0,
+            "shards_dispatched": 0,
+            "shards_pruned": 0,
+            "shard_faults": 0,
+            "partial_results": 0,
+        }
+        for m in live:
+            acc = merged[m]
+            dispatched, pruned = routes[m]
+            note["queries"] += 1
+            note["shards_dispatched"] += len(dispatched)
+            note["shards_pruned"] += pruned
+            note["shard_faults"] += len(acc["failed"])
+            if result.members[m].error is not None:
+                continue
+            if acc["failed"] and not acc["pieces"] and dispatched:
+                result.members[m].error = acc["last_fault"]
+                continue
+            note["partial_results"] += 1 if acc["failed"] else 0
+            rows = self._merge_pieces(acc["pieces"])
+            estimate = (
+                acc["weighted"] / self._total_rows
+                if acc["est_rows"]
+                else (0.0 if not dispatched else float("nan"))
+            )
+            stats = acc["stats"]
+            for path, count in acc["path_counts"].items():
+                stats.extra[f"shard_path_{path}"] = count
+            stats.extra.setdefault("transport", "process")
+            result.members[m].planned = PlannedQuery(
+                rows=rows,
+                stats=stats,
+                chosen_path="sharded",
+                estimated_selectivity=estimate,
+                sampled_pages=acc["sampled"],
+                fallback=acc["fallback"],
+                fallback_reason=acc["reason"],
+                shards_dispatched=len(dispatched),
+                shards_pruned=pruned,
+                shard_faults=len(acc["failed"]),
+                partial=bool(acc["failed"]),
+                failed_shards=tuple(sorted(acc["failed"])),
+            )
+        self._note(**note)
+        return result
+
+    def knn(self, point, k, cancel_check=None):
+        """k-NN is not served over the process transport (yet)."""
+        raise NotImplementedError(
+            "k-NN queries are not supported over transport='process'; "
+            "use the thread-transport ScatterGatherExecutor"
+        )
+
+    # -- observability ------------------------------------------------------
+
+    def _note(self, **deltas: int) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                self._counters[key] += delta
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative pool counters since construction."""
+        with self._lock:
+            return dict(self._counters)
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker utilization snapshots (requests, busy time, respawns)."""
+        return [handle.stats() for handle in self._handles]
+
+    def io_stats(self) -> IOStats:
+        """Aggregate worker-side I/O counters via a heartbeat round."""
+        asked = time.monotonic()
+        for handle in self._handles:
+            handle.ping()
+        deadline = asked + 1.0
+        while time.monotonic() < deadline:
+            if all(
+                handle.last_pong >= asked
+                for handle in self._handles
+                if handle.alive
+            ):
+                break
+            time.sleep(0.005)
+        total = IOStats()
+        for handle in self._handles:
+            if handle.io:
+                total.add(**handle.io)
+        return total
+
+    def __repr__(self) -> str:
+        alive = sum(1 for h in self._handles if h.alive)
+        return (
+            f"ShardWorkerPool(name={self.table_name!r}, shards={self.num_shards}, "
+            f"alive={alive}, transport='process')"
+        )

@@ -1,0 +1,392 @@
+"""The shard worker process: one kd-subtree shard behind an IPC socket.
+
+``worker_main`` is the entry point a :class:`~repro.net.pool.ShardWorkerPool`
+forks/spawns per shard.  The worker builds its *own* engine stack from
+the picklable :class:`~repro.shard.partitioner.ShardSpec` -- private
+:class:`~repro.db.catalog.Database` (with the parent's buffer budget,
+retry policy, and seeded fault injector, when configured), kd-tree
+index, and :class:`~repro.core.planner.QueryPlanner` -- so query
+execution runs with a whole Python interpreter, and GIL, to itself.
+
+Threading model: the main thread executes queries one at a time from an
+internal queue; a reader thread drains the socket continuously so
+``CANCEL`` frames and ``PING`` heartbeats are handled *while* a query
+runs.  Cancellation is cooperative: the reader sets a per-request event
+that the executing query's ``cancel_check`` polls every page/node, the
+same discipline the in-process executors use.
+
+Result streaming: rows leave in ``PAGE`` frames of ``page_rows`` rows
+each (raw column bytes, no text encoding), followed by one ``DONE``
+frame carrying the plan fields and stats -- so a large result never
+needs to exist as one giant message on either side.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.db.errors import StorageFault
+from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
+from repro.net.wire import (
+    Frame,
+    MessageType,
+    SocketChannel,
+    columns_to_blob,
+    error_to_wire,
+    polyhedron_from_wire,
+    stats_to_wire,
+)
+from repro.service.executor import Deadline
+from repro.shard.partitioner import ShardSpec, build_shard
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a worker process needs (picklable, spawn-safe).
+
+    ``sample_pages`` is this shard's probe budget (the pool divides the
+    whole-table budget by the shard count, as the thread executor does);
+    ``seed`` is already offset by the shard id.
+    """
+
+    spec: ShardSpec
+    crossover: float = 0.25
+    sample_pages: int = 1
+    seed: int = 0
+    page_rows: int = 4096
+
+
+class _Cancelled(BaseException):
+    """Raised inside a query when the parent sent CANCEL for it."""
+
+
+class _InFlight:
+    """Cancellation registry shared by the reader and executor threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: dict[tuple[int, int | None], threading.Event] = {}
+
+    def register(self, request_id: int, member: int | None) -> threading.Event:
+        event = threading.Event()
+        with self._lock:
+            self._events[(request_id, member)] = event
+        return event
+
+    def unregister(self, request_id: int, member: int | None) -> None:
+        with self._lock:
+            self._events.pop((request_id, member), None)
+
+    def cancel(self, request_id: int, member: int | None) -> None:
+        """Trip one member's event, or every event of the request."""
+        with self._lock:
+            for (rid, mem), event in self._events.items():
+                if rid == request_id and (member is None or mem == member):
+                    event.set()
+
+
+def _compose_check(deadline_s, event: threading.Event):
+    """Build the cooperative cancel_check for one (request, member)."""
+    deadline = Deadline(float(deadline_s)) if deadline_s is not None else None
+
+    def check() -> None:
+        if event.is_set():
+            raise _Cancelled()
+        if deadline is not None:
+            deadline.check()
+
+    return check
+
+
+class _Worker:
+    def __init__(self, config: WorkerConfig, channel: SocketChannel):
+        self.config = config
+        self.spec = config.spec
+        self.channel = channel
+        self.shard = build_shard(config.spec)
+        self.planner = QueryPlanner(
+            self.shard.index,
+            crossover=config.crossover,
+            sample_pages=max(1, config.sample_pages),
+            seed=config.seed,
+        )
+        self.inflight = _InFlight()
+        self.work: queue.Queue = queue.Queue()
+        self.requests_served = 0
+        self.busy_s = 0.0
+
+    # -- reader thread ------------------------------------------------------
+
+    def reader_loop(self) -> None:
+        try:
+            while True:
+                frame = self.channel.recv()
+                if frame is None:
+                    break
+                if frame.type is MessageType.CANCEL:
+                    self.inflight.cancel(
+                        frame.header["request_id"], frame.header.get("member")
+                    )
+                elif frame.type is MessageType.PING:
+                    self.channel.send(MessageType.PONG, self._pong())
+                elif frame.type is MessageType.SHUTDOWN:
+                    self.work.put(None)
+                    break
+                else:
+                    self.work.put(frame)
+        except Exception:
+            pass
+        self.work.put(None)
+
+    def _pong(self) -> dict:
+        return {
+            "shard_id": self.spec.shard_id,
+            "pid": os.getpid(),
+            "requests": self.requests_served,
+            "busy_s": self.busy_s,
+            "io": self.shard.database.io_stats.as_dict(),
+        }
+
+    # -- executor (main thread) ---------------------------------------------
+
+    def run(self) -> None:
+        reader = threading.Thread(
+            target=self.reader_loop, name="worker-reader", daemon=True
+        )
+        reader.start()
+        table = self.shard.table
+        self.channel.send(
+            MessageType.HELLO,
+            {
+                "shard_id": self.spec.shard_id,
+                "pid": os.getpid(),
+                "num_rows": self.spec.num_rows,
+                "table": self.spec.name,
+                # Result schema: the built table's columns (clustering
+                # adds e.g. kd_leaf beyond the spec's input columns).
+                "schema": [
+                    [name, table.dtype_of(name).str] for name in table.column_names
+                ]
+                + [["_row_id", np.dtype(np.int64).str]],
+            },
+        )
+        while True:
+            frame = self.work.get()
+            if frame is None:
+                break
+            started = time.perf_counter()
+            try:
+                if frame.type is MessageType.QUERY:
+                    self._serve_query(frame)
+                elif frame.type is MessageType.BATCH:
+                    self._serve_batch(frame)
+            finally:
+                self.busy_s += time.perf_counter() - started
+                self.requests_served += 1
+
+    def _stream_planned(
+        self, request_id: int, member: int | None, planned: PlannedQuery
+    ) -> None:
+        """Emit a result as PAGE frames followed by one DONE frame."""
+        rows = planned.rows
+        names = list(rows)
+        total = int(rows["_row_id"].shape[0]) if "_row_id" in rows else (
+            int(rows[names[0]].shape[0]) if names else 0
+        )
+        chunk = max(1, self.config.page_rows)
+        for start in range(0, total, chunk):
+            piece = {n: rows[n][start : start + chunk] for n in names}
+            meta, blob = columns_to_blob(piece)
+            self.channel.send(
+                MessageType.PAGE,
+                {"request_id": request_id, "member": member, "columns": meta},
+                blob,
+            )
+        header = {
+            "request_id": request_id,
+            "member": member,
+            "rows": total,
+            "chosen_path": planned.chosen_path,
+            "estimated_selectivity": float(planned.estimated_selectivity),
+            "sampled_pages": int(planned.sampled_pages),
+            "fallback": bool(planned.fallback),
+            "fallback_reason": planned.fallback_reason,
+            "stats": stats_to_wire(planned.stats),
+            "busy_s": self.busy_s,
+            "requests": self.requests_served,
+        }
+        if total == 0:
+            # No PAGE frame went out; ship the schema so the parent can
+            # build correctly-typed empty columns.
+            meta, _ = columns_to_blob({n: rows[n][:0] for n in names})
+            header["columns"] = meta
+        self.channel.send(MessageType.DONE, header)
+
+    def _send_error(
+        self, request_id: int, member: int | None, exc: BaseException
+    ) -> None:
+        header = error_to_wire(exc) if not isinstance(exc, _Cancelled) else {
+            "kind": "cancelled",
+            "type": "Cancelled",
+            "message": "request cancelled by coordinator",
+        }
+        header["request_id"] = request_id
+        header["member"] = member
+        self.channel.send(MessageType.ERROR, header)
+
+    def _serve_query(self, frame: Frame) -> None:
+        request_id = frame.header["request_id"]
+        event = self.inflight.register(request_id, None)
+        check = _compose_check(frame.header.get("deadline_s"), event)
+        try:
+            if frame.header.get("inside"):
+                # Figure 4's fully-inside case: the router proved every
+                # row qualifies, so skip probe, tree, and per-row tests.
+                rows, stats = full_scan(self.shard.table, cancel_check=check)
+                planned = PlannedQuery(
+                    rows=rows,
+                    stats=stats,
+                    chosen_path="inside",
+                    estimated_selectivity=1.0,
+                    sampled_pages=0,
+                )
+            else:
+                polyhedron = polyhedron_from_wire(frame.header["polyhedron"])
+                planned = self.planner.execute(polyhedron, cancel_check=check)
+            self._stream_planned(request_id, None, planned)
+        except BaseException as exc:
+            self._send_error(request_id, None, exc)
+            if not isinstance(exc, (Exception, _Cancelled)):
+                raise
+        finally:
+            self.inflight.unregister(request_id, None)
+
+    def _serve_batch(self, frame: Frame) -> None:
+        """One shard's share of a micro-batch, mirroring the thread path.
+
+        INSIDE members share one predicate-free scan pass; PARTIAL
+        members go through the planner's ``execute_batch``.  Outcomes
+        are per-member (PAGE*/DONE or ERROR); a trailing memberless DONE
+        carries the shared-decode counters.
+        """
+        request_id = frame.header["request_id"]
+        members = frame.header["members"]
+        events = {
+            m["member"]: self.inflight.register(request_id, m["member"])
+            for m in members
+        }
+        checks = {
+            m["member"]: _compose_check(m.get("deadline_s"), events[m["member"]])
+            for m in members
+        }
+        counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+        try:
+            inside = [m["member"] for m in members if m.get("inside")]
+            partial = [
+                (m["member"], polyhedron_from_wire(m["polyhedron"]))
+                for m in members
+                if not m.get("inside")
+            ]
+            if inside:
+                self._serve_batch_inside(request_id, inside, checks, counters)
+            if partial:
+                batch = self.planner.execute_batch(
+                    [poly for _, poly in partial],
+                    [checks[m] for m, _ in partial],
+                )
+                counters["pages_decoded"] += batch.pages_decoded
+                counters["shared_decode_hits"] += batch.shared_decode_hits
+                for (m, _), result in zip(partial, batch.members):
+                    if result.error is not None:
+                        self._send_error(request_id, m, result.error)
+                    else:
+                        self._stream_planned(request_id, m, result.planned)
+        except BaseException as exc:
+            # The whole shard task died before demultiplexing (e.g. a
+            # routing bug): fail every member we have not answered.
+            for m in members:
+                self._send_error(request_id, m["member"], exc)
+            if not isinstance(exc, (Exception, _Cancelled)):
+                raise
+        finally:
+            for member, _ in events.items():
+                self.inflight.unregister(request_id, member)
+            self.channel.send(
+                MessageType.DONE,
+                {"request_id": request_id, "member": None, "counters": counters},
+            )
+
+    def _serve_batch_inside(
+        self, request_id: int, inside: list[int], checks: dict, counters: dict
+    ) -> None:
+        scan_members = [BatchScanMember(cancel_check=checks[m]) for m in inside]
+        try:
+            scanned, scan_counters = batch_full_scan(self.shard.table, scan_members)
+        except StorageFault:
+            # The shared pass died; retry each member alone so the fault
+            # stays per-member (exactly the thread executor's behavior).
+            for m in inside:
+                try:
+                    rows, stats = full_scan(self.shard.table, cancel_check=checks[m])
+                except BaseException as exc:
+                    self._send_error(request_id, m, exc)
+                    continue
+                self._stream_planned(
+                    request_id,
+                    m,
+                    PlannedQuery(
+                        rows=rows,
+                        stats=stats,
+                        chosen_path="inside",
+                        estimated_selectivity=1.0,
+                        sampled_pages=0,
+                    ),
+                )
+            return
+        counters["pages_decoded"] += scan_counters["pages_decoded"]
+        counters["shared_decode_hits"] += scan_counters["shared_decode_hits"]
+        for m, (rows, stats, error) in zip(inside, scanned):
+            if error is not None:
+                self._send_error(request_id, m, error)
+            else:
+                self._stream_planned(
+                    request_id,
+                    m,
+                    PlannedQuery(
+                        rows=rows,
+                        stats=stats,
+                        chosen_path="inside",
+                        estimated_selectivity=1.0,
+                        sampled_pages=0,
+                    ),
+                )
+
+
+def worker_main(config: WorkerConfig, address) -> None:
+    """Process entry point: build the shard, connect back, serve until EOF.
+
+    ``address`` is a Unix-socket path (str) or a ``(host, port)`` tuple;
+    the worker connects *back* to the pool's listener, which makes the
+    scheme identical under fork and spawn start methods.
+    """
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        address = tuple(address)
+    sock.connect(address)
+    channel = SocketChannel(sock)
+    try:
+        _Worker(config, channel).run()
+    finally:
+        channel.close()

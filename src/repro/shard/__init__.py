@@ -13,7 +13,13 @@ k-NN across shard borders (§3.3 one level up).
 
 from repro.shard.executor import ScatterGatherExecutor, ShardAborted
 from repro.shard.knn import ShardedKnnResult, scatter_gather_knn
-from repro.shard.partitioner import KdPartitioner, Shard, ShardSet
+from repro.shard.partitioner import (
+    KdPartitioner,
+    Shard,
+    ShardSet,
+    ShardSpec,
+    build_shard,
+)
 from repro.shard.router import RoutingDecision, ShardRouter
 
 __all__ = [
@@ -24,6 +30,8 @@ __all__ = [
     "ShardAborted",
     "ShardRouter",
     "ShardSet",
+    "ShardSpec",
     "ShardedKnnResult",
+    "build_shard",
     "scatter_gather_knn",
 ]

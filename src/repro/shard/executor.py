@@ -34,6 +34,7 @@ propagate to the caller.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from typing import Callable
 
@@ -101,16 +102,60 @@ class ScatterGatherExecutor:
         Router pruning family (see :class:`~repro.shard.ShardRouter`).
     """
 
-    def __init__(
-        self,
-        shard_set: ShardSet,
+    def __new__(
+        cls,
+        shard_set: ShardSet | None = None,
         *,
+        specs=None,
+        transport: str = "thread",
         workers: int | None = None,
         crossover: float = 0.25,
         sample_pages: int = 8,
         seed: int = 0,
         use_tight_boxes: bool = True,
+        **process_opts,
     ):
+        # transport="process" swaps the thread pool for one worker
+        # process per shard (repro.net); the returned pool speaks the
+        # same engine protocol, so callers are transport-agnostic.
+        if transport == "process":
+            if specs is None:
+                raise ValueError(
+                    "transport='process' needs picklable shard specs; build "
+                    "them with KdPartitioner.plan() and pass specs=..."
+                )
+            from repro.net.pool import ShardWorkerPool
+
+            return ShardWorkerPool(
+                specs,
+                crossover=crossover,
+                sample_pages=sample_pages,
+                seed=seed,
+                use_tight_boxes=use_tight_boxes,
+                **process_opts,
+            )
+        if transport != "thread":
+            raise ValueError(f"unknown transport {transport!r}")
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        shard_set: ShardSet | None = None,
+        *,
+        specs=None,
+        transport: str = "thread",
+        workers: int | None = None,
+        crossover: float = 0.25,
+        sample_pages: int = 8,
+        seed: int = 0,
+        use_tight_boxes: bool = True,
+        **process_opts,
+    ):
+        if shard_set is None:
+            raise ValueError("thread transport needs a built ShardSet")
+        if process_opts:
+            unknown = ", ".join(sorted(process_opts))
+            raise TypeError(f"unexpected arguments for thread transport: {unknown}")
         self.shard_set = shard_set
         self.router = ShardRouter(shard_set, use_tight_boxes=use_tight_boxes)
         shard_probe = max(1, sample_pages // shard_set.num_shards)
@@ -140,6 +185,8 @@ class ScatterGatherExecutor:
             "shard_faults": 0,
             "partial_results": 0,
         }
+        self._shard_busy = {shard.shard_id: 0.0 for shard in shard_set}
+        self._shard_requests = {shard.shard_id: 0 for shard in shard_set}
 
     # -- engine protocol (mirrors QueryPlanner) -----------------------------
 
@@ -162,6 +209,11 @@ class ScatterGatherExecutor:
     def num_shards(self) -> int:
         """How many shards back this executor."""
         return self.shard_set.num_shards
+
+    @property
+    def transport(self) -> str:
+        """Execution transport identifier (for reports and replays)."""
+        return "thread"
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -447,6 +499,19 @@ class ScatterGatherExecutor:
         ``("ok", PlannedQuery)`` or ``("error", exception)`` and the
         counters carry this shard's shared-decode totals.
         """
+        started = time.perf_counter()
+        try:
+            return self._run_shard_batch_inner(shard, entries, polyhedra, checks)
+        finally:
+            self._note_shard_time(shard.shard_id, time.perf_counter() - started)
+
+    def _run_shard_batch_inner(
+        self,
+        shard: Shard,
+        entries: list[tuple[int, BoxRelation]],
+        polyhedra: list[Polyhedron],
+        checks: list[Callable[[], None] | None],
+    ) -> tuple[dict[int, tuple[str, object]], dict]:
         inside = [m for m, relation in entries if relation is BoxRelation.INSIDE]
         partial = [m for m, relation in entries if relation is not BoxRelation.INSIDE]
         outcomes: dict[int, tuple[str, object]] = {}
@@ -519,6 +584,19 @@ class ScatterGatherExecutor:
         token: _CancelToken,
     ) -> PlannedQuery:
         token.check()
+        started = time.perf_counter()
+        try:
+            return self._run_shard_inner(shard, relation, polyhedron, token)
+        finally:
+            self._note_shard_time(shard.shard_id, time.perf_counter() - started)
+
+    def _run_shard_inner(
+        self,
+        shard: Shard,
+        relation: BoxRelation,
+        polyhedron: Polyhedron,
+        token: _CancelToken,
+    ) -> PlannedQuery:
         if relation is BoxRelation.INSIDE:
             # Figure 4's fully-inside case at shard granularity: the
             # shard's whole box satisfies every halfspace, so each of its
@@ -590,10 +668,30 @@ class ScatterGatherExecutor:
             for key, delta in deltas.items():
                 self._counters[key] += delta
 
+    def _note_shard_time(self, shard_id: int, elapsed: float) -> None:
+        with self._lock:
+            self._shard_busy[shard_id] += elapsed
+            self._shard_requests[shard_id] += 1
+
     def counters(self) -> dict[str, int]:
         """Cumulative scatter-gather counters since construction."""
         with self._lock:
             return dict(self._counters)
+
+    def worker_stats(self) -> list[dict]:
+        """Per-shard utilization snapshots, shaped like the process pool's."""
+        with self._lock:
+            return [
+                {
+                    "shard_id": shard.shard_id,
+                    "pid": None,
+                    "alive": True,
+                    "requests": self._shard_requests[shard.shard_id],
+                    "busy_s": self._shard_busy[shard.shard_id],
+                    "respawns": 0,
+                }
+                for shard in self.shard_set
+            ]
 
     def io_stats(self) -> IOStats:
         """Aggregate I/O counters across every shard's storage backend."""

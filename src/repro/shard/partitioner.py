@@ -28,18 +28,107 @@ them back to the owning shard.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.core.index_base import stack_coordinates
 from repro.core.kdtree import KdTree, KdTreeIndex, default_num_levels
-from repro.db.catalog import Database
+from repro.db.catalog import Database, DatabaseOptions
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.geometry.boxes import Box
 
-__all__ = ["KdPartitioner", "Shard", "ShardSet"]
+__all__ = [
+    "KdPartitioner",
+    "Shard",
+    "ShardSet",
+    "ShardSpec",
+    "build_shard",
+    "shard_layout_version",
+]
+
+
+def shard_layout_version(name: str, dims: list[str], shard_sizes: list[int]) -> str:
+    """Digest of a shard layout (count, sizes, base name, dims).
+
+    Shared by :class:`ShardSet` and the process-transport worker pool so
+    the same partitioning plan yields the same cache-fingerprint version
+    regardless of which transport executes it.
+    """
+    digest = hashlib.sha1()
+    digest.update(f"{name}|{','.join(dims)}|{len(shard_sizes)}".encode())
+    digest.update(np.array(shard_sizes, dtype=np.int64).tobytes())
+    return f"kd{len(shard_sizes)}:{digest.hexdigest()[:12]}"
+
+
+@dataclass
+class ShardSpec:
+    """A picklable recipe for one shard: data, geometry, and open options.
+
+    Everything a worker -- a thread in this process or a forked/spawned
+    *worker process* -- needs to build the shard's private
+    :class:`~repro.db.catalog.Database` and kd-tree from scratch:
+    the shard's column arrays, its kd geometry (partition and tight
+    boxes, post-order range), its global row offset, and the database
+    open options (including, for fault drills, the parent's seeded
+    :class:`~repro.db.faults.FaultInjector`, which pickles with its RNG
+    state so the worker reproduces the configured fault sequence).
+    """
+
+    shard_id: int
+    #: The shard's table name (``<base_name>__shard<j>``).
+    name: str
+    base_name: str
+    dims: list[str]
+    columns: dict[str, np.ndarray]
+    num_levels: int
+    axis_policy: str
+    rows_per_page: int
+    row_offset: int
+    num_rows: int
+    post_order_range: tuple[int, int]
+    partition_box: Box
+    tight_box: Box
+    options: DatabaseOptions = field(default_factory=DatabaseOptions)
+
+    def column_dtypes(self) -> dict[str, np.dtype]:
+        """Result-schema dtypes (what a gather/merge must produce)."""
+        return {name: arr.dtype for name, arr in self.columns.items()}
+
+
+def build_shard(
+    spec: ShardSpec, database_factory: Callable[[int], Database] | None = None
+) -> Shard:
+    """Materialize one shard -- database, table, kd-tree -- from its spec.
+
+    This is the worker-side half of partitioning: the parent computes
+    specs once (:meth:`KdPartitioner.plan`) and each worker, wherever it
+    runs, builds its own engine stack from the spec alone.
+    """
+    if database_factory is not None:
+        shard_db = database_factory(spec.shard_id)
+    else:
+        shard_db = spec.options.open()
+    index = KdTreeIndex.build(
+        shard_db,
+        spec.name,
+        spec.columns,
+        list(spec.dims),
+        num_levels=spec.num_levels,
+        axis_policy=spec.axis_policy,
+        rows_per_page=spec.rows_per_page,
+    )
+    return Shard(
+        shard_id=spec.shard_id,
+        database=shard_db,
+        index=index,
+        partition_box=spec.partition_box,
+        tight_box=spec.tight_box,
+        row_offset=spec.row_offset,
+        num_rows=spec.num_rows,
+        post_order_range=spec.post_order_range,
+    )
 
 
 @dataclass
@@ -82,10 +171,9 @@ class ShardSet:
         self.shards = list(shards)
         self.root_box = root_box
         self._offsets = np.array([s.row_offset for s in shards], dtype=np.int64)
-        digest = hashlib.sha1()
-        digest.update(f"{name}|{','.join(dims)}|{len(shards)}".encode())
-        digest.update(np.array([s.num_rows for s in shards], dtype=np.int64).tobytes())
-        self.layout_version = f"kd{len(shards)}:{digest.hexdigest()[:12]}"
+        self.layout_version = shard_layout_version(
+            name, self.dims, [s.num_rows for s in shards]
+        )
 
     @property
     def num_shards(self) -> int:
@@ -199,6 +287,72 @@ class KdPartitioner:
         self.database_factory = database_factory
         self.shard_levels = shard_levels
 
+    def plan(
+        self,
+        name: str,
+        data: dict[str, np.ndarray],
+        dims: list[str],
+        *,
+        options: DatabaseOptions | None = None,
+        shard_options: dict[int, DatabaseOptions] | None = None,
+    ) -> list[ShardSpec]:
+        """Compute the partitioning plan without building any database.
+
+        Returns one picklable :class:`ShardSpec` per shard, ordered
+        left-to-right in router-leaf order (ascending post-order range).
+        ``options`` is the database configuration every shard opens with
+        (default: in-memory with this partitioner's ``buffer_pages``);
+        ``shard_options`` overrides it per shard id (how fault drills
+        give one worker a seeded injector).  The specs feed either
+        :func:`build_shard` (thread transport, this process) or a
+        :class:`~repro.net.pool.ShardWorkerPool` (process transport).
+        """
+        points = stack_coordinates(data, list(dims))
+        if len(points) < self.num_shards:
+            raise ValueError(
+                f"{self.num_shards} shards need >= {self.num_shards} rows "
+                f"(got {len(points)})"
+            )
+        if options is None:
+            options = DatabaseOptions(buffer_pages=self.buffer_pages)
+        depth = self.num_shards.bit_length() - 1
+        router_tree = KdTree(
+            points, num_levels=depth + 1, axis_policy=self.axis_policy
+        )
+        shard_levels = self.shard_levels
+        if shard_levels is None:
+            shard_levels = max(1, default_num_levels(len(points)) - depth)
+        arrays = {c: np.asarray(arr) for c, arr in data.items()}
+        specs: list[ShardSpec] = []
+        offset = 0
+        for j, leaf in enumerate(
+            range(router_tree.first_leaf, 2 * router_tree.first_leaf)
+        ):
+            start, end = router_tree.node_rows(leaf)
+            rows = router_tree.permutation[start:end]
+            specs.append(
+                ShardSpec(
+                    shard_id=j,
+                    name=f"{name}__shard{j}",
+                    base_name=name,
+                    dims=list(dims),
+                    columns={c: arr[rows] for c, arr in arrays.items()},
+                    num_levels=min(
+                        shard_levels, max(1, int(len(rows)).bit_length())
+                    ),
+                    axis_policy=self.axis_policy,
+                    rows_per_page=self.rows_per_page,
+                    row_offset=offset,
+                    num_rows=len(rows),
+                    post_order_range=router_tree.post_order_range(leaf),
+                    partition_box=router_tree.partition_box(leaf),
+                    tight_box=router_tree.tight_box(leaf),
+                    options=(shard_options or {}).get(j, options),
+                )
+            )
+            offset += len(rows)
+        return specs
+
     def partition(
         self, name: str, data: dict[str, np.ndarray], dims: list[str]
     ) -> ShardSet:
@@ -208,52 +362,8 @@ class KdPartitioner:
         database; shards are ordered left-to-right in router-leaf order,
         i.e. by ascending post-order id range.
         """
-        points = stack_coordinates(data, list(dims))
-        if len(points) < self.num_shards:
-            raise ValueError(
-                f"{self.num_shards} shards need >= {self.num_shards} rows "
-                f"(got {len(points)})"
-            )
-        depth = self.num_shards.bit_length() - 1
-        router_tree = KdTree(
-            points, num_levels=depth + 1, axis_policy=self.axis_policy
-        )
-        shard_levels = self.shard_levels
-        if shard_levels is None:
-            shard_levels = max(1, default_num_levels(len(points)) - depth)
-        arrays = {c: np.asarray(arr) for c, arr in data.items()}
-        shards: list[Shard] = []
-        offset = 0
-        for j, leaf in enumerate(
-            range(router_tree.first_leaf, 2 * router_tree.first_leaf)
-        ):
-            start, end = router_tree.node_rows(leaf)
-            rows = router_tree.permutation[start:end]
-            shard_data = {c: arr[rows] for c, arr in arrays.items()}
-            if self.database_factory is not None:
-                shard_db = self.database_factory(j)
-            else:
-                shard_db = Database.in_memory(buffer_pages=self.buffer_pages)
-            index = KdTreeIndex.build(
-                shard_db,
-                f"{name}__shard{j}",
-                shard_data,
-                list(dims),
-                num_levels=min(shard_levels, max(1, int(len(rows)).bit_length())),
-                axis_policy=self.axis_policy,
-                rows_per_page=self.rows_per_page,
-            )
-            shards.append(
-                Shard(
-                    shard_id=j,
-                    database=shard_db,
-                    index=index,
-                    partition_box=router_tree.partition_box(leaf),
-                    tight_box=router_tree.tight_box(leaf),
-                    row_offset=offset,
-                    num_rows=len(rows),
-                    post_order_range=router_tree.post_order_range(leaf),
-                )
-            )
-            offset += len(rows)
-        return ShardSet(name, list(dims), shards, router_tree.partition_box(1))
+        specs = self.plan(name, data, dims)
+        shards = [build_shard(spec, self.database_factory) for spec in specs]
+        root_lo = np.min(np.stack([s.partition_box.lo for s in specs]), axis=0)
+        root_hi = np.max(np.stack([s.partition_box.hi for s in specs]), axis=0)
+        return ShardSet(name, list(dims), shards, Box(root_lo, root_hi))
