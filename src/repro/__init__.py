@@ -128,6 +128,15 @@ from repro.net import (
     WorkerDied,
     replay_over_network,
 )
+from repro.ingest import (
+    DELTA_BASE,
+    DeltaTier,
+    IngestManager,
+    IngestWal,
+    MergeDaemon,
+    MergeReport,
+    merge_table,
+)
 from repro.vectype import NativeBinaryCodec, UdtPickleCodec, VectorColumn
 from repro.viz import (
     AdaptivePointCloudProducer,
@@ -157,6 +166,14 @@ __all__ = [
     "parse_where",
     "save_catalog",
     "attach_database",
+    # ingest (the write path)
+    "DELTA_BASE",
+    "DeltaTier",
+    "IngestManager",
+    "IngestWal",
+    "MergeDaemon",
+    "MergeReport",
+    "merge_table",
     # faults & recovery
     "StorageFault",
     "TransientIOError",

@@ -161,8 +161,13 @@ def batch_kd_query(
             stack.append((2 * node, tuple(deeper)))
 
     # -- phase 2: shared fetch of the union of claimed ranges --------------
+    # One delta snapshot serves the whole batch: it suppresses tombstoned
+    # rows in every member's fetch and contributes its matching inserts
+    # to every member's result (merge-on-read).
+    snapshot = table.delta_snapshot()
     results, counters = _fetch_member_ranges(
-        table, dims, polyhedra, ranges, stats, checks, errors, pruners
+        table, dims, polyhedra, ranges, stats, checks, errors, pruners,
+        snapshot=snapshot,
     )
     return results, counters
 
@@ -176,6 +181,7 @@ def _fetch_member_ranges(
     checks: list[Callable[[], None] | None],
     errors: list[BaseException | None],
     pruners: list,
+    snapshot=None,
 ) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
     """Serve every member's claimed row ranges, decoding each page once.
 
@@ -194,6 +200,7 @@ def _fetch_member_ranges(
     ]
     row_id_chunks: list[list[np.ndarray]] = [[] for _ in range(n)]
     counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+    suppress = snapshot is not None and snapshot.num_tombstones > 0
 
     segments: dict[int, list[tuple[int, int, int, bool]]] = {}
     for m in range(n):
@@ -251,6 +258,9 @@ def _fetch_member_ranges(
         counters["pages_decoded"] += 1
         counters["shared_decode_hits"] += len({m for m, _, _, _ in live}) - 1
         points = None
+        page_alive = None
+        if suppress:
+            page_alive = snapshot.alive(page.row_ids())
         for m, lo, hi, page_filter in live:
             member_stats = stats[m]
             member_stats.record_page(table.name, page_id)
@@ -258,23 +268,44 @@ def _fetch_member_ranges(
             row_ids = np.arange(
                 page.start_row + lo, page.start_row + hi, dtype=np.int64
             )
+            alive = page_alive[lo:hi] if page_alive is not None else None
             if page_filter:
                 if points is None:
                     # Stacked once per page, shared by every filtering member.
                     points = np.column_stack([page.columns[d] for d in dims])
                 mask = polyhedra[m].contains_points(points[lo:hi])
-                matched = int(np.count_nonzero(mask))
-                if matched == 0:
-                    continue
-                member_stats.rows_returned += matched
-                row_id_chunks[m].append(row_ids[mask])
-                for name in wanted:
-                    chunks[m][name].append(page.columns[name][lo:hi][mask])
+                if alive is not None:
+                    mask = mask & alive
+            elif alive is not None and not alive.all():
+                mask = alive
             else:
                 member_stats.rows_returned += hi - lo
                 row_id_chunks[m].append(row_ids)
                 for name in wanted:
                     chunks[m][name].append(page.columns[name][lo:hi])
+                continue
+            matched = int(np.count_nonzero(mask))
+            if matched == 0:
+                continue
+            member_stats.rows_returned += matched
+            row_id_chunks[m].append(row_ids[mask])
+            for name in wanted:
+                chunks[m][name].append(page.columns[name][lo:hi][mask])
+
+    if snapshot is not None and snapshot.num_rows:
+        # Per-member merge-on-read: each member gets the delta inserts
+        # inside its polyhedron (grid-accelerated, zero pages decoded).
+        for m in range(n):
+            if errors[m] is not None:
+                continue
+            stats[m].rows_examined += snapshot.num_rows
+            cols, delta_ids = snapshot.match(polyhedra[m], dims=tuple(dims))
+            if not len(delta_ids):
+                continue
+            stats[m].rows_returned += len(delta_ids)
+            row_id_chunks[m].append(delta_ids)
+            for name in wanted:
+                chunks[m][name].append(cols[name])
 
     results: list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]] = []
     for m in range(n):

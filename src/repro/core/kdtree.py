@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.core.index_base import SpatialIndex, stack_coordinates
 from repro.db.catalog import Database
-from repro.db.scan import range_scan
+from repro.db.scan import AUTO_TOMBSTONES, range_scan
 from repro.db.stats import QueryStats
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.geometry.boxes import Box, BoxRelation
@@ -424,6 +424,12 @@ class KdTreeIndex(SpatialIndex):
         query's geometry, so results are identical either way.  INSIDE
         subtrees never see the pruner: their scans are predicate-free
         bulk returns whose contract is "every clustered row in range".
+
+        Merge-on-read: one delta snapshot is taken up front; its
+        tombstones suppress deleted rows in every range scan of the
+        traversal, and its live inserts matching the polyhedron join the
+        result as a final piece (the snapshot's own layered grid does
+        the point-in-polyhedron work).
         """
         if polyhedron.dim != len(self._dims):
             raise ValueError(
@@ -433,6 +439,8 @@ class KdTreeIndex(SpatialIndex):
         pieces: list[dict[str, np.ndarray]] = []
         box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         pruner = self._pruner(polyhedron) if use_zone_maps else None
+        snapshot = self._table.delta_snapshot()
+        tombstones = snapshot.tombstones if snapshot is not None else None
         stack = [1]
         while stack:
             node = stack.pop()
@@ -449,7 +457,8 @@ class KdTreeIndex(SpatialIndex):
             if relation is BoxRelation.INSIDE:
                 stats.cells_inside += 1
                 rows, piece_stats = range_scan(
-                    self._table, start, end, cancel_check=cancel_check
+                    self._table, start, end, cancel_check=cancel_check,
+                    tombstones=tombstones,
                 )
                 stats.merge(piece_stats)
                 pieces.append(rows)
@@ -463,12 +472,16 @@ class KdTreeIndex(SpatialIndex):
                     predicate=self._residual(polyhedron),
                     cancel_check=cancel_check,
                     pruner=pruner,
+                    tombstones=tombstones,
                 )
                 stats.merge(piece_stats)
                 pieces.append(rows)
             else:
                 stack.append(2 * node)
                 stack.append(2 * node + 1)
+        piece = _delta_piece(snapshot, polyhedron, tuple(self._dims), stats)
+        if piece is not None:
+            pieces.append(piece)
         result = _concat_results(self._table, pieces)
         return result, stats
 
@@ -513,6 +526,8 @@ class KdTreeIndex(SpatialIndex):
             )
         box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         pruner = self._pruner(polyhedron)
+        snapshot = self._table.delta_snapshot()
+        tombstones = snapshot.tombstones if snapshot is not None else None
         stack = [1]
         while stack:
             node = stack.pop()
@@ -523,7 +538,9 @@ class KdTreeIndex(SpatialIndex):
             if relation is BoxRelation.OUTSIDE:
                 continue
             if relation is BoxRelation.INSIDE:
-                rows, _ = range_scan(self._table, start, end)
+                rows, _ = range_scan(
+                    self._table, start, end, tombstones=tombstones
+                )
                 yield rows, relation
             elif self._tree.is_leaf(node):
                 rows, _ = range_scan(
@@ -532,12 +549,16 @@ class KdTreeIndex(SpatialIndex):
                     end,
                     predicate=self._residual(polyhedron),
                     pruner=pruner,
+                    tombstones=tombstones,
                 )
                 if len(rows["_row_id"]):
                     yield rows, relation
             else:
                 stack.append(2 * node)
                 stack.append(2 * node + 1)
+        piece = _delta_piece(snapshot, polyhedron, tuple(self._dims), QueryStats())
+        if piece is not None and len(piece["_row_id"]):
+            yield piece, BoxRelation.PARTIAL
 
     def _pruner(self, polyhedron: Polyhedron):
         """Page-granular zone-map pruner for this query, or ``None``."""
@@ -555,10 +576,28 @@ class KdTreeIndex(SpatialIndex):
 
         return predicate
 
-    def leaf_rows(self, leaf: int) -> tuple[dict[str, np.ndarray], QueryStats]:
-        """Fetch all rows of one leaf (used by the k-NN procedures)."""
+    def leaf_rows(
+        self, leaf: int, tombstones=AUTO_TOMBSTONES
+    ) -> tuple[dict[str, np.ndarray], QueryStats]:
+        """Fetch the live rows of one leaf (used by the k-NN procedures).
+
+        Tombstoned rows are suppressed; delta inserts are *not* merged
+        here -- k-NN callers offer them to their candidate heap directly.
+        """
         start, end = self._tree.node_rows(leaf)
-        return range_scan(self._table, start, end)
+        return range_scan(self._table, start, end, tombstones=tombstones)
+
+
+def _delta_piece(snapshot, polyhedron, dims, stats) -> dict[str, np.ndarray] | None:
+    """Delta-tier rows matching the polyhedron, shaped like a scan piece."""
+    if snapshot is None or not snapshot.num_rows:
+        return None
+    stats.rows_examined += snapshot.num_rows
+    cols, row_ids = snapshot.match(polyhedron, dims=dims)
+    stats.rows_returned += len(row_ids)
+    piece = dict(cols)
+    piece["_row_id"] = row_ids
+    return piece
 
 
 def _concat_results(

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.kdtree import KdTreeIndex
-from repro.db.scan import full_scan
+from repro.db.scan import AUTO_TOMBSTONES, full_scan
 from repro.db.stats import QueryStats
 from repro.db.table import Table
 from repro.geometry.distance import squared_distances
@@ -125,9 +125,10 @@ def _leaf_candidates(
     point: np.ndarray,
     top: int,
     stats: QueryStats,
+    tombstones=AUTO_TOMBSTONES,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Distances and row ids of the best ``top`` rows in a leaf."""
-    rows, leaf_stats = index.leaf_rows(leaf)
+    """Distances and row ids of the best ``top`` live rows in a leaf."""
+    rows, leaf_stats = index.leaf_rows(leaf, tombstones=tombstones)
     stats.merge(leaf_stats)
     if len(rows["_row_id"]) == 0:
         return np.empty(0), np.empty(0, dtype=np.int64)
@@ -138,6 +139,27 @@ def _leaf_candidates(
     else:
         keep = np.arange(len(dist2))
     return np.sqrt(dist2[keep]), rows["_row_id"][keep]
+
+
+def _offer_delta_candidates(
+    index: KdTreeIndex,
+    point: np.ndarray,
+    result: "NeighborList",
+    stats: QueryStats,
+    snapshot,
+) -> None:
+    """Seed the result list with the delta tier's live inserts.
+
+    The delta is small by construction (the merge policy bounds it), so
+    k-NN treats it as one extra in-memory leaf: all live delta points are
+    offered up front, which also tightens the pruning bound early.
+    """
+    if snapshot is None or not snapshot.num_rows:
+        return
+    pts = snapshot.points(tuple(index.dims))
+    stats.rows_examined += snapshot.num_rows
+    dist2 = squared_distances(pts, point)
+    result.offer(np.sqrt(dist2), snapshot.row_ids)
 
 
 def knn_boundary_points(
@@ -155,6 +177,9 @@ def knn_boundary_points(
     tree = index.tree
     stats = QueryStats()
     result = NeighborList(k)
+    snapshot = index.table.delta_snapshot()
+    tombstones = snapshot.tombstones if snapshot is not None else None
+    _offer_delta_candidates(index, point, result, stats, snapshot)
     examined: set[int] = set()
     queued: set[int] = set()
     # Index list: (exact box lower bound, leaf heap id).
@@ -187,7 +212,9 @@ def knn_boundary_points(
         # TOP(k - f): the first f result entries are already closer than
         # any point this box can offer.
         top = max(1, k - result.safe_count(bound))
-        distances, row_ids = _leaf_candidates(index, leaf, point, top, stats)
+        distances, row_ids = _leaf_candidates(
+            index, leaf, point, top, stats, tombstones=tombstones
+        )
         result.offer(distances, row_ids)
         m = result.worst
         # Grow the frontier through boundary points of the examined box.
@@ -216,7 +243,9 @@ def knn_boundary_points(
                 fallback += 1
                 bound = tree.partition_box(node).min_distance_to_point(point)
                 top = max(1, k - result.safe_count(bound))
-                distances, row_ids = _leaf_candidates(index, node, point, top, stats)
+                distances, row_ids = _leaf_candidates(
+                    index, node, point, top, stats, tombstones=tombstones
+                )
                 result.offer(distances, row_ids)
                 m = result.worst
         else:
@@ -240,6 +269,9 @@ def knn_best_first(
     tree = index.tree
     stats = QueryStats()
     result = NeighborList(k)
+    snapshot = index.table.delta_snapshot()
+    tombstones = snapshot.tombstones if snapshot is not None else None
+    _offer_delta_candidates(index, point, result, stats, snapshot)
     boxes_examined = 0
     heap: list[tuple[float, int]] = [(0.0, 1)]
     while heap:
@@ -254,7 +286,9 @@ def knn_best_first(
                 continue
             boxes_examined += 1
             top = max(1, k - result.safe_count(bound))
-            distances, row_ids = _leaf_candidates(index, node, point, top, stats)
+            distances, row_ids = _leaf_candidates(
+                index, node, point, top, stats, tombstones=tombstones
+            )
             result.offer(distances, row_ids)
         else:
             for child in (2 * node, 2 * node + 1):

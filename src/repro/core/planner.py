@@ -32,11 +32,19 @@ import numpy as np
 from repro.core.batch import BatchMemberResult, BatchResult, batch_kd_query
 from repro.core.kdtree import KdTreeIndex
 from repro.core.queries import polyhedron_batch_full_scan, polyhedron_full_scan
-from repro.db.errors import StorageFault
+from repro.db.errors import StaleLayoutError, StorageFault
 from repro.db.stats import QueryStats
 from repro.geometry.halfspace import Polyhedron
 
 __all__ = ["PlannedQuery", "QueryPlanner"]
+
+#: Backstop on re-running a query after background merges retire the
+#: generation it was reading.  Each retry is gated on the physical
+#: layout actually having moved (a stale error without a swap re-raises
+#: immediately), so the loop cannot spin on a genuine missing-page bug;
+#: the cap only guards against a writer merging in a pathological tight
+#: loop faster than any query can finish.
+_STALE_LAYOUT_RETRIES = 32
 
 
 @dataclass
@@ -98,7 +106,9 @@ class QueryPlanner:
             raise ValueError("crossover must be in (0, 1]")
         if sample_pages < 1:
             raise ValueError("sample_pages must be >= 1")
-        self.index = index
+        self._index = index
+        self._db = index.table.database
+        self._index_key = f"{index.table.name}.kdtree"
         self.crossover = crossover
         self.sample_pages = sample_pages
         self.statistics = statistics
@@ -121,6 +131,19 @@ class QueryPlanner:
             with self._probe_lock:
                 self._probe_cache = None
 
+    @property
+    def index(self) -> KdTreeIndex:
+        """The current kd-tree index, re-resolved through the catalog.
+
+        A background merge swaps a fresh index object into the catalog
+        under the same key; resolving per access means the planner picks
+        up the new generation without being re-wired.  Falls back to the
+        construction-time index when the catalog entry is gone (e.g. an
+        index built outside the catalog in tests).
+        """
+        current = self._db.index_if_exists(self._index_key)
+        return current if current is not None else self._index
+
     # -- engine protocol ----------------------------------------------------
     # The query service treats its execution engine as anything with
     # execute(polyhedron, cancel_check) plus these identity properties;
@@ -140,11 +163,13 @@ class QueryPlanner:
     def layout_version(self) -> str:
         """Physical-layout tag folded into result-cache fingerprints.
 
-        A single clustered index has one immutable layout; sharded
-        engines return a digest of their shard boundaries instead, so
-        repartitioning invalidates every cached fingerprint.
+        Tracks the table's generation and write epoch
+        (``g<gen>.e<epoch>``): every ingest write and every merge bumps
+        it, so a cached result can never be served across a layout or
+        delta change.  Sharded engines return a digest of their shard
+        boundaries (plus per-shard epochs) instead.
         """
-        return "unsharded"
+        return f"unsharded:{self.index.table.layout_version}"
 
     def estimate_selectivity(self, polyhedron: Polyhedron) -> tuple[float, int]:
         """Page-sample estimate of returned/total.
@@ -218,7 +243,39 @@ class QueryPlanner:
         which needs none); one during the kd-tree path falls back to the
         full scan.  A fault from the scan itself propagates -- there is
         nothing cheaper left to degrade to.
+
+        A :class:`~repro.db.errors.StaleLayoutError` is different: it
+        means a background merge retired the generation this query was
+        reading, so the whole query re-runs against the re-resolved
+        current layout (see :meth:`_retry_when_stale`).
         """
+        return self._retry_when_stale(
+            lambda: self._execute_once(polyhedron, cancel_check)
+        )
+
+    def _retry_when_stale(self, attempt):
+        """Run ``attempt``, re-running it whenever the layout moved under it.
+
+        Re-runs only when the physical generation observed through the
+        catalog actually changed since the attempt started -- a stale
+        error without a swap means a genuinely missing page and is
+        re-raised at once.  Every retry therefore consumes one concurrent
+        merge swap; ``_STALE_LAYOUT_RETRIES`` bounds the pathological
+        case of a writer merging faster than any query can complete.
+        """
+        for _ in range(_STALE_LAYOUT_RETRIES):
+            before = self.index.table.physical_name
+            try:
+                return attempt()
+            except StaleLayoutError:
+                with self._probe_lock:
+                    self._probe_cache = None
+                if self.index.table.physical_name == before:
+                    raise
+        return attempt()
+
+    def _execute_once(self, polyhedron: Polyhedron, cancel_check=None) -> PlannedQuery:
+        """One planning-and-execution attempt against the current layout."""
         if cancel_check is not None:
             cancel_check()
         fallback = False
@@ -278,7 +335,18 @@ class QueryPlanner:
         :meth:`execute` calls -- each then gets the solo path's own retry
         and kd-to-scan fallback, and one member's terminal fault cannot
         take down the rest of the batch.
+
+        A :class:`~repro.db.errors.StaleLayoutError` anywhere in the
+        batch (a merge retired the layout mid-flight) restarts the whole
+        batch against the re-resolved current layout, exactly like the
+        solo path (see :meth:`_retry_when_stale`).
         """
+        return self._retry_when_stale(
+            lambda: self._execute_batch_once(polyhedra, cancel_checks)
+        )
+
+    def _execute_batch_once(self, polyhedra, cancel_checks=None) -> BatchResult:
+        """One shared-work attempt against the current layout."""
         n = len(polyhedra)
         checks = list(cancel_checks) if cancel_checks is not None else [None] * n
         result = BatchResult(

@@ -45,7 +45,7 @@ from repro.db.expressions import (
     LinearExtractionError,
     expression_to_polyhedron,
 )
-from repro.db.scan import full_scan, range_scan
+from repro.db.scan import AUTO_TOMBSTONES, batch_full_scan, full_scan, range_scan
 from repro.db.aggregates import aggregate_scan, count_rows
 from repro.db.procedures import ProcedureRegistry, procedure
 from repro.db.recovery import LoggedStorage, LogRecord
@@ -81,6 +81,8 @@ __all__ = [
     "Const",
     "LinearExtractionError",
     "expression_to_polyhedron",
+    "AUTO_TOMBSTONES",
+    "batch_full_scan",
     "full_scan",
     "range_scan",
     "aggregate_scan",

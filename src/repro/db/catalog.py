@@ -12,7 +12,9 @@ the index tables that live next to the data.
 
 from __future__ import annotations
 
+import logging
 import os
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -29,8 +31,12 @@ from repro.db.stats import IOStats
 from repro.db.storage import FileStorage, MemoryStorage, Storage
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.db.zonemap import ZoneMap
+from repro.ingest.manager import IngestManager
+from repro.ingest.wal import IngestWal
 
 __all__ = ["Database", "DatabaseOptions"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,14 @@ class Database:
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Any] = {}
         self._mutation_listeners: list[Any] = []
+        #: The catalog lock: generation swaps (table + index + delta
+        #: tier) happen atomically under it, so a reader either sees the
+        #: whole old layout or the whole new one.
+        self.lock = threading.RLock()
+        #: The logical write-ahead log of the ingest path (WAL-first).
+        self.ingest_wal = IngestWal()
+        #: Per-table delta tiers and merge policy.
+        self.ingest = IngestManager(self)
 
     # -- constructors -----------------------------------------------------
 
@@ -174,24 +188,77 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Remove a table, its pages, and any indexes registered for it."""
-        self._tables.pop(name, None)
-        self._zone_maps.pop(name, None)
-        self.buffer_pool.invalidate(name)
-        self.storage.drop_namespace(name)
-        stale = [k for k, v in self._indexes.items() if getattr(v, "table_name", None) == name]
-        for key in stale:
-            del self._indexes[key]
+        with self.lock:
+            table = self._tables.pop(name, None)
+            namespaces = {name}
+            if table is not None:
+                namespaces.add(table.physical_name)
+            state = self.ingest.state(name)
+            if state is not None:
+                namespaces.update(self.ingest.take_retirees(name, name))
+            self.ingest.forget(name)
+            for namespace in namespaces:
+                self._zone_maps.pop(namespace, None)
+                self.buffer_pool.invalidate(namespace)
+                self.storage.drop_namespace(namespace)
+            stale = [
+                k
+                for k, v in self._indexes.items()
+                if getattr(v, "table_name", None) == name
+            ]
+            for key in stale:
+                del self._indexes[key]
         self._notify_mutation(name)
+
+    def swap_table(
+        self,
+        name: str,
+        table: Table,
+        indexes: dict[str, Any] | None = None,
+        generation: int | None = None,
+        retire: list[str] | None = None,
+    ) -> Table:
+        """Atomically replace a table's layout with a new generation.
+
+        Under the catalog lock, installs the new table object, replaces
+        the given indexes, attaches a fresh delta tier for the new
+        generation, and drops long-superseded physical namespaces
+        (``retire``).  In-flight queries holding the old table object
+        keep reading its (still present) pages and its frozen delta.
+        Returns the superseded table.
+        """
+        with self.lock:
+            if name not in self._tables:
+                raise KeyError(f"no table {name!r} in catalog")
+            old = self._tables[name]
+            self._tables[name] = table
+            for key, index in (indexes or {}).items():
+                self._indexes[key] = index
+            if generation is not None:
+                self.ingest.install_generation(name, table, generation)
+            for namespace in retire or ():
+                if namespace == table.physical_name:
+                    continue
+                self._zone_maps.pop(namespace, None)
+                self.buffer_pool.invalidate(namespace)
+                self.storage.drop_namespace(namespace)
+        self._notify_mutation(name)
+        return old
 
     # -- mutation listeners -------------------------------------------------
 
     def add_mutation_listener(self, listener) -> None:
-        """Register ``listener(table_name)`` to run on table create/drop.
+        """Register ``listener(table_name)`` to run on catalog mutations
+        (table create/drop, ingest writes, merges).
 
-        The query service's result cache subscribes here so cached result
-        sets never outlive the table they were computed from.
+        The query service's result cache and the planner's probe cache
+        subscribe here so cached state never outlives the layout it was
+        computed from.  Adding the same listener twice is a no-op: a
+        listener fires once per mutation no matter how many components
+        re-registered it.
         """
-        self._mutation_listeners.append(listener)
+        if not any(existing is listener for existing in self._mutation_listeners):
+            self._mutation_listeners.append(listener)
 
     def remove_mutation_listener(self, listener) -> None:
         """Unregister a previously added mutation listener (no-op if absent)."""
@@ -201,8 +268,16 @@ class Database:
             pass
 
     def _notify_mutation(self, table_name: str) -> None:
+        # Listener isolation: one misbehaving subscriber must not stop
+        # cache invalidation for the others -- a swallowed notification
+        # would leave a stale cache serving rows from a dead layout.
         for listener in list(self._mutation_listeners):
-            listener(table_name)
+            try:
+                listener(table_name)
+            except Exception:
+                logger.exception(
+                    "mutation listener %r failed for table %r", listener, table_name
+                )
 
     def table_names(self) -> list[str]:
         """Names of all registered tables."""
@@ -238,6 +313,15 @@ class Database:
             return self._indexes[name]
         except KeyError:
             raise KeyError(f"no index {name!r} in catalog") from None
+
+    def index_if_exists(self, name: str) -> Any | None:
+        """Look up an index by name, ``None`` when absent.
+
+        Long-lived components (planners) resolve their index through
+        this on every query so a merge's index swap takes effect without
+        re-wiring them.
+        """
+        return self._indexes.get(name)
 
     def index_names(self) -> list[str]:
         """Names of all registered indexes."""

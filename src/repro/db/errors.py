@@ -22,11 +22,24 @@ planner, and the query service can all agree on what is retryable:
 All three derive from :class:`StorageFault`, which is what the layers
 above catch when they degrade (planner index -> scan fallback) or
 convert to a structured per-query error (the service executor).
+
+:class:`StaleLayoutError` is deliberately *not* a :class:`StorageFault`:
+nothing about the storage failed.  It means a background merge retired
+the physical generation a query was reading mid-flight, so re-reading
+the same pages can never succeed -- the only correct recovery is to
+re-resolve the table through the catalog and re-run against the current
+layout, which the planner does.
 """
 
 from __future__ import annotations
 
-__all__ = ["StorageFault", "TransientIOError", "CorruptPageError", "WriteFault"]
+__all__ = [
+    "StorageFault",
+    "TransientIOError",
+    "CorruptPageError",
+    "WriteFault",
+    "StaleLayoutError",
+]
 
 
 class StorageFault(Exception):
@@ -47,3 +60,15 @@ class CorruptPageError(StorageFault, ValueError):
 
 class WriteFault(StorageFault, OSError):
     """A page write failed; the page may be missing or stale in storage."""
+
+
+class StaleLayoutError(RuntimeError):
+    """A read hit a physical generation that a merge has since retired.
+
+    Raised by :meth:`~repro.db.table.Table.read_page` (and ``prefetch``)
+    when the backing namespace is gone *and* the catalog holds a newer
+    generation of the same table -- the reader captured a table object
+    whose layout moved out from under it.  Retrying the read is useless;
+    callers must re-resolve the table and re-run.  Genuinely missing
+    pages of a live table still surface as the backend's own error.
+    """

@@ -22,6 +22,7 @@ from repro.db.catalog import Database
 from repro.db.storage import FileStorage
 from repro.db.table import ColumnSpec, Table
 from repro.db.zonemap import ZoneMap
+from repro.ingest.wal import IngestWal
 
 __all__ = ["save_catalog", "attach_database", "CATALOG_FILENAME"]
 
@@ -33,11 +34,21 @@ def save_catalog(database: Database) -> Path:
     storage = database.storage
     if not isinstance(storage, FileStorage):
         raise TypeError("only file-backed databases can persist a catalog")
+    tables = [database.table(n) for n in database.table_names()]
     catalog = {
         "version": 1,
         "tables": [
             {
                 "name": table.name,
+                # A merged table's pages live under its generation
+                # namespace (``<name>@g<n>``); reattach must read them
+                # from there.  Omitted when equal to the logical name,
+                # so pre-ingest catalogs stay byte-identical.
+                **(
+                    {"physical_name": table.physical_name}
+                    if table.physical_name != table.name
+                    else {}
+                ),
                 "num_rows": table.num_rows,
                 "rows_per_page": table.rows_per_page,
                 "clustered_by": list(table.clustered_by),
@@ -46,15 +57,16 @@ def save_catalog(database: Database) -> Path:
                     for spec in table.specs
                 ],
             }
-            for table in (database.table(n) for n in database.table_names())
+            for table in tables
         ],
         # Zone maps are synopses of immutable pages, so they persist with
         # the schema; absent for tables created with zone maps disabled
-        # (and in catalogs written before the key existed).
+        # (and in catalogs written before the key existed).  Keyed by the
+        # *physical* namespace: each merge generation regenerates its own.
         "zone_maps": [
-            database.zone_map(name).to_dict()
-            for name in database.table_names()
-            if database.zone_map(name) is not None
+            table.zone_map().to_dict()
+            for table in tables
+            if table.zone_map() is not None
         ],
     }
     path = storage.root / CATALOG_FILENAME
@@ -64,9 +76,20 @@ def save_catalog(database: Database) -> Path:
 
 
 def attach_database(
-    root: str | os.PathLike, buffer_pages: int | None = 1024
+    root: str | os.PathLike,
+    buffer_pages: int | None = 1024,
+    wal_frames: list[bytes] | None = None,
+    on_corrupt: str = "skip",
 ) -> Database:
-    """Reopen a persisted database: pages from disk, catalog from JSON."""
+    """Reopen a persisted database: pages from disk, catalog from JSON.
+
+    ``wal_frames`` is the surviving ingest write-ahead log (see
+    :meth:`~repro.ingest.wal.IngestWal.frames`); when given, every
+    logical record past the last committed merge is re-applied to the
+    reopened tables, so acknowledged inserts/deletes that had not been
+    merged at crash time come back.  ``on_corrupt`` is forwarded to
+    :meth:`~repro.ingest.wal.IngestWal.replay`.
+    """
     root = Path(root)
     path = root / CATALOG_FILENAME
     if not path.is_file():
@@ -88,15 +111,24 @@ def attach_database(
             meta["num_rows"],
             meta["rows_per_page"],
             clustered_by=tuple(meta["clustered_by"]),
+            physical_name=meta.get("physical_name"),
         )
-        stored = database.storage.num_pages(meta["name"])
+        stored = database.storage.num_pages(table.physical_name)
         if stored != table.num_pages:
             raise ValueError(
                 f"table {meta['name']!r} expects {table.num_pages} pages, "
                 f"found {stored} on disk"
             )
         database.adopt_table(table)
+    physical_names = {
+        database.table(n).physical_name for n in database.table_names()
+    }
     for payload in catalog.get("zone_maps", ()):
-        if database.has_table(payload["table"]):
+        # Zone maps are keyed by physical namespace (pre-ingest catalogs:
+        # the logical name, which equals the physical one).
+        if payload["table"] in physical_names:
             database.register_zone_map(ZoneMap.from_dict(payload))
+    if wal_frames is not None:
+        database.ingest_wal = IngestWal(wal_frames)
+        database.ingest_wal.replay(database, on_corrupt=on_corrupt)
     return database

@@ -45,12 +45,44 @@ __all__ = [
     "full_scan",
     "range_scan",
     "predicate_from_expression",
+    "AUTO_TOMBSTONES",
     "SCAN_RETRY",
 ]
 
 #: Per-page retry budget of the scan executors, applied after (on top
 #: of) the buffer pool's own retries.
 SCAN_RETRY = RetryPolicy(attempts=2, backoff_s=0.002)
+
+#: Sentinel for ``tombstones=``: resolve suppression from the table's
+#: own delta snapshot (the common case).  Callers that already hold a
+#: query-level snapshot pass its tombstone array explicitly so every
+#: scan of the query suppresses against the same consistent view.
+AUTO_TOMBSTONES = object()
+
+
+def _alive_mask(row_ids: np.ndarray, tombstones: np.ndarray) -> np.ndarray:
+    """Rows not suppressed by a sorted tombstone array."""
+    pos = np.searchsorted(tombstones, row_ids)
+    pos = np.minimum(pos, len(tombstones) - 1)
+    return tombstones[pos] != row_ids
+
+
+def _resolve_delta(table: Table, tombstones, include_delta: bool):
+    """Resolve ``(tombstones, snapshot)`` for one scan.
+
+    ``snapshot`` is the delta view whose live inserts the scan appends
+    (``None`` when none or when the caller appends them itself).
+    """
+    snapshot = None
+    if tombstones is AUTO_TOMBSTONES or include_delta:
+        snapshot = table.delta_snapshot()
+    if tombstones is AUTO_TOMBSTONES:
+        tombstones = snapshot.tombstones if snapshot is not None else None
+    if tombstones is not None and len(tombstones) == 0:
+        tombstones = None
+    if not include_delta:
+        snapshot = None
+    return tombstones, snapshot
 
 
 def _read_page_retrying(
@@ -134,6 +166,8 @@ def full_scan(
     retry: RetryPolicy | None = SCAN_RETRY,
     pruner: ZonePruner | None = None,
     readahead: int | None = None,
+    tombstones=AUTO_TOMBSTONES,
+    include_delta: bool = True,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan every page, apply an optional predicate, project columns.
 
@@ -148,6 +182,12 @@ def full_scan(
     geometry matches ``predicate``.  ``readahead`` overrides the table's
     default coalescing window (``None`` = table default, ``0``/``1``
     disables).
+
+    Merge-on-read: ``tombstones`` (default: the table's current delta
+    snapshot) suppresses deleted rows, and ``include_delta`` appends the
+    delta tier's live inserts after the page loop, evaluated against the
+    same predicate.  Pass ``tombstones=None, include_delta=False`` for a
+    main-layout-only scan (e.g. the merge itself).
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -155,22 +195,27 @@ def full_scan(
     stats = QueryStats()
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
+    tombstones, snapshot = _resolve_delta(table, tombstones, include_delta)
     window = readahead if readahead is not None else table.readahead_pages
     for page, inside in _iter_planned_pages(
         table, range(table.num_pages), pruner, stats, cancel_check, retry, window
     ):
         stats.record_page(table.name, page.page_id)
         stats.rows_examined += page.num_rows
+        row_ids = page.row_ids()
+        alive = (
+            _alive_mask(row_ids, tombstones) if tombstones is not None else None
+        )
         if predicate is None or inside:
-            mask = None
-            matched = page.num_rows
+            mask = alive
         else:
             mask = predicate(page.columns)
-            matched = int(np.count_nonzero(mask))
+            if alive is not None:
+                mask &= alive
+        matched = page.num_rows if mask is None else int(np.count_nonzero(mask))
         if matched == 0:
             continue
         stats.rows_returned += matched
-        row_ids = page.row_ids()
         if mask is None:
             row_id_chunks.append(row_ids)
             for name in wanted:
@@ -179,6 +224,25 @@ def full_scan(
             row_id_chunks.append(row_ids[mask])
             for name in wanted:
                 chunks[name].append(page.columns[name][mask])
+    if snapshot is not None and snapshot.num_rows:
+        # Merge-on-read: delta-tier inserts join the scan's result as if
+        # they were a final page (same predicate, same projection).
+        delta_cols = snapshot.columns
+        stats.rows_examined += snapshot.num_rows
+        dmask = None if predicate is None else predicate(delta_cols)
+        matched = (
+            snapshot.num_rows if dmask is None else int(np.count_nonzero(dmask))
+        )
+        if matched:
+            stats.rows_returned += matched
+            if dmask is None:
+                row_id_chunks.append(snapshot.row_ids)
+                for name in wanted:
+                    chunks[name].append(delta_cols[name])
+            else:
+                row_id_chunks.append(snapshot.row_ids[dmask])
+                for name in wanted:
+                    chunks[name].append(delta_cols[name][dmask])
     result = _assemble(table, wanted, chunks, row_id_chunks)
     return result, stats
 
@@ -193,13 +257,17 @@ def range_scan(
     retry: RetryPolicy | None = SCAN_RETRY,
     pruner: ZonePruner | None = None,
     readahead: int | None = None,
+    tombstones=AUTO_TOMBSTONES,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Scan only pages overlapping ``[start_row, stop_row)``.
 
     The engine-level realization of the paper's ``BETWEEN`` on post-order
     numbered kd-leaves or space-filling-curve cell ids.  ``cancel_check``,
     ``retry``, ``pruner`` and ``readahead`` behave as in
-    :func:`full_scan`.
+    :func:`full_scan`.  ``tombstones`` suppresses deleted rows the same
+    way, but a range scan never appends delta inserts -- the caller (kd
+    traversal) owns the query-level delta merge and appends them exactly
+    once.
     """
     if isinstance(predicate, Expr):
         predicate = predicate_from_expression(predicate)
@@ -207,6 +275,7 @@ def range_scan(
     stats = QueryStats()
     chunks: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
     row_id_chunks: list[np.ndarray] = []
+    tombstones, _ = _resolve_delta(table, tombstones, include_delta=False)
     start_row = max(0, start_row)
     stop_row = min(table.num_rows, stop_row)
     if start_row >= stop_row:
@@ -223,12 +292,16 @@ def range_scan(
         stats.rows_examined += hi - lo
         view = page.slice(lo, hi)
         row_ids = np.arange(page.start_row + lo, page.start_row + hi, dtype=np.int64)
+        alive = (
+            _alive_mask(row_ids, tombstones) if tombstones is not None else None
+        )
         if predicate is None or inside:
-            mask = None
-            matched = hi - lo
+            mask = alive
         else:
             mask = predicate(view)
-            matched = int(np.count_nonzero(mask))
+            if alive is not None:
+                mask &= alive
+        matched = hi - lo if mask is None else int(np.count_nonzero(mask))
         if matched == 0:
             continue
         stats.rows_returned += matched
@@ -266,6 +339,8 @@ def batch_full_scan(
     members: list[BatchScanMember],
     retry: RetryPolicy | None = SCAN_RETRY,
     readahead: int | None = None,
+    tombstones=AUTO_TOMBSTONES,
+    include_delta: bool = True,
 ) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
     """One pass over the table evaluating every member's predicate.
 
@@ -301,6 +376,7 @@ def batch_full_scan(
     ]
     row_id_chunks: list[list[np.ndarray]] = [[] for _ in range(n)]
     counters = {"pages_decoded": 0, "shared_decode_hits": 0}
+    tombstones, snapshot = _resolve_delta(table, tombstones, include_delta)
 
     # Plan: per page, which members take it and whether they can skip
     # their residual filter (their pruner proved the page fully inside).
@@ -349,21 +425,27 @@ def batch_full_scan(
         page = _read_page_retrying(table, page_id, retry)
         counters["pages_decoded"] += 1
         counters["shared_decode_hits"] += len(live) - 1
+        row_ids = page.row_ids()
+        alive = (
+            _alive_mask(row_ids, tombstones) if tombstones is not None else None
+        )
         for m, inside in live:
             member_stats = stats[m]
             member_stats.record_page(table.name, page_id)
             member_stats.rows_examined += page.num_rows
             predicate = members[m].predicate
             if predicate is None or inside:
-                mask = None
-                matched = page.num_rows
+                mask = alive
             else:
                 mask = predicate(page.columns)
-                matched = int(np.count_nonzero(mask))
+                if alive is not None:
+                    mask = mask & alive
+            matched = (
+                page.num_rows if mask is None else int(np.count_nonzero(mask))
+            )
             if matched == 0:
                 continue
             member_stats.rows_returned += matched
-            row_ids = page.row_ids()
             if mask is None:
                 row_id_chunks[m].append(row_ids)
                 for name in wanted:
@@ -372,6 +454,33 @@ def batch_full_scan(
                 row_id_chunks[m].append(row_ids[mask])
                 for name in wanted:
                     chunks[m][name].append(page.columns[name][mask])
+
+    if snapshot is not None and snapshot.num_rows:
+        # Per-member merge-on-read: delta inserts are evaluated against
+        # each surviving member's predicate (decoded zero extra pages).
+        delta_cols = snapshot.columns
+        for m in range(n):
+            if errors[m] is not None:
+                continue
+            predicate = members[m].predicate
+            stats[m].rows_examined += snapshot.num_rows
+            dmask = None if predicate is None else predicate(delta_cols)
+            matched = (
+                snapshot.num_rows
+                if dmask is None
+                else int(np.count_nonzero(dmask))
+            )
+            if matched == 0:
+                continue
+            stats[m].rows_returned += matched
+            if dmask is None:
+                row_id_chunks[m].append(snapshot.row_ids)
+                for name in wanted:
+                    chunks[m][name].append(delta_cols[name])
+            else:
+                row_id_chunks[m].append(snapshot.row_ids[dmask])
+                for name in wanted:
+                    chunks[m][name].append(delta_cols[name][dmask])
 
     results: list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]] = []
     for m in range(n):

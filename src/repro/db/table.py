@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
+from repro.db.errors import StaleLayoutError
 from repro.db.pages import Page
 from repro.db.zonemap import ZoneMap
 
@@ -63,13 +64,24 @@ class Table:
         num_rows: int,
         rows_per_page: int,
         clustered_by: tuple[str, ...] = (),
+        physical_name: str | None = None,
     ):
         self._db = database
         self.name = name
+        #: Storage/buffer-pool/zone-map namespace.  Equal to ``name`` for
+        #: a table's first generation; a background merge bulk-loads the
+        #: next generation under ``<name>@g<n>`` so in-flight queries on
+        #: the old layout keep reading their pages (out-of-place swap).
+        self.physical_name = physical_name or name
         self.specs = list(specs)
         self.num_rows = num_rows
         self.rows_per_page = rows_per_page
         self.clustered_by = clustered_by
+        #: The ingest state active while this generation is current; set
+        #: by the ingest manager, and left in place (frozen) after a
+        #: merge so queries that resolved this table object keep a
+        #: consistent delta view.
+        self._ingest_state = None
 
     # -- creation ------------------------------------------------------------
 
@@ -80,6 +92,7 @@ class Table:
         data: dict[str, np.ndarray],
         rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
         clustered_by: tuple[str, ...] | list[str] = (),
+        physical_name: str | None = None,
     ) -> "Table":
         """Materialize a table from column arrays.
 
@@ -91,6 +104,9 @@ class Table:
         clustered_by:
             Column names to sort rows by (lexicographic, stable) before
             paging -- the clustered index of the paper.
+        physical_name:
+            Storage namespace; defaults to ``name``.  Merges pass
+            ``<name>@g<n>`` to bulk-load a new generation out-of-place.
         """
         if not data:
             raise ValueError("table needs at least one column")
@@ -118,13 +134,15 @@ class Table:
             num_rows,
             rows_per_page,
             clustered_by=clustered_by,
+            physical_name=physical_name,
         )
         # Zone maps ride along with the write path: every page's min/max
         # synopsis is folded in as the page is emitted, so the map is
-        # complete the moment the table is.
+        # complete the moment the table is.  The map is keyed by the
+        # physical namespace, so each generation regenerates its own.
         zone_columns = [spec.name for spec in specs if spec.dtype.kind in "iuf"]
         zone_map = (
-            ZoneMap(name, zone_columns)
+            ZoneMap(table.physical_name, zone_columns)
             if zone_columns and database.zone_maps_enabled
             else None
         )
@@ -136,7 +154,7 @@ class Table:
                 start_row=start,
                 columns={n: np.ascontiguousarray(a[start:stop]) for n, a in columns.items()},
             )
-            database.buffer_pool.put(name, page)
+            database.buffer_pool.put(table.physical_name, page)
             if zone_map is not None:
                 zone_map.observe_page(page)
         if zone_map is not None:
@@ -166,31 +184,126 @@ class Table:
     # -- access ----------------------------------------------------------------
 
     def read_page(self, page_id: int) -> Page:
-        """Fetch one page through the buffer pool."""
+        """Fetch one page through the buffer pool.
+
+        Raises :class:`~repro.db.errors.StaleLayoutError` when the read
+        fails because a background merge retired this table object's
+        generation mid-query (the catalog now maps the name to a newer
+        physical layout); other read failures propagate unchanged.
+        """
         if not (0 <= page_id < self.num_pages):
             raise IndexError(f"page {page_id} out of range [0, {self.num_pages})")
-        return self._db.buffer_pool.get(self.name, page_id)
+        try:
+            return self._db.buffer_pool.get(self.physical_name, page_id)
+        except (KeyError, FileNotFoundError) as exc:
+            self._raise_if_retired(exc)
+            raise
 
     def prefetch(self, page_ids: list[int]) -> int:
         """Coalesce a batch of page reads into one storage request.
 
         Returns the number of pages actually fetched.  Best-effort: a
         fault mid-batch degrades to the page-at-a-time retry path of
-        :meth:`read_page`, so callers never need to handle errors here.
+        :meth:`read_page`, so callers never need to handle errors here
+        -- except :class:`~repro.db.errors.StaleLayoutError`, which
+        means this table object's generation was retired and no amount
+        of per-page retrying can succeed.
         """
         valid = [pid for pid in page_ids if 0 <= pid < self.num_pages]
         if not valid:
             return 0
-        return self._db.buffer_pool.prefetch(self.name, valid)
+        try:
+            return self._db.buffer_pool.prefetch(self.physical_name, valid)
+        except (KeyError, FileNotFoundError) as exc:
+            self._raise_if_retired(exc)
+            raise
+
+    def _raise_if_retired(self, cause: BaseException) -> None:
+        """Translate a missing-namespace read error on a superseded table.
+
+        A merge swaps a new generation into the catalog and (one merge
+        later) drops the old generation's storage namespace.  A query
+        that resolved this table object before the swap then sees its
+        pages vanish mid-read.  When the catalog's current table for
+        this name is a different object (or the table was dropped), the
+        raw backend error is re-raised as
+        :class:`~repro.db.errors.StaleLayoutError` so readers know to
+        re-resolve and re-run instead of treating it as data loss.
+        """
+        if self._db.has_table(self.name):
+            current = self._db.table(self.name)
+            if current is self and current.physical_name == self.physical_name:
+                return  # live table, genuinely missing page: not ours to mask
+        raise StaleLayoutError(
+            f"physical layout {self.physical_name!r} of table {self.name!r} "
+            f"was retired by a merge while being read"
+        ) from cause
 
     def zone_map(self) -> "ZoneMap | None":
         """This table's per-page min/max synopses, when the catalog has them."""
-        return self._db.zone_map(self.name)
+        return self._db.zone_map(self.physical_name)
 
     @property
     def database(self) -> "Database":
         """The catalog this table lives in (listener registration etc.)."""
         return self._db
+
+    # -- the write path (delta tier) -------------------------------------------
+
+    def bind_ingest_state(self, state) -> None:
+        """Pin an ingest state to this generation (manager use only)."""
+        self._ingest_state = state
+
+    def insert_rows(self, data: dict[str, np.ndarray]) -> np.ndarray:
+        """Insert rows; they land in the table's delta tier, WAL-first.
+
+        Returns the delta-band row ids assigned to the new rows.  The
+        rows are visible to every read path immediately (merge-on-read)
+        and are folded into the main layout by the next merge.  If the
+        table carries a kd index, ``kd_leaf`` is synthesized per point.
+        """
+        return self._db.ingest.insert(self.name, data)
+
+    def delete_rows(self, row_ids) -> int:
+        """Tombstone rows by row id (main-table or delta-band ids).
+
+        Deleted rows disappear from every read path immediately; their
+        pages are physically dropped at the next merge.  Returns the
+        number of rows newly deleted.
+        """
+        return self._db.ingest.delete(self.name, row_ids)
+
+    def delta_snapshot(self):
+        """A consistent view of pending writes, or ``None`` when clean.
+
+        One snapshot per query is the merge-on-read contract: take it
+        once, use its tombstones for every scan of the query, and append
+        its matching inserts exactly once.
+        """
+        state = self._ingest_state
+        if state is None:
+            return None
+        snapshot = state.delta.snapshot()
+        return None if snapshot.empty else snapshot
+
+    def has_live_delta(self) -> bool:
+        """Whether merge-on-read has any pending work for this table."""
+        return self.delta_snapshot() is not None
+
+    @property
+    def layout_version(self) -> str:
+        """``g<generation>.e<epoch>``: bumps on every write and merge."""
+        state = self._ingest_state
+        return state.layout_version if state is not None else "g0.e0"
+
+    @property
+    def num_live_rows(self) -> int:
+        """Rows a full scan returns: main minus tombstones plus delta."""
+        state = self._ingest_state
+        if state is None:
+            return self.num_rows
+        snapshot = state.delta.snapshot()
+        return self.num_rows - snapshot.num_tombstones + snapshot.num_rows
 
     @property
     def readahead_pages(self) -> int:

@@ -1,0 +1,373 @@
+"""The delta tier: a small write-optimized side table per base table.
+
+Inserts and deletes land here instead of rewriting the immutable main
+pages.  The tier keeps appended column chunks plus two tombstone sets
+(main-row ids and delta ordinals) behind a lock, and hands queries an
+immutable :class:`DeltaSnapshot` -- one snapshot per query gives each
+query a consistent view regardless of concurrent writers (the
+linearization point of a merge-on-read query is the instant its
+snapshot is taken).
+
+Delta rows get row ids in a reserved band starting at ``DELTA_BASE`` so
+they can never collide with main-table row ids; sharded executors embed
+the shard id in the band with ``SHARD_STRIDE``.
+
+Snapshots index their points with a *layered grid sized for small N*
+(the paper's §3.1 fallback index): a coarse uniform grid over the
+delta's bounding box whose cells are classified inside/partial/outside
+against the query polyhedron -- inside cells contribute wholesale,
+partial cells filter their few points, outside cells are skipped.  For
+a delta of a few thousand rows this keeps merge-on-read overhead to
+microseconds without maintaining a kd-tree per write.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.geometry.boxes import Box, BoxRelation
+from repro.geometry.halfspace import Polyhedron
+
+__all__ = [
+    "DELTA_BASE",
+    "SHARD_STRIDE",
+    "DeltaGrid",
+    "DeltaSnapshot",
+    "DeltaTier",
+    "is_delta_id",
+]
+
+#: Row ids at or above this value denote delta-tier rows.
+DELTA_BASE = 1 << 48
+#: Width of one shard's delta-id band inside the delta range.
+SHARD_STRIDE = 1 << 32
+#: Build a grid only past this size; below it brute force is faster.
+_GRID_MIN_POINTS = 256
+
+
+def is_delta_id(row_ids: np.ndarray) -> np.ndarray:
+    """Boolean mask of which row ids belong to the delta band."""
+    return np.asarray(row_ids) >= DELTA_BASE
+
+
+class DeltaGrid:
+    """A one-level uniform grid over a snapshot's points.
+
+    Resolution scales with N (``ceil(n ** 1/d)`` cells per axis, capped)
+    so the expected occupancy stays around one point per cell -- the
+    "sized for small N" part: the grid is rebuilt from scratch at every
+    snapshot, which is only viable because the delta is small by design.
+    """
+
+    def __init__(self, points: np.ndarray):
+        self.points = points
+        n, d = points.shape
+        self.box = Box(points.min(axis=0), points.max(axis=0))
+        per_axis = int(np.ceil(n ** (1.0 / max(d, 1))))
+        self.resolution = int(np.clip(per_axis, 1, 16))
+        widths = np.maximum(self.box.widths, 1e-12)
+        scaled = (points - self.box.lo) / widths * self.resolution
+        coords = np.clip(scaled.astype(np.int64), 0, self.resolution - 1)
+        keys = np.zeros(n, dtype=np.int64)
+        for axis in range(d):
+            keys = keys * self.resolution + coords[:, axis]
+        order = np.argsort(keys, kind="stable")
+        self._order = order
+        self._keys = keys[order]
+        # Run boundaries: one (key, start, stop) triple per occupied cell.
+        boundaries = np.flatnonzero(np.diff(self._keys)) + 1
+        self._starts = np.concatenate(([0], boundaries))
+        self._stops = np.concatenate((boundaries, [n]))
+
+    def _cell_box(self, key: int) -> Box:
+        d = self.box.dim
+        widths = np.maximum(self.box.widths, 1e-12)
+        coords = np.zeros(d)
+        for axis in range(d - 1, -1, -1):
+            coords[axis] = key % self.resolution
+            key //= self.resolution
+        lo = self.box.lo + coords * widths / self.resolution
+        return Box(lo, lo + widths / self.resolution)
+
+    def match(self, polyhedron: Polyhedron) -> np.ndarray:
+        """Boolean mask (over the original point order) of points inside."""
+        n = len(self.points)
+        mask = np.zeros(n, dtype=bool)
+        if polyhedron.classify_box(self.box) is BoxRelation.OUTSIDE:
+            return mask
+        for i in range(len(self._starts)):
+            start, stop = self._starts[i], self._stops[i]
+            members = self._order[start:stop]
+            relation = polyhedron.classify_box(self._cell_box(int(self._keys[start])))
+            if relation is BoxRelation.OUTSIDE:
+                continue
+            if relation is BoxRelation.INSIDE:
+                mask[members] = True
+            else:
+                mask[members] = polyhedron.contains_points(self.points[members])
+        return mask
+
+
+class DeltaSnapshot:
+    """An immutable, consistent view of a delta tier at one epoch.
+
+    ``columns`` hold only the *live* inserted rows (insert-then-delete
+    rows are already removed); ``row_ids`` are their delta-band ids and
+    ``tombstones`` is the sorted array of deleted main-table row ids.
+    """
+
+    def __init__(
+        self,
+        epoch: int,
+        columns: dict[str, np.ndarray],
+        row_ids: np.ndarray,
+        tombstones: np.ndarray,
+        dims: tuple[str, ...] = (),
+    ):
+        self.epoch = epoch
+        self.columns = columns
+        self.row_ids = row_ids
+        self.tombstones = tombstones
+        self.dims = dims
+        self._grid: DeltaGrid | None = None
+        self._points: np.ndarray | None = None
+
+    @property
+    def num_rows(self) -> int:
+        """Live inserted rows visible in this snapshot."""
+        return len(self.row_ids)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Main-table rows this snapshot suppresses."""
+        return len(self.tombstones)
+
+    @property
+    def empty(self) -> bool:
+        """Whether merge-on-read can skip this snapshot entirely."""
+        return self.num_rows == 0 and self.num_tombstones == 0
+
+    def points(self, dims: tuple[str, ...] | None = None) -> np.ndarray:
+        """Stacked ``(n, d)`` float64 coordinates of the live rows."""
+        dims = tuple(dims) if dims is not None else self.dims
+        if dims == self.dims and self._points is not None:
+            return self._points
+        pts = np.column_stack(
+            [np.asarray(self.columns[d], dtype=np.float64) for d in dims]
+        ) if self.num_rows else np.empty((0, len(dims)))
+        if dims == self.dims:
+            self._points = pts
+        return pts
+
+    def bounding_box(self, dims: tuple[str, ...] | None = None) -> Box | None:
+        """Tight box around the live delta points (None when empty)."""
+        pts = self.points(dims)
+        if not len(pts):
+            return None
+        return Box.from_points(pts)
+
+    def match_mask(
+        self, polyhedron: Polyhedron, dims: tuple[str, ...] | None = None
+    ) -> np.ndarray:
+        """Which live delta rows satisfy the polyhedron."""
+        pts = self.points(dims)
+        if not len(pts):
+            return np.zeros(0, dtype=bool)
+        use_dims = tuple(dims) if dims is not None else self.dims
+        if use_dims == self.dims and len(pts) >= _GRID_MIN_POINTS:
+            if self._grid is None:
+                self._grid = DeltaGrid(pts)
+            return self._grid.match(polyhedron)
+        return polyhedron.contains_points(pts)
+
+    def match(
+        self,
+        polyhedron: Polyhedron,
+        dims: tuple[str, ...] | None = None,
+        columns: list[str] | None = None,
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Matching rows as ``(columns, row_ids)`` for result assembly."""
+        mask = self.match_mask(polyhedron, dims)
+        wanted = columns if columns is not None else list(self.columns)
+        if not mask.any():
+            empty = {c: self.columns[c][:0] for c in wanted}
+            return empty, self.row_ids[:0]
+        return (
+            {c: self.columns[c][mask] for c in wanted},
+            self.row_ids[mask],
+        )
+
+    def project(self, columns: list[str] | None = None) -> dict[str, np.ndarray]:
+        """All live rows restricted to ``columns`` (all columns if None)."""
+        wanted = columns if columns is not None else list(self.columns)
+        return {c: self.columns[c] for c in wanted}
+
+    def alive(self, row_ids: np.ndarray) -> np.ndarray:
+        """Mask of main-table row ids *not* suppressed by a tombstone."""
+        if not len(self.tombstones):
+            return np.ones(len(row_ids), dtype=bool)
+        pos = np.searchsorted(self.tombstones, row_ids)
+        pos = np.minimum(pos, len(self.tombstones) - 1)
+        return self.tombstones[pos] != row_ids
+
+
+class DeltaTier:
+    """The mutable write tier of one table (or one shard's table).
+
+    Thread-safe: writers append under a lock; readers take snapshots.
+    A merge *freezes* the tier it drained -- the frozen tier stays
+    attached to the superseded table generation so in-flight queries
+    that already resolved the old layout keep a consistent view, while
+    new writes go to the fresh tier installed with the new generation.
+    """
+
+    def __init__(
+        self,
+        dtypes: dict[str, np.dtype],
+        dims: tuple[str, ...] = (),
+        base_row_id: int = DELTA_BASE,
+    ):
+        self.dtypes = {name: np.dtype(dt) for name, dt in dtypes.items()}
+        self.dims = tuple(dims)
+        self.base_row_id = base_row_id
+        self._lock = threading.Lock()
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._num_inserted = 0
+        self._main_tombstones: set[int] = set()
+        self._delta_tombstones: set[int] = set()
+        self._epoch = 0
+        self._frozen = False
+        self._snapshot: DeltaSnapshot | None = None
+
+    # -- write side ---------------------------------------------------------
+
+    def insert(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Append rows; returns their delta-band row ids."""
+        cast = {}
+        lengths = set()
+        for name, dtype in self.dtypes.items():
+            if name not in columns:
+                raise KeyError(f"insert missing column {name!r}")
+            arr = np.ascontiguousarray(columns[name], dtype=dtype)
+            cast[name] = arr
+            lengths.add(len(arr))
+        extra = set(columns) - set(self.dtypes)
+        if extra:
+            raise KeyError(f"insert has unknown columns {sorted(extra)}")
+        if len(lengths) != 1:
+            raise ValueError("insert columns must share one length")
+        (n,) = lengths
+        with self._lock:
+            if self._frozen:
+                raise RuntimeError("delta tier is frozen (superseded by a merge)")
+            start = self._num_inserted
+            self._chunks.append(cast)
+            self._num_inserted += n
+            self._bump()
+        return np.arange(
+            self.base_row_id + start, self.base_row_id + start + n, dtype=np.int64
+        )
+
+    def delete(self, row_ids: np.ndarray) -> tuple[int, int]:
+        """Tombstone rows by id; returns ``(main_deleted, delta_deleted)``.
+
+        Main-table ids are recorded for read-time suppression and merge-
+        time removal; delta-band ids kill not-yet-merged inserts.  Ids
+        already deleted are counted once (idempotent).
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        delta_mask = row_ids >= DELTA_BASE
+        with self._lock:
+            if self._frozen:
+                raise RuntimeError("delta tier is frozen (superseded by a merge)")
+            before_main = len(self._main_tombstones)
+            before_delta = len(self._delta_tombstones)
+            for gid in row_ids[delta_mask]:
+                ordinal = int(gid) - self.base_row_id
+                if not 0 <= ordinal < self._num_inserted:
+                    raise IndexError(f"unknown delta row id {int(gid)}")
+                self._delta_tombstones.add(ordinal)
+            self._main_tombstones.update(int(i) for i in row_ids[~delta_mask])
+            if len(row_ids):
+                self._bump()
+            return (
+                len(self._main_tombstones) - before_main,
+                len(self._delta_tombstones) - before_delta,
+            )
+
+    def freeze(self) -> None:
+        """Refuse further writes (the tier has been merged away)."""
+        with self._lock:
+            self._frozen = True
+
+    def _bump(self) -> None:
+        self._epoch += 1
+        self._snapshot = None
+
+    # -- read side ----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone write counter; folded into ``layout_version``."""
+        return self._epoch
+
+    @property
+    def num_inserted(self) -> int:
+        """Total rows ever inserted (including later-deleted ones)."""
+        return self._num_inserted
+
+    @property
+    def num_live(self) -> int:
+        """Inserted rows still visible."""
+        return self._num_inserted - len(self._delta_tombstones)
+
+    @property
+    def num_tombstones(self) -> int:
+        """Main-table rows currently suppressed."""
+        return len(self._main_tombstones)
+
+    @property
+    def churn(self) -> int:
+        """Total pending work a merge would drain (inserts + deletes)."""
+        return self._num_inserted + len(self._main_tombstones)
+
+    def snapshot(self) -> DeltaSnapshot:
+        """A consistent, immutable view (cached until the next write)."""
+        with self._lock:
+            if self._snapshot is not None:
+                return self._snapshot
+            if self._num_inserted:
+                columns = {
+                    name: np.concatenate([c[name] for c in self._chunks])
+                    for name in self.dtypes
+                }
+            else:
+                columns = {
+                    name: np.empty(0, dtype=dt) for name, dt in self.dtypes.items()
+                }
+            row_ids = np.arange(
+                self.base_row_id,
+                self.base_row_id + self._num_inserted,
+                dtype=np.int64,
+            )
+            if self._delta_tombstones:
+                dead = np.fromiter(
+                    self._delta_tombstones, dtype=np.int64, count=len(self._delta_tombstones)
+                )
+                keep = np.ones(self._num_inserted, dtype=bool)
+                keep[dead] = False
+                columns = {name: arr[keep] for name, arr in columns.items()}
+                row_ids = row_ids[keep]
+            tombstones = np.sort(
+                np.fromiter(
+                    self._main_tombstones,
+                    dtype=np.int64,
+                    count=len(self._main_tombstones),
+                )
+            )
+            self._snapshot = DeltaSnapshot(
+                self._epoch, columns, row_ids, tombstones, dims=self.dims
+            )
+            return self._snapshot

@@ -45,6 +45,7 @@ import socket
 import tempfile
 import threading
 import time
+from dataclasses import replace
 from typing import Callable
 
 import numpy as np
@@ -53,12 +54,15 @@ from repro.core.batch import BatchMemberResult, BatchResult
 from repro.core.planner import PlannedQuery
 from repro.db.errors import StorageFault
 from repro.db.stats import IOStats, QueryStats
-from repro.geometry.boxes import BoxRelation
+from repro.geometry.boxes import Box, BoxRelation
 from repro.geometry.halfspace import Polyhedron
+from repro.ingest.delta import DELTA_BASE, SHARD_STRIDE
+from repro.ingest.manager import DEFAULT_MERGE_THRESHOLD
 from repro.net.wire import (
     MessageType,
     SocketChannel,
     columns_from_blob,
+    columns_to_blob,
     error_from_wire,
     polyhedron_to_wire,
     stats_from_wire,
@@ -148,6 +152,7 @@ class _WorkerHandle:
         header: dict,
         out: queue.Queue,
         tag: object,
+        blob: bytes = b"",
     ) -> bool:
         """Register the response route and send; False if the worker is down."""
         request_id = header["request_id"]
@@ -157,7 +162,7 @@ class _WorkerHandle:
             self._routes[request_id] = (out, tag)
             channel = self.channel
         try:
-            channel.send(msg_type, header)
+            channel.send(msg_type, header, blob)
             return True
         except OSError:
             self.forget(request_id)
@@ -348,7 +353,27 @@ class ShardWorkerPool:
             "worker_deaths": 0,
             "worker_respawns": 0,
             "cancels_sent": 0,
+            "rows_inserted": 0,
+            "rows_deleted": 0,
+            "merges": 0,
+            "repartitions": 0,
         }
+        # Write-path state.  The coordinator mirrors every acknowledged
+        # mutation into a per-shard op log so a respawned worker -- which
+        # rebuilds from its (immutable-columns) spec -- replays its way
+        # back to the acknowledged state, with the same row ids (delta
+        # ids are assigned sequentially and the kd build and merge are
+        # deterministic).  ``_delta_boxes`` is the coordinator's
+        # conservative bound on each shard's pending delta inserts: it
+        # widens routing boxes the same way the thread-mode router does,
+        # keeping OUTSIDE pruning and the INSIDE shortcut sound.
+        self._write_lock = threading.Lock()
+        self._spawn_lock = threading.Lock()
+        self._epochs: list[str] = ["g0.e0"] * len(specs)
+        self._delta_counts: list[int] = [0] * len(specs)
+        self._delta_boxes: list[Box | None] = [None] * len(specs)
+        self._oplog: list[list[tuple]] = [[] for _ in specs]
+        self._recuts: list[int] = [0] * len(specs)
         self._closed = False
         self._listener, self._address, self._socket_dir = self._make_listener()
         try:
@@ -377,8 +402,14 @@ class ShardWorkerPool:
 
     @property
     def layout_version(self) -> str:
-        """Digest of the shard boundaries (same formula as thread mode)."""
-        return self._layout_version
+        """Layout digest plus per-shard write epochs (thread-mode formula).
+
+        Changes on every acknowledged insert/delete (the worker's table
+        epoch moves), every merge (generation moves), and every re-cut
+        (the ``r<n>`` prefix moves), so the result cache can never serve
+        a pre-write answer to a post-write query.
+        """
+        return f"{self._layout_version}|{','.join(self._epochs)}"
 
     @property
     def num_shards(self) -> int:
@@ -444,8 +475,58 @@ class ShardWorkerPool:
         if schema:
             self._column_order = [name for name, _ in schema]
             self._dtypes = {name: np.dtype(code) for name, code in schema}
+        try:
+            self._replay_oplog(handle.spec.shard_id, channel)
+        except Exception as exc:
+            channel.close()
+            process.terminate()
+            raise RuntimeError(
+                f"shard worker {handle.spec.shard_id} failed op-log replay: {exc}"
+            ) from None
         handle.last_pong = time.monotonic()
         handle.attach(process, channel, pid=int(hello.header.get("pid", 0)))
+
+    def _replay_oplog(self, shard_id: int, channel: SocketChannel) -> None:
+        """Re-apply acknowledged mutations to a freshly respawned worker.
+
+        Runs synchronously on the bare channel *before* the worker is
+        attached (no reader thread yet, so no query can observe the
+        half-replayed shard).  Replay is idempotent across respawns
+        because every respawn rebuilds the shard from the spec's columns
+        first: the op sequence always starts from the same state, so it
+        reproduces the same delta row ids and merge generations that
+        were acknowledged to clients.
+        """
+        for entry in self._oplog[shard_id]:
+            request_id = next(self._request_ids)
+            if entry[0] == "insert":
+                _, meta, blob = entry
+                channel.send(
+                    MessageType.INGEST,
+                    {"request_id": request_id, "op": "insert", "columns": meta},
+                    blob,
+                )
+            elif entry[0] == "delete":
+                channel.send(
+                    MessageType.INGEST,
+                    {"request_id": request_id, "op": "delete"},
+                    entry[1],
+                )
+            else:
+                channel.send(MessageType.MERGE, {"request_id": request_id})
+            while True:
+                reply = channel.recv()
+                if reply is None:
+                    raise RuntimeError("worker closed the channel mid-replay")
+                if reply.type is MessageType.ERROR:
+                    raise RuntimeError(
+                        f"replayed {entry[0]} failed: {reply.header.get('message')}"
+                    )
+                if (
+                    reply.type is MessageType.DONE
+                    and reply.header.get("request_id") == request_id
+                ):
+                    break
 
     def _monitor_loop(self) -> None:
         """Heartbeat, dead-worker detection, and automatic respawn."""
@@ -471,7 +552,10 @@ class ShardWorkerPool:
                         handle.ping()
                 if not handle.alive and handle.respawns < self.max_respawns:
                     try:
-                        self._spawn(handle)
+                        with self._spawn_lock:
+                            if handle.alive:
+                                continue
+                            self._spawn(handle)
                     except (TimeoutError, RuntimeError, OSError):
                         continue
                     handle.respawns += 1
@@ -526,10 +610,15 @@ class ShardWorkerPool:
         dispatched: list[tuple[ShardSpec, BoxRelation]] = []
         pruned = 0
         for spec in self.specs:
-            if spec.num_rows == 0:
+            delta_box = self._delta_boxes[spec.shard_id]
+            if spec.num_rows == 0 and delta_box is None:
                 pruned += 1
                 continue
             box = spec.tight_box if self.use_tight_boxes else spec.partition_box
+            if delta_box is not None:
+                # Pending delta inserts may fall outside the main rows'
+                # tight box; widen so pruning and INSIDE stay sound.
+                box = box.union_bounds(delta_box)
             relation = polyhedron.classify_box(box)
             if relation is BoxRelation.OUTSIDE:
                 pruned += 1
@@ -570,7 +659,14 @@ class ShardWorkerPool:
     @staticmethod
     def _rebase(spec: ShardSpec, rows: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         rebased = dict(rows)
-        rebased["_row_id"] = rows["_row_id"] + spec.row_offset
+        ids = rows["_row_id"]
+        # Main-band ids shift by the shard's global row offset; delta-band
+        # ids move into the shard's slice of the delta namespace.
+        rebased["_row_id"] = np.where(
+            ids >= DELTA_BASE,
+            ids + spec.shard_id * SHARD_STRIDE,
+            ids + spec.row_offset,
+        )
         return rebased
 
     # -- solo execution -----------------------------------------------------
@@ -961,6 +1057,290 @@ class ShardWorkerPool:
             )
         self._note(**note)
         return result
+
+    # -- write path ---------------------------------------------------------
+
+    def _shard_rpc(
+        self,
+        shard_id: int,
+        msg_type: MessageType,
+        header: dict,
+        blob: bytes = b"",
+        timeout_s: float | None = None,
+    ):
+        """One synchronous request/response round with a shard worker.
+
+        Returns ``(done_frame, pages)`` where ``pages`` are any decoded
+        PAGE payloads that preceded DONE.  Worker death or a worker-side
+        error surfaces as the corresponding exception.
+        """
+        handle = self._handles[shard_id]
+        out: queue.Queue = queue.Queue()
+        request_id = next(self._request_ids)
+        header = dict(header, request_id=request_id)
+        if not handle.send_request(msg_type, header, out, shard_id, blob=blob):
+            raise WorkerDied(f"shard worker {shard_id} is down (respawning)")
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None else self.spawn_timeout_s
+        )
+        pages: list[dict[str, np.ndarray]] = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                handle.forget(request_id)
+                raise WorkerDied(f"shard worker {shard_id} timed out")
+            try:
+                _, msg = out.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if isinstance(msg, _Death):
+                raise WorkerDied(f"shard worker {shard_id} died mid-request")
+            if msg.type is MessageType.PAGE:
+                pages.append(columns_from_blob(msg.header["columns"], msg.blob))
+                continue
+            if msg.type is MessageType.ERROR:
+                handle.forget(request_id)
+                raise error_from_wire(msg.header)
+            if msg.type is MessageType.DONE:
+                return msg, pages
+
+    def insert_rows(self, data: dict[str, np.ndarray]) -> np.ndarray:
+        """Insert rows, routed to workers by partition-box containment.
+
+        The semantics mirror the thread-mode executor exactly: each row
+        lands in the owning shard's delta tier (WAL-first, inside that
+        worker process), a row outside every partition cell goes to the
+        nearest shard, and the returned ids are global delta-band ids in
+        input order.  Acknowledged mutations are mirrored into the
+        coordinator's op log so a respawned worker replays back to them.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        arrays = {c: np.asarray(arr) for c, arr in data.items()}
+        dims = self.dims
+        points = np.column_stack(
+            [np.asarray(arrays[d], dtype=np.float64) for d in dims]
+        )
+        n = len(points)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        owner = np.full(n, -1, dtype=np.int64)
+        for spec in self.specs:
+            undecided = owner == -1
+            if not undecided.any():
+                break
+            inside = spec.partition_box.contains_points(points[undecided])
+            owner[np.flatnonzero(undecided)[inside]] = spec.shard_id
+        for i in np.flatnonzero(owner == -1):
+            distances = [
+                spec.partition_box.min_distance_to_point(points[i])
+                for spec in self.specs
+            ]
+            owner[i] = int(np.argmin(distances))
+        out = np.empty(n, dtype=np.int64)
+        with self._write_lock:
+            for shard_id in np.unique(owner):
+                sid = int(shard_id)
+                where = np.flatnonzero(owner == shard_id)
+                sub = {c: np.ascontiguousarray(arr[where]) for c, arr in arrays.items()}
+                meta, blob = columns_to_blob(sub)
+                done, _ = self._shard_rpc(
+                    sid, MessageType.INGEST, {"op": "insert", "columns": meta}, blob
+                )
+                local = np.frombuffer(done.blob, dtype=np.int64)
+                out[where] = local + sid * SHARD_STRIDE
+                self._oplog[sid].append(("insert", meta, blob))
+                self._epochs[sid] = done.header.get(
+                    "layout_version", self._epochs[sid]
+                )
+                self._delta_counts[sid] += len(where)
+                batch_box = Box(points[where].min(axis=0), points[where].max(axis=0))
+                box = self._delta_boxes[sid]
+                self._delta_boxes[sid] = (
+                    batch_box if box is None else box.union_bounds(batch_box)
+                )
+        self._note(rows_inserted=n)
+        return out
+
+    def delete_rows(self, row_ids) -> int:
+        """Tombstone rows by global id (main-band or delta-band)."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        ids = np.atleast_1d(np.asarray(row_ids, dtype=np.int64))
+        if len(ids) == 0:
+            return 0
+        in_delta = ids >= DELTA_BASE
+        owner = np.empty(len(ids), dtype=np.int64)
+        owner[in_delta] = (ids[in_delta] - DELTA_BASE) // SHARD_STRIDE
+        main = ids[~in_delta]
+        if len(main) and (main.min() < 0 or main.max() >= self._total_rows):
+            raise IndexError(
+                f"delete row ids out of range [0, {self._total_rows})"
+            )
+        offsets = np.array([s.row_offset for s in self.specs], dtype=np.int64)
+        owner[~in_delta] = np.searchsorted(offsets, main, side="right") - 1
+        if in_delta.any() and (
+            owner[in_delta].min() < 0 or owner[in_delta].max() >= self.num_shards
+        ):
+            raise IndexError("delta row ids out of range")
+        deleted = 0
+        with self._write_lock:
+            for shard_id in np.unique(owner):
+                sid = int(shard_id)
+                spec = self.specs[sid]
+                where = owner == shard_id
+                local = np.where(
+                    in_delta[where],
+                    ids[where] - sid * SHARD_STRIDE,
+                    ids[where] - spec.row_offset,
+                )
+                blob = np.ascontiguousarray(local, dtype=np.int64).tobytes()
+                done, _ = self._shard_rpc(
+                    sid, MessageType.INGEST, {"op": "delete"}, blob
+                )
+                deleted += int(done.header.get("count", 0))
+                self._oplog[sid].append(("delete", blob))
+                self._epochs[sid] = done.header.get(
+                    "layout_version", self._epochs[sid]
+                )
+                self._delta_counts[sid] += int(where.sum())
+        self._note(rows_deleted=deleted)
+        return deleted
+
+    def delta_fraction(self) -> float:
+        """The largest per-shard pending-churn fraction (repartition trigger)."""
+        return max(
+            self._delta_counts[spec.shard_id] / max(1, spec.num_rows)
+            for spec in self.specs
+        )
+
+    def merge(self, threshold: float = 0.0) -> list[dict]:
+        """Merge every shard whose churn fraction crossed ``threshold``.
+
+        Each qualifying worker drains its delta out-of-place (median-split
+        kd rebuild over old + new rows) and swaps atomically inside its
+        own process; the coordinator refreshes that shard's routing
+        geometry from the reply and recomputes global offsets and the
+        layout digest.  Queries keep flowing on every shard throughout.
+        """
+        reports: list[dict] = []
+        with self._write_lock:
+            for spec in self.specs:
+                sid = spec.shard_id
+                if self._delta_counts[sid] == 0:
+                    continue
+                if self._delta_counts[sid] / max(1, spec.num_rows) < threshold:
+                    continue
+                done, _ = self._shard_rpc(sid, MessageType.MERGE, {})
+                header = done.header
+                reports.append(header.get("report", {}))
+                self._oplog[sid].append(("merge",))
+                spec.num_rows = int(header.get("num_rows", spec.num_rows))
+                box = header.get("tight_box")
+                if box:
+                    spec.tight_box = Box(
+                        np.asarray(box["lo"], dtype=np.float64),
+                        np.asarray(box["hi"], dtype=np.float64),
+                    )
+                self._epochs[sid] = header.get("layout_version", self._epochs[sid])
+                self._delta_counts[sid] = 0
+                self._delta_boxes[sid] = None
+            if reports:
+                self._refresh_layout()
+        self._note(merges=len(reports))
+        return reports
+
+    def repartition(self, shard_id: int) -> dict:
+        """Re-cut one shard from its merged rows and respawn its worker.
+
+        Fetches the shard's current merge-on-read contents over the wire
+        (main + delta, tombstones suppressed), rebuilds the
+        :class:`~repro.shard.partitioner.ShardSpec` around them -- same
+        partition cell and post-order range, fresh tight box and row
+        count -- and restarts that worker process from the new spec.
+        The other shards keep serving queries throughout; in-flight
+        queries on the re-cut shard degrade to flagged partials, exactly
+        as a worker crash does.
+        """
+        with self._write_lock:
+            sid = int(shard_id)
+            old = self.specs[sid]
+            done, pages = self._shard_rpc(
+                sid, MessageType.QUERY, {"inside": True, "deadline_s": None}
+            )
+            if not pages and "columns" in done.header:
+                pages = [columns_from_blob(done.header["columns"], b"")]
+            columns = {
+                c: np.concatenate([p[c] for p in pages])
+                for c in old.columns
+            }
+            num_rows = len(next(iter(columns.values()))) if columns else 0
+            if num_rows == 0:
+                raise ValueError(
+                    f"cannot repartition shard {sid}: no live rows to re-cut"
+                )
+            pts = np.column_stack(
+                [np.asarray(columns[d], dtype=np.float64) for d in old.dims]
+            )
+            new_spec = replace(
+                old,
+                columns=columns,
+                num_rows=num_rows,
+                num_levels=min(old.num_levels, max(1, int(num_rows).bit_length())),
+                tight_box=Box(pts.min(axis=0), pts.max(axis=0)),
+            )
+            with self._spawn_lock:
+                handle = self._handles[sid]
+                handle.shutdown()
+                process = handle.process
+                if process is not None:
+                    process.join(timeout=5.0)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=1.0)
+                handle.mark_dead()
+                self.specs[sid] = new_spec
+                handle.config = replace(handle.config, spec=new_spec)
+                handle.spec = new_spec
+                self._oplog[sid] = []
+                self._delta_counts[sid] = 0
+                self._delta_boxes[sid] = None
+                self._recuts[sid] += 1
+                # A respawned worker starts back at generation 0; the
+                # re-cut counter keeps the fingerprint moving forward.
+                self._epochs[sid] = f"r{self._recuts[sid]}:g0.e0"
+                self._spawn(handle)
+            self._refresh_layout()
+        self._note(repartitions=1)
+        return {"shard_id": sid, "num_rows": num_rows}
+
+    def maybe_repartition(
+        self, threshold: float = DEFAULT_MERGE_THRESHOLD
+    ) -> list[dict]:
+        """Online repartitioning: re-cut and respawn every shard whose
+        pending churn fraction crossed ``threshold``."""
+        out = []
+        for spec in list(self.specs):
+            sid = spec.shard_id
+            if self._delta_counts[sid] == 0:
+                continue
+            if self._delta_counts[sid] / max(1, spec.num_rows) < threshold:
+                continue
+            out.append(self.repartition(sid))
+        return out
+
+    def _refresh_layout(self) -> None:
+        """Recompute global offsets and the layout digest after re-cuts."""
+        offset = 0
+        for spec in self.specs:
+            spec.row_offset = offset
+            offset += spec.num_rows
+        self._total_rows = offset
+        self._layout_version = shard_layout_version(
+            self.specs[0].base_name,
+            list(self.specs[0].dims),
+            [s.num_rows for s in self.specs],
+        )
 
     def knn(self, point, k, cancel_check=None):
         """k-NN is not served over the process transport (yet)."""

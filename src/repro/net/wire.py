@@ -88,6 +88,9 @@ class MessageType(enum.IntEnum):
     PONG = 9
     SHUTDOWN = 10
     REPORT = 11
+    #: Write-path RPCs: delta-tier inserts/deletes and shard merges.
+    INGEST = 12
+    MERGE = 13
 
 
 class FrameError(Exception):

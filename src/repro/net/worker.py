@@ -39,6 +39,7 @@ from repro.net.wire import (
     Frame,
     MessageType,
     SocketChannel,
+    columns_from_blob,
     columns_to_blob,
     error_to_wire,
     polyhedron_from_wire,
@@ -190,6 +191,10 @@ class _Worker:
                     self._serve_query(frame)
                 elif frame.type is MessageType.BATCH:
                     self._serve_batch(frame)
+                elif frame.type is MessageType.INGEST:
+                    self._serve_ingest(frame)
+                elif frame.type is MessageType.MERGE:
+                    self._serve_merge(frame)
             finally:
                 self.busy_s += time.perf_counter() - started
                 self.requests_served += 1
@@ -370,6 +375,82 @@ class _Worker:
                         sampled_pages=0,
                     ),
                 )
+
+
+    # -- write path (serialized with queries on the main thread) ------------
+
+    def _serve_ingest(self, frame: Frame) -> None:
+        """Apply a delta-tier insert or delete on this shard's table.
+
+        INGEST frames ride the same work queue as queries, so a write is
+        never interleaved with a scan inside the worker; the table-level
+        merge-on-read machinery handles cross-*process* visibility (the
+        coordinator orders acks).  The reply carries the shard's new
+        ``layout_version`` so the coordinator's cache fingerprint moves.
+        """
+        request_id = frame.header["request_id"]
+        table = self.shard.table
+        try:
+            op = frame.header["op"]
+            if op == "insert":
+                data = columns_from_blob(frame.header["columns"], frame.blob)
+                local = table.insert_rows(data)
+                header = {"count": int(len(local))}
+                blob = np.ascontiguousarray(local, dtype=np.int64).tobytes()
+            elif op == "delete":
+                ids = np.frombuffer(frame.blob, dtype=np.int64).copy()
+                header = {"count": int(table.delete_rows(ids))}
+                blob = b""
+            else:
+                raise ValueError(f"unknown ingest op {op!r}")
+        except BaseException as exc:
+            self._send_error(request_id, None, exc)
+            if not isinstance(exc, Exception):
+                raise
+            return
+        header["request_id"] = request_id
+        header["member"] = None
+        header["op"] = op
+        header["layout_version"] = table.layout_version
+        self.channel.send(MessageType.DONE, header, blob)
+
+    def _serve_merge(self, frame: Frame) -> None:
+        """Drain this shard's delta out-of-place and refresh the stack.
+
+        The merge rebuilds the shard's kd-tree over old + new rows and
+        swaps it under the catalog lock; afterwards the worker re-resolves
+        its index handle (the planner already resolves per query).  The
+        reply ships the new routing geometry -- row count and tight box
+        -- so the coordinator can re-cut its routing state in place.
+        """
+        request_id = frame.header["request_id"]
+        try:
+            report = self.shard.database.ingest.merge(self.spec.name)
+            index = self.shard.database.index_if_exists(f"{self.spec.name}.kdtree")
+            if index is not None:
+                self.shard.index = index
+            self.shard.num_rows = self.shard.table.num_rows
+            self.shard.tight_box = self.shard.index.tree.tight_box(1)
+        except BaseException as exc:
+            self._send_error(request_id, None, exc)
+            if not isinstance(exc, Exception):
+                raise
+            return
+        box = self.shard.tight_box
+        self.channel.send(
+            MessageType.DONE,
+            {
+                "request_id": request_id,
+                "member": None,
+                "report": report.as_dict(),
+                "num_rows": int(self.shard.num_rows),
+                "tight_box": {
+                    "lo": [float(v) for v in box.lo],
+                    "hi": [float(v) for v in box.hi],
+                },
+                "layout_version": self.shard.table.layout_version,
+            },
+        )
 
 
 def worker_main(config: WorkerConfig, address) -> None:

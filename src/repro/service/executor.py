@@ -339,6 +339,9 @@ class QueryService:
             "service": self.metrics.summary(),
             "admission": self.admission.counters(),
             "cache": self.cache.counters() if self.cache is not None else {},
+            # The engine layout the cache is currently fingerprinting
+            # against; moves on every ingest write, merge, and re-cut.
+            "layout_version": getattr(self.planner, "layout_version", ""),
             "sessions": {
                 s.session_id: s.snapshot().as_dict() for s in self.sessions.all()
             },

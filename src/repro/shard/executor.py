@@ -43,6 +43,8 @@ import numpy as np
 from repro.core.batch import BatchMemberResult, BatchResult
 from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.db.errors import StorageFault
+from repro.ingest.delta import DELTA_BASE, SHARD_STRIDE
+from repro.ingest.manager import DEFAULT_MERGE_THRESHOLD
 from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
 from repro.db.stats import IOStats, QueryStats
 from repro.geometry.boxes import BoxRelation
@@ -202,8 +204,16 @@ class ScatterGatherExecutor:
 
     @property
     def layout_version(self) -> str:
-        """Digest of the shard boundaries; changes on repartitioning."""
-        return self.shard_set.layout_version
+        """Digest of shard boundaries plus per-shard write epochs.
+
+        The boundary digest changes on repartitioning; the appended
+        epochs change on every ingest write and shard merge, so result
+        caches above can never serve rows from a superseded view.
+        """
+        epochs = ",".join(
+            shard.table.layout_version for shard in self.shard_set
+        )
+        return f"{self.shard_set.layout_version}|{epochs}"
 
     @property
     def num_shards(self) -> int:
@@ -616,9 +626,19 @@ class ScatterGatherExecutor:
     def _rebase_rows(
         self, shard: Shard, rows: dict[str, np.ndarray]
     ) -> dict[str, np.ndarray]:
-        """Remap a shard's local row ids into the global namespace."""
+        """Remap a shard's local row ids into the global namespace.
+
+        Main-band ids shift by the shard's row offset; delta-band ids
+        (pending inserts surfaced by merge-on-read) move into the
+        shard's slice of the global delta namespace instead.
+        """
+        ids = rows["_row_id"]
         rebased = dict(rows)
-        rebased["_row_id"] = rows["_row_id"] + shard.row_offset
+        rebased["_row_id"] = np.where(
+            ids >= DELTA_BASE,
+            ids + shard.shard_id * SHARD_STRIDE,
+            ids + shard.row_offset,
+        )
         return rebased
 
     def _merge_pieces(
@@ -634,6 +654,124 @@ class ScatterGatherExecutor:
             out["_row_id"] = np.empty(0, dtype=np.int64)
             return out
         return {n: np.concatenate([p[n] for p in pieces]) for n in names}
+
+    # -- the write path -----------------------------------------------------
+
+    def insert_rows(self, data: dict[str, np.ndarray]) -> np.ndarray:
+        """Insert rows, routed to shards by partition-box containment.
+
+        Each row lands in the owning shard's delta tier (WAL-first on
+        that shard's database); a row outside every partition cell goes
+        to the nearest shard.  Returns global delta-band row ids in
+        input order.
+        """
+        dims = self.dims
+        points = np.column_stack(
+            [np.asarray(data[d], dtype=np.float64) for d in dims]
+        )
+        n = len(points)
+        owner = np.full(n, -1, dtype=np.int64)
+        for shard in self.shard_set:
+            undecided = owner == -1
+            if not undecided.any():
+                break
+            inside = shard.partition_box.contains_points(points[undecided])
+            owner[np.flatnonzero(undecided)[inside]] = shard.shard_id
+        for i in np.flatnonzero(owner == -1):
+            distances = [
+                shard.partition_box.min_distance_to_point(points[i])
+                for shard in self.shard_set
+            ]
+            owner[i] = int(np.argmin(distances))
+        out = np.empty(n, dtype=np.int64)
+        for shard_id in np.unique(owner):
+            shard = self.shard_set[int(shard_id)]
+            where = np.flatnonzero(owner == shard_id)
+            sub = {c: np.asarray(arr)[where] for c, arr in data.items()}
+            local = shard.table.insert_rows(sub)
+            out[where] = local + int(shard_id) * SHARD_STRIDE
+        return out
+
+    def delete_rows(self, row_ids) -> int:
+        """Tombstone rows by global id (main-band or delta-band)."""
+        ids = np.atleast_1d(np.asarray(row_ids, dtype=np.int64))
+        if len(ids) == 0:
+            return 0
+        in_delta = ids >= DELTA_BASE
+        owner = np.empty(len(ids), dtype=np.int64)
+        owner[in_delta] = (ids[in_delta] - DELTA_BASE) // SHARD_STRIDE
+        main = ids[~in_delta]
+        if len(main) and (
+            main.min() < 0 or main.max() >= self.shard_set.total_rows
+        ):
+            raise IndexError(
+                f"delete row ids out of range "
+                f"[0, {self.shard_set.total_rows})"
+            )
+        owner[~in_delta] = self.shard_set.owner_of_rows(main)
+        if in_delta.any() and (
+            owner[in_delta].min() < 0 or owner[in_delta].max() >= self.num_shards
+        ):
+            raise IndexError("delta row ids out of range")
+        deleted = 0
+        for shard_id in np.unique(owner):
+            shard = self.shard_set[int(shard_id)]
+            where = owner == shard_id
+            local = np.where(
+                in_delta[where],
+                ids[where] - int(shard_id) * SHARD_STRIDE,
+                ids[where] - shard.row_offset,
+            )
+            deleted += shard.table.delete_rows(local)
+        return deleted
+
+    def delta_fraction(self) -> float:
+        """The largest per-shard delta fraction (repartition trigger)."""
+        return max(
+            shard.database.ingest.delta_fraction(shard.table.name)
+            for shard in self.shard_set
+        )
+
+    def merge(self, threshold: float = 0.0) -> list:
+        """Merge every shard whose delta fraction crossed ``threshold``.
+
+        Each qualifying shard's delta is drained out-of-place into a new
+        local generation (median-split kd rebuild over old + new points
+        -- the re-cut of that subtree), the shard's routing geometry is
+        refreshed, and the shard set's offsets and layout digest are
+        recomputed.  Queries keep flowing throughout: the swap is atomic
+        under each shard database's catalog lock.
+        """
+        reports = []
+        for shard in self.shard_set:
+            name = shard.table.name
+            ingest = shard.database.ingest
+            state = ingest.state(name)
+            if state is None or state.delta.churn == 0:
+                continue
+            if ingest.delta_fraction(name) < threshold:
+                continue
+            reports.append(ingest.merge(name))
+            self._refresh_shard(shard)
+        if reports:
+            self.shard_set.refresh()
+        return reports
+
+    def maybe_repartition(
+        self, threshold: float = DEFAULT_MERGE_THRESHOLD
+    ) -> list:
+        """Online repartitioning: re-cut shards whose churn crossed
+        ``threshold`` (see :meth:`merge`); returns the merge reports."""
+        return self.merge(threshold=threshold)
+
+    def _refresh_shard(self, shard: Shard) -> None:
+        """Re-resolve a shard's index and routing geometry post-merge."""
+        name = shard.index.table.name
+        index = shard.database.index_if_exists(f"{name}.kdtree")
+        if index is not None:
+            shard.index = index
+        shard.num_rows = shard.table.num_rows
+        shard.tight_box = shard.index.tree.tight_box(1)
 
     # -- k-NN ---------------------------------------------------------------
 

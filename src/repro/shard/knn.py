@@ -60,9 +60,19 @@ class ShardedKnnResult:
 
 def _shard_knn(shard: Shard, point: np.ndarray, k: int, cancel_check) -> KnnResult:
     """Exact boundary-point k-NN inside one shard, ids remapped to global."""
+    from repro.ingest.delta import DELTA_BASE, SHARD_STRIDE
+
     local = knn_boundary_points(shard.index, point, k, cancel_check=cancel_check)
+    ids = local.row_ids
+    # Main-band ids shift by the shard's global row offset; delta-band
+    # ids move into the shard's slice of the delta namespace instead.
+    rebased = np.where(
+        ids >= DELTA_BASE,
+        ids + shard.shard_id * SHARD_STRIDE,
+        ids + shard.row_offset,
+    )
     return KnnResult(
-        row_ids=local.row_ids + shard.row_offset,
+        row_ids=rebased,
         distances=local.distances,
         stats=local.stats,
     )

@@ -175,6 +175,31 @@ class ShardSet:
             name, self.dims, [s.num_rows for s in shards]
         )
 
+    def refresh(self) -> str:
+        """Recompute offsets and the layout digest after shard merges.
+
+        A shard-local merge changes that shard's row count (tombstones
+        dropped, delta folded in), which shifts every later shard's
+        global id range and therefore the layout identity.  Called by
+        the executor after it merges/repartitions shards; returns the
+        new ``layout_version``.
+        """
+        offset = 0
+        for shard in self.shards:
+            shard.row_offset = offset
+            offset += shard.num_rows
+        self._offsets = np.array([s.row_offset for s in self.shards], dtype=np.int64)
+        self.layout_version = shard_layout_version(
+            self.name, self.dims, [s.num_rows for s in self.shards]
+        )
+        return self.layout_version
+
+    def owner_of_rows(self, global_row_ids: np.ndarray) -> np.ndarray:
+        """Shard id owning each *main-band* global row id."""
+        return (
+            np.searchsorted(self._offsets, global_row_ids, side="right") - 1
+        ).astype(np.int64)
+
     @property
     def num_shards(self) -> int:
         """How many shards the table was cut into."""
@@ -219,18 +244,62 @@ class ShardSet:
             }
             out["_row_id"] = np.empty(0, dtype=np.int64)
             return out
-        if global_row_ids.min() < 0 or global_row_ids.max() >= self.total_rows:
+        from repro.ingest.delta import DELTA_BASE, SHARD_STRIDE
+
+        in_delta = global_row_ids >= DELTA_BASE
+        main_ids = global_row_ids[~in_delta]
+        if len(main_ids) and (
+            main_ids.min() < 0 or main_ids.max() >= self.total_rows
+        ):
             raise IndexError("row ids out of range")
-        owners = np.searchsorted(self._offsets, global_row_ids, side="right") - 1
+        owners = np.empty(len(global_row_ids), dtype=np.int64)
+        owners[~in_delta] = (
+            np.searchsorted(self._offsets, main_ids, side="right") - 1
+        )
+        owners[in_delta] = (global_row_ids[in_delta] - DELTA_BASE) // SHARD_STRIDE
+        if in_delta.any() and (
+            owners[in_delta].min() < 0 or owners[in_delta].max() >= len(self.shards)
+        ):
+            raise IndexError("delta row ids out of range")
         out: dict[str, np.ndarray] = {}
         for shard_id in np.unique(owners):
             shard = self.shards[int(shard_id)]
             where = np.flatnonzero(owners == shard_id)
-            local = shard.table.gather(global_row_ids[where] - shard.row_offset)
-            for name, arr in local.items():
+            ids = global_row_ids[where]
+            delta_here = ids >= DELTA_BASE
+            pieces: dict[str, np.ndarray] = {}
+            if (~delta_here).any():
+                local = shard.table.gather(
+                    ids[~delta_here] - shard.row_offset
+                )
+                for name in columns:
+                    pieces[name] = local[name]
+            if delta_here.any():
+                snapshot = shard.table.delta_snapshot()
+                local_delta = ids[delta_here] - int(shard_id) * SHARD_STRIDE
+                if snapshot is None:
+                    raise IndexError("delta row ids reference no pending delta")
+                pos = np.searchsorted(snapshot.row_ids, local_delta)
+                if (
+                    pos.max(initial=-1) >= len(snapshot.row_ids)
+                    or not np.array_equal(snapshot.row_ids[pos], local_delta)
+                ):
+                    raise IndexError("delta row ids not found (merged or deleted)")
+                for name in columns:
+                    arr = snapshot.columns[name][pos]
+                    if name in pieces:
+                        pieces[name] = np.concatenate([pieces[name], arr])
+                    else:
+                        pieces[name] = arr
+            # Reassemble in input order: main rows first, then delta rows,
+            # matching the concatenation order above.
+            order = np.concatenate(
+                [np.flatnonzero(~delta_here), np.flatnonzero(delta_here)]
+            )
+            for name, arr in pieces.items():
                 if name not in out:
                     out[name] = np.empty(len(global_row_ids), dtype=arr.dtype)
-                out[name][where] = arr
+                out[name][where[order]] = arr
         out["_row_id"] = global_row_ids.copy()
         return out
 

@@ -57,8 +57,23 @@ class ShardRouter:
         self.use_tight_boxes = use_tight_boxes
 
     def box_of(self, shard: Shard) -> Box:
-        """The pruning box of a shard under the configured family."""
-        return shard.tight_box if self.use_tight_boxes else shard.partition_box
+        """The pruning box of a shard under the configured family.
+
+        Merge-on-read: a shard with pending delta inserts stretches its
+        pruning box to cover them.  Delta rows are routed into the shard
+        by partition-box containment but may fall outside the *tight*
+        box of the main rows (built before they arrived); without the
+        stretch, a query touching only delta rows could wrongly prune
+        the shard.  The stretch also keeps the INSIDE shortcut sound:
+        INSIDE now proves every delta row inside the polyhedron too.
+        """
+        box = shard.tight_box if self.use_tight_boxes else shard.partition_box
+        snapshot = shard.table.delta_snapshot()
+        if snapshot is not None and snapshot.num_rows:
+            delta_box = snapshot.bounding_box(tuple(self.shard_set.dims))
+            if delta_box is not None:
+                box = box.union_bounds(delta_box)
+        return box
 
     def route_polyhedron(self, polyhedron: Polyhedron) -> RoutingDecision:
         """Split the shard set into dispatched and pruned for one query.
@@ -70,7 +85,7 @@ class ShardRouter:
         """
         decision = RoutingDecision()
         for shard in self.shard_set:
-            if shard.num_rows == 0:
+            if shard.num_rows == 0 and not shard.table.has_live_delta():
                 decision.pruned.append(shard)
                 continue
             relation = polyhedron.classify_box(self.box_of(shard))
@@ -92,7 +107,7 @@ class ShardRouter:
         ordered = [
             (self.box_of(shard).min_distance_to_point(point), shard)
             for shard in self.shard_set
-            if shard.num_rows > 0
+            if shard.num_rows > 0 or shard.table.has_live_delta()
         ]
         ordered.sort(key=lambda pair: (pair[0], pair[1].shard_id))
         return ordered

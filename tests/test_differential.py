@@ -24,7 +24,11 @@ from repro import (
     KdTreeIndex,
     Polyhedron,
     ScatterGatherExecutor,
+    knn_boundary_points,
+    knn_brute_force,
 )
+from repro.db.scan import BatchScanMember, batch_full_scan
+from repro.net.pool import ShardWorkerPool
 from repro.core.layered_grid import LayeredGridIndex
 from repro.core.queries import polyhedron_full_scan
 from repro.geometry.halfspace import Halfspace
@@ -240,6 +244,256 @@ class TestShardedKnnDifferential:
         )
         assert got == frozenset(int(v) for v in data["oid"][order])
         assert np.allclose(result.distances, dist[order])
+
+
+# -- ingest interleavings --------------------------------------------------
+#
+# Random insert/delete/merge sequences; after every sequence the
+# merge-on-read view (main pages + delta tier) must be indistinguishable
+# from a table rebuilt from scratch over the surviving rows, on every
+# read path.  The linearized python-side dict of live points is the
+# oracle both sides are compared against.
+
+_INGEST_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 2**16), st.integers(1, 40)),
+        st.tuples(st.just("delete"), st.integers(0, 2**16), st.integers(1, 25)),
+        st.tuples(st.just("merge"), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=7,
+)
+
+
+def _seed_points(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.0, 10.0, size=(n, 3))
+
+
+def _apply_ops(db, name: str, ops, expected: dict[int, np.ndarray], next_oid: int):
+    """Run an op sequence through the write path, mirroring it in python."""
+    for kind, seed, count in ops:
+        table = db.table(name)  # re-resolve: merges swap the table object
+        rng = np.random.default_rng(seed)
+        if kind == "insert":
+            pts = rng.uniform(0.0, 10.0, size=(count, 3))
+            batch = {d: pts[:, i] for i, d in enumerate(DIMS)}
+            batch["oid"] = np.arange(next_oid, next_oid + count, dtype=np.int64)
+            table.insert_rows(batch)
+            for j in range(count):
+                expected[next_oid + j] = pts[j]
+            next_oid += count
+        elif kind == "delete":
+            from repro.db import full_scan
+
+            live, _ = full_scan(table, columns=["oid"])
+            count = min(count, len(live["oid"]) - 1)  # never empty the table
+            if count <= 0:
+                continue
+            victims = rng.choice(len(live["oid"]), size=count, replace=False)
+            table.delete_rows(live["_row_id"][victims])
+            for oid in live["oid"][victims]:
+                del expected[int(oid)]
+        else:
+            db.ingest.merge(name)  # no-op when clean, by design
+    return next_oid
+
+
+def _rebuild(expected: dict[int, np.ndarray]):
+    """A from-scratch database over exactly the surviving rows."""
+    oids = np.fromiter(expected.keys(), dtype=np.int64, count=len(expected))
+    pts = np.array([expected[int(o)] for o in oids])
+    data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+    data["oid"] = oids
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "rebuilt", data, DIMS)
+    return db, index
+
+
+class TestIngestDifferential:
+    @_INGEST_SETTINGS
+    @given(ops=_op_strategy)
+    def test_merge_on_read_equals_rebuild_on_solo_paths(self, ops):
+        pts = _seed_points(300, seed=101)
+        data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+        data["oid"] = np.arange(300, dtype=np.int64)
+        db = Database.in_memory(buffer_pages=None)
+        KdTreeIndex.build(db, "ing", data, DIMS)
+        expected = {int(o): pts[o] for o in range(300)}
+        _apply_ops(db, "ing", ops, expected, next_oid=300)
+
+        _, rebuilt = _rebuild(expected)
+        table = db.table("ing")
+        index = db.index("ing.kdtree")
+        boxes = [
+            Box(np.full(3, 2.0), np.full(3, 8.0)),
+            Box(np.array([0.0, 4.0, 1.0]), np.array([5.0, 9.0, 6.0])),
+            Box(np.full(3, -1.0), np.full(3, 11.0)),  # everything
+        ]
+        for box in boxes:
+            poly = Polyhedron.from_box(box)
+            want = _oids(rebuilt.query_polyhedron(poly)[0])
+
+            kd_rows, _ = index.query_polyhedron(poly)
+            assert _oids(kd_rows) == want
+
+            scan_rows, _ = polyhedron_full_scan(table, DIMS, poly)
+            assert _oids(scan_rows) == want
+
+        # The shared-scan path sees the same tombstones and delta rows.
+        def _pred(poly):
+            return lambda cols: poly.contains_points(
+                np.column_stack([cols[d] for d in DIMS])
+            )
+
+        members = [BatchScanMember(predicate=_pred(Polyhedron.from_box(b))) for b in boxes]
+        results, _ = batch_full_scan(table, members)
+        for (rows, _, error), box in zip(results, boxes):
+            assert error is None
+            want = _oids(rebuilt.query_polyhedron(Polyhedron.from_box(box))[0])
+            assert _oids(rows) == want
+
+    @_INGEST_SETTINGS
+    @given(ops=_op_strategy, point=_point, k=st.integers(min_value=1, max_value=20))
+    def test_merge_on_read_equals_rebuild_on_knn(self, ops, point, k):
+        pts = _seed_points(200, seed=103)
+        data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+        data["oid"] = np.arange(200, dtype=np.int64)
+        db = Database.in_memory(buffer_pages=None)
+        KdTreeIndex.build(db, "ingk", data, DIMS)
+        expected = {int(o): pts[o] for o in range(200)}
+        _apply_ops(db, "ingk", ops, expected, next_oid=200)
+
+        index = db.index("ingk.kdtree")
+        probe = np.asarray(point, dtype=np.float64) + 5.0  # data is [0, 10]^3
+        exact = knn_boundary_points(index, probe, k)
+        live = np.array(list(expected.values()))
+        dist = np.sort(np.sqrt(((live - probe) ** 2).sum(axis=1)))[:k]
+        assert np.allclose(np.sort(exact.distances), dist)
+        brute = knn_brute_force(db.table("ingk"), DIMS, probe, k)
+        assert np.allclose(np.sort(brute.distances), dist)
+
+
+class TestShardedIngestDifferential:
+    """Fixed-seed interleavings over both scatter-gather transports."""
+
+    NUM_ROWS = 1500
+
+    def _base_data(self, seed: int = 71):
+        pts = _seed_points(self.NUM_ROWS, seed=seed)
+        data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+        data["oid"] = np.arange(self.NUM_ROWS, dtype=np.int64)
+        return data, {int(o): pts[o] for o in range(self.NUM_ROWS)}
+
+    def _run_interleaving(self, executor, expected, rng, rounds=4):
+        """Shared driver: churn, query, merge, re-cut, on either transport."""
+        whole = Polyhedron.from_box(Box(np.full(3, -1.0), np.full(3, 11.0)))
+        next_oid = self.NUM_ROWS
+        for round_no in range(rounds):
+            pts = rng.uniform(0.0, 10.0, size=(60, 3))
+            batch = {d: pts[:, i] for i, d in enumerate(DIMS)}
+            batch["oid"] = np.arange(next_oid, next_oid + 60, dtype=np.int64)
+            executor.insert_rows(batch)
+            for j in range(60):
+                expected[next_oid + j] = pts[j]
+            next_oid += 60
+
+            # Deletes address rows by their *current* global ids.
+            live = executor.execute(whole).rows
+            oid_to_rid = {
+                int(o): int(r) for o, r in zip(live["oid"], live["_row_id"])
+            }
+            assert set(oid_to_rid) == set(expected)
+            victims = rng.choice(
+                np.fromiter(expected.keys(), dtype=np.int64), 40, replace=False
+            )
+            executor.delete_rows(
+                np.array([oid_to_rid[int(o)] for o in victims])
+            )
+            for oid in victims:
+                del expected[int(oid)]
+
+            live_pts = np.array(list(expected.values()))
+            live_oids = np.fromiter(expected.keys(), dtype=np.int64)
+            for _ in range(3):
+                center = rng.uniform(1.0, 9.0, size=3)
+                width = rng.uniform(1.0, 8.0)
+                box = Box(center - width / 2, center + width / 2)
+                result = executor.execute(Polyhedron.from_box(box))
+                want = frozenset(
+                    int(o) for o in live_oids[box.contains_points(live_pts)]
+                )
+                assert _oids(result.rows) == want
+                assert not result.partial
+
+            if round_no == 1:
+                executor.merge(threshold=0.0)
+            elif round_no == 2:
+                executor.maybe_repartition(threshold=0.01)
+        return next_oid
+
+    def test_thread_transport_interleaving_matches_oracle(self):
+        data, expected = self._base_data()
+        shard_set = KdPartitioner(4, buffer_pages=None).partition(
+            "ing_threads", dict(data), DIMS
+        )
+        executor = ScatterGatherExecutor(shard_set)
+        rng = np.random.default_rng(72)
+        try:
+            self._run_interleaving(executor, expected, rng)
+            # The frontier-merged k-NN sees the same merged view.
+            live = np.array(list(expected.values()))
+            for _ in range(5):
+                probe = rng.uniform(0.0, 10.0, size=3)
+                result = executor.knn(probe, 10)
+                dist = np.sort(np.sqrt(((live - probe) ** 2).sum(axis=1)))[:10]
+                assert np.allclose(np.sort(result.distances), dist)
+        finally:
+            executor.close()
+
+    def test_process_transport_interleaving_matches_oracle(self):
+        data, expected = self._base_data(seed=73)
+        specs = KdPartitioner(4).plan("ing_procs", dict(data), DIMS)
+        rng = np.random.default_rng(74)
+        with ShardWorkerPool(specs, sample_pages=8) as pool:
+            self._run_interleaving(pool, expected, rng)
+            # Writes and re-cuts leave the pool fully healthy.
+            counters = pool.counters()
+            assert counters["rows_inserted"] == 4 * 60
+            assert counters["rows_deleted"] == 4 * 40
+            assert counters["merges"] > 0
+
+    def test_transports_agree_with_each_other(self):
+        # Same interleaving on both engines: identical layout-independent
+        # answers, including after each has merged and re-cut privately.
+        data, expected_a = self._base_data(seed=75)
+        expected_b = dict(expected_a)
+        shard_set = KdPartitioner(4, buffer_pages=None).partition(
+            "agree_threads", dict(data), DIMS
+        )
+        executor = ScatterGatherExecutor(shard_set)
+        specs = KdPartitioner(4).plan("agree_procs", dict(data), DIMS)
+        try:
+            with ShardWorkerPool(specs, sample_pages=8) as pool:
+                self._run_interleaving(
+                    executor, expected_a, np.random.default_rng(76)
+                )
+                self._run_interleaving(
+                    pool, expected_b, np.random.default_rng(76)
+                )
+                assert expected_a.keys() == expected_b.keys()
+                box = Box(np.full(3, 1.5), np.full(3, 8.5))
+                poly = Polyhedron.from_box(box)
+                assert _oids(executor.execute(poly).rows) == _oids(
+                    pool.execute(poly).rows
+                )
+        finally:
+            executor.close()
 
 
 class TestShardedFaultSweep:

@@ -1,0 +1,220 @@
+"""Queries against a moving layout: concurrency-8 replay under churn.
+
+The serving-layer half of the write-path story: while a background
+writer ingests, deletes, and merges, every concurrently executing query
+must return the answer of *some committed layout* -- never a torn view
+mixing two layouts, and never a stale cache entry from a layout that no
+longer exists.  The committed-state oracle is a list of live-oid sets
+appended after every atomic mutation; a query result that matches none
+of them would be a linearizability violation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+import pytest
+
+from repro import (
+    Box,
+    Database,
+    KdTreeIndex,
+    Polyhedron,
+    QueryPlanner,
+    full_scan,
+)
+from repro.db.errors import StaleLayoutError
+from repro.service import QueryService, replay_workload
+
+DIMS = ["x", "y", "z"]
+NUM_ROWS = 2000
+
+
+def _build():
+    rng = np.random.default_rng(90)
+    pts = rng.uniform(0.0, 10.0, size=(NUM_ROWS, 3))
+    data = {d: pts[:, i] for i, d in enumerate(DIMS)}
+    data["oid"] = np.arange(NUM_ROWS, dtype=np.int64)
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "t", data, DIMS)
+    planner = QueryPlanner(index, seed=90)
+    points = {int(o): pts[o] for o in range(NUM_ROWS)}
+    return db, planner, points
+
+
+class TestReplayUnderChurn:
+    def test_concurrency8_replay_sees_only_committed_layouts(self):
+        db, planner, points = _build()
+        states: list[frozenset[int]] = [frozenset(points)]
+        states_lock = threading.Lock()
+        writer_errors: list[BaseException] = []
+
+        def writer() -> None:
+            # Each insert batch and each delete set is one atomic delta
+            # mutation; the committed-state list mirrors that atomicity.
+            try:
+                rng = np.random.default_rng(91)
+                next_oid = NUM_ROWS
+                live = set(points)
+                for round_no in range(10):
+                    table = db.table("t")
+                    pts_new = rng.uniform(0.0, 10.0, size=(25, 3))
+                    batch = {d: pts_new[:, i] for i, d in enumerate(DIMS)}
+                    oids = np.arange(next_oid, next_oid + 25, dtype=np.int64)
+                    batch["oid"] = oids
+                    table.insert_rows(batch)
+                    for j, oid in enumerate(oids):
+                        points[int(oid)] = pts_new[j]
+                    live.update(int(o) for o in oids)
+                    next_oid += 25
+                    with states_lock:
+                        states.append(frozenset(live))
+
+                    rows, _ = full_scan(table, columns=["oid"])
+                    victims = np.random.default_rng(round_no).choice(
+                        len(rows["oid"]), size=15, replace=False
+                    )
+                    table.delete_rows(rows["_row_id"][victims])
+                    live.difference_update(int(o) for o in rows["oid"][victims])
+                    with states_lock:
+                        states.append(frozenset(live))
+
+                    if round_no % 3 == 2:
+                        db.ingest.merge("t")  # live set unchanged
+            except BaseException as exc:  # surfaced by the main thread
+                writer_errors.append(exc)
+
+        boxes = [
+            Box(np.full(3, -1.0), np.full(3, 11.0)),  # everything
+            Box(np.full(3, 2.0), np.full(3, 8.0)),
+            Box(np.array([0.0, 3.0, 1.0]), np.array([6.0, 9.0, 7.0])),
+            Box(np.full(3, 4.0), np.full(3, 6.0)),
+        ]
+        queries = [Polyhedron.from_box(boxes[i % 4]) for i in range(96)]
+
+        service = QueryService(db, planner, workers=8, queue_depth=64)
+        thread = threading.Thread(target=writer, name="churn-writer")
+        with service:
+            thread.start()
+            report = replay_workload(service, queries, concurrency=8)
+            thread.join(timeout=60.0)
+
+        assert not thread.is_alive()
+        assert writer_errors == []
+        assert report.errors == []
+        assert report.completed == len(queries)
+
+        # Every result must be the exact answer of one committed state.
+        for idx in range(len(queries)):
+            box = boxes[idx % 4]
+            got = frozenset(int(v) for v in report.rows(idx)["oid"])
+            matched = any(
+                got
+                == frozenset(
+                    oid for oid in state if box.contains_points(
+                        points[oid][None, :]
+                    )[0]
+                )
+                for state in states
+            )
+            assert matched, f"query {idx} returned a layout that never existed"
+
+    def test_result_cache_never_serves_across_a_layout_change(self):
+        # The fingerprint regression: the cache key folds in
+        # ``layout_version``, so a write or merge makes a stale hit
+        # impossible -- the service must re-execute, not replay bytes
+        # computed against a dead layout.
+        db, planner, points = _build()
+        poly = Polyhedron.from_box(Box(np.full(3, 4.0), np.full(3, 6.0)))
+        versions = [planner.layout_version]
+
+        service = QueryService(db, planner, workers=2, queue_depth=8)
+        with service:
+            first = service.execute(poly)
+            warm = service.execute(poly)
+            assert not first.cache_hit
+            assert warm.cache_hit  # unchanged layout: byte-identical replay
+
+            inserted = db.table("t").insert_rows(
+                {
+                    "x": np.array([5.0]), "y": np.array([5.0]),
+                    "z": np.array([5.0]),
+                    "oid": np.array([NUM_ROWS], dtype=np.int64),
+                }
+            )
+            versions.append(planner.layout_version)
+            after_insert = service.execute(poly)
+            assert not after_insert.cache_hit
+            assert NUM_ROWS in set(int(v) for v in after_insert.rows["oid"])
+
+            db.ingest.merge("t")
+            versions.append(planner.layout_version)
+            after_merge = service.execute(poly)
+            assert not after_merge.cache_hit
+            assert set(int(v) for v in after_merge.rows["oid"]) == set(
+                int(v) for v in after_insert.rows["oid"]
+            )
+
+            db.table("t").delete_rows(np.atleast_1d(np.asarray(
+                after_merge.rows["_row_id"][
+                    after_merge.rows["oid"] == NUM_ROWS
+                ]
+            )))
+            versions.append(planner.layout_version)
+            after_delete = service.execute(poly)
+            assert not after_delete.cache_hit
+            assert NUM_ROWS not in set(int(v) for v in after_delete.rows["oid"])
+
+            steady = service.execute(poly)
+            assert steady.cache_hit  # caching itself still works
+
+            # The report exposes the layout the cache fingerprints against.
+            assert service.report()["layout_version"] == planner.layout_version
+
+        # Four distinct layouts -> four distinct fingerprint components.
+        assert len(set(versions)) == len(versions)
+
+
+class TestStaleLayoutContract:
+    """The error-translation contract behind the replay guarantee.
+
+    A reader that captured a table object sees its pages vanish when two
+    later merges retire the generation; the raw backend error must come
+    back as :class:`StaleLayoutError` (telling the reader to re-resolve
+    and re-run), while a genuinely missing page of a *live* table must
+    keep raising the backend's own error -- translation never masks data
+    loss.
+    """
+
+    def _churn(self, db, next_oid):
+        db.table("t").insert_rows(
+            {
+                "x": np.array([1.0]), "y": np.array([1.0]),
+                "z": np.array([1.0]),
+                "oid": np.array([next_oid], dtype=np.int64),
+            }
+        )
+
+    def test_read_after_double_merge_raises_stale_layout(self):
+        db, planner, _ = _build()
+        stale = db.table("t")  # captured before any merge
+        self._churn(db, NUM_ROWS)
+        db.ingest.merge("t")  # retirement grace keeps gen-0 pages
+        assert stale.read_page(0) is not None
+        self._churn(db, NUM_ROWS + 1)
+        db.ingest.merge("t")  # second merge drops them
+        with pytest.raises(StaleLayoutError, match="retired"):
+            stale.read_page(0)
+        # The planner never sees the stale object: it re-resolves.
+        poly = Polyhedron.from_box(Box(np.full(3, -1.0), np.full(3, 11.0)))
+        assert len(planner.execute(poly).rows["oid"]) == NUM_ROWS + 2
+
+    def test_missing_page_of_a_live_table_is_not_translated(self):
+        db, _, _ = _build()
+        table = db.table("t")
+        db.cold_cache()
+        db.storage.drop_namespace(table.physical_name)
+        with pytest.raises(KeyError):
+            table.read_page(0)
