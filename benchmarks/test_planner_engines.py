@@ -1,0 +1,207 @@
+"""Engine x workload-class grid: kd-tree vs bitmap vs scan vs hybrid.
+
+Replays three classes of Figure 2 traffic through each access path --
+forced, so every engine answers every query -- and through the
+cost-based planner in ``auto`` mode:
+
+* ``needle_few_dim`` -- high-selectivity membership probes: an IN list
+  of ~50 magnitudes drawn from a narrow window of a single band, with
+  no box constraint at all.  The kd-tree and the zone maps are blind
+  here (both prune on box geometry, and an IN list carries none), and
+  the per-column bitmaps are strongest; this is the class the bitmap
+  engine exists for.
+* ``mid_box_5d`` -- the classic Figure 2 mixed box workload at ~5%
+  selectivity, all five dimensions active.
+* ``broad_box_5d`` -- wide boxes (~40% selectivity) where nothing beats
+  the sequential scan.
+
+Every engine must return the identical oid set for every query; the
+grid then records pages decoded per engine per class.  Emits
+``BENCH_planner.json`` next to the repo root.  Acceptance (full scale
+only): on the needle class the bitmap engine decodes >= 5x fewer pages
+than the kd-tree, and ``auto`` picks the bitmap family (bitmap or
+hybrid) for the majority of needle queries.
+
+Forced A/B runs of the same contrast from the shell:
+``python -m repro replay --engine {auto,kd,bitmap,scan,hybrid}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+from repro.bitmap import BitmapIndex
+from repro.datasets.sdss import BANDS
+from repro.datasets.workload import QueryWorkload
+from repro.geometry.halfspace import Halfspace, Polyhedron
+
+from .conftest import bench_scale, print_table, scaled
+
+ENGINES = ("kd", "scan", "bitmap", "hybrid", "auto")
+NUM_NEEDLES = 8
+NUM_BOXES = 8
+
+
+def _slab(dims: list[str], windows: dict[str, tuple[float, float]]) -> Polyhedron:
+    halfspaces = []
+    for axis, dim in enumerate(dims):
+        if dim not in windows:
+            continue
+        low, high = windows[dim]
+        e = np.zeros(len(dims))
+        e[axis] = 1.0
+        halfspaces.append(Halfspace(e, float(high)))
+        halfspaces.append(Halfspace(-e, -float(low)))
+    return Polyhedron(halfspaces)
+
+
+def _trivial_polyhedron(dim: int) -> Polyhedron:
+    e = np.zeros(dim)
+    e[0] = 1.0
+    return Polyhedron([Halfspace(e, np.inf)])
+
+
+def _needle_queries(
+    columns: dict, rng: np.random.Generator
+) -> list[tuple[Polyhedron, dict | None]]:
+    """Membership probes: ~50 values from a 1% window of one band."""
+    dims = list(BANDS)
+    trivial = _trivial_polyhedron(len(dims))
+    queries = []
+    for i in range(NUM_NEEDLES):
+        band = dims[i % len(dims)]
+        values = np.asarray(columns[band])
+        q0 = rng.uniform(0.05, 0.9)
+        low = float(np.quantile(values, q0))
+        high = float(np.quantile(values, q0 + 0.01))
+        pool = values[(values >= low) & (values <= high)]
+        picks = rng.choice(pool, size=min(50, len(pool)), replace=False)
+        queries.append((trivial, {band: picks}))
+    return queries
+
+
+def _grid_cell(planner: QueryPlanner, queries: list) -> dict:
+    pages = 0
+    rows = 0
+    paths: dict[str, int] = {}
+    oid_sets = []
+    started = time.perf_counter()
+    for poly, memberships in queries:
+        planned = planner.execute(poly, memberships=memberships)
+        pages += planned.stats.pages_touched
+        rows += planned.stats.rows_returned
+        paths[planned.chosen_path] = paths.get(planned.chosen_path, 0) + 1
+        oid_sets.append(frozenset(planned.rows["oid"].tolist()))
+    return {
+        "pages_decoded": pages,
+        "rows_returned": rows,
+        "wall_s": time.perf_counter() - started,
+        "paths": paths,
+        "_oid_sets": oid_sets,
+    }
+
+
+def test_engine_workload_grid(benchmark):
+    sample = sdss_color_sample(scaled(32_000), seed=6)
+    columns = dict(sample.columns())
+    columns["oid"] = np.arange(len(sample.magnitudes), dtype=np.int64)
+    rng = np.random.default_rng(7)
+
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "grid_mag", dict(columns), list(BANDS))
+    BitmapIndex.build(db, "grid_mag", list(BANDS), num_bins=128)
+
+    workload = QueryWorkload(sample.magnitudes, seed=8)
+    classes = {
+        "needle_few_dim": _needle_queries(columns, rng),
+        "mid_box_5d": [
+            (q.polyhedron(list(BANDS)), None)
+            for q in workload.mixed(NUM_BOXES, selectivities=[0.02, 0.05])
+        ],
+        "broad_box_5d": [
+            (q.polyhedron(list(BANDS)), None)
+            for q in workload.mixed(NUM_BOXES, selectivities=[0.4])
+        ],
+    }
+
+    def run_grid() -> dict:
+        grid: dict[str, dict[str, dict]] = {}
+        for class_name, queries in classes.items():
+            grid[class_name] = {}
+            for engine in ENGINES:
+                planner = QueryPlanner(index, seed=9, engine=engine)
+                grid[class_name][engine] = _grid_cell(planner, queries)
+        return grid
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    # Identical answers across every engine, per class per query.
+    for class_name, cells in grid.items():
+        reference = cells["scan"]["_oid_sets"]
+        for engine, cell in cells.items():
+            assert cell["_oid_sets"] == reference, (
+                f"{engine} diverged from scan on {class_name}"
+            )
+        for cell in cells.values():
+            del cell["_oid_sets"]
+
+    print_table(
+        f"pages decoded by engine x class ({scaled(32_000)} rows)",
+        ["class"] + list(ENGINES),
+        [
+            [class_name] + [cells[e]["pages_decoded"] for e in ENGINES]
+            for class_name, cells in grid.items()
+        ],
+    )
+
+    needle = grid["needle_few_dim"]
+    ratio = needle["kd"]["pages_decoded"] / max(
+        needle["bitmap"]["pages_decoded"], 1
+    )
+    auto_paths = needle["auto"]["paths"]
+    bitmap_family = auto_paths.get("bitmap", 0) + auto_paths.get("hybrid", 0)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": "figure2_mixed_plus_membership_needles",
+                "rows": len(columns["oid"]),
+                "num_bins": 128,
+                "engines": list(ENGINES),
+                "grid": grid,
+                "needle_kd_over_bitmap_pages": ratio,
+                "needle_auto_paths": auto_paths,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+    print(
+        f"needle class: kd decoded {ratio:.1f}x the bitmap's pages; "
+        f"auto chose bitmap/hybrid on {bitmap_family}/{NUM_NEEDLES}"
+    )
+
+    # The grid ran every engine over every class with identical answers;
+    # the acceptance bars below gate only at full scale (tiny scaled-down
+    # tables have too few pages for the ratios to mean anything).
+    if bench_scale() >= 1.0:
+        assert ratio >= 5.0, (
+            f"bitmap should decode >=5x fewer pages than kd on the "
+            f"needle class, got {ratio:.2f}x"
+        )
+        assert bitmap_family > NUM_NEEDLES // 2, (
+            f"auto should pick the bitmap family on most needle queries, "
+            f"got {auto_paths}"
+        )
+        broad = grid["broad_box_5d"]
+        assert (
+            broad["auto"]["pages_decoded"]
+            <= broad["kd"]["pages_decoded"] * 1.05
+        ), "auto must not lose to a forced kd on broad boxes"

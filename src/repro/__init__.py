@@ -137,6 +137,7 @@ from repro.ingest import (
     MergeReport,
     merge_table,
 )
+from repro.bitmap import BitmapIndex, CompressedBitmap
 from repro.vectype import NativeBinaryCodec, UdtPickleCodec, VectorColumn
 from repro.viz import (
     AdaptivePointCloudProducer,
@@ -205,6 +206,8 @@ __all__ = [
     "selectivity",
     "QueryPlanner",
     "RTreeIndex",
+    "BitmapIndex",
+    "CompressedBitmap",
     "ConvexHullSelector",
     "KnnClassifier",
     "aggregate_scan",

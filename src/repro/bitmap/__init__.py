@@ -1,0 +1,29 @@
+"""Hierarchical compressed bitmap index engine.
+
+The third access path next to the kd-tree and the zone-map scan:
+bin-based per-column bitmaps with summary hierarchies (Krčál, Ho &
+Holub, arXiv 2108.13735) that AND/OR multi-dimension range and
+membership predicates on compressed words before any data page is
+read.  See :mod:`repro.bitmap.index` for the structure and
+:mod:`repro.bitmap.executor` for the engine-protocol executors.
+"""
+
+from repro.bitmap.compressed import CompressedBitmap
+from repro.bitmap.executor import (
+    batch_bitmap_query,
+    batch_hybrid_query,
+    bitmap_query,
+    hybrid_query,
+)
+from repro.bitmap.index import DEFAULT_BITMAP_BINS, BitmapIndex, axis_bounds
+
+__all__ = [
+    "BitmapIndex",
+    "CompressedBitmap",
+    "DEFAULT_BITMAP_BINS",
+    "axis_bounds",
+    "batch_bitmap_query",
+    "batch_hybrid_query",
+    "bitmap_query",
+    "hybrid_query",
+]

@@ -1,0 +1,251 @@
+"""Word-aligned compressed bitmaps with a hierarchy of summary levels.
+
+The bin-based bitmap index (Krčál, Ho & Holub, arXiv 2108.13735) lives
+and dies by two properties of its bit vectors:
+
+* **Compression.**  A bin's bitmap over N rows is mostly zero words;
+  storing only the nonzero 64-bit words (with their word positions)
+  is the word-aligned analog of run-length encoding zero runs, and
+  every set operation stays on the compressed form -- nothing is ever
+  inflated to N bits.
+* **Hierarchy.**  Each summary level packs one bit per word of the
+  level below ("is that word nonzero?"), so an AND between two bitmaps
+  can prove disjointness near the top of the hierarchy after touching
+  O(N / 64^k) words -- the "hierarchical" part of the paper's title,
+  and what lets multi-dimension predicates combine before any data
+  page is read.
+
+All operations are numpy-vectorized over the word arrays; population
+counts use ``np.bitwise_count``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CompressedBitmap"]
+
+_WORD_BITS = 64
+
+
+def _pack_indices(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique bit indices -> (word_index, words) sparse form."""
+    word_of = indices >> 6
+    bit_of = indices & 63
+    word_index, starts = np.unique(word_of, return_index=True)
+    bits = np.left_shift(np.uint64(1), bit_of.astype(np.uint64))
+    words = np.bitwise_or.reduceat(bits, starts)
+    return word_index.astype(np.int64), words.astype(np.uint64)
+
+
+class CompressedBitmap:
+    """An immutable bitmap over ``num_bits`` row positions.
+
+    Stored as the sorted positions of its nonzero 64-bit words plus the
+    words themselves; zero words (the bulk, for a selective bin) cost
+    nothing.  Summary levels are built lazily and cached -- they are
+    derived data, so AND/OR results simply rebuild them on demand.
+    """
+
+    __slots__ = ("num_bits", "word_index", "words", "_summaries")
+
+    def __init__(self, num_bits: int, word_index: np.ndarray, words: np.ndarray):
+        self.num_bits = int(num_bits)
+        self.word_index = np.asarray(word_index, dtype=np.int64)
+        self.words = np.asarray(words, dtype=np.uint64)
+        if self.word_index.shape != self.words.shape:
+            raise ValueError("word_index and words must align")
+        self._summaries: list[np.ndarray] | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_bits: int) -> "CompressedBitmap":
+        """The all-zero bitmap."""
+        return cls(num_bits, np.empty(0, np.int64), np.empty(0, np.uint64))
+
+    @classmethod
+    def from_indices(cls, indices: np.ndarray, num_bits: int) -> "CompressedBitmap":
+        """Bitmap with exactly the given bit positions set."""
+        indices = np.unique(np.asarray(indices, dtype=np.int64))
+        if len(indices) and (indices[0] < 0 or indices[-1] >= num_bits):
+            raise ValueError("bit index out of range")
+        if not len(indices):
+            return cls.empty(num_bits)
+        word_index, words = _pack_indices(indices)
+        return cls(num_bits, word_index, words)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "CompressedBitmap":
+        """Bitmap from a dense boolean mask (testing convenience)."""
+        mask = np.asarray(mask, dtype=bool)
+        return cls.from_indices(np.flatnonzero(mask), len(mask))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_words(self) -> int:
+        """Nonzero (stored) words -- the compressed size."""
+        return len(self.words)
+
+    @property
+    def total_words(self) -> int:
+        """Words an uncompressed bitmap of this length would need."""
+        return (self.num_bits + _WORD_BITS - 1) // _WORD_BITS
+
+    def count(self) -> int:
+        """Number of set bits (one vectorized popcount pass)."""
+        if not len(self.words):
+            return 0
+        return int(np.bitwise_count(self.words).sum())
+
+    def any(self) -> bool:
+        """Whether any bit is set (stored words are nonzero by invariant)."""
+        return len(self.words) > 0
+
+    def density(self) -> float:
+        """Set bits / total bits."""
+        return self.count() / self.num_bits if self.num_bits else 0.0
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted positions of the set bits."""
+        if not len(self.words):
+            return np.empty(0, dtype=np.int64)
+        # Little-endian byte view: bit i of byte j within a word is
+        # global bit 8*j + i, which unpackbits(bitorder="little") yields
+        # in ascending order per word.
+        bits = np.unpackbits(
+            self.words.view(np.uint8), bitorder="little"
+        ).reshape(len(self.words), _WORD_BITS)
+        word_local, bit_local = np.nonzero(bits)
+        return self.word_index[word_local] * _WORD_BITS + bit_local
+
+    def to_mask(self) -> np.ndarray:
+        """Dense boolean mask (testing convenience)."""
+        mask = np.zeros(self.num_bits, dtype=bool)
+        mask[self.to_indices()] = True
+        return mask
+
+    # -- summary hierarchy ---------------------------------------------------
+
+    @property
+    def summaries(self) -> list[np.ndarray]:
+        """Packed summary levels, coarsest last.
+
+        ``summaries[0]`` has one bit per word of the base bitmap (set iff
+        that word is nonzero), ``summaries[k+1]`` one bit per word of
+        ``summaries[k]``; the last level fits in a single word.  Levels
+        are dense (their universe is already 64x smaller per step).
+        """
+        if self._summaries is None:
+            levels: list[np.ndarray] = []
+            set_words = self.word_index
+            universe = self.total_words
+            while universe > 1:
+                level = np.zeros((universe + _WORD_BITS - 1) // _WORD_BITS, np.uint64)
+                np.bitwise_or.at(
+                    level,
+                    set_words >> 6,
+                    np.left_shift(np.uint64(1), (set_words & 63).astype(np.uint64)),
+                )
+                levels.append(level)
+                set_words = np.flatnonzero(level)
+                universe = len(level)
+            self._summaries = levels
+        return self._summaries
+
+    def intersects(self, other: "CompressedBitmap") -> bool:
+        """Whether the AND is nonempty, proving disjointness hierarchically.
+
+        Walks the summary hierarchy coarsest-first: if any level's ANDed
+        words are all zero the bitmaps cannot share a set bit, and the
+        base word arrays are never touched.
+        """
+        self._check_compatible(other)
+        if not (len(self.words) and len(other.words)):
+            return False
+        for mine, theirs in zip(reversed(self.summaries), reversed(other.summaries)):
+            if not np.any(mine & theirs):
+                return False
+        common, my_pos, their_pos = np.intersect1d(
+            self.word_index, other.word_index, assume_unique=True,
+            return_indices=True,
+        )
+        if not len(common):
+            return False
+        return bool(np.any(self.words[my_pos] & other.words[their_pos]))
+
+    # -- set algebra ---------------------------------------------------------
+
+    def _check_compatible(self, other: "CompressedBitmap") -> None:
+        if self.num_bits != other.num_bits:
+            raise ValueError(
+                f"bitmap length mismatch: {self.num_bits} != {other.num_bits}"
+            )
+
+    def __and__(self, other: "CompressedBitmap") -> "CompressedBitmap":
+        self._check_compatible(other)
+        if not self.intersects(other):
+            return CompressedBitmap.empty(self.num_bits)
+        common, my_pos, their_pos = np.intersect1d(
+            self.word_index, other.word_index, assume_unique=True,
+            return_indices=True,
+        )
+        words = self.words[my_pos] & other.words[their_pos]
+        keep = words != 0
+        return CompressedBitmap(self.num_bits, common[keep], words[keep])
+
+    def __or__(self, other: "CompressedBitmap") -> "CompressedBitmap":
+        self._check_compatible(other)
+        if not len(self.words):
+            return other
+        if not len(other.words):
+            return self
+        merged = np.concatenate([self.word_index, other.word_index])
+        all_words = np.concatenate([self.words, other.words])
+        order = np.argsort(merged, kind="stable")
+        merged, all_words = merged[order], all_words[order]
+        word_index, starts = np.unique(merged, return_index=True)
+        words = np.bitwise_or.reduceat(all_words, starts)
+        return CompressedBitmap(self.num_bits, word_index, words)
+
+    @staticmethod
+    def union(bitmaps: list["CompressedBitmap"], num_bits: int) -> "CompressedBitmap":
+        """OR many bitmaps in one grouped pass (bin-range unions)."""
+        live = [b for b in bitmaps if len(b.words)]
+        if not live:
+            return CompressedBitmap.empty(num_bits)
+        if len(live) == 1:
+            return live[0]
+        merged = np.concatenate([b.word_index for b in live])
+        all_words = np.concatenate([b.words for b in live])
+        order = np.argsort(merged, kind="stable")
+        merged, all_words = merged[order], all_words[order]
+        word_index, starts = np.unique(merged, return_index=True)
+        words = np.bitwise_or.reduceat(all_words, starts)
+        return CompressedBitmap(num_bits, word_index, words)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (catalog persistence)."""
+        return {
+            "num_bits": self.num_bits,
+            "word_index": self.word_index.tolist(),
+            "words": [int(w) for w in self.words],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompressedBitmap":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            payload["num_bits"],
+            np.asarray(payload["word_index"], dtype=np.int64),
+            np.asarray(payload["words"], dtype=np.uint64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CompressedBitmap(bits={self.num_bits}, set={self.count()}, "
+            f"words={self.num_words}/{self.total_words})"
+        )

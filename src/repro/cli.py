@@ -88,27 +88,37 @@ def _build_columns(args: argparse.Namespace):
 def _build_engine(args: argparse.Namespace, db, columns):
     """Build the engine the flags describe; returns ``(engine, service_db)``."""
     from repro import KdPartitioner, KdTreeIndex, QueryPlanner, ScatterGatherExecutor
+    from repro.bitmap import BitmapIndex
 
     transport = getattr(args, "transport", "thread")
+    engine_choice = getattr(args, "engine", "auto")
     if args.shards:
         print(
             f"generating {args.rows} objects and partitioning into "
-            f"{args.shards} kd-subtree shards (transport={transport})..."
+            f"{args.shards} kd-subtree shards (transport={transport}, "
+            f"engine={engine_choice})..."
         )
         partitioner = KdPartitioner(args.shards, buffer_pages=args.buffer_pages)
         if transport == "process":
             specs = partitioner.plan("magnitudes", columns, _BANDS)
             engine = ScatterGatherExecutor(
-                specs=specs, transport="process", seed=args.seed
+                specs=specs, transport="process", seed=args.seed,
+                engine=engine_choice,
             )
         else:
             shard_set = partitioner.partition("magnitudes", columns, _BANDS)
-            engine = ScatterGatherExecutor(shard_set, seed=args.seed)
+            engine = ScatterGatherExecutor(
+                shard_set, seed=args.seed, engine=engine_choice
+            )
         print(f"shard layout: {engine.layout_version}")
         return engine, None
-    print(f"generating {args.rows} objects and building the kd-tree index...")
+    print(
+        f"generating {args.rows} objects and building the kd-tree and "
+        f"bitmap indexes (engine={engine_choice})..."
+    )
     index = KdTreeIndex.build(db, "magnitudes", columns, _BANDS)
-    return QueryPlanner(index, seed=args.seed), db
+    BitmapIndex.build(db, "magnitudes", _BANDS)
+    return QueryPlanner(index, seed=args.seed, engine=engine_choice), db
 
 
 def _print_worker_util(engine, wall_s: float) -> None:
@@ -210,6 +220,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"{int(summary['batch_pages_decoded'])} decoded pages"
         )
     print(service.metrics.format_report(db.procedures if service_db else None))
+    cost_report = getattr(engine, "cost_report", None)
+    if callable(cost_report):
+        calib = cost_report()
+        factors = ", ".join(
+            f"{name}={factor:.2f}"
+            for name, factor in sorted(calib["calibration"].items())
+        )
+        print(
+            f"planner cost calibration ({int(calib['observations'])} obs): "
+            f"{factors}; selectivity bias {calib['selectivity_bias']:+.4f}"
+        )
     if report.errors:
         print(f"errors: {[(i, type(e).__name__) for i, e in report.errors[:5]]}")
 
@@ -405,6 +426,11 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=0,
         help="kd-subtree shard count (power of two; 0 = single unsharded index)",
     )
+    replay.add_argument(
+        "--engine", choices=["auto", "kd", "scan", "bitmap", "hybrid"],
+        default="auto",
+        help="force one access path for every query (auto = cost-based choice)",
+    )
     replay.add_argument("--concurrency", type=int, default=8, help="client threads")
     replay.add_argument("--workers", type=int, default=8, help="service worker threads")
     replay.add_argument("--queue-depth", type=int, default=32)
@@ -452,6 +478,11 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument(
         "--transport", choices=["thread", "process"], default="thread",
         help="shard execution transport (process = one worker process per shard)",
+    )
+    srv.add_argument(
+        "--engine", choices=["auto", "kd", "scan", "bitmap", "hybrid"],
+        default="auto",
+        help="force one access path for every query (auto = cost-based choice)",
     )
     srv.add_argument("--workers", type=int, default=8, help="service worker threads")
     srv.add_argument("--queue-depth", type=int, default=32)

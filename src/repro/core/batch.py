@@ -78,6 +78,7 @@ def batch_kd_query(
     cancel_checks: Sequence[Callable[[], None] | None] | None = None,
     use_tight_boxes: bool = True,
     use_zone_maps: bool = True,
+    memberships_list: Sequence[dict | None] | None = None,
 ) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
     """Evaluate several polyhedron queries in one kd traversal + fetch.
 
@@ -98,12 +99,22 @@ def batch_kd_query(
 
     Returns ``(results, counters)`` shaped exactly like
     :func:`~repro.db.scan.batch_full_scan`'s.
+
+    ``memberships_list`` gives per-member IN-list filters (column ->
+    values).  The traversal still classifies on the polyhedron alone (a
+    superset), and the fetch pass ANDs each member's vectorized
+    ``np.isin`` mask into every row slice -- including INSIDE-subtree
+    slices, whose geometric filter skip stays sound because the
+    membership mask is applied independently of it.
     """
     tree = index.tree
     table = index.table
     dims = index.dims
     n = len(polyhedra)
     checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+    memberships = (
+        list(memberships_list) if memberships_list is not None else [None] * n
+    )
     for polyhedron in polyhedra:
         if polyhedron.dim != len(dims):
             raise ValueError(
@@ -167,7 +178,7 @@ def batch_kd_query(
     snapshot = table.delta_snapshot()
     results, counters = _fetch_member_ranges(
         table, dims, polyhedra, ranges, stats, checks, errors, pruners,
-        snapshot=snapshot,
+        snapshot=snapshot, memberships_list=memberships,
     )
     return results, counters
 
@@ -182,6 +193,7 @@ def _fetch_member_ranges(
     errors: list[BaseException | None],
     pruners: list,
     snapshot=None,
+    memberships_list: list[dict | None] | None = None,
 ) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
     """Serve every member's claimed row ranges, decoding each page once.
 
@@ -195,6 +207,9 @@ def _fetch_member_ranges(
     rows_per_page = table.rows_per_page
     wanted = table.column_names
     n = len(ranges)
+    member_filters = (
+        memberships_list if memberships_list is not None else [None] * n
+    )
     chunks: list[dict[str, list[np.ndarray]]] = [
         {name: [] for name in wanted} for _ in range(n)
     ]
@@ -269,6 +284,14 @@ def _fetch_member_ranges(
                 page.start_row + lo, page.start_row + hi, dtype=np.int64
             )
             alive = page_alive[lo:hi] if page_alive is not None else None
+            member_memberships = member_filters[m]
+            membership_mask = None
+            if member_memberships:
+                for col, values in member_memberships.items():
+                    piece = np.isin(page.columns[col][lo:hi], values)
+                    membership_mask = (
+                        piece if membership_mask is None else membership_mask & piece
+                    )
             if page_filter:
                 if points is None:
                     # Stacked once per page, shared by every filtering member.
@@ -276,6 +299,12 @@ def _fetch_member_ranges(
                 mask = polyhedra[m].contains_points(points[lo:hi])
                 if alive is not None:
                     mask = mask & alive
+                if membership_mask is not None:
+                    mask = mask & membership_mask
+            elif membership_mask is not None:
+                mask = (
+                    membership_mask if alive is None else membership_mask & alive
+                )
             elif alive is not None and not alive.all():
                 mask = alive
             else:
@@ -300,6 +329,13 @@ def _fetch_member_ranges(
                 continue
             stats[m].rows_examined += snapshot.num_rows
             cols, delta_ids = snapshot.match(polyhedra[m], dims=tuple(dims))
+            if member_filters[m] and len(delta_ids):
+                dmask = None
+                for col, values in member_filters[m].items():
+                    piece = np.isin(cols[col], values)
+                    dmask = piece if dmask is None else dmask & piece
+                cols = {name: arr[dmask] for name, arr in cols.items()}
+                delta_ids = delta_ids[dmask]
             if not len(delta_ids):
                 continue
             stats[m].rows_returned += len(delta_ids)

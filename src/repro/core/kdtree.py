@@ -40,7 +40,12 @@ import numpy as np
 
 from repro.core.index_base import SpatialIndex, stack_coordinates
 from repro.db.catalog import Database
-from repro.db.scan import AUTO_TOMBSTONES, range_scan
+from repro.db.scan import (
+    AUTO_TOMBSTONES,
+    PartialOnlyPruner,
+    membership_predicate,
+    range_scan,
+)
 from repro.db.stats import QueryStats
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.geometry.boxes import Box, BoxRelation
@@ -406,6 +411,7 @@ class KdTreeIndex(SpatialIndex):
         use_tight_boxes: bool = True,
         cancel_check=None,
         use_zone_maps: bool = True,
+        memberships: dict[str, np.ndarray] | None = None,
     ) -> tuple[dict[str, np.ndarray], QueryStats]:
         """Evaluate a polyhedron query through the tree (Figure 4).
 
@@ -430,6 +436,13 @@ class KdTreeIndex(SpatialIndex):
         traversal, and its live inserts matching the polyhedron join the
         result as a final piece (the snapshot's own layered grid does
         the point-in-polyhedron work).
+
+        ``memberships`` (column -> IN-list values) degrades to a
+        vectorized ``np.isin`` filter here: it is ANDed into the
+        residual, applied to INSIDE subtrees (whose scans are otherwise
+        predicate-free), and demotes the zone pruner's INSIDE verdicts
+        -- the traversal itself still prunes on the polyhedron alone,
+        which stays a superset of the answer.
         """
         if polyhedron.dim != len(self._dims):
             raise ValueError(
@@ -439,6 +452,11 @@ class KdTreeIndex(SpatialIndex):
         pieces: list[dict[str, np.ndarray]] = []
         box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         pruner = self._pruner(polyhedron) if use_zone_maps else None
+        inside_predicate = None
+        if memberships:
+            inside_predicate = membership_predicate(memberships)
+            if pruner is not None:
+                pruner = PartialOnlyPruner(pruner)
         snapshot = self._table.delta_snapshot()
         tombstones = snapshot.tombstones if snapshot is not None else None
         stack = [1]
@@ -457,8 +475,8 @@ class KdTreeIndex(SpatialIndex):
             if relation is BoxRelation.INSIDE:
                 stats.cells_inside += 1
                 rows, piece_stats = range_scan(
-                    self._table, start, end, cancel_check=cancel_check,
-                    tombstones=tombstones,
+                    self._table, start, end, predicate=inside_predicate,
+                    cancel_check=cancel_check, tombstones=tombstones,
                 )
                 stats.merge(piece_stats)
                 pieces.append(rows)
@@ -469,7 +487,7 @@ class KdTreeIndex(SpatialIndex):
                     self._table,
                     start,
                     end,
-                    predicate=self._residual(polyhedron),
+                    predicate=self._residual(polyhedron, memberships),
                     cancel_check=cancel_check,
                     pruner=pruner,
                     tombstones=tombstones,
@@ -479,11 +497,57 @@ class KdTreeIndex(SpatialIndex):
             else:
                 stack.append(2 * node)
                 stack.append(2 * node + 1)
-        piece = _delta_piece(snapshot, polyhedron, tuple(self._dims), stats)
+        piece = _delta_piece(
+            snapshot, polyhedron, tuple(self._dims), stats, memberships
+        )
         if piece is not None:
             pieces.append(piece)
         result = _concat_results(self._table, pieces)
         return result, stats
+
+    def candidate_ranges(
+        self,
+        polyhedron: Polyhedron,
+        use_tight_boxes: bool = True,
+        cancel_check=None,
+    ) -> tuple[list[tuple[int, int]], QueryStats]:
+        """Clustered row ranges the Figure 4 traversal would fetch.
+
+        Runs the classification phase only -- no page I/O -- returning
+        the ``[start, end)`` ranges of INSIDE subtrees and PARTIAL
+        leaves plus the traversal stats.  The union of the ranges is a
+        conservative superset of the answer's main-tier rows; the hybrid
+        engine intersects it with the bitmap candidate set.
+        """
+        if polyhedron.dim != len(self._dims):
+            raise ValueError(
+                f"polyhedron dim {polyhedron.dim} != index dim {len(self._dims)}"
+            )
+        stats = QueryStats()
+        ranges: list[tuple[int, int]] = []
+        box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
+        stack = [1]
+        while stack:
+            node = stack.pop()
+            if cancel_check is not None:
+                cancel_check()
+            start, end = self._tree.node_rows(node)
+            if start == end:
+                continue
+            stats.nodes_visited += 1
+            relation = polyhedron.classify_box(box_of(node))
+            if relation is BoxRelation.OUTSIDE:
+                stats.cells_outside += 1
+            elif relation is BoxRelation.INSIDE:
+                stats.cells_inside += 1
+                ranges.append((start, end))
+            elif self._tree.is_leaf(node):
+                stats.cells_partial += 1
+                ranges.append((start, end))
+            else:
+                stack.append(2 * node)
+                stack.append(2 * node + 1)
+        return ranges, stats
 
     def query_polyhedra(
         self,
@@ -567,13 +631,17 @@ class KdTreeIndex(SpatialIndex):
             return None
         return zone_map.pruner(polyhedron, self._dims)
 
-    def _residual(self, polyhedron: Polyhedron):
+    def _residual(
+        self, polyhedron: Polyhedron, memberships: dict | None = None
+    ):
         dims = self._dims
 
         def predicate(columns: dict[str, np.ndarray]) -> np.ndarray:
             pts = np.column_stack([columns[d] for d in dims])
             return polyhedron.contains_points(pts)
 
+        if memberships:
+            return membership_predicate(memberships, base=predicate)
         return predicate
 
     def leaf_rows(
@@ -588,12 +656,18 @@ class KdTreeIndex(SpatialIndex):
         return range_scan(self._table, start, end, tombstones=tombstones)
 
 
-def _delta_piece(snapshot, polyhedron, dims, stats) -> dict[str, np.ndarray] | None:
+def _delta_piece(
+    snapshot, polyhedron, dims, stats, memberships: dict | None = None
+) -> dict[str, np.ndarray] | None:
     """Delta-tier rows matching the polyhedron, shaped like a scan piece."""
     if snapshot is None or not snapshot.num_rows:
         return None
     stats.rows_examined += snapshot.num_rows
     cols, row_ids = snapshot.match(polyhedron, dims=dims)
+    if memberships and len(row_ids):
+        mask = membership_predicate(memberships)(cols)
+        cols = {name: arr[mask] for name, arr in cols.items()}
+        row_ids = row_ids[mask]
     stats.rows_returned += len(row_ids)
     piece = dict(cols)
     piece["_row_id"] = row_ids

@@ -1,4 +1,4 @@
-"""A tiny access-path planner.
+"""A cost-based access-path planner.
 
 The paper's rule of thumb -- "if the ratio of the returned / total
 number of rows is below 0.25 kd-trees can outperform simple SQL queries
@@ -8,13 +8,22 @@ implements that loop the way a real engine would:
 
 1. estimate selectivity from a small *page sample* (a TABLESAMPLE-style
    probe: cheap, biased only by intra-page correlation);
-2. choose the access path by the estimated selectivity against a
-   crossover threshold;
+2. choose the access path: the paper's crossover rule picks the
+   kd-tree-vs-scan baseline, and when a binned bitmap index exists over
+   the table a second cost-based stage compares the baseline against
+   the bitmap engine and the hybrid (bitmap prefilter restricted to the
+   kd traversal's row ranges) on estimated pages decoded;
 3. execute and report both the choice and the estimate, so experiments
    can score the planner against exhaustive execution.
 
+The cost model is calibrated online: per engine, an EWMA of
+actual/predicted pages decoded multiplies future predictions, and the
+running estimated-vs-actual selectivity error feeds back into the
+bitmap cost's candidate fraction.  ``cost_report()`` exposes the
+calibration state for tests and the service metrics.
+
 The planner is also where the engine degrades gracefully under storage
-faults: when the kd-tree path dies on an unrecoverable
+faults: when an index path dies on an unrecoverable
 :class:`~repro.db.errors.StorageFault` (every retry budget below it
 exhausted), the planner falls back to the full scan rather than failing
 the query -- the scan re-reads the pages, and a transient burst that
@@ -29,6 +38,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bitmap.executor import (
+    batch_bitmap_query,
+    batch_hybrid_query,
+    bitmap_query,
+    hybrid_query,
+)
+from repro.bitmap.index import axis_bounds
 from repro.core.batch import BatchMemberResult, BatchResult, batch_kd_query
 from repro.core.kdtree import KdTreeIndex
 from repro.core.queries import polyhedron_batch_full_scan, polyhedron_full_scan
@@ -46,6 +62,15 @@ __all__ = ["PlannedQuery", "QueryPlanner"]
 #: loop faster than any query can finish.
 _STALE_LAYOUT_RETRIES = 32
 
+#: EWMA smoothing for the online cost calibration.
+_CALIBRATION_ALPHA = 0.2
+
+#: Per-observation clamp on actual/predicted pages, so one outlier
+#: query cannot swing an engine's calibration by orders of magnitude.
+_CALIBRATION_CLAMP = (0.1, 10.0)
+
+_ENGINES = ("kdtree", "scan", "bitmap", "hybrid")
+
 
 @dataclass
 class PlannedQuery:
@@ -53,7 +78,11 @@ class PlannedQuery:
 
     ``fallback`` is set when the query was answered by a different path
     than the planner chose because the chosen one hit an unrecoverable
-    storage fault; ``fallback_reason`` names the fault.
+    storage fault (or a forced engine was unavailable);
+    ``fallback_reason`` names the cause.  ``actual_selectivity`` is
+    returned rows / live rows -- compared against
+    ``estimated_selectivity`` it yields the service's
+    ``selectivity_error`` metric.
 
     The shard fields stay at their zero defaults on a single-index
     planner; a sharded engine (:class:`repro.shard.ScatterGatherExecutor`)
@@ -69,6 +98,7 @@ class PlannedQuery:
     sampled_pages: int
     fallback: bool = False
     fallback_reason: str = ""
+    actual_selectivity: float = float("nan")
     shards_dispatched: int = 0
     shards_pruned: int = 0
     shard_faults: int = 0
@@ -77,16 +107,23 @@ class PlannedQuery:
 
 
 class QueryPlanner:
-    """Chooses between the kd-tree and the full scan per query.
+    """Chooses among kd-tree, scan, bitmap, and hybrid per query.
 
     Parameters
     ----------
     index:
         The kd-tree index over the table (the planner's fast path).
     crossover:
-        Selectivity above which the scan is chosen; the paper's 0.25.
+        Selectivity above which the scan is the baseline; the paper's
+        0.25.
     sample_pages:
         Pages probed for the selectivity estimate.
+    engine:
+        ``"auto"`` (cost-based choice) or a forced engine out of
+        ``kdtree``/``kd``, ``scan``, ``bitmap``, ``hybrid`` for A/B
+        runs.  Forcing ``bitmap``/``hybrid`` without a registered
+        bitmap index degrades to the baseline choice and annotates the
+        result as a fallback.
     """
 
     def __init__(
@@ -96,6 +133,7 @@ class QueryPlanner:
         sample_pages: int = 8,
         seed: int = 0,
         statistics=None,
+        engine: str = "auto",
     ):
         """``statistics`` may be a
         :class:`repro.db.histogram.HistogramStatistics` built over the
@@ -106,12 +144,17 @@ class QueryPlanner:
             raise ValueError("crossover must be in (0, 1]")
         if sample_pages < 1:
             raise ValueError("sample_pages must be >= 1")
+        engine = {"kd": "kdtree"}.get(engine, engine)
+        if engine != "auto" and engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
         self._index = index
         self._db = index.table.database
         self._index_key = f"{index.table.name}.kdtree"
+        self._bitmap_key = f"{index.table.name}.bitmap"
         self.crossover = crossover
         self.sample_pages = sample_pages
         self.statistics = statistics
+        self.engine = engine
         self._rng = np.random.default_rng(seed)
         # The query service shares one planner across worker threads;
         # numpy Generators are not thread-safe, so draws are serialized.
@@ -124,6 +167,12 @@ class QueryPlanner:
         # the same listener channel the result cache rides on.
         self._probe_lock = threading.Lock()
         self._probe_cache: tuple[np.ndarray, int] | None = None
+        # Online cost-model state, shared across worker threads.
+        self._cost_lock = threading.Lock()
+        self._calibration: dict[str, float] = {name: 1.0 for name in _ENGINES}
+        self._selectivity_bias = 0.0
+        self._selectivity_abs_error = 0.0
+        self._observations = 0
         index.table.database.add_mutation_listener(self._on_catalog_mutation)
 
     def _on_catalog_mutation(self, table_name: str) -> None:
@@ -143,6 +192,16 @@ class QueryPlanner:
         """
         current = self._db.index_if_exists(self._index_key)
         return current if current is not None else self._index
+
+    @property
+    def bitmap_index(self):
+        """The table's bitmap index, or ``None`` when none is registered.
+
+        Resolved through the catalog on every access for the same
+        reason as :attr:`index`: background merges rebuild and swap it.
+        Its absence simply disables the cost-based second stage.
+        """
+        return self._db.index_if_exists(self._bitmap_key)
 
     # -- engine protocol ----------------------------------------------------
     # The query service treats its execution engine as anything with
@@ -230,19 +289,237 @@ class QueryPlanner:
             self._probe_cache = sample
         return sample
 
-    def execute(self, polyhedron: Polyhedron, cancel_check=None) -> PlannedQuery:
+    # -- cost model ---------------------------------------------------------
+
+    def _axis_fractions(self, polyhedron: Polyhedron) -> np.ndarray:
+        """Per-axis survival fractions of the query's bounding slab.
+
+        Fraction of the probe sample inside ``[low_i, high_i]`` for every
+        axis the polyhedron constrains axis-aligned (1.0 elsewhere);
+        the kd cost's per-level split-survival input.
+        """
+        dim = len(self.index.dims)
+        fractions = np.ones(dim)
+        lows, highs = axis_bounds(polyhedron, dim)
+        constrained = np.isfinite(lows) | np.isfinite(highs)
+        if not constrained.any():
+            return fractions
+        try:
+            points, _ = self._probe_sample()
+        except StorageFault:
+            return fractions
+        if len(points) == 0:
+            return fractions
+        floor = 1.0 / len(points)
+        for axis in np.nonzero(constrained)[0]:
+            inside = (points[:, axis] >= lows[axis]) & (points[:, axis] <= highs[axis])
+            fractions[axis] = max(float(inside.mean()), floor)
+        return fractions
+
+    def _raw_costs(self, polyhedron: Polyhedron, memberships) -> dict[str, float]:
+        """Predicted pages decoded per engine, before calibration.
+
+        - ``scan``: every page.
+        - ``kdtree``: leaves whose cell survives the per-axis slab
+          fractions (each axis contributes ``f_i * L^(1/d) + 1`` of its
+          ``L^(1/d)`` splits -- the +1 is the straddling cell), times
+          pages per leaf.
+        - ``bitmap``: the exact candidate page count.  The candidate
+          superset comes from in-memory bitmap ANDs, so before any page
+          read the planner already knows which pages it lands on; the
+          kd-clustered layout makes that far smaller than one page per
+          candidate row.  When nothing constrains the index the fraction
+          estimate (nudged by the running selectivity bias) stands in.
+        - ``hybrid``: the independence-assumption intersection of the kd
+          and bitmap page sets, plus a small constant for the extra
+          traversal; never worse than either input.
+        """
+        index = self.index
+        table = index.table
+        num_pages = max(1, table.num_pages)
+        num_rows = max(1, table.num_rows)
+        rows_per_page = max(1, table.rows_per_page)
+        costs: dict[str, float] = {"scan": float(num_pages)}
+
+        leaves = max(1, index.tree.num_leaves)
+        dim = max(1, len(index.dims))
+        per_axis_splits = leaves ** (1.0 / dim)
+        leaves_hit = 1.0
+        for fraction in self._axis_fractions(polyhedron):
+            leaves_hit *= min(per_axis_splits, fraction * per_axis_splits + 1.0)
+        leaves_hit = min(float(leaves), leaves_hit)
+        pages_per_leaf = max(1.0, num_rows / (leaves * rows_per_page))
+        costs["kdtree"] = min(float(num_pages), leaves_hit * pages_per_leaf)
+
+        bitmap = self.bitmap_index
+        if bitmap is None:
+            costs["bitmap"] = float("inf")
+            costs["hybrid"] = float("inf")
+            return costs
+        candidate = bitmap.candidate_bitmap(polyhedron, memberships)
+        if candidate is None:
+            # Nothing constrains the index: fall back to the fraction
+            # estimate, corrected by the observed selectivity bias.
+            fraction = bitmap.estimate_fraction(polyhedron, memberships)
+            if fraction is None:
+                fraction = 1.0
+            with self._cost_lock:
+                bias = self._selectivity_bias
+            fraction = min(1.0, max(1.0 / num_rows, fraction + bias))
+            costs["bitmap"] = min(float(num_pages), max(1.0, fraction * num_rows))
+        else:
+            candidate_pages = len(
+                np.unique(candidate.to_indices() // rows_per_page)
+            )
+            costs["bitmap"] = min(float(num_pages), max(1.0, float(candidate_pages)))
+        hybrid = max(1.0, costs["kdtree"] * costs["bitmap"] / num_pages)
+        costs["hybrid"] = min(costs["kdtree"], costs["bitmap"], hybrid) + 2.0
+        return costs
+
+    def _calibrated(self, raw: dict[str, float]) -> dict[str, float]:
+        with self._cost_lock:
+            calibration = dict(self._calibration)
+        return {name: cost * calibration.get(name, 1.0) for name, cost in raw.items()}
+
+    def _choose_engine(
+        self, estimate: float, raw: dict[str, float]
+    ) -> tuple[str, dict[str, float], str]:
+        """Pick the engine; returns ``(engine, calibrated_costs, fallback_reason)``.
+
+        Stage 1 is the paper's crossover rule (kd below, scan above;
+        a NaN estimate from a failed probe chooses the scan).  Stage 2
+        runs only when a bitmap index exists: the baseline competes
+        against the bitmap and hybrid engines on calibrated predicted
+        pages, ties going to the earlier entrant (baseline first).
+        """
+        calibrated = self._calibrated(raw)
+        baseline = "kdtree" if estimate <= self.crossover else "scan"
+        if self.engine != "auto":
+            if self.engine in ("bitmap", "hybrid") and self.bitmap_index is None:
+                return (
+                    baseline,
+                    calibrated,
+                    f"forced engine {self.engine!r} unavailable: no bitmap index",
+                )
+            return self.engine, calibrated, ""
+        if self.bitmap_index is None:
+            return baseline, calibrated, ""
+        best = baseline
+        for candidate in ("bitmap", "hybrid"):
+            if calibrated[candidate] < calibrated[best]:
+                best = candidate
+        return best, calibrated, ""
+
+    def _observe(
+        self,
+        engine: str,
+        raw_cost: float | None,
+        stats: QueryStats,
+        estimate: float,
+        actual: float,
+    ) -> None:
+        """Fold one executed query back into the cost-model state."""
+        low, high = _CALIBRATION_CLAMP
+        alpha = _CALIBRATION_ALPHA
+        with self._cost_lock:
+            if (
+                engine in self._calibration
+                and raw_cost is not None
+                and np.isfinite(raw_cost)
+                and raw_cost > 0
+            ):
+                ratio = min(high, max(low, stats.pages_touched / raw_cost))
+                blended = (1 - alpha) * self._calibration[engine] + alpha * ratio
+                self._calibration[engine] = min(high, max(low, blended))
+            if np.isfinite(estimate):
+                error = actual - estimate
+                self._selectivity_bias = (
+                    (1 - alpha) * self._selectivity_bias + alpha * error
+                )
+                self._selectivity_abs_error = (
+                    (1 - alpha) * self._selectivity_abs_error + alpha * abs(error)
+                )
+            self._observations += 1
+
+    def cost_report(self) -> dict:
+        """Snapshot of the online calibration state (tests, metrics)."""
+        with self._cost_lock:
+            return {
+                "calibration": dict(self._calibration),
+                "selectivity_bias": self._selectivity_bias,
+                "selectivity_abs_error": self._selectivity_abs_error,
+                "observations": self._observations,
+            }
+
+    def _finalize(
+        self, planned: PlannedQuery, raw: dict[str, float], calibrated: dict[str, float]
+    ) -> PlannedQuery:
+        """Record cost extras, actual selectivity, and calibration feedback."""
+        stats = planned.stats
+        for name, cost in calibrated.items():
+            if np.isfinite(cost):
+                stats.extra[f"cost_{name}"] = float(cost)
+        actual = planned.stats.rows_returned / max(1, self.index.table.num_live_rows)
+        planned.actual_selectivity = actual
+        self._observe(
+            planned.chosen_path,
+            raw.get(planned.chosen_path),
+            stats,
+            planned.estimated_selectivity,
+            actual,
+        )
+        return planned
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan_member(self, polyhedron: Polyhedron, memberships):
+        """Estimate + engine choice for one query.
+
+        Returns ``(engine, estimate, probed, fallback, reason, raw,
+        calibrated)``.  The estimate folds the membership lists' bin-mass
+        fraction in (when a bitmap index can supply one), so an IN-list
+        query over a full-space box still reads as selective.
+        """
+        fallback = False
+        reason = ""
+        try:
+            estimate, probed = self.estimate_selectivity(polyhedron)
+        except StorageFault as exc:
+            estimate, probed = float("nan"), 0
+            fallback = True
+            reason = f"selectivity probe failed: {type(exc).__name__}"
+        if memberships:
+            bitmap = self.bitmap_index
+            if bitmap is not None:
+                member_fraction = bitmap.estimate_fraction(None, memberships)
+                if member_fraction is not None:
+                    estimate *= member_fraction
+        try:
+            raw = self._raw_costs(polyhedron, memberships)
+        except StorageFault:
+            raw = {"scan": float(self.index.table.num_pages or 1)}
+        engine, calibrated, forced_reason = self._choose_engine(estimate, raw)
+        if forced_reason and not fallback:
+            fallback, reason = True, forced_reason
+        return engine, estimate, probed, fallback, reason, raw, calibrated
+
+    def execute(
+        self, polyhedron: Polyhedron, cancel_check=None, memberships=None
+    ) -> PlannedQuery:
         """Estimate, choose a path, run, and report.
 
         ``cancel_check`` is a zero-argument callable (or ``None``) run
         between planning and execution and inside the chosen executor's
         page/node loops; raising from it abandons the query cooperatively
         -- this is how the query service enforces per-query deadlines.
+        ``memberships`` maps column names to IN-list value arrays, ANDed
+        with the polyhedron on every engine.
 
         Degradation: a :class:`~repro.db.errors.StorageFault` during the
         selectivity probe forfeits the estimate (the scan path is chosen,
-        which needs none); one during the kd-tree path falls back to the
-        full scan.  A fault from the scan itself propagates -- there is
-        nothing cheaper left to degrade to.
+        which needs none); one during an index path (kd, bitmap, hybrid)
+        falls back to the full scan.  A fault from the scan itself
+        propagates -- there is nothing cheaper left to degrade to.
 
         A :class:`~repro.db.errors.StaleLayoutError` is different: it
         means a background merge retired the generation this query was
@@ -250,7 +527,7 @@ class QueryPlanner:
         current layout (see :meth:`_retry_when_stale`).
         """
         return self._retry_when_stale(
-            lambda: self._execute_once(polyhedron, cancel_check)
+            lambda: self._execute_once(polyhedron, cancel_check, memberships)
         )
 
     def _retry_when_stale(self, attempt):
@@ -274,58 +551,82 @@ class QueryPlanner:
                     raise
         return attempt()
 
-    def _execute_once(self, polyhedron: Polyhedron, cancel_check=None) -> PlannedQuery:
+    def _run_engine(self, engine: str, polyhedron, cancel_check, memberships):
+        """Dispatch one query to one engine; returns ``(rows, stats)``."""
+        if engine == "kdtree":
+            return self.index.query_polyhedron(
+                polyhedron, cancel_check=cancel_check, memberships=memberships
+            )
+        if engine == "bitmap":
+            return bitmap_query(
+                self.bitmap_index,
+                polyhedron,
+                memberships=memberships,
+                cancel_check=cancel_check,
+            )
+        if engine == "hybrid":
+            return hybrid_query(
+                self.index,
+                self.bitmap_index,
+                polyhedron,
+                memberships=memberships,
+                cancel_check=cancel_check,
+            )
+        return polyhedron_full_scan(
+            self.index.table,
+            self.index.dims,
+            polyhedron,
+            cancel_check=cancel_check,
+            memberships=memberships,
+        )
+
+    def _execute_once(
+        self, polyhedron: Polyhedron, cancel_check=None, memberships=None
+    ) -> PlannedQuery:
         """One planning-and-execution attempt against the current layout."""
         if cancel_check is not None:
             cancel_check()
-        fallback = False
-        reason = ""
-        try:
-            estimate, probed = self.estimate_selectivity(polyhedron)
-        except StorageFault as exc:
-            estimate, probed = float("nan"), 0
-            fallback = True
-            reason = f"selectivity probe failed: {type(exc).__name__}"
+        engine, estimate, probed, fallback, reason, raw, calibrated = (
+            self._plan_member(polyhedron, memberships)
+        )
         if cancel_check is not None:
             cancel_check()
-        if estimate <= self.crossover:  # NaN compares False: probe failure -> scan
-            try:
-                rows, stats = self.index.query_polyhedron(
-                    polyhedron, cancel_check=cancel_check
-                )
-                path = "kdtree"
-            except StorageFault as exc:
-                fallback = True
-                reason = f"kdtree path failed: {type(exc).__name__}"
-                rows, stats = polyhedron_full_scan(
-                    self.index.table, self.index.dims, polyhedron,
-                    cancel_check=cancel_check,
-                )
-                path = "scan"
-        else:
-            rows, stats = polyhedron_full_scan(
-                self.index.table, self.index.dims, polyhedron,
-                cancel_check=cancel_check,
-            )
+        try:
+            rows, stats = self._run_engine(engine, polyhedron, cancel_check, memberships)
+            path = engine
+        except StorageFault as exc:
+            if engine == "scan":
+                raise
+            fallback = True
+            reason = f"{engine} path failed: {type(exc).__name__}"
+            rows, stats = self._run_engine("scan", polyhedron, cancel_check, memberships)
             path = "scan"
-        return PlannedQuery(
-            rows=rows,
-            stats=stats,
-            chosen_path=path,
-            estimated_selectivity=estimate,
-            sampled_pages=probed,
-            fallback=fallback,
-            fallback_reason=reason,
+        return self._finalize(
+            PlannedQuery(
+                rows=rows,
+                stats=stats,
+                chosen_path=path,
+                estimated_selectivity=estimate,
+                sampled_pages=probed,
+                fallback=fallback,
+                fallback_reason=reason,
+            ),
+            raw,
+            calibrated,
         )
 
-    def execute_batch(self, polyhedra, cancel_checks=None) -> BatchResult:
+    def execute_batch(
+        self, polyhedra, cancel_checks=None, memberships_list=None
+    ) -> BatchResult:
         """Plan and run a micro-batch of queries with shared work.
 
         Members are planned individually (the cached probe makes the
-        estimates zero-I/O after the first), then grouped by chosen path:
-        the kd group runs one multi-box traversal
-        (:func:`~repro.core.batch.batch_kd_query`) and the scan group one
-        shared scan pass, each decoding every needed page once for all of
+        estimates zero-I/O after the first), then grouped by chosen
+        engine: the kd group runs one multi-box traversal
+        (:func:`~repro.core.batch.batch_kd_query`), the scan group one
+        shared scan pass, and the bitmap / hybrid groups one shared
+        candidate-page fetch each -- a batch's members may split across
+        engines, every group decoding each needed page once for all of
         its members.
 
         Isolation matches the batch executors underneath: a member whose
@@ -333,7 +634,7 @@ class QueryPlanner:
         and its siblings keep going.  A :class:`StorageFault` that kills
         a *shared* pass degrades that group's members to independent
         :meth:`execute` calls -- each then gets the solo path's own retry
-        and kd-to-scan fallback, and one member's terminal fault cannot
+        and fallback-to-scan, and one member's terminal fault cannot
         take down the rest of the batch.
 
         A :class:`~repro.db.errors.StaleLayoutError` anywhere in the
@@ -342,20 +643,25 @@ class QueryPlanner:
         solo path (see :meth:`_retry_when_stale`).
         """
         return self._retry_when_stale(
-            lambda: self._execute_batch_once(polyhedra, cancel_checks)
+            lambda: self._execute_batch_once(polyhedra, cancel_checks, memberships_list)
         )
 
-    def _execute_batch_once(self, polyhedra, cancel_checks=None) -> BatchResult:
+    def _execute_batch_once(
+        self, polyhedra, cancel_checks=None, memberships_list=None
+    ) -> BatchResult:
         """One shared-work attempt against the current layout."""
         n = len(polyhedra)
         checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+        member_filters = (
+            list(memberships_list) if memberships_list is not None else [None] * n
+        )
         result = BatchResult(
             members=[BatchMemberResult() for _ in range(n)], occupancy=n
         )
-        # (estimate, probed, fallback, reason) per member; None = errored.
-        plans: list[tuple[float, int, bool, str] | None] = [None] * n
-        kd_group: list[int] = []
-        scan_group: list[int] = []
+        # (estimate, probed, fallback, reason, raw, calibrated) per
+        # member; None = errored before planning finished.
+        plans: list[tuple | None] = [None] * n
+        groups: dict[str, list[int]] = {name: [] for name in _ENGINES}
         for m, (polyhedron, check) in enumerate(zip(polyhedra, checks)):
             if check is not None:
                 try:
@@ -363,40 +669,39 @@ class QueryPlanner:
                 except BaseException as exc:
                     result.members[m].error = exc
                     continue
-            fallback = False
-            reason = ""
-            try:
-                estimate, probed = self.estimate_selectivity(polyhedron)
-            except StorageFault as exc:
-                estimate, probed = float("nan"), 0
-                fallback = True
-                reason = f"selectivity probe failed: {type(exc).__name__}"
-            plans[m] = (estimate, probed, fallback, reason)
-            if estimate <= self.crossover:  # NaN compares False -> scan
-                kd_group.append(m)
-            else:
-                scan_group.append(m)
+            engine, estimate, probed, fallback, reason, raw, calibrated = (
+                self._plan_member(polyhedron, member_filters[m])
+            )
+            plans[m] = (estimate, probed, fallback, reason, raw, calibrated)
+            groups[engine].append(m)
 
-        self._run_group(
-            kd_group,
-            polyhedra,
-            checks,
-            plans,
-            result,
-            path="kdtree",
-            runner=lambda polys, chks: batch_kd_query(self.index, polys, chks),
-        )
-        self._run_group(
-            scan_group,
-            polyhedra,
-            checks,
-            plans,
-            result,
-            path="scan",
-            runner=lambda polys, chks: polyhedron_batch_full_scan(
-                self.index.table, self.index.dims, polys, chks
+        bitmap = self.bitmap_index
+        runners = {
+            "kdtree": lambda polys, chks, mlist: batch_kd_query(
+                self.index, polys, chks, memberships_list=mlist
             ),
-        )
+            "scan": lambda polys, chks, mlist: polyhedron_batch_full_scan(
+                self.index.table, self.index.dims, polys, chks,
+                memberships_list=mlist,
+            ),
+            "bitmap": lambda polys, chks, mlist: batch_bitmap_query(
+                bitmap, polys, chks, memberships_list=mlist
+            ),
+            "hybrid": lambda polys, chks, mlist: batch_hybrid_query(
+                self.index, bitmap, polys, chks, memberships_list=mlist
+            ),
+        }
+        for engine in _ENGINES:
+            self._run_group(
+                groups[engine],
+                polyhedra,
+                checks,
+                member_filters,
+                plans,
+                result,
+                path=engine,
+                runner=runners[engine],
+            )
         return result
 
     def _run_group(
@@ -404,12 +709,13 @@ class QueryPlanner:
         group: list[int],
         polyhedra,
         checks,
+        member_filters,
         plans,
         result: BatchResult,
         path: str,
         runner,
     ) -> None:
-        """Run one same-path member group through its shared executor.
+        """Run one same-engine member group through its shared executor.
 
         Fills ``result.members[m]`` for every ``m`` in ``group`` and
         folds the group's shared-work counters into ``result``.  On a
@@ -419,7 +725,9 @@ class QueryPlanner:
             return
         try:
             outcomes, counters = runner(
-                [polyhedra[m] for m in group], [checks[m] for m in group]
+                [polyhedra[m] for m in group],
+                [checks[m] for m in group],
+                [member_filters[m] for m in group],
             )
         except StorageFault as exc:
             # The shared pass died; peel the members apart so each gets
@@ -428,7 +736,11 @@ class QueryPlanner:
             reason = f"batch {path} pass failed: {type(exc).__name__}"
             for m in group:
                 try:
-                    planned = self.execute(polyhedra[m], cancel_check=checks[m])
+                    planned = self.execute(
+                        polyhedra[m],
+                        cancel_check=checks[m],
+                        memberships=member_filters[m],
+                    )
                 except BaseException as solo_exc:
                     result.members[m].error = solo_exc
                     continue
@@ -443,13 +755,17 @@ class QueryPlanner:
             if error is not None:
                 result.members[m].error = error
                 continue
-            estimate, probed, fallback, reason = plans[m]
-            result.members[m].planned = PlannedQuery(
-                rows=rows,
-                stats=stats,
-                chosen_path=path,
-                estimated_selectivity=estimate,
-                sampled_pages=probed,
-                fallback=fallback,
-                fallback_reason=reason,
+            estimate, probed, fallback, reason, raw, calibrated = plans[m]
+            result.members[m].planned = self._finalize(
+                PlannedQuery(
+                    rows=rows,
+                    stats=stats,
+                    chosen_path=path,
+                    estimated_selectivity=estimate,
+                    sampled_pages=probed,
+                    fallback=fallback,
+                    fallback_reason=reason,
+                ),
+                raw,
+                calibrated,
             )

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
+from repro.db.scan import (
+    BatchScanMember,
+    PartialOnlyPruner,
+    batch_full_scan,
+    full_scan,
+    membership_predicate,
+)
 from repro.db.stats import QueryStats
 from repro.db.table import Table
 from repro.geometry.halfspace import Polyhedron
@@ -23,6 +29,7 @@ def polyhedron_full_scan(
     polyhedron: Polyhedron,
     cancel_check=None,
     use_zone_maps: bool = True,
+    memberships: dict[str, np.ndarray] | None = None,
 ) -> tuple[dict[str, np.ndarray], QueryStats]:
     """Evaluate a polyhedron query by scanning every page (the baseline).
 
@@ -33,6 +40,11 @@ def polyhedron_full_scan(
     skipped before any read, and fully-inside pages skip the per-point
     filter -- the "baseline" then behaves like a poor man's index, which
     is exactly the comparison the I/O bench draws.
+
+    ``memberships`` ANDs vectorized IN-list filters into the predicate;
+    the zone pruner (built from the polyhedron alone) then keeps its
+    OUTSIDE skipping but loses the INSIDE filter skip, which would be
+    unsound under the stronger predicate.
     """
     if polyhedron.dim != len(dims):
         raise ValueError(f"polyhedron dim {polyhedron.dim} != len(dims) {len(dims)}")
@@ -41,11 +53,15 @@ def polyhedron_full_scan(
         pts = np.column_stack([columns[d] for d in dims])
         return polyhedron.contains_points(pts)
 
+    if memberships:
+        predicate = membership_predicate(memberships, base=predicate)
     pruner = None
     if use_zone_maps:
         zone_map = table.zone_map()
         if zone_map is not None:
             pruner = zone_map.pruner(polyhedron, dims)
+            if memberships:
+                pruner = PartialOnlyPruner(pruner)
     return full_scan(
         table, predicate=predicate, cancel_check=cancel_check, pruner=pruner
     )
@@ -57,6 +73,7 @@ def polyhedron_batch_full_scan(
     polyhedra: list[Polyhedron],
     cancel_checks: list | None = None,
     use_zone_maps: bool = True,
+    memberships_list: list[dict | None] | None = None,
 ) -> tuple[list[tuple[dict[str, np.ndarray] | None, QueryStats, BaseException | None]], dict]:
     """Evaluate several polyhedron queries in one shared scan pass.
 
@@ -66,11 +83,18 @@ def polyhedron_batch_full_scan(
     pruning is the union of the members' zone-map pruners.  Per-member
     results (rows, stats, error) and the shared-work counters come back
     exactly as from :func:`repro.db.scan.batch_full_scan`.
+    ``memberships_list`` adds per-member IN-list filters, handled as in
+    the solo scan.
     """
     checks = list(cancel_checks) if cancel_checks is not None else [None] * len(polyhedra)
+    member_filters = (
+        list(memberships_list)
+        if memberships_list is not None
+        else [None] * len(polyhedra)
+    )
     zone_map = table.zone_map() if use_zone_maps else None
 
-    def make_predicate(polyhedron: Polyhedron):
+    def make_predicate(polyhedron: Polyhedron, memberships: dict | None):
         if polyhedron.dim != len(dims):
             raise ValueError(
                 f"polyhedron dim {polyhedron.dim} != len(dims) {len(dims)}"
@@ -80,15 +104,23 @@ def polyhedron_batch_full_scan(
             pts = np.column_stack([columns[d] for d in dims])
             return polyhedron.contains_points(pts)
 
+        if memberships:
+            return membership_predicate(memberships, base=predicate)
         return predicate
+
+    def make_pruner(polyhedron: Polyhedron, memberships: dict | None):
+        if zone_map is None:
+            return None
+        pruner = zone_map.pruner(polyhedron, dims)
+        return PartialOnlyPruner(pruner) if memberships else pruner
 
     members = [
         BatchScanMember(
-            predicate=make_predicate(polyhedron),
-            pruner=zone_map.pruner(polyhedron, dims) if zone_map is not None else None,
+            predicate=make_predicate(polyhedron, memberships),
+            pruner=make_pruner(polyhedron, memberships),
             cancel_check=check,
         )
-        for polyhedron, check in zip(polyhedra, checks)
+        for polyhedron, check, memberships in zip(polyhedra, checks, member_filters)
     ]
     return batch_full_scan(table, members)
 

@@ -42,8 +42,10 @@ from repro.db.expressions import (
     Col,
     Const,
     Expr,
+    InList,
     LinearExtractionError,
     expression_to_polyhedron,
+    expression_to_query,
 )
 from repro.db.scan import AUTO_TOMBSTONES, batch_full_scan, full_scan, range_scan
 from repro.db.aggregates import aggregate_scan, count_rows
@@ -81,6 +83,8 @@ __all__ = [
     "Const",
     "LinearExtractionError",
     "expression_to_polyhedron",
+    "expression_to_query",
+    "InList",
     "AUTO_TOMBSTONES",
     "batch_full_scan",
     "full_scan",

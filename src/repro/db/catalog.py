@@ -327,6 +327,22 @@ class Database:
         """Names of all registered indexes."""
         return sorted(self._indexes)
 
+    def drop_index(self, name: str) -> bool:
+        """Unregister an index by catalog name; ``True`` if it existed.
+
+        Used by merges that could not rebuild a secondary index for the
+        new generation: dropping the stale entry makes dependent
+        planners degrade (no index) instead of serving a superseded
+        layout.
+        """
+        with self.lock:
+            return self._indexes.pop(name, None) is not None
+
+    def registered_indexes(self) -> dict[str, Any]:
+        """Snapshot of the index registry (persistence, introspection)."""
+        with self.lock:
+            return dict(self._indexes)
+
     # -- stats ------------------------------------------------------------
 
     @property

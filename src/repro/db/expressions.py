@@ -30,8 +30,10 @@ __all__ = [
     "log10",
     "Col",
     "Const",
+    "InList",
     "LinearExtractionError",
     "expression_to_polyhedron",
+    "expression_to_query",
     "expression_to_sql",
 ]
 
@@ -104,6 +106,11 @@ class Expr(abc.ABC):
 
     def __invert__(self) -> "Expr":
         return Not(self)
+
+    # membership ---------------------------------------------------------------
+
+    def isin(self, values) -> "InList":
+        return InList(self, tuple(float(v) for v in np.asarray(values).ravel()))
 
 
 def _wrap(value) -> Expr:
@@ -246,6 +253,35 @@ class Compare(Expr):
 
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class InList(Expr):
+    """Membership node: ``operand IN (v1, v2, ...)``.
+
+    Evaluates page-at-a-time via :func:`numpy.isin`.  Membership over a
+    *bare column* is the one shape the spatial engines accelerate
+    specially (binned-bitmap probes, vectorized ``isin`` filters); over a
+    computed expression it still evaluates, but only through the generic
+    predicate path.
+    """
+
+    def __init__(self, operand: Expr, values: tuple[float, ...]):
+        if not values:
+            raise ValueError("IN list must not be empty")
+        self.operand = operand
+        self.values = tuple(values)
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.isin(
+            np.asarray(self.operand.evaluate(columns)), np.asarray(self.values)
+        )
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:g}" for v in self.values)
+        return f"({self.operand!r} IN ({inner}))"
 
 
 class And(Expr):
@@ -414,6 +450,60 @@ def expression_to_polyhedron(expr: Expr, columns: list[str]) -> Polyhedron:
     return Polyhedron([_comparison_to_halfspace(c, columns) for c in conjuncts])
 
 
+def _collect_query_conjuncts(
+    expr: Expr, comparisons: list[Compare], in_lists: list[InList]
+) -> None:
+    if isinstance(expr, And):
+        _collect_query_conjuncts(expr.left, comparisons, in_lists)
+        _collect_query_conjuncts(expr.right, comparisons, in_lists)
+    elif isinstance(expr, Compare):
+        comparisons.append(expr)
+    elif isinstance(expr, InList):
+        in_lists.append(expr)
+    else:
+        raise LinearExtractionError(
+            f"{type(expr).__name__} is not part of a conjunction of "
+            "comparisons and IN lists"
+        )
+
+
+def expression_to_query(
+    expr: Expr, columns: list[str]
+) -> tuple[Polyhedron, dict[str, np.ndarray]]:
+    """Split a conjunction into ``(polyhedron, memberships)``.
+
+    The planner-facing generalization of :func:`expression_to_polyhedron`:
+    linear comparisons become the polyhedron's halfspaces while top-level
+    ``Col.isin(...)`` conjuncts become the memberships dict consumed by
+    every engine's ``memberships=`` parameter.  IN lists over computed
+    expressions (not bare columns) are rejected -- they have no binned
+    representation.  A membership-only query gets the trivially-true
+    halfspace ``x_0 <= +inf`` so the polyhedron spans ``len(columns)``
+    dimensions and classifies every box INSIDE.
+    """
+    comparisons: list[Compare] = []
+    in_lists: list[InList] = []
+    _collect_query_conjuncts(expr, comparisons, in_lists)
+    memberships: dict[str, np.ndarray] = {}
+    for node in in_lists:
+        if not isinstance(node.operand, Col):
+            raise LinearExtractionError(
+                "IN list over a computed expression, not a bare column"
+            )
+        name = node.operand.name
+        values = np.asarray(node.values, dtype=np.float64)
+        if name in memberships:
+            values = np.intersect1d(memberships[name], values)
+        memberships[name] = values
+    if comparisons:
+        halfspaces = [_comparison_to_halfspace(c, columns) for c in comparisons]
+    else:
+        trivial = np.zeros(len(columns))
+        trivial[0] = 1.0
+        halfspaces = [Halfspace(trivial, np.inf)]
+    return Polyhedron(halfspaces), memberships
+
+
 def expression_to_sql(expr: Expr) -> str:
     """Render an expression as SQL-flavored text (display / logging only)."""
     if isinstance(expr, Col):
@@ -426,6 +516,9 @@ def expression_to_sql(expr: Expr) -> str:
         return f"{expr.name.upper()}({expression_to_sql(expr.operand)})"
     if isinstance(expr, Compare):
         return f"({expression_to_sql(expr.left)} {expr.op} {expression_to_sql(expr.right)})"
+    if isinstance(expr, InList):
+        inner = ", ".join(f"{v:g}" for v in expr.values)
+        return f"({expression_to_sql(expr.operand)} IN ({inner}))"
     if isinstance(expr, And):
         return f"({expression_to_sql(expr.left)} AND {expression_to_sql(expr.right)})"
     if isinstance(expr, Or):

@@ -68,6 +68,17 @@ def save_catalog(database: Database) -> Path:
             for table in tables
             if table.zone_map() is not None
         ],
+        # Bitmap indexes serialize whole (bin edges + compressed
+        # bitmaps): unlike kd-trees, whose owners rebuild them from the
+        # clustered pages, the equi-depth bin edges are a property of
+        # the build-time data distribution and must round-trip exactly
+        # for plans to stay stable across a restart.  Absent in catalogs
+        # written before the key existed.
+        "bitmap_indexes": [
+            index.to_dict()
+            for key, index in sorted(database.registered_indexes().items())
+            if key.endswith(".bitmap")
+        ],
     }
     path = storage.root / CATALOG_FILENAME
     with open(path, "w", encoding="utf-8") as fh:
@@ -128,6 +139,17 @@ def attach_database(
         # the logical name, which equals the physical one).
         if payload["table"] in physical_names:
             database.register_zone_map(ZoneMap.from_dict(payload))
+    for payload in catalog.get("bitmap_indexes", ()):
+        # Skip entries whose physical generation is not the one that
+        # survived on disk (a crash between page flush and catalog write
+        # can leave them disagreeing); the owner rebuilds on demand.
+        if payload["table"] in physical_names:
+            from repro.bitmap.index import BitmapIndex
+
+            database.register_index(
+                f"{payload['name']}.bitmap",
+                BitmapIndex.from_dict(database, payload),
+            )
     if wal_frames is not None:
         database.ingest_wal = IngestWal(wal_frames)
         database.ingest_wal.replay(database, on_corrupt=on_corrupt)

@@ -41,9 +41,11 @@ from repro.geometry.boxes import BoxRelation
 
 __all__ = [
     "BatchScanMember",
+    "PartialOnlyPruner",
     "batch_full_scan",
     "full_scan",
     "range_scan",
+    "membership_predicate",
     "predicate_from_expression",
     "AUTO_TOMBSTONES",
     "SCAN_RETRY",
@@ -146,6 +148,50 @@ def _iter_planned_pages(
             stats.pages_prefetched += table.prefetch(run)
         page = _read_page_retrying(table, page_id, retry)
         yield page, inside
+
+
+def membership_predicate(
+    memberships: dict[str, np.ndarray],
+    base: Callable[[dict[str, np.ndarray]], np.ndarray] | None = None,
+) -> Callable[[dict[str, np.ndarray]], np.ndarray]:
+    """Vectorized IN-list filter: AND of ``np.isin`` per column.
+
+    ``base`` (when given) is a predicate to AND in front -- how the scan
+    and kd engines degrade membership predicates that the bitmap engine
+    evaluates natively.  ``memberships`` must be non-empty.
+    """
+    if not memberships:
+        raise ValueError("memberships must be non-empty")
+    pairs = [(col, np.asarray(values)) for col, values in memberships.items()]
+
+    def predicate(columns: dict[str, np.ndarray]) -> np.ndarray:
+        mask = None if base is None else np.asarray(base(columns), dtype=bool)
+        for col, values in pairs:
+            piece = np.isin(columns[col], values)
+            mask = piece if mask is None else mask & piece
+        return mask
+
+    return predicate
+
+
+class PartialOnlyPruner:
+    """A zone pruner whose INSIDE verdicts are demoted to PARTIAL.
+
+    The scan executors skip the residual predicate on pages the pruner
+    proves INSIDE -- sound only while predicate and pruner share the
+    same geometry.  When the predicate is *stronger* (polyhedron AND
+    membership filter), INSIDE pages still need the filter; this wrapper
+    keeps the OUTSIDE page skipping and gives up only the filter skip.
+    """
+
+    def __init__(self, pruner: ZonePruner):
+        self._pruner = pruner
+
+    def classify(self, page_id: int) -> BoxRelation:
+        relation = self._pruner.classify(page_id)
+        return (
+            BoxRelation.PARTIAL if relation is BoxRelation.INSIDE else relation
+        )
 
 
 def predicate_from_expression(expr: Expr) -> Callable[[dict[str, np.ndarray]], np.ndarray]:

@@ -91,7 +91,9 @@ def merge_table(
     empty -- an empty point set cannot carry a kd-tree, and the caller
     should drop the table instead.
     """
+    from repro.bitmap.index import BitmapIndex
     from repro.core.kdtree import KdTree, KdTreeIndex
+    from repro.db.errors import StorageFault
     from repro.db.table import Table
 
     manager = database.ingest
@@ -125,6 +127,7 @@ def merge_table(
         num_rows = len(merged[table.column_names[0]])
         index = database.index_if_exists(f"{name}.kdtree")
         indexes = {}
+        drop_indexes: list[str] = []
         physical = f"{name}@g{new_generation}"
         per_page = rows_per_page if rows_per_page is not None else table.rows_per_page
         if index is not None:
@@ -165,6 +168,27 @@ def merge_table(
             indexes[f"{name}.kdtree"] = KdTreeIndex(
                 database, new_table, tree, dims
             )
+            old_bitmap = database.index_if_exists(f"{name}.bitmap")
+            if old_bitmap is not None:
+                # Rebuild the bitmap index over the new generation so it
+                # swaps in atomically with the table and kd-tree.  The
+                # column arrays are re-read from the new table (Table
+                # .create re-clusters, so ``merged`` is not in row
+                # order); a storage fault during the rebuild drops the
+                # bitmap entirely -- a stale entry would start raising
+                # once the old physical namespace retires, whereas no
+                # entry just degrades the planner to kd/scan.
+                try:
+                    indexes[f"{name}.bitmap"] = BitmapIndex.build(
+                        database,
+                        name,
+                        list(old_bitmap.dims),
+                        num_bins=old_bitmap.num_bins,
+                        register=False,
+                        table=new_table,
+                    )
+                except StorageFault:
+                    drop_indexes.append(f"{name}.bitmap")
         else:
             new_table = Table.create(
                 database,
@@ -180,6 +204,8 @@ def merge_table(
             name, new_table, indexes=indexes, generation=new_generation,
             retire=retire,
         )
+        for key in drop_indexes:
+            database.drop_index(key)
         state.delta.freeze()
         if wal is not None:
             commit_seq = wal.append_merge_commit(name, new_generation)

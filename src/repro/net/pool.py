@@ -90,6 +90,18 @@ class _Death:
         self.shard_id = shard_id
 
 
+def _memberships_to_wire(
+    memberships: dict[str, np.ndarray] | None,
+) -> dict | None:
+    """Encode an IN-list mapping as JSON-safe ``{col: [values...]}``."""
+    if not memberships:
+        return None
+    return {
+        col: [float(v) for v in np.asarray(values).ravel()]
+        for col, values in memberships.items()
+    }
+
+
 class _WorkerHandle:
     """Parent-side state of one worker: process, socket, response routing."""
 
@@ -293,6 +305,7 @@ class ShardWorkerPool:
         sample_pages: int = 8,
         seed: int = 0,
         use_tight_boxes: bool = True,
+        engine: str = "auto",
         start_method: str | None = None,
         heartbeat_s: float = 0.5,
         heartbeat_misses: int = 6,
@@ -338,6 +351,7 @@ class ShardWorkerPool:
                     sample_pages=shard_probe,
                     seed=seed + spec.shard_id,
                     page_rows=page_rows,
+                    engine=engine,
                 ),
             )
             for spec in specs
@@ -672,7 +686,10 @@ class ShardWorkerPool:
     # -- solo execution -----------------------------------------------------
 
     def execute(
-        self, polyhedron: Polyhedron, cancel_check: Callable[[], None] | None = None
+        self,
+        polyhedron: Polyhedron,
+        cancel_check: Callable[[], None] | None = None,
+        memberships: dict[str, np.ndarray] | None = None,
     ) -> PlannedQuery:
         """Route, scatter over worker processes, and gather one query."""
         if self._closed:
@@ -682,6 +699,7 @@ class ShardWorkerPool:
         dispatched, pruned = self._route(polyhedron)
         out: queue.Queue = queue.Queue()
         poly_wire = polyhedron_to_wire(polyhedron)
+        memberships_wire = _memberships_to_wire(memberships)
         deadline_s = self._remaining_deadline(cancel_check)
 
         sent: dict[int, tuple[_WorkerHandle, int]] = {}
@@ -695,6 +713,8 @@ class ShardWorkerPool:
                 "inside": relation is BoxRelation.INSIDE,
                 "deadline_s": deadline_s,
             }
+            if memberships_wire:
+                header["memberships"] = memberships_wire
             if relation is not BoxRelation.INSIDE:
                 header["polyhedron"] = poly_wire
             if handle.send_request(MessageType.QUERY, header, out, spec.shard_id):
@@ -841,6 +861,7 @@ class ShardWorkerPool:
         self,
         polyhedra: list[Polyhedron],
         cancel_checks: list[Callable[[], None] | None] | None = None,
+        memberships_list: list[dict | None] | None = None,
     ) -> BatchResult:
         """Scatter one micro-batch over the worker processes.
 
@@ -854,6 +875,9 @@ class ShardWorkerPool:
             raise RuntimeError("worker pool is closed")
         n = len(polyhedra)
         checks = list(cancel_checks) if cancel_checks is not None else [None] * n
+        member_filters = (
+            list(memberships_list) if memberships_list is not None else [None] * n
+        )
         result = BatchResult(
             members=[BatchMemberResult() for _ in range(n)], occupancy=n
         )
@@ -902,6 +926,7 @@ class ShardWorkerPool:
                         "member": m,
                         "inside": relation is BoxRelation.INSIDE,
                         "deadline_s": self._remaining_deadline(checks[m]),
+                        "memberships": _memberships_to_wire(member_filters[m]),
                         "polyhedron": (
                             polyhedron_to_wire(polyhedra[m])
                             if relation is not BoxRelation.INSIDE

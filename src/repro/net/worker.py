@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.db.errors import StorageFault
-from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
+from repro.db.scan import (
+    BatchScanMember,
+    batch_full_scan,
+    full_scan,
+    membership_predicate,
+)
 from repro.net.wire import (
     Frame,
     MessageType,
@@ -65,6 +70,8 @@ class WorkerConfig:
     sample_pages: int = 1
     seed: int = 0
     page_rows: int = 4096
+    #: Forced access path for the shard's planner ("auto" = cost-based).
+    engine: str = "auto"
 
 
 class _Cancelled(BaseException):
@@ -96,6 +103,17 @@ class _InFlight:
                     event.set()
 
 
+def _memberships_from_wire(header: dict) -> dict[str, np.ndarray] | None:
+    """Decode an optional ``memberships`` mapping off a wire header."""
+    payload = header.get("memberships")
+    if not payload:
+        return None
+    return {
+        col: np.asarray(values, dtype=np.float64)
+        for col, values in payload.items()
+    }
+
+
 def _compose_check(deadline_s, event: threading.Event):
     """Build the cooperative cancel_check for one (request, member)."""
     deadline = Deadline(float(deadline_s)) if deadline_s is not None else None
@@ -120,6 +138,7 @@ class _Worker:
             crossover=config.crossover,
             sample_pages=max(1, config.sample_pages),
             seed=config.seed,
+            engine=config.engine,
         )
         self.inflight = _InFlight()
         self.work: queue.Queue = queue.Queue()
@@ -254,10 +273,17 @@ class _Worker:
         event = self.inflight.register(request_id, None)
         check = _compose_check(frame.header.get("deadline_s"), event)
         try:
+            memberships = _memberships_from_wire(frame.header)
             if frame.header.get("inside"):
                 # Figure 4's fully-inside case: the router proved every
-                # row qualifies, so skip probe, tree, and per-row tests.
-                rows, stats = full_scan(self.shard.table, cancel_check=check)
+                # row qualifies, so skip probe, tree, and per-row tests
+                # beyond any membership filter riding on the query.
+                predicate = (
+                    membership_predicate(memberships) if memberships else None
+                )
+                rows, stats = full_scan(
+                    self.shard.table, predicate=predicate, cancel_check=check
+                )
                 planned = PlannedQuery(
                     rows=rows,
                     stats=stats,
@@ -267,7 +293,9 @@ class _Worker:
                 )
             else:
                 polyhedron = polyhedron_from_wire(frame.header["polyhedron"])
-                planned = self.planner.execute(polyhedron, cancel_check=check)
+                planned = self.planner.execute(
+                    polyhedron, cancel_check=check, memberships=memberships
+                )
             self._stream_planned(request_id, None, planned)
         except BaseException as exc:
             self._send_error(request_id, None, exc)
@@ -296,6 +324,9 @@ class _Worker:
         }
         counters = {"pages_decoded": 0, "shared_decode_hits": 0}
         try:
+            filters = {
+                m["member"]: _memberships_from_wire(m) for m in members
+            }
             inside = [m["member"] for m in members if m.get("inside")]
             partial = [
                 (m["member"], polyhedron_from_wire(m["polyhedron"]))
@@ -303,11 +334,14 @@ class _Worker:
                 if not m.get("inside")
             ]
             if inside:
-                self._serve_batch_inside(request_id, inside, checks, counters)
+                self._serve_batch_inside(
+                    request_id, inside, checks, filters, counters
+                )
             if partial:
                 batch = self.planner.execute_batch(
                     [poly for _, poly in partial],
                     [checks[m] for m, _ in partial],
+                    memberships_list=[filters[m] for m, _ in partial],
                 )
                 counters["pages_decoded"] += batch.pages_decoded
                 counters["shared_decode_hits"] += batch.shared_decode_hits
@@ -332,9 +366,22 @@ class _Worker:
             )
 
     def _serve_batch_inside(
-        self, request_id: int, inside: list[int], checks: dict, counters: dict
+        self,
+        request_id: int,
+        inside: list[int],
+        checks: dict,
+        filters: dict,
+        counters: dict,
     ) -> None:
-        scan_members = [BatchScanMember(cancel_check=checks[m]) for m in inside]
+        scan_members = [
+            BatchScanMember(
+                predicate=(
+                    membership_predicate(filters[m]) if filters.get(m) else None
+                ),
+                cancel_check=checks[m],
+            )
+            for m in inside
+        ]
         try:
             scanned, scan_counters = batch_full_scan(self.shard.table, scan_members)
         except StorageFault:
@@ -342,7 +389,15 @@ class _Worker:
             # stays per-member (exactly the thread executor's behavior).
             for m in inside:
                 try:
-                    rows, stats = full_scan(self.shard.table, cancel_check=checks[m])
+                    rows, stats = full_scan(
+                        self.shard.table,
+                        predicate=(
+                            membership_predicate(filters[m])
+                            if filters.get(m)
+                            else None
+                        ),
+                        cancel_check=checks[m],
+                    )
                 except BaseException as exc:
                     self._send_error(request_id, m, exc)
                     continue

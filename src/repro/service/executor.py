@@ -134,6 +134,9 @@ class _WorkItem:
     polyhedron: Polyhedron
     deadline: Deadline | None
     tag: str
+    #: Optional IN-list predicates (column -> accepted values), applied
+    #: conjunctively with the polyhedron by every engine.
+    memberships: dict | None = None
     enqueued_at: float = field(default_factory=time.monotonic)
 
 
@@ -289,6 +292,7 @@ class QueryService:
         session: Session | None = None,
         deadline: float | Deadline | None = None,
         tag: str = "",
+        memberships: dict | None = None,
     ) -> QueryTicket:
         """Admit one query; raises :class:`AdmissionRejected` when full.
 
@@ -305,7 +309,13 @@ class QueryService:
         if deadline is not None and not isinstance(deadline, Deadline):
             deadline = Deadline(float(deadline))
         ticket = QueryTicket(next(self._query_ids), session)
-        item = _WorkItem(ticket=ticket, polyhedron=polyhedron, deadline=deadline, tag=tag)
+        item = _WorkItem(
+            ticket=ticket,
+            polyhedron=polyhedron,
+            deadline=deadline,
+            tag=tag,
+            memberships=memberships,
+        )
         if not self.admission.offer(item):
             session.note_rejected()
             self.metrics.note_rejected()
@@ -322,10 +332,15 @@ class QueryService:
         deadline: float | Deadline | None = None,
         tag: str = "",
         timeout: float | None = None,
+        memberships: dict | None = None,
     ) -> QueryOutcome:
         """Submit and wait: the blocking convenience wrapper."""
         return self.submit(
-            polyhedron, session=session, deadline=deadline, tag=tag
+            polyhedron,
+            session=session,
+            deadline=deadline,
+            tag=tag,
+            memberships=memberships,
         ).result(timeout)
 
     def report(self) -> dict:
@@ -425,7 +440,9 @@ class QueryService:
         ]
         try:
             batch = self.planner.execute_batch(
-                [item.polyhedron for item in pending], checks
+                [item.polyhedron for item in pending],
+                checks,
+                memberships_list=[item.memberships for item in pending],
             )
         except Exception as exc:
             # The engine refused the whole batch; fail every member with
@@ -471,6 +488,10 @@ class QueryService:
             cache_hit=cache_hit,
             chosen_path="cache" if cache_hit else planned.chosen_path,
             estimated_selectivity=planned.estimated_selectivity,
+            actual_selectivity=(
+                float("nan") if cache_hit
+                else getattr(planned, "actual_selectivity", float("nan"))
+            ),
             fallback=fallback,
             fallback_reason=planned.fallback_reason if fallback else "",
             shards_dispatched=0 if cache_hit else planned.shards_dispatched,
@@ -531,6 +552,7 @@ class QueryService:
             self.planner.dims,
             item.polyhedron,
             layout_version=getattr(self.planner, "layout_version", ""),
+            memberships=item.memberships,
         )
 
     def _cache_get(self, item: _WorkItem) -> PlannedQuery | None:
@@ -556,6 +578,10 @@ class QueryService:
 
     def _plan(self, item: _WorkItem) -> PlannedQuery:
         cancel = item.deadline.check if item.deadline is not None else None
+        if item.memberships is not None:
+            return self.planner.execute(
+                item.polyhedron, cancel_check=cancel, memberships=item.memberships
+            )
         return self.planner.execute(item.polyhedron, cancel_check=cancel)
 
     def _record_failure(

@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 from repro.db.procedures import ProcedureRegistry
 
-__all__ = ["QueryMetrics", "MetricsRegistry"]
+__all__ = ["QueryMetrics", "MetricsRegistry", "SELECTIVITY_ERROR_BUCKETS"]
+
+#: Upper bounds of the ``selectivity_error`` histogram buckets (absolute
+#: |estimated - actual| selectivity); errors above the last bound land
+#: in a final ``inf`` bucket.
+SELECTIVITY_ERROR_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5)
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,10 @@ class QueryMetrics:
     cache_hit: bool = False
     chosen_path: str = ""
     estimated_selectivity: float = float("nan")
+    #: Returned rows / live rows, filled in after execution; NaN on
+    #: cache hits and failures.  ``selectivity_error`` compares it to
+    #: the estimate the planner chose its engine with.
+    actual_selectivity: float = float("nan")
     deadline_missed: bool = False
     error: str = ""
     #: The planner degraded to another access path on a storage fault
@@ -59,6 +68,11 @@ class QueryMetrics:
     def ok(self) -> bool:
         """Whether the query completed with a result."""
         return not self.error and not self.deadline_missed
+
+    @property
+    def selectivity_error(self) -> float:
+        """``|estimated - actual|`` selectivity, NaN when either is unknown."""
+        return abs(self.estimated_selectivity - self.actual_selectivity)
 
 
 @dataclass
@@ -130,6 +144,11 @@ class MetricsRegistry:
         done = [r for r in records if r.ok]
         waits = [r.queue_wait_s for r in records]
         execs = [r.exec_time_s for r in done]
+        errors = [
+            r.selectivity_error
+            for r in done
+            if r.selectivity_error == r.selectivity_error  # drop NaN
+        ]
         return {
             "submitted": float(submitted),
             "rejected": float(rejected),
@@ -151,6 +170,12 @@ class MetricsRegistry:
             "max_exec_time_s": max(execs) if execs else 0.0,
             "kdtree_queries": float(sum(1 for r in done if r.chosen_path == "kdtree")),
             "scan_queries": float(sum(1 for r in done if r.chosen_path == "scan")),
+            "bitmap_queries": float(sum(1 for r in done if r.chosen_path == "bitmap")),
+            "hybrid_queries": float(sum(1 for r in done if r.chosen_path == "hybrid")),
+            "mean_selectivity_error": (
+                sum(errors) / len(errors) if errors else 0.0
+            ),
+            "max_selectivity_error": max(errors) if errors else 0.0,
             "planner_fallbacks": float(sum(1 for r in done if r.fallback)),
             "storage_faults": float(sum(1 for r in records if r.storage_fault)),
             "shards_dispatched": float(sum(r.shards_dispatched for r in records)),
@@ -165,6 +190,33 @@ class MetricsRegistry:
             "batch_pages_decoded": float(batch_pages_decoded),
             "shared_decode_hits": float(shared_decode_hits),
         }
+
+    def selectivity_error_histogram(self) -> dict[str, int]:
+        """How far off the planner's selectivity estimates ran.
+
+        Buckets are cumulative-exclusive: each key ``le_<bound>`` counts
+        completed queries whose ``|estimated - actual|`` error falls in
+        ``(previous bound, bound]``; ``inf`` collects the rest.  Queries
+        with no measured actual selectivity (cache hits, failures) are
+        excluded.
+        """
+        with self._lock:
+            records = list(self._records)
+        errors = [
+            r.selectivity_error
+            for r in records
+            if r.ok and r.selectivity_error == r.selectivity_error
+        ]
+        histogram = {f"le_{bound}": 0 for bound in SELECTIVITY_ERROR_BUCKETS}
+        histogram["inf"] = 0
+        for error in errors:
+            for bound in SELECTIVITY_ERROR_BUCKETS:
+                if error <= bound:
+                    histogram[f"le_{bound}"] += 1
+                    break
+            else:
+                histogram["inf"] += 1
+        return histogram
 
     def procedure_report(self, procedures: ProcedureRegistry) -> dict[str, dict[str, float]]:
         """Per-procedure calls and cumulative wall time (from the registry)."""
@@ -189,7 +241,11 @@ class MetricsRegistry:
             f"   prefetched {int(s['pages_prefetched'])}",
             f"  rows returned      {int(s['rows_returned']):>8}",
             f"  planner: kd-tree   {int(s['kdtree_queries']):>8}"
-            f"   scan {int(s['scan_queries'])}",
+            f"   scan {int(s['scan_queries'])}"
+            f"   bitmap {int(s['bitmap_queries'])}"
+            f"   hybrid {int(s['hybrid_queries'])}",
+            f"  selectivity error  mean {s['mean_selectivity_error']:8.4f}"
+            f"   max {s['max_selectivity_error']:.4f}",
             f"  planner fallbacks  {int(s['planner_fallbacks']):>8}",
             f"  storage faults     {int(s['storage_faults']):>8}",
         ]

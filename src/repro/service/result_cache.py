@@ -31,6 +31,7 @@ def query_fingerprint(
     polyhedron: Polyhedron,
     index_name: str = "planner",
     layout_version: str = "",
+    memberships: dict[str, Any] | None = None,
 ) -> str:
     """A stable key for one polyhedron query against one table.
 
@@ -42,6 +43,9 @@ def query_fingerprint(
     ``layout_version`` is the engine's physical-layout digest (shard
     boundaries for a sharded engine): repartitioning changes the version,
     so stale entries keyed under the old layout can never be served.
+    ``memberships`` (column -> IN-list values) folds each sorted value
+    set in by column name, so the same box with different IN lists never
+    collides.
     """
     normals = np.asarray(polyhedron.normals, dtype=np.float64)
     offsets = np.asarray(polyhedron.offsets, dtype=np.float64)
@@ -60,6 +64,12 @@ def query_fingerprint(
     digest.update(layout_version.encode())
     digest.update(b"|")
     digest.update(np.ascontiguousarray(stacked[order]).tobytes())
+    for col in sorted(memberships or ()):
+        values = np.unique(np.asarray(memberships[col], dtype=np.float64))
+        digest.update(b"|in:")
+        digest.update(col.encode())
+        digest.update(b":")
+        digest.update(np.ascontiguousarray(values).tobytes())
     return digest.hexdigest()
 
 

@@ -45,7 +45,12 @@ from repro.core.planner import PlannedQuery, QueryPlanner
 from repro.db.errors import StorageFault
 from repro.ingest.delta import DELTA_BASE, SHARD_STRIDE
 from repro.ingest.manager import DEFAULT_MERGE_THRESHOLD
-from repro.db.scan import BatchScanMember, batch_full_scan, full_scan
+from repro.db.scan import (
+    BatchScanMember,
+    batch_full_scan,
+    full_scan,
+    membership_predicate,
+)
 from repro.db.stats import IOStats, QueryStats
 from repro.geometry.boxes import BoxRelation
 from repro.geometry.halfspace import Polyhedron
@@ -115,6 +120,7 @@ class ScatterGatherExecutor:
         sample_pages: int = 8,
         seed: int = 0,
         use_tight_boxes: bool = True,
+        engine: str = "auto",
         **process_opts,
     ):
         # transport="process" swaps the thread pool for one worker
@@ -134,6 +140,7 @@ class ScatterGatherExecutor:
                 sample_pages=sample_pages,
                 seed=seed,
                 use_tight_boxes=use_tight_boxes,
+                engine=engine,
                 **process_opts,
             )
         if transport != "thread":
@@ -151,6 +158,7 @@ class ScatterGatherExecutor:
         sample_pages: int = 8,
         seed: int = 0,
         use_tight_boxes: bool = True,
+        engine: str = "auto",
         **process_opts,
     ):
         if shard_set is None:
@@ -167,6 +175,7 @@ class ScatterGatherExecutor:
                 crossover=crossover,
                 sample_pages=shard_probe,
                 seed=seed + shard.shard_id,
+                engine=engine,
             )
             for shard in shard_set
         }
@@ -242,16 +251,25 @@ class ScatterGatherExecutor:
     # -- polyhedron queries -------------------------------------------------
 
     def execute(
-        self, polyhedron: Polyhedron, cancel_check: Callable[[], None] | None = None
+        self,
+        polyhedron: Polyhedron,
+        cancel_check: Callable[[], None] | None = None,
+        memberships: dict[str, np.ndarray] | None = None,
     ) -> PlannedQuery:
-        """Route, scatter, and gather one polyhedron query."""
+        """Route, scatter, and gather one polyhedron query.
+
+        ``memberships`` (column -> IN-list values) is forwarded to every
+        dispatched shard; routing stays polyhedron-only -- membership
+        filters never widen the dispatched set, they only thin rows
+        inside it.
+        """
         if cancel_check is not None:
             cancel_check()
         decision = self.router.route_polyhedron(polyhedron)
         token = _CancelToken(cancel_check)
         futures = {
             self._pool.submit(
-                self._run_shard, shard, relation, polyhedron, token
+                self._run_shard, shard, relation, polyhedron, token, memberships
             ): shard
             for shard, relation in decision.dispatched
         }
@@ -339,6 +357,7 @@ class ScatterGatherExecutor:
         self,
         polyhedra: list[Polyhedron],
         cancel_checks: list[Callable[[], None] | None] | None = None,
+        memberships_list: list[dict | None] | None = None,
     ) -> BatchResult:
         """Route, scatter, and gather a micro-batch in one fan-out.
 
@@ -360,6 +379,9 @@ class ScatterGatherExecutor:
         n = len(polyhedra)
         checks = (
             list(cancel_checks) if cancel_checks is not None else [None] * n
+        )
+        member_filters = (
+            list(memberships_list) if memberships_list is not None else [None] * n
         )
         result = BatchResult(
             members=[BatchMemberResult() for _ in range(n)], occupancy=n
@@ -390,6 +412,7 @@ class ScatterGatherExecutor:
                 entries,
                 polyhedra,
                 checks,
+                member_filters,
             ): shard_id
             for shard_id, entries in shard_entries.items()
         }
@@ -502,6 +525,7 @@ class ScatterGatherExecutor:
         entries: list[tuple[int, BoxRelation]],
         polyhedra: list[Polyhedron],
         checks: list[Callable[[], None] | None],
+        member_filters: list[dict | None],
     ) -> tuple[dict[int, tuple[str, object]], dict]:
         """One shard's share of a batch: all its members in two passes.
 
@@ -511,7 +535,9 @@ class ScatterGatherExecutor:
         """
         started = time.perf_counter()
         try:
-            return self._run_shard_batch_inner(shard, entries, polyhedra, checks)
+            return self._run_shard_batch_inner(
+                shard, entries, polyhedra, checks, member_filters
+            )
         finally:
             self._note_shard_time(shard.shard_id, time.perf_counter() - started)
 
@@ -521,6 +547,7 @@ class ScatterGatherExecutor:
         entries: list[tuple[int, BoxRelation]],
         polyhedra: list[Polyhedron],
         checks: list[Callable[[], None] | None],
+        member_filters: list[dict | None],
     ) -> tuple[dict[int, tuple[str, object]], dict]:
         inside = [m for m, relation in entries if relation is BoxRelation.INSIDE]
         partial = [m for m, relation in entries if relation is not BoxRelation.INSIDE]
@@ -529,8 +556,19 @@ class ScatterGatherExecutor:
 
         if inside:
             # Figure 4's fully-inside case at shard granularity, batched:
-            # one predicate-free pass returns every row to every member.
-            members = [BatchScanMember(cancel_check=checks[m]) for m in inside]
+            # one shared pass returns every row to every member, each
+            # member keeping only its own membership filter (if any).
+            members = [
+                BatchScanMember(
+                    predicate=(
+                        membership_predicate(member_filters[m])
+                        if member_filters[m]
+                        else None
+                    ),
+                    cancel_check=checks[m],
+                )
+                for m in inside
+            ]
             try:
                 scanned, scan_counters = batch_full_scan(shard.table, members)
             except StorageFault:
@@ -539,7 +577,13 @@ class ScatterGatherExecutor:
                 for m in inside:
                     try:
                         rows, stats = full_scan(
-                            shard.table, cancel_check=checks[m]
+                            shard.table,
+                            predicate=(
+                                membership_predicate(member_filters[m])
+                                if member_filters[m]
+                                else None
+                            ),
+                            cancel_check=checks[m],
                         )
                     except BaseException as exc:
                         outcomes[m] = ("error", exc)
@@ -576,6 +620,7 @@ class ScatterGatherExecutor:
             batch = self.planners[shard.shard_id].execute_batch(
                 [polyhedra[m] for m in partial],
                 [checks[m] for m in partial],
+                memberships_list=[member_filters[m] for m in partial],
             )
             counters["pages_decoded"] += batch.pages_decoded
             counters["shared_decode_hits"] += batch.shared_decode_hits
@@ -592,11 +637,14 @@ class ScatterGatherExecutor:
         relation: BoxRelation,
         polyhedron: Polyhedron,
         token: _CancelToken,
+        memberships: dict[str, np.ndarray] | None = None,
     ) -> PlannedQuery:
         token.check()
         started = time.perf_counter()
         try:
-            return self._run_shard_inner(shard, relation, polyhedron, token)
+            return self._run_shard_inner(
+                shard, relation, polyhedron, token, memberships
+            )
         finally:
             self._note_shard_time(shard.shard_id, time.perf_counter() - started)
 
@@ -606,12 +654,17 @@ class ScatterGatherExecutor:
         relation: BoxRelation,
         polyhedron: Polyhedron,
         token: _CancelToken,
+        memberships: dict[str, np.ndarray] | None = None,
     ) -> PlannedQuery:
         if relation is BoxRelation.INSIDE:
             # Figure 4's fully-inside case at shard granularity: the
             # shard's whole box satisfies every halfspace, so each of its
-            # rows qualifies -- no probe, no tree, no per-row tests.
-            rows, stats = full_scan(shard.table, cancel_check=token.check)
+            # rows qualifies -- no probe, no tree, no per-row tests
+            # beyond any membership filter riding on the query.
+            predicate = membership_predicate(memberships) if memberships else None
+            rows, stats = full_scan(
+                shard.table, predicate=predicate, cancel_check=token.check
+            )
             return PlannedQuery(
                 rows=rows,
                 stats=stats,
@@ -620,7 +673,7 @@ class ScatterGatherExecutor:
                 sampled_pages=0,
             )
         return self.planners[shard.shard_id].execute(
-            polyhedron, cancel_check=token.check
+            polyhedron, cancel_check=token.check, memberships=memberships
         )
 
     def _rebase_rows(

@@ -33,9 +33,11 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.bitmap.index import DEFAULT_BITMAP_BINS, BitmapIndex
 from repro.core.index_base import stack_coordinates
 from repro.core.kdtree import KdTree, KdTreeIndex, default_num_levels
 from repro.db.catalog import Database, DatabaseOptions
+from repro.db.errors import StorageFault
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.geometry.boxes import Box
 
@@ -91,6 +93,8 @@ class ShardSpec:
     partition_box: Box
     tight_box: Box
     options: DatabaseOptions = field(default_factory=DatabaseOptions)
+    #: Bins per column of the shard's bitmap index; 0 disables it.
+    bitmap_bins: int = DEFAULT_BITMAP_BINS
 
     def column_dtypes(self) -> dict[str, np.dtype]:
         """Result-schema dtypes (what a gather/merge must produce)."""
@@ -119,6 +123,15 @@ def build_shard(
         axis_policy=spec.axis_policy,
         rows_per_page=spec.rows_per_page,
     )
+    if spec.bitmap_bins:
+        try:
+            BitmapIndex.build(
+                shard_db, spec.name, list(spec.dims), num_bins=spec.bitmap_bins
+            )
+        except StorageFault:
+            # A faulty backend that kills the build just leaves the shard
+            # without a bitmap index; its planner keeps the kd/scan paths.
+            pass
     return Shard(
         shard_id=spec.shard_id,
         database=shard_db,
