@@ -176,8 +176,9 @@ def test_ablation_clustering(benchmark, bench_sample):
 
     def run():
         db = Database.in_memory(buffer_pages=None)
+        # paged=False: the leaf-row map below needs tree.permutation.
         index = KdTreeIndex.build(
-            db, "abl_clustered", bench_sample.columns(), list(BANDS)
+            db, "abl_clustered", bench_sample.columns(), list(BANDS), paged=False
         )
         tree = index.tree
         # Unclustered layout: the same rows, original (shuffled) order.

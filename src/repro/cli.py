@@ -85,6 +85,12 @@ def _build_columns(args: argparse.Namespace):
     return sample, columns
 
 
+def _index_cache_bytes(args: argparse.Namespace) -> int | None:
+    """``--index-cache-mb`` in bytes (``None`` = database default)."""
+    mb = getattr(args, "index_cache_mb", None)
+    return None if mb is None else int(mb * (1 << 20))
+
+
 def _build_engine(args: argparse.Namespace, db, columns):
     """Build the engine the flags describe; returns ``(engine, service_db)``."""
     from repro import KdPartitioner, KdTreeIndex, QueryPlanner, ScatterGatherExecutor
@@ -98,7 +104,11 @@ def _build_engine(args: argparse.Namespace, db, columns):
             f"{args.shards} kd-subtree shards (transport={transport}, "
             f"engine={engine_choice})..."
         )
-        partitioner = KdPartitioner(args.shards, buffer_pages=args.buffer_pages)
+        partitioner = KdPartitioner(
+            args.shards,
+            buffer_pages=args.buffer_pages,
+            index_cache_bytes=_index_cache_bytes(args),
+        )
         if transport == "process":
             specs = partitioner.plan("magnitudes", columns, _BANDS)
             engine = ScatterGatherExecutor(
@@ -119,6 +129,33 @@ def _build_engine(args: argparse.Namespace, db, columns):
     index = KdTreeIndex.build(db, "magnitudes", columns, _BANDS)
     BitmapIndex.build(db, "magnitudes", _BANDS)
     return QueryPlanner(index, seed=args.seed, engine=engine_choice), db
+
+
+def _print_index_cache(engine, service_db) -> None:
+    """Paged kd-tree node-cache summary (hit rate, pages decoded)."""
+    io = None
+    if service_db is not None:
+        io = service_db.io_stats.snapshot().as_dict()
+    else:
+        io_stats = getattr(engine, "io_stats", None)
+        if callable(io_stats):
+            try:
+                io = io_stats().as_dict()
+            except Exception:
+                io = None
+    if not io:
+        return
+    probes = io.get("node_cache_hits", 0) + io.get("node_cache_misses", 0)
+    decoded = io.get("index_pages_decoded", 0)
+    if not probes and not decoded:
+        return
+    rate = io.get("node_cache_hits", 0) / probes if probes else 0.0
+    print(
+        f"index node cache: {rate:.1%} hit rate "
+        f"({io.get('node_cache_hits', 0)}/{probes} probes), "
+        f"{decoded} index pages decoded, "
+        f"{io.get('node_cache_evictions', 0)} evictions"
+    )
 
 
 def _print_worker_util(engine, wall_s: float) -> None:
@@ -174,7 +211,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return _replay_connect(args)
 
     sample, columns = _build_columns(args)
-    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    cache_bytes = _index_cache_bytes(args)
+    db = Database.in_memory(
+        buffer_pages=args.buffer_pages,
+        **({} if cache_bytes is None else {"index_cache_bytes": cache_bytes}),
+    )
     engine, service_db = _build_engine(args, db, columns)
 
     workload = QueryWorkload(sample.magnitudes, seed=args.seed)
@@ -211,6 +252,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"[transport={getattr(engine, 'transport', 'inprocess')}]"
     )
     _print_worker_util(engine, report.wall_time_s)
+    _print_index_cache(engine, service_db)
     summary = service.metrics.summary()
     if summary["batches"]:
         print(
@@ -334,7 +376,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryService
 
     _, columns = _build_columns(args)
-    db = Database.in_memory(buffer_pages=args.buffer_pages)
+    cache_bytes = _index_cache_bytes(args)
+    db = Database.in_memory(
+        buffer_pages=args.buffer_pages,
+        **({} if cache_bytes is None else {"index_cache_bytes": cache_bytes}),
+    )
     engine, service_db = _build_engine(args, db, columns)
     service = QueryService(
         service_db,
@@ -423,6 +469,11 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("--seed", type=int, default=0)
     replay.add_argument("--buffer-pages", type=int, default=4096)
     replay.add_argument(
+        "--index-cache-mb", type=float, default=None,
+        help="decoded node-cache budget per paged kd-tree, in MiB "
+        "(default: the database's 4 MiB)",
+    )
+    replay.add_argument(
         "--shards", type=int, default=0,
         help="kd-subtree shard count (power of two; 0 = single unsharded index)",
     )
@@ -471,6 +522,11 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--rows", type=int, default=20_000)
     srv.add_argument("--seed", type=int, default=0)
     srv.add_argument("--buffer-pages", type=int, default=4096)
+    srv.add_argument(
+        "--index-cache-mb", type=float, default=None,
+        help="decoded node-cache budget per paged kd-tree, in MiB "
+        "(default: the database's 4 MiB)",
+    )
     srv.add_argument(
         "--shards", type=int, default=0,
         help="kd-subtree shard count (power of two; 0 = single unsharded index)",

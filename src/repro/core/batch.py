@@ -124,7 +124,6 @@ def batch_kd_query(
     stats = [QueryStats() for _ in range(n)]
     errors: list[BaseException | None] = [None] * n
     ranges: list[list[_Range]] = [[] for _ in range(n)]
-    box_of = tree.tight_box if use_tight_boxes else tree.partition_box
     zone_map = table.zone_map() if use_zone_maps else None
     pruners = [
         zone_map.pruner(polyhedron, dims) if zone_map is not None else None
@@ -149,10 +148,9 @@ def batch_kd_query(
             live.append(m)
         if not live:
             continue
-        start, end = tree.node_rows(node)
+        start, end, box = tree.visit_info(node, use_tight_boxes)
         if start == end:
             continue
-        box = box_of(node)
         deeper: list[int] = []
         for m in live:
             stats[m].nodes_visited += 1

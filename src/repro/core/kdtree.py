@@ -254,6 +254,42 @@ class KdTree:
             return self.partition_box(node)
         return Box(self._tight_lo[node], self._tight_hi[node])
 
+    def visit_info(self, node: int, tight: bool = True):
+        """One-call node visit: ``(start, end, box)``.
+
+        Returns the node's clustered row range and its pruning box
+        (tight when requested and finite, else the partition cell);
+        ``box`` is ``None`` for empty nodes, which the traversals skip
+        before classifying.  Exists so paged trees
+        (:class:`~repro.core.kdpaged.PagedKdTree`) answer a node visit
+        with one cache probe; the in-memory implementation simply
+        composes the accessors.
+        """
+        start, end = self.node_rows(node)
+        if start == end:
+            return start, end, None
+        box = self.tight_box(node) if tight else self.partition_box(node)
+        return start, end, box
+
+    def export_node_arrays(self) -> dict[str, np.ndarray]:
+        """The raw node arrays, for serialization into index pages.
+
+        Keys follow the internal array names; every array is indexed by
+        heap slot (slot 0 unused).  Consumed by
+        :func:`repro.core.kdpaged.tree_node_pages`.
+        """
+        return {
+            "split_axis": self._split_axis,
+            "split_value": self._split_value,
+            "seg_start": self._seg_start,
+            "seg_end": self._seg_end,
+            "post_order": self._post_order,
+            "partition_lo": self._partition_lo,
+            "partition_hi": self._partition_hi,
+            "tight_lo": self._tight_lo,
+            "tight_hi": self._tight_hi,
+        }
+
     def post_order_id(self, node: int) -> int:
         """Post-order id of a heap node."""
         return int(self._post_order[node])
@@ -339,7 +375,7 @@ class KdTree:
 class KdTreeIndex(SpatialIndex):
     """Kd-tree + clustered engine table: the §3.2 index end to end."""
 
-    def __init__(self, database: Database, table: Table, tree: KdTree, dims: list[str]):
+    def __init__(self, database: Database, table: Table, tree, dims: list[str]):
         self._db = database
         self._table = table
         self._tree = tree
@@ -354,12 +390,22 @@ class KdTreeIndex(SpatialIndex):
         num_levels: int | None = None,
         axis_policy: str = "widest",
         rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+        paged: bool = True,
     ) -> "KdTreeIndex":
         """Build the tree over ``data[dims]`` and materialize the clustered table.
 
         The table gains a ``kd_leaf`` column (the leaf's post-order id)
         and is clustered on it; the index registers itself in the catalog
         as ``<name>.kdtree``.
+
+        With ``paged`` on (the default) the node arrays are serialized
+        into compressed pages under the table's index namespace and the
+        index serves traversals through a lazily materialized
+        :class:`~repro.core.kdpaged.PagedKdTree` -- the in-memory arrays
+        (including the O(N) build permutation) are released.  A write
+        fault during paging degrades to serving the in-memory tree.
+        ``paged=False`` keeps the in-memory tree (callers that need
+        ``tree.permutation`` after the build).
         """
         points = stack_coordinates(data, list(dims))
         tree = KdTree(points, num_levels=num_levels, axis_policy=axis_policy)
@@ -379,7 +425,12 @@ class KdTreeIndex(SpatialIndex):
         table = database.create_table(
             name, table_data, rows_per_page=rows_per_page, clustered_by=("kd_leaf",)
         )
-        index = KdTreeIndex(database, table, tree, dims)
+        serving_tree = tree
+        if paged:
+            from repro.core.kdpaged import paged_tree_for
+
+            serving_tree = paged_tree_for(database, table.physical_name, tree)
+        index = KdTreeIndex(database, table, serving_tree, dims)
         database.register_index(f"{name}.kdtree", index)
         return index
 
@@ -389,8 +440,14 @@ class KdTreeIndex(SpatialIndex):
         return self._table
 
     @property
-    def tree(self) -> KdTree:
-        """The in-memory tree structure."""
+    def tree(self):
+        """The tree structure serving traversals.
+
+        Either an in-memory :class:`KdTree` or a paged
+        :class:`~repro.core.kdpaged.PagedKdTree`; both expose the same
+        traversal surface (``visit_info``, boxes, post-order ids, point
+        location).  Only the in-memory tree carries ``permutation``.
+        """
         return self._tree
 
     @property
@@ -450,7 +507,6 @@ class KdTreeIndex(SpatialIndex):
             )
         stats = QueryStats()
         pieces: list[dict[str, np.ndarray]] = []
-        box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         pruner = self._pruner(polyhedron) if use_zone_maps else None
         inside_predicate = None
         if memberships:
@@ -464,11 +520,11 @@ class KdTreeIndex(SpatialIndex):
             node = stack.pop()
             if cancel_check is not None:
                 cancel_check()
-            start, end = self._tree.node_rows(node)
+            start, end, box = self._tree.visit_info(node, use_tight_boxes)
             if start == end:
                 continue
             stats.nodes_visited += 1
-            relation = polyhedron.classify_box(box_of(node))
+            relation = polyhedron.classify_box(box)
             if relation is BoxRelation.OUTSIDE:
                 stats.cells_outside += 1
                 continue
@@ -525,17 +581,16 @@ class KdTreeIndex(SpatialIndex):
             )
         stats = QueryStats()
         ranges: list[tuple[int, int]] = []
-        box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         stack = [1]
         while stack:
             node = stack.pop()
             if cancel_check is not None:
                 cancel_check()
-            start, end = self._tree.node_rows(node)
+            start, end, box = self._tree.visit_info(node, use_tight_boxes)
             if start == end:
                 continue
             stats.nodes_visited += 1
-            relation = polyhedron.classify_box(box_of(node))
+            relation = polyhedron.classify_box(box)
             if relation is BoxRelation.OUTSIDE:
                 stats.cells_outside += 1
             elif relation is BoxRelation.INSIDE:
@@ -588,17 +643,16 @@ class KdTreeIndex(SpatialIndex):
             raise ValueError(
                 f"polyhedron dim {polyhedron.dim} != index dim {len(self._dims)}"
             )
-        box_of = self._tree.tight_box if use_tight_boxes else self._tree.partition_box
         pruner = self._pruner(polyhedron)
         snapshot = self._table.delta_snapshot()
         tombstones = snapshot.tombstones if snapshot is not None else None
         stack = [1]
         while stack:
             node = stack.pop()
-            start, end = self._tree.node_rows(node)
+            start, end, box = self._tree.visit_info(node, use_tight_boxes)
             if start == end:
                 continue
-            relation = polyhedron.classify_box(box_of(node))
+            relation = polyhedron.classify_box(box)
             if relation is BoxRelation.OUTSIDE:
                 continue
             if relation is BoxRelation.INSIDE:

@@ -236,12 +236,14 @@ def knn_boundary_points(
         if cancel_check is not None:
             cancel_check()
         node = stack.pop()
-        if tree.partition_box(node).min_distance_to_point(point) >= m:
+        # One box probe per visit (a paged tree pays a cache probe per
+        # accessor call); the bound is reused for the fallback offer.
+        bound = tree.partition_box(node).min_distance_to_point(point)
+        if bound >= m:
             continue
         if tree.is_leaf(node):
             if node not in examined and tree.leaf_size(node) > 0:
                 fallback += 1
-                bound = tree.partition_box(node).min_distance_to_point(point)
                 top = max(1, k - result.safe_count(bound))
                 distances, row_ids = _leaf_candidates(
                     index, node, point, top, stats, tombstones=tombstones

@@ -42,11 +42,23 @@ from repro.db.faults import RetryPolicy, call_with_retries
 from repro.db.pages import Page, PageCodec
 from repro.db.storage import Storage
 
-__all__ = ["BufferPool", "DEFAULT_DECODED_BYTES", "DEFAULT_READAHEAD_PAGES"]
+__all__ = [
+    "BufferPool",
+    "DEFAULT_DECODED_BYTES",
+    "DEFAULT_INDEX_CACHE_BYTES",
+    "DEFAULT_READAHEAD_PAGES",
+]
 
 #: Default byte budget of the decoded-page cache (~8K pages of the
 #: default SDSS magnitude schema).
 DEFAULT_DECODED_BYTES = 64 << 20
+
+#: Default byte budget of a paged kd-tree's decoded node cache
+#: (:mod:`repro.core.kdpaged`).  Deliberately small relative to the
+#: node arrays of a deep tree: the paged tree is the "index bigger than
+#: RAM" configuration, so its working set must not silently grow to the
+#: whole index.
+DEFAULT_INDEX_CACHE_BYTES = 4 << 20
 
 #: Default coalescing window of the scan layer's read-ahead: how many
 #: adjacent surviving pages ride in one multi-page storage request.
@@ -231,6 +243,17 @@ class BufferPool:
         if self.capacity_pages is not None:
             while len(self._cache) > self.capacity_pages:
                 self._cache.popitem(last=False)
+
+    def cached_namespaces(self) -> set[str]:
+        """Namespaces with at least one page in either cache level.
+
+        Introspection for cache-hygiene tests: after a drop or a
+        generation swap, the retired namespace must not appear here.
+        """
+        with self._lock:
+            names = {key[0] for key in self._cache}
+            names.update(key[0] for key in self._decoded)
+            return names
 
     def invalidate(self, namespace: str) -> None:
         """Drop every cached page of a namespace (both cache levels)."""

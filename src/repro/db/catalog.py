@@ -22,13 +22,14 @@ import numpy as np
 
 from repro.db.buffer_pool import (
     DEFAULT_DECODED_BYTES,
+    DEFAULT_INDEX_CACHE_BYTES,
     DEFAULT_READAHEAD_PAGES,
     BufferPool,
 )
 from repro.db.faults import FaultInjector, FaultyStorage, RetryPolicy
 from repro.db.procedures import ProcedureRegistry
 from repro.db.stats import IOStats
-from repro.db.storage import FileStorage, MemoryStorage, Storage
+from repro.db.storage import FileStorage, MemoryStorage, Storage, index_namespace
 from repro.db.table import DEFAULT_ROWS_PER_PAGE, Table
 from repro.db.zonemap import ZoneMap
 from repro.ingest.manager import IngestManager
@@ -56,6 +57,9 @@ class DatabaseOptions:
     zone_maps: bool = True
     decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES
     readahead_pages: int = DEFAULT_READAHEAD_PAGES
+    #: Byte budget of each paged kd-tree's decoded node cache
+    #: (:mod:`repro.core.kdpaged`).
+    index_cache_bytes: int = DEFAULT_INDEX_CACHE_BYTES
     #: When set, the opened storage is wrapped in a
     #: :class:`~repro.db.faults.FaultyStorage` around this injector.
     fault: FaultInjector | None = None
@@ -73,6 +77,7 @@ class DatabaseOptions:
             zone_maps=self.zone_maps,
             decoded_cache_bytes=self.decoded_cache_bytes,
             readahead_pages=self.readahead_pages,
+            index_cache_bytes=self.index_cache_bytes,
         )
 
 
@@ -97,6 +102,7 @@ class Database:
         zone_maps: bool = True,
         decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        index_cache_bytes: int = DEFAULT_INDEX_CACHE_BYTES,
     ):
         self.storage = storage
         # Picklable record of how this database was opened, so shard
@@ -109,6 +115,7 @@ class Database:
             zone_maps=zone_maps,
             decoded_cache_bytes=decoded_cache_bytes,
             readahead_pages=readahead_pages,
+            index_cache_bytes=index_cache_bytes,
         )
         self.buffer_pool = BufferPool(
             storage,
@@ -199,15 +206,19 @@ class Database:
             self.ingest.forget(name)
             for namespace in namespaces:
                 self._zone_maps.pop(namespace, None)
-                self.buffer_pool.invalidate(namespace)
-                self.storage.drop_namespace(namespace)
+                # Each data namespace may carry index node pages in its
+                # paired index namespace; both cache levels and storage
+                # are cleared for both.
+                for ns in (namespace, index_namespace(namespace)):
+                    self.buffer_pool.invalidate(ns)
+                    self.storage.drop_namespace(ns)
             stale = [
                 k
                 for k, v in self._indexes.items()
                 if getattr(v, "table_name", None) == name
             ]
             for key in stale:
-                del self._indexes[key]
+                self._teardown_index(self._indexes.pop(key))
         self._notify_mutation(name)
 
     def swap_table(
@@ -240,8 +251,12 @@ class Database:
                 if namespace == table.physical_name:
                     continue
                 self._zone_maps.pop(namespace, None)
-                self.buffer_pool.invalidate(namespace)
-                self.storage.drop_namespace(namespace)
+                # Retire the generation's index pages with its data
+                # pages: a stale node page served after the swap would
+                # route reads through a dead layout.
+                for ns in (namespace, index_namespace(namespace)):
+                    self.buffer_pool.invalidate(ns)
+                    self.storage.drop_namespace(ns)
         self._notify_mutation(name)
         return old
 
@@ -333,10 +348,30 @@ class Database:
         Used by merges that could not rebuild a secondary index for the
         new generation: dropping the stale entry makes dependent
         planners degrade (no index) instead of serving a superseded
-        layout.
+        layout.  A paged index's node pages are invalidated from the
+        buffer pool and dropped from storage, and its node cache is
+        emptied -- nothing of the dropped index can be served afterwards.
         """
         with self.lock:
-            return self._indexes.pop(name, None) is not None
+            index = self._indexes.pop(name, None)
+            if index is None:
+                return False
+            self._teardown_index(index)
+            return True
+
+    def _teardown_index(self, index: Any) -> None:
+        # Duck-typed on purpose: the catalog cannot import repro.core
+        # (core imports the catalog).  Paged trees expose ``namespace``
+        # and ``drop_node_cache``; in-memory trees and bitmap indexes
+        # expose neither and need no storage teardown here.
+        tree = getattr(index, "tree", None)
+        namespace = getattr(tree, "namespace", None)
+        if namespace is not None:
+            self.buffer_pool.invalidate(namespace)
+            self.storage.drop_namespace(namespace)
+        drop = getattr(tree, "drop_node_cache", None)
+        if drop is not None:
+            drop()
 
     def registered_indexes(self) -> dict[str, Any]:
         """Snapshot of the index registry (persistence, introspection)."""
@@ -355,8 +390,18 @@ class Database:
         self.storage.stats.reset()
 
     def cold_cache(self) -> None:
-        """Clear the buffer pool, simulating a restart / cold run."""
+        """Clear every cache, simulating a restart / cold run.
+
+        Covers the buffer pool (both levels) *and* the node caches of
+        paged kd-trees -- a cold run that kept decoded index nodes
+        around would understate cold-start I/O.
+        """
         self.buffer_pool.clear()
+        with self.lock:
+            for index in self._indexes.values():
+                drop = getattr(getattr(index, "tree", None), "drop_node_cache", None)
+                if drop is not None:
+                    drop()
 
     def __repr__(self) -> str:
         return (

@@ -61,6 +61,11 @@ class FaultInjector:
         Probability a write attempt raises :class:`WriteFault`.
     read_latency_s:
         Sleep injected into every read attempt (I/O stall model).
+    namespace_filter:
+        Substring that a namespace must contain for rate-based faults to
+        apply (``None`` = every namespace).  Lets a sweep target only
+        index pages (``"__kdindex__"``) or only one table's data pages
+        while the rest of the database reads clean.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class FaultInjector:
         corrupt_rate: float = 0.0,
         write_fault_rate: float = 0.0,
         read_latency_s: float = 0.0,
+        namespace_filter: str | None = None,
     ):
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
@@ -78,7 +84,9 @@ class FaultInjector:
         self.corrupt_rate = corrupt_rate
         self.write_fault_rate = write_fault_rate
         self.read_latency_s = read_latency_s
+        self.namespace_filter = namespace_filter
         self._burst_remaining = 0
+        self._burst_namespace: str | None = None
         # Observability: how many of each fault actually fired.
         self.reads_failed = 0
         self.pages_corrupted = 0
@@ -93,6 +101,7 @@ class FaultInjector:
         corrupt_rate: float | None = None,
         write_fault_rate: float | None = None,
         read_latency_s: float | None = None,
+        namespace_filter: str | None = None,
     ) -> "FaultInjector":
         """Change rates at runtime (e.g. enable faults only after a build)."""
         with self._lock:
@@ -104,6 +113,8 @@ class FaultInjector:
                 self.write_fault_rate = write_fault_rate
             if read_latency_s is not None:
                 self.read_latency_s = read_latency_s
+            if namespace_filter is not None:
+                self.namespace_filter = namespace_filter
         return self
 
     def quiesce(self) -> "FaultInjector":
@@ -113,18 +124,32 @@ class FaultInjector:
             self.corrupt_rate = 0.0
             self.write_fault_rate = 0.0
             self.read_latency_s = 0.0
+            self.namespace_filter = None
             self._burst_remaining = 0
+            self._burst_namespace = None
         return self
 
-    def fail_next_reads(self, count: int) -> "FaultInjector":
+    def fail_next_reads(
+        self, count: int, namespace: str | None = None
+    ) -> "FaultInjector":
         """Script a burst: the next ``count`` read attempts fail transiently.
 
         Bursts are how tests exhaust a bounded retry budget on purpose
         (an outage), where rate-based faults would almost always recover.
+        With ``namespace`` the burst counts down only on reads whose
+        namespace contains that substring; other reads pass untouched,
+        so an index-only outage leaves the data pages online.
         """
         with self._lock:
             self._burst_remaining = count
+            self._burst_namespace = namespace
         return self
+
+    def _namespace_matches(self, namespace: str | None) -> bool:
+        """Whether rate-based faults apply to this namespace (lock held)."""
+        if self.namespace_filter is None or namespace is None:
+            return True
+        return self.namespace_filter in namespace
 
     # -- decision points (called by FaultyStorage) --------------------------
 
@@ -133,13 +158,19 @@ class FaultInjector:
         with self._lock:
             self.read_attempts += 1
             latency = self.read_latency_s
-            if self._burst_remaining > 0:
+            if self._burst_remaining > 0 and (
+                self._burst_namespace is None or self._burst_namespace in namespace
+            ):
                 self._burst_remaining -= 1
                 self.reads_failed += 1
                 raise TransientIOError(
                     f"injected burst read fault on ({namespace!r}, {page_id})"
                 )
-            if self.read_fault_rate > 0 and self._rng.random() < self.read_fault_rate:
+            if (
+                self.read_fault_rate > 0
+                and self._namespace_matches(namespace)
+                and self._rng.random() < self.read_fault_rate
+            ):
                 self.reads_failed += 1
                 raise TransientIOError(
                     f"injected transient read fault on ({namespace!r}, {page_id})"
@@ -147,9 +178,16 @@ class FaultInjector:
         if latency > 0:
             time.sleep(latency)
 
-    def corrupt_this_read(self) -> bool:
-        """Whether the page of the current read should come back torn."""
+    def corrupt_this_read(self, namespace: str | None = None) -> bool:
+        """Whether the page of the current read should come back torn.
+
+        Filtered-out namespaces return ``False`` without consuming an RNG
+        draw, so scoping the injector does not perturb the fault sequence
+        the targeted namespace observes.
+        """
         with self._lock:
+            if not self._namespace_matches(namespace):
+                return False
             if self.corrupt_rate > 0 and self._rng.random() < self.corrupt_rate:
                 self.pages_corrupted += 1
                 return True
@@ -159,7 +197,11 @@ class FaultInjector:
         """Raise per the configured write faults; called before the write."""
         with self._lock:
             self.write_attempts += 1
-            if self.write_fault_rate > 0 and self._rng.random() < self.write_fault_rate:
+            if (
+                self.write_fault_rate > 0
+                and self._namespace_matches(namespace)
+                and self._rng.random() < self.write_fault_rate
+            ):
                 self.writes_failed += 1
                 raise WriteFault(
                     f"injected write fault on ({namespace!r}, {page_id})"
@@ -233,7 +275,7 @@ class FaultyStorage(Storage):
     def read_page_bytes(self, namespace: str, page_id: int) -> bytes:
         self.injector.on_read_attempt(namespace, page_id)
         data = self.inner.read_page_bytes(namespace, page_id)
-        if self.injector.corrupt_this_read():
+        if self.injector.corrupt_this_read(namespace):
             return _torn_bytes(data, page_id)
         return data
 
@@ -245,7 +287,9 @@ class FaultyStorage(Storage):
             self.injector.on_read_attempt(namespace, page_id)
         blobs = self.inner.read_pages_bytes(namespace, page_ids)
         return [
-            _torn_bytes(data, page_id) if self.injector.corrupt_this_read() else data
+            _torn_bytes(data, page_id)
+            if self.injector.corrupt_this_read(namespace)
+            else data
             for page_id, data in zip(page_ids, blobs)
         ]
 

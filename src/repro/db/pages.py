@@ -30,6 +30,9 @@ __all__ = ["Page", "PageCodec"]
 _MAGIC = b"RPG2"
 #: Pre-checksum format; still decodable (no verification possible).
 _LEGACY_MAGIC = b"RPG1"
+#: zlib-compressed body (index node pages).  The CRC32 covers the
+#: *compressed* payload, so torn bytes are caught before decompression.
+_COMPRESSED_MAGIC = b"RPGZ"
 
 
 @dataclass
@@ -49,6 +52,11 @@ class Page:
     page_id: int
     start_row: int
     columns: dict[str, np.ndarray]
+    #: Serialize with a zlib-compressed body (``RPGZ``).  Index node
+    #: pages set this: their box coordinates compress well and they are
+    #: read through a decoded cache, so the extra CPU is paid rarely.
+    #: Round-trips through the codec (decode restores the flag).
+    compress: bool = False
 
     @property
     def num_rows(self) -> int:
@@ -88,6 +96,9 @@ class PageCodec:
     The CRC covers the whole body, so any bit flip after the header is
     caught at decode time (:class:`~repro.db.errors.CorruptPageError`).
     Legacy ``RPG1`` pages (pre-checksum) still decode, unverified.
+    Pages flagged ``compress=True`` serialize as ``RPGZ``: the body is
+    zlib-compressed and the CRC covers the compressed payload, so torn
+    bytes surface through the same checksum path before any inflate.
     """
 
     @staticmethod
@@ -109,6 +120,9 @@ class PageCodec:
             buf.write(struct.pack("<qq", len(arr), len(raw)))
             buf.write(raw)
         body = buf.getvalue()
+        if page.compress:
+            payload = zlib.compress(body, 6)
+            return _COMPRESSED_MAGIC + struct.pack("<I", zlib.crc32(payload)) + payload
         return _MAGIC + struct.pack("<I", zlib.crc32(body)) + body
 
     @staticmethod
@@ -122,7 +136,7 @@ class PageCodec:
         ``None`` for legacy ``RPG1`` pages (no checksum to key on) and
         for blobs too short to carry one.
         """
-        if len(data) < 8 or data[:4] != _MAGIC:
+        if len(data) < 8 or data[:4] not in (_MAGIC, _COMPRESSED_MAGIC):
             return None
         return struct.unpack("<I", data[4:8])[0]
 
@@ -134,11 +148,22 @@ class PageCodec:
         checksum mismatch, or a row-count/payload inconsistency.
         """
         magic = data[:4]
+        compressed = False
         if magic == _MAGIC:
             (checksum,) = struct.unpack("<I", data[4:8])
             body = data[8:]
             if zlib.crc32(body) != checksum:
                 raise CorruptPageError("corrupt page: checksum mismatch")
+        elif magic == _COMPRESSED_MAGIC:
+            (checksum,) = struct.unpack("<I", data[4:8])
+            payload = data[8:]
+            if zlib.crc32(payload) != checksum:
+                raise CorruptPageError("corrupt page: checksum mismatch")
+            try:
+                body = zlib.decompress(payload)
+            except zlib.error as exc:  # pragma: no cover - CRC catches first
+                raise CorruptPageError(f"corrupt page: {exc}") from exc
+            compressed = True
         elif magic == _LEGACY_MAGIC:
             body = data[4:]
         else:
@@ -162,4 +187,9 @@ class PageCodec:
         except (struct.error, UnicodeDecodeError, TypeError, ValueError) as exc:
             # A checksummed page cannot reach here; legacy pages can.
             raise CorruptPageError(f"corrupt page: {exc}") from exc
-        return Page(page_id=page_id, start_row=start_row, columns=columns)
+        return Page(
+            page_id=page_id,
+            start_row=start_row,
+            columns=columns,
+            compress=compressed,
+        )

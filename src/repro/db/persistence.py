@@ -79,6 +79,24 @@ def save_catalog(database: Database) -> Path:
             for key, index in sorted(database.registered_indexes().items())
             if key.endswith(".bitmap")
         ],
+        # Paged kd-trees persist as a *layout* (a few integers), not a
+        # serialized tree: their node pages are already on disk under
+        # the index namespace, so reattach reopens them page-for-page --
+        # the restart pays no rebuild and no full deserialize.  Only
+        # paged trees appear here; in-memory trees are rebuilt by their
+        # owners as before.  Absent in catalogs written before the key
+        # existed.
+        "kd_indexes": [
+            {
+                "name": index.table_name,
+                "table": index.table.physical_name,
+                "dims": index.dims,
+                "layout": index.tree.layout.to_dict(),
+            }
+            for key, index in sorted(database.registered_indexes().items())
+            if key.endswith(".kdtree")
+            and getattr(index.tree, "layout", None) is not None
+        ],
     }
     path = storage.root / CATALOG_FILENAME
     with open(path, "w", encoding="utf-8") as fh:
@@ -150,6 +168,31 @@ def attach_database(
                 f"{payload['name']}.bitmap",
                 BitmapIndex.from_dict(database, payload),
             )
+    for payload in catalog.get("kd_indexes", ()):
+        # Reattach a paged kd-tree without reading a node page: the
+        # layout names the page count, and the pages stream in lazily
+        # on first traversal.  Skipped when the physical generation or
+        # its node pages did not survive intact -- the owner rebuilds.
+        from repro.core.kdpaged import PagedKdTree, PagedTreeLayout
+        from repro.core.kdtree import KdTreeIndex
+        from repro.db.storage import index_namespace
+
+        if payload["table"] not in physical_names:
+            continue
+        layout = PagedTreeLayout.from_dict(payload["layout"])
+        stored = database.storage.num_pages(index_namespace(payload["table"]))
+        if stored != layout.num_pages:
+            continue
+        tree = PagedKdTree(database, payload["table"], layout)
+        database.register_index(
+            f"{payload['name']}.kdtree",
+            KdTreeIndex(
+                database,
+                database.table(payload["name"]),
+                tree,
+                list(payload["dims"]),
+            ),
+        )
     if wal_frames is not None:
         database.ingest_wal = IngestWal(wal_frames)
         database.ingest_wal.replay(database, on_corrupt=on_corrupt)

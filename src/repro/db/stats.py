@@ -30,6 +30,13 @@ class IOStats:
     copy (CRC and decode both skipped), ``pages_prefetched`` counts pages
     brought in by coalesced read-ahead, and ``coalesced_reads`` counts
     the multi-page storage requests those rode in on.
+
+    The index counters cover paged kd-trees (:mod:`repro.core.kdpaged`):
+    ``node_cache_hits`` / ``node_cache_misses`` are probes of a tree's
+    decoded node cache, ``index_pages_decoded`` counts node pages
+    materialized into that cache (one per miss), and
+    ``node_cache_evictions`` counts node pages pushed out by the byte
+    budget.
     """
 
     page_reads: int = 0
@@ -44,6 +51,10 @@ class IOStats:
     decode_hits: int = 0
     pages_prefetched: int = 0
     coalesced_reads: int = 0
+    index_pages_decoded: int = 0
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
+    node_cache_evictions: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
@@ -61,6 +72,10 @@ class IOStats:
         "decode_hits",
         "pages_prefetched",
         "coalesced_reads",
+        "index_pages_decoded",
+        "node_cache_hits",
+        "node_cache_misses",
+        "node_cache_evictions",
     )
 
     def add(self, **deltas: int) -> None:

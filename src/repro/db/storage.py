@@ -42,7 +42,29 @@ from repro.db.errors import TransientIOError, WriteFault
 from repro.db.pages import Page, PageCodec
 from repro.db.stats import IOStats
 
-__all__ = ["Storage", "MemoryStorage", "FileStorage"]
+__all__ = [
+    "Storage",
+    "MemoryStorage",
+    "FileStorage",
+    "INDEX_NAMESPACE_PREFIX",
+    "index_namespace",
+]
+
+#: Namespace prefix for on-disk index pages.  Index namespaces live in
+#: the same storage as data pages (so they share the buffer pool, fault
+#: injection, and retry machinery) but are visibly segregated so cache
+#: hygiene can target them per table generation.
+INDEX_NAMESPACE_PREFIX = "__kdindex__"
+
+
+def index_namespace(physical_name: str) -> str:
+    """The storage namespace holding index node pages for a table.
+
+    Keyed by *physical* name (``sky@g1``), so each merge generation gets
+    its own index namespace and a generation swap can drop the retiree's
+    node pages without touching the incoming tree's.
+    """
+    return f"{INDEX_NAMESPACE_PREFIX}/{physical_name}"
 
 
 class Storage(abc.ABC):

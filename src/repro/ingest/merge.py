@@ -165,8 +165,18 @@ def merge_table(
                 clustered_by=("kd_leaf",),
                 physical_name=physical,
             )
+            serving_tree = tree
+            if getattr(index.tree, "layout", None) is not None:
+                # The outgoing index was paged; page the new generation
+                # too, under the new physical namespace.  A write fault
+                # degrades to serving the in-memory tree (the kd analog
+                # of the bitmap's drop-on-rebuild-failure below: the
+                # answers stay correct, only the paging is lost).
+                from repro.core.kdpaged import paged_tree_for
+
+                serving_tree = paged_tree_for(database, physical, tree)
             indexes[f"{name}.kdtree"] = KdTreeIndex(
-                database, new_table, tree, dims
+                database, new_table, serving_tree, dims
             )
             old_bitmap = database.index_if_exists(f"{name}.bitmap")
             if old_bitmap is not None:

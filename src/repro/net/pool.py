@@ -68,7 +68,11 @@ from repro.net.wire import (
     stats_from_wire,
 )
 from repro.net.worker import WorkerConfig, worker_main
-from repro.shard.partitioner import ShardSpec, shard_layout_version
+from repro.shard.partitioner import (
+    ShardSpec,
+    attach_prebuilt_index,
+    shard_layout_version,
+)
 
 __all__ = ["ShardWorkerPool", "WorkerDied"]
 
@@ -1307,13 +1311,23 @@ class ShardWorkerPool:
             pts = np.column_stack(
                 [np.asarray(columns[d], dtype=np.float64) for d in old.dims]
             )
+            # Clear the prebuilt index fields before recomputing: stale
+            # blobs carried by replace() would describe the pre-recut
+            # tree.  attach_prebuilt_index rebuilds them for the new
+            # rows, so the respawn (and every later crash respawn)
+            # installs pages instead of re-running the build.
             new_spec = replace(
                 old,
                 columns=columns,
                 num_rows=num_rows,
                 num_levels=min(old.num_levels, max(1, int(num_rows).bit_length())),
                 tight_box=Box(pts.min(axis=0), pts.max(axis=0)),
+                kd_leaf=None,
+                index_pages=None,
+                index_layout=None,
             )
+            if old.index_pages is not None:
+                attach_prebuilt_index(new_spec)
             with self._spawn_lock:
                 handle = self._handles[sid]
                 handle.shutdown()

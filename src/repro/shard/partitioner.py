@@ -46,6 +46,7 @@ __all__ = [
     "Shard",
     "ShardSet",
     "ShardSpec",
+    "attach_prebuilt_index",
     "build_shard",
     "shard_layout_version",
 ]
@@ -95,10 +96,94 @@ class ShardSpec:
     options: DatabaseOptions = field(default_factory=DatabaseOptions)
     #: Bins per column of the shard's bitmap index; 0 disables it.
     bitmap_bins: int = DEFAULT_BITMAP_BINS
+    #: Prebuilt index shipment (see :func:`attach_prebuilt_index`): the
+    #: parent builds the shard tree once and ships its clustering column
+    #: and encoded node pages, so the worker installs page blobs instead
+    #: of re-running the median-split build.  ``None`` -> the worker
+    #: builds from scratch.
+    kd_leaf: np.ndarray | None = None
+    index_pages: list[bytes] | None = None
+    index_layout: dict | None = None
 
     def column_dtypes(self) -> dict[str, np.dtype]:
         """Result-schema dtypes (what a gather/merge must produce)."""
         return {name: arr.dtype for name, arr in self.columns.items()}
+
+
+def attach_prebuilt_index(spec: ShardSpec) -> ShardSpec:
+    """Build the shard's kd-tree in the parent and ship it as page blobs.
+
+    Fills the spec's ``kd_leaf`` (the clustering column that reproduces
+    the tree's row order byte-for-byte on the worker -- the stable
+    cluster sort puts rows in left-to-right leaf order with original
+    ascending order inside each leaf, exactly the build permutation),
+    ``index_pages`` (encoded ``RPGZ`` node pages), and ``index_layout``.
+    A worker then installs the blobs instead of re-running the
+    median-split build, so spawn/respawn cost stops scaling with index
+    depth.  Must be re-run (or the fields cleared) whenever the spec's
+    columns or tree geometry change -- stale blobs would describe a
+    different tree.
+    """
+    from repro.core.kdpaged import PagedTreeLayout, tree_node_pages
+    from repro.db.pages import PageCodec
+
+    points = stack_coordinates(spec.columns, list(spec.dims))
+    tree = KdTree(
+        points, num_levels=spec.num_levels, axis_policy=spec.axis_policy
+    )
+    leaf_ids = np.empty(tree.num_points, dtype=np.int64)
+    leaf_post = tree.leaf_post_order_ids()
+    for j, leaf in enumerate(range(tree.first_leaf, 2 * tree.first_leaf)):
+        start, end = tree.node_rows(leaf)
+        leaf_ids[tree.permutation[start:end]] = leaf_post[j]
+    spec.kd_leaf = leaf_ids
+    spec.index_pages = [PageCodec.encode(p) for p in tree_node_pages(tree)]
+    spec.index_layout = PagedTreeLayout.for_tree(tree).to_dict()
+    return spec
+
+
+def _install_prebuilt_index(shard_db: Database, spec: ShardSpec) -> KdTreeIndex:
+    """Worker-side install of a parent-built index (see :func:`attach_prebuilt_index`).
+
+    Creates the clustered table from the shipped ``kd_leaf`` column and
+    writes the node-page blobs under the index namespace.  A storage
+    fault during the page install degrades to rebuilding the in-memory
+    tree locally (the table is already clustered identically, so the
+    rebuilt tree's row ranges address it unchanged).
+    """
+    from repro.core.kdpaged import PagedKdTree, PagedTreeLayout
+    from repro.db.pages import PageCodec
+    from repro.db.storage import index_namespace
+
+    table_data = dict(spec.columns)
+    table_data["kd_leaf"] = spec.kd_leaf
+    table = shard_db.create_table(
+        spec.name,
+        table_data,
+        rows_per_page=spec.rows_per_page,
+        clustered_by=("kd_leaf",),
+    )
+    namespace = index_namespace(table.physical_name)
+    try:
+        for blob in spec.index_pages:
+            shard_db.storage.write_page(namespace, PageCodec.decode(blob))
+    except StorageFault:
+        shard_db.buffer_pool.invalidate(namespace)
+        try:
+            shard_db.storage.drop_namespace(namespace)
+        except Exception:
+            pass
+        points = stack_coordinates(spec.columns, list(spec.dims))
+        tree = KdTree(
+            points, num_levels=spec.num_levels, axis_policy=spec.axis_policy
+        )
+    else:
+        tree = PagedKdTree(
+            shard_db, table.physical_name, PagedTreeLayout.from_dict(spec.index_layout)
+        )
+    index = KdTreeIndex(shard_db, table, tree, list(spec.dims))
+    shard_db.register_index(f"{spec.name}.kdtree", index)
+    return index
 
 
 def build_shard(
@@ -108,21 +193,30 @@ def build_shard(
 
     This is the worker-side half of partitioning: the parent computes
     specs once (:meth:`KdPartitioner.plan`) and each worker, wherever it
-    runs, builds its own engine stack from the spec alone.
+    runs, builds its own engine stack from the spec alone.  Specs
+    carrying a prebuilt index (:func:`attach_prebuilt_index`) install
+    its page blobs instead of rebuilding the tree.
     """
     if database_factory is not None:
         shard_db = database_factory(spec.shard_id)
     else:
         shard_db = spec.options.open()
-    index = KdTreeIndex.build(
-        shard_db,
-        spec.name,
-        spec.columns,
-        list(spec.dims),
-        num_levels=spec.num_levels,
-        axis_policy=spec.axis_policy,
-        rows_per_page=spec.rows_per_page,
-    )
+    if (
+        spec.index_pages is not None
+        and spec.index_layout is not None
+        and spec.kd_leaf is not None
+    ):
+        index = _install_prebuilt_index(shard_db, spec)
+    else:
+        index = KdTreeIndex.build(
+            shard_db,
+            spec.name,
+            spec.columns,
+            list(spec.dims),
+            num_levels=spec.num_levels,
+            axis_policy=spec.axis_policy,
+            rows_per_page=spec.rows_per_page,
+        )
     if spec.bitmap_bins:
         try:
             BitmapIndex.build(
@@ -345,6 +439,10 @@ class KdPartitioner:
         work there is.  (Applying √N to each shard's own row count would
         yield √num_shards times more, smaller leaves and a corresponding
         per-query overhead.)
+    index_cache_bytes:
+        Decoded node-cache byte budget of each shard's paged kd-tree
+        (``None`` keeps the database default); ignored when explicit
+        ``options`` are passed to :meth:`plan`.
     """
 
     def __init__(
@@ -356,6 +454,7 @@ class KdPartitioner:
         buffer_pages: int | None = None,
         database_factory: Callable[[int], Database] | None = None,
         shard_levels: int | None = None,
+        index_cache_bytes: int | None = None,
     ):
         if num_shards < 1 or (num_shards & (num_shards - 1)) != 0:
             raise ValueError(
@@ -368,6 +467,7 @@ class KdPartitioner:
         self.buffer_pages = buffer_pages
         self.database_factory = database_factory
         self.shard_levels = shard_levels
+        self.index_cache_bytes = index_cache_bytes
 
     def plan(
         self,
@@ -377,6 +477,7 @@ class KdPartitioner:
         *,
         options: DatabaseOptions | None = None,
         shard_options: dict[int, DatabaseOptions] | None = None,
+        prebuild_index: bool = True,
     ) -> list[ShardSpec]:
         """Compute the partitioning plan without building any database.
 
@@ -388,6 +489,11 @@ class KdPartitioner:
         give one worker a seeded injector).  The specs feed either
         :func:`build_shard` (thread transport, this process) or a
         :class:`~repro.net.pool.ShardWorkerPool` (process transport).
+
+        With ``prebuild_index`` on (the default) each spec also carries
+        the shard's kd-tree as compressed page blobs
+        (:func:`attach_prebuilt_index`), so workers -- and every later
+        respawn of a dead worker -- skip the median-split build.
         """
         points = stack_coordinates(data, list(dims))
         if len(points) < self.num_shards:
@@ -396,7 +502,13 @@ class KdPartitioner:
                 f"(got {len(points)})"
             )
         if options is None:
-            options = DatabaseOptions(buffer_pages=self.buffer_pages)
+            if self.index_cache_bytes is not None:
+                options = DatabaseOptions(
+                    buffer_pages=self.buffer_pages,
+                    index_cache_bytes=self.index_cache_bytes,
+                )
+            else:
+                options = DatabaseOptions(buffer_pages=self.buffer_pages)
         depth = self.num_shards.bit_length() - 1
         router_tree = KdTree(
             points, num_levels=depth + 1, axis_policy=self.axis_policy
@@ -433,6 +545,9 @@ class KdPartitioner:
                 )
             )
             offset += len(rows)
+        if prebuild_index:
+            for spec in specs:
+                attach_prebuilt_index(spec)
         return specs
 
     def partition(

@@ -176,7 +176,10 @@ class TestKdTreeIndex:
     def index(self, points):
         db = Database.in_memory(buffer_pages=None)
         data = {"x": points[:, 0], "y": points[:, 1], "z": points[:, 2]}
-        return KdTreeIndex.build(db, "kd", data, ["x", "y", "z"], num_levels=6)
+        # paged=False: these tests read tree.permutation after the build.
+        return KdTreeIndex.build(
+            db, "kd", data, ["x", "y", "z"], num_levels=6, paged=False
+        )
 
     def test_registered_in_catalog(self, index):
         assert index.table.clustered_by == ("kd_leaf",)
