@@ -1,0 +1,275 @@
+"""Auto-tuned divergent replicas vs a uniform default single table.
+
+The tentpole loop, measured: a mixed workload (needle slabs and
+IN-list membership probes on one band, plus classic Figure 2 mid
+boxes) runs once on a *default-configured* single table -- that run
+both sets the pages-decoded baseline and captures the workload trace.
+The greedy tuner then replays the trace against candidate configs
+(:mod:`repro.tune`), chooses two divergent replica configurations, the
+replica set materializes, and the router replays the same workload.
+
+Emits ``BENCH_autotune.json``.  Acceptance (full scale only): the
+tuned divergent replica set decodes >= 25% fewer pages than the
+uniform default table on the mixed workload, every answer is
+oid-identical to the baseline's, and the router sends >= 80% of each
+workload class to the replica the tuner specialized for it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+from repro.bitmap import BitmapIndex
+from repro.datasets.sdss import BANDS
+from repro.db.table import DEFAULT_ROWS_PER_PAGE
+from repro.geometry.halfspace import Halfspace, Polyhedron
+from repro.tune import (
+    CostReplayEvaluator,
+    GreedyConfigSelector,
+    ReplicaRouter,
+    ReplicaSet,
+    TableProfile,
+    WorkloadTraceRecorder,
+    default_config,
+)
+
+from .conftest import bench_scale, print_table, scaled
+
+NUM_NEEDLES = 10
+NUM_MEMBERS = 10
+NUM_BOXES = 10
+
+
+def _slab(dims: list[str], windows: dict[str, tuple[float, float]]) -> Polyhedron:
+    halfspaces = []
+    for axis, dim in enumerate(dims):
+        if dim not in windows:
+            continue
+        low, high = windows[dim]
+        e = np.zeros(len(dims))
+        e[axis] = 1.0
+        halfspaces.append(Halfspace(e, float(high)))
+        halfspaces.append(Halfspace(-e, -float(low)))
+    return Polyhedron(halfspaces)
+
+
+def _trivial_polyhedron(dim: int) -> Polyhedron:
+    e = np.zeros(dim)
+    e[0] = 1.0
+    return Polyhedron([Halfspace(e, np.inf)])
+
+
+def _workload(columns: dict, rng: np.random.Generator) -> dict[str, list]:
+    """Three classes over one band-heavy mixed workload.
+
+    * ``needle`` -- ~0.5% slabs on the r band alone: one-dimensional
+      precision cuts (bright-star windows) a fine-binned single-column
+      bitmap eats for breakfast.
+    * ``membership`` -- IN lists of ~50 r magnitudes from a 1% window:
+      no box geometry at all, bitmap-only territory.
+    * ``box`` -- classic 5-d mid boxes: a quantile window in *every*
+      band at ~2-10% joint selectivity, where the widest-split kd-tree
+      and zone maps do the work.
+    """
+    dims = list(BANDS)
+    r_values = np.asarray(columns["r"])
+    needles = []
+    for _ in range(NUM_NEEDLES):
+        q0 = rng.uniform(0.05, 0.9)
+        low = float(np.quantile(r_values, q0))
+        high = float(np.quantile(r_values, q0 + 0.005))
+        needles.append((_slab(dims, {"r": (low, high)}), None))
+    members = []
+    trivial = _trivial_polyhedron(len(dims))
+    for _ in range(NUM_MEMBERS):
+        q0 = rng.uniform(0.05, 0.9)
+        low = float(np.quantile(r_values, q0))
+        high = float(np.quantile(r_values, q0 + 0.01))
+        pool = r_values[(r_values >= low) & (r_values <= high)]
+        picks = rng.choice(pool, size=min(50, len(pool)), replace=False)
+        members.append((trivial, {"r": picks}))
+    boxes = []
+    for j in range(NUM_BOXES):
+        per_axis = [0.02, 0.05, 0.1][j % 3] ** (1.0 / len(dims))
+        windows = {}
+        for dim in dims:
+            values = np.asarray(columns[dim])
+            q0 = rng.uniform(0.0, 1.0 - per_axis)
+            windows[dim] = (
+                float(np.quantile(values, q0)),
+                float(np.quantile(values, q0 + per_axis)),
+            )
+        boxes.append((_slab(dims, windows), None))
+    return {"needle": needles, "membership": members, "box": boxes}
+
+
+def _run_queries(engine, queries: list) -> dict:
+    pages = 0
+    oid_sets = []
+    replicas = []
+    started = time.perf_counter()
+    for polyhedron, memberships in queries:
+        planned = engine.execute(polyhedron, memberships=memberships)
+        pages += planned.stats.pages_touched
+        oid_sets.append(frozenset(planned.rows["oid"].tolist()))
+        replicas.append(planned.stats.extra.get("replica_id"))
+    return {
+        "pages_decoded": pages,
+        "wall_s": time.perf_counter() - started,
+        "_oid_sets": oid_sets,
+        "_replicas": replicas,
+    }
+
+
+def test_autotuned_divergent_replicas(benchmark):
+    rows = scaled(32_000)
+    sample = sdss_color_sample(rows, seed=12)
+    columns = dict(sample.columns())
+    columns["oid"] = np.arange(rows, dtype=np.int64)
+    rng = np.random.default_rng(13)
+
+    classes = _workload(columns, rng)
+    class_names = list(classes.keys())
+
+    # -- baseline: uniform default single table, trace captured live ----
+    base_config = default_config()
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "tuned_mag", dict(columns), list(BANDS))
+    BitmapIndex.build(
+        db, "tuned_mag", list(BANDS), num_bins=base_config.bitmap_bins
+    )
+    baseline_planner = QueryPlanner(index, seed=15)
+    recorder = WorkloadTraceRecorder()
+    baseline_planner.trace_recorder = recorder
+    baseline = {
+        name: _run_queries(baseline_planner, queries)
+        for name, queries in classes.items()
+    }
+    trace = recorder.observations()
+    assert len(trace) == sum(len(q) for q in classes.values())
+
+    # -- tune: cost replay only, no queries executed --------------------
+    profile = TableProfile(
+        columns, list(BANDS), rows, DEFAULT_ROWS_PER_PAGE, seed=16
+    )
+    evaluator = CostReplayEvaluator(profile, trace=trace)
+    selector = GreedyConfigSelector(evaluator)
+    tune_started = time.perf_counter()
+    plan = selector.select_divergent(trace, 2)
+    tune_wall_s = time.perf_counter() - tune_started
+
+    # Which replica did the tuner specialize for each benchmark class?
+    # The trace preserves execution order, so class boundaries map
+    # straight onto plan.assignment slices; specialization = majority.
+    specialized: dict[str, int] = {}
+    cursor = 0
+    for name in class_names:
+        owners = plan.assignment[cursor : cursor + len(classes[name])]
+        cursor += len(classes[name])
+        specialized[name] = max(
+            sorted(set(owners)), key=lambda r: owners.count(r)
+        )
+
+    # -- materialize + routed replay ------------------------------------
+    def build_and_replay() -> tuple[ReplicaRouter, dict]:
+        replica_set = ReplicaSet.build(
+            "tuned_mag",
+            columns,
+            list(BANDS),
+            list(plan.configs),
+            seed=17,
+            key_column="oid",
+        )
+        router = ReplicaRouter(replica_set)
+        return router, {
+            name: _run_queries(router, queries)
+            for name, queries in classes.items()
+        }
+
+    router, tuned = benchmark.pedantic(build_and_replay, rounds=1, iterations=1)
+
+    # Identical answers, query for query, against the default baseline.
+    for name in class_names:
+        assert tuned[name]["_oid_sets"] == baseline[name]["_oid_sets"], (
+            f"tuned replicas diverged from the default table on {name}"
+        )
+
+    baseline_pages = sum(cell["pages_decoded"] for cell in baseline.values())
+    tuned_pages = sum(cell["pages_decoded"] for cell in tuned.values())
+    savings = 1.0 - tuned_pages / max(baseline_pages, 1)
+    shares = {}
+    for name in class_names:
+        served = tuned[name]["_replicas"]
+        shares[name] = served.count(specialized[name]) / len(served)
+
+    print_table(
+        f"pages decoded: default table vs tuned divergent replicas "
+        f"({rows} rows)",
+        ["class", "default", "tuned", "specialized", "routed_share"],
+        [
+            [
+                name,
+                baseline[name]["pages_decoded"],
+                tuned[name]["pages_decoded"],
+                f"r{specialized[name]}",
+                f"{shares[name]:.0%}",
+            ]
+            for name in class_names
+        ],
+    )
+    print(
+        f"total pages: {baseline_pages} -> {tuned_pages} "
+        f"({savings:.1%} saved); tuner predicted "
+        f"{plan.baseline_pages:.0f} -> {plan.predicted_pages:.0f} "
+        f"in {tune_wall_s:.2f} s"
+    )
+
+    for cells in (baseline, tuned):
+        for cell in cells.values():
+            del cell["_oid_sets"]
+            del cell["_replicas"]
+    out = Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+    out.write_text(
+        json.dumps(
+            {
+                "workload": "mixed_needle_box_membership",
+                "rows": rows,
+                "classes": {n: len(q) for n, q in classes.items()},
+                "baseline": baseline,
+                "tuned": tuned,
+                "baseline_pages": baseline_pages,
+                "tuned_pages": tuned_pages,
+                "pages_saved_fraction": savings,
+                "routing_shares": shares,
+                "specialized": {n: f"r{r}" for n, r in specialized.items()},
+                "configs": [c.to_dict() for c in plan.configs],
+                "tuner": {
+                    "predicted_baseline_pages": plan.baseline_pages,
+                    "predicted_pages": plan.predicted_pages,
+                    "rounds": plan.rounds,
+                    "wall_s": tune_wall_s,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {out}")
+
+    # Tiny scaled-down tables have too few pages for the ratios to mean
+    # anything; the gates below apply at full scale only.
+    if bench_scale() >= 1.0:
+        assert savings >= 0.25, (
+            f"tuned divergent replicas should decode >=25% fewer pages "
+            f"than the uniform default table, got {savings:.1%}"
+        )
+        for name, share in shares.items():
+            assert share >= 0.8, (
+                f"router should send >=80% of the {name} class to its "
+                f"specialized replica r{specialized[name]}, got {share:.0%}"
+            )

@@ -116,7 +116,10 @@ def batch_bitmap_query(
     intersected with the ranges before any page is touched.
     """
     table = index.table
-    dims = index.dims
+    # Residual filtering, zone pruning, and dim validation all happen in
+    # the *query* coordinate space, which may be wider than the indexed
+    # column subset on a tuned replica.
+    dims = getattr(index, "query_dims", None) or index.dims
     n = len(polyhedra)
     checks = list(cancel_checks) if cancel_checks is not None else [None] * n
     memberships_list = (

@@ -82,6 +82,7 @@ class BitmapIndex:
         edges: dict[str, np.ndarray],
         bitmaps: dict[str, list[CompressedBitmap]],
         bin_counts: dict[str, np.ndarray],
+        table_dims: list[str] | None = None,
     ):
         self._db = database
         self._table = table
@@ -89,6 +90,17 @@ class BitmapIndex:
         self._edges = edges
         self._bitmaps = bitmaps
         self._bin_counts = bin_counts
+        # Coordinate axes queries are phrased in.  Defaults to the
+        # indexed dims (the historical all-axes index); a tuned replica
+        # may index only a subset, in which case ``table_dims`` names
+        # the full query space and ``_axes`` maps each indexed column
+        # back to its polyhedron axis.
+        self._table_dims = list(table_dims) if table_dims is not None else list(dims)
+        self._axes = {
+            col: self._table_dims.index(col)
+            for col in self._dims
+            if col in self._table_dims
+        }
 
     # -- build ---------------------------------------------------------------
 
@@ -102,6 +114,7 @@ class BitmapIndex:
         register: bool = True,
         retry=None,
         table=None,
+        table_dims: list[str] | None = None,
     ) -> "BitmapIndex":
         """Bin the table's columns and build one bitmap per bin.
 
@@ -109,6 +122,8 @@ class BitmapIndex:
         (e.g. a merge that just wrote them); otherwise they are read
         back through the buffer pool.  ``table`` overrides the catalog
         lookup for builds over a generation not yet swapped in (merges).
+        ``table_dims`` names the full coordinate axis order when
+        ``dims`` indexes only a subset of it (tuned replicas).
         Registers as ``<name>.bitmap`` unless ``register`` is false.
         """
         if num_bins < 2:
@@ -155,7 +170,10 @@ class BitmapIndex:
             edges[col] = col_edges
             bitmaps[col] = col_bitmaps
             bin_counts[col] = np.diff(boundaries).astype(np.int64)
-        index = BitmapIndex(database, table, dims, edges, bitmaps, bin_counts)
+        index = BitmapIndex(
+            database, table, dims, edges, bitmaps, bin_counts,
+            table_dims=table_dims,
+        )
         if register:
             database.register_index(f"{name}.bitmap", index)
         return index
@@ -176,6 +194,16 @@ class BitmapIndex:
     def dims(self) -> list[str]:
         """Indexed column names, in axis order."""
         return list(self._dims)
+
+    @property
+    def query_dims(self) -> list[str]:
+        """The coordinate axes queries are phrased in.
+
+        Equal to :attr:`dims` for a full-coverage index; a superset of
+        it when only some axes are indexed.  Executors validate query
+        dimensionality and run residual filters against *this* space.
+        """
+        return list(self._table_dims)
 
     @property
     def num_bins(self) -> int:
@@ -251,8 +279,11 @@ class BitmapIndex:
         num_rows = self._table.num_rows
         result: CompressedBitmap | None = None
         if polyhedron is not None:
-            lows, highs = axis_bounds(polyhedron, len(self._dims))
-            for axis, col in enumerate(self._dims):
+            lows, highs = axis_bounds(polyhedron, len(self._table_dims))
+            for col in self._dims:
+                axis = self._axes.get(col)
+                if axis is None:
+                    continue  # indexed column outside the query space
                 low, high = lows[axis], highs[axis]
                 if not (np.isfinite(low) or np.isfinite(high)):
                     continue
@@ -303,8 +334,11 @@ class BitmapIndex:
         num_rows = max(1, self._table.num_rows)
         fraction: float | None = None
         if polyhedron is not None:
-            lows, highs = axis_bounds(polyhedron, len(self._dims))
-            for axis, col in enumerate(self._dims):
+            lows, highs = axis_bounds(polyhedron, len(self._table_dims))
+            for col in self._dims:
+                axis = self._axes.get(col)
+                if axis is None:
+                    continue
                 low, high = lows[axis], highs[axis]
                 if not (np.isfinite(low) or np.isfinite(high)):
                     continue
@@ -332,6 +366,7 @@ class BitmapIndex:
             "table": self._table.physical_name,
             "name": self._table.name,
             "dims": list(self._dims),
+            "table_dims": list(self._table_dims),
             "num_bins": self.num_bins,
             "columns": [
                 {
@@ -356,4 +391,7 @@ class BitmapIndex:
             edges[col] = np.asarray(entry["edges"], dtype=np.float64)
             bin_counts[col] = np.asarray(entry["counts"], dtype=np.int64)
             bitmaps[col] = [CompressedBitmap.from_dict(b) for b in entry["bitmaps"]]
-        return cls(database, table, payload["dims"], edges, bitmaps, bin_counts)
+        return cls(
+            database, table, payload["dims"], edges, bitmaps, bin_counts,
+            table_dims=payload.get("table_dims"),
+        )

@@ -54,6 +54,16 @@ from repro.geometry.halfspace import Polyhedron
 __all__ = ["KdTree", "KdTreeIndex", "default_num_levels"]
 
 
+def _preferred_axis(axis_policy: str) -> int | None:
+    """The axis index of a ``prefer:<axis>`` policy, else ``None``."""
+    if not axis_policy.startswith("prefer:"):
+        return None
+    try:
+        return int(axis_policy.split(":", 1)[1])
+    except ValueError:
+        return None
+
+
 def default_num_levels(num_rows: int) -> int:
     """The paper's √N sizing: leaf count ≈ items per leaf ≈ sqrt(N).
 
@@ -90,9 +100,17 @@ class KdTree:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] == 0:
             raise ValueError("points must be a non-empty (n, d) array")
-        if axis_policy not in ("widest", "cycle"):
-            raise ValueError("axis_policy must be 'widest' or 'cycle'")
+        preferred = _preferred_axis(axis_policy)
+        if axis_policy not in ("widest", "cycle") and preferred is None:
+            raise ValueError(
+                "axis_policy must be 'widest', 'cycle', or 'prefer:<axis>'"
+            )
         self.num_points, self.dim = points.shape
+        if preferred is not None and not (0 <= preferred < self.dim):
+            raise ValueError(
+                f"preferred axis {preferred} out of range for {self.dim} dims"
+            )
+        self._preferred = preferred
         self.num_levels = (
             default_num_levels(self.num_points) if num_levels is None else num_levels
         )
@@ -159,6 +177,16 @@ class KdTree:
         return _BuildResult(perm, split_axis, split_value, seg_start, seg_end)
 
     def _choose_axis(self, points: np.ndarray, segment: np.ndarray, level: int) -> int:
+        if self._preferred is not None and len(segment):
+            # ``prefer:<axis>`` splits the chosen axis at every level (an
+            # axis-major layout: the clustered table ends up sorted by
+            # that coordinate), falling back to widest only once a
+            # segment is degenerate on it.  Partition boxes stay correct
+            # whatever the split axes, so queries on the other axes
+            # simply see less pruning -- never wrong answers.
+            sub = points[segment]
+            if sub[:, self._preferred].max() > sub[:, self._preferred].min():
+                return self._preferred
         if self.axis_policy == "cycle" or len(segment) == 0:
             return (level - 1) % self.dim
         sub = points[segment]

@@ -33,7 +33,9 @@ killed the traversal has usually passed.  Fallbacks are reported on the
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,6 +53,8 @@ from repro.core.queries import polyhedron_batch_full_scan, polyhedron_full_scan
 from repro.db.errors import StaleLayoutError, StorageFault
 from repro.db.stats import QueryStats
 from repro.geometry.halfspace import Polyhedron
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["PlannedQuery", "QueryPlanner"]
 
@@ -109,6 +113,11 @@ class PlannedQuery:
     shard_faults: int = 0
     partial: bool = False
     failed_shards: tuple = ()
+    #: Set by routing layers for answers that must not enter the result
+    #: cache (e.g. served by a non-preferred replica during degradation,
+    #: whose execution profile another replica's fingerprint must never
+    #: inherit).
+    no_cache: bool = False
 
 
 class QueryPlanner:
@@ -178,7 +187,37 @@ class QueryPlanner:
         self._selectivity_bias = 0.0
         self._selectivity_abs_error = 0.0
         self._observations = 0
+        #: Optional workload-trace hook (:mod:`repro.tune.trace`): when
+        #: set, every executed query is folded into the recorder's ring.
+        self.trace_recorder = None
+        #: Replica tag stamped on recorded observations (router use).
+        self.trace_tag = ""
+        self._restore_calibration()
         index.table.database.add_mutation_listener(self._on_catalog_mutation)
+
+    def _restore_calibration(self) -> None:
+        """Warm-start cost state from the catalog's persisted snapshot.
+
+        A reattached database carries the calibration its planners
+        learned before shutdown; without a snapshot (fresh build, older
+        catalog version) the neutral defaults stand.
+        """
+        loader = getattr(self._db, "planner_calibration", None)
+        if not callable(loader):
+            return
+        snapshot = loader(self._index.table.name)
+        if not snapshot:
+            return
+        low, high = _CALIBRATION_CLAMP
+        with self._cost_lock:
+            for name, value in snapshot.get("calibration", {}).items():
+                if name in self._calibration and np.isfinite(value):
+                    self._calibration[name] = min(high, max(low, float(value)))
+            self._selectivity_bias = float(snapshot.get("selectivity_bias", 0.0))
+            self._selectivity_abs_error = float(
+                snapshot.get("selectivity_abs_error", 0.0)
+            )
+            self._observations = int(snapshot.get("observations", 0))
 
     def _on_catalog_mutation(self, table_name: str) -> None:
         if table_name == self.index.table.name:
@@ -458,6 +497,17 @@ class QueryPlanner:
                     (1 - alpha) * self._selectivity_abs_error + alpha * abs(error)
                 )
             self._observations += 1
+            snapshot = {
+                "calibration": dict(self._calibration),
+                "selectivity_bias": self._selectivity_bias,
+                "selectivity_abs_error": self._selectivity_abs_error,
+                "observations": self._observations,
+            }
+        # Outside the cost lock: hand the catalog the latest snapshot so
+        # save_catalog persists learned constants across restarts.
+        saver = getattr(self._db, "save_planner_calibration", None)
+        if callable(saver):
+            saver(self._index.table.name, snapshot)
 
     def cost_report(self) -> dict:
         """Snapshot of the online calibration state (tests, metrics)."""
@@ -468,6 +518,49 @@ class QueryPlanner:
                 "selectivity_abs_error": self._selectivity_abs_error,
                 "observations": self._observations,
             }
+
+    def predict_cost(self, polyhedron: Polyhedron, memberships=None) -> float:
+        """Calibrated predicted pages decoded for this query, no execution.
+
+        The replica router's scoring primitive: the cheapest engine's
+        calibrated cost (the bitmap term is the exact in-memory candidate
+        page count).  A probe fault degrades to the scan bound -- every
+        page -- so a sick replica prices itself out of routing.
+        """
+        try:
+            raw = self._raw_costs(polyhedron, memberships)
+        except StorageFault:
+            return float(max(1, self.index.table.num_pages))
+        finite = [
+            cost
+            for cost in self._calibrated(raw).values()
+            if np.isfinite(cost)
+        ]
+        if not finite:
+            return float(max(1, self.index.table.num_pages))
+        return min(finite)
+
+    def _record_trace(self, polyhedron, memberships, planned, wall_s) -> None:
+        """Fold an executed query into the attached trace ring, if any.
+
+        Never raises: trace capture is observability, not the query
+        path, so a recorder bug must not fail user queries.
+        """
+        recorder = self.trace_recorder
+        if recorder is None:
+            return
+        try:
+            recorder.record(
+                self.table_name,
+                self.dims,
+                polyhedron,
+                memberships,
+                planned,
+                wall_s,
+                replica=self.trace_tag,
+            )
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("trace recording failed")
 
     def _finalize(
         self, planned: PlannedQuery, raw: dict[str, float], calibrated: dict[str, float]
@@ -609,6 +702,7 @@ class QueryPlanner:
         )
         if cancel_check is not None:
             cancel_check()
+        started = time.perf_counter()
         try:
             rows, stats = self._run_engine(engine, polyhedron, cancel_check, memberships)
             path = engine
@@ -619,7 +713,7 @@ class QueryPlanner:
             reason = f"{engine} path failed: {type(exc).__name__}"
             rows, stats = self._run_engine("scan", polyhedron, cancel_check, memberships)
             path = "scan"
-        return self._finalize(
+        planned = self._finalize(
             PlannedQuery(
                 rows=rows,
                 stats=stats,
@@ -632,6 +726,10 @@ class QueryPlanner:
             raw,
             calibrated,
         )
+        self._record_trace(
+            polyhedron, memberships, planned, time.perf_counter() - started
+        )
+        return planned
 
     def execute_batch(
         self, polyhedra, cancel_checks=None, memberships_list=None
@@ -741,6 +839,7 @@ class QueryPlanner:
         """
         if not group:
             return
+        started = time.perf_counter()
         try:
             outcomes, counters = runner(
                 [polyhedra[m] for m in group],
@@ -767,14 +866,18 @@ class QueryPlanner:
                     planned.fallback_reason = reason
                 result.members[m].planned = planned
             return
+        group_wall = time.perf_counter() - started
         result.pages_decoded += counters["pages_decoded"]
         result.shared_decode_hits += counters["shared_decode_hits"]
+        # The shared pass served the whole group at once; attribute an
+        # equal share of its wall time to each member's trace entry.
+        member_wall = group_wall / max(1, len(group))
         for m, (rows, stats, error) in zip(group, outcomes):
             if error is not None:
                 result.members[m].error = error
                 continue
             estimate, probed, fallback, reason, raw, calibrated = plans[m]
-            result.members[m].planned = self._finalize(
+            planned = self._finalize(
                 PlannedQuery(
                     rows=rows,
                     stats=stats,
@@ -787,3 +890,5 @@ class QueryPlanner:
                 raw,
                 calibrated,
             )
+            result.members[m].planned = planned
+            self._record_trace(polyhedra[m], member_filters[m], planned, member_wall)

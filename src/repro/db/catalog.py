@@ -55,6 +55,10 @@ class DatabaseOptions:
     buffer_pages: int | None = 1024
     retry: RetryPolicy | None = None
     zone_maps: bool = True
+    #: Restrict zone maps to these columns (``None`` = every numeric
+    #: column).  A tuning knob: dropping synopses for never-queried
+    #: columns trades pruning coverage for catalog bytes.
+    zone_map_columns: tuple[str, ...] | None = None
     decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES
     readahead_pages: int = DEFAULT_READAHEAD_PAGES
     #: Byte budget of each paged kd-tree's decoded node cache
@@ -75,6 +79,7 @@ class DatabaseOptions:
             buffer_pages=self.buffer_pages,
             retry=self.retry,
             zone_maps=self.zone_maps,
+            zone_map_columns=self.zone_map_columns,
             decoded_cache_bytes=self.decoded_cache_bytes,
             readahead_pages=self.readahead_pages,
             index_cache_bytes=self.index_cache_bytes,
@@ -100,6 +105,7 @@ class Database:
         buffer_pages: int | None = 1024,
         retry: RetryPolicy | None = None,
         zone_maps: bool = True,
+        zone_map_columns: tuple[str, ...] | None = None,
         decoded_cache_bytes: int | None = DEFAULT_DECODED_BYTES,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
         index_cache_bytes: int = DEFAULT_INDEX_CACHE_BYTES,
@@ -113,6 +119,7 @@ class Database:
             buffer_pages=buffer_pages,
             retry=retry,
             zone_maps=zone_maps,
+            zone_map_columns=zone_map_columns,
             decoded_cache_bytes=decoded_cache_bytes,
             readahead_pages=readahead_pages,
             index_cache_bytes=index_cache_bytes,
@@ -126,7 +133,15 @@ class Database:
         )
         self.procedures = ProcedureRegistry(self)
         self.zone_maps_enabled = zone_maps
+        self.zone_map_columns = zone_map_columns
         self._zone_maps: dict[str, ZoneMap] = {}
+        #: Per-table planner calibration snapshots (persisted in the
+        #: catalog so a reattached database keeps its learned per-engine
+        #: page-cost constants).
+        self._planner_calibrations: dict[str, dict] = {}
+        #: Tables whose calibration came from a catalog reattach; only
+        #: these warm new planners (see :meth:`planner_calibration`).
+        self._restored_calibrations: set[str] = set()
         self._tables: dict[str, Table] = {}
         self._indexes: dict[str, Any] = {}
         self._mutation_listeners: list[Any] = []
@@ -313,6 +328,53 @@ class Database:
     def zone_map_names(self) -> list[str]:
         """Names of tables that carry zone maps."""
         return sorted(self._zone_maps)
+
+    # -- planner calibration ------------------------------------------------
+
+    def save_planner_calibration(self, table_name: str, snapshot: dict) -> None:
+        """Record a planner's learned cost state for one table.
+
+        Called by :class:`~repro.core.planner.QueryPlanner` whenever its
+        EWMA calibration moves; :func:`repro.db.persistence.save_catalog`
+        writes the latest snapshot so a reattach starts warm.
+        """
+        with self.lock:
+            self._planner_calibrations[table_name] = dict(snapshot)
+
+    def planner_calibration(self, table_name: str) -> dict | None:
+        """A *restored* calibration snapshot for a table, if any.
+
+        Only snapshots installed by
+        :meth:`restore_planner_calibrations` (a catalog reattach) are
+        handed out: live snapshots are persisted but never shared
+        between planner instances in the same process, so a fresh
+        planner over a live database still starts from the neutral
+        constants its tests and its operators expect.
+        """
+        with self.lock:
+            if table_name not in self._restored_calibrations:
+                return None
+            snapshot = self._planner_calibrations.get(table_name)
+            return dict(snapshot) if snapshot is not None else None
+
+    def planner_calibrations(self) -> dict[str, dict]:
+        """All stored calibration snapshots (catalog persistence)."""
+        with self.lock:
+            return {
+                name: dict(snapshot)
+                for name, snapshot in self._planner_calibrations.items()
+            }
+
+    def restore_planner_calibrations(self, snapshots: dict[str, dict]) -> None:
+        """Install snapshots loaded from a persisted catalog.
+
+        Restored snapshots (and only those) warm the next planner built
+        over their table -- see :meth:`planner_calibration`.
+        """
+        with self.lock:
+            for name, snapshot in snapshots.items():
+                self._planner_calibrations[name] = dict(snapshot)
+                self._restored_calibrations.add(name)
 
     # -- indexes ------------------------------------------------------------
 

@@ -97,6 +97,12 @@ def save_catalog(database: Database) -> Path:
             if key.endswith(".kdtree")
             and getattr(index.tree, "layout", None) is not None
         ],
+        # Planner calibration: the per-engine EWMA page-cost constants
+        # each table's planner learned while serving.  Persisting them
+        # means a reattached database plans with warmed constants
+        # instead of re-learning from the neutral 1.0s.  Absent in
+        # catalogs written before the key existed.
+        "planner_calibrations": database.planner_calibrations(),
     }
     path = storage.root / CATALOG_FILENAME
     with open(path, "w", encoding="utf-8") as fh:
@@ -193,6 +199,9 @@ def attach_database(
                 list(payload["dims"]),
             ),
         )
+    database.restore_planner_calibrations(
+        catalog.get("planner_calibrations", {})
+    )
     if wal_frames is not None:
         database.ingest_wal = IngestWal(wal_frames)
         database.ingest_wal.replay(database, on_corrupt=on_corrupt)

@@ -196,6 +196,10 @@ def merge_table(
                         num_bins=old_bitmap.num_bins,
                         register=False,
                         table=new_table,
+                        # A tuned bitmap may cover a dims subset while
+                        # queries stay in the full coordinate space;
+                        # the rebuild must keep that axis mapping.
+                        table_dims=list(old_bitmap.query_dims),
                     )
                 except StorageFault:
                     drop_indexes.append(f"{name}.bitmap")

@@ -180,12 +180,24 @@ class QueryService:
         Bounded formation delay: how long a worker holding a short batch
         waits for more arrivals before running it.  ``0`` (the default)
         batches only the backlog that is already queued.
+    replicas:
+        A divergent :class:`~repro.tune.replicas.ReplicaSet` (or a
+        prebuilt :class:`~repro.tune.replicas.ReplicaRouter`) to serve
+        from instead of ``planner``: each query routes to whichever
+        replica's configuration prices it cheapest.  Mutually exclusive
+        with a non-``None`` ``planner``.
+    trace_recorder:
+        A :class:`~repro.tune.trace.WorkloadTraceRecorder` fed by every
+        executed (non-cache-hit) query -- the raw material of the
+        auto-tuner.  Planner-backed engines record themselves (with
+        per-replica tags under a router); the service records only for
+        engines that cannot.
     """
 
     def __init__(
         self,
         database: Database | None,
-        planner: Any,
+        planner: Any = None,
         *,
         workers: int = 4,
         queue_depth: int = 64,
@@ -194,6 +206,8 @@ class QueryService:
         default_deadline: float | None = None,
         batch_size: int = 1,
         batch_delay_s: float = 0.0,
+        replicas: Any = None,
+        trace_recorder: Any = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -201,8 +215,25 @@ class QueryService:
             raise ValueError("batch_size must be >= 1")
         if batch_delay_s < 0:
             raise ValueError("batch_delay_s must be >= 0")
+        if replicas is not None:
+            if planner is not None:
+                raise ValueError("pass either planner or replicas, not both")
+            from repro.tune.replicas import ReplicaRouter, ReplicaSet
+
+            if isinstance(replicas, ReplicaSet):
+                replicas = ReplicaRouter(replicas)
+            planner = replicas
+        if planner is None:
+            raise ValueError("a planner (or replicas) is required")
         self.database = database
         self.planner = planner
+        self.trace_recorder = trace_recorder
+        if trace_recorder is not None:
+            attach = getattr(planner, "attach_trace_recorder", None)
+            if callable(attach):
+                attach(trace_recorder)
+            elif hasattr(planner, "trace_recorder"):
+                planner.trace_recorder = trace_recorder
         self.sessions = SessionManager()
         self.admission = AdmissionQueue(queue_depth)
         self.cache = (
@@ -473,6 +504,28 @@ class QueryService:
         queue_wait = started - item.enqueued_at
         session = item.ticket.session
         exec_time = time.monotonic() - started
+        # Engines exposing ``trace_recorder`` (planners, replica
+        # routers) record their own executions with engine-level wall
+        # times; for the rest (e.g. process shard pools) the service is
+        # the only vantage point.  Cache hits decode nothing and are
+        # never trace-worthy.
+        if (
+            self.trace_recorder is not None
+            and not cache_hit
+            and getattr(self.planner, "trace_recorder", None)
+            is not self.trace_recorder
+        ):
+            try:
+                self.trace_recorder.record(
+                    self.planner.table_name,
+                    self.planner.dims,
+                    item.polyhedron,
+                    item.memberships,
+                    planned,
+                    exec_time,
+                )
+            except Exception:
+                pass  # tracing must never fail a served query
         fallback = planned.fallback and not cache_hit
         metrics = QueryMetrics(
             query_id=item.ticket.query_id,
@@ -547,12 +600,20 @@ class QueryService:
             item.ticket._fail(exc)
 
     def _fingerprint(self, item: _WorkItem) -> str:
+        # Under a replica router the engine scopes each fingerprint to
+        # the replica/config that would serve the query, so divergently
+        # configured copies never share result-cache entries.
+        config_id = ""
+        scope = getattr(self.planner, "cache_scope", None)
+        if callable(scope):
+            config_id = scope(item.polyhedron, item.memberships)
         return query_fingerprint(
             self.planner.table_name,
             self.planner.dims,
             item.polyhedron,
             layout_version=getattr(self.planner, "layout_version", ""),
             memberships=item.memberships,
+            config_id=config_id,
         )
 
     def _cache_get(self, item: _WorkItem) -> PlannedQuery | None:
@@ -563,7 +624,14 @@ class QueryService:
     def _cache_put(self, item: _WorkItem, planned: PlannedQuery) -> None:
         # A partial answer only reflects which shards happened to be
         # healthy at that instant -- never let it outlive the fault.
-        if self.cache is not None and not planned.partial:
+        # ``no_cache`` is the routing layer's veto: an answer served by a
+        # degraded (non-preferred) replica carries the preferred
+        # replica's fingerprint scope and must not be replayed under it.
+        if (
+            self.cache is not None
+            and not planned.partial
+            and not getattr(planned, "no_cache", False)
+        ):
             self.cache.put(
                 self._fingerprint(item), self.planner.table_name, planned
             )

@@ -96,6 +96,10 @@ class ShardSpec:
     options: DatabaseOptions = field(default_factory=DatabaseOptions)
     #: Bins per column of the shard's bitmap index; 0 disables it.
     bitmap_bins: int = DEFAULT_BITMAP_BINS
+    #: Columns the shard's bitmap index covers (``None`` = all dims).
+    #: A tuned replica ships a subset here; the index still answers
+    #: queries phrased over the full ``dims`` space.
+    bitmap_dims: tuple[str, ...] | None = None
     #: Prebuilt index shipment (see :func:`attach_prebuilt_index`): the
     #: parent builds the shard tree once and ships its clustering column
     #: and encoded node pages, so the worker installs page blobs instead
@@ -218,9 +222,18 @@ def build_shard(
             rows_per_page=spec.rows_per_page,
         )
     if spec.bitmap_bins:
+        bitmap_dims = (
+            list(spec.bitmap_dims)
+            if spec.bitmap_dims is not None
+            else list(spec.dims)
+        )
         try:
             BitmapIndex.build(
-                shard_db, spec.name, list(spec.dims), num_bins=spec.bitmap_bins
+                shard_db,
+                spec.name,
+                bitmap_dims,
+                num_bins=spec.bitmap_bins,
+                table_dims=list(spec.dims),
             )
         except StorageFault:
             # A faulty backend that kills the build just leaves the shard
@@ -478,6 +491,8 @@ class KdPartitioner:
         options: DatabaseOptions | None = None,
         shard_options: dict[int, DatabaseOptions] | None = None,
         prebuild_index: bool = True,
+        bitmap_bins: int = DEFAULT_BITMAP_BINS,
+        bitmap_dims: tuple[str, ...] | None = None,
     ) -> list[ShardSpec]:
         """Compute the partitioning plan without building any database.
 
@@ -542,6 +557,8 @@ class KdPartitioner:
                     partition_box=router_tree.partition_box(leaf),
                     tight_box=router_tree.tight_box(leaf),
                     options=(shard_options or {}).get(j, options),
+                    bitmap_bins=bitmap_bins,
+                    bitmap_dims=bitmap_dims,
                 )
             )
             offset += len(rows)

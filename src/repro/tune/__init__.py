@@ -1,0 +1,49 @@
+"""Workload-driven auto-tuning and divergent replica routing.
+
+The loop: the service records every executed query into a
+:class:`~repro.tune.trace.WorkloadTraceRecorder`; the
+:class:`~repro.tune.evaluator.CostReplayEvaluator` replays that trace
+against candidate :class:`~repro.tune.config.TuningConfig` values
+without executing a single query; the
+:class:`~repro.tune.selector.GreedyConfigSelector` walks the candidate
+space under a byte budget; and the winning configs materialize as a
+divergent :class:`~repro.tune.replicas.ReplicaSet` fronted by a
+:class:`~repro.tune.replicas.ReplicaRouter`.
+"""
+
+from repro.tune.config import TuningConfig, default_config
+from repro.tune.evaluator import CostReplayEvaluator, TableProfile
+from repro.tune.replicas import Replica, ReplicaRouter, ReplicaSet, ReplicaSpec
+from repro.tune.selector import (
+    DivergentPlan,
+    GreedyConfigSelector,
+    TuningResult,
+    TuningStep,
+)
+from repro.tune.trace import (
+    TraceObservation,
+    WorkloadTraceRecorder,
+    observation_from_query,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "CostReplayEvaluator",
+    "DivergentPlan",
+    "GreedyConfigSelector",
+    "Replica",
+    "ReplicaRouter",
+    "ReplicaSet",
+    "ReplicaSpec",
+    "TableProfile",
+    "TraceObservation",
+    "TuningConfig",
+    "TuningResult",
+    "TuningStep",
+    "WorkloadTraceRecorder",
+    "default_config",
+    "observation_from_query",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,190 @@
+"""Tuning configuration: the knob vector the selector searches over.
+
+A :class:`TuningConfig` names every layout/runtime decision PRs 1-9
+made tunable -- shard count, zone-map column subset, bitmap dims +
+``num_bins``, index/decoded-page cache budgets, batch window -- in one
+frozen value with a stable :meth:`config_id`.  The greedy selector
+mutates these one knob at a time; :class:`ReplicaSet` materializes one
+table per config; the result cache folds ``config_id`` into
+fingerprints so differently-configured replicas never share entries.
+
+``memory_bytes`` is the *budget model*: a deliberately simple,
+monotone estimate of the extra resident/storage bytes a config costs
+over running with nothing (no bitmaps, no zone maps, zero caches).  It
+only has to rank configs consistently for the greedy
+gain-per-byte criterion -- it is not an allocator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.bitmap.index import DEFAULT_BITMAP_BINS
+from repro.db.buffer_pool import DEFAULT_DECODED_BYTES, DEFAULT_INDEX_CACHE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tune.evaluator import TableProfile
+
+__all__ = ["TuningConfig", "default_config"]
+
+#: Rough fixed overhead per extra shard (worker bookkeeping, per-shard
+#: buffer-pool floor) charged by the budget model.
+_SHARD_OVERHEAD_BYTES = 64 << 10
+#: Zone maps store float64 min/max per (page, column).
+_ZONE_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """One complete knob assignment for a table replica.
+
+    ``bitmap_dims=None`` means "all coordinate dims"; an empty tuple
+    would be rejected by the bitmap builder, so "no bitmap at all" is
+    spelled ``bitmap_bins=0``.  ``zone_map_columns=None`` keeps the
+    default all-numeric-columns behaviour.  ``cluster_dim`` picks an
+    axis-major physical layout (the kd-tree splits that axis at every
+    level, so the clustered table ends up sorted by it -- the C-Store
+    "different sort order per replica" move); ``None`` keeps the
+    default widest-axis median splits.
+    """
+
+    shards: int = 0
+    bitmap_bins: int = DEFAULT_BITMAP_BINS
+    bitmap_dims: tuple[str, ...] | None = None
+    zone_maps: bool = True
+    zone_map_columns: tuple[str, ...] | None = None
+    index_cache_bytes: int = DEFAULT_INDEX_CACHE_BYTES
+    decoded_cache_bytes: int = DEFAULT_DECODED_BYTES
+    batch_size: int = 1
+    cluster_dim: str | None = None
+
+    def __post_init__(self):
+        if self.shards and self.shards & (self.shards - 1):
+            raise ValueError("shards must be 0 or a power of two")
+        if self.bitmap_bins < 0:
+            raise ValueError("bitmap_bins must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "bitmap_bins": self.bitmap_bins,
+            "bitmap_dims": list(self.bitmap_dims) if self.bitmap_dims else None,
+            "zone_maps": self.zone_maps,
+            "zone_map_columns": (
+                list(self.zone_map_columns) if self.zone_map_columns else None
+            ),
+            "index_cache_bytes": self.index_cache_bytes,
+            "decoded_cache_bytes": self.decoded_cache_bytes,
+            "batch_size": self.batch_size,
+            "cluster_dim": self.cluster_dim,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TuningConfig":
+        return cls(
+            shards=int(payload.get("shards", 0)),
+            bitmap_bins=int(payload.get("bitmap_bins", DEFAULT_BITMAP_BINS)),
+            bitmap_dims=(
+                tuple(payload["bitmap_dims"]) if payload.get("bitmap_dims") else None
+            ),
+            zone_maps=bool(payload.get("zone_maps", True)),
+            zone_map_columns=(
+                tuple(payload["zone_map_columns"])
+                if payload.get("zone_map_columns")
+                else None
+            ),
+            index_cache_bytes=int(
+                payload.get("index_cache_bytes", DEFAULT_INDEX_CACHE_BYTES)
+            ),
+            decoded_cache_bytes=int(
+                payload.get("decoded_cache_bytes", DEFAULT_DECODED_BYTES)
+            ),
+            batch_size=int(payload.get("batch_size", 1)),
+            cluster_dim=payload.get("cluster_dim") or None,
+        )
+
+    def replace(self, **changes) -> "TuningConfig":
+        return replace(self, **changes)
+
+    def config_id(self) -> str:
+        """Stable 12-hex identity of the knob assignment.
+
+        Folded into result-cache fingerprints: two replicas with the
+        same config share cache entries (their answers are
+        interchangeable), two with different configs never do.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+    def describe(self) -> str:
+        """One-line human summary for CLI / benchmark output."""
+        bitmap = (
+            "bitmap=off"
+            if not self.bitmap_bins
+            else "bitmap[%s]x%d"
+            % ("*" if self.bitmap_dims is None else ",".join(self.bitmap_dims),
+               self.bitmap_bins)
+        )
+        zones = (
+            "zones=off"
+            if not self.zone_maps
+            else "zones=%s"
+            % ("*" if self.zone_map_columns is None
+               else ",".join(self.zone_map_columns))
+        )
+        cluster = (
+            "cluster=kd" if self.cluster_dim is None
+            else f"cluster={self.cluster_dim}"
+        )
+        return (
+            f"shards={self.shards} {bitmap} {zones} {cluster} "
+            f"icache={self.index_cache_bytes >> 20}MB "
+            f"dcache={self.decoded_cache_bytes >> 20}MB "
+            f"batch={self.batch_size}"
+        )
+
+    # -- budget model -------------------------------------------------------
+
+    def memory_bytes(self, profile: "TableProfile") -> int:
+        """Monotone estimate of the bytes this config spends.
+
+        Bitmap cost grows with both the bin count (per-bin bitmap words
+        plus summary levels) and the covered dim count; zone maps cost
+        16 bytes per page per column; cache budgets count at face
+        value; each shard adds a fixed overhead.  Monotonicity in every
+        knob is what makes "more budget never predicts worse" provable
+        for the greedy prefix selector.
+        """
+        total = int(self.index_cache_bytes) + int(self.decoded_cache_bytes)
+        total += self.shards * _SHARD_OVERHEAD_BYTES
+        if self.bitmap_bins:
+            dims = (
+                len(self.bitmap_dims)
+                if self.bitmap_dims is not None
+                else len(profile.dims)
+            )
+            # Sparse word-aligned bitmaps: every row sets exactly one bit
+            # per dim (~num_rows/8 bytes across the bins), plus per-bin
+            # container + summary-hierarchy overhead that grows with the
+            # bin count.
+            per_dim = profile.num_rows / 8.0 + self.bitmap_bins * 64.0
+            per_dim *= 1.0 + self.bitmap_bins / 512.0
+            total += int(dims * per_dim)
+        if self.zone_maps:
+            columns = (
+                len(self.zone_map_columns)
+                if self.zone_map_columns is not None
+                else profile.num_numeric_columns
+            )
+            total += _ZONE_ENTRY_BYTES * columns * profile.num_pages
+        return total
+
+
+def default_config() -> TuningConfig:
+    """The uniform baseline every tuned config is compared against."""
+    return TuningConfig()

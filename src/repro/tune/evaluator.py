@@ -1,0 +1,469 @@
+"""Cost-replay evaluation: score a config against a trace without I/O.
+
+The planner already predicts pages decoded per engine from structural
+inputs (slab survival fractions, bitmap candidate masses, leaf/page
+geometry) and calibrates those predictions online against observed
+decode counts.  The evaluator transplants the same formulas into a
+*what-if* setting: given a :class:`TableProfile` (seeded column samples
+standing in for the planner's probe sample) and a
+:class:`~repro.tune.config.TuningConfig`, it re-scores every recorded
+query as if the table had been built with that config -- different
+bitmap bin counts and dim subsets change the candidate mass, dropping
+zone maps removes scan pruning, shrinking the index cache surcharges kd
+traversals -- and takes the per-query minimum over engines, exactly as
+the cost-based planner would.
+
+Per-engine calibration factors are fitted once per evaluator from the
+trace itself (median observed/predicted ratio at the *base* config,
+clamped like the planner's EWMA), so predictions inherit whatever the
+live system learned about constant factors.  No query is executed and
+no page is read.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.kdtree import default_num_levels
+from repro.tune.config import TuningConfig
+from repro.tune.trace import TraceObservation
+
+__all__ = ["TableProfile", "CostReplayEvaluator"]
+
+#: Same clamp the planner applies to its EWMA calibration ratios.
+_CALIBRATION_CLAMP = (0.1, 10.0)
+#: Planner's discount for index node pages vs data pages.
+_INDEX_PAGE_READ_COST = 0.25
+#: Assumed kd nodes per index page / bytes per node for the cache model.
+_NODES_PER_PAGE = 256
+_BYTES_PER_NODE = 64
+
+
+class TableProfile:
+    """Seeded statistical sketch of one table: the evaluator's world model.
+
+    Holds a deterministic per-column sample (sorted, so range masses are
+    two searchsorteds) plus the table geometry the cost formulas need
+    (row/page counts, numeric column count).  Built once from the raw
+    column data -- or from any representative subsample -- and shared by
+    every config evaluation and by the replica router's in-memory
+    scoring of engines that live in worker processes.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, np.ndarray],
+        dims: Sequence[str],
+        num_rows: int,
+        rows_per_page: int,
+        sample_size: int = 4096,
+        seed: int = 0,
+    ):
+        self.dims = tuple(dims)
+        self.num_rows = int(num_rows)
+        self.rows_per_page = max(1, int(rows_per_page))
+        self.num_numeric_columns = sum(
+            1
+            for values in columns.values()
+            if np.asarray(values).dtype.kind in "iuf"
+        )
+        rng = np.random.default_rng(seed)
+        self._samples: dict[str, np.ndarray] = {}
+        for name, values in columns.items():
+            values = np.asarray(values)
+            if values.dtype.kind not in "iuf" or len(values) == 0:
+                continue
+            if len(values) > sample_size:
+                picks = rng.choice(len(values), size=sample_size, replace=False)
+                values = values[picks]
+            self._samples[name] = np.sort(values.astype(np.float64))
+        self._edges_cache: dict[tuple[str, int], np.ndarray] = {}
+
+    @classmethod
+    def from_table(cls, table, dims: Sequence[str], sample_size: int = 4096,
+                   seed: int = 0) -> "TableProfile":
+        """Profile a live table by decoding a handful of its pages."""
+        columns: dict[str, list] = {}
+        step = max(1, table.num_pages // 8)
+        for page_id in range(0, table.num_pages, step):
+            page = table.read_page(page_id)
+            for name, values in page.columns.items():
+                columns.setdefault(name, []).append(values)
+        stacked = {
+            name: np.concatenate(chunks) for name, chunks in columns.items()
+        }
+        return cls(
+            stacked, dims, table.num_rows, table.rows_per_page,
+            sample_size=sample_size, seed=seed,
+        )
+
+    @property
+    def num_pages(self) -> int:
+        return max(1, -(-self.num_rows // self.rows_per_page))
+
+    @property
+    def table_bytes(self) -> int:
+        """Approximate decoded size: 8 bytes per numeric cell."""
+        return self.num_rows * max(1, self.num_numeric_columns) * 8
+
+    def fraction(self, column: str, low: float, high: float) -> float:
+        """Fraction of sampled values inside ``[low, high]`` (floored)."""
+        sample = self._samples.get(column)
+        if sample is None or len(sample) == 0:
+            return 1.0
+        lo = int(np.searchsorted(sample, low, side="left"))
+        hi = int(np.searchsorted(sample, high, side="right"))
+        return max((hi - lo) / len(sample), 1.0 / len(sample))
+
+    def bin_edges(self, column: str, num_bins: int) -> np.ndarray | None:
+        """Equi-depth bin edges over the sample (mirrors the bitmap build)."""
+        key = (column, num_bins)
+        edges = self._edges_cache.get(key)
+        if edges is None:
+            sample = self._samples.get(column)
+            if sample is None or len(sample) == 0:
+                return None
+            quantiles = np.linspace(0.0, 1.0, num_bins + 1)
+            edges = np.quantile(sample, quantiles)
+            self._edges_cache[key] = edges
+        return edges
+
+    def range_mass(self, column: str, low: float, high: float,
+                   num_bins: int) -> float:
+        """Row fraction the bitmap's candidate superset keeps for a range.
+
+        Equi-depth bins hold ~1/B of the rows each; a range touching
+        bins ``[first, last]`` keeps ``(last - first + 1) / B`` -- the
+        whole straddled edge bins included, exactly the superset the
+        real index ANDs.
+        """
+        if not (math.isfinite(low) or math.isfinite(high)):
+            return 1.0
+        edges = self.bin_edges(column, num_bins)
+        if edges is None:
+            return 1.0
+        first = max(0, int(np.searchsorted(edges, low, side="right")) - 1)
+        last = max(0, int(np.searchsorted(edges, high, side="right")) - 1)
+        last = min(last, num_bins - 1)
+        if high < edges[0] or low > edges[-1]:
+            return 1.0 / max(1, self.num_rows)
+        return max(1, last - first + 1) / num_bins
+
+    def membership_mass(self, column: str, values: Iterable[float],
+                        num_bins: int) -> float:
+        """Row fraction kept for an IN-list: distinct bins hit over B."""
+        edges = self.bin_edges(column, num_bins)
+        values = np.asarray(list(values), dtype=np.float64)
+        if edges is None or len(values) == 0:
+            return 1.0
+        bins = np.clip(
+            np.searchsorted(edges, values, side="right") - 1, 0, num_bins - 1
+        )
+        return len(np.unique(bins)) / num_bins
+
+
+class CostReplayEvaluator:
+    """Scores candidate configs against a trace using the planner's models."""
+
+    def __init__(
+        self,
+        profile: TableProfile,
+        base_config: TuningConfig | None = None,
+        trace: Sequence[TraceObservation] = (),
+    ):
+        self.profile = profile
+        self.base_config = base_config or TuningConfig()
+        self.factors = self._fit_factors(trace)
+
+    def _fit_factors(
+        self, trace: Sequence[TraceObservation]
+    ) -> dict[str, float]:
+        """Median observed/structural ratio per engine at the base config.
+
+        The same role as the planner's EWMA calibration: absorb the
+        constant factors the structural formulas miss (clustering runs,
+        residual-filter page re-use).  Engines the trace never exercised
+        keep factor 1.0.
+        """
+        ratios: dict[str, list[float]] = {}
+        lo, hi = _CALIBRATION_CLAMP
+        for observation in trace:
+            if not observation.engine or observation.actual_pages <= 0:
+                continue
+            structural = self.engine_costs(self.base_config, observation).get(
+                observation.engine, float("inf")
+            )
+            if not math.isfinite(structural) or structural <= 0:
+                continue
+            ratios.setdefault(observation.engine, []).append(
+                min(hi, max(lo, observation.actual_pages / structural))
+            )
+        return {
+            engine: float(np.median(values))
+            for engine, values in ratios.items()
+            if values
+        }
+
+    # -- per-engine structural costs ---------------------------------------
+
+    def engine_costs(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> dict[str, float]:
+        """Structural predicted pages per engine under ``config``."""
+        profile = self.profile
+        num_pages = profile.num_pages
+        costs = {
+            "scan": self._scan_cost(config, observation),
+            "kdtree": self._kd_cost(config, observation),
+        }
+        bitmap = self._bitmap_cost(config, observation)
+        costs["bitmap"] = bitmap
+        if math.isfinite(bitmap):
+            hybrid = max(1.0, costs["kdtree"] * bitmap / num_pages)
+            costs["hybrid"] = min(costs["kdtree"], bitmap, hybrid) + 2.0
+        else:
+            costs["hybrid"] = float("inf")
+        if math.isfinite(bitmap):
+            # Separate entry (not folded into "bitmap") so the fitted
+            # base-config bitmap factor is never applied to it.
+            costs["bitmap@cluster"] = self._clustered_run_cost(
+                config, observation
+            )
+        return costs
+
+    def _zone_covered(self, config: TuningConfig) -> bool:
+        """Can zone maps prune for slab queries over the coordinate dims?
+
+        The live pruner refuses unless its column set covers every
+        queried dim, so a partial ``zone_map_columns`` subset that drops
+        a coordinate dim turns scan pruning off entirely.
+        """
+        if not config.zone_maps:
+            return False
+        if config.zone_map_columns is None:
+            return True
+        return set(self.profile.dims) <= set(config.zone_map_columns)
+
+    def _scan_cost(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> float:
+        num_pages = float(self.profile.num_pages)
+        if not self._zone_covered(config):
+            return num_pages
+        if config.cluster_dim in self.profile.dims:
+            # Axis-major layout: page [min, max] ranges tile the cluster
+            # axis contiguously (near-perfect pruning there) and are
+            # near-random on every other axis (no pruning).
+            axis = self.profile.dims.index(config.cluster_dim)
+            fraction = self.profile.fraction(
+                config.cluster_dim,
+                observation.lows[axis],
+                observation.highs[axis],
+            )
+            return min(num_pages, max(1.0, fraction * num_pages + 1.0))
+        # Zone maps prune pages whose [min, max] misses the slab.  Under
+        # the kd-clustered layout that behaves like the kd leaf model:
+        # each constrained axis keeps ~(f * splits + 1) of its splits.
+        dim = max(1, len(self.profile.dims))
+        per_axis_pages = num_pages ** (1.0 / dim)
+        kept = 1.0
+        for axis, column in enumerate(self.profile.dims):
+            fraction = self.profile.fraction(
+                column, observation.lows[axis], observation.highs[axis]
+            )
+            kept *= min(per_axis_pages, fraction * per_axis_pages + 1.0)
+        return min(num_pages, max(1.0, kept))
+
+    def _kd_cost(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> float:
+        profile = self.profile
+        num_pages = float(profile.num_pages)
+        num_rows = max(1, profile.num_rows)
+        leaves = max(1, 2 ** (default_num_levels(num_rows) - 1))
+        if config.cluster_dim in profile.dims:
+            # Axis-major tree: every split is on the cluster axis, so
+            # only that axis prunes -- a fraction f slab keeps ~f of the
+            # leaves, and constraints on other axes keep all of them.
+            axis = profile.dims.index(config.cluster_dim)
+            fraction = profile.fraction(
+                config.cluster_dim,
+                observation.lows[axis],
+                observation.highs[axis],
+            )
+            leaves_hit = min(float(leaves), fraction * leaves + 1.0)
+        else:
+            dim = max(1, len(profile.dims))
+            per_axis_splits = leaves ** (1.0 / dim)
+            leaves_hit = 1.0
+            for axis, column in enumerate(profile.dims):
+                fraction = profile.fraction(
+                    column, observation.lows[axis], observation.highs[axis]
+                )
+                leaves_hit *= min(
+                    per_axis_splits, fraction * per_axis_splits + 1.0
+                )
+            leaves_hit = min(float(leaves), leaves_hit)
+        pages_per_leaf = max(
+            1.0, num_rows / (leaves * profile.rows_per_page)
+        )
+        data_pages = min(num_pages, leaves_hit * pages_per_leaf)
+        # Paged-index surcharge, scaled by how badly the node cache
+        # thrashes: an index bigger than its cache budget re-reads node
+        # pages every traversal.
+        index_bytes = 2.0 * leaves * _BYTES_PER_NODE
+        pressure = min(
+            4.0, max(1.0, index_bytes / max(1, config.index_cache_bytes))
+        )
+        node_pages = 1.0 + 2.0 * leaves_hit / _NODES_PER_PAGE
+        return data_pages + _INDEX_PAGE_READ_COST * node_pages * pressure
+
+    def _bitmap_cost(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> float:
+        if not config.bitmap_bins:
+            return float("inf")
+        profile = self.profile
+        covered = (
+            set(config.bitmap_dims)
+            if config.bitmap_dims is not None
+            else set(profile.dims)
+        )
+        fraction = 1.0
+        constrained = False
+        for axis, column in enumerate(observation.dims):
+            low, high = observation.lows[axis], observation.highs[axis]
+            if not (math.isfinite(low) or math.isfinite(high)):
+                continue
+            if column not in covered:
+                continue
+            fraction *= profile.range_mass(column, low, high, config.bitmap_bins)
+            constrained = True
+        for column, values in observation.memberships.items():
+            if column not in covered:
+                continue
+            fraction *= profile.membership_mass(
+                column, values, config.bitmap_bins
+            )
+            constrained = True
+        if not constrained:
+            # Nothing the bitmap can AND on: the live planner falls back
+            # to a whole-table fraction estimate, never a win.
+            return float("inf")
+        num_pages = profile.num_pages
+        # Candidate rows land on pages; with f of the rows surviving the
+        # AND, a page escapes only if all its rows miss.
+        candidate_pages = num_pages * (
+            1.0 - (1.0 - min(1.0, fraction)) ** profile.rows_per_page
+        )
+        return min(float(num_pages), max(1.0, candidate_pages))
+
+    def _clustered_run_cost(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> float:
+        """Contiguous-run bound under an axis-major (``cluster_dim``) layout.
+
+        Candidates constrained on the cluster axis sit in one contiguous
+        run of pages, not scattered: the run spans the axis window
+        (decoded whole -- other-axis predicates do not cluster, so no
+        page inside the run can be skipped), and an IN-list touches at
+        most one page per distinct value.  This is close to exact by
+        construction, so :meth:`predict_pages` applies **no** fitted
+        engine factor to it -- base-config calibration constants have
+        nothing to say about a layout the base config never had.
+        """
+        cluster = config.cluster_dim
+        profile = self.profile
+        if cluster is None or cluster not in profile.dims:
+            return float("inf")
+        num_pages = float(profile.num_pages)
+        span = float("inf")
+        cap = float("inf")
+        axis = (
+            observation.dims.index(cluster)
+            if cluster in observation.dims
+            else -1
+        )
+        if axis >= 0:
+            low, high = observation.lows[axis], observation.highs[axis]
+            if math.isfinite(low) or math.isfinite(high):
+                span = profile.fraction(cluster, low, high)
+        values = observation.memberships.get(cluster)
+        if values is not None and len(values):
+            picks = np.asarray(list(values), dtype=np.float64)
+            span = min(
+                span,
+                profile.fraction(cluster, float(picks.min()), float(picks.max())),
+            )
+            cap = float(len(picks))
+        if not math.isfinite(span):
+            return float("inf")
+        return min(num_pages, max(1.0, min(cap, span * num_pages + 1.0)))
+
+    # -- whole-query / whole-trace scoring ---------------------------------
+
+    def predict_pages(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> float:
+        """Calibrated pages-decoded prediction: best engine under config."""
+        best = float(self.profile.num_pages)
+        for engine, cost in self.engine_costs(config, observation).items():
+            if math.isfinite(cost):
+                best = min(best, cost * self.factors.get(engine, 1.0))
+        return best
+
+    def best_engine(
+        self, config: TuningConfig, observation: TraceObservation
+    ) -> str:
+        """Which engine the cost model would route this query to."""
+        best_name, best_cost = "scan", float("inf")
+        for engine, cost in self.engine_costs(config, observation).items():
+            if math.isfinite(cost):
+                calibrated = cost * self.factors.get(engine, 1.0)
+                if calibrated < best_cost:
+                    best_name, best_cost = engine, calibrated
+        return best_name
+
+    def evaluate(
+        self, config: TuningConfig, trace: Sequence[TraceObservation]
+    ) -> dict:
+        """Total predicted pages for a whole trace under one config.
+
+        Adds the two *runtime* knob effects the per-query model cannot
+        see: repeated fingerprints hit the decoded-page cache with
+        probability ~min(1, cache/table) so repeats cost only the miss
+        rate, and a batch window shares decode work across duplicate
+        members within a window (half the duplicated work saved at
+        full occupancy -- the measured BENCH_batch shape).
+        """
+        hit_prob = min(
+            1.0, config.decoded_cache_bytes / max(1, self.profile.table_bytes)
+        )
+        seen: set[str] = set()
+        total = 0.0
+        per_kind: dict[str, float] = {}
+        duplicates = 0
+        for observation in trace:
+            pages = self.predict_pages(config, observation)
+            if observation.fingerprint in seen:
+                duplicates += 1
+                pages *= 1.0 - hit_prob
+            else:
+                seen.add(observation.fingerprint)
+            total += pages
+            per_kind[observation.kind] = per_kind.get(observation.kind, 0.0) + pages
+        if trace and config.batch_size > 1 and duplicates:
+            dup_rate = duplicates / len(trace)
+            total *= 1.0 - 0.5 * dup_rate * (1.0 - 1.0 / config.batch_size)
+        return {
+            "config": config.to_dict(),
+            "config_id": config.config_id(),
+            "predicted_pages": total,
+            "per_kind": per_kind,
+            "queries": len(trace),
+            "duplicates": duplicates,
+            "memory_bytes": config.memory_bytes(self.profile),
+        }

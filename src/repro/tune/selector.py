@@ -1,0 +1,468 @@
+"""Extend-style greedy configuration selection under a byte budget.
+
+The selector walks a neighbourhood of single-knob changes (bin counts,
+bitmap dim subsets, zone-map column sets, cache budgets, batch windows,
+shard counts) and repeatedly applies the change with the best predicted
+pages-decoded improvement *per byte spent*, until no change clears the
+marginal-gain threshold -- the shape of Extend's greedy index selection
+(SNIPPETS.md snippet 1), with configs in place of index subsets.
+
+Budget handling is monotone **by construction**: the unlimited-budget
+greedy path is computed once, and a budget selects the longest prefix
+of that path whose absolute spend fits.  Since every step on the path
+strictly improves predicted cost and the feasible prefix only grows
+with budget, more budget can never predict worse -- the property the
+budget-monotonicity tests assert.
+
+:func:`GreedyConfigSelector.select_divergent` extends this to N
+replicas: observations are clustered (seeded per workload kind), each
+cluster is greedily tuned in isolation, and observations re-assign to
+whichever tuned replica predicts cheapest, alternating for a bounded
+number of rounds.  The result is a set of deliberately *different*
+configs -- e.g. a fine-binned membership specialist next to a zone-map
+slab specialist -- plus the assignment the router's cost scoring will
+re-derive online.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.tune.config import TuningConfig
+from repro.tune.evaluator import CostReplayEvaluator
+from repro.tune.trace import TraceObservation
+
+__all__ = [
+    "TuningStep",
+    "TuningResult",
+    "DivergentPlan",
+    "GreedyConfigSelector",
+]
+
+#: Stop when the best remaining change saves fewer predicted pages than
+#: this across the whole trace.
+DEFAULT_MIN_GAIN_PAGES = 0.5
+#: Hard cap on greedy steps (the neighbourhood is small; this is a
+#: runaway guard, not a tuning knob).
+DEFAULT_MAX_STEPS = 12
+
+def _cluster_mismatch(config: TuningConfig, observation: TraceObservation) -> int:
+    """1 when ``config`` clusters on an axis the query never constrains.
+
+    Fully oblique queries carry no axis bounds, so every config predicts
+    the same scan-bound cost for them; this is the tie-break that keeps
+    them off specialized layouts (an axis-major table is strictly worse
+    at pruning anything that ignores its sort axis).
+    """
+    cluster = config.cluster_dim
+    if cluster is None or cluster not in observation.dims:
+        return 0
+    axis = observation.dims.index(cluster)
+    if math.isfinite(observation.lows[axis]) or math.isfinite(
+        observation.highs[axis]
+    ):
+        return 0
+    if cluster in observation.memberships:
+        return 0
+    return 1
+
+
+_BIN_CHOICES = (0, 8, 16, 32, 64, 128, 256)
+_INDEX_CACHE_CHOICES = (1 << 20, 4 << 20, 16 << 20)
+_DECODED_CACHE_CHOICES = (16 << 20, 64 << 20, 128 << 20)
+_BATCH_CHOICES = (1, 8, 16)
+_SHARD_CHOICES = (0, 2, 4)
+
+
+@dataclass(frozen=True)
+class TuningStep:
+    """One accepted greedy move."""
+
+    description: str
+    config: TuningConfig
+    predicted_pages: float
+    spend_bytes: int
+    gain_per_byte: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """A selected config plus the path that led to it."""
+
+    config: TuningConfig
+    baseline_config: TuningConfig
+    steps: tuple[TuningStep, ...]
+    predicted_pages: float
+    baseline_pages: float
+    spend_bytes: int
+    budget_bytes: int | None
+
+    @property
+    def predicted_savings(self) -> float:
+        """Fraction of baseline predicted pages removed (0..1)."""
+        if self.baseline_pages <= 0:
+            return 0.0
+        return 1.0 - self.predicted_pages / self.baseline_pages
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "config_id": self.config.config_id(),
+            "baseline_config": self.baseline_config.to_dict(),
+            "predicted_pages": self.predicted_pages,
+            "baseline_pages": self.baseline_pages,
+            "predicted_savings": self.predicted_savings,
+            "spend_bytes": self.spend_bytes,
+            "budget_bytes": self.budget_bytes,
+            "steps": [
+                {
+                    "description": step.description,
+                    "predicted_pages": step.predicted_pages,
+                    "spend_bytes": step.spend_bytes,
+                }
+                for step in self.steps
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class DivergentPlan:
+    """N tuned replica configs plus the trace assignment that shaped them."""
+
+    results: tuple[TuningResult, ...]
+    #: Per-observation replica index, parallel to the trace it was built from.
+    assignment: tuple[int, ...]
+    baseline_pages: float
+    predicted_pages: float
+    rounds: int = 0
+    #: Majority replica per workload kind (reporting / routing-share gates).
+    kind_replicas: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def configs(self) -> tuple[TuningConfig, ...]:
+        return tuple(result.config for result in self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": [result.to_dict() for result in self.results],
+            "baseline_pages": self.baseline_pages,
+            "predicted_pages": self.predicted_pages,
+            "predicted_savings": (
+                1.0 - self.predicted_pages / self.baseline_pages
+                if self.baseline_pages > 0
+                else 0.0
+            ),
+            "rounds": self.rounds,
+            "kind_replicas": dict(self.kind_replicas),
+        }
+
+
+class GreedyConfigSelector:
+    """Greedy gain-per-byte config search over a trace."""
+
+    def __init__(
+        self,
+        evaluator: CostReplayEvaluator,
+        min_gain_pages: float = DEFAULT_MIN_GAIN_PAGES,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        self.evaluator = evaluator
+        self.min_gain_pages = min_gain_pages
+        self.max_steps = max_steps
+
+    # -- candidate neighbourhood -------------------------------------------
+
+    def _neighbor_changes(
+        self, config: TuningConfig, allow_cluster: bool = True
+    ) -> list[tuple[str, TuningConfig]]:
+        """Single-knob variations of ``config``, deterministically ordered."""
+        dims = self.evaluator.profile.dims
+        changes: list[tuple[str, TuningConfig]] = []
+        for bins in _BIN_CHOICES:
+            if bins != config.bitmap_bins:
+                changes.append(
+                    (f"bitmap_bins={bins}", config.replace(bitmap_bins=bins))
+                )
+        subsets: list[tuple[str, ...] | None] = [None]
+        subsets.extend((dim,) for dim in dims)
+        for subset in subsets:
+            if subset != config.bitmap_dims:
+                label = "*" if subset is None else ",".join(subset)
+                changes.append(
+                    (f"bitmap_dims={label}", config.replace(bitmap_dims=subset))
+                )
+        for zone_maps in (True, False):
+            if zone_maps != config.zone_maps:
+                changes.append(
+                    (f"zone_maps={zone_maps}", config.replace(zone_maps=zone_maps))
+                )
+        zone_sets: list[tuple[str, ...] | None] = [None, tuple(dims)]
+        for zone_set in zone_sets:
+            if config.zone_maps and zone_set != config.zone_map_columns:
+                label = "*" if zone_set is None else ",".join(zone_set)
+                changes.append(
+                    (
+                        f"zone_columns={label}",
+                        config.replace(zone_map_columns=zone_set),
+                    )
+                )
+        for shards in _SHARD_CHOICES:
+            if shards != config.shards:
+                changes.append(
+                    (f"shards={shards}", config.replace(shards=shards))
+                )
+        for budget in _INDEX_CACHE_CHOICES:
+            if budget != config.index_cache_bytes:
+                changes.append(
+                    (
+                        f"index_cache={budget >> 20}MB",
+                        config.replace(index_cache_bytes=budget),
+                    )
+                )
+        for budget in _DECODED_CACHE_CHOICES:
+            if budget != config.decoded_cache_bytes:
+                changes.append(
+                    (
+                        f"decoded_cache={budget >> 20}MB",
+                        config.replace(decoded_cache_bytes=budget),
+                    )
+                )
+        for batch in _BATCH_CHOICES:
+            if batch != config.batch_size:
+                changes.append(
+                    (f"batch_size={batch}", config.replace(batch_size=batch))
+                )
+        if allow_cluster:
+            clusters: list[str | None] = [None]
+            clusters.extend(dims)
+            for cluster in clusters:
+                if cluster != config.cluster_dim:
+                    changes.append(
+                        (
+                            f"cluster_dim={cluster or 'kd'}",
+                            config.replace(cluster_dim=cluster),
+                        )
+                    )
+        return changes
+
+    # -- greedy path ---------------------------------------------------------
+
+    def greedy_path(
+        self,
+        trace: Sequence[TraceObservation],
+        base: TuningConfig | None = None,
+        allow_cluster: bool = True,
+    ) -> tuple[TuningConfig, list[TuningStep], float]:
+        """Unlimited-budget greedy walk; returns (base, steps, base_pages).
+
+        Every accepted step strictly improves predicted pages; ties in
+        gain-per-byte break toward the earlier (deterministically
+        ordered) candidate, so the path is a pure function of
+        (profile, trace, base) -- the seeded-determinism property.
+        """
+        base = base or TuningConfig()
+        evaluator = self.evaluator
+        current = base
+        current_pages = evaluator.evaluate(base, trace)["predicted_pages"]
+        base_spend = base.memory_bytes(evaluator.profile)
+        steps: list[TuningStep] = []
+        for _ in range(self.max_steps):
+            best: TuningStep | None = None
+            for description, candidate in self._neighbor_changes(
+                current, allow_cluster=allow_cluster
+            ):
+                pages = evaluator.evaluate(candidate, trace)["predicted_pages"]
+                gain = current_pages - pages
+                if gain < self.min_gain_pages:
+                    continue
+                spend = max(
+                    1, candidate.memory_bytes(evaluator.profile) - base_spend
+                )
+                per_byte = gain / spend
+                if best is None or per_byte > best.gain_per_byte:
+                    best = TuningStep(
+                        description=description,
+                        config=candidate,
+                        predicted_pages=pages,
+                        spend_bytes=spend,
+                        gain_per_byte=per_byte,
+                    )
+            if best is None:
+                break
+            current = best.config
+            current_pages = best.predicted_pages
+            steps.append(best)
+        return base, steps, evaluator.evaluate(base, trace)["predicted_pages"]
+
+    def select(
+        self,
+        trace: Sequence[TraceObservation],
+        budget_bytes: int | None = None,
+        base: TuningConfig | None = None,
+        allow_cluster: bool = True,
+    ) -> TuningResult:
+        """Pick the best config whose spend over ``base`` fits the budget.
+
+        The budget truncates the precomputed greedy path at the first
+        step whose *absolute* spend (config memory minus base memory)
+        exceeds it.  Larger budgets keep strictly longer prefixes, and
+        each step improves cost, so predicted pages are monotone
+        non-increasing in budget.
+        """
+        base, path, base_pages = self.greedy_path(
+            trace, base, allow_cluster=allow_cluster
+        )
+        base_spend = base.memory_bytes(self.evaluator.profile)
+        chosen = base
+        chosen_pages = base_pages
+        taken: list[TuningStep] = []
+        for step in path:
+            spend = max(
+                0, step.config.memory_bytes(self.evaluator.profile) - base_spend
+            )
+            if budget_bytes is not None and spend > budget_bytes:
+                break
+            chosen = step.config
+            chosen_pages = step.predicted_pages
+            taken.append(step)
+        return TuningResult(
+            config=chosen,
+            baseline_config=base,
+            steps=tuple(taken),
+            predicted_pages=chosen_pages,
+            baseline_pages=base_pages,
+            spend_bytes=max(
+                0, chosen.memory_bytes(self.evaluator.profile) - base_spend
+            ),
+            budget_bytes=budget_bytes,
+        )
+
+    # -- divergent replica selection -----------------------------------------
+
+    def select_divergent(
+        self,
+        trace: Sequence[TraceObservation],
+        num_replicas: int,
+        budget_bytes: int | None = None,
+        base: TuningConfig | None = None,
+        max_rounds: int = 4,
+    ) -> DivergentPlan:
+        """Tune N deliberately different configs, one per trace cluster.
+
+        Alternating minimization: (1) greedily tune a config for each
+        observation subset, (2) reassign every observation to the
+        replica whose tuned config predicts cheapest (ties to the lower
+        replica id), repeat until the assignment is stable or
+        ``max_rounds`` is hit.  Seeding groups by workload kind so
+        distinct classes start in distinct clusters; everything after
+        that is cost-driven.
+
+        Replica 0 is the **generalist anchor**: it tunes every knob
+        except ``cluster_dim``, keeping the base widest-axis kd layout
+        (the C-Store rule of thumb -- one copy keeps the full sort
+        order).  Queries no specialized layout helps always have a
+        competent home, and faulted specialists degrade onto a replica
+        that is never pathological for their class.
+        """
+        base = base or TuningConfig()
+        trace = list(trace)
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        evaluator = self.evaluator
+        baseline_pages = evaluator.evaluate(base, trace)["predicted_pages"]
+        if not trace or num_replicas == 1:
+            result = self.select(trace, budget_bytes, base)
+            return DivergentPlan(
+                results=(result,) * max(1, num_replicas),
+                assignment=tuple(0 for _ in trace),
+                baseline_pages=baseline_pages,
+                predicted_pages=result.predicted_pages,
+                rounds=0,
+                kind_replicas={obs.kind: 0 for obs in trace},
+            )
+
+        # Seed: spread workload kinds across the *specialist* replicas
+        # (1..N-1) round-robin, in deterministic sorted-kind order.  The
+        # anchor starts empty on purpose -- every kind gets one round in
+        # front of the full knob set (cluster_dim included), and the
+        # reassignment tie-break drains whatever specialization cannot
+        # help back to the anchor.
+        kinds = sorted({observation.kind for observation in trace})
+        specialists = list(range(1, num_replicas))
+        kind_seed = {
+            kind: specialists[index % len(specialists)]
+            for index, kind in enumerate(kinds)
+        }
+        assignment = [kind_seed[observation.kind] for observation in trace]
+
+        results: list[TuningResult] = []
+        rounds = 0
+        for rounds in range(1, max_rounds + 1):
+            results = []
+            for replica in range(num_replicas):
+                subset = [
+                    observation
+                    for observation, owner in zip(trace, assignment)
+                    if owner == replica
+                ]
+                results.append(
+                    self.select(
+                        subset, budget_bytes, base,
+                        allow_cluster=replica > 0,
+                    )
+                )
+            reassigned = [
+                min(
+                    range(num_replicas),
+                    key=lambda replica: (
+                        evaluator.predict_pages(
+                            results[replica].config, observation
+                        ),
+                        _cluster_mismatch(
+                            results[replica].config, observation
+                        ),
+                        replica,
+                    ),
+                )
+                for observation in trace
+            ]
+            if reassigned == assignment:
+                break
+            assignment = reassigned
+
+        # Score each replica's final subset with the same evaluate()
+        # machinery the baseline used (duplicate-hit discounts included)
+        # so the two totals are in identical units.  Duplicates of one
+        # fingerprint always share a replica -- identical features score
+        # identically -- so the per-subset discount composes cleanly.
+        predicted = sum(
+            evaluator.evaluate(
+                results[replica].config,
+                [
+                    observation
+                    for observation, owner in zip(trace, assignment)
+                    if owner == replica
+                ],
+            )["predicted_pages"]
+            for replica in range(num_replicas)
+        )
+        kind_votes: dict[str, dict[int, int]] = {}
+        for observation, owner in zip(trace, assignment):
+            kind_votes.setdefault(observation.kind, {})
+            kind_votes[observation.kind][owner] = (
+                kind_votes[observation.kind].get(owner, 0) + 1
+            )
+        kind_replicas = {
+            kind: max(sorted(votes), key=lambda r: votes[r])
+            for kind, votes in kind_votes.items()
+        }
+        return DivergentPlan(
+            results=tuple(results),
+            assignment=tuple(assignment),
+            baseline_pages=baseline_pages,
+            predicted_pages=predicted,
+            rounds=rounds,
+            kind_replicas=kind_replicas,
+        )

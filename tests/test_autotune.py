@@ -1,0 +1,513 @@
+"""Auto-tuning and divergent replica routing (:mod:`repro.tune`).
+
+Covers the tentpole loop end to end: the workload trace recorder ring
+and its JSONL round trip, seeded determinism of the cost-replay
+evaluator and greedy selector, budget monotonicity of the selection
+(a property the prefix construction guarantees), differential identity
+of routed replica answers against a single-table reference -- solo,
+batched, under faults, and under ingest churn -- the ingest fan-out
+regression (rows reach every replica before any merge), planner
+calibration persistence across a catalog reattach, and the
+degraded-answer cache veto.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, KdTreeIndex, QueryPlanner, sdss_color_sample
+from repro.bitmap import BitmapIndex
+from repro.db.errors import StorageFault
+from repro.db.persistence import attach_database, save_catalog
+from repro.db.table import DEFAULT_ROWS_PER_PAGE
+from repro.datasets import QueryWorkload
+from repro.geometry.halfspace import Halfspace, Polyhedron
+from repro.service import QueryService
+from repro.service.result_cache import query_fingerprint
+from repro.tune import (
+    CostReplayEvaluator,
+    GreedyConfigSelector,
+    ReplicaRouter,
+    ReplicaSet,
+    ReplicaSpec,
+    TableProfile,
+    TuningConfig,
+    WorkloadTraceRecorder,
+    default_config,
+    read_trace,
+)
+
+BANDS = ["u", "g", "r", "i", "z"]
+
+
+def _columns(rows: int, seed: int = 0):
+    sample = sdss_color_sample(rows, seed=seed)
+    columns = dict(sample.columns())
+    columns["oid"] = np.arange(rows, dtype=np.int64)
+    return sample, columns
+
+
+def _slab(dim: int, axis: int, low: float, high: float) -> Polyhedron:
+    e = np.zeros(dim)
+    e[axis] = 1.0
+    return Polyhedron([Halfspace(e, high), Halfspace(-e, -low)])
+
+
+def _trivial(dim: int) -> Polyhedron:
+    e = np.zeros(dim)
+    e[0] = 1.0
+    return Polyhedron([Halfspace(e, np.inf)])
+
+
+def _mixed_queries(sample, count: int, seed: int = 0):
+    workload = QueryWorkload(sample.magnitudes, seed=seed)
+    base = workload.mixed(count, selectivities=[0.001, 0.01, 0.1, 0.4])
+    return [q.polyhedron(BANDS) for q in base]
+
+
+def _oids(rows: dict) -> set:
+    return set(np.asarray(rows["oid"]).tolist())
+
+
+@pytest.fixture(scope="module")
+def traced_planner():
+    """A default-config planner with a recorder, plus its executed trace."""
+    sample, columns = _columns(3000, seed=3)
+    db = Database.in_memory(buffer_pages=None)
+    index = KdTreeIndex.build(db, "mags", columns, BANDS)
+    BitmapIndex.build(db, "mags", BANDS)
+    planner = QueryPlanner(index, seed=3)
+    recorder = WorkloadTraceRecorder()
+    planner.trace_recorder = recorder
+    for polyhedron in _mixed_queries(sample, 24, seed=3):
+        planner.execute(polyhedron)
+    member_values = columns["r"][:: len(columns["r"]) // 20][:15]
+    planner.execute(_trivial(5), memberships={"r": member_values})
+    return sample, columns, planner, recorder
+
+
+class TestTraceRecorder:
+    def test_ring_is_bounded_but_counts_everything(self, traced_planner):
+        sample, columns, planner, _ = traced_planner
+        small = WorkloadTraceRecorder(capacity=4)
+        planner.trace_recorder = small
+        try:
+            queries = _mixed_queries(sample, 10, seed=11)
+            for polyhedron in queries:
+                planner.execute(polyhedron)
+        finally:
+            planner.trace_recorder = traced_planner[3]
+        assert len(small.observations()) == 4
+        assert small.recorded == 10
+
+    def test_observations_carry_plan_outcomes(self, traced_planner):
+        _, _, _, recorder = traced_planner
+        observations = recorder.observations()
+        assert observations, "planner should have recorded executions"
+        for obs in observations:
+            assert obs.engine in {"kdtree", "scan", "bitmap", "hybrid"}
+            assert obs.actual_pages >= 0
+            assert obs.wall_s >= 0.0
+            assert obs.dims == tuple(BANDS)
+        kinds = recorder.kind_counts()
+        assert kinds.get("membership", 0) >= 1
+        assert kinds.get("box", 0) >= 1
+
+    def test_jsonl_round_trip(self, traced_planner, tmp_path):
+        _, _, _, recorder = traced_planner
+        path = tmp_path / "trace.jsonl"
+        count = recorder.export_jsonl(path)
+        assert count == len(recorder.observations())
+        loaded = read_trace(path)
+        assert len(loaded) == count
+        for original, parsed in zip(recorder.observations(), loaded):
+            assert parsed.fingerprint == original.fingerprint
+            assert parsed.kind == original.kind
+            assert parsed.engine == original.engine
+            assert parsed.lows == original.lows
+            assert parsed.highs == original.highs
+            assert parsed.memberships == original.memberships
+            assert parsed.actual_pages == original.actual_pages
+
+
+class TestSelectorDeterminism:
+    def test_evaluator_and_selector_are_seed_deterministic(self, traced_planner):
+        _, columns, _, recorder = traced_planner
+        trace = recorder.observations()
+
+        def run():
+            profile = TableProfile(
+                columns, BANDS, len(columns["oid"]), DEFAULT_ROWS_PER_PAGE,
+                seed=17,
+            )
+            evaluator = CostReplayEvaluator(profile, trace=trace)
+            selector = GreedyConfigSelector(evaluator)
+            return selector.select(trace)
+
+        first, second = run(), run()
+        assert first.config == second.config
+        assert first.predicted_pages == second.predicted_pages
+        assert [s.description for s in first.steps] == [
+            s.description for s in second.steps
+        ]
+
+    def test_divergent_plan_is_deterministic(self, traced_planner):
+        _, columns, _, recorder = traced_planner
+        trace = recorder.observations()
+        profile = TableProfile(
+            columns, BANDS, len(columns["oid"]), DEFAULT_ROWS_PER_PAGE, seed=17
+        )
+        evaluator = CostReplayEvaluator(profile, trace=trace)
+        selector = GreedyConfigSelector(evaluator)
+        first = selector.select_divergent(trace, 2)
+        second = selector.select_divergent(trace, 2)
+        assert [c.config_id() for c in first.configs] == [
+            c.config_id() for c in second.configs
+        ]
+        assert first.assignment == second.assignment
+        assert first.predicted_pages == second.predicted_pages
+
+
+class TestBudgetMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_more_budget_never_predicts_worse(self, seed):
+        sample, columns = _columns(2000, seed=seed)
+        db = Database.in_memory(buffer_pages=None)
+        index = KdTreeIndex.build(db, "mags", columns, BANDS)
+        BitmapIndex.build(db, "mags", BANDS)
+        planner = QueryPlanner(index, seed=seed)
+        recorder = WorkloadTraceRecorder()
+        planner.trace_recorder = recorder
+        for polyhedron in _mixed_queries(sample, 16, seed=seed):
+            planner.execute(polyhedron)
+        trace = recorder.observations()
+        profile = TableProfile(
+            columns, BANDS, len(columns["oid"]), DEFAULT_ROWS_PER_PAGE,
+            seed=seed,
+        )
+        selector = GreedyConfigSelector(
+            CostReplayEvaluator(profile, trace=trace)
+        )
+        budgets = [0, 64 << 10, 1 << 20, 16 << 20, 256 << 20, None]
+        results = [selector.select(trace, budget_bytes=b) for b in budgets]
+        for tighter, looser in zip(results, results[1:]):
+            assert looser.predicted_pages <= tighter.predicted_pages
+        for budget, result in zip(budgets, results):
+            assert result.predicted_pages <= result.baseline_pages
+            if budget is not None:
+                assert result.spend_bytes <= budget
+            # The budgeted choice is a prefix of the unlimited path.
+            unlimited = results[-1]
+            assert [s.description for s in result.steps] == [
+                s.description for s in unlimited.steps[: len(result.steps)]
+            ]
+
+
+class _DeadEngine:
+    """Engine stand-in whose every data-path call storage-faults.
+
+    Prediction keeps answering (a sick replica still looks cheap to the
+    router), so degradation is exercised on the execution path, exactly
+    where a real storage outage would bite.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def execute(self, *args, **kwargs):
+        raise StorageFault("replica offline (injected)")
+
+    def execute_batch(self, *args, **kwargs):
+        raise StorageFault("replica offline (injected)")
+
+
+@pytest.fixture(scope="class")
+def routed_setup():
+    """Two divergent replicas + an independent single-table reference."""
+    sample, columns = _columns(2500, seed=5)
+    configs = [
+        default_config(),
+        default_config().replace(
+            bitmap_bins=128,
+            bitmap_dims=("r",),
+            zone_map_columns=("r", "oid"),
+            cluster_dim="r",
+        ),
+    ]
+    replica_set = ReplicaSet.build(
+        "mags", columns, BANDS, configs, seed=5, key_column="oid"
+    )
+    router = ReplicaRouter(replica_set)
+    ref_db = Database.in_memory(buffer_pages=None)
+    reference = QueryPlanner(
+        KdTreeIndex.build(ref_db, "mags_ref", columns, BANDS), seed=5
+    )
+    queries = _mixed_queries(sample, 12, seed=5)
+    member_values = columns["r"][:: len(columns["r"]) // 30][:25]
+    memberships = [None] * len(queries) + [{"r": member_values}]
+    queries.append(_trivial(5))
+    return sample, columns, replica_set, router, reference, queries, memberships
+
+
+class TestRoutedDifferential:
+    def test_solo_routed_equals_reference(self, routed_setup):
+        _, _, _, router, reference, queries, memberships = routed_setup
+        for polyhedron, member in zip(queries, memberships):
+            routed = router.execute(polyhedron, memberships=member)
+            serial = reference.execute(polyhedron, memberships=member)
+            assert _oids(routed.rows) == _oids(serial.rows)
+            assert "replica_id" in routed.stats.extra
+
+    def test_batched_routed_equals_reference(self, routed_setup):
+        _, _, _, router, reference, queries, memberships = routed_setup
+        batch = router.execute_batch(queries, memberships_list=memberships)
+        assert len(batch.members) == len(queries)
+        for m, member_result in enumerate(batch.members):
+            assert member_result.error is None
+            serial = reference.execute(queries[m], memberships=memberships[m])
+            assert _oids(member_result.planned.rows) == _oids(serial.rows)
+
+    def test_faulted_replica_degrades_not_corrupts(self, routed_setup):
+        _, _, replica_set, router, reference, queries, memberships = (
+            routed_setup
+        )
+        victim = router.route(queries[0], memberships[0])[0]
+        healthy_engine = replica_set[victim].engine
+        replica_set[victim].engine = _DeadEngine(healthy_engine)
+        try:
+            routed = router.execute(queries[0], memberships=memberships[0])
+            serial = reference.execute(queries[0], memberships=memberships[0])
+            assert _oids(routed.rows) == _oids(serial.rows)
+            assert routed.fallback
+            assert routed.no_cache
+            assert routed.stats.extra["replica_id"] != victim
+            assert router.routing_report()["degraded"] >= 1
+            # Batch members preferred onto the dead replica degrade too.
+            batch = router.execute_batch(
+                queries[:4], memberships_list=memberships[:4]
+            )
+            for m, member_result in enumerate(batch.members):
+                assert member_result.error is None
+                serial = reference.execute(
+                    queries[m], memberships=memberships[m]
+                )
+                assert _oids(member_result.planned.rows) == _oids(serial.rows)
+        finally:
+            replica_set[victim].engine = healthy_engine
+
+    def test_all_replicas_dead_raises_structured_fault(self, routed_setup):
+        _, _, replica_set, router, _, queries, _ = routed_setup
+        saved = [replica.engine for replica in replica_set]
+        for replica in replica_set:
+            replica.engine = _DeadEngine(replica.engine)
+        try:
+            with pytest.raises(StorageFault):
+                router.execute(queries[0])
+        finally:
+            for replica, engine in zip(replica_set, saved):
+                replica.engine = engine
+
+
+class TestIngestFanOut:
+    def test_inserts_reach_every_replica_before_any_merge(self):
+        _, columns = _columns(1200, seed=9)
+        configs = [
+            default_config(),
+            default_config().replace(bitmap_bins=64, bitmap_dims=("g",)),
+        ]
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS, configs, seed=9, key_column="oid"
+        )
+        fresh_oids = np.arange(1200, 1212, dtype=np.int64)
+        fresh = {
+            name: np.asarray(values)[:12].copy()
+            for name, values in columns.items()
+        }
+        fresh["oid"] = fresh_oids
+        replica_set.insert_rows(fresh)
+        probe = {"oid": fresh_oids.astype(np.float64)}
+        # Visible on EVERY replica straight from its delta tier -- no
+        # merge has run yet.
+        for replica in replica_set:
+            planned = replica.engine.execute(_trivial(5), memberships=probe)
+            assert _oids(planned.rows) == set(fresh_oids.tolist()), (
+                f"replica {replica.replica_id} missing unmerged inserts"
+            )
+        replica_set.merge_all()
+        for replica in replica_set:
+            planned = replica.engine.execute(_trivial(5), memberships=probe)
+            assert _oids(planned.rows) == set(fresh_oids.tolist())
+
+    def test_routed_equals_reference_under_churn(self):
+        sample, columns = _columns(1500, seed=13)
+        configs = [
+            default_config(),
+            default_config().replace(bitmap_bins=64, bitmap_dims=("r",)),
+        ]
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS, configs, seed=13, key_column="oid"
+        )
+        router = ReplicaRouter(replica_set)
+        ref_db = Database.in_memory(buffer_pages=None)
+        ref_index = KdTreeIndex.build(ref_db, "mags_ref", columns, BANDS)
+        reference = QueryPlanner(ref_index, seed=13)
+        queries = _mixed_queries(sample, 6, seed=13)
+
+        fresh = {
+            name: np.asarray(values)[:40].copy()
+            for name, values in columns.items()
+        }
+        fresh["oid"] = np.arange(1500, 1540, dtype=np.int64)
+        replica_set.insert_rows(fresh)
+        ref_index.table.insert_rows(fresh)
+
+        victims = columns["oid"][100:110]
+        replica_set.delete_by_key(victims)
+        ref_rows = reference.execute(
+            _trivial(5), memberships={"oid": victims.astype(np.float64)}
+        ).rows
+        ref_index.table.delete_rows(ref_rows["_row_id"])
+
+        for polyhedron in queries:
+            routed = router.execute(polyhedron)
+            serial = reference.execute(polyhedron)
+            assert _oids(routed.rows) == _oids(serial.rows)
+        replica_set.merge_all()
+        ref_db.ingest.merge_all(threshold=0.0)
+        for polyhedron in queries:
+            routed = router.execute(polyhedron)
+            serial = reference.execute(polyhedron)
+            assert _oids(routed.rows) == _oids(serial.rows)
+
+
+class TestCalibrationPersistence:
+    def test_calibration_survives_catalog_reattach(self, tmp_path):
+        sample, columns = _columns(1500, seed=21)
+        db = Database.on_disk(tmp_path, buffer_pages=None)
+        index = KdTreeIndex.build(db, "mags", columns, BANDS)
+        BitmapIndex.build(db, "mags", BANDS)
+        planner = QueryPlanner(index, seed=21)
+        for polyhedron in _mixed_queries(sample, 10, seed=21):
+            planner.execute(polyhedron)
+        warmed = planner.cost_report()
+        assert warmed["observations"] > 0
+        save_catalog(db)
+
+        reopened = attach_database(tmp_path, buffer_pages=None)
+        new_index = reopened.index("mags.kdtree")
+        warm_planner = QueryPlanner(new_index, seed=21)
+        report = warm_planner.cost_report()
+        assert report["observations"] == warmed["observations"]
+        assert report["calibration"] == pytest.approx(warmed["calibration"])
+        assert report["selectivity_bias"] == pytest.approx(
+            warmed["selectivity_bias"]
+        )
+
+    def test_live_databases_do_not_warm_new_planners(self):
+        sample, columns = _columns(1200, seed=22)
+        db = Database.in_memory(buffer_pages=None)
+        index = KdTreeIndex.build(db, "mags", columns, BANDS)
+        planner = QueryPlanner(index, seed=22)
+        for polyhedron in _mixed_queries(sample, 6, seed=22):
+            planner.execute(polyhedron)
+        assert planner.cost_report()["observations"] > 0
+        # The snapshot is persisted for a future reattach, but a second
+        # planner over the same live database starts neutral.
+        fresh = QueryPlanner(index, seed=22)
+        assert fresh.cost_report()["observations"] == 0
+
+
+class TestServiceIntegration:
+    def test_degraded_answers_never_enter_the_result_cache(self):
+        sample, columns = _columns(1500, seed=31)
+        configs = [
+            default_config(),
+            default_config().replace(bitmap_bins=64, bitmap_dims=("r",)),
+        ]
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS, configs, seed=31, key_column="oid"
+        )
+        router = ReplicaRouter(replica_set)
+        polyhedron = _mixed_queries(sample, 1, seed=31)[0]
+        victim = router.route(polyhedron)[0]
+        healthy_engine = replica_set[victim].engine
+        replica_set[victim].engine = _DeadEngine(healthy_engine)
+        service = QueryService(None, replicas=router, workers=2)
+        try:
+            with service:
+                first = service.submit(polyhedron).result(timeout=30.0)
+                second = service.submit(polyhedron).result(timeout=30.0)
+            assert first.fallback
+            assert not first.cache_hit
+            # The degraded answer was vetoed from the cache, so the
+            # repeat re-executes instead of replaying it.
+            assert not second.cache_hit
+            assert service.cache.insertions == 0
+        finally:
+            replica_set[victim].engine = healthy_engine
+
+    def test_replica_scoped_fingerprints_differ(self):
+        polyhedron = _slab(5, 2, 20.0, 21.0)
+        base = dict(
+            table_name="mags", dims=BANDS, polyhedron=polyhedron,
+            layout_version="v1",
+        )
+        scoped_a = query_fingerprint(**base, config_id="r0:aaaa")
+        scoped_b = query_fingerprint(**base, config_id="r1:bbbb")
+        unscoped = query_fingerprint(**base)
+        assert len({scoped_a, scoped_b, unscoped}) == 3
+
+    def test_service_trace_recorder_tags_replicas(self):
+        sample, columns = _columns(1200, seed=33)
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS,
+            [default_config(), default_config().replace(bitmap_bins=16)],
+            seed=33, key_column="oid",
+        )
+        recorder = WorkloadTraceRecorder()
+        service = QueryService(
+            None, replicas=replica_set, workers=2, trace_recorder=recorder
+        )
+        with service:
+            for polyhedron in _mixed_queries(sample, 5, seed=33):
+                service.submit(polyhedron).result(timeout=30.0)
+        observations = recorder.observations()
+        assert observations
+        assert all(obs.replica.startswith("r") for obs in observations)
+
+    def test_replica_specs_round_trip(self):
+        _, columns = _columns(600, seed=35)
+        configs = [default_config(), default_config().replace(shards=2)]
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS, configs, seed=35, key_column="oid"
+        )
+        for spec in replica_set.specs():
+            clone = ReplicaSpec.from_dict(spec.to_dict())
+            assert clone == spec
+            assert clone.config.config_id() == spec.config.config_id()
+
+
+class TestShardedReplica:
+    def test_sharded_replica_config_answers_identically(self):
+        sample, columns = _columns(1600, seed=41)
+        configs = [
+            default_config().replace(shards=2, bitmap_bins=16),
+            default_config(),
+        ]
+        replica_set = ReplicaSet.build(
+            "mags", columns, BANDS, configs, seed=41, key_column="oid"
+        )
+        router = ReplicaRouter(replica_set)
+        ref_db = Database.in_memory(buffer_pages=None)
+        reference = QueryPlanner(
+            KdTreeIndex.build(ref_db, "mags_ref", columns, BANDS), seed=41
+        )
+        for polyhedron in _mixed_queries(sample, 8, seed=41):
+            routed = router.execute(polyhedron)
+            serial = reference.execute(polyhedron)
+            assert _oids(routed.rows) == _oids(serial.rows)
+        replica_set.close()
